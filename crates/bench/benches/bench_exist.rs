@@ -1,0 +1,122 @@
+//! The *∃ model* column of both tables, across its four complexity tiers:
+//!
+//! * `O(1)` — positive databases (every semantics) and stratified ICWA;
+//! * NP-complete — EGCWA & friends with integrity clauses
+//!   (phase-transition 3-CNF family);
+//! * Σᵖ₂-complete — DSM existence (false-parity exhaustion family) and
+//!   PERF existence (even-loop batteries with no perfect model).
+//!
+//! Experiments: `T1-*-exist`, `T2-EGCWA-exist`, `T2-ICWA-exist`,
+//! `T2-DSM-exist`, `T2-PERF-exist`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddb_bench::families;
+use ddb_models::Cost;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_positive_trivial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T1-EGCWA-exist (O(1) on positive DBs)");
+    for n in [64usize, 256, 1024] {
+        let db = families::table1_random(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let ans = ddb_core::egcwa::has_model(&db, &mut cost);
+                assert!(ans && cost.sat_calls == 0);
+                ans
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_np_phase_transition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2-EGCWA-exist (NP-complete; 3-CNF at ratio 4.26)");
+    for n in [40usize, 80, 120] {
+        let db = families::phase_transition(n, 9);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                ddb_core::egcwa::has_model(&db, &mut cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dsm_sigma2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2-DSM-exist (Σᵖ₂; false-parity exhaustion)");
+    for n in [2u32, 3, 4] {
+        let db = families::dsm_exist_hard(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let ans = ddb_core::dsm::has_model(&db, &mut cost);
+                assert!(!ans, "family has no stable model");
+                ans
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_perf_sigma2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2-PERF-exist (Σᵖ₂; even-loop batteries)");
+    for k in [2usize, 4, 6] {
+        let db = families::even_loops(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let ans = ddb_core::perf::has_model(&db, &mut cost);
+                assert!(!ans, "mutual strict priorities kill every model");
+                ans
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_icwa_constant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2-ICWA-exist (O(1): stratifiability asserts consistency)");
+    for n in [16usize, 64, 256] {
+        let db = {
+            // Integrity-free stratified family.
+            let raw = families::stratified_random(n, 3);
+            let mut clean = ddb_logic::Database::new(raw.symbols().clone());
+            for r in raw.rules().iter().filter(|r| !r.is_integrity()) {
+                clean.add_rule(r.clone());
+            }
+            clean
+        };
+        let strata = db.stratification().expect("stratified");
+        let layers = ddb_core::icwa::Layers::new(
+            &db,
+            &strata,
+            &ddb_logic::Interpretation::empty(db.num_atoms()),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let ans = ddb_core::icwa::has_model(&db, &layers, &mut cost);
+                assert!(ans && cost.sat_calls == 0);
+                ans
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_positive_trivial, bench_np_phase_transition,
+              bench_dsm_sigma2, bench_perf_sigma2, bench_icwa_constant
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Ablations on the substrate, as called out in DESIGN.md:
+//!
+//! * **CDCL vs DPLL** — what the learning oracle buys on phase-transition
+//!   CNFs (the NP oracle inside every higher cell);
+//! * **direct vs census** GCWA-false-set computation — `|V|` Σᵖ₂ queries
+//!   versus the `O(log |V|)`-query census structure of \[7\];
+//! * **active-atom closure vs explicit `T_DB ↑ ω`** — the polynomial DDR
+//!   fixpoint against its exponential executable specification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddb_bench::families;
+use ddb_logic::cnf::database_to_cnf;
+use ddb_models::{fixpoint, Cost};
+use ddb_sat::{dpll, Solver};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_cdcl_vs_dpll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle ablation: CDCL vs DPLL (3-CNF @ 4.26)");
+    for n in [20usize, 30, 40] {
+        let db = families::phase_transition(n, 21);
+        let cnf = database_to_cnf(&db);
+        g.bench_with_input(BenchmarkId::new("CDCL", n), &n, |b, _| {
+            b.iter(|| Solver::from_cnf(&cnf).solve().is_sat())
+        });
+        g.bench_with_input(BenchmarkId::new("DPLL", n), &n, |b, _| {
+            b.iter(|| dpll::is_sat(&cnf))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gcwa_direct_vs_census(c: &mut Criterion) {
+    let mut g = c.benchmark_group("GCWA ablation: direct N-set vs O(log n) census");
+    for n in [12usize, 16, 24] {
+        let db = families::table1_random(n, 17);
+        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                ddb_core::gcwa::false_atoms(&db, &mut cost).count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("census", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                ddb_core::gcwa::census_false_atoms(&db, &mut cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_closure_vs_explicit_fixpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("DDR ablation: active-atom closure vs explicit T↑ω");
+    for n in [8usize, 12, 16] {
+        let db = families::layered(n);
+        g.bench_with_input(BenchmarkId::new("closure", n), &n, |b, _| {
+            b.iter(|| fixpoint::active_atoms(&db).count())
+        });
+        g.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, _| {
+            b.iter(|| fixpoint::model_state(&db, 1_000_000).map(|s| s.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_clause_minimization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("CDCL ablation: learnt-clause minimization on vs off");
+    for n in [40usize, 60, 80] {
+        let db = families::phase_transition(n, 33);
+        let cnf = database_to_cnf(&db);
+        g.bench_with_input(BenchmarkId::new("minimize-on", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = Solver::from_cnf(&cnf);
+                s.set_clause_minimization(true);
+                s.solve().is_sat()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("minimize-off", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = Solver::from_cnf(&cnf);
+                s.set_clause_minimization(false);
+                s.solve().is_sat()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_component_counting(c: &mut Criterion) {
+    use ddb_workloads::structured::even_loops;
+    let mut g =
+        c.benchmark_group("component ablation: MM counting, product vs enumeration (k even loops)");
+    for k in [4usize, 6, 8] {
+        // even_loops(k): k disconnected 2-atom components, 2^k minimal
+        // models (clausally a∨b per loop).
+        let db = even_loops(k);
+        g.bench_with_input(BenchmarkId::new("componentwise", k), &k, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let c = ddb_models::components::count_minimal_models(&db, &mut cost);
+                assert_eq!(c, 1 << k);
+                c
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("enumerate", k), &k, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                ddb_models::minimal::minimal_models(&db, &mut cost).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transversal_dualization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("EGCWA derived clauses: Berge dualization");
+    for pairs in [4usize, 6, 8] {
+        // `pairs` disjoint disjunctions → `pairs` derived clauses but an
+        // exponential minimal-model set to dualize.
+        let src: String = (0..pairs).map(|i| format!("a{i} | b{i}. ")).collect();
+        let db = ddb_logic::parse::parse_program(&src).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let clauses = ddb_core::egcwa::derived_integrity_clauses(&db, 1_000_000, &mut cost)
+                    .expect("within cap");
+                assert_eq!(clauses.len(), pairs);
+                clauses.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cdcl_vs_dpll, bench_gcwa_direct_vs_census,
+              bench_closure_vs_explicit_fixpoint, bench_clause_minimization,
+              bench_component_counting, bench_transversal_dualization
+}
+criterion_main!(benches);

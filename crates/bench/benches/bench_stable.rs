@@ -1,0 +1,131 @@
+//! The stable-model rows (DSM, PDSM): enumeration, inference, and the
+//! candidate-strategy ablation from DESIGN.md (filter-all-models vs
+//! filter-minimal-models).
+//!
+//! Experiments: `T2-DSM-lit/form`, `T2-PDSM-lit/form`, enumeration stress
+//! on even-loop batteries (`2^k` stable models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddb_bench::families;
+use ddb_core::reduct::gl_reduct;
+use ddb_logic::cnf::database_to_cnf;
+use ddb_logic::{Database, Interpretation};
+use ddb_models::{minimal, Cost};
+use ddb_sat::Solver;
+use ddb_workloads::queries;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_dsm_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("DSM enumeration (even loops: 2^k stable models)");
+    for k in [2usize, 4, 6] {
+        let db = families::even_loops(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let models = ddb_core::dsm::models(&db, &mut cost);
+                assert_eq!(models.len(), 1 << k);
+                models.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dsm_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T2-DSM-form (normal DBs)");
+    for n in [8usize, 12, 16] {
+        let db = families::normal_random(n, 23);
+        let f = queries::random_formula(n, 6, 9);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                ddb_core::dsm::infers_formula(&db, &f, &mut cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pdsm_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("PDSM enumeration (even loops: 3^k partial stable models)");
+    for k in [2usize, 3, 4] {
+        let db = families::even_loops(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                let models = ddb_core::pdsm::models(&db, &mut cost);
+                // k independent loops, each {a}, {b} or undefined.
+                assert_eq!(models.len(), 3usize.pow(k as u32));
+                models.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: candidate strategy for stable-model search — minimize every
+/// SAT model first (the implementation) vs testing raw SAT models.
+fn bench_candidate_strategy(c: &mut Criterion) {
+    fn stable_exists_raw_candidates(db: &Database, cost: &mut Cost) -> bool {
+        let n = db.num_atoms();
+        let mut candidates = Solver::from_cnf(&database_to_cnf(db));
+        candidates.ensure_vars(n);
+        loop {
+            if !candidates.solve().is_sat() {
+                return false;
+            }
+            let full = candidates.model();
+            let mut m = Interpretation::empty(n);
+            for a in full.iter().filter(|a| a.index() < n) {
+                m.insert(a);
+            }
+            let reduct = gl_reduct(db, &m);
+            if minimal::is_minimal_model(&reduct, &m, cost) {
+                return true;
+            }
+            // Block this exact model only.
+            let blocking: Vec<ddb_logic::Literal> = (0..n)
+                .map(|i| {
+                    let a = ddb_logic::Atom::new(i as u32);
+                    ddb_logic::Literal::with_sign(a, !m.contains(a))
+                })
+                .collect();
+            if !candidates.add_clause(&blocking) {
+                return false;
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group("DSM ablation: minimize-first vs raw candidates");
+    for n in [2u32, 3, 4] {
+        let db = families::dsm_exist_hard(n);
+        g.bench_with_input(BenchmarkId::new("minimize-first", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                ddb_core::dsm::has_model(&db, &mut cost)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("raw-candidates", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cost = Cost::new();
+                stable_exists_raw_candidates(&db, &mut cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dsm_enumeration, bench_dsm_inference,
+              bench_pdsm_enumeration, bench_candidate_strategy
+}
+criterion_main!(benches);

@@ -1,0 +1,474 @@
+//! Regenerates Tables 1 and 2 of Eiter & Gottlob (PODS 1993) as
+//! paper-claim vs. measured-shape reports.
+//!
+//! For every (semantics, problem) cell the binary runs the implemented
+//! decision procedure over a scaling instance family, reporting median
+//! wall-clock time, NP-oracle calls and CEGAR candidate counts, plus the
+//! lower-bound evidence (verified reductions, QBF hard-family scaling).
+//!
+//! ```text
+//! cargo run -p ddb-bench --bin tables --release
+//! ```
+
+use ddb_bench::families;
+use ddb_bench::harness::{measure_median, table_header, CellReport, Measurement};
+use ddb_core::{SemanticsConfig, SemanticsId};
+use ddb_logic::Database;
+use ddb_models::Cost;
+use ddb_reductions::qbf::random_forall_exists;
+use ddb_reductions::{dsm_hardness, gcwa_hardness, sat_reductions, uminsat};
+use ddb_workloads::queries;
+
+const SEEDS: u64 = 5;
+
+/// Which problem a sweep measures.
+#[derive(Clone, Copy)]
+enum Task {
+    Lit,
+    Form,
+    Exist,
+}
+
+impl Task {
+    fn label(self) -> &'static str {
+        match self {
+            Task::Lit => "lit",
+            Task::Form => "form",
+            Task::Exist => "exist",
+        }
+    }
+}
+
+fn run_task(cfg: &SemanticsConfig, db: &Database, task: Task, seed: u64, cost: &mut Cost) -> bool {
+    match task {
+        Task::Lit => {
+            let lit = queries::random_literal(db.num_atoms(), seed);
+            cfg.infers_literal(db, lit, cost).unwrap_or(false)
+        }
+        Task::Form => {
+            let f = queries::random_formula(db.num_atoms(), 6, seed);
+            cfg.infers_formula(db, &f, cost).unwrap_or(false)
+        }
+        Task::Exist => cfg.has_model(db, cost).unwrap_or(false),
+    }
+}
+
+fn sweep(
+    id: SemanticsId,
+    task: Task,
+    sizes: &[usize],
+    family: impl Fn(usize, u64) -> Database,
+) -> Vec<Measurement> {
+    let cfg = SemanticsConfig::new(id);
+    sizes
+        .iter()
+        .map(|&n| {
+            measure_median(n, SEEDS, |seed, cost| {
+                let db = family(n, seed);
+                run_task(&cfg, &db, task, seed.wrapping_add(1000), cost)
+            })
+        })
+        .collect()
+}
+
+fn cell(
+    id: SemanticsId,
+    task: Task,
+    paper: &'static str,
+    sizes: &[usize],
+    family: impl Fn(usize, u64) -> Database,
+    evidence: &str,
+) -> CellReport {
+    CellReport {
+        semantics: id.name().to_owned(),
+        task: task.label(),
+        paper_claim: paper,
+        points: sweep(id, task, sizes, family),
+        evidence: evidence.to_owned(),
+    }
+}
+
+/// Sizes per cost tier: procedures with enumerative loops get smaller
+/// sweeps so the whole report finishes in minutes.
+const FAST: &[usize] = &[16, 32, 64, 128];
+const MID: &[usize] = &[8, 16, 32, 64];
+const SLOW: &[usize] = &[6, 8, 12, 16];
+const PDSM_SIZES: &[usize] = &[4, 6, 8, 10];
+
+fn table1() {
+    println!("\n## Table 1 — positive propositional DDBs (no integrity clauses, no negation)\n");
+    println!("{}", table_header());
+    use SemanticsId::*;
+    use Task::*;
+    let pos = |n: usize, s: u64| families::table1_random(n, s);
+
+    for (id, lit_claim, form_claim, sizes) in [
+        (Gcwa, "Πᵖ₂-complete", "Πᵖ₂-hard, in Δᵖ₃[O(log n)]", MID),
+        (Ddr, "in P *(Chan [5])*", "coNP-complete", FAST),
+        (Pws, "in P *(Chan [5])*", "coNP-complete", FAST),
+        (Egcwa, "Πᵖ₂-complete", "Πᵖ₂-complete", MID),
+        (
+            Ccwa,
+            "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+            "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+            MID,
+        ),
+        (Ecwa, "Πᵖ₂-complete", "Πᵖ₂-complete", MID),
+        (Icwa, "Πᵖ₂-complete", "Πᵖ₂-complete", SLOW),
+        (Perf, "Πᵖ₂-complete", "Πᵖ₂-complete", SLOW),
+        (Dsm, "Πᵖ₂-complete", "Πᵖ₂-complete", SLOW),
+        (Pdsm, "Πᵖ₂-complete", "Πᵖ₂-complete", PDSM_SIZES),
+    ] {
+        let ev_lit = match id {
+            Ddr | Pws => "0 oracle calls on the fast path",
+            Gcwa | Egcwa | Ecwa | Icwa | Perf | Dsm | Pdsm => {
+                "hardness via verified 2QBF reduction (see lower-bounds section)"
+            }
+            _ => "",
+        };
+        println!("{}", cell(id, Lit, lit_claim, sizes, pos, ev_lit).render());
+        println!("{}", cell(id, Form, form_claim, sizes, pos, "").render());
+        println!(
+            "{}",
+            cell(
+                id,
+                Exist,
+                "O(1) (positive DBs always have models)",
+                sizes,
+                pos,
+                "expected flat/trivial"
+            )
+            .render()
+        );
+    }
+}
+
+fn table2() {
+    println!("\n## Table 2 — propositional DDBs with integrity clauses\n");
+    println!("{}", table_header());
+    use SemanticsId::*;
+    use Task::*;
+    let ded = |n: usize, s: u64| families::table2_random(n, s);
+    let strat = |n: usize, s: u64| families::stratified_random(n, s);
+    let norm = |n: usize, s: u64| families::normal_random(n, s);
+
+    for (id, lit_claim, form_claim, exist_claim, sizes) in [
+        (
+            Gcwa,
+            "Πᵖ₂-complete",
+            "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+            "NP-complete (≡ SAT)",
+            MID,
+        ),
+        (
+            Ddr,
+            "coNP-complete *(Chan [5])*",
+            "coNP-complete",
+            "NP-complete (≡ SAT of DB ∪ ¬N)",
+            FAST,
+        ),
+        (
+            Pws,
+            "coNP-complete *(Chan [5])*",
+            "coNP-complete",
+            "NP-complete (possible-model SAT)",
+            FAST,
+        ),
+        (Egcwa, "Πᵖ₂-complete", "Πᵖ₂-complete", "NP-complete", MID),
+        (
+            Ccwa,
+            "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+            "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+            "NP-complete (≡ SAT)",
+            MID,
+        ),
+        (Ecwa, "Πᵖ₂-complete", "Πᵖ₂-complete", "NP-complete", MID),
+    ] {
+        println!("{}", cell(id, Lit, lit_claim, sizes, ded, "").render());
+        println!("{}", cell(id, Form, form_claim, sizes, ded, "").render());
+        println!("{}", cell(id, Exist, exist_claim, sizes, ded, "").render());
+    }
+    // Stratified / normal rows.
+    println!(
+        "{}",
+        cell(Icwa, Lit, "Πᵖ₂-complete", SLOW, strat, "").render()
+    );
+    println!(
+        "{}",
+        cell(Icwa, Form, "Πᵖ₂-complete", SLOW, strat, "").render()
+    );
+    println!(
+        "{}",
+        cell(
+            Icwa,
+            Exist,
+            "O(1) (stratifiability asserts consistency)",
+            SLOW,
+            |n, s| {
+                // Integrity-free stratified family: the O(1) path.
+                let mut db = families::stratified_random(n, s);
+                let rules: Vec<_> = db
+                    .rules()
+                    .iter()
+                    .filter(|r| !r.is_integrity())
+                    .cloned()
+                    .collect();
+                let mut clean = Database::new(db.symbols().clone());
+                for r in rules {
+                    clean.add_rule(r);
+                }
+                std::mem::swap(&mut db, &mut clean);
+                db
+            },
+            "expected flat, 0 oracle calls"
+        )
+        .render()
+    );
+    for id in [Perf, Dsm] {
+        println!("{}", cell(id, Lit, "Πᵖ₂-complete", SLOW, norm, "").render());
+        println!(
+            "{}",
+            cell(id, Form, "Πᵖ₂-complete", SLOW, norm, "").render()
+        );
+        println!(
+            "{}",
+            cell(id, Exist, "Σᵖ₂-complete", SLOW, norm, "").render()
+        );
+    }
+    println!(
+        "{}",
+        cell(Pdsm, Lit, "Πᵖ₂-complete", PDSM_SIZES, norm, "").render()
+    );
+    println!(
+        "{}",
+        cell(Pdsm, Form, "Πᵖ₂-complete", PDSM_SIZES, norm, "").render()
+    );
+    println!(
+        "{}",
+        cell(Pdsm, Exist, "Σᵖ₂-complete", PDSM_SIZES, norm, "").render()
+    );
+
+    // NP-complete existence on the intended hard family.
+    println!(
+        "{}",
+        cell(
+            Egcwa,
+            Exist,
+            "NP-complete — phase-transition 3-CNF family",
+            &[40, 80, 120, 160],
+            |n, s| families::phase_transition(n, s),
+            "CDCL oracle at clause/var ratio 4.26"
+        )
+        .render()
+    );
+}
+
+fn lower_bounds() {
+    println!("\n## Lower-bound evidence (verified reductions + hard-family scaling)\n");
+
+    // 1. 2QBF → minimal-model literal inference: verify on random
+    //    instances, then scale the universal count.
+    let mut agree = 0;
+    let total = 40;
+    for seed in 0..total {
+        let q = random_forall_exists(2, 2, 6, 3, seed);
+        let inst = gcwa_hardness::forall_exists_to_gcwa(&q);
+        let mut cost = Cost::new();
+        let inferred = ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost);
+        if inferred == q.valid_brute() {
+            agree += 1;
+        }
+    }
+    println!(
+        "- 2QBF(∀∃-CNF) → GCWA ⊨ ¬w on positive, integrity-free DDBs: \
+         {agree}/{total} random instances agree with brute-force QBF evaluation."
+    );
+    print!("- GCWA literal inference on the *valid parity* hard family (worst case, time by #universals): ");
+    for nx in [2u32, 3, 4, 5, 6] {
+        let m = measure_median(nx as usize, 3, |_seed, cost| {
+            let inst = families::qbf_parity_hard(nx);
+            ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), cost)
+        });
+        print!("nx={nx}: {:.2?} ({} cand)  ", m.time, m.cost.candidates);
+    }
+    println!();
+    print!("- Same cell on *random* QBF instances (average case — CEGAR refutes quickly): ");
+    for nx in [2u32, 4, 6, 8, 10] {
+        let m = measure_median(nx as usize, 3, |seed, cost| {
+            let inst = families::qbf_hard(nx, 4, seed);
+            ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), cost)
+        });
+        print!("nx={nx}: {:.2?} ({} cand)  ", m.time, m.cost.candidates);
+    }
+    println!();
+
+    // 2. 2QBF(∃∀) → DSM existence.
+    let mut agree = 0;
+    for seed in 0..total {
+        let q = random_forall_exists(2, 2, 6, 3, seed).complement();
+        let inst = dsm_hardness::exists_forall_to_dsm_existence(&q);
+        let mut cost = Cost::new();
+        if ddb_core::dsm::has_model(&inst.db, &mut cost) == q.true_brute() {
+            agree += 1;
+        }
+    }
+    println!("- 2QBF(∃∀-DNF) → DSM model existence: {agree}/{total} random instances agree.");
+    print!("- DSM existence on the *false parity* hard family (must exhaust all outer choices): ");
+    for nx in [2u32, 3, 4, 5, 6] {
+        let m = measure_median(nx as usize, 3, |_seed, cost| {
+            let db = families::dsm_exist_hard(nx);
+            ddb_core::dsm::has_model(&db, cost)
+        });
+        print!(
+            "nx={nx}: {:.2?} ({} sat, answer {})  ",
+            m.time, m.cost.sat_calls, m.answer
+        );
+    }
+    println!();
+
+    // PERF existence exhaustion family: k even loops with mutually strict
+    // priorities have no perfect model; the search must refute all 2^k
+    // minimal models.
+    print!("- PERF existence on even-loop batteries (no perfect model exists): ");
+    for k in [2usize, 4, 6, 8] {
+        let m = measure_median(k, 3, |_seed, cost| {
+            let db = families::even_loops(k);
+            ddb_core::perf::has_model(&db, cost)
+        });
+        print!(
+            "k={k}: {:.2?} ({} sat, answer {})  ",
+            m.time, m.cost.sat_calls, m.answer
+        );
+    }
+    println!();
+
+    // 3. SAT ⇔ EGCWA existence with integrity clauses.
+    let mut agree = 0;
+    for seed in 0..total {
+        let cnf: Vec<Vec<(u32, bool)>> = {
+            let q = random_forall_exists(0, 5, 10, 3, seed);
+            q.clauses
+        };
+        let db = sat_reductions::cnf_to_deductive_db(5, &cnf);
+        let mut cost = Cost::new();
+        let brute = (0u64..1 << 5).any(|bits| {
+            cnf.iter()
+                .all(|c| c.iter().any(|&(v, s)| (bits >> v & 1 == 1) == s))
+        });
+        if ddb_core::egcwa::has_model(&db, &mut cost) == brute {
+            agree += 1;
+        }
+    }
+    println!("- SAT → EGCWA model existence (deductive DBs): {agree}/{total} agree.");
+
+    // 4. UNSAT → UMINSAT (Proposition 5.4).
+    let mut agree = 0;
+    for seed in 0..total {
+        let cnf = random_forall_exists(0, 4, 8, 2, seed).clauses;
+        let db = uminsat::unsat_to_uminsat(4, &cnf);
+        let mut cost = Cost::new();
+        let brute_unsat = !(0u64..1 << 4).any(|bits| {
+            cnf.iter()
+                .all(|c| c.iter().any(|&(v, s)| (bits >> v & 1 == 1) == s))
+        });
+        if uminsat::has_unique_minimal_model(&db, &mut cost) == brute_unsat {
+            agree += 1;
+        }
+    }
+    println!("- UNSAT → UMINSAT (unique minimal model): {agree}/{total} agree.");
+
+    // 5. The tractable cells: DDR negative-literal inference scaling with
+    //    zero oracle calls.
+    print!("- DDR ¬-literal inference on Horn chains (P cell, Table 1): ");
+    for n in [1_000usize, 10_000, 100_000] {
+        let m = measure_median(n, 3, |_seed, cost| {
+            let db = families::tractable_chain(n);
+            let lit = ddb_logic::Atom::new((n - 1) as u32).neg();
+            ddb_core::ddr::infers_literal(&db, lit, cost)
+        });
+        print!("n={n}: {:.2?} ({} sat)  ", m.time, m.cost.sat_calls);
+    }
+    println!();
+}
+
+fn beyond_the_paper() {
+    println!("\n## Beyond the paper — extension semantics (measured shapes)\n");
+
+    // Reiter's CWA: |V| coNP queries + one SAT call; inconsistent on
+    // disjunctions.
+    print!("- CWA consistency (n+1 oracle calls by construction): ");
+    for n in [16usize, 32, 64] {
+        let m = measure_median(n, SEEDS, |seed, cost| {
+            let db = families::table1_random(n, seed);
+            ddb_core::cwa::is_consistent(&db, cost)
+        });
+        print!("n={n}: {:.2?} ({} sat)  ", m.time, m.cost.sat_calls);
+    }
+    println!();
+
+    // WFS: polynomial, zero oracle calls.
+    print!("- WFS (alternating fixpoint — O(n²) on an n-stratum chain, 0 oracle calls): ");
+    for n in [500usize, 1_000, 2_000] {
+        let m = measure_median(n, 3, |_seed, cost| {
+            // Negation chain: n atoms, n rules, stratified.
+            let mut src = String::from("x0.");
+            for i in 1..n {
+                src.push_str(&format!(" x{i} :- not x{}.", i - 1));
+            }
+            let db = ddb_logic::parse::parse_program(&src).unwrap();
+            let w = ddb_core::wfs::well_founded_model(&db);
+            let _ = cost;
+            w.is_total()
+        });
+        print!("n={n}: {:.2?}  ", m.time);
+    }
+    println!("(includes parse time)");
+
+    // Supported models: one SAT call per query (NP/coNP shape).
+    print!("- Supported-model existence (1 SAT call on the completion): ");
+    for n in [32usize, 64, 128] {
+        let m = measure_median(n, SEEDS, |seed, cost| {
+            // Normal random program: singleton heads.
+            let raw = families::normal_random(n, seed);
+            let mut db = ddb_logic::Database::new(raw.symbols().clone());
+            for r in raw.rules() {
+                let head: Vec<_> = r.head().iter().take(1).copied().collect();
+                db.add_rule(ddb_logic::Rule::new(
+                    head,
+                    r.body_pos().iter().copied(),
+                    r.body_neg().iter().copied(),
+                ));
+            }
+            ddb_core::supported::has_model(&db, cost)
+        });
+        print!("n={n}: {:.2?} ({} sat)  ", m.time, m.cost.sat_calls);
+    }
+    println!();
+
+    // Grounding: reduced vs full sizes on a transitive-closure program.
+    print!("- Datalog∨ grounding (reduced vs full ground rules, chain graphs): ");
+    for k in [10usize, 20, 40] {
+        let mut src = String::new();
+        for i in 0..k - 1 {
+            src.push_str(&format!("edge(v{i},v{}). ", i + 1));
+        }
+        src.push_str("path(X,Y) :- edge(X,Y). path(X,Y) :- edge(X,Z), path(Z,Y).");
+        let prog = ddb_ground::parse::parse_datalog(&src).unwrap();
+        let reduced = ddb_ground::ground_reduced(&prog, 1_000_000).unwrap();
+        let full = ddb_ground::ground_full(&prog, 1_000_000).unwrap();
+        print!("k={k}: {} vs {}  ", reduced.len(), full.len());
+    }
+    println!();
+}
+
+fn main() {
+    println!("# Tables 1 & 2 of Eiter & Gottlob (PODS 1993), regenerated\n");
+    println!(
+        "Every cell: paper claim | measured growth shape over the sweep | \
+         median wall-clock + oracle accounting (sat calls / CEGAR candidates)."
+    );
+    table1();
+    table2();
+    lower_bounds();
+    beyond_the_paper();
+}

@@ -1,0 +1,101 @@
+//! Instance families behind each table cell.
+
+use ddb_logic::Database;
+use ddb_reductions::gcwa_hardness::{forall_exists_to_gcwa, GcwaInstance};
+use ddb_reductions::qbf::random_forall_exists;
+use ddb_workloads::random::{random_db, random_stratified_db, DbSpec};
+use ddb_workloads::structured;
+
+/// Table-1 average-case family: random positive DDBs with `n` atoms and
+/// `2n` rules.
+pub fn table1_random(n: usize, seed: u64) -> Database {
+    random_db(&DbSpec::positive(n, 2 * n), seed)
+}
+
+/// Table-2 average-case family: random deductive DDBs (integrity clauses
+/// at 15%).
+pub fn table2_random(n: usize, seed: u64) -> Database {
+    random_db(&DbSpec::deductive(n, 2 * n), seed)
+}
+
+/// Normal-database family (negation + integrity) for DSM/PDSM/PERF rows.
+pub fn normal_random(n: usize, seed: u64) -> Database {
+    random_db(&DbSpec::normal(n, 2 * n), seed)
+}
+
+/// Stratified family for the ICWA/PERF rows.
+pub fn stratified_random(n: usize, seed: u64) -> Database {
+    random_stratified_db(n, 2 * n, 3.min(n.max(1)), seed)
+}
+
+/// The Πᵖ₂-hard family: QBF reductions with `nx` universal variables
+/// (instance difficulty is exponential in `nx`, the quantity the
+/// lower-bound benches scale).
+pub fn qbf_hard(nx: u32, ny: u32, seed: u64) -> GcwaInstance {
+    let clauses = (2 * (nx + ny)) as usize;
+    forall_exists_to_gcwa(&random_forall_exists(nx, ny, clauses, 3, seed))
+}
+
+/// The worst-case Πᵖ₂ family: the *valid* parity QBF through the GCWA
+/// reduction. Every universal assignment has a distinct existential
+/// witness, so the CEGAR loop must refute signatures one by one —
+/// measured time is genuinely exponential in `n`.
+pub fn qbf_parity_hard(n: u32) -> GcwaInstance {
+    forall_exists_to_gcwa(&ddb_reductions::qbf::parity_family(n))
+}
+
+/// The worst-case Σᵖ₂-existence family for DSM: the complement of the
+/// parity QBF is *false*, so the stable-model search must exhaust all
+/// `2^n` outer choices before answering **no**.
+pub fn dsm_exist_hard(n: u32) -> Database {
+    let q = ddb_reductions::qbf::parity_family(n).complement();
+    ddb_reductions::dsm_hardness::exists_forall_to_dsm_existence(&q).db
+}
+
+/// The tractable-cell polynomial family (all atoms active).
+pub fn tractable_chain(n: usize) -> Database {
+    structured::horn_chain(n)
+}
+
+/// Layered disjunctive family: polynomial for DDR/PWS closures,
+/// exponential minimal-model count for enumeration procedures.
+pub fn layered(n: usize) -> Database {
+    structured::layered_disjunctive(n / 4.max(1), 4)
+}
+
+/// NP-complete existence family (Table 2 EGCWA row): random 3-CNF near
+/// the phase transition, as a deductive database.
+pub fn phase_transition(n: usize, seed: u64) -> Database {
+    structured::phase_transition_db(n, 4.26, 3, seed)
+}
+
+/// Σᵖ₂ existence family for DSM: even loops plus a guarded odd loop.
+pub fn stable_trap(k: usize) -> Database {
+    structured::odd_loop_trap(k)
+}
+
+/// Stable-model enumeration family: `2^k` stable models.
+pub fn even_loops(k: usize) -> Database {
+    structured::even_loops(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_expected_classes() {
+        assert!(table1_random(10, 1).is_positive());
+        assert!(!table2_random(30, 1).has_negation());
+        assert!(stratified_random(12, 1).stratification().is_some());
+        assert!(qbf_hard(2, 2, 1).db.is_positive());
+        assert!(tractable_chain(50).is_horn());
+    }
+
+    #[test]
+    fn qbf_hard_scales_with_nx() {
+        let a = qbf_hard(2, 2, 5);
+        let b = qbf_hard(4, 2, 5);
+        assert!(b.db.num_atoms() > a.db.num_atoms());
+    }
+}

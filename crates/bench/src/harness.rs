@@ -1,0 +1,205 @@
+//! Measurement plumbing: timed runs, oracle-cost capture, growth
+//! classification, and report rendering.
+
+use ddb_models::Cost;
+use std::time::{Duration, Instant};
+
+/// One measured point of a scaling sweep.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Instance size parameter (atoms, universal variables, …).
+    pub size: usize,
+    /// Wall-clock time of the decision procedure.
+    pub time: Duration,
+    /// Oracle usage.
+    pub cost: Cost,
+    /// The decision's answer (for sanity reporting).
+    pub answer: bool,
+}
+
+/// Runs `f` once, capturing time and cost.
+pub fn measure(size: usize, f: impl FnOnce(&mut Cost) -> bool) -> Measurement {
+    let mut cost = Cost::new();
+    let start = Instant::now();
+    let answer = f(&mut cost);
+    Measurement {
+        size,
+        time: start.elapsed(),
+        cost,
+        answer,
+    }
+}
+
+/// Runs `f` over `iters` seeds and keeps the median-time measurement
+/// (answers may differ across seeds; the median is by time).
+pub fn measure_median(
+    size: usize,
+    iters: u64,
+    mut f: impl FnMut(u64, &mut Cost) -> bool,
+) -> Measurement {
+    let mut runs: Vec<Measurement> = (0..iters)
+        .map(|seed| measure(size, |cost| f(seed, cost)))
+        .collect();
+    runs.sort_by_key(|m| m.time);
+    runs.swap_remove(runs.len() / 2)
+}
+
+/// Growth classification from per-doubling time ratios.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Growth {
+    /// Essentially flat (constant-time shape).
+    Constant,
+    /// Bounded per-doubling ratio (polynomial shape).
+    Polynomial,
+    /// Super-polynomial blow-up across doublings.
+    Exponential,
+}
+
+impl Growth {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Growth::Constant => "flat",
+            Growth::Polynomial => "poly",
+            Growth::Exponential => "exp",
+        }
+    }
+}
+
+/// Classifies a sweep whose sizes (roughly) double. Ratios below 1.5 ⇒
+/// constant, below 10 ⇒ polynomial (degree ≲ 3), otherwise exponential.
+/// Sub-microsecond timings are treated as constant (noise floor).
+pub fn classify(points: &[Measurement]) -> Growth {
+    if points.len() < 2 {
+        return Growth::Constant;
+    }
+    let mut worst: f64 = 0.0;
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let ta = a.time.as_secs_f64().max(1e-7);
+        let tb = b.time.as_secs_f64().max(1e-7);
+        let size_ratio = b.size as f64 / a.size.max(1) as f64;
+        // Normalize the time ratio to a per-doubling figure.
+        let ratio = (tb / ta).powf(1.0 / size_ratio.log2().max(0.5));
+        worst = worst.max(ratio);
+    }
+    if points.last().map(|m| m.time < Duration::from_micros(50)) == Some(true) {
+        return Growth::Constant;
+    }
+    if worst < 1.5 {
+        Growth::Constant
+    } else if worst < 10.0 {
+        Growth::Polynomial
+    } else {
+        Growth::Exponential
+    }
+}
+
+/// One cell of the regenerated table.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Semantics row label.
+    pub semantics: String,
+    /// Problem column: "lit" / "form" / "exist".
+    pub task: &'static str,
+    /// The paper's claimed complexity for this cell.
+    pub paper_claim: &'static str,
+    /// Measured sweep.
+    pub points: Vec<Measurement>,
+    /// Extra evidence (reduction verified, oracle budget, …).
+    pub evidence: String,
+}
+
+impl CellReport {
+    /// Renders the cell as a markdown table row fragment.
+    pub fn render(&self) -> String {
+        let shape = classify(&self.points).label();
+        let sweep: Vec<String> = self
+            .points
+            .iter()
+            .map(|m| {
+                format!(
+                    "n={}: {:.2?} ({} sat / {} cand)",
+                    m.size, m.time, m.cost.sat_calls, m.cost.candidates
+                )
+            })
+            .collect();
+        format!(
+            "| {} | {} | {} | {} | {} | {} |",
+            self.semantics,
+            self.task,
+            self.paper_claim,
+            shape,
+            sweep.join("; "),
+            self.evidence
+        )
+    }
+}
+
+/// Markdown table header matching [`CellReport::render`].
+pub fn table_header() -> String {
+    "| semantics | task | paper | measured shape | sweep (median) | evidence |\n|---|---|---|---|---|---|".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(size: usize, micros: u64) -> Measurement {
+        Measurement {
+            size,
+            time: Duration::from_micros(micros),
+            cost: Cost::new(),
+            answer: true,
+        }
+    }
+
+    #[test]
+    fn classify_constant() {
+        let pts = vec![fake(10, 2000), fake(20, 2100), fake(40, 2050)];
+        assert_eq!(classify(&pts), Growth::Constant);
+    }
+
+    #[test]
+    fn classify_polynomial() {
+        // Quadratic: 4x per doubling.
+        let pts = vec![fake(10, 1000), fake(20, 4000), fake(40, 16_000)];
+        assert_eq!(classify(&pts), Growth::Polynomial);
+    }
+
+    #[test]
+    fn classify_exponential() {
+        let pts = vec![fake(10, 1000), fake(20, 1_000_000), fake(40, 1_000_000_000)];
+        assert_eq!(classify(&pts), Growth::Exponential);
+    }
+
+    #[test]
+    fn noise_floor_is_constant() {
+        let pts = vec![fake(10, 1), fake(20, 3), fake(40, 9)];
+        assert_eq!(classify(&pts), Growth::Constant);
+    }
+
+    #[test]
+    fn measure_captures_cost() {
+        let m = measure(5, |cost| {
+            cost.candidates = 3;
+            true
+        });
+        assert_eq!(m.size, 5);
+        assert_eq!(m.cost.candidates, 3);
+        assert!(m.answer);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let cell = CellReport {
+            semantics: "GCWA".into(),
+            task: "lit",
+            paper_claim: "Πᵖ₂-complete",
+            points: vec![fake(10, 100)],
+            evidence: "reduction verified".into(),
+        };
+        let row = cell.render();
+        assert!(row.contains("GCWA") && row.contains("lit") && row.contains("Πᵖ₂"));
+    }
+}

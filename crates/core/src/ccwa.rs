@@ -1,0 +1,167 @@
+//! The Careful Closed World Assumption (CCWA), Gelfond & Przymusinska
+//! \[11\].
+//!
+//! CCWA generalizes GCWA by a partition ⟨P;Q;Z⟩ of the vocabulary: only
+//! atoms of `P` are closed off, falsity is judged against the
+//! ⟨P;Z⟩-minimal models, and
+//!
+//! `CCWA(DB) = {M ∈ M(DB) : ∀x ∈ P. MM(DB;P;Z) ⊨ ¬x ⇒ M ⊨ ¬x}`.
+//!
+//! GCWA is the special case `P = V`, `Q = Z = ∅`.
+//!
+//! * Formula (and literal) inference: compute the CCWA-false set
+//!   `N ⊆ P` (`|P|` Σᵖ₂ queries — or `O(log n)` with the census ablation),
+//!   then one coNP entailment `DB ∪ ¬N ⊨ F`. The paper places this in
+//!   `P^{Σᵖ₂}[O(log n)]` and proves Πᵖ₂-hardness; unlike GCWA, no
+//!   literal-inference shortcut to a single Πᵖ₂ query is available, since
+//!   a model in `CCWA(DB)` need not sit above a ⟨P;Z⟩-minimal model with
+//!   the *same fixed part*.
+//! * Model existence: `CCWA(DB) ⊇ MM(DB;P;Z)`, so nonemptiness is again
+//!   plain satisfiability (one SAT call).
+
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_models::{circumscribe, classical, Cost, Partition};
+
+/// The CCWA-false atoms `N = {x ∈ P : MM(DB;P;Z) ⊨ ¬x}`.
+pub fn false_atoms(db: &Database, part: &Partition, cost: &mut Cost) -> Interpretation {
+    let n = db.num_atoms();
+    let mut out = Interpretation::empty(n);
+    for a in part.p().iter() {
+        let f = Formula::atom(a);
+        if !circumscribe::exists_pz_minimal_model_satisfying(db, part, &f, cost) {
+            out.insert(a);
+        }
+    }
+    out
+}
+
+/// Literal inference `CCWA(DB) ⊨ ℓ` (via the formula path).
+pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut Cost) -> bool {
+    infers_formula(
+        db,
+        part,
+        &Formula::literal(lit.atom(), lit.is_positive()),
+        cost,
+    )
+}
+
+/// Formula inference `CCWA(DB) ⊨ F`: compute `N`, then `DB ∪ ¬N ⊨ F`.
+pub fn infers_formula(db: &Database, part: &Partition, f: &Formula, cost: &mut Cost) -> bool {
+    let n_set = false_atoms(db, part, cost);
+    let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
+    classical::entails(db, &units, f, cost)
+}
+
+/// Model existence: `CCWA(DB) ≠ ∅ ⟺ DB` satisfiable.
+pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    classical::is_satisfiable(db, cost)
+}
+
+/// The characteristic model set `CCWA(DB)` (enumerative; test/example
+/// sized).
+pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+    let n_set = false_atoms(db, part, cost);
+    classical::all_models(db, cost)
+        .into_iter()
+        .filter(|m| n_set.iter().all(|x| !m.contains(x)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+    use ddb_logic::Atom;
+
+    fn part_pq(db: &Database, p: &[&str], q: &[&str]) -> Partition {
+        Partition::from_p_q(
+            db.num_atoms(),
+            p.iter().map(|n| db.symbols().lookup(n).unwrap()),
+            q.iter().map(|n| db.symbols().lookup(n).unwrap()),
+        )
+    }
+
+    #[test]
+    fn reduces_to_gcwa_when_p_is_everything() {
+        let db = parse_program("a | b. c :- a, b. d :- c.").unwrap();
+        let part = Partition::minimize_all(db.num_atoms());
+        let mut cost = Cost::new();
+        for i in 0..db.num_atoms() {
+            for sign in [true, false] {
+                let l = Literal::with_sign(Atom::new(i as u32), sign);
+                assert_eq!(
+                    infers_literal(&db, &part, l, &mut cost),
+                    crate::gcwa::infers_literal(&db, l, &mut cost),
+                    "atom {i} sign {sign}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_atoms_are_not_closed() {
+        // a ∨ b with P={a}, Q={b}: ⟨P;Z⟩-minimal models are {b} (Q-part
+        // {b}) and {a} (Q-part ∅, must take a). a occurs in a minimal
+        // model, so ¬a is NOT CCWA-inferred; b is fixed and never closed.
+        let db = parse_program("a | b.").unwrap();
+        let part = part_pq(&db, &["a"], &["b"]);
+        let mut cost = Cost::new();
+        assert!(!infers_literal(
+            &db,
+            &part,
+            db.symbols().lookup("a").unwrap().neg(),
+            &mut cost
+        ));
+        assert!(!infers_literal(
+            &db,
+            &part,
+            db.symbols().lookup("b").unwrap().neg(),
+            &mut cost
+        ));
+    }
+
+    #[test]
+    fn varying_atoms_allow_closing() {
+        // a ∨ b with P={a}, Z={b}: minimality compares across different
+        // b-values, so {b} < {a}... both have same Q-part (∅), P-part of
+        // {b} is ∅ ⊂ {a}. Hence no ⟨P;Z⟩-minimal model contains a → ¬a.
+        let db = parse_program("a | b.").unwrap();
+        let part = part_pq(&db, &["a"], &[]);
+        let mut cost = Cost::new();
+        assert!(infers_literal(
+            &db,
+            &part,
+            db.symbols().lookup("a").unwrap().neg(),
+            &mut cost
+        ));
+    }
+
+    #[test]
+    fn formula_inference_matches_model_filter() {
+        let db = parse_program("a | b. c | d :- a. :- b, d.").unwrap();
+        let part = part_pq(&db, &["a", "c"], &["b"]);
+        let mut cost = Cost::new();
+        let cm = models(&db, &part, &mut cost);
+        assert!(!cm.is_empty());
+        for text in ["!a | c", "b | a", "!(c & d)", "!c", "d -> a"] {
+            let f = parse_formula(text, db.symbols()).unwrap();
+            let expected = cm.iter().all(|m| f.eval(m));
+            assert_eq!(
+                infers_formula(&db, &part, &f, &mut cost),
+                expected,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn existence_is_satisfiability() {
+        let mut cost = Cost::new();
+        let db = parse_program("a | b. :- b.").unwrap();
+        let part = part_pq(&db, &["a"], &[]);
+        assert!(has_model(&db, &mut cost));
+        let _ = part;
+        let bad = parse_program("a. :- a.").unwrap();
+        assert!(!has_model(&bad, &mut cost));
+    }
+}

@@ -1,0 +1,328 @@
+//! Uniform dispatch over the ten semantics.
+//!
+//! The benchmark harness and the `tables` binary iterate over table rows —
+//! (semantics, problem) pairs — so they need a single entry point that
+//! hides the per-semantics configuration (partitions for CCWA/ECWA,
+//! stratifications for ICWA). [`SemanticsConfig`] carries that
+//! configuration; [`SemanticsId`] names the row.
+//!
+//! Semantics that are undefined for a database class (DDR/PWS on negation,
+//! ICWA on unstratifiable databases) return [`Unsupported`] instead of
+//! panicking, so sweeps can skip inapplicable cells gracefully.
+
+use crate::icwa::Layers;
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_models::{Cost, Partition};
+use std::fmt;
+
+/// Identifier of one of the paper's ten semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum SemanticsId {
+    /// Generalized CWA (Minker).
+    Gcwa,
+    /// Extended GCWA (Yahya & Henschen) — minimal models.
+    Egcwa,
+    /// Careful CWA (Gelfond & Przymusinska) — needs a partition.
+    Ccwa,
+    /// Extended CWA ≡ circumscription — needs a partition.
+    Ecwa,
+    /// Disjunctive Database Rule ≡ WGCWA.
+    Ddr,
+    /// Possible Worlds ≡ Possible Models.
+    Pws,
+    /// Perfect models.
+    Perf,
+    /// Iterated CWA — needs a stratification.
+    Icwa,
+    /// Disjunctive stable models.
+    Dsm,
+    /// Partial disjunctive stable models.
+    Pdsm,
+}
+
+impl SemanticsId {
+    /// All ten semantics, in the paper's table order.
+    pub const ALL: [SemanticsId; 10] = [
+        SemanticsId::Gcwa,
+        SemanticsId::Ddr,
+        SemanticsId::Pws,
+        SemanticsId::Egcwa,
+        SemanticsId::Ccwa,
+        SemanticsId::Ecwa,
+        SemanticsId::Icwa,
+        SemanticsId::Perf,
+        SemanticsId::Dsm,
+        SemanticsId::Pdsm,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticsId::Gcwa => "GCWA",
+            SemanticsId::Egcwa => "EGCWA",
+            SemanticsId::Ccwa => "CCWA",
+            SemanticsId::Ecwa => "ECWA (=CIRC)",
+            SemanticsId::Ddr => "DDR (=WGCWA)",
+            SemanticsId::Pws => "PWS (=PMS)",
+            SemanticsId::Perf => "PERF",
+            SemanticsId::Icwa => "ICWA",
+            SemanticsId::Dsm => "DSM",
+            SemanticsId::Pdsm => "PDSM",
+        }
+    }
+}
+
+impl fmt::Display for SemanticsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A semantics was asked about a database class it is not defined for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unsupported {
+    /// The semantics.
+    pub semantics: SemanticsId,
+    /// Why it does not apply.
+    pub reason: String,
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} is not defined here: {}", self.semantics, self.reason)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A semantics together with the extra structure some semantics need.
+#[derive(Clone, Debug)]
+pub struct SemanticsConfig {
+    /// Which semantics.
+    pub id: SemanticsId,
+    /// Partition ⟨P;Q;Z⟩ for CCWA/ECWA (defaults to minimize-all).
+    pub partition: Option<Partition>,
+    /// Varying atoms `Z` for ICWA (defaults to none).
+    pub icwa_varying: Option<Interpretation>,
+}
+
+impl SemanticsConfig {
+    /// Default configuration for a semantics.
+    pub fn new(id: SemanticsId) -> Self {
+        SemanticsConfig {
+            id,
+            partition: None,
+            icwa_varying: None,
+        }
+    }
+
+    /// Sets the CCWA/ECWA partition.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    fn partition_for(&self, db: &Database) -> Partition {
+        self.partition
+            .clone()
+            .unwrap_or_else(|| Partition::minimize_all(db.num_atoms()))
+    }
+
+    /// Whether this semantics is defined for `db`'s syntactic class;
+    /// returns the reason when it is not.
+    pub fn check_applicable(&self, db: &Database) -> Result<(), Unsupported> {
+        self.check(db)
+    }
+
+    fn check(&self, db: &Database) -> Result<(), Unsupported> {
+        match self.id {
+            SemanticsId::Ddr | SemanticsId::Pws if db.has_negation() => Err(Unsupported {
+                semantics: self.id,
+                reason: "defined only for databases without negation".into(),
+            }),
+            SemanticsId::Icwa if db.stratification().is_none() => Err(Unsupported {
+                semantics: self.id,
+                reason: "database is not stratifiable".into(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn icwa_layers(&self, db: &Database) -> Layers {
+        let strata = db.stratification().expect("checked stratifiable");
+        let z = self
+            .icwa_varying
+            .clone()
+            .unwrap_or_else(|| Interpretation::empty(db.num_atoms()));
+        Layers::new(db, &strata, &z)
+    }
+
+    /// The paper's *inference of a literal* problem.
+    pub fn infers_literal(
+        &self,
+        db: &Database,
+        lit: Literal,
+        cost: &mut Cost,
+    ) -> Result<bool, Unsupported> {
+        self.check(db)?;
+        Ok(match self.id {
+            SemanticsId::Gcwa => crate::gcwa::infers_literal(db, lit, cost),
+            SemanticsId::Egcwa => crate::egcwa::infers_literal(db, lit, cost),
+            SemanticsId::Ccwa => {
+                crate::ccwa::infers_literal(db, &self.partition_for(db), lit, cost)
+            }
+            SemanticsId::Ecwa => {
+                crate::ecwa::infers_literal(db, &self.partition_for(db), lit, cost)
+            }
+            SemanticsId::Ddr => crate::ddr::infers_literal(db, lit, cost),
+            SemanticsId::Pws => crate::pws::infers_literal(db, lit, cost),
+            SemanticsId::Perf => crate::perf::infers_literal(db, lit, cost),
+            SemanticsId::Icwa => crate::icwa::infers_literal(db, &self.icwa_layers(db), lit, cost),
+            SemanticsId::Dsm => crate::dsm::infers_literal(db, lit, cost),
+            SemanticsId::Pdsm => crate::pdsm::infers_literal(db, lit, cost),
+        })
+    }
+
+    /// The paper's *inference of a formula* problem.
+    pub fn infers_formula(
+        &self,
+        db: &Database,
+        f: &Formula,
+        cost: &mut Cost,
+    ) -> Result<bool, Unsupported> {
+        self.check(db)?;
+        Ok(match self.id {
+            SemanticsId::Gcwa => crate::gcwa::infers_formula(db, f, cost),
+            SemanticsId::Egcwa => crate::egcwa::infers_formula(db, f, cost),
+            SemanticsId::Ccwa => crate::ccwa::infers_formula(db, &self.partition_for(db), f, cost),
+            SemanticsId::Ecwa => crate::ecwa::infers_formula(db, &self.partition_for(db), f, cost),
+            SemanticsId::Ddr => crate::ddr::infers_formula(db, f, cost),
+            SemanticsId::Pws => crate::pws::infers_formula(db, f, cost),
+            SemanticsId::Perf => crate::perf::infers_formula(db, f, cost),
+            SemanticsId::Icwa => crate::icwa::infers_formula(db, &self.icwa_layers(db), f, cost),
+            SemanticsId::Dsm => crate::dsm::infers_formula(db, f, cost),
+            SemanticsId::Pdsm => crate::pdsm::infers_formula(db, f, cost),
+        })
+    }
+
+    /// The paper's *∃ model* problem: is the semantics non-empty for `db`?
+    pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<bool, Unsupported> {
+        self.check(db)?;
+        Ok(match self.id {
+            SemanticsId::Gcwa => crate::gcwa::has_model(db, cost),
+            SemanticsId::Egcwa => crate::egcwa::has_model(db, cost),
+            SemanticsId::Ccwa => crate::ccwa::has_model(db, cost),
+            SemanticsId::Ecwa => crate::ecwa::has_model(db, cost),
+            SemanticsId::Ddr => crate::ddr::has_model(db, cost),
+            SemanticsId::Pws => crate::pws::has_model(db, cost),
+            SemanticsId::Perf => crate::perf::has_model(db, cost),
+            SemanticsId::Icwa => crate::icwa::has_model(db, &self.icwa_layers(db), cost),
+            SemanticsId::Dsm => crate::dsm::has_model(db, cost),
+            SemanticsId::Pdsm => crate::pdsm::has_model(db, cost),
+        })
+    }
+
+    /// Brave (possibility) inference: `F` true in *some* characteristic
+    /// model (value 1 in some partial stable model, for PDSM) — the
+    /// Σ-side dual of [`SemanticsConfig::infers_formula`]. Delegates to
+    /// [`crate::witness::brave_infers_formula`].
+    pub fn brave_infers_formula(
+        &self,
+        db: &Database,
+        f: &Formula,
+        cost: &mut Cost,
+    ) -> Result<bool, Unsupported> {
+        crate::witness::brave_infers_formula(self, db, f, cost)
+    }
+
+    /// The characteristic (two-valued) model set, where the semantics has
+    /// one; PDSM reports its total models.
+    pub fn models(
+        &self,
+        db: &Database,
+        cost: &mut Cost,
+    ) -> Result<Vec<Interpretation>, Unsupported> {
+        self.check(db)?;
+        Ok(match self.id {
+            SemanticsId::Gcwa => crate::gcwa::models(db, cost),
+            SemanticsId::Egcwa => crate::egcwa::models(db, cost),
+            SemanticsId::Ccwa => crate::ccwa::models(db, &self.partition_for(db), cost),
+            SemanticsId::Ecwa => crate::ecwa::models(db, &self.partition_for(db), cost),
+            SemanticsId::Ddr => crate::ddr::models(db, cost),
+            SemanticsId::Pws => crate::pws::models(db, cost),
+            SemanticsId::Perf => crate::perf::models(db, cost),
+            SemanticsId::Icwa => crate::icwa::models(db, &self.icwa_layers(db), cost),
+            SemanticsId::Dsm => crate::dsm::models(db, cost),
+            SemanticsId::Pdsm => crate::pdsm::models(db, cost)
+                .into_iter()
+                .filter(|p| p.is_total())
+                .map(|p| p.to_total())
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    #[test]
+    fn all_semantics_answer_on_positive_db() {
+        let db = parse_program("a | b. c :- a, b.").unwrap();
+        let f = parse_formula("!c", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        for id in SemanticsId::ALL {
+            let cfg = SemanticsConfig::new(id);
+            let got = cfg.infers_formula(&db, &f, &mut cost).expect("applicable");
+            // On this DB every minimal-model-based semantics infers ¬c;
+            // DDR does not (c occurs in T↑ω); PWS does not either
+            // ({a,b,c} is a possible model).
+            let expected = !matches!(id, SemanticsId::Ddr | SemanticsId::Pws);
+            assert_eq!(got, expected, "{id}");
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_reported() {
+        let with_neg = parse_program("a :- not b.").unwrap();
+        let mut cost = Cost::new();
+        for id in [SemanticsId::Ddr, SemanticsId::Pws] {
+            let cfg = SemanticsConfig::new(id);
+            assert!(cfg.has_model(&with_neg, &mut cost).is_err());
+        }
+        let unstrat = parse_program("a :- not b. b :- not a.").unwrap();
+        let cfg = SemanticsConfig::new(SemanticsId::Icwa);
+        assert!(cfg.has_model(&unstrat, &mut cost).is_err());
+        // DSM is fine with both.
+        let cfg = SemanticsConfig::new(SemanticsId::Dsm);
+        assert!(cfg.has_model(&unstrat, &mut cost).unwrap());
+    }
+
+    #[test]
+    fn models_agree_across_equivalent_semantics_on_positive() {
+        // On positive DBs: EGCWA = ECWA(minimize-all) = DSM = PERF = PDSM
+        // (total) = minimal models.
+        let db = parse_program("a | b. b | c. d :- a, c.").unwrap();
+        let mut cost = Cost::new();
+        let reference = SemanticsConfig::new(SemanticsId::Egcwa)
+            .models(&db, &mut cost)
+            .unwrap();
+        for id in [
+            SemanticsId::Ecwa,
+            SemanticsId::Dsm,
+            SemanticsId::Perf,
+            SemanticsId::Pdsm,
+            SemanticsId::Icwa,
+        ] {
+            let got = SemanticsConfig::new(id).models(&db, &mut cost).unwrap();
+            assert_eq!(got, reference, "{id}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SemanticsId::Ddr.to_string(), "DDR (=WGCWA)");
+        assert_eq!(SemanticsId::ALL.len(), 10);
+    }
+}

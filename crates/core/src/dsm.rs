@@ -1,0 +1,346 @@
+//! Disjunctive Stable Model semantics (DSM), Przymusinski \[20\],
+//! generalizing the stable models of Gelfond & Lifschitz \[10\].
+//!
+//! `M` is a disjunctive stable model iff `M ∈ MM(DB^M)` where `DB^M` is the
+//! Gelfond–Lifschitz reduct ([`crate::reduct::gl_reduct`]). Two structural
+//! facts drive the procedures (both from \[20\], both pinned by tests):
+//!
+//! * `DSM(DB) ⊆ MM(DB)` — stable models are minimal models, so the
+//!   enumerator walks the minimal models of `DB` (with superset blocking)
+//!   and filters by the stability check;
+//! * on positive databases `DB^M = DB`, hence `DSM(DB) = MM(DB)` — which
+//!   is how the Πᵖ₂ lower bounds of the EGCWA rows carry over.
+//!
+//! The stability check itself is one oracle call (minimality of `M` in the
+//! reduct — the guess-and-check structure behind the paper's Πᵖ₂/Σᵖ₂
+//! memberships: formula inference is Πᵖ₂-complete, model existence
+//! Σᵖ₂-complete).
+
+use crate::reduct::gl_reduct;
+use ddb_logic::cnf::database_to_cnf;
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_models::{minimal, Cost};
+use ddb_sat::Solver;
+
+/// Whether `m` is a disjunctive stable model of `db`: `m ∈ MM(DB^m)`.
+/// One model check plus one oracle call.
+pub fn is_stable_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> bool {
+    if !db.satisfied_by(m) {
+        return false;
+    }
+    let reduct = gl_reduct(db, m);
+    debug_assert!(reduct.satisfied_by(m), "M ⊨ DB implies M ⊨ DB^M");
+    minimal::is_minimal_model(&reduct, m, cost)
+}
+
+/// Visits the stable models of `db` one at a time (in the order the
+/// underlying enumeration discovers minimal models of `db`). The callback
+/// returns `false` to stop early. This is the shared engine for
+/// [`models`], [`infers_formula`] and [`has_model`].
+pub fn for_each_stable_model(
+    db: &Database,
+    cost: &mut Cost,
+    mut visit: impl FnMut(&Interpretation) -> bool,
+) {
+    let n = db.num_atoms();
+    let mut candidates = Solver::from_cnf(&database_to_cnf(db));
+    candidates.ensure_vars(n);
+    loop {
+        let sat = candidates.solve().is_sat();
+        if !sat {
+            break;
+        }
+        let model = {
+            let full = candidates.model();
+            let mut m = Interpretation::empty(n);
+            for a in full.iter().filter(|a| a.index() < n) {
+                m.insert(a);
+            }
+            m
+        };
+        // Minimize within DB: stable ⊆ minimal, so only minimal models are
+        // worth testing, and blocking their supersets never loses one.
+        let minimal = minimal::minimize(db, &model, cost);
+        if is_stable_model(db, &minimal, cost) && !visit(&minimal) {
+            break;
+        }
+        let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            break;
+        }
+    }
+    cost.absorb(&candidates);
+}
+
+/// All disjunctive stable models, sorted.
+///
+/// ```
+/// use ddb_logic::parse::parse_program;
+/// use ddb_models::Cost;
+/// let db = parse_program("a :- not b. b :- not a.").unwrap();
+/// let mut cost = Cost::new();
+/// assert_eq!(ddb_core::dsm::models(&db, &mut cost).len(), 2);
+/// ```
+pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let mut out = Vec::new();
+    for_each_stable_model(db, cost, |m| {
+        out.push(m.clone());
+        true
+    });
+    out.sort();
+    out
+}
+
+/// Literal inference `DSM(DB) ⊨ ℓ` (cautious: true in every stable model).
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
+}
+
+/// Formula inference `DSM(DB) ⊨ F`: true in every stable model
+/// (vacuously true when none exists).
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let mut holds = true;
+    for_each_stable_model(db, cost, |m| {
+        if !f.eval(m) {
+            holds = false;
+            return false;
+        }
+        true
+    });
+    holds
+}
+
+/// Batch cautious inference: in **one** enumeration pass, computes the
+/// atoms true in every stable model and the atoms false in every stable
+/// model. Returns `None` when no stable model exists (cautious inference
+/// is vacuous there). Compared to `2·|V|` separate `infers_literal`
+/// calls this shares the whole enumeration.
+pub fn cautious_literals(
+    db: &Database,
+    cost: &mut Cost,
+) -> Option<(Interpretation, Interpretation)> {
+    let n = db.num_atoms();
+    let mut true_in_all: Option<Interpretation> = None;
+    let mut false_in_all: Option<Interpretation> = None;
+    for_each_stable_model(db, cost, |m| {
+        match &mut true_in_all {
+            None => true_in_all = Some(m.clone()),
+            Some(t) => t.intersect_with(m),
+        }
+        let mut complement = Interpretation::full(n);
+        complement.difference_with(m);
+        match &mut false_in_all {
+            None => false_in_all = Some(complement),
+            Some(f) => f.intersect_with(&complement),
+        }
+        // Early exit once both sets are empty: no literal can be
+        // cautiously inferred anymore.
+        let t_drained = true_in_all
+            .as_ref()
+            .is_some_and(Interpretation::is_empty_set);
+        let f_drained = false_in_all
+            .as_ref()
+            .is_some_and(Interpretation::is_empty_set);
+        !(t_drained && f_drained)
+    });
+    true_in_all.zip(false_in_all)
+}
+
+/// Counts the stable models, stopping at `cap` (returns
+/// `min(count, cap)`).
+pub fn count_models(db: &Database, cap: usize, cost: &mut Cost) -> usize {
+    let mut count = 0usize;
+    for_each_stable_model(db, cost, |_| {
+        count += 1;
+        count < cap
+    });
+    count
+}
+
+/// Model existence: does `db` have a disjunctive stable model?
+/// (Σᵖ₂-complete in general.)
+pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let mut found = false;
+    for_each_stable_model(db, cost, |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    fn interp(db: &Database, names: &[&str]) -> Interpretation {
+        Interpretation::from_atoms(
+            db.num_atoms(),
+            names.iter().map(|n| db.symbols().lookup(n).unwrap()),
+        )
+    }
+
+    #[test]
+    fn even_loop_has_two_stable_models() {
+        let db = parse_program("a :- not b. b :- not a.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            models(&db, &mut cost),
+            vec![interp(&db, &["a"]), interp(&db, &["b"])]
+        );
+    }
+
+    #[test]
+    fn odd_loop_has_no_stable_model() {
+        let db = parse_program("a :- not a.").unwrap();
+        let mut cost = Cost::new();
+        assert!(models(&db, &mut cost).is_empty());
+        assert!(!has_model(&db, &mut cost));
+        // Cautious inference is vacuous.
+        let f = parse_formula("false", db.symbols()).unwrap();
+        assert!(infers_formula(&db, &f, &mut cost));
+    }
+
+    #[test]
+    fn positive_db_stable_equals_minimal() {
+        let db = parse_program("a | b. c :- a. :- b, c.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            models(&db, &mut cost),
+            minimal::minimal_models(&db, &mut cost)
+        );
+    }
+
+    #[test]
+    fn stable_models_are_minimal_models() {
+        let db = parse_program("a | b :- not c. c :- not d. d :- not c.").unwrap();
+        let mut cost = Cost::new();
+        let sm = models(&db, &mut cost);
+        let mm = minimal::minimal_models(&db, &mut cost);
+        for m in &sm {
+            assert!(mm.contains(m), "{m:?} not minimal");
+        }
+    }
+
+    #[test]
+    fn non_minimal_model_not_stable() {
+        // a ∨ b with b ← a: models are {b} and {a,b}; only {b} is minimal,
+        // and (the database being positive) only {b} is stable.
+        let db = parse_program("a | b. b :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["b"])]);
+        assert!(!is_stable_model(&db, &interp(&db, &["a", "b"]), &mut cost));
+        assert!(is_stable_model(&db, &interp(&db, &["b"]), &mut cost));
+    }
+
+    #[test]
+    fn gelfond_lifschitz_classic() {
+        // p :- not q. — single stable model {p}.
+        let db = parse_program("p :- not q.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["p"])]);
+        let p = db.symbols().lookup("p").unwrap();
+        let q = db.symbols().lookup("q").unwrap();
+        assert!(infers_literal(&db, p.pos(), &mut cost));
+        assert!(infers_literal(&db, q.neg(), &mut cost));
+    }
+
+    #[test]
+    fn constraint_prunes_stable_models() {
+        let db = parse_program("a :- not b. b :- not a. :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["b"])]);
+    }
+
+    #[test]
+    fn disjunctive_stable_semantics() {
+        // a ∨ b :- not c. — stable models {a}, {b}.
+        let db = parse_program("a | b :- not c.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            models(&db, &mut cost),
+            vec![interp(&db, &["a"]), interp(&db, &["b"])]
+        );
+        // c is cautiously false.
+        let c = db.symbols().lookup("c").unwrap();
+        assert!(infers_literal(&db, c.neg(), &mut cost));
+    }
+
+    #[test]
+    fn formula_inference() {
+        let db = parse_program("a :- not b. b :- not a. c :- a. c :- b.").unwrap();
+        let mut cost = Cost::new();
+        let f = parse_formula("c", db.symbols()).unwrap();
+        assert!(infers_formula(&db, &f, &mut cost));
+        let g = parse_formula("a", db.symbols()).unwrap();
+        assert!(!infers_formula(&db, &g, &mut cost));
+        let h = parse_formula("a | b", db.symbols()).unwrap();
+        assert!(infers_formula(&db, &h, &mut cost));
+    }
+
+    #[test]
+    fn cautious_literals_match_per_literal_inference() {
+        for src in [
+            "a :- not b. b :- not a. c :- a. c :- b.",
+            "a | b :- not c. d :- a.",
+            "p :- not q. r.",
+        ] {
+            let db = parse_program(src).unwrap();
+            let mut cost = Cost::new();
+            let (t, f) = cautious_literals(&db, &mut cost).expect("has stable models");
+            for i in 0..db.num_atoms() {
+                let a = ddb_logic::Atom::new(i as u32);
+                assert_eq!(
+                    t.contains(a),
+                    infers_literal(&db, a.pos(), &mut cost),
+                    "{src}: positive {i}"
+                );
+                assert_eq!(
+                    f.contains(a),
+                    infers_literal(&db, a.neg(), &mut cost),
+                    "{src}: negative {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cautious_literals_none_without_stable_models() {
+        let db = parse_program("a :- not a.").unwrap();
+        let mut cost = Cost::new();
+        assert!(cautious_literals(&db, &mut cost).is_none());
+    }
+
+    #[test]
+    fn count_models_with_cap() {
+        use ddb_workloads::structured::even_loops;
+        let db = even_loops(3);
+        let mut cost = Cost::new();
+        assert_eq!(count_models(&db, 100, &mut cost), 8);
+        assert_eq!(count_models(&db, 5, &mut cost), 5);
+        assert_eq!(count_models(&db, 1, &mut cost), 1);
+    }
+
+    #[test]
+    fn supportedness_matters() {
+        // a :- a. has the single stable model ∅ (a is unfounded).
+        let db = parse_program("a :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(models(&db, &mut cost), vec![Interpretation::empty(1)]);
+    }
+
+    #[test]
+    fn negative_loop_with_disjunction() {
+        // a ∨ b. c :- not a. — stable models: {a} (c blocked? reduct of
+        // {a}: drop c rule → a∨b, minimal containing... {a} ∈ MM ✓) and
+        // {b, c} (reduct: a∨b, c → {b,c} minimal? {b,c} ⊨, subsets {b}
+        // ⊭ c-fact... reduct for M={b,c}: c :- not a stays (a∉M) as fact
+        // c; minimal models of {a∨b, c}: {a,c},{b,c}; {b,c} ∈ ✓ stable).
+        let db = parse_program("a | b. c :- not a.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            models(&db, &mut cost),
+            vec![interp(&db, &["a"]), interp(&db, &["b", "c"])]
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The Extended Generalized Closed World Assumption (EGCWA), Yahya &
+//! Henschen \[30\].
+//!
+//! EGCWA strengthens GCWA by adding to `DB` every *integrity clause*
+//! `¬a₁ ∨ … ∨ ¬aₙ` (equivalently `← a₁ ∧ … ∧ aₙ`) that is true in every
+//! minimal model. The resulting model set is exactly the minimal models:
+//! `EGCWA(DB) = MM(DB)` — the characterization the paper uses, and the one
+//! implemented here.
+//!
+//! * Literal and formula inference: truth in all minimal models — one Πᵖ₂
+//!   CEGAR query (Πᵖ₂-complete; hardness via the 2QBF reduction in
+//!   `ddb-reductions`).
+//! * Model existence: `MM(DB) ≠ ∅ ⟺ DB` satisfiable. For *positive* DBs
+//!   this is `O(1)` (the full interpretation is always a model); with
+//!   integrity clauses it is one SAT call (NP-complete — Table 2).
+
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_models::{circumscribe, classical, minimal, Cost};
+
+/// Literal inference `EGCWA(DB) ⊨ ℓ`: truth in all minimal models.
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let f = Formula::literal(lit.atom(), lit.is_positive());
+    circumscribe::holds_in_all_minimal_models(db, &f, cost)
+}
+
+/// Formula inference `EGCWA(DB) ⊨ F`: truth in all minimal models.
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    circumscribe::holds_in_all_minimal_models(db, f, cost)
+}
+
+/// Model existence. `O(1)` for databases without integrity clauses (a
+/// positive database is satisfied by the full interpretation; stripping
+/// down yields a minimal model), one SAT call otherwise.
+pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    if !db.has_integrity_clauses() && !db.has_negation() {
+        return true; // O(1): V ⊨ DB, so MM(DB) ≠ ∅.
+    }
+    classical::is_satisfiable(db, cost)
+}
+
+/// The characteristic model set `EGCWA(DB) = MM(DB)`.
+pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    minimal::minimal_models(db, cost)
+}
+
+/// The integrity clauses EGCWA adds: the subset-minimal atom sets
+/// `{a₁,…,aₙ}` such that `← a₁ ∧ … ∧ aₙ` holds in every minimal model
+/// (no minimal model contains all of them).
+///
+/// Computed by **hypergraph dualization**: such sets are exactly the
+/// minimal transversals of `{V ∖ M : M ∈ MM(DB)}`
+/// ([`ddb_models::transversal`] spells out the equivalence). Returns
+/// `None` when the `cap` on intermediate transversal sets is exceeded
+/// (the output can be exponential); the trivial singleton-`∅` answer for
+/// an inconsistent database is represented as `Some(vec![vec![]])` (the
+/// empty clause holds).
+pub fn derived_integrity_clauses(
+    db: &Database,
+    cap: usize,
+    cost: &mut Cost,
+) -> Option<Vec<Vec<ddb_logic::Atom>>> {
+    let mm = minimal::minimal_models(db, cost);
+    let n = db.num_atoms();
+    if mm.is_empty() {
+        return Some(vec![Vec::new()]);
+    }
+    let complements: Vec<Interpretation> = mm
+        .iter()
+        .map(|m| {
+            let mut c = Interpretation::full(n);
+            c.difference_with(m);
+            c
+        })
+        .collect();
+    // A minimal model = V would give an empty complement edge: then no
+    // nonempty atom set is blocked (every superset question is moot) —
+    // no derived clauses at all.
+    if complements.iter().any(Interpretation::is_empty_set) {
+        return Some(Vec::new());
+    }
+    let transversals = ddb_models::transversal::minimal_transversals(n, &complements, cap)?;
+    Some(
+        transversals
+            .into_iter()
+            .map(|t| t.iter().collect())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+    use ddb_logic::Atom;
+
+    #[test]
+    fn egcwa_infers_integrity_clauses_gcwa_misses() {
+        // The classic separating example: DB = {a ∨ b}. GCWA infers
+        // neither ¬a nor ¬b; EGCWA additionally infers ¬(a ∧ b) because no
+        // minimal model contains both.
+        let db = parse_program("a | b.").unwrap();
+        let mut cost = Cost::new();
+        let f = parse_formula("!(a & b)", db.symbols()).unwrap();
+        assert!(infers_formula(&db, &f, &mut cost));
+        // GCWA does not infer it: {a,b} ∈ GCWA(DB).
+        assert!(!crate::gcwa::infers_formula(&db, &f, &mut cost));
+    }
+
+    #[test]
+    fn literal_inference_equals_gcwa_on_literals() {
+        // On literals EGCWA and GCWA coincide (both check MM).
+        let db = parse_program("a | b. c :- a, b. d :- a.").unwrap();
+        let mut cost = Cost::new();
+        for i in 0..db.num_atoms() {
+            for sign in [true, false] {
+                let l = Literal::with_sign(Atom::new(i as u32), sign);
+                assert_eq!(
+                    infers_literal(&db, l, &mut cost),
+                    crate::gcwa::infers_literal(&db, l, &mut cost)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_existence() {
+        let mut cost = Cost::new();
+        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost));
+        assert!(has_model(
+            &parse_program("a | b. :- a.").unwrap(),
+            &mut cost
+        ));
+        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost));
+    }
+
+    #[test]
+    fn positive_existence_is_constant_time() {
+        let db = parse_program("a | b. c :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert!(has_model(&db, &mut cost));
+        assert_eq!(cost.sat_calls, 0, "positive case must not call the oracle");
+    }
+
+    #[test]
+    fn models_are_minimal_models() {
+        let db = parse_program("a | b. b | c.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            models(&db, &mut cost),
+            minimal::minimal_models(&db, &mut cost)
+        );
+    }
+
+    #[test]
+    fn derived_clauses_on_disjunction() {
+        let db = parse_program("a | b.").unwrap();
+        let mut cost = Cost::new();
+        let clauses = derived_integrity_clauses(&db, 1000, &mut cost).unwrap();
+        // Exactly one minimal derived integrity clause: ← a ∧ b.
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn derived_clauses_inconsistent_db() {
+        let db = parse_program("a. :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            derived_integrity_clauses(&db, 1000, &mut cost),
+            Some(vec![Vec::new()])
+        );
+    }
+
+    #[test]
+    fn derived_clauses_match_definition_on_random_dbs() {
+        use ddb_workloads::random::{random_db, DbSpec};
+        for seed in 0..25 {
+            let db = random_db(&DbSpec::positive(5, 8), seed);
+            let mut cost = Cost::new();
+            let clauses = derived_integrity_clauses(&db, 100_000, &mut cost).unwrap();
+            let mm = minimal::minimal_models(&db, &mut cost);
+            // Each derived clause: no minimal model contains all its atoms.
+            for c in &clauses {
+                assert!(
+                    mm.iter().all(|m| !c.iter().all(|&a| m.contains(a))),
+                    "seed {seed}: clause {c:?} not valid"
+                );
+                // Minimality: dropping any atom breaks validity.
+                for k in 0..c.len() {
+                    let smaller: Vec<_> = c
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != k)
+                        .map(|(_, &a)| a)
+                        .collect();
+                    assert!(
+                        !smaller.is_empty()
+                            && mm.iter().any(|m| smaller.iter().all(|&a| m.contains(a)))
+                            || smaller.is_empty() && !mm.is_empty(),
+                        "seed {seed}: clause {c:?} not minimal"
+                    );
+                }
+            }
+            // Completeness: every 1- and 2-atom blocked set is covered by
+            // some derived clause.
+            let n = db.num_atoms();
+            for mask in 1u32..1 << n {
+                let set: Vec<ddb_logic::Atom> = (0..n as u32)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(ddb_logic::Atom::new)
+                    .collect();
+                let blocked = mm.iter().all(|m| !set.iter().all(|&a| m.contains(a)));
+                let covered = clauses.iter().any(|c| c.iter().all(|a| set.contains(a)));
+                assert_eq!(
+                    blocked && !mm.is_empty(),
+                    covered && !mm.is_empty(),
+                    "seed {seed}: set {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_clauses_cap() {
+        // Many disjoint disjunctions → exponentially many derived clauses.
+        let db = parse_program("a0 | b0. a1 | b1. a2 | b2. a3 | b3. a4 | b4.").unwrap();
+        let mut cost = Cost::new();
+        assert!(derived_integrity_clauses(&db, 3, &mut cost).is_none());
+        let clauses = derived_integrity_clauses(&db, 100_000, &mut cost).unwrap();
+        // One per pair (← aᵢ ∧ bᵢ) plus nothing else at minimality.
+        assert_eq!(clauses.len(), 5);
+    }
+}

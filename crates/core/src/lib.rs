@@ -1,0 +1,59 @@
+//! # ddb-core — the ten semantics for disjunctive databases
+//!
+//! Executable decision procedures for every semantics studied in
+//! *Complexity Aspects of Various Semantics for Disjunctive Databases*
+//! (Eiter & Gottlob, PODS 1993), over the `ddb-logic`/`ddb-sat`/`ddb-models`
+//! substrate:
+//!
+//! | module | semantics | characterization implemented |
+//! |---|---|---|
+//! | [`gcwa`] | Generalized CWA (Minker) | `GCWA(DB) = {M ⊨ DB : ∀x. MM(DB) ⊨ ¬x ⇒ M ⊨ ¬x}` |
+//! | [`egcwa`] | Extended GCWA (Yahya & Henschen) | `EGCWA(DB) = MM(DB)` |
+//! | [`ccwa`] | Careful CWA (Gelfond & Przymusinska) | GCWA relative to `MM(DB;P;Z)` |
+//! | [`ecwa`] | Extended CWA ≡ circumscription | `ECWA(DB) = MM(DB;P;Z)` |
+//! | [`ddr`] | Disjunctive Database Rule ≡ WGCWA | `T_DB ↑ ω` occurrence closure |
+//! | [`pws`] | Possible Worlds ≡ Possible Models | least models of split programs |
+//! | [`perf`] | Perfect models (Przymusinski) | priority relation + preference check |
+//! | [`icwa`] | Iterated CWA | `⋂ᵢ ECWA_{Pᵢ;…}(DB₁∪…∪DBᵢ)` along a stratification |
+//! | [`dsm`] | Disjunctive stable models | `M ∈ MM(DB^M)` (GL-reduct) |
+//! | [`pdsm`] | Partial (3-valued) disjunctive stable models | 3-valued reduct + truth-minimal 3-valued models |
+//!
+//! Every module exposes the paper's three decision problems —
+//! `infers_literal`, `infers_formula`, `has_model` (is the semantics
+//! non-empty for `DB`?) — plus a `models` enumerator used by tests and
+//! examples, all threading a [`ddb_models::Cost`] for oracle accounting.
+//! The [`dispatch`] module gives a uniform, enum-indexed entry point used
+//! by the benchmark harness.
+//!
+//! Beyond the paper's ten semantics:
+//!
+//! * [`cwa`] — Reiter's CWA, the baseline of §3.1;
+//! * [`wfs`] — the well-founded semantics (polynomial) that PDSM extends;
+//! * [`supported`] — supported models (Clark completion) for normal
+//!   programs, behind the Schaerf results in the paper's related work;
+//! * [`witness`] — countermodel extraction and brave inference for every
+//!   semantics;
+//! * [`reduct`] — the Gelfond–Lifschitz and three-valued reducts shared
+//!   by DSM/PDSM/WFS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccwa;
+pub mod cwa;
+pub mod ddr;
+pub mod dispatch;
+pub mod dsm;
+pub mod ecwa;
+pub mod egcwa;
+pub mod gcwa;
+pub mod icwa;
+pub mod pdsm;
+pub mod perf;
+pub mod pws;
+pub mod reduct;
+pub mod supported;
+pub mod wfs;
+pub mod witness;
+
+pub use dispatch::{SemanticsConfig, SemanticsId, Unsupported};

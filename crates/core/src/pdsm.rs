@@ -1,0 +1,435 @@
+//! Partial Disjunctive Stable Model semantics (PDSM), Przymusinski \[20\],
+//! extending the well-founded semantics of van Gelder, Ross & Schlipf
+//! \[29\] to disjunctive databases.
+//!
+//! A *partial* (3-valued) interpretation `I` is a partial stable model iff
+//! `I` is a **truth-minimal** 3-valued model of the 3-valued reduct
+//! `DB^I` ([`crate::reduct::reduct3`]), where minimality is pointwise in
+//! the order `0 < ½ < 1`.
+//!
+//! The implementation works over the standard **pair encoding**: each atom
+//! `x` becomes two Boolean variables, `x¹` ("value = 1", the first `n`
+//! variables) and `x²` ("value ≥ ½", the next `n`), with `x¹ → x²`.
+//! Three-valued rule satisfaction `val(head) ≥ val(body)` splits into two
+//! clauses per rule (the value-1 and value-½ thresholds), so candidate
+//! partial models come from plain SAT enumeration; the stability check is
+//! one more SAT call (search a strictly smaller 3-valued model of the
+//! reduct). Formula inference translates the query through the same pair
+//! encoding ([`encode_ge1`]).
+//!
+//! On positive databases PDSM and DSM coincide for the problems studied
+//! (Przymusinski) — the total partial stable models are exactly the stable
+//! models, and positive facts force values away from ½; the
+//! `pdsm_dsm_positive` test pins this.
+
+use crate::reduct::{reduct3, satisfies_reduct3, Reduct3Rule};
+use ddb_logic::cnf::{Cnf, CnfBuilder};
+use ddb_logic::{
+    Atom, Database, Formula, Interpretation, Literal, PartialInterpretation, TruthValue,
+};
+use ddb_models::Cost;
+use ddb_sat::Solver;
+
+/// Builds the pair-encoded CNF of the 3-valued models of `db` (over `2n`
+/// variables: `x¹ = x`, `x² = n + x`).
+pub fn three_valued_cnf(db: &Database) -> Cnf {
+    let n = db.num_atoms();
+    let mut b = CnfBuilder::new(2 * n);
+    let v1 = |a: Atom| a;
+    let v2 = |a: Atom| Atom::new((n + a.index()) as u32);
+    for i in 0..n {
+        let a = Atom::new(i as u32);
+        b.add_clause(vec![v1(a).neg(), v2(a).pos()]); // x¹ → x²
+    }
+    for rule in db.rules() {
+        // Threshold 1: all b¹ ∧ all ¬c "≥1" (i.e. c = 0, ¬c²) → some h¹.
+        let mut c1: Vec<Literal> = rule.body_pos().iter().map(|&x| v1(x).neg()).collect();
+        c1.extend(rule.body_neg().iter().map(|&x| v2(x).pos()));
+        c1.extend(rule.head().iter().map(|&x| v1(x).pos()));
+        b.add_clause(c1);
+        // Threshold ½: all b² ∧ all ¬c "≥½" (c ≤ ½, ¬c¹) → some h².
+        let mut ch: Vec<Literal> = rule.body_pos().iter().map(|&x| v2(x).neg()).collect();
+        ch.extend(rule.body_neg().iter().map(|&x| v1(x).pos()));
+        ch.extend(rule.head().iter().map(|&x| v2(x).pos()));
+        b.add_clause(ch);
+    }
+    b.finish()
+}
+
+/// Decodes a pair-encoded assignment (over ≥ `2n` variables) into a
+/// partial interpretation over `n` atoms.
+pub fn decode(m: &Interpretation, n: usize) -> PartialInterpretation {
+    let mut p = PartialInterpretation::undefined(n);
+    for i in 0..n {
+        let a = Atom::new(i as u32);
+        let a2 = Atom::new((n + i) as u32);
+        if m.contains(a) {
+            p.set(a, TruthValue::True);
+        } else if !m.contains(a2) {
+            p.set(a, TruthValue::False);
+        }
+    }
+    p
+}
+
+/// Pair-encoded translation of "`f` has value 1" (used to express
+/// counterexamples `value(F) ≠ 1` under the encoding).
+pub fn encode_ge1(f: &Formula, n: usize) -> Formula {
+    translate(f, n, true)
+}
+
+/// Pair-encoded translation of "`f` has value ≥ ½".
+pub fn encode_ge_half(f: &Formula, n: usize) -> Formula {
+    translate(f, n, false)
+}
+
+fn translate(f: &Formula, n: usize, level1: bool) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(a) => {
+            if level1 {
+                Formula::Atom(*a)
+            } else {
+                Formula::Atom(Atom::new((n + a.index()) as u32))
+            }
+        }
+        // val(¬g) ≥ 1 ⟺ val(g) = 0 ⟺ ¬(val(g) ≥ ½); dually for ≥ ½.
+        Formula::Not(g) => translate(g, n, !level1).negated(),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| translate(g, n, level1)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| translate(g, n, level1)).collect()),
+        Formula::Implies(l, r) => Formula::Or(vec![
+            translate(l, n, !level1).negated(),
+            translate(r, n, level1),
+        ]),
+        Formula::Iff(l, r) => Formula::And(vec![
+            Formula::Or(vec![
+                translate(l, n, !level1).negated(),
+                translate(r, n, level1),
+            ]),
+            Formula::Or(vec![
+                translate(r, n, !level1).negated(),
+                translate(l, n, level1),
+            ]),
+        ]),
+    }
+}
+
+/// Whether some 3-valued model of the reduct rules is strictly below `i`
+/// in the truth order — one SAT call over the pair encoding.
+fn exists_smaller_reduct_model(
+    rules: &[Reduct3Rule],
+    i: &PartialInterpretation,
+    cost: &mut Cost,
+) -> bool {
+    let n = i.num_atoms();
+    let mut solver = Solver::new();
+    solver.ensure_vars(2 * n);
+    let v1 = |a: Atom| a;
+    let v2 = |a: Atom| Atom::new((n + a.index()) as u32);
+    for k in 0..n {
+        let a = Atom::new(k as u32);
+        solver.add_clause(&[v1(a).neg(), v2(a).pos()]);
+    }
+    for rule in rules {
+        match rule.body_const {
+            TruthValue::True => {
+                let mut c1: Vec<Literal> = rule.body_pos.iter().map(|&x| v1(x).neg()).collect();
+                c1.extend(rule.head.iter().map(|&x| v1(x).pos()));
+                solver.add_clause(&c1);
+                let mut ch: Vec<Literal> = rule.body_pos.iter().map(|&x| v2(x).neg()).collect();
+                ch.extend(rule.head.iter().map(|&x| v2(x).pos()));
+                solver.add_clause(&ch);
+            }
+            TruthValue::Undefined => {
+                // Body can reach at most ½: only the ½ threshold binds.
+                let mut ch: Vec<Literal> = rule.body_pos.iter().map(|&x| v2(x).neg()).collect();
+                ch.extend(rule.head.iter().map(|&x| v2(x).pos()));
+                solver.add_clause(&ch);
+            }
+            TruthValue::False => {} // body is 0: rule trivially satisfied
+        }
+    }
+    // J ≤ I pointwise, and strictly below somewhere.
+    let mut strict: Vec<Literal> = Vec::new();
+    for k in 0..n {
+        let a = Atom::new(k as u32);
+        match i.value(a) {
+            TruthValue::True => strict.push(v1(a).neg()),
+            TruthValue::Undefined => {
+                solver.add_clause(&[v1(a).neg()]);
+                strict.push(v2(a).neg());
+            }
+            TruthValue::False => {
+                solver.add_clause(&[v2(a).neg()]);
+            }
+        }
+    }
+    if strict.is_empty() {
+        return false; // I is the bottom interpretation
+    }
+    let feasible = solver.add_clause(&strict);
+    let sat = feasible && solver.solve().is_sat();
+    cost.absorb(&solver);
+    sat
+}
+
+/// Whether `i` is a partial stable model of `db`: `i` satisfies its own
+/// reduct and no strictly smaller 3-valued interpretation does.
+pub fn is_partial_stable(db: &Database, i: &PartialInterpretation, cost: &mut Cost) -> bool {
+    let rules = reduct3(db, i);
+    satisfies_reduct3(&rules, i) && !exists_smaller_reduct_model(&rules, i, cost)
+}
+
+/// Visits partial stable models one at a time; `extra` (if given) is a
+/// pair-encoded constraint candidates must satisfy. Callback returns
+/// `false` to stop.
+pub fn for_each_partial_stable(
+    db: &Database,
+    extra: Option<&Formula>,
+    cost: &mut Cost,
+    mut visit: impl FnMut(&PartialInterpretation) -> bool,
+) {
+    let n = db.num_atoms();
+    let base = three_valued_cnf(db);
+    let mut b = CnfBuilder::new(base.num_vars);
+    for c in &base.clauses {
+        b.add_clause(c.clone());
+    }
+    if let Some(f) = extra {
+        b.assert_formula(f);
+    }
+    let cnf = b.finish();
+    let mut candidates = Solver::from_cnf(&cnf);
+    candidates.ensure_vars(cnf.num_vars.max(2 * n));
+    loop {
+        let sat = candidates.solve().is_sat();
+        if !sat {
+            break;
+        }
+        let assignment = {
+            let full = candidates.model();
+            let mut m = Interpretation::empty(2 * n);
+            for a in full.iter().filter(|a| a.index() < 2 * n) {
+                m.insert(a);
+            }
+            m
+        };
+        let candidate = decode(&assignment, n);
+        if is_partial_stable(db, &candidate, cost) && !visit(&candidate) {
+            break;
+        }
+        // Block this exact pair-encoded assignment.
+        let blocking: Vec<Literal> = (0..2 * n)
+            .map(|i| {
+                let a = Atom::new(i as u32);
+                Literal::with_sign(a, !assignment.contains(a))
+            })
+            .collect();
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            break;
+        }
+    }
+    cost.absorb(&candidates);
+}
+
+/// All partial stable models.
+pub fn models(db: &Database, cost: &mut Cost) -> Vec<PartialInterpretation> {
+    let mut out = Vec::new();
+    for_each_partial_stable(db, None, cost, |i| {
+        out.push(i.clone());
+        true
+    });
+    out.sort_by_key(|p| (p.true_set().clone(), p.false_set().clone()));
+    out
+}
+
+/// Literal inference `PDSM(DB) ⊨ ℓ`: the literal has value 1 in every
+/// partial stable model.
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
+}
+
+/// Formula inference `PDSM(DB) ⊨ F`: `F` has value 1 in every partial
+/// stable model (vacuously true when none exists).
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let not_value1 = encode_ge1(f, db.num_atoms()).negated();
+    let mut holds = true;
+    for_each_partial_stable(db, Some(&not_value1), cost, |i| {
+        debug_assert_ne!(f.eval3(i), TruthValue::True);
+        holds = false;
+        false
+    });
+    holds
+}
+
+/// Model existence: does `db` have a partial stable model?
+pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let mut found = false;
+    for_each_partial_stable(db, None, cost, |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    fn partial(db: &Database, tru: &[&str], undef: &[&str]) -> PartialInterpretation {
+        let n = db.num_atoms();
+        let mut p = PartialInterpretation::new(Interpretation::empty(n), Interpretation::full(n));
+        for name in undef {
+            p.set(db.symbols().lookup(name).unwrap(), TruthValue::Undefined);
+        }
+        for name in tru {
+            p.set(db.symbols().lookup(name).unwrap(), TruthValue::True);
+        }
+        p
+    }
+
+    #[test]
+    fn odd_loop_has_undefined_model() {
+        // a :- not a. — no (total) stable model, but the partial stable
+        // model a = ½ exists (well-founded-style).
+        let db = parse_program("a :- not a.").unwrap();
+        let mut cost = Cost::new();
+        assert!(has_model(&db, &mut cost));
+        let ms = models(&db, &mut cost);
+        assert_eq!(ms, vec![partial(&db, &[], &["a"])]);
+        assert!(!crate::dsm::has_model(&db, &mut cost));
+    }
+
+    #[test]
+    fn even_loop_partial_stable_models() {
+        // a :- not b. b :- not a. — three partial stable models:
+        // ⟨{a},{b}⟩, ⟨{b},{a}⟩ and the all-undefined one.
+        let db = parse_program("a :- not b. b :- not a.").unwrap();
+        let mut cost = Cost::new();
+        let ms = models(&db, &mut cost);
+        assert_eq!(ms.len(), 3);
+        assert!(ms.contains(&partial(&db, &["a"], &[])));
+        assert!(ms.contains(&partial(&db, &["b"], &[])));
+        assert!(ms.contains(&partial(&db, &[], &["a", "b"])));
+    }
+
+    #[test]
+    fn pdsm_dsm_positive() {
+        // On positive databases the partial stable models are the minimal
+        // models (all total), i.e. exactly DSM.
+        for src in ["a | b.", "a | b. c :- a. :- b, c.", "a. b | c :- a."] {
+            let db = parse_program(src).unwrap();
+            let mut cost = Cost::new();
+            let pdsm = models(&db, &mut cost);
+            let dsm = crate::dsm::models(&db, &mut cost);
+            let totals: Vec<Interpretation> = pdsm
+                .iter()
+                .filter(|p| p.is_total())
+                .map(|p| p.to_total())
+                .collect();
+            assert_eq!(totals, dsm, "program: {src}");
+            assert_eq!(pdsm.len(), dsm.len(), "no non-total models on {src}");
+        }
+    }
+
+    #[test]
+    fn total_partial_stable_iff_stable() {
+        // For any database, total partial stable models = stable models.
+        for src in [
+            "a :- not b. b :- not a.",
+            "a | b :- not c.",
+            "a :- not a. b.",
+            "p :- not q. q :- not r.",
+        ] {
+            let db = parse_program(src).unwrap();
+            let mut cost = Cost::new();
+            let stable = crate::dsm::models(&db, &mut cost);
+            let totals: Vec<Interpretation> = models(&db, &mut cost)
+                .into_iter()
+                .filter(|p| p.is_total())
+                .map(|p| p.to_total())
+                .collect();
+            assert_eq!(totals, stable, "program: {src}");
+        }
+    }
+
+    #[test]
+    fn cautious_inference_weaker_than_dsm() {
+        // a :- not a. b. — DSM has no models (vacuous inference: infers
+        // everything); PDSM has ⟨{b}, a=½⟩: infers b but not a.
+        let db = parse_program("a :- not a. b.").unwrap();
+        let mut cost = Cost::new();
+        let b_lit = db.symbols().lookup("b").unwrap().pos();
+        let a_lit = db.symbols().lookup("a").unwrap().pos();
+        assert!(infers_literal(&db, b_lit, &mut cost));
+        assert!(!infers_literal(&db, a_lit, &mut cost));
+        assert!(!infers_literal(&db, a_lit.complement(), &mut cost));
+        assert!(crate::dsm::infers_literal(&db, a_lit, &mut cost)); // vacuous
+    }
+
+    #[test]
+    fn formula_inference_three_valued() {
+        let db = parse_program("a :- not b. b :- not a. c.").unwrap();
+        let mut cost = Cost::new();
+        // c is true in all three partial stable models.
+        let f = parse_formula("c", db.symbols()).unwrap();
+        assert!(infers_formula(&db, &f, &mut cost));
+        // a ∨ b has value ½ in the all-undefined model → not inferred
+        // (contrast DSM, where it holds in both stable models).
+        let g = parse_formula("a | b", db.symbols()).unwrap();
+        assert!(!infers_formula(&db, &g, &mut cost));
+        assert!(crate::dsm::infers_formula(&db, &g, &mut cost));
+    }
+
+    #[test]
+    fn integrity_clauses_constrain_pdsm() {
+        let db = parse_program("a :- not b. b :- not a. :- a.").unwrap();
+        let mut cost = Cost::new();
+        let ms = models(&db, &mut cost);
+        // ⟨{b},{a}⟩ survives; the all-undefined one: does ½ satisfy
+        // ← a? Integrity head is empty (value 0); body a = ½ → need
+        // 0 ≥ ½ — fails. So only ⟨{b},{a}⟩.
+        assert_eq!(ms, vec![partial(&db, &["b"], &[])]);
+    }
+
+    #[test]
+    fn encode_roundtrip_on_totals() {
+        // The pair encoding of "value(F) = 1" must agree with eval3 on
+        // arbitrary 3-valued interpretations.
+        let db = parse_program("a. b. c.").unwrap();
+        let n = db.num_atoms();
+        let f = parse_formula("(a -> b) & !(c & a) | (b <-> c)", db.symbols()).unwrap();
+        let enc1 = encode_ge1(&f, n);
+        let ench = encode_ge_half(&f, n);
+        // Enumerate all 3^3 partial interpretations; build the pair-encoded
+        // 2n assignment and compare.
+        for code in 0..27u32 {
+            let mut p = PartialInterpretation::undefined(n);
+            let mut pair = Interpretation::empty(2 * n);
+            let mut c = code;
+            for i in 0..n {
+                let a = Atom::new(i as u32);
+                match c % 3 {
+                    0 => {
+                        p.set(a, TruthValue::False);
+                    }
+                    1 => {
+                        p.set(a, TruthValue::Undefined);
+                        pair.insert(Atom::new((n + i) as u32));
+                    }
+                    _ => {
+                        p.set(a, TruthValue::True);
+                        pair.insert(a);
+                        pair.insert(Atom::new((n + i) as u32));
+                    }
+                }
+                c /= 3;
+            }
+            let v = f.eval3(&p);
+            assert_eq!(enc1.eval(&pair), v == TruthValue::True, "code {code}");
+            assert_eq!(ench.eval(&pair), v != TruthValue::False, "code {code}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Reducts: the Gelfond–Lifschitz reduct `DB^M` (for DSM) and the
+//! three-valued reduct (for PDSM).
+
+use ddb_logic::{Database, Interpretation, PartialInterpretation, Rule, TruthValue};
+
+/// The Gelfond–Lifschitz reduct `DB^M`: drop every rule whose negative body
+/// intersects `M`; strip the negative body from the rest. The result is a
+/// positive database (possibly with integrity clauses) over the same
+/// vocabulary.
+pub fn gl_reduct(db: &Database, m: &Interpretation) -> Database {
+    let mut out = Database::new(db.symbols().clone());
+    for rule in db.rules() {
+        if rule.body_neg().iter().any(|&c| m.contains(c)) {
+            continue;
+        }
+        out.add_rule(Rule::new(
+            rule.head().iter().copied(),
+            rule.body_pos().iter().copied(),
+            [],
+        ));
+    }
+    out
+}
+
+/// A rule of a three-valued reduct: negative body literals have been
+/// replaced by the constant truth value they take under the reducing
+/// interpretation (`body_const` is the minimum of those values; `True`
+/// when there were none).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reduct3Rule {
+    /// Head atoms (disjunction); empty for integrity clauses.
+    pub head: Vec<ddb_logic::Atom>,
+    /// Positive body atoms (conjunction).
+    pub body_pos: Vec<ddb_logic::Atom>,
+    /// The constant contributed by the reduced negative body.
+    pub body_const: TruthValue,
+}
+
+impl Reduct3Rule {
+    /// Three-valued satisfaction: `val(head) ≥ min(val(body), body_const)`.
+    pub fn satisfied_by(&self, i: &PartialInterpretation) -> bool {
+        let head = self
+            .head
+            .iter()
+            .map(|&a| i.value(a))
+            .fold(TruthValue::False, TruthValue::or);
+        let body = self
+            .body_pos
+            .iter()
+            .map(|&a| i.value(a))
+            .fold(self.body_const, TruthValue::and);
+        head.rank() >= body.rank()
+    }
+}
+
+/// The three-valued reduct `DB^I` (Przymusinski): each negated body atom
+/// `¬c` is replaced by the constant `¬I(c)`. Rules whose reduced negative
+/// body is already `False` are kept (they are trivially satisfied), so the
+/// structure mirrors the definition literally.
+pub fn reduct3(db: &Database, i: &PartialInterpretation) -> Vec<Reduct3Rule> {
+    db.rules()
+        .iter()
+        .map(|rule| {
+            let body_const = rule
+                .body_neg()
+                .iter()
+                .map(|&c| i.value(c).not())
+                .fold(TruthValue::True, TruthValue::and);
+            Reduct3Rule {
+                head: rule.head().to_vec(),
+                body_pos: rule.body_pos().to_vec(),
+                body_const,
+            }
+        })
+        .collect()
+}
+
+/// Whether `i` satisfies every rule of a three-valued reduct.
+pub fn satisfies_reduct3(rules: &[Reduct3Rule], i: &PartialInterpretation) -> bool {
+    rules.iter().all(|r| r.satisfied_by(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_program;
+    use ddb_logic::Atom;
+
+    fn interp(n: usize, atoms: &[u32]) -> Interpretation {
+        Interpretation::from_atoms(n, atoms.iter().map(|&i| Atom::new(i)))
+    }
+
+    #[test]
+    fn gl_reduct_drops_blocked_rules() {
+        // a :- not b.  b :- not a.
+        let db = parse_program("a :- not b. b :- not a.").unwrap();
+        let r_a = gl_reduct(&db, &interp(2, &[0])); // M = {a}
+                                                    // Rule "a :- not b" survives (b ∉ M) as fact a; "b :- not a" dropped.
+        assert_eq!(r_a.len(), 1);
+        assert_eq!(r_a.rules()[0], ddb_logic::Rule::fact([Atom::new(0)]));
+        assert!(!r_a.has_negation());
+    }
+
+    #[test]
+    fn gl_reduct_keeps_positive_parts() {
+        let db = parse_program("c | d :- a, not b.").unwrap();
+        let r = gl_reduct(&db, &interp(4, &[]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rules()[0].head().len(), 2);
+        assert_eq!(r.rules()[0].body_pos().len(), 1);
+        assert!(r.rules()[0].body_neg().is_empty());
+    }
+
+    #[test]
+    fn gl_reduct_of_positive_db_is_identity() {
+        let db = parse_program("a | b. c :- a. :- b, c.").unwrap();
+        let r = gl_reduct(&db, &interp(3, &[0, 2]));
+        assert_eq!(r.rules(), db.rules());
+    }
+
+    #[test]
+    fn reduct3_replaces_negation_by_constant() {
+        let db = parse_program("a :- not b.").unwrap();
+        let b_atom = db.symbols().lookup("b").unwrap();
+        let mut i = PartialInterpretation::undefined(2);
+        // b undefined → ¬b = ½.
+        let r = reduct3(&db, &i);
+        assert_eq!(r[0].body_const, TruthValue::Undefined);
+        i.set(b_atom, TruthValue::True);
+        assert_eq!(reduct3(&db, &i)[0].body_const, TruthValue::False);
+        i.set(b_atom, TruthValue::False);
+        assert_eq!(reduct3(&db, &i)[0].body_const, TruthValue::True);
+    }
+
+    #[test]
+    fn reduct3_rule_satisfaction() {
+        // a :- not b, with b false → body_const True → need val(a) = 1.
+        let db = parse_program("a :- not b.").unwrap();
+        let a_atom = db.symbols().lookup("a").unwrap();
+        let b_atom = db.symbols().lookup("b").unwrap();
+        let mut i = PartialInterpretation::undefined(2);
+        i.set(b_atom, TruthValue::False);
+        let rules = reduct3(&db, &i);
+        assert!(!satisfies_reduct3(&rules, &i)); // a undefined (½) < 1
+        i.set(a_atom, TruthValue::True);
+        assert!(satisfies_reduct3(&rules, &i));
+        // With b undefined, a = ½ suffices.
+        let mut j = PartialInterpretation::undefined(2);
+        j.set(a_atom, TruthValue::Undefined);
+        let rules_j = reduct3(&db, &j);
+        assert!(satisfies_reduct3(&rules_j, &j));
+    }
+
+    #[test]
+    fn reduct3_on_total_matches_gl() {
+        // For total I, satisfaction of reduct3 must agree with classical
+        // satisfaction of the GL reduct.
+        let db = parse_program("a | b :- c, not d. e :- not a. :- b, not e.").unwrap();
+        let n = db.num_atoms();
+        for bits in 0u32..1 << n {
+            let m = Interpretation::from_atoms(
+                n,
+                (0..n as u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
+            );
+            let p = PartialInterpretation::from_total(&m);
+            let r3 = reduct3(&db, &p);
+            let gl = gl_reduct(&db, &m);
+            assert_eq!(
+                satisfies_reduct3(&r3, &p),
+                gl.satisfied_by(&m),
+                "model {m:?}"
+            );
+        }
+    }
+}

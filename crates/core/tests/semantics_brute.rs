@@ -1,0 +1,334 @@
+//! The repository's most important test file: every one of the ten
+//! semantics, as implemented with oracle-based decision procedures, is
+//! cross-checked against an *independent brute-force rendition of its
+//! textbook definition* on random small databases.
+
+use ddb_core::{icwa::Layers, SemanticsConfig, SemanticsId};
+use ddb_core::{pdsm, perf, pws, reduct};
+use ddb_logic::{Atom, Database, Formula, Interpretation, PartialInterpretation, Rule, TruthValue};
+use ddb_models::{brute, Cost, Partition};
+use proptest::prelude::*;
+
+const N: usize = 4;
+
+fn arb_rule(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Rule> {
+    let head = proptest::collection::vec(0u32..N as u32, usize::from(!allow_integrity)..=2);
+    let body_pos = proptest::collection::vec(0u32..N as u32, 0..=2);
+    let body_neg = proptest::collection::vec(0u32..N as u32, 0..=(2 * usize::from(allow_neg)));
+    (head, body_pos, body_neg).prop_map(|(h, bp, bn)| {
+        Rule::new(
+            h.into_iter().map(Atom::new),
+            bp.into_iter().map(Atom::new),
+            bn.into_iter().map(Atom::new),
+        )
+    })
+}
+
+fn arb_db(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Database> {
+    proptest::collection::vec(arb_rule(allow_neg, allow_integrity), 0..7).prop_map(|rules| {
+        let mut db = Database::with_fresh_atoms(N);
+        for r in rules {
+            db.add_rule(r);
+        }
+        db
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0u32..N as u32).prop_map(|i| Formula::Atom(Atom::new(i))),
+        Just(Formula::True),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.negated()),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    proptest::collection::vec(0u8..3, N).prop_map(|assignment| {
+        let p = (0..N)
+            .filter(|&i| assignment[i] == 0)
+            .map(|i| Atom::new(i as u32));
+        let q = (0..N)
+            .filter(|&i| assignment[i] == 1)
+            .map(|i| Atom::new(i as u32));
+        Partition::from_p_q(N, p, q)
+    })
+}
+
+/// Brute-force GCWA model set.
+fn gcwa_models_brute(db: &Database) -> Vec<Interpretation> {
+    let mm = brute::minimal_models(db);
+    let false_atoms: Vec<Atom> = (0..N)
+        .map(|i| Atom::new(i as u32))
+        .filter(|&a| mm.iter().all(|m| !m.contains(a)))
+        .collect();
+    brute::models(db)
+        .into_iter()
+        .filter(|m| false_atoms.iter().all(|&a| !m.contains(a)))
+        .collect()
+}
+
+/// Brute-force CCWA model set for a partition.
+fn ccwa_models_brute(db: &Database, part: &Partition) -> Vec<Interpretation> {
+    let pz_mm = brute::pz_minimal_models(db, part);
+    let false_atoms: Vec<Atom> = part
+        .p()
+        .iter()
+        .filter(|&a| pz_mm.iter().all(|m| !m.contains(a)))
+        .collect();
+    brute::models(db)
+        .into_iter()
+        .filter(|m| false_atoms.iter().all(|&a| !m.contains(a)))
+        .collect()
+}
+
+/// Brute-force DDR model set.
+fn ddr_models_brute(db: &Database) -> Vec<Interpretation> {
+    let active = ddb_models::fixpoint::active_atoms(db);
+    brute::models(db)
+        .into_iter()
+        .filter(|m| m.is_subset(&active))
+        .collect()
+}
+
+/// Brute-force stable models: filter subsets by the reduct definition,
+/// with minimality itself checked by brute force.
+fn dsm_models_brute(db: &Database) -> Vec<Interpretation> {
+    brute::models(db)
+        .into_iter()
+        .filter(|m| {
+            let r = reduct::gl_reduct(db, m);
+            brute::minimal_models(&r).contains(m)
+        })
+        .collect()
+}
+
+/// Brute-force perfect models: pairwise preference over all model pairs,
+/// with the priority relation from `perf::priority_lt` (itself unit-tested
+/// against hand examples).
+fn perf_models_brute(db: &Database) -> Vec<Interpretation> {
+    let lt = perf::priority_lt(db);
+    let ms = brute::models(db);
+    let preferable = |n: &Interpretation, m: &Interpretation| -> bool {
+        if n == m {
+            return false;
+        }
+        n.iter().all(|x| {
+            m.contains(x)
+                || lt[x.index()]
+                    .iter()
+                    .any(|y| m.contains(y) && !n.contains(y))
+        })
+    };
+    ms.iter()
+        .filter(|m| !ms.iter().any(|n2| preferable(n2, m)))
+        .cloned()
+        .collect()
+}
+
+/// Brute-force ICWA models along the default stratification.
+fn icwa_models_brute(db: &Database) -> Option<Vec<Interpretation>> {
+    let strata = db.stratification()?;
+    let layers = Layers::new(db, &strata, &Interpretation::empty(N));
+    let full = brute::models(db);
+    Some(
+        full.iter()
+            .filter(|m| {
+                (0..layers.len()).all(|i| {
+                    let prefix = layers.prefix(i);
+                    let part = layers.partition(i);
+                    prefix.satisfied_by(m) && !brute::models(prefix).iter().any(|m2| part.lt(m2, m))
+                })
+            })
+            .cloned()
+            .collect(),
+    )
+}
+
+/// All 3^N partial interpretations.
+fn all_partials() -> Vec<PartialInterpretation> {
+    let mut out = Vec::new();
+    for code in 0..3usize.pow(N as u32) {
+        let mut p = PartialInterpretation::undefined(N);
+        let mut c = code;
+        for i in 0..N {
+            let a = Atom::new(i as u32);
+            match c % 3 {
+                0 => p.set(a, TruthValue::False),
+                1 => p.set(a, TruthValue::Undefined),
+                _ => p.set(a, TruthValue::True),
+            }
+            c /= 3;
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Brute-force partial stable models by the 3-valued definition.
+fn pdsm_models_brute(db: &Database) -> Vec<PartialInterpretation> {
+    let partials = all_partials();
+    partials
+        .iter()
+        .filter(|i| {
+            let rules = reduct::reduct3(db, i);
+            if !reduct::satisfies_reduct3(&rules, i) {
+                return false;
+            }
+            !partials.iter().any(|j| {
+                j.truth_cmp(i) == Some(std::cmp::Ordering::Less)
+                    && reduct::satisfies_reduct3(&rules, j)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+fn check_inference(
+    id: SemanticsId,
+    cfg: &SemanticsConfig,
+    db: &Database,
+    f: &Formula,
+    reference: &[Interpretation],
+) -> Result<(), TestCaseError> {
+    let mut cost = Cost::new();
+    let expected = reference.iter().all(|m| f.eval(m));
+    let got = cfg
+        .infers_formula(db, f, &mut cost)
+        .expect("applicable by construction");
+    prop_assert_eq!(got, expected, "{} inference mismatch", id);
+    let nonempty = cfg.has_model(db, &mut cost).expect("applicable");
+    prop_assert_eq!(nonempty, !reference.is_empty(), "{} existence mismatch", id);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn gcwa_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Gcwa);
+        let mut cost = Cost::new();
+        let reference = gcwa_models_brute(&db);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Gcwa, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn egcwa_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Egcwa);
+        let mut cost = Cost::new();
+        let reference = brute::minimal_models(&db);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Egcwa, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn ccwa_matches_brute(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Ccwa).with_partition(part.clone());
+        let mut cost = Cost::new();
+        let reference = ccwa_models_brute(&db, &part);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Ccwa, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn ecwa_matches_brute(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Ecwa).with_partition(part.clone());
+        let mut cost = Cost::new();
+        let reference = brute::pz_minimal_models(&db, &part);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Ecwa, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn ddr_matches_brute(db in arb_db(false, true), f in arb_formula()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Ddr);
+        let mut cost = Cost::new();
+        let reference = ddr_models_brute(&db);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Ddr, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn pws_matches_split_reference(db in arb_db(false, true), f in arb_formula()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Pws);
+        let mut cost = Cost::new();
+        let reference = pws::possible_models_by_splits(&db);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Pws, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn perf_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Perf);
+        let mut cost = Cost::new();
+        let reference = perf_models_brute(&db);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Perf, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn icwa_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        if let Some(reference) = icwa_models_brute(&db) {
+            let cfg = SemanticsConfig::new(SemanticsId::Icwa);
+            let mut cost = Cost::new();
+            prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+            check_inference(SemanticsId::Icwa, &cfg, &db, &f, &reference)?;
+        }
+    }
+
+    #[test]
+    fn dsm_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let cfg = SemanticsConfig::new(SemanticsId::Dsm);
+        let mut cost = Cost::new();
+        let reference = dsm_models_brute(&db);
+        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
+        check_inference(SemanticsId::Dsm, &cfg, &db, &f, &reference)?;
+    }
+
+    #[test]
+    fn pdsm_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let mut cost = Cost::new();
+        let mut got = pdsm::models(&db, &mut cost);
+        let mut reference = pdsm_models_brute(&db);
+        let key = |p: &PartialInterpretation| (p.true_set().clone(), p.false_set().clone());
+        got.sort_by_key(key);
+        reference.sort_by_key(key);
+        prop_assert_eq!(got, reference.clone());
+        // Inference: value 1 in all partial stable models.
+        let f_ref = reference.iter().all(|i| f.eval3(i) == TruthValue::True);
+        prop_assert_eq!(pdsm::infers_formula(&db, &f, &mut cost), f_ref);
+        prop_assert_eq!(pdsm::has_model(&db, &mut cost), !reference.is_empty());
+    }
+
+    #[test]
+    fn literal_and_formula_inference_consistent(db in arb_db(true, true)) {
+        // For every semantics: infers_literal must equal infers_formula on
+        // the literal read as a formula.
+        let mut cost = Cost::new();
+        for id in SemanticsId::ALL {
+            let cfg = SemanticsConfig::new(id);
+            for i in 0..N {
+                for sign in [true, false] {
+                    let a = Atom::new(i as u32);
+                    let lit = ddb_logic::Literal::with_sign(a, sign);
+                    let f = Formula::literal(a, sign);
+                    let l = cfg.infers_literal(&db, lit, &mut cost);
+                    let g = cfg.infers_formula(&db, &f, &mut cost);
+                    match (l, g) {
+                        (Ok(a1), Ok(a2)) => prop_assert_eq!(a1, a2, "{}", id),
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(false, "support mismatch for {}", id),
+                    }
+                }
+            }
+        }
+    }
+}

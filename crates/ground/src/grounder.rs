@@ -1,0 +1,575 @@
+//! Grounding: from non-ground Datalog∨ to propositional [`Database`]s.
+
+use crate::ast::{DatalogProgram, DatalogRule, PredAtom, Term};
+use crate::safety::{check_program, SafetyError};
+use ddb_logic::{Database, Rule, Symbols};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Grounding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundingError {
+    /// The program is unsafe.
+    Unsafe(SafetyError),
+    /// The instantiation exceeded the ground-rule budget.
+    TooLarge {
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for GroundingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundingError::Unsafe(e) => write!(f, "{e}"),
+            GroundingError::TooLarge { limit } => {
+                write!(f, "grounding exceeds the budget of {limit} ground rules")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroundingError {}
+
+impl From<SafetyError> for GroundingError {
+    fn from(e: SafetyError) -> Self {
+        GroundingError::Unsafe(e)
+    }
+}
+
+type Binding = BTreeMap<String, String>;
+
+/// Evaluates the rule's disequality builtins under a (complete) binding.
+fn disequalities_hold(rule: &DatalogRule, binding: &Binding) -> bool {
+    fn value<'a>(t: &'a Term, binding: &'a Binding) -> &'a str {
+        match t {
+            Term::Const(c) => c.as_str(),
+            Term::Var(v) => binding
+                .get(v)
+                .expect("safety guarantees disequality variables are bound"),
+        }
+    }
+    rule.disequalities
+        .iter()
+        .all(|(l, r)| value(l, binding) != value(r, binding))
+}
+
+fn instantiate_atom(atom: &PredAtom, binding: &Binding) -> PredAtom {
+    PredAtom {
+        pred: atom.pred.clone(),
+        args: atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Term::Const(c.clone()),
+                Term::Var(v) => Term::Const(
+                    binding
+                        .get(v)
+                        .expect("safety guarantees every variable is bound")
+                        .clone(),
+                ),
+            })
+            .collect(),
+    }
+}
+
+/// A fully instantiated rule, in ground-atom-name form, used as the
+/// deduplication key and the bridge into `ddb_logic`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct GroundRule {
+    head: Vec<String>,
+    body_pos: Vec<String>,
+    body_neg: Vec<String>,
+}
+
+fn instantiate_rule(rule: &DatalogRule, binding: &Binding) -> GroundRule {
+    let name = |a: &PredAtom| instantiate_atom(a, binding).ground_name();
+    let mut head: Vec<String> = rule.head.iter().map(name).collect();
+    let mut body_pos: Vec<String> = rule.body_pos.iter().map(name).collect();
+    let mut body_neg: Vec<String> = rule.body_neg.iter().map(name).collect();
+    head.sort();
+    head.dedup();
+    body_pos.sort();
+    body_pos.dedup();
+    body_neg.sort();
+    body_neg.dedup();
+    GroundRule {
+        head,
+        body_pos,
+        body_neg,
+    }
+}
+
+fn build_database(rules: BTreeSet<GroundRule>) -> Database {
+    let mut symbols = Symbols::new();
+    for r in &rules {
+        for name in r.head.iter().chain(&r.body_pos).chain(&r.body_neg) {
+            symbols.intern(name);
+        }
+    }
+    let mut db = Database::new(symbols);
+    for r in &rules {
+        let lookup = |n: &String| db.symbols().lookup(n).expect("interned above");
+        let head: Vec<_> = r.head.iter().map(lookup).collect();
+        let body_pos: Vec<_> = r.body_pos.iter().map(lookup).collect();
+        let body_neg: Vec<_> = r.body_neg.iter().map(lookup).collect();
+        db.add_rule(Rule::new(head, body_pos, body_neg));
+    }
+    db
+}
+
+/// **Exact** grounding: instantiate every rule over the full Herbrand
+/// universe (all constants of the program). Equivalent to the non-ground
+/// program under *every* semantics, at the cost of `|C|^{#vars}` instances
+/// per rule. `limit` bounds the total number of ground rules.
+pub fn ground_full(prog: &DatalogProgram, limit: usize) -> Result<Database, GroundingError> {
+    check_program(prog)?;
+    let constants: Vec<String> = prog.constants().into_iter().collect();
+    let mut out: BTreeSet<GroundRule> = BTreeSet::new();
+    for rule in &prog.rules {
+        let vars: Vec<String> = rule.variables().into_iter().collect();
+        if vars.is_empty() {
+            if disequalities_hold(rule, &Binding::new()) {
+                out.insert(instantiate_rule(rule, &Binding::new()));
+            }
+            if out.len() > limit {
+                return Err(GroundingError::TooLarge { limit });
+            }
+            continue;
+        }
+        if constants.is_empty() {
+            continue; // no universe to range over
+        }
+        let mut odometer = vec![0usize; vars.len()];
+        loop {
+            let binding: Binding = vars
+                .iter()
+                .cloned()
+                .zip(odometer.iter().map(|&i| constants[i].clone()))
+                .collect();
+            if disequalities_hold(rule, &binding) {
+                out.insert(instantiate_rule(rule, &binding));
+            }
+            if out.len() > limit {
+                return Err(GroundingError::TooLarge { limit });
+            }
+            let mut k = 0;
+            loop {
+                if k == odometer.len() {
+                    break;
+                }
+                odometer[k] += 1;
+                if odometer[k] < constants.len() {
+                    break;
+                }
+                odometer[k] = 0;
+                k += 1;
+            }
+            if k == odometer.len() {
+                break;
+            }
+        }
+    }
+    Ok(build_database(out))
+}
+
+/// **Intelligent (reduced) grounding**, DLV-style: instantiate rules only
+/// over the *possibly-true* closure (least fixpoint of positive-body
+/// joins, negation ignored), then simplify — drop negated literals whose
+/// atom is not possibly true.
+///
+/// Sound for the supported semantics (DSM, PDSM, WFS, PWS: every
+/// stable/possible model is contained in the possibly-true closure) and
+/// for the minimal-model family on **positive** programs. *Not*
+/// model-preserving for minimal-model semantics under negation: from
+/// `p(a) ← ¬q(a)` the clause reading `p(a) ∨ q(a)` has the minimal model
+/// `{q(a)}`, which reduced grounding (simplifying `¬q(a)` to true)
+/// forgets — the `reduced_vs_full` tests pin both directions.
+/// ```
+/// use ddb_ground::{ground_reduced, parse::parse_datalog};
+/// let prog = parse_datalog("edge(a,b). path(X,Y) :- edge(X,Y).").unwrap();
+/// let db = ground_reduced(&prog, 1000).unwrap();
+/// assert!(db.symbols().lookup("path(a,b)").is_some());
+/// assert!(db.symbols().lookup("path(b,a)").is_none()); // not derivable
+/// ```
+pub fn ground_reduced(prog: &DatalogProgram, limit: usize) -> Result<Database, GroundingError> {
+    check_program(prog)?;
+    // Possibly-true ground atoms, keyed by predicate name.
+    let mut possible: BTreeMap<String, BTreeSet<Vec<String>>> = BTreeMap::new();
+    let mut emitted: BTreeSet<GroundRule> = BTreeSet::new();
+
+    // Backtracking join of a rule's positive body against `possible`.
+    fn join(
+        body: &[PredAtom],
+        idx: usize,
+        binding: &mut Binding,
+        possible: &BTreeMap<String, BTreeSet<Vec<String>>>,
+        visit: &mut dyn FnMut(&Binding) -> Result<(), GroundingError>,
+    ) -> Result<(), GroundingError> {
+        if idx == body.len() {
+            return visit(binding);
+        }
+        let atom = &body[idx];
+        let Some(tuples) = possible.get(&atom.pred) else {
+            return Ok(());
+        };
+        'tuples: for tuple in tuples {
+            if tuple.len() != atom.args.len() {
+                continue;
+            }
+            let mut added: Vec<String> = Vec::new();
+            for (arg, value) in atom.args.iter().zip(tuple) {
+                match arg {
+                    Term::Const(c) => {
+                        if c != value {
+                            for v in added.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(v) {
+                        Some(bound) if bound != value => {
+                            for v in added.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(v.clone(), value.clone());
+                            added.push(v.clone());
+                        }
+                    },
+                }
+            }
+            join(body, idx + 1, binding, possible, visit)?;
+            for v in added {
+                binding.remove(&v);
+            }
+        }
+        Ok(())
+    }
+
+    loop {
+        let mut grew = false;
+        for rule in &prog.rules {
+            let mut new_heads: Vec<(String, Vec<String>)> = Vec::new();
+            let mut new_rules: Vec<GroundRule> = Vec::new();
+            {
+                let mut binding = Binding::new();
+                let rule_ref = rule;
+                let possible_ref = &possible;
+                let emitted_ref = &emitted;
+                join(
+                    &rule.body_pos,
+                    0,
+                    &mut binding,
+                    possible_ref,
+                    &mut |b: &Binding| {
+                        if !disequalities_hold(rule_ref, b) {
+                            return Ok(());
+                        }
+                        let ground = instantiate_rule(rule_ref, b);
+                        if !emitted_ref.contains(&ground) && !new_rules.contains(&ground) {
+                            for h in rule_ref.head.iter() {
+                                let inst = instantiate_atom(h, b);
+                                let tuple: Vec<String> = inst
+                                    .args
+                                    .iter()
+                                    .map(|t| match t {
+                                        Term::Const(c) => c.clone(),
+                                        Term::Var(_) => unreachable!("instantiated"),
+                                    })
+                                    .collect();
+                                new_heads.push((inst.pred, tuple));
+                            }
+                            new_rules.push(ground);
+                        }
+                        Ok(())
+                    },
+                )?;
+            }
+            for r in new_rules {
+                emitted.insert(r);
+                grew = true;
+                if emitted.len() > limit {
+                    return Err(GroundingError::TooLarge { limit });
+                }
+            }
+            for (pred, tuple) in new_heads {
+                possible.entry(pred).or_default().insert(tuple);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Simplify: drop negated literals whose atom is impossible; a negated
+    // literal whose atom IS possible stays.
+    let is_possible = |name: &String| -> bool {
+        // Re-derive (pred, tuple) from the rendered name.
+        match name.find('(') {
+            None => possible.get(name).is_some_and(|s| s.contains(&Vec::new())),
+            Some(p) => {
+                let pred = &name[..p];
+                let inner = &name[p + 1..name.len() - 1];
+                let tuple: Vec<String> = inner.split(',').map(str::to_owned).collect();
+                possible.get(pred).is_some_and(|s| s.contains(&tuple))
+            }
+        }
+    };
+    let simplified: BTreeSet<GroundRule> = emitted
+        .into_iter()
+        .map(|mut r| {
+            r.body_neg.retain(|g| is_possible(g));
+            r
+        })
+        .collect();
+    Ok(build_database(simplified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_datalog;
+    use ddb_models::Cost;
+
+    #[test]
+    fn grounds_reachability() {
+        let prog = parse_datalog(
+            "edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). \
+             path(X,Y) :- edge(X,Z), path(Z,Y).",
+        )
+        .unwrap();
+        let db = ground_reduced(&prog, 10_000).unwrap();
+        // Reduced grounding derives exactly the reachable paths.
+        let syms = db.symbols();
+        assert!(syms.lookup("path(a,b)").is_some());
+        assert!(syms.lookup("path(a,c)").is_some());
+        assert!(
+            syms.lookup("path(c,a)").is_none(),
+            "unreachable not grounded"
+        );
+        // The least model contains the transitive closure.
+        let mut cost = Cost::new();
+        let mm = ddb_models::minimal::minimal_models(&db, &mut cost);
+        assert_eq!(mm.len(), 1);
+        assert!(mm[0].contains(syms.lookup("path(a,c)").unwrap()));
+    }
+
+    #[test]
+    fn full_grounding_covers_everything() {
+        let prog = parse_datalog("edge(a,b). path(X,Y) :- edge(X,Y).").unwrap();
+        let db = ground_full(&prog, 10_000).unwrap();
+        // 2 constants → 4 instantiations of the rule + the fact.
+        assert_eq!(db.len(), 5);
+        assert!(db.symbols().lookup("path(b,a)").is_some());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let prog = parse_datalog("d(a). d(b). d(c). p(X,Y,Z) :- d(X), d(Y), d(Z).").unwrap();
+        assert!(matches!(
+            ground_full(&prog, 10),
+            Err(GroundingError::TooLarge { .. })
+        ));
+        assert!(ground_full(&prog, 1000).is_ok());
+    }
+
+    #[test]
+    fn unsafe_program_rejected() {
+        let prog = parse_datalog("p(X).").unwrap();
+        assert!(matches!(
+            ground_reduced(&prog, 100),
+            Err(GroundingError::Unsafe(_))
+        ));
+    }
+
+    #[test]
+    fn reduced_preserves_stable_models() {
+        // With negation: stable models of full and reduced groundings
+        // agree (modulo the vocabulary difference, compared by name).
+        let prog = parse_datalog(
+            "node(a). node(b). edge(a,b). \
+             in(X) | out(X) :- node(X). \
+             ok :- in(a), not in(b).",
+        )
+        .unwrap();
+        let full = ground_full(&prog, 100_000).unwrap();
+        let reduced = ground_reduced(&prog, 100_000).unwrap();
+        let mut cost = Cost::new();
+        let names =
+            |db: &Database, models: Vec<ddb_logic::Interpretation>| -> BTreeSet<Vec<String>> {
+                models
+                    .into_iter()
+                    .map(|m| {
+                        let mut names: Vec<String> =
+                            m.iter().map(|a| db.symbols().name(a).to_owned()).collect();
+                        names.sort();
+                        names
+                    })
+                    .collect()
+            };
+        let full_stable = names(&full, ddb_core::dsm::models(&full, &mut cost));
+        let reduced_stable = names(&reduced, ddb_core::dsm::models(&reduced, &mut cost));
+        assert_eq!(full_stable, reduced_stable);
+    }
+
+    #[test]
+    fn reduced_preserves_minimal_models_on_positive_programs() {
+        let prog = parse_datalog(
+            "node(a). node(b). in(X) | out(X) :- node(X). \
+             some :- in(X).",
+        )
+        .unwrap();
+        let full = ground_full(&prog, 100_000).unwrap();
+        let reduced = ground_reduced(&prog, 100_000).unwrap();
+        let mut cost = Cost::new();
+        let project =
+            |db: &Database, models: Vec<ddb_logic::Interpretation>| -> BTreeSet<Vec<String>> {
+                models
+                    .into_iter()
+                    .map(|m| {
+                        let mut names: Vec<String> =
+                            m.iter().map(|a| db.symbols().name(a).to_owned()).collect();
+                        names.sort();
+                        names
+                    })
+                    .collect()
+            };
+        assert_eq!(
+            project(&full, ddb_models::minimal::minimal_models(&full, &mut cost)),
+            project(
+                &reduced,
+                ddb_models::minimal::minimal_models(&reduced, &mut cost)
+            ),
+        );
+    }
+
+    #[test]
+    fn reduced_is_not_minimal_model_preserving_under_negation() {
+        // The documented counterexample: p(a) ← ¬q(a). As a clause,
+        // p(a) ∨ q(a) has minimal models {p(a)} and {q(a)}; reduced
+        // grounding simplifies ¬q(a) away (q(a) underivable) and keeps
+        // only {p(a)}.
+        let prog = parse_datalog("p(a) :- not q(a).").unwrap();
+        let full = ground_full(&prog, 100).unwrap();
+        let reduced = ground_reduced(&prog, 100).unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(
+            ddb_models::minimal::minimal_models(&full, &mut cost).len(),
+            2
+        );
+        assert_eq!(
+            ddb_models::minimal::minimal_models(&reduced, &mut cost).len(),
+            1
+        );
+        // …while the stable models agree (q(a) is never stable-true).
+        let full_stable = ddb_core::dsm::models(&full, &mut cost);
+        assert_eq!(full_stable.len(), 1);
+        assert!(full_stable[0].contains(full.symbols().lookup("p(a)").unwrap()));
+        let red_stable = ddb_core::dsm::models(&reduced, &mut cost);
+        assert_eq!(red_stable.len(), 1);
+    }
+
+    #[test]
+    fn constraints_are_grounded() {
+        let prog = parse_datalog(
+            "node(a). node(b). edge(a,b). \
+             in(X) | out(X) :- node(X). \
+             :- in(X), in(Y), edge(X,Y).",
+        )
+        .unwrap();
+        let db = ground_reduced(&prog, 10_000).unwrap();
+        assert!(db.has_integrity_clauses());
+        // Independent-set reading: {in(a), in(b)} is excluded.
+        let mut cost = Cost::new();
+        let stable = ddb_core::dsm::models(&db, &mut cost);
+        let ina = db.symbols().lookup("in(a)").unwrap();
+        let inb = db.symbols().lookup("in(b)").unwrap();
+        assert!(!stable.iter().any(|m| m.contains(ina) && m.contains(inb)));
+        assert!(!stable.is_empty());
+    }
+
+    #[test]
+    fn disequalities_filter_bindings() {
+        // Proper coloring via !=: adjacent vertices must differ.
+        let prog = parse_datalog(
+            "node(a). node(b). edge(a,b). color(red). color(blue). \
+             has(X,C) | hasnot(X,C) :- node(X), color(C). \
+             :- edge(X,Y), has(X,C), has(Y,C). \
+             ok(X) :- has(X,C1), has(X,C2), C1 != C2.",
+        )
+        .unwrap();
+        let db = ground_reduced(&prog, 100_000).unwrap();
+        // ok(a) exists only via two *distinct* colors.
+        assert!(db.symbols().lookup("ok(a)").is_some());
+        // The C1 != C2 filter prunes the C1 = C2 instantiations: every
+        // ok-rule body mentions two different color atoms.
+        for rule in db.rules() {
+            if rule
+                .head()
+                .first()
+                .is_some_and(|&h| db.symbols().name(h).starts_with("ok("))
+            {
+                assert_eq!(rule.body_pos().len(), 2, "reflexive pair must be pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn disequality_between_constants() {
+        let prog = parse_datalog("p :- q, a != a. r :- q, a != b. q.").unwrap();
+        let db = ground_full(&prog, 1000).unwrap();
+        // a != a is statically false → the p-rule vanishes entirely;
+        // a != b is statically true → the r-rule stays.
+        assert!(db.symbols().lookup("p").is_none());
+        assert!(db.symbols().lookup("r").is_some());
+    }
+
+    #[test]
+    fn disequality_variables_must_be_safe() {
+        let prog = parse_datalog(":- X != Y.").unwrap();
+        assert!(matches!(
+            ground_reduced(&prog, 100),
+            Err(GroundingError::Unsafe(_))
+        ));
+    }
+
+    #[test]
+    fn full_and_reduced_agree_with_disequalities() {
+        let prog = parse_datalog("d(a). d(b). d(c). pair(X,Y) :- d(X), d(Y), X != Y.").unwrap();
+        let full = ground_full(&prog, 100_000).unwrap();
+        let reduced = ground_reduced(&prog, 100_000).unwrap();
+        // 6 ordered pairs either way.
+        let count = |db: &Database| {
+            db.symbols()
+                .atoms()
+                .filter(|&a| db.symbols().name(a).starts_with("pair("))
+                .count()
+        };
+        assert_eq!(count(&full), 6);
+        assert_eq!(count(&reduced), 6);
+        assert!(full.symbols().lookup("pair(a,a)").is_none());
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let prog = parse_datalog("p :- not q. q :- not p.").unwrap();
+        let db = ground_reduced(&prog, 100).unwrap();
+        assert_eq!(db.num_atoms(), 2);
+        let mut cost = Cost::new();
+        assert_eq!(ddb_core::dsm::models(&db, &mut cost).len(), 2);
+    }
+
+    #[test]
+    fn repeated_variables_join_correctly() {
+        // self(X) :- edge(X,X): only loops.
+        let prog = parse_datalog("edge(a,a). edge(a,b). self(X) :- edge(X,X).").unwrap();
+        let db = ground_reduced(&prog, 100).unwrap();
+        assert!(db.symbols().lookup("self(a)").is_some());
+        assert!(db.symbols().lookup("self(b)").is_none());
+    }
+}

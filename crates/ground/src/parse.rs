@@ -1,0 +1,375 @@
+//! Concrete Datalog∨ syntax.
+//!
+//! ```text
+//! edge(a, b). edge(b, c).
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Y) :- edge(X, Z), path(Z, Y).
+//! in(X) | out(X) :- node(X).
+//! :- in(X), in(Y), edge(X, Y).     % constraints
+//! p :- not q.                      % arity-0 predicates, negation
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) are variables;
+//! everything else is a constant or predicate name. `%` starts a comment.
+
+use crate::ast::{DatalogProgram, DatalogRule, PredAtom, Term};
+use std::fmt;
+
+/// A parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Arrow,
+    Dot,
+    Tilde,
+    Neq,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            b'|' => {
+                out.push((Tok::Pipe, i));
+                i += 1;
+            }
+            b'.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            b'~' => {
+                out.push((Tok::Tilde, i));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Neq, i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Tilde, i));
+                    i += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    out.push((Tok::Arrow, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        offset: i,
+                        message: "expected `:-`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    offset: i,
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.end, |(_, o)| *o)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ParseError {
+                offset: self.offset(),
+                message: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.toks.get(self.pos) {
+            Some((Tok::Ident(s), _)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(ParseError {
+                offset: self.offset(),
+                message: "expected identifier".into(),
+            }),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let name = self.ident()?;
+        Ok(
+            if name.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
+                Term::Var(name)
+            } else {
+                Term::Const(name)
+            },
+        )
+    }
+
+    fn atom(&mut self) -> Result<PredAtom, ParseError> {
+        let offset = self.offset();
+        let pred = self.ident()?;
+        if pred.starts_with(|c: char| c.is_ascii_uppercase()) {
+            return Err(ParseError {
+                offset,
+                message: format!("predicate name `{pred}` must not start uppercase"),
+            });
+        }
+        let mut args = Vec::new();
+        if self.eat(&Tok::LParen) {
+            loop {
+                let name = self.ident()?;
+                let term = if name.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
+                    Term::Var(name)
+                } else {
+                    Term::Const(name)
+                };
+                args.push(term);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+        }
+        Ok(PredAtom { pred, args })
+    }
+
+    fn rule(&mut self) -> Result<DatalogRule, ParseError> {
+        let mut head = Vec::new();
+        if self.peek() != Some(&Tok::Arrow) {
+            loop {
+                head.push(self.atom()?);
+                if !self.eat(&Tok::Pipe) {
+                    break;
+                }
+            }
+        }
+        let mut body_pos = Vec::new();
+        let mut body_neg = Vec::new();
+        let mut disequalities = Vec::new();
+        if self.eat(&Tok::Arrow) {
+            loop {
+                // Disequality builtin: `term != term` (lookahead on the
+                // token after the identifier).
+                if matches!(self.peek(), Some(Tok::Ident(_)))
+                    && matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Tok::Neq))
+                {
+                    let lhs = self.term()?;
+                    self.expect(&Tok::Neq, "`!=`")?;
+                    let rhs = self.term()?;
+                    disequalities.push((lhs, rhs));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    continue;
+                }
+                let mut negated = self.eat(&Tok::Tilde);
+                if !negated {
+                    if let Some(Tok::Ident(s)) = self.peek() {
+                        if s == "not" {
+                            self.pos += 1;
+                            negated = true;
+                        }
+                    }
+                }
+                let atom = self.atom()?;
+                if negated {
+                    body_neg.push(atom);
+                } else {
+                    body_pos.push(atom);
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        if head.is_empty() && body_pos.is_empty() && body_neg.is_empty() && disequalities.is_empty()
+        {
+            return Err(ParseError {
+                offset: self.offset(),
+                message: "empty clause".into(),
+            });
+        }
+        self.expect(&Tok::Dot, "`.`")?;
+        Ok(DatalogRule {
+            head,
+            body_pos,
+            body_neg,
+            disequalities,
+        })
+    }
+}
+
+/// Parses a Datalog∨ program.
+pub fn parse_datalog(src: &str) -> Result<DatalogProgram, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        end: src.len(),
+    };
+    let mut rules = Vec::new();
+    while p.peek().is_some() {
+        rules.push(p.rule()?);
+    }
+    Ok(DatalogProgram { rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reachability() {
+        let prog = parse_datalog(
+            "edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). \
+             path(X,Y) :- edge(X,Z), path(Z,Y).",
+        )
+        .unwrap();
+        assert_eq!(prog.rules.len(), 4);
+        assert!(prog.rules[0].is_ground());
+        assert!(!prog.rules[2].is_ground());
+        assert_eq!(prog.rules[3].variables().len(), 3);
+    }
+
+    #[test]
+    fn parses_disjunction_and_negation() {
+        let prog = parse_datalog("in(X) | out(X) :- node(X), not removed(X).").unwrap();
+        let r = &prog.rules[0];
+        assert_eq!(r.head.len(), 2);
+        assert_eq!(r.body_pos.len(), 1);
+        assert_eq!(r.body_neg.len(), 1);
+    }
+
+    #[test]
+    fn parses_constraint_and_proposition() {
+        let prog = parse_datalog(":- p(a), q. r :- not s.").unwrap();
+        assert!(prog.rules[0].head.is_empty());
+        assert_eq!(prog.rules[1].head[0].args.len(), 0);
+    }
+
+    #[test]
+    fn uppercase_is_variable_underscore_too() {
+        let prog = parse_datalog("p(X, _G, a).").unwrap();
+        let args = &prog.rules[0].head[0].args;
+        assert!(args[0].is_var());
+        assert!(args[1].is_var());
+        assert!(!args[2].is_var());
+    }
+
+    #[test]
+    fn rejects_uppercase_predicate() {
+        assert!(parse_datalog("Pred(a).").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(parse_datalog("p(a.").is_err());
+        assert!(parse_datalog("p(a))").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let prog = parse_datalog("% intro\np(a). % trailing\nq(b).").unwrap();
+        assert_eq!(prog.rules.len(), 2);
+    }
+
+    #[test]
+    fn parses_disequalities() {
+        let prog = parse_datalog("pair(X,Y) :- d(X), d(Y), X != Y. p :- q, a != b.").unwrap();
+        assert_eq!(prog.rules[0].disequalities.len(), 1);
+        let (l, r) = &prog.rules[0].disequalities[0];
+        assert!(l.is_var() && r.is_var());
+        assert_eq!(prog.rules[1].disequalities.len(), 1);
+        // Negation still lexes: `!` alone is Tilde.
+        let neg = parse_datalog("p :- !q.").unwrap();
+        assert_eq!(neg.rules[0].body_neg.len(), 1);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "in(X) | out(X) :- node(X), not removed(X). :- in(a). \
+                   pair(X,Y) :- n(X), n(Y), X != Y.";
+        let prog = parse_datalog(src).unwrap();
+        let printed = prog.to_string();
+        let prog2 = parse_datalog(&printed).unwrap();
+        assert_eq!(prog, prog2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Safety (range restriction): every variable of a rule must occur in the
+//! rule's positive body, so grounding ranges over derivable bindings only
+//! and negation is evaluated on ground atoms.
+
+use crate::ast::{DatalogProgram, DatalogRule};
+use std::fmt;
+
+/// A safety violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyError {
+    /// Index of the offending rule in the program.
+    pub rule_index: usize,
+    /// The unsafe variable.
+    pub variable: String,
+    /// Rendered rule for the message.
+    pub rule: String,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsafe variable `{}` in rule {} (`{}`): every variable must occur in the positive body",
+            self.variable, self.rule_index, self.rule
+        )
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Checks one rule.
+pub fn check_rule(index: usize, rule: &DatalogRule) -> Result<(), SafetyError> {
+    let positive = rule.positive_body_variables();
+    for v in rule.variables() {
+        if !positive.contains(&v) {
+            return Err(SafetyError {
+                rule_index: index,
+                variable: v,
+                rule: rule.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a whole program.
+pub fn check_program(prog: &DatalogProgram) -> Result<(), SafetyError> {
+    for (i, rule) in prog.rules.iter().enumerate() {
+        check_rule(i, rule)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_datalog;
+
+    #[test]
+    fn safe_program_passes() {
+        let prog =
+            parse_datalog("edge(a,b). path(X,Y) :- edge(X,Y). p(X) | q(X) :- edge(X,Y), not r(Y).")
+                .unwrap();
+        assert!(check_program(&prog).is_ok());
+    }
+
+    #[test]
+    fn head_variable_unbound() {
+        let prog = parse_datalog("p(X).").unwrap();
+        let err = check_program(&prog).unwrap_err();
+        assert_eq!(err.variable, "X");
+        assert_eq!(err.rule_index, 0);
+    }
+
+    #[test]
+    fn negative_body_variable_unbound() {
+        let prog = parse_datalog("p(a) :- not q(X).").unwrap();
+        let err = check_program(&prog).unwrap_err();
+        assert_eq!(err.variable, "X");
+    }
+
+    #[test]
+    fn constraint_variables_must_be_positive_bound() {
+        assert!(check_program(&parse_datalog(":- edge(X,Y), not used(X).").unwrap()).is_ok());
+        assert!(check_program(&parse_datalog(":- not used(X).").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Atoms and literals.
+
+use std::fmt;
+
+/// A propositional variable, identified by its index in a [`crate::Symbols`]
+/// table.
+///
+/// Atoms are plain `u32` indices so that interpretations can be bitsets and
+/// rules can be flat vectors. An `Atom` is only meaningful relative to the
+/// vocabulary it was interned in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(u32);
+
+impl Atom {
+    /// Creates an atom from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        Atom(index)
+    }
+
+    /// The raw index of this atom.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal over this atom.
+    #[inline]
+    pub fn pos(self) -> Literal {
+        Literal::positive(self)
+    }
+
+    /// The negative literal over this atom.
+    #[inline]
+    pub fn neg(self) -> Literal {
+        Literal::negative(self)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atom({})", self.0)
+    }
+}
+
+/// A signed occurrence of an atom: either `x` or `¬x`.
+///
+/// Encoded as `2·atom + sign` so a literal fits in a `u32` and can index
+/// watch lists directly (the same trick the SAT crate uses).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal(u32);
+
+impl Literal {
+    /// The positive literal `x`.
+    #[inline]
+    pub fn positive(atom: Atom) -> Self {
+        Literal(atom.0 << 1)
+    }
+
+    /// The negative literal `¬x`.
+    #[inline]
+    pub fn negative(atom: Atom) -> Self {
+        Literal((atom.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit sign; `positive == true` yields `x`.
+    #[inline]
+    pub fn with_sign(atom: Atom, positive: bool) -> Self {
+        if positive {
+            Self::positive(atom)
+        } else {
+            Self::negative(atom)
+        }
+    }
+
+    /// The underlying atom.
+    #[inline]
+    pub fn atom(self) -> Atom {
+        Atom(self.0 >> 1)
+    }
+
+    /// `true` for `x`, `false` for `¬x`.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// `true` for `¬x`.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal (`x` ↦ `¬x`, `¬x` ↦ `x`).
+    #[inline]
+    pub fn complement(self) -> Self {
+        Literal(self.0 ^ 1)
+    }
+
+    /// Dense code of the literal (`2·atom + sign`), usable as an array index.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "v{}", self.atom().index())
+    }
+}
+
+impl From<Atom> for Literal {
+    fn from(a: Atom) -> Self {
+        a.pos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let a = Atom::new(7);
+        assert_eq!(a.pos().atom(), a);
+        assert_eq!(a.neg().atom(), a);
+        assert!(a.pos().is_positive());
+        assert!(a.neg().is_negative());
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let a = Atom::new(3);
+        assert_eq!(a.pos().complement(), a.neg());
+        assert_eq!(a.neg().complement(), a.pos());
+        assert_eq!(a.pos().complement().complement(), a.pos());
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        let a = Atom::new(0);
+        let b = Atom::new(1);
+        assert_eq!(a.pos().code(), 0);
+        assert_eq!(a.neg().code(), 1);
+        assert_eq!(b.pos().code(), 2);
+        assert_eq!(b.neg().code(), 3);
+    }
+
+    #[test]
+    fn ordering_groups_by_atom() {
+        let a = Atom::new(1);
+        let b = Atom::new(2);
+        assert!(a.pos() < a.neg());
+        assert!(a.neg() < b.pos());
+    }
+}

@@ -1,0 +1,484 @@
+//! Disjunctive databases and their syntactic classification.
+
+use crate::{Atom, Interpretation, Rule, Symbols};
+use std::fmt;
+
+/// The paper's syntactic classes of propositional disjunctive databases,
+/// following the classification of Fernandez & Minker \[9\]:
+///
+/// * **Positive** — no negation *and* no integrity clauses (the class of
+///   Table 1);
+/// * **Deductive** (DDDB) — `DB ⊆ C⁺`: no negation, but integrity clauses
+///   are allowed;
+/// * **Stratified** (DSDB) — negation allowed, but stratifiable;
+/// * **Normal** (DNDB) — arbitrary.
+///
+/// Classes are nested: `Positive ⊂ Deductive ⊂ Stratified ⊂ Normal`
+/// (every positive database is trivially stratified). [`Database::class`]
+/// returns the *most specific* class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DbClass {
+    /// No negation, no integrity clauses (Table 1 databases).
+    Positive,
+    /// No negation; integrity clauses allowed (`DB ⊆ C⁺`).
+    Deductive,
+    /// Stratifiable w.r.t. negation.
+    Stratified,
+    /// Arbitrary (unstratifiable) normal database.
+    Normal,
+}
+
+/// A propositional disjunctive database: a finite set of [`Rule`]s over a
+/// vocabulary ([`Symbols`]).
+///
+/// The database owns its vocabulary. Atoms of rules must have been interned
+/// in that vocabulary; [`Database::add_rule`] enforces this.
+#[derive(Clone)]
+pub struct Database {
+    symbols: Symbols,
+    rules: Vec<Rule>,
+}
+
+impl Database {
+    /// Creates an empty database over `symbols`.
+    pub fn new(symbols: Symbols) -> Self {
+        Database {
+            symbols,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Creates an empty database over a fresh vocabulary `x0 … x{n-1}`.
+    pub fn with_fresh_atoms(n: usize) -> Self {
+        Self::new(Symbols::fresh(n))
+    }
+
+    /// Adds a rule.
+    ///
+    /// # Panics
+    /// Panics if the rule mentions an atom outside the vocabulary.
+    pub fn add_rule(&mut self, rule: Rule) {
+        if let Some(max) = rule.max_atom() {
+            assert!(
+                max.index() < self.symbols.len(),
+                "rule mentions atom {} outside vocabulary of size {}",
+                max.index(),
+                self.symbols.len()
+            );
+        }
+        self.rules.push(rule);
+    }
+
+    /// The rules of the database.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The vocabulary.
+    pub fn symbols(&self) -> &Symbols {
+        &self.symbols
+    }
+
+    /// Mutable access to the vocabulary (for reductions that extend it).
+    pub fn symbols_mut(&mut self) -> &mut Symbols {
+        &mut self.symbols
+    }
+
+    /// `|V|` — the size of the vocabulary.
+    pub fn num_atoms(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the database has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether any rule uses negation.
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(|r| !r.is_positive())
+    }
+
+    /// Whether any rule is an integrity clause (empty head).
+    pub fn has_integrity_clauses(&self) -> bool {
+        self.rules.iter().any(|r| r.is_integrity())
+    }
+
+    /// Whether the database is positive in the sense of Table 1: no
+    /// negation and no integrity clauses.
+    pub fn is_positive(&self) -> bool {
+        !self.has_negation() && !self.has_integrity_clauses()
+    }
+
+    /// Whether every rule is Horn.
+    pub fn is_horn(&self) -> bool {
+        self.rules.iter().all(|r| r.is_horn())
+    }
+
+    /// The most specific syntactic class of this database.
+    pub fn class(&self) -> DbClass {
+        if !self.has_negation() {
+            if self.has_integrity_clauses() {
+                DbClass::Deductive
+            } else {
+                DbClass::Positive
+            }
+        } else if self.stratification().is_some() {
+            DbClass::Stratified
+        } else {
+            DbClass::Normal
+        }
+    }
+
+    /// Whether `m ⊨ DB` (every rule satisfied).
+    pub fn satisfied_by(&self, m: &Interpretation) -> bool {
+        self.rules.iter().all(|r| r.satisfied_by(m))
+    }
+
+    /// Computes a stratification `⟨S₁, …, S_r⟩` of the vocabulary, if one
+    /// exists.
+    ///
+    /// A stratification assigns each atom a stratum such that for every
+    /// non-integrity rule `H ← B⁺ ∧ ¬B⁻`:
+    ///
+    /// * all atoms of `H` share one stratum `s`;
+    /// * every atom of `B⁺` has stratum ≤ `s`;
+    /// * every atom of `B⁻` has stratum < `s` (negation must not recurse).
+    ///
+    /// Integrity clauses impose no constraint (the usual convention —
+    /// constraints only prune models). Returns the strata as consecutive
+    /// groups of atoms, lowest first; atoms not occurring in any rule go to
+    /// stratum 0. Returns `None` iff the database is unstratifiable.
+    ///
+    /// The algorithm builds the dependency graph with weak (≤) and strict
+    /// (<) edges, contracts strongly connected components, and fails iff a
+    /// strict edge lies inside a component; stratum numbers are longest
+    /// strict-edge counts over the condensation.
+    pub fn stratification(&self) -> Option<Vec<Vec<Atom>>> {
+        let n = self.num_atoms();
+        // Edges: (from, to, strict). Constraint: stratum(to) ≥ stratum(from),
+        // strict ⇒ stratum(to) > stratum(from).
+        let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n];
+        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let add_edge = |adj: &mut Vec<Vec<(u32, bool)>>,
+                        radj: &mut Vec<Vec<u32>>,
+                        from: Atom,
+                        to: Atom,
+                        strict: bool| {
+            adj[from.index()].push((to.index() as u32, strict));
+            radj[to.index()].push(from.index() as u32);
+        };
+        for rule in &self.rules {
+            if rule.is_integrity() {
+                continue;
+            }
+            let head = rule.head();
+            // Head atoms must share a stratum: cycle of weak edges.
+            for w in head.windows(2) {
+                add_edge(&mut adj, &mut radj, w[0], w[1], false);
+                add_edge(&mut adj, &mut radj, w[1], w[0], false);
+            }
+            let h0 = head[0];
+            for &b in rule.body_pos() {
+                add_edge(&mut adj, &mut radj, b, h0, false);
+            }
+            for &c in rule.body_neg() {
+                add_edge(&mut adj, &mut radj, c, h0, true);
+            }
+        }
+
+        // Tarjan-free SCC via Kosaraju (iterative) — deterministic order.
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            // Iterative post-order DFS.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            seen[start] = true;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < adj[v].len() {
+                    let (w, _) = adj[v][*i];
+                    *i += 1;
+                    let w = w as usize;
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut num_comps = 0;
+        for &start in order.iter().rev() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = num_comps;
+            num_comps += 1;
+            let mut stack = vec![start];
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                for &w in &radj[v] {
+                    let w = w as usize;
+                    if comp[w] == usize::MAX {
+                        comp[w] = c;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+
+        // Strict edge within a component ⇒ unstratifiable.
+        for v in 0..n {
+            for &(w, strict) in &adj[v] {
+                if strict && comp[v] == comp[w as usize] {
+                    return None;
+                }
+            }
+        }
+
+        // Longest path by strict-edge count over the condensation (which is
+        // a DAG). Components are numbered in reverse topological order by
+        // Kosaraju, i.e. comp 0 has no incoming edges from other comps...
+        // safer: do a DP over atoms in condensation topological order.
+        let mut level = vec![0usize; num_comps];
+        // Kosaraju assigns component ids in topological order of the
+        // condensation (sources first), so a forward pass relaxes correctly.
+        let mut comp_edges: Vec<Vec<(usize, bool)>> = vec![Vec::new(); num_comps];
+        for v in 0..n {
+            for &(w, strict) in &adj[v] {
+                let (cv, cw) = (comp[v], comp[w as usize]);
+                if cv != cw {
+                    comp_edges[cv].push((cw, strict));
+                }
+            }
+        }
+        for c in 0..num_comps {
+            let lc = level[c];
+            for &(d, strict) in &comp_edges[c] {
+                debug_assert!(d > c, "component ids must be topologically ordered");
+                let need = lc + usize::from(strict);
+                if level[d] < need {
+                    level[d] = need;
+                }
+            }
+        }
+
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut strata: Vec<Vec<Atom>> = vec![Vec::new(); max_level + 1];
+        for v in 0..n {
+            strata[level[comp[v]]].push(Atom::new(v as u32));
+        }
+        // Drop trailing empty strata but keep at least one stratum for a
+        // non-empty vocabulary.
+        while strata.len() > 1 && strata.last().is_some_and(Vec::is_empty) {
+            strata.pop();
+        }
+        Some(strata)
+    }
+
+    /// Splits the database along a stratification: `layers[i]` contains the
+    /// rules whose head belongs to stratum `i` (`DBᵢ` in the paper's ICWA
+    /// machinery). Integrity clauses are placed in the stratum of their
+    /// highest body atom.
+    pub fn layers(&self, strata: &[Vec<Atom>]) -> Vec<Vec<Rule>> {
+        let n = self.num_atoms();
+        let mut stratum_of = vec![0usize; n];
+        for (i, s) in strata.iter().enumerate() {
+            for &a in s {
+                stratum_of[a.index()] = i;
+            }
+        }
+        let mut layers: Vec<Vec<Rule>> = vec![Vec::new(); strata.len()];
+        for rule in &self.rules {
+            let s = if let Some(&h) = rule.head().first() {
+                stratum_of[h.index()]
+            } else {
+                rule.atoms()
+                    .map(|a| stratum_of[a.index()])
+                    .max()
+                    .unwrap_or(0)
+            };
+            layers[s].push(rule.clone());
+        }
+        layers
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Database({} atoms, {} rules):",
+            self.num_atoms(),
+            self.len()
+        )?;
+        for r in &self.rules {
+            writeln!(f, "  {}", crate::parse::display_rule(r, &self.symbols))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(n: usize, rules: Vec<Rule>) -> Database {
+        let mut d = Database::with_fresh_atoms(n);
+        for r in rules {
+            d.add_rule(r);
+        }
+        d
+    }
+
+    fn a(i: u32) -> Atom {
+        Atom::new(i)
+    }
+
+    #[test]
+    fn classification_positive() {
+        let d = db(2, vec![Rule::fact([a(0), a(1)])]);
+        assert_eq!(d.class(), DbClass::Positive);
+        assert!(d.is_positive());
+    }
+
+    #[test]
+    fn classification_deductive() {
+        let d = db(2, vec![Rule::fact([a(0)]), Rule::integrity([a(1)], [])]);
+        assert_eq!(d.class(), DbClass::Deductive);
+        assert!(!d.is_positive());
+        assert!(!d.has_negation());
+    }
+
+    #[test]
+    fn classification_stratified() {
+        // b ← ¬a : stratified, a below b.
+        let d = db(2, vec![Rule::new([a(1)], [], [a(0)])]);
+        assert_eq!(d.class(), DbClass::Stratified);
+        let strata = d.stratification().unwrap();
+        assert_eq!(strata.len(), 2);
+        assert!(strata[0].contains(&a(0)));
+        assert!(strata[1].contains(&a(1)));
+    }
+
+    #[test]
+    fn classification_normal() {
+        // a ← ¬b ; b ← ¬a : the classic unstratifiable loop.
+        let d = db(
+            2,
+            vec![Rule::new([a(0)], [], [a(1)]), Rule::new([a(1)], [], [a(0)])],
+        );
+        assert_eq!(d.class(), DbClass::Normal);
+        assert!(d.stratification().is_none());
+    }
+
+    #[test]
+    fn positive_recursion_is_stratified() {
+        // a ← b ; b ← a : positive loop, one stratum.
+        let d = db(
+            2,
+            vec![Rule::new([a(0)], [a(1)], []), Rule::new([a(1)], [a(0)], [])],
+        );
+        let strata = d.stratification().unwrap();
+        assert_eq!(strata.len(), 1);
+    }
+
+    #[test]
+    fn negative_self_loop_unstratifiable() {
+        // a ← ¬a.
+        let d = db(1, vec![Rule::new([a(0)], [], [a(0)])]);
+        assert!(d.stratification().is_none());
+    }
+
+    #[test]
+    fn disjunctive_head_shares_stratum() {
+        // a ∨ b ← ¬c ; c has to be strictly below both a and b.
+        let d = db(3, vec![Rule::new([a(0), a(1)], [], [a(2)])]);
+        let strata = d.stratification().unwrap();
+        assert_eq!(strata.len(), 2);
+        assert!(strata[0].contains(&a(2)));
+        assert!(strata[1].contains(&a(0)) && strata[1].contains(&a(1)));
+    }
+
+    #[test]
+    fn head_sharing_forces_unstratifiability() {
+        // a ∨ b ← ¬c ; c ← a : then c < a (strict) but a,b in one stratum
+        // and c ≥ a via second rule ⇒ cycle with strict edge.
+        let d = db(
+            3,
+            vec![
+                Rule::new([a(0), a(1)], [], [a(2)]),
+                Rule::new([a(2)], [a(0)], []),
+            ],
+        );
+        assert!(d.stratification().is_none());
+    }
+
+    #[test]
+    fn chain_gets_increasing_strata() {
+        // x1 ← ¬x0 ; x2 ← ¬x1 ; x3 ← ¬x2.
+        let d = db(
+            4,
+            vec![
+                Rule::new([a(1)], [], [a(0)]),
+                Rule::new([a(2)], [], [a(1)]),
+                Rule::new([a(3)], [], [a(2)]),
+            ],
+        );
+        let strata = d.stratification().unwrap();
+        assert_eq!(strata.len(), 4);
+        for i in 0..4 {
+            assert_eq!(strata[i], vec![a(i as u32)]);
+        }
+    }
+
+    #[test]
+    fn layers_follow_head_strata() {
+        let d = db(
+            3,
+            vec![
+                Rule::fact([a(0)]),
+                Rule::new([a(1)], [], [a(0)]),
+                Rule::integrity([a(1)], []),
+            ],
+        );
+        let strata = d.stratification().unwrap();
+        let layers = d.layers(&strata);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 1); // fact about x0
+        assert_eq!(layers[1].len(), 2); // rule for x1 + integrity clause on x1
+    }
+
+    #[test]
+    fn model_check() {
+        // a ∨ b. ; ← a ∧ b.
+        let d = db(
+            2,
+            vec![Rule::fact([a(0), a(1)]), Rule::integrity([a(0), a(1)], [])],
+        );
+        let m_a = Interpretation::from_atoms(2, [a(0)]);
+        let m_ab = Interpretation::from_atoms(2, [a(0), a(1)]);
+        let m_none = Interpretation::empty(2);
+        assert!(d.satisfied_by(&m_a));
+        assert!(!d.satisfied_by(&m_ab));
+        assert!(!d.satisfied_by(&m_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocabulary_rule_rejected() {
+        let mut d = Database::with_fresh_atoms(1);
+        d.add_rule(Rule::fact([a(5)]));
+    }
+}

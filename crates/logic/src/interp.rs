@@ -1,0 +1,287 @@
+//! Two-valued interpretations as fixed-width bitsets.
+
+use crate::{Atom, Literal};
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A two-valued interpretation over a vocabulary of `n` atoms, identified
+/// with the set of atoms it makes true (the paper's Herbrand-style
+/// convention: a model *is* a set of atoms).
+///
+/// Backed by a `Vec<u64>` bitset sized to the vocabulary, so subset tests —
+/// the hot operation of minimal-model reasoning — are word-parallel.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interpretation {
+    words: Vec<u64>,
+    num_atoms: usize,
+}
+
+impl Interpretation {
+    /// The empty interpretation (all atoms false) over `num_atoms` atoms.
+    pub fn empty(num_atoms: usize) -> Self {
+        Interpretation {
+            words: vec![0; num_atoms.div_ceil(BITS)],
+            num_atoms,
+        }
+    }
+
+    /// The full interpretation (all atoms true) over `num_atoms` atoms.
+    pub fn full(num_atoms: usize) -> Self {
+        let mut i = Self::empty(num_atoms);
+        for a in 0..num_atoms {
+            i.insert(Atom::new(a as u32));
+        }
+        i
+    }
+
+    /// Builds an interpretation from the atoms it makes true.
+    pub fn from_atoms(num_atoms: usize, atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let mut i = Self::empty(num_atoms);
+        for a in atoms {
+            i.insert(a);
+        }
+        i
+    }
+
+    /// Number of atoms in the vocabulary this interpretation ranges over.
+    pub fn num_atoms(&self) -> usize {
+        self.num_atoms
+    }
+
+    /// Whether `atom` is true.
+    #[inline]
+    pub fn contains(&self, atom: Atom) -> bool {
+        let i = atom.index();
+        debug_assert!(i < self.num_atoms);
+        self.words[i / BITS] >> (i % BITS) & 1 == 1
+    }
+
+    /// Whether `lit` is satisfied.
+    #[inline]
+    pub fn satisfies(&self, lit: Literal) -> bool {
+        self.contains(lit.atom()) == lit.is_positive()
+    }
+
+    /// Makes `atom` true.
+    #[inline]
+    pub fn insert(&mut self, atom: Atom) {
+        let i = atom.index();
+        debug_assert!(i < self.num_atoms);
+        self.words[i / BITS] |= 1 << (i % BITS);
+    }
+
+    /// Makes `atom` false.
+    #[inline]
+    pub fn remove(&mut self, atom: Atom) {
+        let i = atom.index();
+        debug_assert!(i < self.num_atoms);
+        self.words[i / BITS] &= !(1 << (i % BITS));
+    }
+
+    /// Sets `atom` to `value`.
+    #[inline]
+    pub fn set(&mut self, atom: Atom, value: bool) {
+        if value {
+            self.insert(atom)
+        } else {
+            self.remove(atom)
+        }
+    }
+
+    /// Number of true atoms.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no atom is true.
+    pub fn is_empty_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ⊆ other` (as sets of true atoms).
+    pub fn is_subset(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.num_atoms, other.num_atoms);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// `self ⊂ other` (proper subset).
+    pub fn is_proper_subset(&self, other: &Self) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// `self ⊆ other` restricted to the atoms in `mask`:
+    /// `self ∩ mask ⊆ other ∩ mask`.
+    pub fn is_subset_within(&self, other: &Self, mask: &Self) -> bool {
+        debug_assert_eq!(self.num_atoms, other.num_atoms);
+        debug_assert_eq!(self.num_atoms, mask.num_atoms);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .zip(&mask.words)
+            .all(|((&a, &b), &m)| a & m & !b == 0)
+    }
+
+    /// Whether `self` and `other` agree on every atom of `mask`.
+    pub fn agrees_within(&self, other: &Self, mask: &Self) -> bool {
+        debug_assert_eq!(self.num_atoms, other.num_atoms);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .zip(&mask.words)
+            .all(|((&a, &b), &m)| (a ^ b) & m == 0)
+    }
+
+    /// Iterates over the true atoms in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(Atom::new((wi * BITS + tz) as u32))
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.num_atoms, other.num_atoms);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.num_atoms, other.num_atoms);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place set difference (`self ∖ other`).
+    pub fn difference_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.num_atoms, other.num_atoms);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns the set of atoms in `self` but not `other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut d = self.clone();
+        d.difference_with(other);
+        d
+    }
+}
+
+impl fmt::Debug for Interpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, a) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{}", a.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interp(n: usize, atoms: &[u32]) -> Interpretation {
+        Interpretation::from_atoms(n, atoms.iter().map(|&i| Atom::new(i)))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = Interpretation::empty(100);
+        let a = Atom::new(64);
+        assert!(!m.contains(a));
+        m.insert(a);
+        assert!(m.contains(a));
+        m.remove(a);
+        assert!(!m.contains(a));
+    }
+
+    #[test]
+    fn satisfies_respects_sign() {
+        let m = interp(4, &[1]);
+        assert!(m.satisfies(Atom::new(1).pos()));
+        assert!(!m.satisfies(Atom::new(1).neg()));
+        assert!(m.satisfies(Atom::new(2).neg()));
+        assert!(!m.satisfies(Atom::new(2).pos()));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = interp(10, &[1, 3]);
+        let b = interp(10, &[1, 3, 5]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn subset_within_mask() {
+        let a = interp(10, &[1, 7]);
+        let b = interp(10, &[1, 3]);
+        let mask = interp(10, &[1, 3]);
+        // a ∩ mask = {1} ⊆ {1,3} = b ∩ mask, even though a ⊄ b globally.
+        assert!(a.is_subset_within(&b, &mask));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn agrees_within_mask() {
+        let a = interp(10, &[1, 7]);
+        let b = interp(10, &[1, 8]);
+        let z = interp(10, &[7, 8]);
+        let q = interp(10, &[1, 2]);
+        assert!(a.agrees_within(&b, &q));
+        assert!(!a.agrees_within(&b, &z));
+    }
+
+    #[test]
+    fn iter_yields_sorted_atoms() {
+        let m = interp(200, &[0, 63, 64, 65, 199]);
+        let got: Vec<usize> = m.iter().map(|a| a.index()).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 199]);
+        assert_eq!(m.count(), 5);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = interp(10, &[1, 2, 3]);
+        let b = interp(10, &[2, 3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, interp(10, &[1, 2, 3, 4]));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, interp(10, &[2, 3]));
+        a.difference_with(&b);
+        assert_eq!(a, interp(10, &[1]));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let f = Interpretation::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(Interpretation::empty(70).is_empty_set());
+        assert!(Interpretation::empty(70).is_subset(&f));
+    }
+}

@@ -1,0 +1,50 @@
+//! # ddb-logic — propositional substrate for disjunctive databases
+//!
+//! This crate provides the syntactic and semantic groundwork used by every
+//! other crate in the workspace:
+//!
+//! * [`Atom`] / [`Literal`] — interned propositional variables and signed
+//!   occurrences thereof;
+//! * [`Symbols`] — the string ↔ [`Atom`] interner (the *vocabulary* `V` of
+//!   the paper);
+//! * [`Rule`] — a disjunctive clause `a₁ ∨ … ∨ aₙ ← b₁ ∧ … ∧ bₖ ∧ ¬c₁ ∧ … ∧ ¬cₘ`,
+//!   including *integrity clauses* (empty head) and facts (empty body);
+//! * [`Database`] — a finite set of rules over a vocabulary, together with
+//!   its classification into the paper's syntactic classes
+//!   ([`DbClass::Positive`], [`DbClass::Deductive`], [`DbClass::Stratified`],
+//!   [`DbClass::Normal`]);
+//! * [`Interpretation`] — a two-valued interpretation as a bitset over the
+//!   vocabulary, and [`PartialInterpretation`] — a three-valued (partial)
+//!   interpretation used by the partial disjunctive stable model semantics;
+//! * [`Formula`] — a full propositional formula AST with two- and
+//!   three-valued evaluation, used for the paper's *formula inference*
+//!   problem;
+//! * [`cnf`] — clausal form and a Tseitin transformation, the bridge to the
+//!   SAT substrate;
+//! * [`parse`] — a small concrete syntax for databases and formulas.
+//!
+//! Everything in this crate is deterministic and allocation-conscious;
+//! interpretations are fixed-width bitsets sized to the vocabulary so that
+//! the model-enumeration loops in `ddb-models` can clone and compare them
+//! cheaply.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+pub mod cnf;
+mod database;
+mod formula;
+mod interp;
+pub mod parse;
+mod partial;
+mod rule;
+mod symbols;
+
+pub use atom::{Atom, Literal};
+pub use database::{Database, DbClass};
+pub use formula::Formula;
+pub use interp::Interpretation;
+pub use partial::{PartialInterpretation, TruthValue};
+pub use rule::Rule;
+pub use symbols::Symbols;

@@ -1,0 +1,235 @@
+//! Tokenizer shared by the program and formula parsers.
+
+use std::fmt;
+
+/// A lexical token with its byte offset (for error reporting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds of the concrete syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// An identifier (atom name) or keyword (`not`, `v`, `true`, `false`).
+    Ident(String),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `:-`
+    Arrow,
+    /// `~` or `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `->`
+    Implies,
+    /// `<->`
+    Iff,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Arrow => write!(f, "`:-`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Implies => write!(f, "`->`"),
+            TokenKind::Iff => write!(f, "`<->`"),
+        }
+    }
+}
+
+/// Tokenizes `src`; returns the token list or an (offset, message) error.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, (usize, String)> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'|' => {
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'~' | b'!' => {
+                tokens.push(Token {
+                    kind: TokenKind::Bang,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(Token {
+                    kind: TokenKind::Amp,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err((i, "expected `:-`".to_owned()));
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err((i, "expected `->`".to_owned()));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Iff,
+                        offset: i,
+                    });
+                    i += 3;
+                } else {
+                    return Err((i, "expected `<->`".to_owned()));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err((i, format!("unexpected character `{}`", other as char)));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_rule() {
+        let toks = tokenize("a|b :- c, not d.").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        use TokenKind::*;
+        assert_eq!(
+            kinds,
+            vec![
+                &Ident("a".into()),
+                &Pipe,
+                &Ident("b".into()),
+                &Arrow,
+                &Ident("c".into()),
+                &Comma,
+                &Ident("not".into()),
+                &Ident("d".into()),
+                &Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_formula_operators() {
+        let toks = tokenize("a -> b <-> !c & d").unwrap();
+        use TokenKind::*;
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &Ident("a".into()),
+                &Implies,
+                &Ident("b".into()),
+                &Iff,
+                &Bang,
+                &Ident("c".into()),
+                &Amp,
+                &Ident("d".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("a. % comment with : - symbols\nb.").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn error_on_stray_colon() {
+        assert!(tokenize("a : b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("  ab cd").unwrap();
+        assert_eq!(toks[0].offset, 2);
+        assert_eq!(toks[1].offset, 5);
+    }
+}

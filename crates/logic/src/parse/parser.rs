@@ -1,0 +1,358 @@
+//! Recursive-descent parsers for programs and formulas.
+
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::{Database, Formula, Rule, Symbols};
+use std::fmt;
+
+/// A parse error with byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error occurred.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+    end: usize,
+}
+
+impl Cursor {
+    fn new(tokens: Vec<Token>, src_len: usize) -> Self {
+        Cursor {
+            tokens,
+            pos: 0,
+            end: src_len,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |t| t.offset)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {kind}, found {}",
+                self.peek()
+                    .map_or("end of input".to_owned(), |k| k.to_string())
+            )))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+/// Parses a program into a [`Database`] with a fresh vocabulary containing
+/// exactly the atoms mentioned, in order of first occurrence.
+pub fn parse_program(src: &str) -> Result<Database, ParseError> {
+    let tokens = tokenize(src).map_err(|(offset, message)| ParseError { offset, message })?;
+    let mut cur = Cursor::new(tokens, src.len());
+    let mut symbols = Symbols::new();
+    let mut rules = Vec::new();
+
+    while !cur.at_end() {
+        rules.push(parse_rule(&mut cur, &mut symbols)?);
+    }
+
+    let mut db = Database::new(symbols);
+    for r in rules {
+        db.add_rule(r);
+    }
+    Ok(db)
+}
+
+fn ident(cur: &mut Cursor) -> Result<String, ParseError> {
+    match cur.bump() {
+        Some(TokenKind::Ident(s)) => Ok(s),
+        Some(other) => Err(ParseError {
+            offset: cur.tokens[cur.pos - 1].offset,
+            message: format!("expected atom name, found {other}"),
+        }),
+        None => Err(cur.error("expected atom name, found end of input".into())),
+    }
+}
+
+fn parse_rule(cur: &mut Cursor, symbols: &mut Symbols) -> Result<Rule, ParseError> {
+    let mut head = Vec::new();
+    // Head: either empty (integrity clause, starts with `:-`) or atoms
+    // separated by `|` (or the keyword `v`).
+    if cur.peek() != Some(&TokenKind::Arrow) {
+        loop {
+            let name = ident(cur)?;
+            if name == "not" {
+                return Err(cur.error("`not` is not allowed in rule heads".into()));
+            }
+            head.push(symbols.intern(&name));
+            if cur.eat(&TokenKind::Pipe) {
+                continue;
+            }
+            if let Some(TokenKind::Ident(s)) = cur.peek() {
+                if s == "v" {
+                    cur.bump();
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+    let mut body_pos = Vec::new();
+    let mut body_neg = Vec::new();
+    if cur.eat(&TokenKind::Arrow) {
+        loop {
+            let mut negated = cur.eat(&TokenKind::Bang);
+            if !negated {
+                if let Some(TokenKind::Ident(s)) = cur.peek() {
+                    if s == "not" {
+                        cur.bump();
+                        negated = true;
+                    }
+                }
+            }
+            let name = ident(cur)?;
+            let atom = symbols.intern(&name);
+            if negated {
+                body_neg.push(atom);
+            } else {
+                body_pos.push(atom);
+            }
+            if !cur.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+    }
+    if head.is_empty() && body_pos.is_empty() && body_neg.is_empty() {
+        return Err(cur.error("empty clause".into()));
+    }
+    cur.expect(&TokenKind::Dot)?;
+    Ok(Rule::new(head, body_pos, body_neg))
+}
+
+/// Parses a formula over an existing vocabulary. Unknown atom names are an
+/// error (inference queries must stay within the database's vocabulary).
+pub fn parse_formula(src: &str, symbols: &Symbols) -> Result<Formula, ParseError> {
+    let tokens = tokenize(src).map_err(|(offset, message)| ParseError { offset, message })?;
+    let mut cur = Cursor::new(tokens, src.len());
+    let f = parse_iff(&mut cur, symbols)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after formula".into()));
+    }
+    Ok(f)
+}
+
+fn parse_iff(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
+    let mut f = parse_implies(cur, symbols)?;
+    while cur.eat(&TokenKind::Iff) {
+        let rhs = parse_implies(cur, symbols)?;
+        f = f.iff(rhs);
+    }
+    Ok(f)
+}
+
+fn parse_implies(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
+    let lhs = parse_or(cur, symbols)?;
+    if cur.eat(&TokenKind::Implies) {
+        // Right-associative.
+        let rhs = parse_implies(cur, symbols)?;
+        Ok(lhs.implies(rhs))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn parse_or(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
+    let mut parts = vec![parse_and(cur, symbols)?];
+    while cur.eat(&TokenKind::Pipe) {
+        parts.push(parse_and(cur, symbols)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("one element")
+    } else {
+        Formula::Or(parts)
+    })
+}
+
+fn parse_and(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
+    let mut parts = vec![parse_unary(cur, symbols)?];
+    while cur.eat(&TokenKind::Amp) {
+        parts.push(parse_unary(cur, symbols)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("one element")
+    } else {
+        Formula::And(parts)
+    })
+}
+
+fn parse_unary(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
+    if cur.eat(&TokenKind::Bang) {
+        return Ok(parse_unary(cur, symbols)?.negated());
+    }
+    if cur.eat(&TokenKind::LParen) {
+        let f = parse_iff(cur, symbols)?;
+        cur.expect(&TokenKind::RParen)?;
+        return Ok(f);
+    }
+    let offset = cur.offset();
+    match cur.bump() {
+        Some(TokenKind::Ident(name)) => match name.as_str() {
+            "true" => Ok(Formula::True),
+            "false" => Ok(Formula::False),
+            "not" => Ok(parse_unary(cur, symbols)?.negated()),
+            _ => symbols.lookup(&name).map(Formula::Atom).ok_or(ParseError {
+                offset,
+                message: format!("unknown atom `{name}` (not in the database's vocabulary)"),
+            }),
+        },
+        other => Err(ParseError {
+            offset,
+            message: format!(
+                "expected formula, found {}",
+                other.map_or("end of input".to_owned(), |k| k.to_string())
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpretation;
+
+    #[test]
+    fn parse_facts_and_rules() {
+        let db = parse_program("a | b. c :- a, not b. :- a, c.").unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.num_atoms(), 3);
+        let r = &db.rules()[1];
+        assert_eq!(r.head().len(), 1);
+        assert_eq!(r.body_pos().len(), 1);
+        assert_eq!(r.body_neg().len(), 1);
+        assert!(db.rules()[2].is_integrity());
+    }
+
+    #[test]
+    fn v_keyword_as_disjunction() {
+        let db = parse_program("a v b v c.").unwrap();
+        assert_eq!(db.rules()[0].head().len(), 3);
+    }
+
+    #[test]
+    fn tilde_as_negation() {
+        let db = parse_program("a :- ~b.").unwrap();
+        assert_eq!(db.rules()[0].body_neg().len(), 1);
+    }
+
+    #[test]
+    fn rejects_not_in_head() {
+        assert!(parse_program("not a.").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse_program("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_clause() {
+        assert!(parse_program(":- .").is_err());
+    }
+
+    #[test]
+    fn atoms_in_first_occurrence_order() {
+        let db = parse_program("b :- a. c.").unwrap();
+        assert_eq!(db.symbols().name(crate::Atom::new(0)), "b");
+        assert_eq!(db.symbols().name(crate::Atom::new(1)), "a");
+        assert_eq!(db.symbols().name(crate::Atom::new(2)), "c");
+    }
+
+    #[test]
+    fn formula_precedence() {
+        let db = parse_program("a. b. c.").unwrap();
+        let f = parse_formula("!a & b | c", db.symbols()).unwrap();
+        // Means ((!a & b) | c).
+        let m = |atoms: &[u32]| {
+            Interpretation::from_atoms(3, atoms.iter().map(|&i| crate::Atom::new(i)))
+        };
+        assert!(f.eval(&m(&[1])));
+        assert!(f.eval(&m(&[2])));
+        assert!(f.eval(&m(&[0, 2])));
+        assert!(!f.eval(&m(&[0, 1])));
+    }
+
+    #[test]
+    fn implies_right_associative() {
+        let db = parse_program("a. b. c.").unwrap();
+        let f = parse_formula("a -> b -> c", db.symbols()).unwrap();
+        // a -> (b -> c): false only when a ∧ b ∧ ¬c.
+        let m = |atoms: &[u32]| {
+            Interpretation::from_atoms(3, atoms.iter().map(|&i| crate::Atom::new(i)))
+        };
+        assert!(!f.eval(&m(&[0, 1])));
+        assert!(f.eval(&m(&[0])));
+        assert!(f.eval(&m(&[1])));
+    }
+
+    #[test]
+    fn formula_rejects_unknown_atom() {
+        let db = parse_program("a.").unwrap();
+        let err = parse_formula("a & zz", db.symbols()).unwrap_err();
+        assert!(err.message.contains("zz"));
+    }
+
+    #[test]
+    fn formula_constants() {
+        let db = parse_program("a.").unwrap();
+        let f = parse_formula("true -> (a | false)", db.symbols()).unwrap();
+        assert!(f.eval(&Interpretation::from_atoms(1, [crate::Atom::new(0)])));
+        assert!(!f.eval(&Interpretation::empty(1)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let db = parse_program("a.").unwrap();
+        assert!(parse_formula("a a", db.symbols()).is_err());
+    }
+}

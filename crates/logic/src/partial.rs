@@ -1,0 +1,266 @@
+//! Three-valued (partial) interpretations, used by the partial disjunctive
+//! stable model semantics (PDSM).
+
+use crate::{Atom, Interpretation};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A truth value in Przymusinski's three-valued logic: true (1), undefined
+/// (½), or false (0).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum TruthValue {
+    /// Truth value 0.
+    False,
+    /// Truth value ½ ("undefined").
+    Undefined,
+    /// Truth value 1.
+    True,
+}
+
+impl TruthValue {
+    /// Numeric value ×2 (0, 1, 2) — handy for min/max comparisons.
+    #[inline]
+    pub fn rank(self) -> u8 {
+        match self {
+            TruthValue::False => 0,
+            TruthValue::Undefined => 1,
+            TruthValue::True => 2,
+        }
+    }
+
+    /// Three-valued negation: ¬1 = 0, ¬½ = ½, ¬0 = 1.
+    #[inline]
+    pub fn not(self) -> Self {
+        match self {
+            TruthValue::False => TruthValue::True,
+            TruthValue::Undefined => TruthValue::Undefined,
+            TruthValue::True => TruthValue::False,
+        }
+    }
+
+    /// Three-valued conjunction (minimum).
+    #[inline]
+    pub fn and(self, other: Self) -> Self {
+        if self.rank() <= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Three-valued disjunction (maximum).
+    #[inline]
+    pub fn or(self, other: Self) -> Self {
+        if self.rank() >= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// A partial (three-valued) interpretation: a pair ⟨T, F⟩ of disjoint sets of
+/// atoms that are true resp. false; everything else is undefined (½).
+///
+/// Two-valued interpretations embed as ⟨M, V∖M⟩; see
+/// [`PartialInterpretation::from_total`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PartialInterpretation {
+    true_set: Interpretation,
+    false_set: Interpretation,
+}
+
+impl PartialInterpretation {
+    /// The everywhere-undefined interpretation over `num_atoms` atoms.
+    pub fn undefined(num_atoms: usize) -> Self {
+        PartialInterpretation {
+            true_set: Interpretation::empty(num_atoms),
+            false_set: Interpretation::empty(num_atoms),
+        }
+    }
+
+    /// Builds ⟨T, F⟩ from explicit sets.
+    ///
+    /// # Panics
+    /// Panics if the sets overlap (an atom cannot be both true and false).
+    pub fn new(true_set: Interpretation, false_set: Interpretation) -> Self {
+        let mut overlap = true_set.clone();
+        overlap.intersect_with(&false_set);
+        assert!(
+            overlap.is_empty_set(),
+            "true and false sets of a partial interpretation must be disjoint"
+        );
+        PartialInterpretation {
+            true_set,
+            false_set,
+        }
+    }
+
+    /// Embeds a total interpretation: true atoms map to 1, the rest to 0.
+    pub fn from_total(m: &Interpretation) -> Self {
+        let mut false_set = Interpretation::full(m.num_atoms());
+        false_set.difference_with(m);
+        PartialInterpretation {
+            true_set: m.clone(),
+            false_set,
+        }
+    }
+
+    /// Number of atoms in the underlying vocabulary.
+    pub fn num_atoms(&self) -> usize {
+        self.true_set.num_atoms()
+    }
+
+    /// The truth value of `atom`.
+    #[inline]
+    pub fn value(&self, atom: Atom) -> TruthValue {
+        if self.true_set.contains(atom) {
+            TruthValue::True
+        } else if self.false_set.contains(atom) {
+            TruthValue::False
+        } else {
+            TruthValue::Undefined
+        }
+    }
+
+    /// Assigns `value` to `atom`.
+    pub fn set(&mut self, atom: Atom, value: TruthValue) {
+        match value {
+            TruthValue::True => {
+                self.true_set.insert(atom);
+                self.false_set.remove(atom);
+            }
+            TruthValue::False => {
+                self.true_set.remove(atom);
+                self.false_set.insert(atom);
+            }
+            TruthValue::Undefined => {
+                self.true_set.remove(atom);
+                self.false_set.remove(atom);
+            }
+        }
+    }
+
+    /// The set of true atoms `T`.
+    pub fn true_set(&self) -> &Interpretation {
+        &self.true_set
+    }
+
+    /// The set of false atoms `F`.
+    pub fn false_set(&self) -> &Interpretation {
+        &self.false_set
+    }
+
+    /// Whether every atom is decided (no ½ values) — i.e. the interpretation
+    /// is total.
+    pub fn is_total(&self) -> bool {
+        self.true_set.count() + self.false_set.count() == self.num_atoms()
+    }
+
+    /// Converts a total partial interpretation into its set of true atoms.
+    ///
+    /// # Panics
+    /// Panics if some atom is undefined.
+    pub fn to_total(&self) -> Interpretation {
+        assert!(self.is_total(), "interpretation has undefined atoms");
+        self.true_set.clone()
+    }
+
+    /// The *truth ordering* used for minimality of partial models:
+    /// `self ≤ other` iff every atom's value under `self` is ≤ its value
+    /// under `other` (0 ≤ ½ ≤ 1). Returns `None` for incomparable pairs.
+    ///
+    /// Equivalently: `self.T ⊆ other.T` and `self.F ⊇ other.F`.
+    pub fn truth_cmp(&self, other: &Self) -> Option<Ordering> {
+        let le =
+            self.true_set.is_subset(&other.true_set) && other.false_set.is_subset(&self.false_set);
+        let ge =
+            other.true_set.is_subset(&self.true_set) && self.false_set.is_subset(&other.false_set);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for PartialInterpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨T={:?}, F={:?}⟩", self.true_set, self.false_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(v: &[u32]) -> Vec<Atom> {
+        v.iter().map(|&i| Atom::new(i)).collect()
+    }
+
+    #[test]
+    fn truth_value_lattice() {
+        use TruthValue::*;
+        assert_eq!(True.not(), False);
+        assert_eq!(Undefined.not(), Undefined);
+        assert_eq!(True.and(Undefined), Undefined);
+        assert_eq!(False.and(Undefined), False);
+        assert_eq!(True.or(Undefined), True);
+        assert_eq!(False.or(Undefined), Undefined);
+    }
+
+    #[test]
+    fn set_and_value() {
+        let mut p = PartialInterpretation::undefined(4);
+        let a = Atom::new(2);
+        assert_eq!(p.value(a), TruthValue::Undefined);
+        p.set(a, TruthValue::True);
+        assert_eq!(p.value(a), TruthValue::True);
+        p.set(a, TruthValue::False);
+        assert_eq!(p.value(a), TruthValue::False);
+        p.set(a, TruthValue::Undefined);
+        assert_eq!(p.value(a), TruthValue::Undefined);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_sets_rejected() {
+        let t = Interpretation::from_atoms(3, atoms(&[0]));
+        let f = Interpretation::from_atoms(3, atoms(&[0, 1]));
+        let _ = PartialInterpretation::new(t, f);
+    }
+
+    #[test]
+    fn total_embedding_roundtrip() {
+        let m = Interpretation::from_atoms(5, atoms(&[0, 3]));
+        let p = PartialInterpretation::from_total(&m);
+        assert!(p.is_total());
+        assert_eq!(p.to_total(), m);
+        assert_eq!(p.value(Atom::new(0)), TruthValue::True);
+        assert_eq!(p.value(Atom::new(1)), TruthValue::False);
+    }
+
+    #[test]
+    fn truth_ordering() {
+        use Ordering::*;
+        // p: x0=1, x1=0 ; q: x0=1, x1=½ — p ≤ q? p.T={0}⊆{0}=q.T and q.F=∅⊆{1}=p.F → p ≤ q.
+        let p = PartialInterpretation::new(
+            Interpretation::from_atoms(2, atoms(&[0])),
+            Interpretation::from_atoms(2, atoms(&[1])),
+        );
+        let q = PartialInterpretation::new(
+            Interpretation::from_atoms(2, atoms(&[0])),
+            Interpretation::empty(2),
+        );
+        assert_eq!(p.truth_cmp(&q), Some(Less));
+        assert_eq!(q.truth_cmp(&p), Some(Greater));
+        assert_eq!(p.truth_cmp(&p), Some(Equal));
+        // Incomparable: r has x0=0, x1=1.
+        let r = PartialInterpretation::new(
+            Interpretation::from_atoms(2, atoms(&[1])),
+            Interpretation::from_atoms(2, atoms(&[0])),
+        );
+        assert_eq!(p.truth_cmp(&r), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Disjunctive rules (clauses) and their evaluation.
+
+use crate::{Atom, Interpretation, PartialInterpretation, TruthValue};
+
+/// A disjunctive rule
+/// `a₁ ∨ … ∨ aₙ ← b₁ ∧ … ∧ bₖ ∧ ¬c₁ ∧ … ∧ ¬cₘ`,
+/// the paper's clause form `C`.
+///
+/// * `n = 0` makes this an **integrity clause** (the body must not hold);
+/// * `k = m = 0` makes it a **(disjunctive) fact**;
+/// * `m = 0` for all rules of a database makes the database **positive**
+///   (class `C⁺` in the paper).
+///
+/// Logically the rule is the clause
+/// `a₁ ∨ … ∨ aₙ ∨ ¬b₁ ∨ … ∨ ¬bₖ ∨ c₁ ∨ … ∨ cₘ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    head: Vec<Atom>,
+    body_pos: Vec<Atom>,
+    body_neg: Vec<Atom>,
+}
+
+impl Rule {
+    /// Builds a rule from head atoms, positive body atoms, and negated body
+    /// atoms. Duplicates are removed and atoms sorted, so rules compare
+    /// structurally.
+    pub fn new(
+        head: impl IntoIterator<Item = Atom>,
+        body_pos: impl IntoIterator<Item = Atom>,
+        body_neg: impl IntoIterator<Item = Atom>,
+    ) -> Self {
+        fn norm(it: impl IntoIterator<Item = Atom>) -> Vec<Atom> {
+            let mut v: Vec<Atom> = it.into_iter().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        Rule {
+            head: norm(head),
+            body_pos: norm(body_pos),
+            body_neg: norm(body_neg),
+        }
+    }
+
+    /// A (possibly disjunctive) fact `a₁ ∨ … ∨ aₙ.`
+    pub fn fact(head: impl IntoIterator<Item = Atom>) -> Self {
+        Self::new(head, [], [])
+    }
+
+    /// An integrity clause `← body⁺ ∧ ¬body⁻`.
+    pub fn integrity(
+        body_pos: impl IntoIterator<Item = Atom>,
+        body_neg: impl IntoIterator<Item = Atom>,
+    ) -> Self {
+        Self::new([], body_pos, body_neg)
+    }
+
+    /// The head atoms (disjunction).
+    pub fn head(&self) -> &[Atom] {
+        &self.head
+    }
+
+    /// The positive body atoms (conjunction).
+    pub fn body_pos(&self) -> &[Atom] {
+        &self.body_pos
+    }
+
+    /// The atoms under negation in the body.
+    pub fn body_neg(&self) -> &[Atom] {
+        &self.body_neg
+    }
+
+    /// Whether the head is empty (an integrity clause).
+    pub fn is_integrity(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Whether the body is empty (a fact).
+    pub fn is_fact(&self) -> bool {
+        self.body_pos.is_empty() && self.body_neg.is_empty()
+    }
+
+    /// Whether the rule contains no negation (is in `C⁺`).
+    pub fn is_positive(&self) -> bool {
+        self.body_neg.is_empty()
+    }
+
+    /// Whether the head is a single atom and the body positive — a Horn rule.
+    pub fn is_horn(&self) -> bool {
+        self.head.len() <= 1 && self.body_neg.is_empty()
+    }
+
+    /// Whether the body of the rule holds in `m`.
+    pub fn body_holds(&self, m: &Interpretation) -> bool {
+        self.body_pos.iter().all(|&b| m.contains(b))
+            && self.body_neg.iter().all(|&c| !m.contains(c))
+    }
+
+    /// Whether `m ⊨ rule` (classical satisfaction of the corresponding
+    /// clause): if the body holds, some head atom must be true.
+    pub fn satisfied_by(&self, m: &Interpretation) -> bool {
+        !self.body_holds(m) || self.head.iter().any(|&a| m.contains(a))
+    }
+
+    /// Three-valued truth value of the rule under `p`, reading `←` as the
+    /// three-valued implication that is true iff `value(head) ≥ value(body)`
+    /// (Przymusinski's convention for partial models).
+    pub fn value3(&self, p: &PartialInterpretation) -> bool {
+        let head = self
+            .head
+            .iter()
+            .map(|&a| p.value(a))
+            .fold(TruthValue::False, TruthValue::or);
+        let body = self
+            .body_pos
+            .iter()
+            .map(|&a| p.value(a))
+            .chain(self.body_neg.iter().map(|&a| p.value(a).not()))
+            .fold(TruthValue::True, TruthValue::and);
+        head.rank() >= body.rank()
+    }
+
+    /// The largest atom index occurring in the rule, if any. Used to size
+    /// vocabularies defensively.
+    pub fn max_atom(&self) -> Option<Atom> {
+        self.head
+            .iter()
+            .chain(&self.body_pos)
+            .chain(&self.body_neg)
+            .copied()
+            .max()
+    }
+
+    /// Iterates over every atom occurring in the rule (with repetitions
+    /// across the three parts removed within each part only).
+    pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.head
+            .iter()
+            .chain(&self.body_pos)
+            .chain(&self.body_neg)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> Atom {
+        Atom::new(i)
+    }
+
+    fn interp(n: usize, atoms: &[u32]) -> Interpretation {
+        Interpretation::from_atoms(n, atoms.iter().map(|&i| Atom::new(i)))
+    }
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let r = Rule::new([a(2), a(1), a(2)], [a(3)], []);
+        assert_eq!(r.head(), &[a(1), a(2)]);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Rule::fact([a(0)]).is_fact());
+        assert!(Rule::integrity([a(0)], []).is_integrity());
+        assert!(Rule::new([a(0)], [a(1)], []).is_positive());
+        assert!(!Rule::new([a(0)], [], [a(1)]).is_positive());
+        assert!(Rule::new([a(0)], [a(1)], []).is_horn());
+        assert!(!Rule::new([a(0), a(2)], [a(1)], []).is_horn());
+        // Integrity clauses are Horn (empty head counts as ≤ 1).
+        assert!(Rule::integrity([a(0)], []).is_horn());
+    }
+
+    #[test]
+    fn classical_satisfaction() {
+        // a ∨ b ← c ∧ ¬d
+        let r = Rule::new([a(0), a(1)], [a(2)], [a(3)]);
+        assert!(r.satisfied_by(&interp(4, &[]))); // body fails (no c)
+        assert!(r.satisfied_by(&interp(4, &[2, 3]))); // body fails (d true)
+        assert!(r.satisfied_by(&interp(4, &[2, 0]))); // body holds, head true
+        assert!(!r.satisfied_by(&interp(4, &[2]))); // body holds, head false
+    }
+
+    #[test]
+    fn integrity_clause_satisfaction() {
+        // ← a ∧ b
+        let r = Rule::integrity([a(0), a(1)], []);
+        assert!(r.satisfied_by(&interp(2, &[0])));
+        assert!(!r.satisfied_by(&interp(2, &[0, 1])));
+    }
+
+    #[test]
+    fn three_valued_rule_truth() {
+        use crate::TruthValue::*;
+        // a ← ¬b : value(a) must be ≥ value(¬b).
+        let r = Rule::new([a(0)], [], [a(1)]);
+        let mut p = PartialInterpretation::undefined(2);
+        // a=½, b=½: head ½ ≥ body ¬½=½ → holds.
+        assert!(r.value3(&p));
+        // a=0, b=½: 0 ≥ ½ fails.
+        p.set(a(0), False);
+        assert!(!r.value3(&p));
+        // a=0, b=1: 0 ≥ 0 holds.
+        p.set(a(1), True);
+        assert!(r.value3(&p));
+    }
+
+    #[test]
+    fn value3_agrees_with_classical_on_total() {
+        // For total interpretations, value3 must coincide with satisfied_by.
+        let rules = [
+            Rule::new([a(0), a(1)], [a(2)], [a(3)]),
+            Rule::integrity([a(0)], [a(1)]),
+            Rule::fact([a(2)]),
+        ];
+        for bits in 0u32..16 {
+            let m = Interpretation::from_atoms(4, (0..4).filter(|&i| bits >> i & 1 == 1).map(a));
+            let p = PartialInterpretation::from_total(&m);
+            for r in &rules {
+                assert_eq!(r.satisfied_by(&m), r.value3(&p), "rule {r:?} model {m:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The Πᵖ₂ workhorse: inference in all ⟨P;Z⟩-minimal models.
+//!
+//! `MM(DB;P;Z) ⊨ F` is the paper's central upper-bound pattern (GCWA,
+//! EGCWA, CCWA, ECWA/CIRC, ICWA and — via reducts — DSM all bottom out
+//! here). We implement it as a counterexample-guided abstraction refinement
+//! (CEGAR) loop over the NP oracle:
+//!
+//! 1. *Guess* a candidate countermodel `M ⊨ DB ∧ ¬F` (one SAT call; if none
+//!    exists, `F` holds in every model, a fortiori in every minimal one).
+//! 2. *Minimize* `M` within `DB` to a ⟨P;Z⟩-minimal `M*` (shrink loop).
+//! 3. Since ⟨P;Z⟩-minimality depends only on the `P`- and `Q`-parts of a
+//!    model, ask whether *any* model with `M*`'s exact ⟨P,Q⟩-signature
+//!    falsifies `F` (one SAT call). If yes — that model is a genuine
+//!    minimal countermodel: answer **no**.
+//! 4. Otherwise *refine*: block every candidate whose `Q`-part equals and
+//!    whose `P`-part dominates `M*`'s. No true countermodel is lost: a
+//!    ⟨P;Z⟩-minimal countermodel `X` caught by the block would satisfy
+//!    `X∩Q = M*∩Q` and `X∩P ⊇ M*∩P`; minimality of both forces
+//!    `X∩P = M*∩P`, i.e. `X` has the signature just proven to admit no
+//!    countermodel — contradiction. The current candidate is always
+//!    blocked, so the loop terminates.
+//!
+//! The candidate count ([`crate::Cost::candidates`]) is the number of CEGAR
+//! rounds — the quantity that blows up exactly on Πᵖ₂-hard instances,
+//! which the benchmark harness measures.
+
+use crate::classical::project;
+use crate::minimal::Minimizer;
+use crate::{Cost, Partition};
+use ddb_logic::cnf::CnfBuilder;
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_sat::Solver;
+
+/// Whether `F` holds in every ⟨P;Z⟩-minimal model of `DB`
+/// (`MM(DB;P;Z) ⊨ F`). Vacuously true when `DB` is unsatisfiable.
+///
+/// ```
+/// use ddb_logic::parse::{parse_formula, parse_program};
+/// use ddb_models::{circumscribe, Cost, Partition};
+/// let db = parse_program("a | b. c :- a, b.").unwrap();
+/// let part = Partition::minimize_all(db.num_atoms());
+/// let not_c = parse_formula("!c", db.symbols()).unwrap();
+/// let mut cost = Cost::new();
+/// assert!(circumscribe::holds_in_all_pz_minimal_models(&db, &part, &not_c, &mut cost));
+/// ```
+pub fn holds_in_all_pz_minimal_models(
+    db: &Database,
+    part: &Partition,
+    f: &Formula,
+    cost: &mut Cost,
+) -> bool {
+    let n = db.num_atoms();
+    // Candidate source: DB ∧ ¬F (Tseitin over an extended vocabulary).
+    let mut b = CnfBuilder::new(n);
+    b.add_database(db);
+    b.assert_formula(&f.clone().negated());
+    let counterexample_cnf = b.finish();
+    let mut candidates = Solver::from_cnf(&counterexample_cnf);
+    candidates.ensure_vars(counterexample_cnf.num_vars.max(n));
+    let mut minimizer = Minimizer::new(db, part.clone());
+
+    loop {
+        let sat = candidates.solve().is_sat();
+        if !sat {
+            cost.absorb(&candidates);
+            return true;
+        }
+        cost.candidates += 1;
+        let m = project(&candidates.model(), n);
+        debug_assert!(db.satisfied_by(&m));
+        debug_assert!(!f.eval(&m));
+        let minimal = minimizer.minimize(&m, cost);
+
+        // Signature check: some model with M*'s ⟨P,Q⟩-signature ⊨ ¬F?
+        let same_signature =
+            minimal.agrees_within(&m, part.p()) && minimal.agrees_within(&m, part.q());
+        if same_signature {
+            // M itself is ⟨P;Z⟩-minimal and falsifies F.
+            cost.absorb(&candidates);
+            return false;
+        }
+        let mut check = Solver::from_cnf(&counterexample_cnf);
+        check.ensure_vars(counterexample_cnf.num_vars.max(n));
+        for a in part.p().iter().chain(part.q().iter()) {
+            check.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
+        }
+        let counter_sat = check.solve().is_sat();
+        cost.absorb(&check);
+        if counter_sat {
+            cost.absorb(&candidates);
+            return false;
+        }
+
+        // Refine: block the dominated cone of M*'s signature.
+        let mut blocking: Vec<Literal> = Vec::new();
+        for a in part.q().iter() {
+            blocking.push(Literal::with_sign(a, !minimal.contains(a)));
+        }
+        for a in part.p().iter() {
+            if minimal.contains(a) {
+                blocking.push(a.neg());
+            }
+        }
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            cost.absorb(&candidates);
+            return true;
+        }
+    }
+}
+
+/// Whether `F` holds in every (subset-)minimal model (`MM(DB) ⊨ F`).
+pub fn holds_in_all_minimal_models(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    holds_in_all_pz_minimal_models(db, &Partition::minimize_all(db.num_atoms()), f, cost)
+}
+
+/// Whether some ⟨P;Z⟩-minimal model satisfies `F` (the Σᵖ₂ dual).
+pub fn exists_pz_minimal_model_satisfying(
+    db: &Database,
+    part: &Partition,
+    f: &Formula,
+    cost: &mut Cost,
+) -> bool {
+    !holds_in_all_pz_minimal_models(db, part, &f.clone().negated(), cost)
+}
+
+/// Returns a ⟨P;Z⟩-minimal model satisfying `F`, if one exists.
+///
+/// Same CEGAR loop as [`holds_in_all_pz_minimal_models`] (searching for a
+/// countermodel of `¬F`), but materializing the witness.
+pub fn find_pz_minimal_model_satisfying(
+    db: &Database,
+    part: &Partition,
+    f: &Formula,
+    cost: &mut Cost,
+) -> Option<Interpretation> {
+    let n = db.num_atoms();
+    let mut b = CnfBuilder::new(n);
+    b.add_database(db);
+    b.assert_formula(f);
+    let cnf = b.finish();
+    let mut candidates = Solver::from_cnf(&cnf);
+    candidates.ensure_vars(cnf.num_vars.max(n));
+    let mut minimizer = Minimizer::new(db, part.clone());
+
+    loop {
+        let sat = candidates.solve().is_sat();
+        if !sat {
+            cost.absorb(&candidates);
+            return None;
+        }
+        cost.candidates += 1;
+        let m = project(&candidates.model(), n);
+        let minimal = minimizer.minimize(&m, cost);
+        let same_signature =
+            minimal.agrees_within(&m, part.p()) && minimal.agrees_within(&m, part.q());
+        if same_signature {
+            cost.absorb(&candidates);
+            return Some(m);
+        }
+        let mut check = Solver::from_cnf(&cnf);
+        check.ensure_vars(cnf.num_vars.max(n));
+        for a in part.p().iter().chain(part.q().iter()) {
+            check.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
+        }
+        let witness_sat = check.solve().is_sat();
+        if witness_sat {
+            let witness = project(&check.model(), n);
+            cost.absorb(&check);
+            cost.absorb(&candidates);
+            return Some(witness);
+        }
+        cost.absorb(&check);
+
+        let mut blocking: Vec<Literal> = Vec::new();
+        for a in part.q().iter() {
+            blocking.push(Literal::with_sign(a, !minimal.contains(a)));
+        }
+        for a in part.p().iter() {
+            if minimal.contains(a) {
+                blocking.push(a.neg());
+            }
+        }
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            cost.absorb(&candidates);
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal::is_pz_minimal_model;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    #[test]
+    fn gcwa_style_negative_inference() {
+        // a ∨ b: minimal models {a},{b}; c is false in both.
+        let db = parse_program("a | b. c :- a, b.").unwrap();
+        let f = parse_formula("!c", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        assert!(holds_in_all_minimal_models(&db, &f, &mut cost));
+        // But a is not false in all minimal models, nor true in all.
+        let fa = parse_formula("a", db.symbols()).unwrap();
+        let nfa = parse_formula("!a", db.symbols()).unwrap();
+        assert!(!holds_in_all_minimal_models(&db, &fa, &mut cost));
+        assert!(!holds_in_all_minimal_models(&db, &nfa, &mut cost));
+        // The disjunction itself holds.
+        let ab = parse_formula("a | b", db.symbols()).unwrap();
+        assert!(holds_in_all_minimal_models(&db, &ab, &mut cost));
+    }
+
+    #[test]
+    fn unsat_db_vacuous() {
+        let db = parse_program("a. :- a.").unwrap();
+        let f = parse_formula("false", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        assert!(holds_in_all_minimal_models(&db, &f, &mut cost));
+    }
+
+    #[test]
+    fn matches_enumeration_reference() {
+        // Cross-check CEGAR against explicit minimal-model enumeration.
+        let db = parse_program("a | b. b | c. :- a, c. d :- b.").unwrap();
+        let mut cost = Cost::new();
+        let mm = crate::minimal::minimal_models(&db, &mut cost);
+        assert!(!mm.is_empty());
+        for text in ["a", "!a", "b", "d", "b & d", "a | c", "!(a & c)", "b -> d"] {
+            let f = parse_formula(text, db.symbols()).unwrap();
+            let expected = mm.iter().all(|m| f.eval(m));
+            let got = holds_in_all_minimal_models(&db, &f, &mut cost);
+            assert_eq!(got, expected, "formula {text}");
+        }
+    }
+
+    #[test]
+    fn pz_inference_with_partition() {
+        // P={a}, Q={b}, Z={c}: DB = a ∨ b ∨ c.
+        let db = parse_program("a | b | c.").unwrap();
+        let syms = db.symbols();
+        let part = Partition::from_p_q(3, [syms.lookup("a").unwrap()], [syms.lookup("b").unwrap()]);
+        let mut cost = Cost::new();
+        // ¬a holds in all ⟨P;Z⟩-minimal models: for any Q-part, a model
+        // with a=false exists (choose c or b true), so no minimal model has a.
+        let na = parse_formula("!a", syms).unwrap();
+        assert!(holds_in_all_pz_minimal_models(&db, &part, &na, &mut cost));
+        // But ¬c does not (e.g. {c} is minimal).
+        let nc = parse_formula("!c", syms).unwrap();
+        assert!(!holds_in_all_pz_minimal_models(&db, &part, &nc, &mut cost));
+    }
+
+    #[test]
+    fn find_witness_is_minimal_and_satisfying() {
+        let db = parse_program("a | b. b | c.").unwrap();
+        let part = Partition::minimize_all(3);
+        let f = parse_formula("b", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        let w = find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost).expect("witness");
+        assert!(f.eval(&w));
+        assert!(is_pz_minimal_model(&db, &w, &part, &mut cost));
+        // No minimal model satisfies a ∧ c (minimal models are {b}, {a,c}...
+        // wait: {a,c} is a model; is it minimal? {b} ⊄ {a,c}; {a} misses
+        // b|c... {c} misses a|b; so yes {a,c} is minimal and satisfies a ∧ c.
+        let g = parse_formula("a & c", db.symbols()).unwrap();
+        assert!(find_pz_minimal_model_satisfying(&db, &part, &g, &mut cost).is_some());
+        // But nothing satisfies a ∧ ¬a.
+        let h = parse_formula("a & !a", db.symbols()).unwrap();
+        assert!(find_pz_minimal_model_satisfying(&db, &part, &h, &mut cost).is_none());
+    }
+
+    #[test]
+    fn exists_dual() {
+        let db = parse_program("a | b.").unwrap();
+        let part = Partition::minimize_all(2);
+        let fa = parse_formula("a", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        assert!(exists_pz_minimal_model_satisfying(
+            &db, &part, &fa, &mut cost
+        ));
+        let fab = parse_formula("a & b", db.symbols()).unwrap();
+        assert!(!exists_pz_minimal_model_satisfying(
+            &db, &part, &fab, &mut cost
+        ));
+    }
+
+    #[test]
+    fn candidates_counted() {
+        let db = parse_program("a | b. c | d.").unwrap();
+        let f = parse_formula("a & c", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        holds_in_all_minimal_models(&db, &f, &mut cost);
+        assert!(cost.candidates >= 1);
+    }
+}

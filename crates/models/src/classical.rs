@@ -1,0 +1,137 @@
+//! Classical (NP/coNP-level) reasoning: satisfiability, model finding and
+//! entailment for disjunctive databases.
+
+use crate::Cost;
+use ddb_logic::cnf::{database_to_cnf, CnfBuilder};
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_sat::{enumerate_models, Solver};
+
+/// Finds some classical model of `DB` (one NP-oracle call), or `None` if
+/// the database is unsatisfiable.
+pub fn some_model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
+    some_model_with(db, &[], cost)
+}
+
+/// Finds some model of `DB ∧ extra` (units), projected to the database
+/// vocabulary.
+pub fn some_model_with(
+    db: &Database,
+    extra: &[Literal],
+    cost: &mut Cost,
+) -> Option<Interpretation> {
+    let mut solver = Solver::from_cnf(&database_to_cnf(db));
+    solver.ensure_vars(db.num_atoms());
+    let sat = solver.solve_with_assumptions(extra).is_sat();
+    cost.absorb(&solver);
+    sat.then(|| project(&solver.model(), db.num_atoms()))
+}
+
+/// Whether `DB` is classically satisfiable.
+pub fn is_satisfiable(db: &Database, cost: &mut Cost) -> bool {
+    some_model(db, cost).is_some()
+}
+
+/// Classical entailment `DB ∪ units ⊨ F`: one coNP check
+/// (`DB ∧ units ∧ ¬F` unsatisfiable).
+pub fn entails(db: &Database, units: &[Literal], f: &Formula, cost: &mut Cost) -> bool {
+    let mut b = CnfBuilder::new(db.num_atoms());
+    b.add_database(db);
+    for &l in units {
+        b.add_clause(vec![l]);
+    }
+    b.assert_formula(&f.clone().negated());
+    let mut solver = Solver::from_cnf(&b.finish());
+    let sat = solver.solve().is_sat();
+    cost.absorb(&solver);
+    !sat
+}
+
+/// Enumerates every classical model of `DB` (exponentially many in the
+/// worst case — intended for reference computations and tests).
+pub fn all_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let cnf = database_to_cnf(db);
+    let mut out = Vec::new();
+    let mut calls = 0u64;
+    enumerate_models(&cnf, db.num_atoms(), |m| {
+        calls += 1;
+        out.push(m.clone());
+        true
+    });
+    cost.sat_calls += calls + 1; // final UNSAT call
+    out.sort();
+    out
+}
+
+pub(crate) fn project(m: &Interpretation, n: usize) -> Interpretation {
+    let mut out = Interpretation::empty(n);
+    for a in m.iter() {
+        if a.index() < n {
+            out.insert(a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_formula;
+    use ddb_logic::parse::parse_program;
+
+    #[test]
+    fn some_model_of_disjunction() {
+        let db = parse_program("a | b.").unwrap();
+        let mut cost = Cost::new();
+        let m = some_model(&db, &mut cost).expect("satisfiable");
+        assert!(db.satisfied_by(&m));
+        assert!(cost.sat_calls >= 1);
+    }
+
+    #[test]
+    fn unsat_database() {
+        let db = parse_program("a. :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert!(!is_satisfiable(&db, &mut cost));
+    }
+
+    #[test]
+    fn entailment() {
+        let db = parse_program("a | b. :- a.").unwrap();
+        let mut cost = Cost::new();
+        let f = parse_formula("b", db.symbols()).unwrap();
+        assert!(entails(&db, &[], &f, &mut cost));
+        let g = parse_formula("a", db.symbols()).unwrap();
+        assert!(!entails(&db, &[], &g, &mut cost));
+    }
+
+    #[test]
+    fn entailment_with_units() {
+        let db = parse_program("c :- a, b.").unwrap();
+        let syms = db.symbols();
+        let (a, b) = (syms.lookup("a").unwrap(), syms.lookup("b").unwrap());
+        let f = parse_formula("c", syms).unwrap();
+        let mut cost = Cost::new();
+        assert!(!entails(&db, &[], &f, &mut cost));
+        assert!(entails(&db, &[a.pos(), b.pos()], &f, &mut cost));
+    }
+
+    #[test]
+    fn all_models_of_small_db() {
+        let db = parse_program("a | b. :- a, b.").unwrap();
+        let mut cost = Cost::new();
+        let models = all_models(&db, &mut cost);
+        assert_eq!(models.len(), 2); // {a}, {b}
+        for m in &models {
+            assert!(db.satisfied_by(m));
+            assert_eq!(m.count(), 1);
+        }
+    }
+
+    #[test]
+    fn inconsistent_entails_everything() {
+        let db = parse_program("a. :- a.").unwrap();
+        let f = parse_formula("false", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        assert!(entails(&db, &[], &f, &mut cost));
+    }
+}

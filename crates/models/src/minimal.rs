@@ -1,0 +1,478 @@
+//! Minimal and ⟨P;Z⟩-minimal models.
+//!
+//! The coNP subproblem "is M a (⟨P;Z⟩-)minimal model of DB?" is a single
+//! SAT call ([`shrink_step`] finding a strictly smaller model, or failing).
+//! Minimization ([`minimize`]) is the classical shrink loop: at most `|P|`
+//! oracle calls, each strictly decreasing `|M ∩ P|`. Enumeration
+//! ([`minimal_models`]) interleaves candidate search, minimization and
+//! blocking clauses; each round emits a *new* minimal model, so the total
+//! oracle bill is `O(#minimal-models · |V|)` — exponential only when the
+//! answer itself is.
+
+use crate::classical::project;
+use crate::{Cost, Partition};
+use ddb_logic::cnf::database_to_cnf;
+use ddb_logic::{Database, Interpretation, Literal};
+use ddb_sat::Solver;
+
+/// An incremental ⟨P;Z⟩-minimizer: one CDCL solver shared across shrink
+/// steps (and across candidates, when held by a CEGAR loop), with the
+/// per-step constraints expressed as assumptions plus activation-literal
+/// clauses. Compared to building a fresh solver per step this keeps the
+/// learnt clauses, which the `minimization: incremental vs fresh` ablation
+/// bench quantifies.
+///
+/// Per step: the `Q`-part and the excluded `P`-atoms become assumptions;
+/// the "drop at least one `P`-atom of `M`" disjunction is added once as a
+/// clause guarded by a fresh activation variable that is only assumed in
+/// this step (later steps leave it unassigned, deactivating the clause).
+pub struct Minimizer {
+    solver: Solver,
+    part: Partition,
+    num_atoms: usize,
+    next_activation: u32,
+}
+
+impl Minimizer {
+    /// Builds the minimizer for `db` under `part` (one CNF construction).
+    pub fn new(db: &Database, part: Partition) -> Self {
+        let n = db.num_atoms();
+        let mut solver = Solver::from_cnf(&database_to_cnf(db));
+        solver.ensure_vars(n);
+        Minimizer {
+            solver,
+            part,
+            num_atoms: n,
+            next_activation: n as u32,
+        }
+    }
+
+    /// The partition this minimizer works under.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// One shrink step (one SAT call): a model strictly below `m`, or
+    /// `None` if `m` is ⟨P;Z⟩-minimal.
+    pub fn shrink_step(&mut self, m: &Interpretation, cost: &mut Cost) -> Option<Interpretation> {
+        let mut flip: Vec<Literal> = self
+            .part
+            .p()
+            .iter()
+            .filter(|&a| m.contains(a))
+            .map(|a| a.neg())
+            .collect();
+        if flip.is_empty() {
+            return None;
+        }
+        let act = ddb_logic::Atom::new(self.next_activation);
+        self.next_activation += 1;
+        self.solver.ensure_vars(self.next_activation as usize);
+        flip.push(act.neg());
+        self.solver.add_clause(&flip);
+
+        let mut assumptions: Vec<Literal> = vec![act.pos()];
+        for a in self.part.q().iter() {
+            assumptions.push(Literal::with_sign(a, m.contains(a)));
+        }
+        for a in self.part.p().iter() {
+            if !m.contains(a) {
+                assumptions.push(a.neg());
+            }
+        }
+        let before = self.solver.stats();
+        let sat = self.solver.solve_with_assumptions(&assumptions).is_sat();
+        let after = self.solver.stats();
+        cost.sat_calls += after.solves - before.solves;
+        cost.decisions += after.decisions - before.decisions;
+        cost.conflicts += after.conflicts - before.conflicts;
+        cost.propagations += after.propagations - before.propagations;
+        sat.then(|| project(&self.solver.model(), self.num_atoms))
+    }
+
+    /// Minimizes `m` to a ⟨P;Z⟩-minimal model below it (shrink loop).
+    pub fn minimize(&mut self, m: &Interpretation, cost: &mut Cost) -> Interpretation {
+        let mut current = m.clone();
+        while let Some(smaller) = self.shrink_step(&current, cost) {
+            debug_assert!(self.part.lt(&smaller, &current));
+            current = smaller;
+        }
+        current
+    }
+}
+
+/// One ⟨P;Z⟩-shrink step: finds a model `M′ ⊨ DB` with `M′ < M` in the
+/// partition preorder (same `Q`-part, strictly smaller `P`-part, free `Z`),
+/// or `None` if `M` is ⟨P;Z⟩-minimal. Exactly one SAT call.
+///
+/// `m` must be a model of `db`.
+pub fn shrink_step(
+    db: &Database,
+    m: &Interpretation,
+    part: &Partition,
+    cost: &mut Cost,
+) -> Option<Interpretation> {
+    debug_assert!(db.satisfied_by(m), "shrink_step requires a model");
+    let n = db.num_atoms();
+    let mut solver = Solver::from_cnf(&database_to_cnf(db));
+    solver.ensure_vars(n);
+    // Fix the Q-part, forbid P-atoms outside M, require some P-atom of M to
+    // be dropped. Z is unconstrained.
+    let mut flip: Vec<Literal> = Vec::new();
+    for a in part.q().iter() {
+        solver.add_clause(&[Literal::with_sign(a, m.contains(a))]);
+    }
+    for a in part.p().iter() {
+        if m.contains(a) {
+            flip.push(a.neg());
+        } else {
+            solver.add_clause(&[a.neg()]);
+        }
+    }
+    if flip.is_empty() {
+        // M ∩ P = ∅: nothing to shrink; M is trivially ⟨P;Z⟩-minimal.
+        return None;
+    }
+    solver.add_clause(&flip);
+    let sat = solver.solve().is_sat();
+    let result = sat.then(|| project(&solver.model(), n));
+    cost.absorb(&solver);
+    result
+}
+
+/// Whether `m` is a ⟨P;Z⟩-minimal model of `db` (model check + one oracle
+/// call).
+pub fn is_pz_minimal_model(
+    db: &Database,
+    m: &Interpretation,
+    part: &Partition,
+    cost: &mut Cost,
+) -> bool {
+    db.satisfied_by(m) && shrink_step(db, m, part, cost).is_none()
+}
+
+/// Whether `m` is a (subset-)minimal model of `db`.
+pub fn is_minimal_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> bool {
+    is_pz_minimal_model(db, m, &Partition::minimize_all(db.num_atoms()), cost)
+}
+
+/// Minimizes a model to a ⟨P;Z⟩-minimal model below it (shrink loop,
+/// ≤ `|P|+1` oracle calls, one incremental solver).
+pub fn pz_minimize(
+    db: &Database,
+    m: &Interpretation,
+    part: &Partition,
+    cost: &mut Cost,
+) -> Interpretation {
+    Minimizer::new(db, part.clone()).minimize(m, cost)
+}
+
+/// Like [`pz_minimize`] but rebuilding a fresh solver for every shrink
+/// step — kept as the ablation baseline for the incremental
+/// [`Minimizer`].
+pub fn pz_minimize_fresh(
+    db: &Database,
+    m: &Interpretation,
+    part: &Partition,
+    cost: &mut Cost,
+) -> Interpretation {
+    let mut current = m.clone();
+    while let Some(smaller) = shrink_step(db, &current, part, cost) {
+        debug_assert!(part.lt(&smaller, &current), "shrink must strictly descend");
+        current = smaller;
+    }
+    current
+}
+
+/// Minimizes a model to a subset-minimal model below it.
+pub fn minimize(db: &Database, m: &Interpretation, cost: &mut Cost) -> Interpretation {
+    pz_minimize(db, m, &Partition::minimize_all(db.num_atoms()), cost)
+}
+
+/// Finds some minimal model of `db`, or `None` if unsatisfiable.
+pub fn some_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
+    crate::classical::some_model(db, cost).map(|m| minimize(db, &m, cost))
+}
+
+/// Enumerates all (subset-)minimal models `MM(DB)`, sorted.
+///
+/// ```
+/// use ddb_logic::parse::parse_program;
+/// use ddb_models::{minimal, Cost};
+/// let db = parse_program("a | b. c :- a.").unwrap();
+/// let mut cost = Cost::new();
+/// let mm = minimal::minimal_models(&db, &mut cost);
+/// assert_eq!(mm.len(), 2); // {a,c} and {b}
+/// assert!(mm.iter().all(|m| minimal::is_minimal_model(&db, m, &mut cost)));
+/// ```
+///
+/// Candidate search and blocking happen in one incremental solver; each
+/// discovered minimal model `M` is blocked with the clause `⋁_{x∈M} ¬x`,
+/// which excludes exactly the supersets of `M` — sound because distinct
+/// minimal models are never ⊆-comparable, and complete because every model
+/// above a *new* minimal model survives blocking of the old ones.
+/// Minimization runs against `DB` alone (fresh solver) so blocking clauses
+/// cannot strand it at a non-minimal point.
+pub fn minimal_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let n = db.num_atoms();
+    let mut candidates = Solver::from_cnf(&database_to_cnf(db));
+    candidates.ensure_vars(n);
+    let mut out = Vec::new();
+    loop {
+        let sat = candidates.solve().is_sat();
+        if !sat {
+            break;
+        }
+        let candidate = project(&candidates.model(), n);
+        let minimal = minimize(db, &candidate, cost);
+        debug_assert!(
+            !out.contains(&minimal),
+            "enumeration must not repeat minimal models"
+        );
+        let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
+        out.push(minimal);
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            break; // the empty model is minimal (blocks everything above it)
+        }
+    }
+    cost.absorb(&candidates);
+    out.sort();
+    out
+}
+
+/// Enumerates all ⟨P;Z⟩-minimal models `MM(DB; P; Z)`, sorted.
+///
+/// Works by enumerating minimal *⟨P,Q⟩-signatures* with blocking clauses
+/// (minimality depends only on the `P`- and `Q`-parts), then expanding each
+/// signature to all of its `Z`-completions that are models. Exponential in
+/// the worst case — the callers that only need *inference* use the CEGAR
+/// loop in [`crate::circumscribe`] instead.
+pub fn pz_minimal_models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+    let n = db.num_atoms();
+    let mut candidates = Solver::from_cnf(&database_to_cnf(db));
+    candidates.ensure_vars(n);
+    let mut out: Vec<Interpretation> = Vec::new();
+    loop {
+        let sat = candidates.solve().is_sat();
+        if !sat {
+            break;
+        }
+        let candidate = project(&candidates.model(), n);
+        let minimal = pz_minimize(db, &candidate, part, cost);
+        // Expand the signature to all Z-completions (each is ⟨P;Z⟩-minimal:
+        // minimality only constrains the P- and Q-parts).
+        let mut expander = Solver::from_cnf(&database_to_cnf(db));
+        expander.ensure_vars(n);
+        for a in part.p().iter().chain(part.q().iter()) {
+            expander.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
+        }
+        loop {
+            let sat = expander.solve().is_sat();
+            if !sat {
+                break;
+            }
+            let model = project(&expander.model(), n);
+            let blocking: Vec<Literal> = part
+                .z()
+                .iter()
+                .map(|a| Literal::with_sign(a, !model.contains(a)))
+                .collect();
+            out.push(model);
+            if blocking.is_empty() || !expander.add_clause(&blocking) {
+                break;
+            }
+        }
+        cost.absorb(&expander);
+        // Block the whole signature cone: no future candidate with the same
+        // Q-part may dominate this P-part.
+        let mut blocking: Vec<Literal> = Vec::new();
+        for a in part.q().iter() {
+            blocking.push(Literal::with_sign(a, !minimal.contains(a)));
+        }
+        for a in part.p().iter() {
+            if minimal.contains(a) {
+                blocking.push(a.neg());
+            }
+        }
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            break;
+        }
+    }
+    cost.absorb(&candidates);
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_program;
+    use ddb_logic::Atom;
+
+    fn interp(n: usize, atoms: &[u32]) -> Interpretation {
+        Interpretation::from_atoms(n, atoms.iter().map(|&i| Atom::new(i)))
+    }
+
+    #[test]
+    fn minimal_models_of_disjunction() {
+        let db = parse_program("a | b.").unwrap();
+        let mut cost = Cost::new();
+        let mm = minimal_models(&db, &mut cost);
+        assert_eq!(mm, vec![interp(2, &[0]), interp(2, &[1])]);
+    }
+
+    #[test]
+    fn minimize_reaches_a_minimal_model() {
+        let db = parse_program("a | b. c :- a.").unwrap();
+        let mut cost = Cost::new();
+        let full = interp(3, &[0, 1, 2]);
+        assert!(db.satisfied_by(&full));
+        let m = minimize(&db, &full, &mut cost);
+        assert!(is_minimal_model(&db, &m, &mut cost));
+        assert!(m.is_subset(&full));
+    }
+
+    #[test]
+    fn is_minimal_rejects_non_models_and_non_minimal() {
+        let db = parse_program("a | b.").unwrap();
+        let mut cost = Cost::new();
+        assert!(!is_minimal_model(&db, &interp(2, &[]), &mut cost)); // not a model
+        assert!(!is_minimal_model(&db, &interp(2, &[0, 1]), &mut cost)); // not minimal
+        assert!(is_minimal_model(&db, &interp(2, &[0]), &mut cost));
+    }
+
+    #[test]
+    fn empty_db_has_empty_minimal_model() {
+        let db = parse_program("a :- b.").unwrap();
+        let mut cost = Cost::new();
+        let mm = minimal_models(&db, &mut cost);
+        assert_eq!(mm, vec![interp(2, &[])]);
+    }
+
+    #[test]
+    fn unsat_db_has_no_minimal_models() {
+        let db = parse_program("a. :- a.").unwrap();
+        let mut cost = Cost::new();
+        assert!(minimal_models(&db, &mut cost).is_empty());
+        assert!(some_minimal_model(&db, &mut cost).is_none());
+    }
+
+    #[test]
+    fn integrity_clauses_shape_minimal_models() {
+        // a ∨ b, ← a: only {b} is minimal.
+        let db = parse_program("a | b. :- a.").unwrap();
+        let mut cost = Cost::new();
+        let mm = minimal_models(&db, &mut cost);
+        assert_eq!(mm, vec![interp(2, &[1])]);
+    }
+
+    #[test]
+    fn facts_force_atoms() {
+        let db = parse_program("a. b | c :- a.").unwrap();
+        let mut cost = Cost::new();
+        let mm = minimal_models(&db, &mut cost);
+        assert_eq!(mm.len(), 2);
+        for m in &mm {
+            assert!(m.contains(Atom::new(0)));
+            assert_eq!(m.count(), 2);
+        }
+    }
+
+    #[test]
+    fn pz_minimality_with_fixed_and_varying() {
+        // Vocabulary a(P), b(Q), c(Z); DB: a ∨ b ∨ c.
+        let db = parse_program("a | b | c.").unwrap();
+        let syms = db.symbols();
+        let part = Partition::from_p_q(3, [syms.lookup("a").unwrap()], [syms.lookup("b").unwrap()]);
+        let mut cost = Cost::new();
+        // {a} with Q-part ∅: {c} has same Q-part, smaller P-part → not minimal.
+        assert!(!is_pz_minimal_model(
+            &db,
+            &interp(3, &[0]),
+            &part,
+            &mut cost
+        ));
+        // {c}: P-part empty → minimal.
+        assert!(is_pz_minimal_model(&db, &interp(3, &[2]), &part, &mut cost));
+        // {b}: P-part empty → minimal (Q fixed at {b}).
+        assert!(is_pz_minimal_model(&db, &interp(3, &[1]), &part, &mut cost));
+    }
+
+    #[test]
+    fn pz_minimal_models_enumeration_matches_definition() {
+        let db = parse_program("a | b | c. c :- a.").unwrap();
+        let syms = db.symbols();
+        let part = Partition::from_p_q(3, [syms.lookup("a").unwrap()], [syms.lookup("b").unwrap()]);
+        let mut cost = Cost::new();
+        let got = pz_minimal_models(&db, &part, &mut cost);
+        // Reference: filter all models by pairwise lt.
+        let all = crate::classical::all_models(&db, &mut cost);
+        let expected: Vec<Interpretation> = all
+            .iter()
+            .filter(|m| !all.iter().any(|m2| part.lt(m2, m)))
+            .cloned()
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn incremental_minimizer_reaches_minimal_models() {
+        let db = parse_program("a | b. b | c. d :- a, c. e | f :- d.").unwrap();
+        let part = Partition::minimize_all(db.num_atoms());
+        let mut minimizer = Minimizer::new(&db, part.clone());
+        let mut cost = Cost::new();
+        // From several starting models, the incremental minimizer must
+        // land on a minimal model below the start — sharing one solver
+        // across all calls.
+        let full = Interpretation::full(db.num_atoms());
+        for start in [full.clone(), interp(6, &[0, 2, 3, 4]), interp(6, &[1, 2])] {
+            if !db.satisfied_by(&start) {
+                continue;
+            }
+            let m = minimizer.minimize(&start, &mut cost);
+            assert!(m.is_subset(&start));
+            assert!(is_minimal_model(&db, &m, &mut cost), "from {start:?}");
+        }
+        assert!(cost.sat_calls > 0);
+    }
+
+    #[test]
+    fn incremental_and_fresh_agree_on_minimality() {
+        // The two strategies may land on different minimal models, but
+        // both results must be minimal and ≤ the start.
+        let db = parse_program("a | b | c. d :- a. :- b, d.").unwrap();
+        let part = Partition::minimize_all(db.num_atoms());
+        let mut cost = Cost::new();
+        let start = crate::classical::some_model(&db, &mut cost).unwrap();
+        let inc = pz_minimize(&db, &start, &part, &mut cost);
+        let fresh = pz_minimize_fresh(&db, &start, &part, &mut cost);
+        assert!(is_pz_minimal_model(&db, &inc, &part, &mut cost));
+        assert!(is_pz_minimal_model(&db, &fresh, &part, &mut cost));
+        assert!(part.le(&inc, &start) && part.le(&fresh, &start));
+    }
+
+    #[test]
+    fn minimizer_with_partition_respects_q() {
+        let db = parse_program("a | b | c.").unwrap();
+        let syms = db.symbols();
+        let part = Partition::from_p_q(3, [syms.lookup("a").unwrap()], [syms.lookup("b").unwrap()]);
+        let mut minimizer = Minimizer::new(&db, part.clone());
+        let mut cost = Cost::new();
+        let start = interp(3, &[0, 1]); // {a, b}
+        let m = minimizer.minimize(&start, &mut cost);
+        // Q-part ({b}) preserved; P-part shrunk to ∅ (c or b covers the
+        // disjunction).
+        assert!(m.contains(syms.lookup("b").unwrap()));
+        assert!(!m.contains(syms.lookup("a").unwrap()));
+        assert!(is_pz_minimal_model(&db, &m, &part, &mut cost));
+    }
+
+    #[test]
+    fn minimal_models_cost_accounted() {
+        let db = parse_program("a | b.").unwrap();
+        let mut cost = Cost::new();
+        minimal_models(&db, &mut cost);
+        assert!(cost.sat_calls > 0);
+    }
+}

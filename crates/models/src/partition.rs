@@ -1,0 +1,163 @@
+//! Vocabulary partitions ⟨P;Q;Z⟩ for careful/extended closed-world
+//! reasoning and circumscription.
+
+use ddb_logic::{Atom, Interpretation};
+
+/// A partition ⟨P;Q;Z⟩ of the vocabulary:
+///
+/// * `P` — atoms to *minimize*;
+/// * `Q` — atoms held *fixed*;
+/// * `Z` — atoms allowed to *vary* freely.
+///
+/// The induced preorder on models is `M′ ≤ M` iff `M′ ∩ Q = M ∩ Q` and
+/// `M′ ∩ P ⊆ M ∩ P` (the `Z` parts are unconstrained); the ⟨P;Z⟩-minimal
+/// models `MM(DB; P; Z)` are the models with no strictly smaller model.
+/// GCWA/EGCWA arise as the special case `P = V`, `Q = Z = ∅`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Partition {
+    p: Interpretation,
+    q: Interpretation,
+    z: Interpretation,
+}
+
+impl Partition {
+    /// Builds a partition from three disjoint masks covering the
+    /// vocabulary.
+    ///
+    /// # Panics
+    /// Panics if the masks overlap or do not cover all atoms.
+    pub fn new(p: Interpretation, q: Interpretation, z: Interpretation) -> Self {
+        let n = p.num_atoms();
+        assert_eq!(q.num_atoms(), n, "mask sizes differ");
+        assert_eq!(z.num_atoms(), n, "mask sizes differ");
+        let mut union = p.clone();
+        union.union_with(&q);
+        union.union_with(&z);
+        assert_eq!(
+            union.count(),
+            p.count() + q.count() + z.count(),
+            "partition masks must be pairwise disjoint"
+        );
+        assert_eq!(union.count(), n, "partition must cover the vocabulary");
+        Partition { p, q, z }
+    }
+
+    /// The GCWA partition: minimize everything (`P = V`).
+    pub fn minimize_all(num_atoms: usize) -> Self {
+        Partition {
+            p: Interpretation::full(num_atoms),
+            q: Interpretation::empty(num_atoms),
+            z: Interpretation::empty(num_atoms),
+        }
+    }
+
+    /// Builds a partition from explicit atom lists (`P`, `Q`; everything
+    /// else goes to `Z`).
+    pub fn from_p_q(
+        num_atoms: usize,
+        p: impl IntoIterator<Item = Atom>,
+        q: impl IntoIterator<Item = Atom>,
+    ) -> Self {
+        let p = Interpretation::from_atoms(num_atoms, p);
+        let q = Interpretation::from_atoms(num_atoms, q);
+        let mut overlap = p.clone();
+        overlap.intersect_with(&q);
+        assert!(overlap.is_empty_set(), "P and Q must be disjoint");
+        let mut z = Interpretation::full(num_atoms);
+        z.difference_with(&p);
+        z.difference_with(&q);
+        Partition { p, q, z }
+    }
+
+    /// The minimized atoms `P`.
+    pub fn p(&self) -> &Interpretation {
+        &self.p
+    }
+
+    /// The fixed atoms `Q`.
+    pub fn q(&self) -> &Interpretation {
+        &self.q
+    }
+
+    /// The varying atoms `Z`.
+    pub fn z(&self) -> &Interpretation {
+        &self.z
+    }
+
+    /// Number of atoms in the vocabulary.
+    pub fn num_atoms(&self) -> usize {
+        self.p.num_atoms()
+    }
+
+    /// Whether `a ≤ b` in the induced preorder: equal on `Q` and
+    /// `a ∩ P ⊆ b ∩ P`.
+    pub fn le(&self, a: &Interpretation, b: &Interpretation) -> bool {
+        a.agrees_within(b, &self.q) && a.is_subset_within(b, &self.p)
+    }
+
+    /// Whether `a < b`: `a ≤ b` and they differ on `P`.
+    pub fn lt(&self, a: &Interpretation, b: &Interpretation) -> bool {
+        self.le(a, b) && !a.agrees_within(b, &self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interp(n: usize, atoms: &[u32]) -> Interpretation {
+        Interpretation::from_atoms(n, atoms.iter().map(|&i| Atom::new(i)))
+    }
+
+    #[test]
+    fn minimize_all_orders_by_subset() {
+        let part = Partition::minimize_all(4);
+        let a = interp(4, &[0]);
+        let b = interp(4, &[0, 1]);
+        assert!(part.le(&a, &b));
+        assert!(part.lt(&a, &b));
+        assert!(!part.lt(&a, &a));
+        assert!(!part.le(&b, &a));
+    }
+
+    #[test]
+    fn q_must_agree() {
+        // P = {0}, Q = {1}, Z = {2}.
+        let part = Partition::from_p_q(3, [Atom::new(0)], [Atom::new(1)]);
+        let a = interp(3, &[1]);
+        let b = interp(3, &[0, 1, 2]);
+        assert!(part.le(&a, &b)); // agree on Q={1}, ∅ ⊆ {0} on P, Z free
+        assert!(part.lt(&a, &b));
+        let c = interp(3, &[0]); // differs from a on Q
+        assert!(!part.le(&c, &b) || part.le(&c, &b)); // c vs b: Q: c∌1, b∋1 → not ≤
+        assert!(!part.le(&c, &b));
+    }
+
+    #[test]
+    fn z_is_ignored() {
+        let part = Partition::from_p_q(3, [Atom::new(0)], [Atom::new(1)]);
+        let a = interp(3, &[2]);
+        let b = interp(3, &[]);
+        // Same Q (∅), same P (∅), different Z: equal in the preorder.
+        assert!(part.le(&a, &b) && part.le(&b, &a));
+        assert!(!part.lt(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_masks_rejected() {
+        let p = interp(2, &[0]);
+        let q = interp(2, &[0]);
+        let z = interp(2, &[1]);
+        let _ = Partition::new(p, q, z);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn non_covering_masks_rejected() {
+        let p = interp(2, &[0]);
+        let q = interp(2, &[]);
+        let z = interp(2, &[]);
+        let _ = Partition::new(p, q, z);
+    }
+}

@@ -1,0 +1,179 @@
+//! Minimal hypergraph transversals (Berge's algorithm) — the
+//! combinatorial core of EGCWA's *derived integrity clauses*.
+//!
+//! EGCWA augments a database with every subset-minimal integrity clause
+//! `← a₁ ∧ … ∧ aₙ` that holds in all minimal models, i.e. every minimal
+//! set `S` of atoms such that **no** minimal model contains all of `S`.
+//! Since `S ⊈ M ⟺ S ∩ (V ∖ M) ≠ ∅`, these are exactly the **minimal
+//! transversals** (hitting sets) of the hypergraph
+//! `{V ∖ M : M ∈ MM(DB)}` — a classical dualization problem.
+//!
+//! [`minimal_transversals`] implements Berge's incremental algorithm:
+//! process edges one at a time, crossing the current transversal set with
+//! the new edge and pruning non-minimal results. Worst-case output (and
+//! intermediate) size is exponential — inherent, since the number of
+//! minimal transversals can be — so a `cap` bounds the work.
+
+use ddb_logic::{Atom, Interpretation};
+
+/// Computes all minimal transversals of the hypergraph `edges` over a
+/// vocabulary of `num_atoms` atoms. Every edge must be non-empty (an
+/// empty edge admits no transversal — the function returns `None` in
+/// that case, matching "no transversal exists"). Returns `None` also if
+/// more than `cap` sets would be kept at any point.
+///
+/// Output sets are sorted and pairwise incomparable (an antichain).
+pub fn minimal_transversals(
+    num_atoms: usize,
+    edges: &[Interpretation],
+    cap: usize,
+) -> Option<Vec<Interpretation>> {
+    if edges.iter().any(Interpretation::is_empty_set) {
+        return None;
+    }
+    // Start with the single empty transversal.
+    let mut current: Vec<Interpretation> = vec![Interpretation::empty(num_atoms)];
+    for edge in edges {
+        let mut next: Vec<Interpretation> = Vec::new();
+        // Transversals already hitting the edge survive unchanged.
+        let (hitting, missing): (Vec<_>, Vec<_>) = current
+            .into_iter()
+            .partition(|t| t.iter().any(|a| edge.contains(a)));
+        next.extend(hitting);
+        // The rest get extended by every vertex of the new edge…
+        for t in &missing {
+            for v in edge.iter() {
+                let mut ext = t.clone();
+                ext.insert(v);
+                // …kept only if not dominated by a surviving transversal.
+                if !next.iter().any(|s| s.is_subset(&ext)) {
+                    // Extensions of different missing transversals can
+                    // dominate each other; prune both directions.
+                    next.retain(|s| !ext.is_subset(s));
+                    next.push(ext);
+                    if next.len() > cap {
+                        return None;
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    current.sort();
+    Some(current)
+}
+
+/// Brute-force reference: all minimal hitting sets by subset enumeration
+/// (≤ 20 atoms; used by tests).
+pub fn minimal_transversals_brute(
+    num_atoms: usize,
+    edges: &[Interpretation],
+) -> Option<Vec<Interpretation>> {
+    if edges.iter().any(Interpretation::is_empty_set) {
+        return None;
+    }
+    assert!(num_atoms <= 20);
+    let hits = |s: &Interpretation| edges.iter().all(|e| e.iter().any(|a| s.contains(a)));
+    let mut all: Vec<Interpretation> = Vec::new();
+    for bits in 0u64..1 << num_atoms {
+        let s = Interpretation::from_atoms(
+            num_atoms,
+            (0..num_atoms)
+                .filter(|&i| bits >> i & 1 == 1)
+                .map(|i| Atom::new(i as u32)),
+        );
+        if hits(&s) {
+            all.push(s);
+        }
+    }
+    let minimal: Vec<Interpretation> = all
+        .iter()
+        .filter(|s| !all.iter().any(|s2| s2.is_proper_subset(s)))
+        .cloned()
+        .collect();
+    Some(minimal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(n: usize, atoms: &[u32]) -> Interpretation {
+        Interpretation::from_atoms(n, atoms.iter().map(|&i| Atom::new(i)))
+    }
+
+    #[test]
+    fn single_edge() {
+        let edges = vec![edge(3, &[0, 2])];
+        let t = minimal_transversals(3, &edges, 100).unwrap();
+        assert_eq!(t, vec![edge(3, &[0]), edge(3, &[2])]);
+    }
+
+    #[test]
+    fn crossing_two_edges() {
+        // Edges {0,1}, {2}: transversals {0,2}, {1,2}.
+        let edges = vec![edge(3, &[0, 1]), edge(3, &[2])];
+        let t = minimal_transversals(3, &edges, 100).unwrap();
+        assert_eq!(t, vec![edge(3, &[0, 2]), edge(3, &[1, 2])]);
+    }
+
+    #[test]
+    fn overlap_collapses() {
+        // Edges {0,1}, {1,2}: minimal transversals {1}, {0,2}.
+        let edges = vec![edge(3, &[0, 1]), edge(3, &[1, 2])];
+        let t = minimal_transversals(3, &edges, 100).unwrap();
+        // Sorted by bitset words: {1} (=0b010) before {0,2} (=0b101).
+        assert_eq!(t, vec![edge(3, &[1]), edge(3, &[0, 2])]);
+    }
+
+    #[test]
+    fn empty_edge_means_none() {
+        let edges = vec![edge(2, &[0]), edge(2, &[])];
+        assert!(minimal_transversals(2, &edges, 100).is_none());
+    }
+
+    #[test]
+    fn no_edges_gives_empty_transversal() {
+        let t = minimal_transversals(3, &[], 100).unwrap();
+        assert_eq!(t, vec![Interpretation::empty(3)]);
+    }
+
+    #[test]
+    fn cap_triggers() {
+        // n disjoint 2-edges → 2^n transversals.
+        let edges: Vec<Interpretation> = (0..6).map(|i| edge(12, &[2 * i, 2 * i + 1])).collect();
+        assert!(minimal_transversals(12, &edges, 10).is_none());
+        let t = minimal_transversals(12, &edges, 100).unwrap();
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    fn matches_brute_on_random_hypergraphs() {
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 6;
+            let m = (next() % 5 + 1) as usize;
+            let edges: Vec<Interpretation> = (0..m)
+                .map(|_| {
+                    let mut e = Interpretation::empty(n);
+                    let width = next() % 3 + 1;
+                    for _ in 0..width {
+                        e.insert(Atom::new((next() % n as u64) as u32));
+                    }
+                    e
+                })
+                .collect();
+            assert_eq!(
+                minimal_transversals(n, &edges, 100_000),
+                minimal_transversals_brute(n, &edges),
+                "round {round}: {edges:?}"
+            );
+        }
+    }
+}

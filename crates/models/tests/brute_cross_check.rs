@@ -1,0 +1,170 @@
+//! Property-based cross-checks: every oracle-based procedure in
+//! `ddb-models` must agree with the brute-force definitions on random
+//! small databases.
+
+use ddb_logic::{Atom, Database, Formula, Rule};
+use ddb_models::{brute, circumscribe, classical, fixpoint, minimal, Cost, Partition};
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+/// Random rule over `N` atoms. `allow_neg`/`allow_integrity` gate the
+/// syntactic class.
+fn arb_rule(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Rule> {
+    let head = proptest::collection::vec(0u32..N as u32, usize::from(!allow_integrity)..=2);
+    let body_pos = proptest::collection::vec(0u32..N as u32, 0..=2);
+    let body_neg = proptest::collection::vec(0u32..N as u32, 0..=(2 * usize::from(allow_neg)));
+    (head, body_pos, body_neg).prop_map(|(h, bp, bn)| {
+        Rule::new(
+            h.into_iter().map(Atom::new),
+            bp.into_iter().map(Atom::new),
+            bn.into_iter().map(Atom::new),
+        )
+    })
+}
+
+fn arb_db(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Database> {
+    proptest::collection::vec(arb_rule(allow_neg, allow_integrity), 0..8).prop_map(|rules| {
+        let mut db = Database::with_fresh_atoms(N);
+        for r in rules {
+            db.add_rule(r);
+        }
+        db
+    })
+}
+
+/// Random formula of depth ≤ 3 over the first `N` atoms.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0u32..N as u32).prop_map(|i| Formula::Atom(Atom::new(i))),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.negated()),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
+        ]
+    })
+}
+
+/// Random partition of the `N` atoms into P/Q/Z.
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    proptest::collection::vec(0u8..3, N).prop_map(|assignment| {
+        let p = (0..N)
+            .filter(|&i| assignment[i] == 0)
+            .map(|i| Atom::new(i as u32));
+        let q = (0..N)
+            .filter(|&i| assignment[i] == 1)
+            .map(|i| Atom::new(i as u32));
+        Partition::from_p_q(N, p, q)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn sat_models_match_brute(db in arb_db(true, true)) {
+        let mut cost = Cost::new();
+        prop_assert_eq!(classical::all_models(&db, &mut cost), brute::models(&db));
+    }
+
+    #[test]
+    fn minimal_models_match_brute(db in arb_db(true, true)) {
+        let mut cost = Cost::new();
+        prop_assert_eq!(
+            minimal::minimal_models(&db, &mut cost),
+            brute::minimal_models(&db)
+        );
+    }
+
+    #[test]
+    fn pz_minimal_models_match_brute(db in arb_db(true, true), part in arb_partition()) {
+        let mut cost = Cost::new();
+        prop_assert_eq!(
+            minimal::pz_minimal_models(&db, &part, &mut cost),
+            brute::pz_minimal_models(&db, &part)
+        );
+    }
+
+    #[test]
+    fn minimize_lands_on_brute_minimal(db in arb_db(true, true)) {
+        let mut cost = Cost::new();
+        if let Some(m) = classical::some_model(&db, &mut cost) {
+            let minimal = minimal::minimize(&db, &m, &mut cost);
+            prop_assert!(brute::minimal_models(&db).contains(&minimal));
+            prop_assert!(minimal.is_subset(&m));
+        }
+    }
+
+    #[test]
+    fn cegar_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let mut cost = Cost::new();
+        let expected = brute::holds_in_all(&brute::minimal_models(&db), &f);
+        prop_assert_eq!(
+            circumscribe::holds_in_all_minimal_models(&db, &f, &mut cost),
+            expected
+        );
+    }
+
+    #[test]
+    fn cegar_pz_matches_brute(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+        let mut cost = Cost::new();
+        let expected = brute::holds_in_all(&brute::pz_minimal_models(&db, &part), &f);
+        prop_assert_eq!(
+            circumscribe::holds_in_all_pz_minimal_models(&db, &part, &f, &mut cost),
+            expected
+        );
+    }
+
+    #[test]
+    fn cegar_witness_is_sound_and_complete(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+        let mut cost = Cost::new();
+        let witness = circumscribe::find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost);
+        let reference = brute::pz_minimal_models(&db, &part);
+        match witness {
+            Some(w) => {
+                prop_assert!(f.eval(&w));
+                prop_assert!(reference.contains(&w));
+            }
+            None => prop_assert!(!reference.iter().any(|m| f.eval(m))),
+        }
+    }
+
+    #[test]
+    fn active_atoms_match_explicit_fixpoint(db in arb_db(false, true)) {
+        // Positive databases only (DDR's domain). Cap generously; the
+        // random instances are tiny.
+        if let Some(state) = fixpoint::model_state(&db, 50_000) {
+            prop_assert_eq!(
+                fixpoint::atoms_of_state(&state, db.num_atoms()),
+                fixpoint::active_atoms(&db)
+            );
+        }
+    }
+
+    #[test]
+    fn entailment_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+        let mut cost = Cost::new();
+        let expected = brute::holds_in_all(&brute::models(&db), &f);
+        prop_assert_eq!(classical::entails(&db, &[], &f, &mut cost), expected);
+    }
+
+    #[test]
+    fn componentwise_enumeration_matches_direct(db in arb_db(true, true)) {
+        let mut cost = Cost::new();
+        let direct = minimal::minimal_models(&db, &mut cost);
+        prop_assert_eq!(
+            ddb_models::components::minimal_models_componentwise(&db, &mut cost),
+            direct.clone()
+        );
+        prop_assert_eq!(
+            ddb_models::components::count_minimal_models(&db, &mut cost),
+            direct.len() as u128
+        );
+    }
+}

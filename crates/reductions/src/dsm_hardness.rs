@@ -1,0 +1,130 @@
+//! Σᵖ₂-hardness of disjunctive stable model existence.
+//!
+//! Given `Ψ = ∃X ∀Y ψ` with DNF matrix, build the normal database
+//!
+//! ```text
+//! x ← ¬x̄.   x̄ ← ¬x.      for every x ∈ X        (stable choice)
+//! y ∨ ȳ.                  for every y ∈ Y
+//! y ← w.    ȳ ← w.        for every y ∈ Y        (w saturates Y)
+//! w ← d̃.                  for every DNF term d    (d̃ = its literal atoms)
+//! ← ¬w.                   (w must hold)
+//! ```
+//!
+//! **Claim**: `DB` has a disjunctive stable model iff `Ψ` is true.
+//!
+//! *Why*: any stable model fixes an exclusive `X`-choice `σ` (the negative
+//! loop), must contain `w` (the constraint), hence saturates `Y`. The
+//! GL-reduct is then the positive program of the GCWA reduction, and the
+//! saturated model is minimal in it exactly when every exact
+//! `Y`-assignment satisfies some term of `ψ` under `σ` — i.e. when
+//! `∀Y ψ(σ,·)`. So stable models correspond to the outer witnesses of `Ψ`.
+//!
+//! (Przymusinski's equivalence `PDSM = DSM` on the relevant fragments
+//! carries the same lower bound to PDSM; the paper notes integrity clauses
+//! are not even essential there.)
+
+use crate::qbf::ExistsForallDnf;
+use ddb_logic::{Atom, Database, Rule, Symbols};
+
+/// Reduction output.
+pub struct DsmInstance {
+    /// The disjunctive normal database.
+    pub db: Database,
+    /// The saturation atom `w` (every stable model contains it).
+    pub w: Atom,
+}
+
+/// Builds the reduction instance from an `∃X∀Y`-DNF formula.
+pub fn exists_forall_to_dsm_existence(qbf: &ExistsForallDnf) -> DsmInstance {
+    let mut symbols = Symbols::new();
+    let n = qbf.num_vars();
+    let pos: Vec<Atom> = (0..n).map(|v| symbols.intern(&format!("v{v}"))).collect();
+    let neg: Vec<Atom> = (0..n)
+        .map(|v| symbols.intern(&format!("v{v}_bar")))
+        .collect();
+    let w = symbols.intern("w");
+    let mut db = Database::new(symbols);
+
+    let lit_atom = |(v, s): (u32, bool)| if s { pos[v as usize] } else { neg[v as usize] };
+
+    for x in 0..qbf.num_existential_outer as usize {
+        db.add_rule(Rule::new([pos[x]], [], [neg[x]]));
+        db.add_rule(Rule::new([neg[x]], [], [pos[x]]));
+    }
+    for y in qbf.num_existential_outer..n {
+        let y = y as usize;
+        db.add_rule(Rule::fact([pos[y], neg[y]]));
+        db.add_rule(Rule::new([pos[y]], [w], []));
+        db.add_rule(Rule::new([neg[y]], [w], []));
+    }
+    for term in &qbf.terms {
+        let body: Vec<Atom> = term.iter().map(|&l| lit_atom(l)).collect();
+        db.add_rule(Rule::new([w], body, []));
+    }
+    db.add_rule(Rule::integrity([], [w]));
+    DsmInstance { db, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qbf::{random_forall_exists, ExistsForallDnf};
+    use ddb_models::Cost;
+
+    #[test]
+    fn reduction_preserves_answers() {
+        for seed in 0..60 {
+            // Random Σᵖ₂ instances as complements of ∀∃ ones.
+            let q = random_forall_exists(2, 2, 4, 2, seed).complement();
+            let inst = exists_forall_to_dsm_existence(&q);
+            let mut cost = Cost::new();
+            let has_stable = ddb_core::dsm::has_model(&inst.db, &mut cost);
+            assert_eq!(has_stable, q.true_brute(), "seed {seed}: {q:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_instances() {
+        // ∃x ∀y (x ∧ y) ∨ (x ∧ ¬y): true with x = 1.
+        let yes = ExistsForallDnf {
+            num_existential_outer: 1,
+            num_universal_inner: 1,
+            terms: vec![vec![(0, true), (1, true)], vec![(0, true), (1, false)]],
+        };
+        let inst = exists_forall_to_dsm_existence(&yes);
+        let mut cost = Cost::new();
+        assert!(ddb_core::dsm::has_model(&inst.db, &mut cost));
+
+        // ∃x ∀y (y): false (y = 0 refutes every x).
+        let no = ExistsForallDnf {
+            num_existential_outer: 1,
+            num_universal_inner: 1,
+            terms: vec![vec![(1, true)]],
+        };
+        let inst = exists_forall_to_dsm_existence(&no);
+        assert!(!ddb_core::dsm::has_model(&inst.db, &mut cost));
+    }
+
+    #[test]
+    fn stable_models_are_saturated_witnesses() {
+        let q = ExistsForallDnf {
+            num_existential_outer: 1,
+            num_universal_inner: 1,
+            terms: vec![vec![(0, true), (1, true)], vec![(0, true), (1, false)]],
+        };
+        let inst = exists_forall_to_dsm_existence(&q);
+        let mut cost = Cost::new();
+        let models = ddb_core::dsm::models(&inst.db, &mut cost);
+        assert_eq!(models.len(), 1);
+        let m = &models[0];
+        assert!(m.contains(inst.w));
+        // Saturated: both y and ȳ true.
+        let y = inst.db.symbols().lookup("v1").unwrap();
+        let ybar = inst.db.symbols().lookup("v1_bar").unwrap();
+        assert!(m.contains(y) && m.contains(ybar));
+        // Witness: x chosen true, x̄ false.
+        let x = inst.db.symbols().lookup("v0").unwrap();
+        let xbar = inst.db.symbols().lookup("v0_bar").unwrap();
+        assert!(m.contains(x) && !m.contains(xbar));
+    }
+}

@@ -1,0 +1,155 @@
+//! UMINSAT — does a CNF have a **unique** minimal model? (Proposition 5.4
+//! of the paper: coNP-hard, and not in coDᵖ unless the polynomial
+//! hierarchy collapses.)
+//!
+//! The coNP-hardness reduction implemented here: given a CNF `C` over
+//! variables `V`, add fresh atoms `t` and `q`, and let
+//!
+//! `C′ = {c ∨ t : c ∈ C} ∪ {q ∨ t}`.
+//!
+//! * If `C` is unsatisfiable, every model of `C′` contains `t`, and `{t}`
+//!   is a model — the unique minimal one.
+//! * If `C` is satisfiable with model `M`, then `M ∪ {q}` is a `t`-free
+//!   model of `C′`, so some minimal model avoids `t`; meanwhile `{t}` is
+//!   still minimal (its only proper subset `∅` violates `q ∨ t`). Two
+//!   incomparable minimal models — not unique.
+//!
+//! Hence `C` is unsatisfiable iff `C′` has a unique minimal model.
+
+use ddb_logic::{Database, Interpretation, Rule, Symbols};
+use ddb_models::{minimal, Cost};
+
+/// Decides UMINSAT for a database (clausal theory): does it have exactly
+/// one minimal model? Enumerates at most two minimal models.
+pub fn has_unique_minimal_model(db: &Database, cost: &mut Cost) -> bool {
+    // Reuse the enumeration machinery but stop after two.
+    let mut count = 0usize;
+    let models = minimal::minimal_models(db, cost);
+    for _ in models.iter().take(2) {
+        count += 1;
+    }
+    count == 1
+}
+
+/// The UNSAT → UMINSAT reduction; returns the padded database `C′`.
+pub fn unsat_to_uminsat(num_vars: u32, cnf: &[Vec<(u32, bool)>]) -> Database {
+    let mut symbols = Symbols::new();
+    let atoms: Vec<ddb_logic::Atom> = (0..num_vars)
+        .map(|v| symbols.intern(&format!("v{v}")))
+        .collect();
+    let t = symbols.intern("t");
+    let q = symbols.intern("q");
+    let mut db = Database::new(symbols);
+    for clause in cnf {
+        // c ∨ t as a rule: positive literals (and t) in the head, negated
+        // atoms in the body.
+        let mut head: Vec<ddb_logic::Atom> = clause
+            .iter()
+            .filter(|&&(_, s)| s)
+            .map(|&(v, _)| atoms[v as usize])
+            .collect();
+        head.push(t);
+        let body: Vec<ddb_logic::Atom> = clause
+            .iter()
+            .filter(|&&(_, s)| !s)
+            .map(|&(v, _)| atoms[v as usize])
+            .collect();
+        db.add_rule(Rule::new(head, body, []));
+    }
+    db.add_rule(Rule::fact([q, t]));
+    db
+}
+
+/// Convenience: the unique minimal model, when it exists.
+pub fn unique_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
+    let models = minimal::minimal_models(db, cost);
+    if models.len() == 1 {
+        models.into_iter().next()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_sat(num_vars: u32, cnf: &[Vec<(u32, bool)>]) -> bool {
+        (0u64..1 << num_vars).any(|bits| {
+            cnf.iter()
+                .all(|c| c.iter().any(|&(v, s)| (bits >> v & 1 == 1) == s))
+        })
+    }
+
+    fn random_cnf(
+        num_vars: u32,
+        num_clauses: usize,
+        width: usize,
+        seed: u64,
+    ) -> Vec<Vec<(u32, bool)>> {
+        let mut state = seed.wrapping_mul(0xD1342543DE82EF95).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..num_clauses)
+            .map(|_| {
+                (0..width)
+                    .map(|_| ((next() % num_vars as u64) as u32, next() % 2 == 0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduction_preserves_answers() {
+        for seed in 0..80 {
+            let cnf = random_cnf(4, 7, 2, seed);
+            let db = unsat_to_uminsat(4, &cnf);
+            let mut cost = Cost::new();
+            assert_eq!(
+                has_unique_minimal_model(&db, &mut cost),
+                !brute_sat(4, &cnf),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsat_gives_the_t_model() {
+        // (v0) ∧ (¬v0): unsatisfiable.
+        let cnf = vec![vec![(0, true)], vec![(0, false)]];
+        let db = unsat_to_uminsat(1, &cnf);
+        let mut cost = Cost::new();
+        let unique = unique_minimal_model(&db, &mut cost).expect("unique");
+        let t = db.symbols().lookup("t").unwrap();
+        assert_eq!(unique, Interpretation::from_atoms(db.num_atoms(), [t]));
+    }
+
+    #[test]
+    fn sat_gives_two_minimal_models() {
+        // (v0): satisfiable.
+        let cnf = vec![vec![(0, true)]];
+        let db = unsat_to_uminsat(1, &cnf);
+        let mut cost = Cost::new();
+        assert!(!has_unique_minimal_model(&db, &mut cost));
+        assert!(unique_minimal_model(&db, &mut cost).is_none());
+    }
+
+    #[test]
+    fn uminsat_direct_examples() {
+        use ddb_logic::parse::parse_program;
+        let mut cost = Cost::new();
+        // Horn database: unique minimal model.
+        let horn = parse_program("a. b :- a.").unwrap();
+        assert!(has_unique_minimal_model(&horn, &mut cost));
+        // Disjunction: two minimal models.
+        let dis = parse_program("a | b.").unwrap();
+        assert!(!has_unique_minimal_model(&dis, &mut cost));
+        // Unsatisfiable: zero minimal models — not unique.
+        let bad = parse_program("a. :- a.").unwrap();
+        assert!(!has_unique_minimal_model(&bad, &mut cost));
+    }
+}

@@ -1,0 +1,170 @@
+//! DIMACS CNF reading and writing — the lingua franca of SAT, so the
+//! oracle substrate can be exercised against external instances and its
+//! answers cross-checked by external solvers.
+
+use ddb_logic::cnf::Cnf;
+use ddb_logic::{Atom, Literal};
+use std::fmt::Write as _;
+
+/// A DIMACS parse error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text. Accepts comments (`c …`), a `p cnf V C`
+/// header, and clauses terminated by `0` (possibly spanning lines).
+/// Variables beyond the declared count grow the formula (with a warning
+/// dropped — lenient mode, like most solvers).
+/// ```
+/// use ddb_sat::{dimacs, Solver};
+/// let cnf = dimacs::parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+/// assert!(Solver::from_cnf(&cnf).solve().is_sat());
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let mut num_vars = 0usize;
+    let mut declared: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<Literal>> = Vec::new();
+    let mut current: Vec<Literal> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let err = |message: String| DimacsError {
+            line: lineno + 1,
+            message,
+        };
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(err(format!("malformed header `{line}`")));
+            }
+            let v: usize = parts[1]
+                .parse()
+                .map_err(|_| err(format!("bad variable count `{}`", parts[1])))?;
+            let c: usize = parts[2]
+                .parse()
+                .map_err(|_| err(format!("bad clause count `{}`", parts[2])))?;
+            declared = Some((v, c));
+            num_vars = num_vars.max(v);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| err(format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var = v.unsigned_abs() as usize - 1;
+                num_vars = num_vars.max(var + 1);
+                current.push(Literal::with_sign(Atom::new(var as u32), v > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        // Trailing clause without terminating 0 — accept it (lenient).
+        clauses.push(current);
+    }
+    if let Some((_, c)) = declared {
+        if clauses.len() != c {
+            // Lenient: header clause count is advisory; many generators lie.
+        }
+    }
+    Ok(Cnf { num_vars, clauses })
+}
+
+/// Renders a CNF as DIMACS text.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for &lit in clause {
+            let v = lit.atom().index() as i64 + 1;
+            let _ = write!(out, "{} ", if lit.is_positive() { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dpll, Solver};
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0], vec![Atom::new(0).pos(), Atom::new(1).neg()]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = parse_dimacs("p cnf 4 3\n1 2 0\n-1 3 0\n-2 -3 4 0\n").unwrap();
+        let text = to_dimacs(&cnf);
+        let cnf2 = parse_dimacs(&text).unwrap();
+        assert_eq!(cnf.num_vars, cnf2.num_vars);
+        assert_eq!(cnf.clauses, cnf2.clauses);
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_clause() {
+        let cnf = parse_dimacs("p cnf 1 1\n0\n").unwrap();
+        assert_eq!(cnf.clauses, vec![Vec::new()]);
+        assert!(!dpll::is_sat(&cnf));
+    }
+
+    #[test]
+    fn undeclared_variables_grow() {
+        let cnf = parse_dimacs("p cnf 1 1\n5 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 5);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(parse_dimacs("p dnf 1 1\n1 0").is_err());
+        assert!(parse_dimacs("p cnf x 1\n1 0").is_err());
+    }
+
+    #[test]
+    fn bad_literal_rejected() {
+        let err = parse_dimacs("p cnf 1 1\n1 q 0").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn solver_on_parsed_instance() {
+        // A small unsatisfiable instance in DIMACS form.
+        let cnf = parse_dimacs("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
+        assert!(!Solver::from_cnf(&cnf).solve().is_sat());
+        assert!(!dpll::is_sat(&cnf));
+    }
+
+    #[test]
+    fn trailing_clause_without_zero() {
+        let cnf = parse_dimacs("p cnf 2 1\n1 2").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+    }
+}

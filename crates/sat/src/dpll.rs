@@ -1,0 +1,240 @@
+//! A deliberately simple DPLL solver used as a reference implementation.
+//!
+//! No watched literals, no learning — just unit propagation, pure-literal
+//! elimination and chronological backtracking on a cloned clause set. It is
+//! exponentially slower than [`crate::Solver`] on hard instances, which is
+//! exactly why the benchmark suite keeps it around: the CDCL-vs-DPLL
+//! ablation of DESIGN.md measures what the oracle substrate buys.
+
+use ddb_logic::cnf::Cnf;
+use ddb_logic::{Atom, Interpretation, Literal};
+
+/// Decision procedure: is `cnf` satisfiable? Returns a model if so.
+pub fn solve(cnf: &Cnf) -> Option<Interpretation> {
+    let mut assign: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    let clauses: Vec<Vec<Literal>> = cnf.clauses.clone();
+    if dpll(&clauses, &mut assign) {
+        let mut m = Interpretation::empty(cnf.num_vars);
+        for (v, val) in assign.iter().enumerate() {
+            if val.unwrap_or(false) {
+                m.insert(Atom::new(v as u32));
+            }
+        }
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// Whether `cnf` is satisfiable.
+pub fn is_sat(cnf: &Cnf) -> bool {
+    solve(cnf).is_some()
+}
+
+fn lit_value(assign: &[Option<bool>], l: Literal) -> Option<bool> {
+    assign[l.atom().index()].map(|b| b == l.is_positive())
+}
+
+/// Simplification result of one propagation pass.
+enum Simp {
+    Conflict,
+    Fixpoint,
+    Progress,
+}
+
+fn propagate_once(clauses: &[Vec<Literal>], assign: &mut [Option<bool>]) -> Simp {
+    let mut progress = false;
+    for clause in clauses {
+        let mut unassigned: Option<Literal> = None;
+        let mut num_unassigned = 0;
+        let mut satisfied = false;
+        for &l in clause {
+            match lit_value(assign, l) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(false) => {}
+                None => {
+                    num_unassigned += 1;
+                    unassigned = Some(l);
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match num_unassigned {
+            0 => return Simp::Conflict,
+            1 => {
+                let l = unassigned.expect("unit literal");
+                assign[l.atom().index()] = Some(l.is_positive());
+                progress = true;
+            }
+            _ => {}
+        }
+    }
+    if progress {
+        Simp::Progress
+    } else {
+        Simp::Fixpoint
+    }
+}
+
+fn dpll(clauses: &[Vec<Literal>], assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let snapshot = assign.clone();
+    loop {
+        match propagate_once(clauses, assign) {
+            Simp::Conflict => {
+                *assign = snapshot;
+                return false;
+            }
+            Simp::Progress => continue,
+            Simp::Fixpoint => break,
+        }
+    }
+    // Pure-literal elimination over unsatisfied clauses.
+    {
+        let mut pos = vec![false; assign.len()];
+        let mut neg = vec![false; assign.len()];
+        for clause in clauses {
+            if clause.iter().any(|&l| lit_value(assign, l) == Some(true)) {
+                continue;
+            }
+            for &l in clause {
+                if lit_value(assign, l).is_none() {
+                    if l.is_positive() {
+                        pos[l.atom().index()] = true;
+                    } else {
+                        neg[l.atom().index()] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..assign.len() {
+            if assign[v].is_none() && (pos[v] ^ neg[v]) {
+                assign[v] = Some(pos[v]);
+            }
+        }
+    }
+    // Pick a branching variable: first unassigned in an unsatisfied clause.
+    let mut branch: Option<Atom> = None;
+    let mut all_satisfied = true;
+    for clause in clauses {
+        let mut satisfied = false;
+        let mut candidate = None;
+        for &l in clause {
+            match lit_value(assign, l) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(false) => {}
+                None => candidate = candidate.or(Some(l.atom())),
+            }
+        }
+        if !satisfied {
+            all_satisfied = false;
+            match candidate {
+                Some(a) => {
+                    branch = Some(a);
+                    break;
+                }
+                None => {
+                    // Unsatisfied clause with no unassigned literal: conflict.
+                    *assign = snapshot;
+                    return false;
+                }
+            }
+        }
+    }
+    if all_satisfied {
+        return true;
+    }
+    let a = branch.expect("unsatisfied clause provides a branch variable");
+    for value in [false, true] {
+        assign[a.index()] = Some(value);
+        if dpll(clauses, assign) {
+            return true;
+        }
+        assign[a.index()] = None;
+    }
+    *assign = snapshot;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::cnf::CnfBuilder;
+
+    fn lit(i: u32, pos: bool) -> Literal {
+        Literal::with_sign(Atom::new(i), pos)
+    }
+
+    fn cnf(num_vars: usize, clauses: &[&[Literal]]) -> Cnf {
+        let mut b = CnfBuilder::new(num_vars);
+        for c in clauses {
+            b.add_clause(c.to_vec());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn simple_sat() {
+        let f = cnf(2, &[&[lit(0, true), lit(1, true)], &[lit(0, false)]]);
+        let m = solve(&f).expect("sat");
+        assert!(f.satisfied_by(&m));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let f = cnf(1, &[&[lit(0, true)], &[lit(0, false)]]);
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = cnf(3, &[]);
+        assert!(is_sat(&f));
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let f = cnf(1, &[&[]]);
+        assert!(!is_sat(&f));
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        // 3 pigeons, 2 holes.
+        let mut b = CnfBuilder::new(6);
+        for i in 0..3u32 {
+            b.add_clause(vec![lit(i * 2, true), lit(i * 2 + 1, true)]);
+        }
+        for j in 0..2u32 {
+            for i1 in 0..3u32 {
+                for i2 in (i1 + 1)..3u32 {
+                    b.add_clause(vec![lit(i1 * 2 + j, false), lit(i2 * 2 + j, false)]);
+                }
+            }
+        }
+        assert!(!is_sat(&b.finish()));
+    }
+
+    #[test]
+    fn models_satisfy() {
+        // XOR-ish structure: (a∨b) ∧ (¬a∨¬b) ∧ (a∨¬c).
+        let f = cnf(
+            3,
+            &[
+                &[lit(0, true), lit(1, true)],
+                &[lit(0, false), lit(1, false)],
+                &[lit(0, true), lit(2, false)],
+            ],
+        );
+        let m = solve(&f).expect("sat");
+        assert!(f.satisfied_by(&m));
+    }
+}

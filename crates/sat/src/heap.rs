@@ -1,0 +1,170 @@
+//! Indexed max-heap over variables keyed by activity (MiniSat-style).
+
+/// A binary max-heap of variable indices ordered by an external activity
+/// array, supporting `decrease`-free activity bumps via [`VarHeap::update`]
+/// and O(log n) removal of the maximum.
+///
+/// The heap stores each variable's position so membership tests and updates
+/// are O(1)/O(log n).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `u32::MAX` if absent.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the position table to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    #[allow(dead_code)] // part of the heap API surface
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Re-establishes heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: u32, activity: &[f64]) {
+        let p = self.pos[v as usize];
+        if p != ABSENT {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top as usize] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] > activity[self.heap[parent] as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow(4);
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        let mut out = Vec::new();
+        while let Some(v) = h.pop_max(&activity) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow(2);
+        h.insert(0, &activity);
+        h.insert(1, &activity);
+        assert_eq!(h.pop_max(&activity), Some(1));
+        assert!(!h.contains(1));
+        h.insert(1, &activity);
+        assert!(h.contains(1));
+        assert_eq!(h.pop_max(&activity), Some(1));
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow(3);
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.update(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow(1);
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+}

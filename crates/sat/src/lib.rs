@@ -1,0 +1,38 @@
+//! # ddb-sat — the NP oracle
+//!
+//! A from-scratch SAT layer for the disjunctive-database workspace. Every
+//! semantics in the paper whose decision problems sit at or above NP in the
+//! polynomial hierarchy is implemented in `ddb-models`/`ddb-core` as a
+//! polynomial-time procedure *around calls into this crate* — so the crate
+//! is, quite literally, the paper's NP oracle.
+//!
+//! Two solvers are provided:
+//!
+//! * [`Solver`] — a CDCL solver with two-watched-literal propagation,
+//!   first-UIP conflict analysis, VSIDS variable activities with phase
+//!   saving, Luby restarts, learnt-clause database reduction, and an
+//!   incremental assumptions interface;
+//! * [`dpll`] — a deliberately simple DPLL solver used as a *reference
+//!   implementation*: the test suite (including property-based tests)
+//!   cross-checks CDCL against DPLL on random formulas.
+//!
+//! [`enumerate_models`] enumerates satisfying assignments projected onto a
+//! prefix of the variables (the database atoms), which is the workhorse of
+//! minimal-model and stable-model enumeration.
+//!
+//! Oracle accounting: [`Solver`] counts `solve` invocations, decisions,
+//! propagations and conflicts ([`Stats`]); the complexity experiments of
+//! `ddb-bench` report these numbers to make the paper's oracle-bounded
+//! upper bounds (e.g. `P^{Σᵖ₂}[O(log n)]`) observable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+pub mod dpll;
+mod enumerate;
+mod heap;
+mod solver;
+
+pub use enumerate::{all_models, enumerate_models};
+pub use solver::{SolveResult, Solver, Stats};

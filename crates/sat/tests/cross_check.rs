@@ -1,0 +1,146 @@
+//! Property-based cross-checks of the CDCL solver against the DPLL
+//! reference solver and a brute-force truth-table evaluator.
+
+use ddb_logic::cnf::{Cnf, CnfBuilder};
+use ddb_logic::{Atom, Interpretation, Literal};
+use ddb_sat::{dpll, enumerate_models, Solver};
+use proptest::prelude::*;
+
+/// Random CNF: up to 8 variables, up to 30 clauses of 1–4 literals.
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0u32..8, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..30).prop_map(|clauses| {
+        let mut b = CnfBuilder::new(8);
+        for c in clauses {
+            b.add_clause(
+                c.into_iter()
+                    .map(|(v, s)| Literal::with_sign(Atom::new(v), s))
+                    .collect(),
+            );
+        }
+        b.finish()
+    })
+}
+
+fn brute_force_models(cnf: &Cnf) -> Vec<Interpretation> {
+    let n = cnf.num_vars;
+    assert!(n <= 16);
+    let mut out = Vec::new();
+    for bits in 0u64..1 << n {
+        let m = Interpretation::from_atoms(
+            n,
+            (0..n)
+                .filter(|&i| bits >> i & 1 == 1)
+                .map(|i| Atom::new(i as u32)),
+        );
+        if cnf.satisfied_by(&m) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in arb_cnf()) {
+        let expected = !brute_force_models(&cnf).is_empty();
+        let mut solver = Solver::from_cnf(&cnf);
+        let got = solver.solve().is_sat();
+        prop_assert_eq!(got, expected);
+        if got {
+            // The reported model must actually satisfy the formula.
+            prop_assert!(cnf.satisfied_by(&solver.model()));
+        }
+    }
+
+    #[test]
+    fn cdcl_agrees_with_dpll(cnf in arb_cnf()) {
+        let mut solver = Solver::from_cnf(&cnf);
+        prop_assert_eq!(solver.solve().is_sat(), dpll::is_sat(&cnf));
+    }
+
+    #[test]
+    fn enumeration_finds_exactly_the_models(cnf in arb_cnf()) {
+        let expected = brute_force_models(&cnf);
+        let mut got = Vec::new();
+        enumerate_models(&cnf, cnf.num_vars, |m| {
+            got.push(m.clone());
+            true
+        });
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn assumptions_equal_added_units(cnf in arb_cnf(), assum in proptest::collection::vec((0u32..8, any::<bool>()), 0..4)) {
+        let assumptions: Vec<Literal> = assum
+            .into_iter()
+            .map(|(v, s)| Literal::with_sign(Atom::new(v), s))
+            .collect();
+        // Solving under assumptions must match solving the CNF with the
+        // assumptions added as unit clauses.
+        let mut incremental = Solver::from_cnf(&cnf);
+        let got = incremental.solve_with_assumptions(&assumptions).is_sat();
+
+        let mut b = CnfBuilder::new(cnf.num_vars);
+        for c in &cnf.clauses {
+            b.add_clause(c.clone());
+        }
+        for &l in &assumptions {
+            b.add_clause(vec![l]);
+        }
+        let expected = dpll::is_sat(&b.finish());
+        prop_assert_eq!(got, expected);
+
+        // And the solver must remain correct afterwards (no state leak).
+        let base = incremental.solve().is_sat();
+        prop_assert_eq!(base, dpll::is_sat(&cnf));
+    }
+
+    #[test]
+    fn repeated_solves_are_stable(cnf in arb_cnf()) {
+        let mut solver = Solver::from_cnf(&cnf);
+        let first = solver.solve().is_sat();
+        for _ in 0..3 {
+            prop_assert_eq!(solver.solve().is_sat(), first);
+        }
+    }
+}
+
+#[test]
+fn hard_random_3sat_near_phase_transition() {
+    // Deterministic pseudo-random 3-SAT at clause/var ratio 4.26 with 60
+    // vars: exercises learning, restarts and reduction. We only check that
+    // CDCL and DPLL agree (both answers are plausible near the transition).
+    let mut state = 0x243F6A8885A308D3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..5 {
+        let n = 40;
+        let m = (n as f64 * 4.26) as usize;
+        let mut b = CnfBuilder::new(n);
+        for _ in 0..m {
+            let mut lits = Vec::with_capacity(3);
+            for _ in 0..3 {
+                let v = (next() % n as u64) as u32;
+                let s = next() % 2 == 0;
+                lits.push(Literal::with_sign(Atom::new(v), s));
+            }
+            b.add_clause(lits);
+        }
+        let cnf = b.finish();
+        let mut solver = Solver::from_cnf(&cnf);
+        let cdcl = solver.solve().is_sat();
+        let reference = dpll::is_sat(&cnf);
+        assert_eq!(cdcl, reference, "round {round}");
+        if cdcl {
+            assert!(cnf.satisfied_by(&solver.model()), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Robustness properties of the CDCL solver: answers must be invariant
+//! under clause reordering, literal reordering, duplication, and the
+//! clause-minimization switch.
+
+use ddb_logic::cnf::{Cnf, CnfBuilder};
+use ddb_logic::{Atom, Literal};
+use ddb_sat::{dpll, Solver};
+use proptest::prelude::*;
+
+fn arb_cnf_and_perm() -> impl Strategy<Value = (Cnf, Vec<usize>)> {
+    let clause = proptest::collection::vec((0u32..7, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 1..20)
+        .prop_flat_map(|clauses| {
+            let len = clauses.len();
+            (
+                Just(clauses),
+                proptest::collection::vec(0usize..len.max(1), len),
+            )
+        })
+        .prop_map(|(clauses, perm_seed)| {
+            let mut b = CnfBuilder::new(7);
+            for c in &clauses {
+                b.add_clause(
+                    c.iter()
+                        .map(|&(v, s)| Literal::with_sign(Atom::new(v), s))
+                        .collect(),
+                );
+            }
+            (b.finish(), perm_seed)
+        })
+}
+
+fn permuted(cnf: &Cnf, seed: &[usize]) -> Cnf {
+    // Deterministic pseudo-shuffle driven by the seed values.
+    let mut clauses = cnf.clauses.clone();
+    let len = clauses.len();
+    for (i, &s) in seed.iter().enumerate() {
+        clauses.swap(i % len, s % len);
+    }
+    // Also rotate literals inside each clause.
+    for (i, c) in clauses.iter_mut().enumerate() {
+        let w = c.len();
+        if w > 0 {
+            c.rotate_left(i % w);
+        }
+    }
+    Cnf {
+        num_vars: cnf.num_vars,
+        clauses,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn clause_order_invariance((cnf, perm) in arb_cnf_and_perm()) {
+        let shuffled = permuted(&cnf, &perm);
+        let a = Solver::from_cnf(&cnf).solve().is_sat();
+        let b = Solver::from_cnf(&shuffled).solve().is_sat();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplication_invariance((cnf, _) in arb_cnf_and_perm()) {
+        let mut doubled = cnf.clone();
+        doubled.clauses.extend(cnf.clauses.clone());
+        prop_assert_eq!(
+            Solver::from_cnf(&cnf).solve().is_sat(),
+            Solver::from_cnf(&doubled).solve().is_sat()
+        );
+    }
+
+    #[test]
+    fn minimization_switch_invariance((cnf, _) in arb_cnf_and_perm()) {
+        let mut on = Solver::from_cnf(&cnf);
+        on.set_clause_minimization(true);
+        let mut off = Solver::from_cnf(&cnf);
+        off.set_clause_minimization(false);
+        let expected = dpll::is_sat(&cnf);
+        prop_assert_eq!(on.solve().is_sat(), expected);
+        prop_assert_eq!(off.solve().is_sat(), expected);
+    }
+
+    #[test]
+    fn model_is_stable_under_resolve((cnf, _) in arb_cnf_and_perm()) {
+        // Re-solving after reading the model must keep the instance SAT
+        // and produce a (possibly different) satisfying model.
+        let mut s = Solver::from_cnf(&cnf);
+        if s.solve().is_sat() {
+            let m1 = s.model();
+            prop_assert!(cnf.satisfied_by(&m1));
+            prop_assert!(s.solve().is_sat());
+            let m2 = s.model();
+            prop_assert!(cnf.satisfied_by(&m2));
+        }
+    }
+}

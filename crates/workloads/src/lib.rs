@@ -1,0 +1,23 @@
+//! # ddb-workloads — deterministic instance generators
+//!
+//! Every benchmark family behind the Table-1/Table-2 experiments lives
+//! here, each seeded and deterministic:
+//!
+//! * [`random`] — parameterized random databases across the syntactic
+//!   classes (positive / deductive / stratified / normal) with tunable
+//!   rule counts, head widths, body widths, negation and integrity rates;
+//! * [`structured`] — the scaling families: Horn chains and layered
+//!   disjunctive programs (the tractable DDR/PWS cells), graph
+//!   `k`-coloring as a disjunctive database (minimal/stable model
+//!   workloads), even-loop batteries (2^k stable models), odd-loop traps
+//!   (stable-model-free), and phase-transition CNFs rendered as deductive
+//!   databases (the NP-complete existence cells);
+//! * [`queries`] — random literal and formula queries over a database's
+//!   vocabulary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod random;
+pub mod structured;

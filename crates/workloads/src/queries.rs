@@ -1,0 +1,69 @@
+//! Random query generation (literals and formulas over a vocabulary).
+
+use ddb_logic::{Atom, Formula, Literal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random literal over `num_atoms` atoms.
+pub fn random_literal(num_atoms: usize, seed: u64) -> Literal {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Literal::with_sign(
+        Atom::new(rng.gen_range(0..num_atoms) as u32),
+        rng.gen_bool(0.5),
+    )
+}
+
+/// A deterministic random formula with roughly `size` connective nodes
+/// over `num_atoms` atoms.
+pub fn random_formula(num_atoms: usize, size: usize, seed: u64) -> Formula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    build(&mut rng, num_atoms, size)
+}
+
+fn build(rng: &mut StdRng, num_atoms: usize, budget: usize) -> Formula {
+    if budget == 0 || rng.gen_bool(0.25) {
+        return Formula::atom(Atom::new(rng.gen_range(0..num_atoms) as u32));
+    }
+    match rng.gen_range(0..5) {
+        0 => build(rng, num_atoms, budget - 1).negated(),
+        1 => {
+            let k = rng.gen_range(2..=3.min(budget + 1));
+            Formula::And((0..k).map(|_| build(rng, num_atoms, budget / k)).collect())
+        }
+        2 => {
+            let k = rng.gen_range(2..=3.min(budget + 1));
+            Formula::Or((0..k).map(|_| build(rng, num_atoms, budget / k)).collect())
+        }
+        3 => build(rng, num_atoms, budget / 2).implies(build(rng, num_atoms, budget / 2)),
+        _ => build(rng, num_atoms, budget / 2).iff(build(rng, num_atoms, budget / 2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_determinism_and_range() {
+        assert_eq!(random_literal(5, 9), random_literal(5, 9));
+        for seed in 0..50 {
+            assert!(random_literal(5, seed).atom().index() < 5);
+        }
+    }
+
+    #[test]
+    fn formula_determinism_and_vocabulary() {
+        let f = random_formula(6, 10, 3);
+        assert_eq!(f, random_formula(6, 10, 3));
+        assert!(f.atoms().iter().all(|a| a.index() < 6));
+        assert!(f.size() >= 1);
+    }
+
+    #[test]
+    fn formulas_vary_with_seed() {
+        let distinct: std::collections::HashSet<String> = (0..20)
+            .map(|s| format!("{:?}", random_formula(6, 8, s)))
+            .collect();
+        assert!(distinct.len() > 5);
+    }
+}

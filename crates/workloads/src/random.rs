@@ -1,0 +1,186 @@
+//! Parameterized random database generation.
+
+use ddb_logic::{Atom, Database, Rule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a random database family.
+#[derive(Clone, Debug)]
+pub struct DbSpec {
+    /// Vocabulary size `|V|`.
+    pub num_atoms: usize,
+    /// Number of rules.
+    pub num_rules: usize,
+    /// Maximum head width (heads are 1..=max, uniformly).
+    pub max_head: usize,
+    /// Maximum positive body width (0..=max).
+    pub max_body_pos: usize,
+    /// Maximum negated body width (0..=max; 0 disables negation).
+    pub max_body_neg: usize,
+    /// Probability that a rule is an integrity clause (head dropped).
+    pub integrity_rate: f64,
+}
+
+impl DbSpec {
+    /// A positive (Table 1) family: disjunctive heads, positive bodies,
+    /// no negation, no integrity clauses.
+    pub fn positive(num_atoms: usize, num_rules: usize) -> Self {
+        DbSpec {
+            num_atoms,
+            num_rules,
+            max_head: 3,
+            max_body_pos: 2,
+            max_body_neg: 0,
+            integrity_rate: 0.0,
+        }
+    }
+
+    /// A deductive (Table 2) family: positive with integrity clauses.
+    pub fn deductive(num_atoms: usize, num_rules: usize) -> Self {
+        DbSpec {
+            integrity_rate: 0.15,
+            ..Self::positive(num_atoms, num_rules)
+        }
+    }
+
+    /// A normal family: negation and integrity clauses allowed.
+    pub fn normal(num_atoms: usize, num_rules: usize) -> Self {
+        DbSpec {
+            max_body_neg: 2,
+            integrity_rate: 0.1,
+            ..Self::positive(num_atoms, num_rules)
+        }
+    }
+}
+
+/// Generates a random database from `spec`, deterministically from `seed`.
+pub fn random_db(spec: &DbSpec, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::with_fresh_atoms(spec.num_atoms);
+    let atom = |rng: &mut StdRng, n: usize| Atom::new(rng.gen_range(0..n) as u32);
+    for _ in 0..spec.num_rules {
+        let integrity = rng.gen_bool(spec.integrity_rate);
+        let head: Vec<Atom> = if integrity {
+            Vec::new()
+        } else {
+            let w = rng.gen_range(1..=spec.max_head);
+            (0..w).map(|_| atom(&mut rng, spec.num_atoms)).collect()
+        };
+        let bp = rng.gen_range(0..=spec.max_body_pos);
+        let body_pos: Vec<Atom> = (0..bp).map(|_| atom(&mut rng, spec.num_atoms)).collect();
+        let bn = if spec.max_body_neg == 0 {
+            0
+        } else {
+            rng.gen_range(0..=spec.max_body_neg)
+        };
+        let body_neg: Vec<Atom> = (0..bn).map(|_| atom(&mut rng, spec.num_atoms)).collect();
+        if head.is_empty() && body_pos.is_empty() && body_neg.is_empty() {
+            continue;
+        }
+        db.add_rule(Rule::new(head, body_pos, body_neg));
+    }
+    db
+}
+
+/// Generates a random *stratified* database: atoms are split into
+/// `num_layers` consecutive layers; each rule's head lives in one layer,
+/// its positive body in layers up to it, its negated body strictly below.
+pub fn random_stratified_db(
+    num_atoms: usize,
+    num_rules: usize,
+    num_layers: usize,
+    seed: u64,
+) -> Database {
+    assert!(num_layers >= 1 && num_layers <= num_atoms.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::with_fresh_atoms(num_atoms);
+    let layer_of = |a: usize| a * num_layers / num_atoms.max(1);
+    // Atoms of each layer, by the fixed arithmetic split.
+    let layer_atoms = |l: usize| -> Vec<Atom> {
+        (0..num_atoms)
+            .filter(|&a| layer_of(a) == l)
+            .map(|a| Atom::new(a as u32))
+            .collect()
+    };
+    for _ in 0..num_rules {
+        let l = rng.gen_range(0..num_layers);
+        let here = layer_atoms(l);
+        if here.is_empty() {
+            continue;
+        }
+        let upto: Vec<Atom> = (0..num_atoms)
+            .filter(|&a| layer_of(a) <= l)
+            .map(|a| Atom::new(a as u32))
+            .collect();
+        let below: Vec<Atom> = (0..num_atoms)
+            .filter(|&a| layer_of(a) < l)
+            .map(|a| Atom::new(a as u32))
+            .collect();
+        let head: Vec<Atom> = (0..rng.gen_range(1..=2))
+            .map(|_| here[rng.gen_range(0..here.len())])
+            .collect();
+        let body_pos: Vec<Atom> = (0..rng.gen_range(0..=2))
+            .map(|_| upto[rng.gen_range(0..upto.len())])
+            .collect();
+        let body_neg: Vec<Atom> = if below.is_empty() {
+            Vec::new()
+        } else {
+            (0..rng.gen_range(0..=2))
+                .map(|_| below[rng.gen_range(0..below.len())])
+                .collect()
+        };
+        db.add_rule(Rule::new(head, body_pos, body_neg));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::DbClass;
+
+    #[test]
+    fn determinism() {
+        let spec = DbSpec::normal(10, 20);
+        let a = random_db(&spec, 42);
+        let b = random_db(&spec, 42);
+        assert_eq!(a.rules(), b.rules());
+        let c = random_db(&spec, 43);
+        assert_ne!(a.rules(), c.rules());
+    }
+
+    #[test]
+    fn positive_spec_yields_positive_dbs() {
+        for seed in 0..20 {
+            let db = random_db(&DbSpec::positive(8, 15), seed);
+            assert_eq!(db.class(), DbClass::Positive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deductive_spec_eventually_has_integrity() {
+        let found =
+            (0..20).any(|seed| random_db(&DbSpec::deductive(8, 20), seed).has_integrity_clauses());
+        assert!(found);
+    }
+
+    #[test]
+    fn stratified_generator_is_stratifiable() {
+        for seed in 0..30 {
+            let db = random_stratified_db(12, 25, 3, seed);
+            assert!(db.stratification().is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stratified_generator_uses_negation() {
+        let found = (0..20).any(|seed| random_stratified_db(12, 30, 3, seed).has_negation());
+        assert!(found);
+    }
+
+    #[test]
+    fn rule_counts_respected() {
+        let db = random_db(&DbSpec::positive(5, 30), 1);
+        assert!(db.len() <= 30 && db.len() >= 25);
+    }
+}

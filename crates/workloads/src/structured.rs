@@ -1,0 +1,254 @@
+//! Structured scaling families.
+
+use ddb_logic::{Atom, Database, Rule, Symbols};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Horn chain `x₀. x₁ ← x₀. … x_{n-1} ← x_{n-2}.` — the polynomial
+/// scaling family for the tractable DDR/PWS cells (every atom active).
+pub fn horn_chain(n: usize) -> Database {
+    let mut db = Database::with_fresh_atoms(n);
+    if n == 0 {
+        return db;
+    }
+    db.add_rule(Rule::fact([Atom::new(0)]));
+    for i in 1..n {
+        db.add_rule(Rule::new(
+            [Atom::new(i as u32)],
+            [Atom::new(i as u32 - 1)],
+            [],
+        ));
+    }
+    db
+}
+
+/// A layered disjunctive program: `layers` layers of `width` atoms; every
+/// layer-`i+1` atom is derivable from a disjunction over layer `i`:
+///
+/// ```text
+/// a₀,₀ ∨ … ∨ a₀,w.                      (base facts)
+/// aᵢ₊₁,ⱼ ∨ aᵢ₊₁,ⱼ₊₁ ← aᵢ,ⱼ.           (diagonal propagation)
+/// ```
+///
+/// Positive, integrity-free, with exponentially many minimal models in
+/// `layers · width` — a stress family for enumeration-based procedures and
+/// a *polynomial* family for the DDR active-atom closure.
+pub fn layered_disjunctive(layers: usize, width: usize) -> Database {
+    let n = layers * width;
+    let mut db = Database::with_fresh_atoms(n);
+    if layers == 0 || width == 0 {
+        return db;
+    }
+    let at = |l: usize, j: usize| Atom::new((l * width + j) as u32);
+    db.add_rule(Rule::fact((0..width).map(|j| at(0, j))));
+    for l in 0..layers - 1 {
+        for j in 0..width {
+            let j2 = (j + 1) % width;
+            db.add_rule(Rule::new([at(l + 1, j), at(l + 1, j2)], [at(l, j)], []));
+        }
+    }
+    db
+}
+
+/// An undirected random graph `G(n, p)` as an edge list (deterministic in
+/// `seed`).
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Graph `k`-coloring as a disjunctive deductive database: atom `c_{v,i}`
+/// says vertex `v` has color `i`;
+///
+/// ```text
+/// c_{v,1} ∨ … ∨ c_{v,k}.          (every vertex colored)
+/// ← c_{u,i} ∧ c_{v,i}.            (adjacent vertices differ, per color)
+/// ```
+///
+/// The minimal models are exactly the proper colorings with one color per
+/// vertex; EGCWA/DSM model existence on this family is the NP-complete
+/// Table-2 cell in its most natural clothing.
+pub fn graph_coloring(num_vertices: usize, edges: &[(usize, usize)], k: usize) -> Database {
+    let mut symbols = Symbols::new();
+    let color: Vec<Vec<Atom>> = (0..num_vertices)
+        .map(|v| {
+            (0..k)
+                .map(|i| symbols.intern(&format!("c_{v}_{i}")))
+                .collect()
+        })
+        .collect();
+    let mut db = Database::new(symbols);
+    for v in 0..num_vertices {
+        db.add_rule(Rule::fact(color[v].iter().copied()));
+    }
+    for &(u, v) in edges {
+        for i in 0..k {
+            db.add_rule(Rule::integrity([color[u][i], color[v][i]], []));
+        }
+    }
+    db
+}
+
+/// `k` independent even negative loops
+/// `aᵢ ← ¬bᵢ. bᵢ ← ¬aᵢ.` — `2^k` stable models; the DSM/PDSM enumeration
+/// stress family.
+pub fn even_loops(k: usize) -> Database {
+    let mut symbols = Symbols::new();
+    let pairs: Vec<(Atom, Atom)> = (0..k)
+        .map(|i| {
+            (
+                symbols.intern(&format!("a{i}")),
+                symbols.intern(&format!("b{i}")),
+            )
+        })
+        .collect();
+    let mut db = Database::new(symbols);
+    for &(a, b) in &pairs {
+        db.add_rule(Rule::new([a], [], [b]));
+        db.add_rule(Rule::new([b], [], [a]));
+    }
+    db
+}
+
+/// `k` even loops plus one odd loop guarded by all the `aᵢ`:
+/// stable-model existence requires checking (worst case) every loop
+/// assignment before concluding **no** — a hard family for the
+/// Σᵖ₂-complete DSM-existence cell.
+pub fn odd_loop_trap(k: usize) -> Database {
+    let mut symbols = Symbols::new();
+    let pairs: Vec<(Atom, Atom)> = (0..k)
+        .map(|i| {
+            (
+                symbols.intern(&format!("a{i}")),
+                symbols.intern(&format!("b{i}")),
+            )
+        })
+        .collect();
+    let trap = symbols.intern("trap");
+    let mut db = Database::new(symbols);
+    for &(a, b) in &pairs {
+        db.add_rule(Rule::new([a], [], [b]));
+        db.add_rule(Rule::new([b], [], [a]));
+    }
+    // trap ← a₀ ∧ … ∧ a_{k-1} ∧ ¬trap: any stable model choosing all aᵢ
+    // is destroyed; all others survive — unless k = 0, where nothing does.
+    db.add_rule(Rule::new([trap], pairs.iter().map(|&(a, _)| a), [trap]));
+    db.add_rule(Rule::integrity(pairs.iter().map(|&(a, _)| a), [trap]));
+    db
+}
+
+/// A random `width`-CNF at clause/variable `ratio`, rendered as a
+/// deductive database (positive literals → head, negated → body). Around
+/// ratio ≈ 4.26 (width 3) this is the classic SAT phase transition — the
+/// hard family for the NP-complete model-existence cells of Table 2.
+pub fn phase_transition_db(num_vars: usize, ratio: f64, width: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::with_fresh_atoms(num_vars);
+    let m = (num_vars as f64 * ratio).round() as usize;
+    for _ in 0..m {
+        let mut head = Vec::new();
+        let mut body = Vec::new();
+        for _ in 0..width {
+            let v = Atom::new(rng.gen_range(0..num_vars) as u32);
+            if rng.gen_bool(0.5) {
+                head.push(v);
+            } else {
+                body.push(v);
+            }
+        }
+        db.add_rule(Rule::new(head, body, []));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::{DbClass, Interpretation};
+
+    #[test]
+    fn horn_chain_shape() {
+        let db = horn_chain(100);
+        assert_eq!(db.len(), 100);
+        assert!(db.is_horn());
+        assert_eq!(db.class(), DbClass::Positive);
+        // Its unique model is everything.
+        let full = Interpretation::full(100);
+        assert!(db.satisfied_by(&full));
+    }
+
+    #[test]
+    fn layered_counts() {
+        let db = layered_disjunctive(3, 4);
+        assert_eq!(db.num_atoms(), 12);
+        assert_eq!(db.len(), 1 + 2 * 4);
+        assert_eq!(db.class(), DbClass::Positive);
+    }
+
+    #[test]
+    fn coloring_models_are_colorings() {
+        // Triangle, 3 colors: 6 proper colorings.
+        let edges = vec![(0, 1), (1, 2), (0, 2)];
+        let db = graph_coloring(3, &edges, 3);
+        assert_eq!(db.class(), DbClass::Deductive);
+        // Count models that use exactly one color per vertex by brute
+        // force over the 2^9 interpretations.
+        let mut proper = 0;
+        for bits in 0u32..1 << 9 {
+            let m = Interpretation::from_atoms(
+                9,
+                (0..9u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
+            );
+            if db.satisfied_by(&m) && m.count() == 3 {
+                proper += 1;
+            }
+        }
+        assert_eq!(proper, 6);
+    }
+
+    #[test]
+    fn two_coloring_odd_cycle_unsat() {
+        let edges = vec![(0, 1), (1, 2), (0, 2)];
+        let db = graph_coloring(3, &edges, 2);
+        // No model at all with one color per vertex; in fact no model:
+        // every vertex needs a color, adjacent ones must differ — brute:
+        let n = db.num_atoms();
+        let any = (0u32..1 << n).any(|bits| {
+            let m = Interpretation::from_atoms(
+                n,
+                (0..n as u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
+            );
+            db.satisfied_by(&m)
+        });
+        assert!(!any);
+    }
+
+    #[test]
+    fn even_loop_counts() {
+        let db = even_loops(3);
+        assert_eq!(db.num_atoms(), 6);
+        assert_eq!(db.len(), 6);
+        assert_eq!(db.class(), DbClass::Normal); // unstratifiable
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        assert_eq!(random_graph(10, 0.3, 7), random_graph(10, 0.3, 7));
+        assert_ne!(random_graph(10, 0.3, 7), random_graph(10, 0.3, 8));
+    }
+
+    #[test]
+    fn phase_transition_is_deductive_class() {
+        let db = phase_transition_db(20, 4.26, 3, 3);
+        assert!(!db.has_negation());
+        assert_eq!(db.len(), 85);
+    }
+}

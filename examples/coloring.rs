@@ -1,0 +1,87 @@
+//! Graph 3-coloring as a disjunctive deductive database: model existence
+//! under EGCWA is exactly colorability (the NP-complete Table-2 cell), and
+//! cautious inference reads off forced colors.
+//!
+//! ```text
+//! cargo run --example coloring
+//! ```
+
+use disjunctive_db::prelude::*;
+use disjunctive_db::workloads::structured;
+
+fn main() {
+    // A wheel: hub 0 connected to rim 1-2-3-4-1.
+    let edges = vec![
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 1),
+    ];
+    let num_vertices = 5;
+
+    for k in [2usize, 3] {
+        let db = structured::graph_coloring(num_vertices, &edges, k);
+        let mut cost = Cost::new();
+        let cfg = SemanticsConfig::new(SemanticsId::Egcwa);
+        let colorable = cfg.has_model(&db, &mut cost).unwrap();
+        println!(
+            "wheel W4 with {k} colors: {}  ({} SAT calls)",
+            if colorable {
+                "colorable"
+            } else {
+                "NOT colorable"
+            },
+            cost.sat_calls
+        );
+    }
+
+    // Enumerate the minimal models of the 3-coloring encoding — they are
+    // exactly the proper colorings (one color atom per vertex).
+    let db = structured::graph_coloring(num_vertices, &edges, 3);
+    let mut cost = Cost::new();
+    let colorings = SemanticsConfig::new(SemanticsId::Egcwa)
+        .models(&db, &mut cost)
+        .unwrap();
+    println!("\n{} proper 3-colorings; first three:", colorings.len());
+    for m in colorings.iter().take(3) {
+        let mut per_vertex = vec![String::new(); num_vertices];
+        for a in m.iter() {
+            let name = db.symbols().name(a); // c_<v>_<i>
+            let mut parts = name.split('_').skip(1);
+            let v: usize = parts.next().unwrap().parse().unwrap();
+            per_vertex[v] = parts.next().unwrap().to_owned();
+        }
+        println!("  colors by vertex: {per_vertex:?}");
+        assert_eq!(m.count(), num_vertices, "one color per vertex");
+    }
+
+    // Cautious inference: an even cycle forces nothing, but gluing the hub
+    // shrinks the space; ask whether vertex 1 and vertex 3 can share the
+    // hub's color. (In W4 with 3 colors, rim vertices opposite each other
+    // MUST share a color — check it cautiously.)
+    let share = parse_formula(
+        "(c_1_0 & c_3_0) | (c_1_1 & c_3_1) | (c_1_2 & c_3_2)",
+        db.symbols(),
+    )
+    .unwrap();
+    let forced = SemanticsConfig::new(SemanticsId::Egcwa)
+        .infers_formula(&db, &share, &mut cost)
+        .unwrap();
+    println!("\nEGCWA ⊨ \"vertices 1 and 3 share a color\": {forced}");
+
+    // On this positive database DSM and PDSM agree with EGCWA — the
+    // paper's coincidence results, live.
+    let dsm_ans = SemanticsConfig::new(SemanticsId::Dsm)
+        .infers_formula(&db, &share, &mut cost)
+        .unwrap();
+    assert_eq!(forced, dsm_ans);
+    println!("DSM agrees on positive databases ✓");
+    println!(
+        "\nOracle usage: {} SAT calls, {} candidates",
+        cost.sat_calls, cost.candidates
+    );
+}

@@ -1,0 +1,493 @@
+//! `ddb` — command-line front end for the disjunctive-database engine.
+//!
+//! ```text
+//! ddb classify <file>
+//!     Report the database's syntactic class, stratification and stats.
+//!
+//! ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c]
+//!     Enumerate the characteristic models of a semantics.
+//!
+//! ddb query <file> --semantics <name> --formula "<f>" [--brave] [--explain]
+//! ddb query <file> --semantics <name> --literal [-]<atom> [--explain]
+//!     Decide (cautious or brave) inference; --explain prints a
+//!     countermodel when the query is not inferred.
+//!
+//! ddb exists <file> --semantics <name>
+//!     The paper's model-existence problem.
+//!
+//! ddb wfs <file>
+//!     The well-founded model of a normal program (polynomial).
+//!
+//! Semantics names: gcwa, egcwa, ccwa, ecwa, circ, ddr, wgcwa, pws, pms,
+//! perf, icwa, dsm, pdsm, cwa. `<file>` may be `-` for stdin.
+//! ```
+
+use disjunctive_db::core::{cwa, wfs, witness};
+use disjunctive_db::ground::{ground_reduced, parse::parse_datalog};
+use disjunctive_db::prelude::*;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `ddb help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        "classify" => classify(&args[1..]),
+        "models" => models(&args[1..]),
+        "query" => query(&args[1..]),
+        "exists" => exists(&args[1..]),
+        "wfs" => wfs_cmd(&args[1..]),
+        "ground" => ground_cmd(&args[1..]),
+        "proof" => proof_cmd(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const USAGE: &str = "usage:
+  ddb classify <file>
+  ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c] [--partial]
+  ddb query  <file> --semantics <name> (--formula \"<f>\" | --literal [-]<atom>) [--brave] [--explain]
+  ddb exists <file> --semantics <name>
+  ddb wfs    <file>
+  ddb ground <file> [--full]          (print the grounded program)
+  ddb proof  <file> --atom <a>        (DDR activation proof for an atom)
+input is propositional program syntax, or Datalog∨ with --datalog
+(auto-detected for .dlv files and sources containing predicate atoms)
+semantics: gcwa egcwa ccwa ecwa|circ ddr|wgcwa pws|pms perf icwa dsm pdsm cwa";
+
+/// Minimal flag parser: positional file + `--key value` pairs + bare flags.
+struct Opts {
+    file: Option<String>,
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        file: None,
+        values: Vec::new(),
+        flags: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if matches!(key, "brave" | "explain" | "datalog" | "full" | "partial") {
+                opts.flags.push(key.to_owned());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                opts.values.push((key.to_owned(), value.clone()));
+                i += 2;
+            }
+        } else if opts.file.is_none() {
+            opts.file = Some(a.clone());
+            i += 1;
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    Ok(opts)
+}
+
+impl Opts {
+    fn value(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn load(opts: &Opts) -> Result<Database, String> {
+    let path = opts.file.as_deref().ok_or("missing <file> argument")?;
+    let source = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    // Datalog mode: explicit --datalog flag, .dlv extension, or the
+    // telltale `(` of predicate atoms.
+    let datalog = opts.flag("datalog") || path.ends_with(".dlv") || source.contains('(');
+    if datalog {
+        let program = parse_datalog(&source).map_err(|e| e.to_string())?;
+        ground_reduced(&program, 1_000_000).map_err(|e| e.to_string())
+    } else {
+        parse_program(&source).map_err(|e| e.to_string())
+    }
+}
+
+fn semantics_id(name: &str) -> Result<SemanticsId, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "gcwa" => SemanticsId::Gcwa,
+        "egcwa" => SemanticsId::Egcwa,
+        "ccwa" => SemanticsId::Ccwa,
+        "ecwa" | "circ" => SemanticsId::Ecwa,
+        "ddr" | "wgcwa" => SemanticsId::Ddr,
+        "pws" | "pms" => SemanticsId::Pws,
+        "perf" => SemanticsId::Perf,
+        "icwa" => SemanticsId::Icwa,
+        "dsm" | "stable" => SemanticsId::Dsm,
+        "pdsm" => SemanticsId::Pdsm,
+        other => return Err(format!("unknown semantics `{other}`")),
+    })
+}
+
+fn config_for(opts: &Opts, db: &Database) -> Result<SemanticsConfig, String> {
+    let name = opts
+        .value("semantics")
+        .ok_or("missing --semantics <name>")?;
+    let id = semantics_id(name)?;
+    let mut cfg = SemanticsConfig::new(id);
+    if opts.value("partition-p").is_some() || opts.value("partition-q").is_some() {
+        let collect = |spec: Option<&str>| -> Result<Vec<Atom>, String> {
+            spec.map_or(Ok(Vec::new()), |s| {
+                s.split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| {
+                        db.symbols()
+                            .lookup(t.trim())
+                            .ok_or_else(|| format!("unknown atom `{t}` in partition"))
+                    })
+                    .collect()
+            })
+        };
+        let p = collect(opts.value("partition-p"))?;
+        let q = collect(opts.value("partition-q"))?;
+        cfg = cfg.with_partition(Partition::from_p_q(db.num_atoms(), p, q));
+    }
+    Ok(cfg)
+}
+
+fn render_model(db: &Database, m: &Interpretation) -> String {
+    let names: Vec<&str> = m.iter().map(|a| db.symbols().name(a)).collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+fn classify(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    println!("atoms:              {}", db.num_atoms());
+    println!("rules:              {}", db.len());
+    println!("class:              {:?}", db.class());
+    println!("negation:           {}", db.has_negation());
+    println!("integrity clauses:  {}", db.has_integrity_clauses());
+    match db.stratification() {
+        Some(strata) => {
+            println!("stratification:     {} strata", strata.len());
+            for (i, s) in strata.iter().enumerate() {
+                let names: Vec<&str> = s.iter().map(|&a| db.symbols().name(a)).collect();
+                println!("  S{}: {{{}}}", i + 1, names.join(", "));
+            }
+        }
+        None => println!("stratification:     none (unstratifiable)"),
+    }
+    Ok(())
+}
+
+fn models(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    let name = opts.value("semantics").unwrap_or("egcwa");
+    let mut cost = Cost::new();
+    if name.eq_ignore_ascii_case("cwa") {
+        match cwa::model(&db, &mut cost) {
+            Some(m) => println!("{}", render_model(&db, &m)),
+            None => println!("CWA is inconsistent for this database"),
+        }
+    } else if name.eq_ignore_ascii_case("pdsm") && opts.flag("partial") {
+        let models = disjunctive_db::core::pdsm::models(&db, &mut cost);
+        println!("{} partial stable model(s):", models.len());
+        for p in &models {
+            let mut parts = Vec::new();
+            for a in db.symbols().atoms() {
+                let v = match p.value(a) {
+                    TruthValue::True => "1",
+                    TruthValue::Undefined => "1/2",
+                    TruthValue::False => "0",
+                };
+                parts.push(format!("{}={v}", db.symbols().name(a)));
+            }
+            println!("  <{}>", parts.join(", "));
+        }
+    } else {
+        let cfg = config_for(&opts, &db)?;
+        let models = cfg.models(&db, &mut cost).map_err(|e| e.to_string())?;
+        println!("{} model(s) under {}:", models.len(), cfg.id);
+        for m in &models {
+            println!("  {}", render_model(&db, m));
+        }
+    }
+    eprintln!(
+        "[oracle: {} SAT calls, {} candidates]",
+        cost.sat_calls, cost.candidates
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    let formula = match (opts.value("formula"), opts.value("literal")) {
+        (Some(f), None) => parse_formula(f, db.symbols()).map_err(|e| e.to_string())?,
+        (None, Some(l)) => {
+            let (name, positive) = match l.strip_prefix('-') {
+                Some(rest) => (rest, false),
+                None => (l, true),
+            };
+            let atom = db
+                .symbols()
+                .lookup(name)
+                .ok_or_else(|| format!("unknown atom `{name}`"))?;
+            Formula::literal(atom, positive)
+        }
+        _ => return Err("need exactly one of --formula / --literal".into()),
+    };
+    let mut cost = Cost::new();
+    let name = opts.value("semantics").unwrap_or("egcwa");
+    if name.eq_ignore_ascii_case("cwa") {
+        let ans = cwa::infers_formula(&db, &formula, &mut cost);
+        println!("{}", if ans { "inferred" } else { "not inferred" });
+        return Ok(());
+    }
+    let cfg = config_for(&opts, &db)?;
+    if opts.flag("brave") {
+        let ans = witness::brave_infers_formula(&cfg, &db, &formula, &mut cost)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            if ans {
+                "bravely inferred (holds in some model)"
+            } else {
+                "not bravely inferred"
+            }
+        );
+    } else if opts.flag("explain") {
+        match witness::explain_formula(&cfg, &db, &formula, &mut cost).map_err(|e| e.to_string())? {
+            witness::QueryOutcome::Inferred => println!("inferred"),
+            witness::QueryOutcome::Countermodel(m) => {
+                println!("not inferred; countermodel: {}", render_model(&db, &m));
+            }
+            witness::QueryOutcome::CountermodelPartial(p) => {
+                let mut parts = Vec::new();
+                for a in db.symbols().atoms() {
+                    let v = match p.value(a) {
+                        TruthValue::True => "1",
+                        TruthValue::Undefined => "1/2",
+                        TruthValue::False => "0",
+                    };
+                    parts.push(format!("{}={v}", db.symbols().name(a)));
+                }
+                println!("not inferred; partial countermodel: ⟨{}⟩", parts.join(", "));
+            }
+        }
+    } else {
+        let ans = cfg
+            .infers_formula(&db, &formula, &mut cost)
+            .map_err(|e| e.to_string())?;
+        println!("{}", if ans { "inferred" } else { "not inferred" });
+    }
+    eprintln!(
+        "[oracle: {} SAT calls, {} candidates]",
+        cost.sat_calls, cost.candidates
+    );
+    Ok(())
+}
+
+fn exists(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    let mut cost = Cost::new();
+    let name = opts.value("semantics").unwrap_or("egcwa");
+    let ans = if name.eq_ignore_ascii_case("cwa") {
+        cwa::is_consistent(&db, &mut cost)
+    } else {
+        let cfg = config_for(&opts, &db)?;
+        cfg.has_model(&db, &mut cost).map_err(|e| e.to_string())?
+    };
+    println!("{}", if ans { "has a model" } else { "no model" });
+    Ok(())
+}
+
+fn ground_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let path = opts.file.as_deref().ok_or("missing <file> argument")?;
+    let source = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let program = parse_datalog(&source).map_err(|e| e.to_string())?;
+    let db = if opts.flag("full") {
+        disjunctive_db::ground::ground_full(&program, 1_000_000)
+    } else {
+        ground_reduced(&program, 1_000_000)
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{}", display_database(&db));
+    eprintln!(
+        "[{} ground atoms, {} ground rules]",
+        db.num_atoms(),
+        db.len()
+    );
+    Ok(())
+}
+
+fn proof_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    if db.has_negation() {
+        return Err("DDR proofs need a database without negation".into());
+    }
+    let name = opts.value("atom").ok_or("missing --atom <name>")?;
+    let atom = db
+        .symbols()
+        .lookup(name)
+        .ok_or_else(|| format!("unknown atom `{name}`"))?;
+    match disjunctive_db::models::fixpoint::activation_proof(&db, atom) {
+        None => println!("{name} does not occur in T_DB↑ω — DDR infers ¬{name}"),
+        Some(proof) => {
+            println!("{name} occurs in T_DB↑ω (DDR does NOT infer ¬{name}); derivation:");
+            for step in &proof {
+                let rule = &db.rules()[step.rule_index];
+                println!(
+                    "  {} by rule #{}: {}",
+                    db.symbols().name(step.atom),
+                    step.rule_index,
+                    display_rule(rule, db.symbols())
+                );
+            }
+            assert!(disjunctive_db::models::fixpoint::verify_proof(
+                &db, atom, &proof
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn wfs_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    if !wfs::is_normal_program(&db) {
+        return Err("WFS needs a normal program (exactly one head atom per rule)".into());
+    }
+    let w = wfs::well_founded_model(&db);
+    for a in db.symbols().atoms() {
+        let v = match w.value(a) {
+            TruthValue::True => "true",
+            TruthValue::Undefined => "undefined",
+            TruthValue::False => "false",
+        };
+        println!("{}: {v}", db.symbols().name(a));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_opts_splits_values_and_flags() {
+        let opts = parse_opts(&args(&[
+            "file.dl",
+            "--semantics",
+            "gcwa",
+            "--explain",
+            "--formula",
+            "a & b",
+        ]))
+        .unwrap();
+        assert_eq!(opts.file.as_deref(), Some("file.dl"));
+        assert_eq!(opts.value("semantics"), Some("gcwa"));
+        assert_eq!(opts.value("formula"), Some("a & b"));
+        assert!(opts.flag("explain"));
+        assert!(!opts.flag("brave"));
+    }
+
+    #[test]
+    fn parse_opts_rejects_dangling_value_flag() {
+        assert!(parse_opts(&args(&["f.dl", "--semantics"])).is_err());
+        assert!(parse_opts(&args(&["a.dl", "b.dl"])).is_err());
+    }
+
+    #[test]
+    fn semantics_names_resolve() {
+        assert_eq!(semantics_id("gcwa").unwrap(), SemanticsId::Gcwa);
+        assert_eq!(semantics_id("CIRC").unwrap(), SemanticsId::Ecwa);
+        assert_eq!(semantics_id("wgcwa").unwrap(), SemanticsId::Ddr);
+        assert_eq!(semantics_id("pms").unwrap(), SemanticsId::Pws);
+        assert_eq!(semantics_id("stable").unwrap(), SemanticsId::Dsm);
+        assert!(semantics_id("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_command_reported() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_classify_via_tempfile() {
+        let path = std::env::temp_dir().join("ddb_cli_test_db.dl");
+        std::fs::write(&path, "a | b. c :- a, b.").unwrap();
+        let result = run(&args(&["classify", path.to_str().unwrap()]));
+        std::fs::remove_file(&path).ok();
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn query_with_partition_options() {
+        let path = std::env::temp_dir().join("ddb_cli_test_part.dl");
+        std::fs::write(&path, "a | b.").unwrap();
+        let result = run(&args(&[
+            "query",
+            path.to_str().unwrap(),
+            "--semantics",
+            "ccwa",
+            "--partition-p",
+            "a",
+            "--partition-q",
+            "b",
+            "--literal",
+            "-a",
+        ]));
+        std::fs::remove_file(&path).ok();
+        assert!(result.is_ok());
+    }
+}
