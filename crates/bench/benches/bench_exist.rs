@@ -9,8 +9,8 @@
 //! Experiments: `T1-*-exist`, `T2-EGCWA-exist`, `T2-ICWA-exist`,
 //! `T2-DSM-exist`, `T2-PERF-exist`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_bench::families;
+use ddb_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_models::Cost;
 use std::time::Duration;
 

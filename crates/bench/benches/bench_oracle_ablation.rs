@@ -7,8 +7,8 @@
 //! * **active-atom closure vs explicit `T_DB ↑ ω`** — the polynomial DDR
 //!   fixpoint against its exponential executable specification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_bench::families;
+use ddb_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_logic::cnf::database_to_cnf;
 use ddb_models::{fixpoint, Cost};
 use ddb_sat::{dpll, Solver};

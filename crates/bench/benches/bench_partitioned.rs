@@ -4,8 +4,8 @@
 //!
 //! Experiments: `T1-CCWA-lit`, `T1-ECWA-lit/form`, `T1-ICWA-lit`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_bench::families;
+use ddb_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_logic::Atom;
 use ddb_models::{circumscribe, classical, minimal, Cost, Partition};
 use ddb_workloads::queries;

@@ -9,8 +9,8 @@
 //! Experiments: `T1-GCWA-lit`, `T1-EGCWA-lit/form`, `T1-ECWA-lit/form`,
 //! `T1-ICWA-lit`, `T1-PERF-lit`, `T1-DSM-lit`, `T2-*` variants.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_bench::families;
+use ddb_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_core::{SemanticsConfig, SemanticsId};
 use ddb_models::Cost;
 use ddb_workloads::queries;

@@ -5,8 +5,8 @@
 //! Experiments: `T2-DSM-lit/form`, `T2-PDSM-lit/form`, enumeration stress
 //! on even-loop batteries (`2^k` stable models).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_bench::families;
+use ddb_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_core::reduct::gl_reduct;
 use ddb_logic::cnf::database_to_cnf;
 use ddb_logic::{Database, Interpretation};

@@ -3,8 +3,8 @@
 //!
 //! Experiments: `T1-DDR-lit`, `T1-PWS-lit`, `T1-DDR-form`, `T1-PWS-form`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_bench::families;
+use ddb_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddb_logic::Atom;
 use ddb_models::Cost;
 use ddb_workloads::queries;

@@ -95,7 +95,7 @@ const MID: &[usize] = &[8, 16, 32, 64];
 const SLOW: &[usize] = &[6, 8, 12, 16];
 const PDSM_SIZES: &[usize] = &[4, 6, 8, 10];
 
-fn table1() {
+fn table1(cells: &mut Vec<CellReport>) {
     println!("\n## Table 1 — positive propositional DDBs (no integrity clauses, no negation)\n");
     println!("{}", table_header());
     use SemanticsId::*;
@@ -126,24 +126,23 @@ fn table1() {
             }
             _ => "",
         };
-        println!("{}", cell(id, Lit, lit_claim, sizes, pos, ev_lit).render());
-        println!("{}", cell(id, Form, form_claim, sizes, pos, "").render());
-        println!(
-            "{}",
+        emit(cells, cell(id, Lit, lit_claim, sizes, pos, ev_lit));
+        emit(cells, cell(id, Form, form_claim, sizes, pos, ""));
+        emit(
+            cells,
             cell(
                 id,
                 Exist,
                 "O(1) (positive DBs always have models)",
                 sizes,
                 pos,
-                "expected flat/trivial"
-            )
-            .render()
+                "expected flat/trivial",
+            ),
         );
     }
 }
 
-fn table2() {
+fn table2(cells: &mut Vec<CellReport>) {
     println!("\n## Table 2 — propositional DDBs with integrity clauses\n");
     println!("{}", table_header());
     use SemanticsId::*;
@@ -184,21 +183,15 @@ fn table2() {
         ),
         (Ecwa, "Πᵖ₂-complete", "Πᵖ₂-complete", "NP-complete", MID),
     ] {
-        println!("{}", cell(id, Lit, lit_claim, sizes, ded, "").render());
-        println!("{}", cell(id, Form, form_claim, sizes, ded, "").render());
-        println!("{}", cell(id, Exist, exist_claim, sizes, ded, "").render());
+        emit(cells, cell(id, Lit, lit_claim, sizes, ded, ""));
+        emit(cells, cell(id, Form, form_claim, sizes, ded, ""));
+        emit(cells, cell(id, Exist, exist_claim, sizes, ded, ""));
     }
     // Stratified / normal rows.
-    println!(
-        "{}",
-        cell(Icwa, Lit, "Πᵖ₂-complete", SLOW, strat, "").render()
-    );
-    println!(
-        "{}",
-        cell(Icwa, Form, "Πᵖ₂-complete", SLOW, strat, "").render()
-    );
-    println!(
-        "{}",
+    emit(cells, cell(Icwa, Lit, "Πᵖ₂-complete", SLOW, strat, ""));
+    emit(cells, cell(Icwa, Form, "Πᵖ₂-complete", SLOW, strat, ""));
+    emit(
+        cells,
         cell(
             Icwa,
             Exist,
@@ -220,46 +213,35 @@ fn table2() {
                 std::mem::swap(&mut db, &mut clean);
                 db
             },
-            "expected flat, 0 oracle calls"
-        )
-        .render()
+            "expected flat, 0 oracle calls",
+        ),
     );
     for id in [Perf, Dsm] {
-        println!("{}", cell(id, Lit, "Πᵖ₂-complete", SLOW, norm, "").render());
-        println!(
-            "{}",
-            cell(id, Form, "Πᵖ₂-complete", SLOW, norm, "").render()
-        );
-        println!(
-            "{}",
-            cell(id, Exist, "Σᵖ₂-complete", SLOW, norm, "").render()
-        );
+        emit(cells, cell(id, Lit, "Πᵖ₂-complete", SLOW, norm, ""));
+        emit(cells, cell(id, Form, "Πᵖ₂-complete", SLOW, norm, ""));
+        emit(cells, cell(id, Exist, "Σᵖ₂-complete", SLOW, norm, ""));
     }
-    println!(
-        "{}",
-        cell(Pdsm, Lit, "Πᵖ₂-complete", PDSM_SIZES, norm, "").render()
+    emit(cells, cell(Pdsm, Lit, "Πᵖ₂-complete", PDSM_SIZES, norm, ""));
+    emit(
+        cells,
+        cell(Pdsm, Form, "Πᵖ₂-complete", PDSM_SIZES, norm, ""),
     );
-    println!(
-        "{}",
-        cell(Pdsm, Form, "Πᵖ₂-complete", PDSM_SIZES, norm, "").render()
-    );
-    println!(
-        "{}",
-        cell(Pdsm, Exist, "Σᵖ₂-complete", PDSM_SIZES, norm, "").render()
+    emit(
+        cells,
+        cell(Pdsm, Exist, "Σᵖ₂-complete", PDSM_SIZES, norm, ""),
     );
 
     // NP-complete existence on the intended hard family.
-    println!(
-        "{}",
+    emit(
+        cells,
         cell(
             Egcwa,
             Exist,
             "NP-complete — phase-transition 3-CNF family",
             &[40, 80, 120, 160],
-            |n, s| families::phase_transition(n, s),
-            "CDCL oracle at clause/var ratio 4.26"
-        )
-        .render()
+            families::phase_transition,
+            "CDCL oracle at clause/var ratio 4.26",
+        ),
     );
 }
 
@@ -461,14 +443,46 @@ fn beyond_the_paper() {
     println!();
 }
 
+/// Prints the cell row and keeps the report for the `--json` summary.
+fn emit(cells: &mut Vec<CellReport>, c: CellReport) {
+    println!("{}", c.render());
+    cells.push(c);
+}
+
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => json_path = argv.next(),
+            other => {
+                eprintln!("unknown argument: {other} (usage: tables [--json <file>])");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("# Tables 1 & 2 of Eiter & Gottlob (PODS 1993), regenerated\n");
     println!(
         "Every cell: paper claim | measured growth shape over the sweep | \
          median wall-clock + oracle accounting (sat calls / CEGAR candidates)."
     );
-    table1();
-    table2();
+    let mut cells = Vec::new();
+    table1(&mut cells);
+    table2(&mut cells);
     lower_bounds();
     beyond_the_paper();
+    if let Some(path) = json_path {
+        use ddb_obs::json::Json;
+        let doc = Json::obj([
+            ("version", Json::UInt(1)),
+            (
+                "cells",
+                Json::Arr(cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ]);
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => eprintln!("wrote cell metrics to {path}"),
+            Err(e) => eprintln!("failed to write cell metrics to {path}: {e}"),
+        }
+    }
 }

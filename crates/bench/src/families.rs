@@ -60,7 +60,7 @@ pub fn tractable_chain(n: usize) -> Database {
 /// Layered disjunctive family: polynomial for DDR/PWS closures,
 /// exponential minimal-model count for enumeration procedures.
 pub fn layered(n: usize) -> Database {
-    structured::layered_disjunctive(n / 4.max(1), 4)
+    structured::layered_disjunctive((n / 4).max(1), 4)
 }
 
 /// NP-complete existence family (Table 2 EGCWA row): random 3-CNF near

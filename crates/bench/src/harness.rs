@@ -2,6 +2,7 @@
 //! classification, and report rendering.
 
 use ddb_models::Cost;
+use ddb_obs::json::Json;
 use std::time::{Duration, Instant};
 
 /// One measured point of a scaling sweep.
@@ -17,8 +18,26 @@ pub struct Measurement {
     pub answer: bool,
 }
 
+impl Measurement {
+    /// Serialize for the `tables --json` metrics file.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("size", Json::UInt(self.size as u64)),
+            ("wall_ns", Json::UInt(self.time.as_nanos() as u64)),
+            ("answer", Json::Bool(self.answer)),
+            ("sat_calls", Json::UInt(self.cost.sat_calls)),
+            ("candidates", Json::UInt(self.cost.candidates)),
+            ("decisions", Json::UInt(self.cost.decisions)),
+            ("conflicts", Json::UInt(self.cost.conflicts)),
+            ("propagations", Json::UInt(self.cost.propagations)),
+            ("peak_clauses", Json::UInt(self.cost.peak_clauses)),
+        ])
+    }
+}
+
 /// Runs `f` once, capturing time and cost.
 pub fn measure(size: usize, f: impl FnOnce(&mut Cost) -> bool) -> Measurement {
+    let _span = ddb_obs::span("bench.measure");
     let mut cost = Cost::new();
     let start = Instant::now();
     let answer = f(&mut cost);
@@ -111,6 +130,25 @@ pub struct CellReport {
 }
 
 impl CellReport {
+    /// Serialize the cell — paper claim, measured shape, full sweep — for
+    /// the `tables --json` metrics file.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("semantics", Json::Str(self.semantics.clone())),
+            ("task", Json::Str(self.task.to_owned())),
+            ("paper_claim", Json::Str(self.paper_claim.to_owned())),
+            (
+                "measured_shape",
+                Json::Str(classify(&self.points).label().to_owned()),
+            ),
+            (
+                "sweep",
+                Json::Arr(self.points.iter().map(Measurement::to_json).collect()),
+            ),
+            ("evidence", Json::Str(self.evidence.clone())),
+        ])
+    }
+
     /// Renders the cell as a markdown table row fragment.
     pub fn render(&self) -> String {
         let shape = classify(&self.points).label();

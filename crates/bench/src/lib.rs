@@ -10,7 +10,9 @@
 //! * [`harness`] — measurement plumbing: timed runs with oracle-cost
 //!   capture, growth-shape classification (per-doubling time ratios), and
 //!   the row/cell report structures the `tables` binary prints;
-//! * `benches/` — Criterion groups, one per table row, plus the ablations
+//! * [`microbench`] — the zero-dependency criterion-compatible shim
+//!   the bench binaries run on (offline build, no external crates);
+//! * `benches/` — benchmark groups, one per table row, plus the ablations
 //!   called out in DESIGN.md (CDCL vs DPLL oracle, direct vs census GCWA,
 //!   explicit fixpoint vs active-atom closure).
 //!
@@ -22,3 +24,4 @@
 
 pub mod families;
 pub mod harness;
+pub mod microbench;

@@ -1,0 +1,391 @@
+//! A zero-dependency, criterion-compatible micro-benchmark harness.
+//!
+//! The offline build bakes in no external crates, so the `benches/`
+//! directory runs on this shim instead of criterion. It reproduces the
+//! subset of the criterion API the benches use — [`Criterion`] with the
+//! builder knobs, [`BenchmarkId`], benchmark groups with
+//! `bench_with_input`/`bench_function`, `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with plain
+//! `std::time::Instant` sampling underneath.
+//!
+//! Every finished measurement is also pushed into a process-global record;
+//! when the `DDB_BENCH_JSON` environment variable names a file,
+//! [`write_global_summary`] (called by `criterion_main!`) serializes all
+//! per-run metrics there with the `ddb-obs` JSON writer, giving machine-
+//! readable bench output with no serde.
+
+use ddb_obs::json::Json;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement: a (group, id) cell with its per-sample
+/// nanoseconds-per-iteration figures.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// ns/iter, one entry per sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl Measurement {
+    /// Minimum ns/iter over the samples.
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum ns/iter over the samples.
+    pub fn max_ns(&self) -> f64 {
+        self.samples_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Median ns/iter over the samples.
+    pub fn median_ns(&self) -> f64 {
+        let mut v = self.samples_ns.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() {
+            return 0.0;
+        }
+        let mid = v.len() / 2;
+        if v.len().is_multiple_of(2) {
+            (v[mid - 1] + v[mid]) / 2.0
+        } else {
+            v[mid]
+        }
+    }
+
+    /// Serialize for the `DDB_BENCH_JSON` metrics file.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", Json::Str(self.group.clone())),
+            ("id", Json::Str(self.id.clone())),
+            ("iters", Json::UInt(self.iters)),
+            ("median_ns", Json::Num(self.median_ns())),
+            ("min_ns", Json::Num(self.min_ns())),
+            ("max_ns", Json::Num(self.max_ns())),
+            (
+                "samples_ns",
+                Json::Arr(self.samples_ns.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+        ])
+    }
+}
+
+static GLOBAL: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+fn record_global(m: Measurement) {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).push(m);
+}
+
+/// Drain all measurements recorded so far in this process.
+pub fn take_global() -> Vec<Measurement> {
+    std::mem::take(&mut *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Write the global measurement summary to the file named by the
+/// `DDB_BENCH_JSON` environment variable (no-op when unset). Called by
+/// `criterion_main!` after all groups finish.
+pub fn write_global_summary() {
+    let Ok(path) = std::env::var("DDB_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let measurements = take_global();
+    let doc = Json::obj([
+        ("version", Json::UInt(1)),
+        (
+            "measurements",
+            Json::Arr(measurements.iter().map(Measurement::to_json).collect()),
+        ),
+    ]);
+    match std::fs::write(&path, doc.render_pretty()) {
+        Ok(()) => eprintln!("wrote bench metrics to {path}"),
+        Err(e) => eprintln!("failed to write bench metrics to {path}: {e}"),
+    }
+}
+
+/// An opaque hint that the value is used, preventing the optimizer from
+/// deleting the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            rendered: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine for the configured number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness configuration (criterion-compatible builder).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the measured samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let cfg = self.clone();
+        run_one(&cfg, "", id, |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &self.name, &id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an input-free routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &self.name, id, |b| f(b));
+        self
+    }
+
+    /// Finish the group (display-only in this shim).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, group: &str, id: &str, mut f: F) {
+    // Warm up and estimate the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+        f(&mut bencher);
+        warm_elapsed += bencher.elapsed;
+        warm_iters += 1;
+    }
+    let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(1.0);
+    let budget_per_sample = cfg.measurement_time.as_nanos() as f64 / cfg.sample_size as f64;
+    let iters = ((budget_per_sample / est_ns).floor() as u64).max(1);
+
+    // Measured samples.
+    let mut samples_ns = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let m = Measurement {
+        group: group.to_owned(),
+        id: id.to_owned(),
+        iters,
+        samples_ns,
+    };
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    eprintln!(
+        "{label:<54} time: [{} {} {}]  ({} samples x {} iters)",
+        human_ns(m.min_ns()),
+        human_ns(m.median_ns()),
+        human_ns(m.max_ns()),
+        cfg.sample_size,
+        iters
+    );
+    record_global(m);
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::microbench::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a bench binary, criterion-style. Also writes the
+/// `DDB_BENCH_JSON` metrics file when that environment variable is set.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::microbench::write_global_summary();
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("shim-test");
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        let ms = take_global();
+        let m = ms.iter().find(|m| m.group == "shim-test").unwrap();
+        assert_eq!(m.samples_ns.len(), 3);
+        assert!(m.min_ns() > 0.0);
+        assert!(m.median_ns() >= m.min_ns());
+        assert!(m.max_ns() >= m.median_ns());
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn measurement_json_has_fields() {
+        let m = Measurement {
+            group: "g".into(),
+            id: "i".into(),
+            iters: 4,
+            samples_ns: vec![1.0, 3.0, 2.0],
+        };
+        let j = m.to_json();
+        assert_eq!(j.get("group").unwrap().as_str(), Some("g"));
+        assert_eq!(j.get("iters").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("median_ns").unwrap().as_f64(), Some(2.0));
+        let parsed = ddb_obs::json::parse(&j.render()).unwrap();
+        assert_eq!(parsed.get("max_ns").unwrap().as_f64(), Some(3.0));
+    }
+}

@@ -37,6 +37,7 @@ pub fn false_atoms(db: &Database, part: &Partition, cost: &mut Cost) -> Interpre
 
 /// Literal inference `CCWA(DB) ⊨ ℓ` (via the formula path).
 pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ccwa.infers_literal");
     infers_formula(
         db,
         part,
@@ -47,6 +48,7 @@ pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut 
 
 /// Formula inference `CCWA(DB) ⊨ F`: compute `N`, then `DB ∪ ¬N ⊨ F`.
 pub fn infers_formula(db: &Database, part: &Partition, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ccwa.infers_formula");
     let n_set = false_atoms(db, part, cost);
     let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
     classical::entails(db, &units, f, cost)
@@ -54,12 +56,14 @@ pub fn infers_formula(db: &Database, part: &Partition, f: &Formula, cost: &mut C
 
 /// Model existence: `CCWA(DB) ≠ ∅ ⟺ DB` satisfiable.
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ccwa.has_model");
     classical::is_satisfiable(db, cost)
 }
 
 /// The characteristic model set `CCWA(DB)` (enumerative; test/example
 /// sized).
 pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("ccwa.models");
     let n_set = false_atoms(db, part, cost);
     classical::all_models(db, cost)
         .into_iter()

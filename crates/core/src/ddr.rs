@@ -42,6 +42,7 @@ pub fn false_atoms(db: &Database) -> Interpretation {
 /// database — `⊨ ¬x ⟺ x` inactive. Everything else is one coNP
 /// entailment `DB ∪ ¬N ⊨ ℓ`.
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ddr.infers_literal");
     assert!(
         !db.has_negation(),
         "DDR is defined for databases without negation"
@@ -61,6 +62,7 @@ pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
 
 /// Formula inference `DDR(DB) ⊨ F`: one coNP entailment `DB ∪ ¬N ⊨ F`.
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ddr.infers_formula");
     assert!(
         !db.has_negation(),
         "DDR is defined for databases without negation"
@@ -74,6 +76,7 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 /// active set is a model satisfying all DDR negations); one SAT call
 /// otherwise.
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ddr.has_model");
     assert!(
         !db.has_negation(),
         "DDR is defined for databases without negation"
@@ -89,6 +92,7 @@ pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
 /// The characteristic model set `DDR(DB)` (enumerative; test/example
 /// sized).
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("ddr.models");
     assert!(
         !db.has_negation(),
         "DDR is defined for databases without negation"

@@ -82,6 +82,7 @@ pub fn for_each_stable_model(
 /// assert_eq!(ddb_core::dsm::models(&db, &mut cost).len(), 2);
 /// ```
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("dsm.models");
     let mut out = Vec::new();
     for_each_stable_model(db, cost, |m| {
         out.push(m.clone());
@@ -93,12 +94,14 @@ pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
 
 /// Literal inference `DSM(DB) ⊨ ℓ` (cautious: true in every stable model).
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("dsm.infers_literal");
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `DSM(DB) ⊨ F`: true in every stable model
 /// (vacuously true when none exists).
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("dsm.infers_formula");
     let mut holds = true;
     for_each_stable_model(db, cost, |m| {
         if !f.eval(m) {
@@ -160,6 +163,7 @@ pub fn count_models(db: &Database, cap: usize, cost: &mut Cost) -> usize {
 /// Model existence: does `db` have a disjunctive stable model?
 /// (Σᵖ₂-complete in general.)
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("dsm.has_model");
     let mut found = false;
     for_each_stable_model(db, cost, |_| {
         found = true;

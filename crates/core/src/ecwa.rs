@@ -22,6 +22,7 @@ use ddb_models::{brute, circumscribe, classical, minimal, Cost, Partition};
 
 /// Literal inference `ECWA_{P;Z}(DB) ⊨ ℓ`.
 pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ecwa.infers_literal");
     infers_formula(
         db,
         part,
@@ -32,12 +33,14 @@ pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut 
 
 /// Formula inference `ECWA_{P;Z}(DB) ⊨ F`: one Πᵖ₂ CEGAR query.
 pub fn infers_formula(db: &Database, part: &Partition, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ecwa.infers_formula");
     circumscribe::holds_in_all_pz_minimal_models(db, part, f, cost)
 }
 
 /// Model existence: `MM(DB;P;Z) ≠ ∅ ⟺ DB` satisfiable. `O(1)` for
 /// databases without integrity clauses or negation.
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("ecwa.has_model");
     if !db.has_integrity_clauses() && !db.has_negation() {
         return true;
     }
@@ -46,6 +49,7 @@ pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
 
 /// The characteristic model set `ECWA_{P;Z}(DB) = MM(DB;P;Z)`.
 pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("ecwa.models");
     minimal::pz_minimal_models(db, part, cost)
 }
 

@@ -19,12 +19,14 @@ use ddb_models::{circumscribe, classical, minimal, Cost};
 
 /// Literal inference `EGCWA(DB) ⊨ ℓ`: truth in all minimal models.
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("egcwa.infers_literal");
     let f = Formula::literal(lit.atom(), lit.is_positive());
     circumscribe::holds_in_all_minimal_models(db, &f, cost)
 }
 
 /// Formula inference `EGCWA(DB) ⊨ F`: truth in all minimal models.
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("egcwa.infers_formula");
     circumscribe::holds_in_all_minimal_models(db, f, cost)
 }
 
@@ -32,6 +34,7 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 /// positive database is satisfied by the full interpretation; stripping
 /// down yields a minimal model), one SAT call otherwise.
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("egcwa.has_model");
     if !db.has_integrity_clauses() && !db.has_negation() {
         return true; // O(1): V ⊨ DB, so MM(DB) ≠ ∅.
     }
@@ -40,6 +43,7 @@ pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
 
 /// The characteristic model set `EGCWA(DB) = MM(DB)`.
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("egcwa.models");
     minimal::minimal_models(db, cost)
 }
 

@@ -54,7 +54,7 @@ pub fn census_false_atoms(db: &Database, cost: &mut Cost) -> usize {
     // Binary search on t = number of atoms occurring in some minimal model.
     let (mut lo, mut hi) = (0usize, n); // invariant: occ(t) true for t ≤ lo, false for t > hi
     while lo < hi {
-        let mid = lo + (hi - lo + 1) / 2;
+        let mid = lo + (hi - lo).div_ceil(2);
         if at_least_k_atoms_occur(db, mid, cost) {
             lo = mid;
         } else {
@@ -108,12 +108,14 @@ fn at_least_k_atoms_occur(db: &Database, k: usize, cost: &mut Cost) -> bool {
 /// assert!(!ddb_core::gcwa::infers_literal(&db, c.pos(), &mut cost));
 /// ```
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("gcwa.infers_literal");
     let f = Formula::literal(lit.atom(), lit.is_positive());
     circumscribe::holds_in_all_minimal_models(db, &f, cost)
 }
 
 /// Formula inference `GCWA(DB) ⊨ F`: compute `N`, then `DB ∪ ¬N ⊨ F`.
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("gcwa.infers_formula");
     let n_set = false_atoms(db, cost);
     let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
     classical::entails(db, &units, f, cost)
@@ -121,12 +123,14 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 
 /// Model existence: `GCWA(DB) ≠ ∅ ⟺ DB` satisfiable (one SAT call).
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("gcwa.has_model");
     classical::is_satisfiable(db, cost)
 }
 
 /// The characteristic model set `GCWA(DB)` (enumerative; test/example
 /// sized). Computes `N`, then enumerates the models of `DB ∪ ¬N`.
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("gcwa.models");
     let n_set = false_atoms(db, cost);
     classical::all_models(db, cost)
         .into_iter()

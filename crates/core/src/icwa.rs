@@ -143,6 +143,7 @@ pub fn for_each_icwa_model(
 
 /// All ICWA models, sorted (enumerative; test/example sized).
 pub fn models(db: &Database, layers: &Layers, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("icwa.models");
     let mut out = Vec::new();
     for_each_icwa_model(db, layers, None, cost, |m| {
         out.push(m.clone());
@@ -154,6 +155,7 @@ pub fn models(db: &Database, layers: &Layers, cost: &mut Cost) -> Vec<Interpreta
 
 /// Literal inference `ICWA(DB) ⊨ ℓ`.
 pub fn infers_literal(db: &Database, layers: &Layers, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("icwa.infers_literal");
     infers_formula(
         db,
         layers,
@@ -166,6 +168,7 @@ pub fn infers_literal(db: &Database, layers: &Layers, lit: Literal, cost: &mut C
 /// ICWA models (guess a model of `DB ∧ ¬F`, verify layer-wise minimality
 /// with `r` oracle calls — the paper's Theorem 4.1 upper-bound shape).
 pub fn infers_formula(db: &Database, layers: &Layers, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("icwa.infers_formula");
     let negated = f.clone().negated();
     let mut holds = true;
     for_each_icwa_model(db, layers, Some(&negated), cost, |_| {
@@ -179,6 +182,7 @@ pub fn infers_formula(db: &Database, layers: &Layers, f: &Formula, cost: &mut Co
 /// without integrity clauses (stratifiability asserts consistency \[12\]);
 /// otherwise decided by the enumeration loop.
 pub fn has_model(db: &Database, layers: &Layers, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("icwa.has_model");
     if !db.has_integrity_clauses() {
         return true;
     }

@@ -33,6 +33,8 @@
 //!   programs, behind the Schaerf results in the paper's related work;
 //! * [`witness`] — countermodel extraction and brave inference for every
 //!   semantics;
+//! * [`profile`] — the observed 10×3 oracle-call matrix next to the
+//!   paper's predicted complexity classes (backs `ddb profile`);
 //! * [`reduct`] — the Gelfond–Lifschitz and three-valued reducts shared
 //!   by DSM/PDSM/WFS.
 
@@ -50,6 +52,7 @@ pub mod gcwa;
 pub mod icwa;
 pub mod pdsm;
 pub mod perf;
+pub mod profile;
 pub mod pws;
 pub mod reduct;
 pub mod supported;

@@ -235,6 +235,7 @@ pub fn for_each_partial_stable(
 
 /// All partial stable models.
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<PartialInterpretation> {
+    let _span = ddb_obs::span("pdsm.models");
     let mut out = Vec::new();
     for_each_partial_stable(db, None, cost, |i| {
         out.push(i.clone());
@@ -247,12 +248,14 @@ pub fn models(db: &Database, cost: &mut Cost) -> Vec<PartialInterpretation> {
 /// Literal inference `PDSM(DB) ⊨ ℓ`: the literal has value 1 in every
 /// partial stable model.
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("pdsm.infers_literal");
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `PDSM(DB) ⊨ F`: `F` has value 1 in every partial
 /// stable model (vacuously true when none exists).
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("pdsm.infers_formula");
     let not_value1 = encode_ge1(f, db.num_atoms()).negated();
     let mut holds = true;
     for_each_partial_stable(db, Some(&not_value1), cost, |i| {
@@ -265,6 +268,7 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 
 /// Model existence: does `db` have a partial stable model?
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("pdsm.has_model");
     let mut found = false;
     for_each_partial_stable(db, None, cost, |_| {
         found = true;

@@ -67,8 +67,8 @@ pub fn priority_lt(db: &Database) -> Vec<Interpretation> {
                 }
             }
         }
-        for v in 0..n {
-            if reach[v][1] {
+        for (v, r) in reach.iter().enumerate() {
+            if r[1] {
                 lt[start].insert(Atom::new(v as u32));
             }
         }
@@ -88,13 +88,13 @@ pub fn exists_preferable_model(
     let mut solver = Solver::from_cnf(&database_to_cnf(db));
     solver.ensure_vars(n);
     // For each x ∉ M: taking x requires dropping some y ∈ M with x < y.
-    for xi in 0..n {
+    for (xi, lt_x) in lt.iter().enumerate() {
         let x = Atom::new(xi as u32);
         if m.contains(x) {
             continue;
         }
         let mut clause: Vec<Literal> = vec![x.neg()];
-        for y in lt[xi].iter() {
+        for y in lt_x.iter() {
             if m.contains(y) {
                 clause.push(y.neg());
             }
@@ -162,6 +162,7 @@ pub fn for_each_perfect_model(
 
 /// All perfect models, sorted.
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("perf.models");
     let mut out = Vec::new();
     for_each_perfect_model(db, cost, |m| {
         out.push(m.clone());
@@ -173,12 +174,14 @@ pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
 
 /// Literal inference `PERF(DB) ⊨ ℓ` (true in every perfect model).
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("perf.infers_literal");
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `PERF(DB) ⊨ F` (vacuously true when no perfect model
 /// exists).
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("perf.infers_formula");
     let mut holds = true;
     for_each_perfect_model(db, cost, |m| {
         if !f.eval(m) {
@@ -193,6 +196,7 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 /// Model existence: does `db` have a perfect model? (Σᵖ₂-complete for
 /// general DNDBs; guaranteed for stratified ones.)
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("perf.has_model");
     let mut found = false;
     for_each_perfect_model(db, cost, |_| {
         found = true;

@@ -1,0 +1,295 @@
+//! Observability profiles: run a decision problem under every semantics
+//! and report observed oracle usage next to the paper's predicted
+//! complexity class.
+//!
+//! The empirical claim being checked is the one behind Eiter & Gottlob's
+//! Tables 1–2: the position of a (semantics, problem) pair in the
+//! polynomial hierarchy shows up operationally as the *pattern of NP-oracle
+//! (SAT) calls* its decision procedure makes. A coNP cell needs one
+//! refutation call; a Πᵖ₂ cell runs a counterexample-guided loop whose
+//! rounds each cost oracle calls; a Δᵖ₃[O(log n)] cell binary-searches over
+//! a Σᵖ₂ oracle. [`profile_all`] measures all thirty cells of that matrix
+//! on a concrete database, producing the table the `ddb profile`
+//! subcommand prints.
+
+use crate::dispatch::{SemanticsConfig, SemanticsId};
+use ddb_logic::{Database, Formula, Literal};
+use ddb_models::Cost;
+use ddb_obs::json::Json;
+use std::time::Instant;
+
+/// The paper's three decision problems.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Problem {
+    /// Inference of a literal: `DB ⊢_sem L`.
+    Literal,
+    /// Inference of an arbitrary formula: `DB ⊢_sem F`.
+    Formula,
+    /// Model existence: is the semantics non-empty for `DB`?
+    Existence,
+}
+
+impl Problem {
+    /// All three problems, in the paper's column order.
+    pub const ALL: [Problem; 3] = [Problem::Literal, Problem::Formula, Problem::Existence];
+
+    /// Short column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Problem::Literal => "lit",
+            Problem::Formula => "form",
+            Problem::Existence => "exist",
+        }
+    }
+}
+
+/// The complexity class Eiter & Gottlob's Table 2 (general disjunctive
+/// deductive databases) assigns to a (semantics, problem) cell.
+///
+/// These strings agree with the paper-claim column of the benchmark
+/// `tables` binary; the profile output prints them beside the observed
+/// oracle counts so the two can be eyeballed together.
+pub fn paper_complexity(id: SemanticsId, problem: Problem) -> &'static str {
+    use Problem::*;
+    use SemanticsId::*;
+    match (id, problem) {
+        (Gcwa, Literal) => "Πᵖ₂-complete",
+        (Gcwa, Formula) => "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+        (Gcwa, Existence) => "NP-complete",
+        (Ddr, Literal) | (Ddr, Formula) => "coNP-complete",
+        (Ddr, Existence) => "NP-complete",
+        (Pws, Literal) | (Pws, Formula) => "coNP-complete",
+        (Pws, Existence) => "NP-complete",
+        (Egcwa, Literal) | (Egcwa, Formula) => "Πᵖ₂-complete",
+        (Egcwa, Existence) => "NP-complete",
+        (Ccwa, Literal) | (Ccwa, Formula) => "Πᵖ₂-hard, in Δᵖ₃[O(log n)]",
+        (Ccwa, Existence) => "NP-complete",
+        (Ecwa, Literal) | (Ecwa, Formula) => "Πᵖ₂-complete",
+        (Ecwa, Existence) => "NP-complete",
+        (Icwa, Literal) | (Icwa, Formula) => "Πᵖ₂-complete",
+        (Icwa, Existence) => "NP-complete",
+        (Perf, Literal) | (Perf, Formula) => "Πᵖ₂-complete",
+        (Perf, Existence) => "Σᵖ₂-complete",
+        (Dsm, Literal) | (Dsm, Formula) => "Πᵖ₂-complete",
+        (Dsm, Existence) => "Σᵖ₂-complete",
+        (Pdsm, Literal) | (Pdsm, Formula) => "Πᵖ₂-complete",
+        (Pdsm, Existence) => "Σᵖ₂-complete",
+    }
+}
+
+/// Observed measurements for one (semantics, problem) cell.
+#[derive(Clone, Debug)]
+pub struct CellProfile {
+    /// The semantics.
+    pub semantics: SemanticsId,
+    /// The decision problem.
+    pub problem: Problem,
+    /// The decision, or `None` if the semantics is undefined for this
+    /// database class (see `unsupported`).
+    pub answer: Option<bool>,
+    /// Oracle accounting for this cell alone.
+    pub cost: Cost,
+    /// Wall-clock time for this cell alone.
+    pub wall_ns: u64,
+    /// Reason the cell is inapplicable, when `answer` is `None`.
+    pub unsupported: Option<String>,
+}
+
+impl CellProfile {
+    /// Serialize for `--trace-json` / bench metrics files.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("semantics", Json::Str(self.semantics.name().to_owned())),
+            ("problem", Json::Str(self.problem.name().to_owned())),
+            (
+                "paper_class",
+                Json::Str(paper_complexity(self.semantics, self.problem).to_owned()),
+            ),
+            (
+                "answer",
+                match self.answer {
+                    Some(b) => Json::Bool(b),
+                    None => Json::Null,
+                },
+            ),
+            ("sat_calls", Json::UInt(self.cost.sat_calls)),
+            ("candidates", Json::UInt(self.cost.candidates)),
+            ("decisions", Json::UInt(self.cost.decisions)),
+            ("conflicts", Json::UInt(self.cost.conflicts)),
+            ("propagations", Json::UInt(self.cost.propagations)),
+            ("peak_clauses", Json::UInt(self.cost.peak_clauses)),
+            ("wall_ns", Json::UInt(self.wall_ns)),
+            (
+                "unsupported",
+                match &self.unsupported {
+                    Some(r) => Json::Str(r.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Measure one cell: run `problem` under `cfg` on `db`, recording cost and
+/// wall time. `lit` and `f` supply the queries for the inference problems.
+pub fn profile_cell(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    problem: Problem,
+    lit: Literal,
+    f: &Formula,
+) -> CellProfile {
+    let _span = ddb_obs::span("profile.cell");
+    let mut cost = Cost::new();
+    let started = Instant::now();
+    let outcome = match problem {
+        Problem::Literal => cfg.infers_literal(db, lit, &mut cost),
+        Problem::Formula => cfg.infers_formula(db, f, &mut cost),
+        Problem::Existence => cfg.has_model(db, &mut cost),
+    };
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let (answer, unsupported) = match outcome {
+        Ok(b) => (Some(b), None),
+        Err(e) => (None, Some(e.reason)),
+    };
+    CellProfile {
+        semantics: cfg.id,
+        problem,
+        answer,
+        cost,
+        wall_ns,
+        unsupported,
+    }
+}
+
+/// Profile all ten semantics on all three problems: the full 10×3 observed
+/// oracle-call matrix for `db`, in the paper's table order.
+pub fn profile_all(db: &Database, lit: Literal, f: &Formula) -> Vec<CellProfile> {
+    let _span = ddb_obs::span("profile.all");
+    let mut cells = Vec::with_capacity(SemanticsId::ALL.len() * Problem::ALL.len());
+    for id in SemanticsId::ALL {
+        let cfg = SemanticsConfig::new(id);
+        for problem in Problem::ALL {
+            cells.push(profile_cell(&cfg, db, problem, lit, f));
+        }
+    }
+    cells
+}
+
+/// Render profiles as an aligned text table: one row per semantics, one
+/// column group (oracle calls + wall time) per problem, with the paper's
+/// predicted class for the literal-inference column.
+pub fn render_table(cells: &[CellProfile]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>24} {:>24} {:>24}  {}\n",
+        "semantics",
+        "lit (SAT calls, time)",
+        "form (SAT calls, time)",
+        "exist (SAT calls, time)",
+        "paper (lit / form / exist)"
+    ));
+    for id in SemanticsId::ALL {
+        let mut row = format!("{:<14}", id.name());
+        for problem in Problem::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.semantics == id && c.problem == problem);
+            match cell {
+                Some(c) if c.answer.is_some() => {
+                    row.push_str(&format!(
+                        " {:>24}",
+                        format!("{} calls, {}", c.cost.sat_calls, human_ns(c.wall_ns))
+                    ));
+                }
+                Some(_) => row.push_str(&format!(" {:>24}", "n/a")),
+                None => row.push_str(&format!(" {:>24}", "-")),
+            }
+        }
+        row.push_str(&format!(
+            "  {} / {} / {}",
+            paper_complexity(id, Problem::Literal),
+            paper_complexity(id, Problem::Formula),
+            paper_complexity(id, Problem::Existence)
+        ));
+        out.push(' ');
+        out.push_str(row.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    #[test]
+    fn profiles_every_cell_on_positive_db() {
+        let db = parse_program("a | b. c :- a, b.").unwrap();
+        let f = parse_formula("!c", db.symbols()).unwrap();
+        let lit = ddb_logic::Atom::new(0).pos();
+        let cells = profile_all(&db, lit, &f);
+        assert_eq!(cells.len(), 30);
+        // Positive database: every semantics applies; every cell answered.
+        assert!(cells.iter().all(|c| c.answer.is_some()));
+        // Oracle-backed existence checks cost at least one SAT call for
+        // the NP-complete cells.
+        let gcwa_exist = cells
+            .iter()
+            .find(|c| c.semantics == SemanticsId::Gcwa && c.problem == Problem::Existence)
+            .unwrap();
+        assert!(gcwa_exist.cost.sat_calls >= 1);
+    }
+
+    #[test]
+    fn unsupported_cells_are_reported_not_panicked() {
+        let db = parse_program("a :- not b.").unwrap();
+        let f = parse_formula("a", db.symbols()).unwrap();
+        let cells = profile_all(&db, ddb_logic::Atom::new(0).pos(), &f);
+        let ddr = cells
+            .iter()
+            .find(|c| c.semantics == SemanticsId::Ddr && c.problem == Problem::Literal)
+            .unwrap();
+        assert!(ddr.answer.is_none());
+        assert!(ddr.unsupported.is_some());
+    }
+
+    #[test]
+    fn complexity_table_is_total_and_json_renders() {
+        for id in SemanticsId::ALL {
+            for p in Problem::ALL {
+                assert!(!paper_complexity(id, p).is_empty());
+            }
+        }
+        let db = parse_program("a | b.").unwrap();
+        let f = parse_formula("a", db.symbols()).unwrap();
+        let cells = profile_all(&db, ddb_logic::Atom::new(0).pos(), &f);
+        let doc = Json::Arr(cells.iter().map(CellProfile::to_json).collect());
+        let parsed = ddb_obs::json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.as_arr().unwrap().len(), 30);
+    }
+
+    #[test]
+    fn render_table_lists_all_semantics() {
+        let db = parse_program("a | b.").unwrap();
+        let f = parse_formula("a", db.symbols()).unwrap();
+        let cells = profile_all(&db, ddb_logic::Atom::new(0).pos(), &f);
+        let table = render_table(&cells);
+        for id in SemanticsId::ALL {
+            assert!(table.contains(id.name()), "missing {}", id.name());
+        }
+    }
+}

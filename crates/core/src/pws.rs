@@ -62,8 +62,8 @@ pub fn possible_model_cnf(db: &Database) -> Cnf {
                 Formula::atom(levels[a][i]).negated(),
                 Formula::atom(levels[x][i]),
             ];
-            for j in (i + 1)..bits {
-                conj.push(Formula::atom(levels[a][j]).iff(Formula::atom(levels[x][j])));
+            for (&la, &lx) in levels[a][i + 1..].iter().zip(&levels[x][i + 1..]) {
+                conj.push(Formula::atom(la).iff(Formula::atom(lx)));
             }
             cases.push(Formula::And(conj));
         }
@@ -206,6 +206,7 @@ pub fn possible_models_by_splits(db: &Database) -> Vec<Interpretation> {
 
 /// All possible models via the SAT encoding (projected enumeration).
 pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("pws.models");
     let cnf = possible_model_cnf(db);
     let mut out = Vec::new();
     let mut calls = 0u64;
@@ -222,6 +223,7 @@ pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
 /// Literal inference `PWS(DB) ⊨ ℓ`. Fast path (zero oracle calls):
 /// negative literal, no integrity clauses — `⊨ ¬x ⟺ x ∉ active(DB)`.
 pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("pws.infers_literal");
     assert!(
         !db.has_negation(),
         "PWS is defined for databases without negation"
@@ -235,6 +237,7 @@ pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
 /// Formula inference `PWS(DB) ⊨ F`: one SAT call on the possible-model
 /// encoding conjoined with `¬F`.
 pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("pws.infers_formula");
     let cnf = possible_model_cnf(db);
     let mut b = CnfBuilder::new(cnf.num_vars);
     for c in &cnf.clauses {
@@ -250,6 +253,7 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 /// Model existence `PWS(DB) ≠ ∅`. `O(1)` without integrity clauses (the
 /// full split's least model is a possible model); one SAT call otherwise.
 pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+    let _span = ddb_obs::span("pws.has_model");
     assert!(
         !db.has_negation(),
         "PWS is defined for databases without negation"

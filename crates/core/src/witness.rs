@@ -73,6 +73,7 @@ pub fn explain_formula(
     f: &Formula,
     cost: &mut Cost,
 ) -> Result<QueryOutcome, Unsupported> {
+    let _span = ddb_obs::span("witness.explain_formula");
     cfg.check_applicable(db)?;
     let n = db.num_atoms();
     let neg = f.clone().negated();
@@ -192,6 +193,7 @@ pub fn brave_infers_formula(
     f: &Formula,
     cost: &mut Cost,
 ) -> Result<bool, Unsupported> {
+    let _span = ddb_obs::span("witness.brave_infers_formula");
     match cfg.id {
         SemanticsId::Pdsm => {
             cfg.check_applicable(db)?;

@@ -1,36 +1,38 @@
 //! Brute-force cross-checks for the post-green extension semantics:
 //! supported models (Clark completion) and the well-founded semantics,
-//! on random *normal* (singleton-head) programs.
+//! on random *normal* (singleton-head) programs. Driven by the in-repo
+//! deterministic PRNG (formerly proptest).
 
 use ddb_core::{dsm, pdsm, supported, wfs};
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Database, Interpretation, Rule, TruthValue};
 use ddb_models::{brute, Cost};
-use proptest::prelude::*;
 
 const N: usize = 4;
+const CASES: usize = 150;
 
 /// Random normal rule: exactly one head atom.
-fn arb_normal_rule() -> impl Strategy<Value = Rule> {
-    let head = 0u32..N as u32;
-    let body_pos = proptest::collection::vec(0u32..N as u32, 0..=2);
-    let body_neg = proptest::collection::vec(0u32..N as u32, 0..=2);
-    (head, body_pos, body_neg).prop_map(|(h, bp, bn)| {
-        Rule::new(
-            [Atom::new(h)],
-            bp.into_iter().map(Atom::new),
-            bn.into_iter().map(Atom::new),
-        )
-    })
+fn random_normal_rule(rng: &mut XorShift64Star) -> Rule {
+    let h = rng.gen_range(0, N) as u32;
+    let bp: Vec<u32> = (0..rng.gen_range_inclusive(0, 2))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    let bn: Vec<u32> = (0..rng.gen_range_inclusive(0, 2))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    Rule::new(
+        [Atom::new(h)],
+        bp.into_iter().map(Atom::new),
+        bn.into_iter().map(Atom::new),
+    )
 }
 
-fn arb_normal_db() -> impl Strategy<Value = Database> {
-    proptest::collection::vec(arb_normal_rule(), 0..7).prop_map(|rules| {
-        let mut db = Database::with_fresh_atoms(N);
-        for r in rules {
-            db.add_rule(r);
-        }
-        db
-    })
+fn random_normal_db(rng: &mut XorShift64Star) -> Database {
+    let mut db = Database::with_fresh_atoms(N);
+    for _ in 0..rng.gen_range(0, 7) {
+        db.add_rule(random_normal_rule(rng));
+    }
+    db
 }
 
 /// Supported models straight from the definition.
@@ -47,72 +49,102 @@ fn supported_brute(db: &Database) -> Vec<Interpretation> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn supported_models_match_brute(db in arb_normal_db()) {
+#[test]
+fn supported_models_match_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE01);
+    for case in 0..CASES {
+        let db = random_normal_db(&mut rng);
         let mut cost = Cost::new();
-        prop_assert_eq!(supported::models(&db, &mut cost), supported_brute(&db));
+        assert_eq!(
+            supported::models(&db, &mut cost),
+            supported_brute(&db),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn supported_inference_matches_brute(db in arb_normal_db()) {
+#[test]
+fn supported_inference_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE02);
+    for case in 0..CASES {
+        let db = random_normal_db(&mut rng);
         let reference = supported_brute(&db);
         let mut cost = Cost::new();
-        prop_assert_eq!(supported::has_model(&db, &mut cost), !reference.is_empty());
+        assert_eq!(
+            supported::has_model(&db, &mut cost),
+            !reference.is_empty(),
+            "case {case}"
+        );
         for i in 0..N {
             let a = Atom::new(i as u32);
             let f = ddb_logic::Formula::atom(a);
-            prop_assert_eq!(
+            assert_eq!(
                 supported::infers_formula(&db, &f, &mut cost),
-                reference.iter().all(|m| m.contains(a))
+                reference.iter().all(|m| m.contains(a)),
+                "case {case}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 supported::brave_infers_formula(&db, &f, &mut cost),
-                reference.iter().any(|m| m.contains(a))
+                reference.iter().any(|m| m.contains(a)),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn stable_subset_of_supported(db in arb_normal_db()) {
+#[test]
+fn stable_subset_of_supported() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE03);
+    for case in 0..CASES {
+        let db = random_normal_db(&mut rng);
         let mut cost = Cost::new();
         let supported = supported::models(&db, &mut cost);
         for m in dsm::models(&db, &mut cost) {
-            prop_assert!(supported.contains(&m));
+            assert!(supported.contains(&m), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn wfs_is_knowledge_least_partial_stable(db in arb_normal_db()) {
+#[test]
+fn wfs_is_knowledge_least_partial_stable() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE04);
+    for case in 0..CASES {
+        let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         let mut cost = Cost::new();
-        prop_assert!(pdsm::is_partial_stable(&db, &w, &mut cost));
+        assert!(pdsm::is_partial_stable(&db, &w, &mut cost), "case {case}");
         for p in pdsm::models(&db, &mut cost) {
-            prop_assert!(w.true_set().is_subset(p.true_set()));
-            prop_assert!(w.false_set().is_subset(p.false_set()));
+            assert!(w.true_set().is_subset(p.true_set()), "case {case}");
+            assert!(w.false_set().is_subset(p.false_set()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn wfs_sound_for_stable(db in arb_normal_db()) {
+#[test]
+fn wfs_sound_for_stable() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE05);
+    for case in 0..CASES {
+        let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         let mut cost = Cost::new();
         for m in dsm::models(&db, &mut cost) {
             for a in w.true_set().iter() {
-                prop_assert!(m.contains(a));
+                assert!(m.contains(a), "case {case}");
             }
             for a in w.false_set().iter() {
-                prop_assert!(!m.contains(a));
+                assert!(!m.contains(a), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn wfs_total_implies_unique_stable(db in arb_normal_db()) {
+#[test]
+fn wfs_total_implies_unique_stable() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE06);
+    for case in 0..CASES {
         // When WFS decides everything, its total model is the unique
         // stable model.
+        let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         if w.is_total() {
             let total = w.to_total();
@@ -121,15 +153,19 @@ proptest! {
             // always stable.
             let mut cost = Cost::new();
             let stable = dsm::models(&db, &mut cost);
-            prop_assert_eq!(stable, vec![total]);
+            assert_eq!(stable, vec![total], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn wfs_value_matches_pdsm_consensus(db in arb_normal_db()) {
+#[test]
+fn wfs_value_matches_pdsm_consensus() {
+    let mut rng = XorShift64Star::seed_from_u64(0xE07);
+    for case in 0..CASES {
         // An atom true (false) in WFS has value 1 (0) in every partial
         // stable model — restated per atom via eval3 for coverage of the
         // three-valued evaluation path.
+        let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         let mut cost = Cost::new();
         let partials = pdsm::models(&db, &mut cost);
@@ -138,12 +174,12 @@ proptest! {
             match w.value(a) {
                 TruthValue::True => {
                     for p in &partials {
-                        prop_assert_eq!(p.value(a), TruthValue::True);
+                        assert_eq!(p.value(a), TruthValue::True, "case {case}");
                     }
                 }
                 TruthValue::False => {
                     for p in &partials {
-                        prop_assert_eq!(p.value(a), TruthValue::False);
+                        assert_eq!(p.value(a), TruthValue::False, "case {case}");
                     }
                 }
                 TruthValue::Undefined => {}

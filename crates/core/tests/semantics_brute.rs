@@ -1,64 +1,76 @@
 //! The repository's most important test file: every one of the ten
 //! semantics, as implemented with oracle-based decision procedures, is
 //! cross-checked against an *independent brute-force rendition of its
-//! textbook definition* on random small databases.
+//! textbook definition* on random small databases. Randomization runs on
+//! the in-repo deterministic PRNG (formerly proptest).
 
 use ddb_core::{icwa::Layers, SemanticsConfig, SemanticsId};
 use ddb_core::{pdsm, perf, pws, reduct};
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Database, Formula, Interpretation, PartialInterpretation, Rule, TruthValue};
 use ddb_models::{brute, Cost, Partition};
-use proptest::prelude::*;
 
 const N: usize = 4;
+const CASES: usize = 120;
 
-fn arb_rule(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Rule> {
-    let head = proptest::collection::vec(0u32..N as u32, usize::from(!allow_integrity)..=2);
-    let body_pos = proptest::collection::vec(0u32..N as u32, 0..=2);
-    let body_neg = proptest::collection::vec(0u32..N as u32, 0..=(2 * usize::from(allow_neg)));
-    (head, body_pos, body_neg).prop_map(|(h, bp, bn)| {
-        Rule::new(
-            h.into_iter().map(Atom::new),
-            bp.into_iter().map(Atom::new),
-            bn.into_iter().map(Atom::new),
-        )
-    })
+fn random_rule(rng: &mut XorShift64Star, allow_neg: bool, allow_integrity: bool) -> Rule {
+    let lo = usize::from(!allow_integrity);
+    let h: Vec<u32> = (0..rng.gen_range_inclusive(lo, 2))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    let bp: Vec<u32> = (0..rng.gen_range_inclusive(0, 2))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    let bn: Vec<u32> = (0..rng.gen_range_inclusive(0, 2 * usize::from(allow_neg)))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    Rule::new(
+        h.into_iter().map(Atom::new),
+        bp.into_iter().map(Atom::new),
+        bn.into_iter().map(Atom::new),
+    )
 }
 
-fn arb_db(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Database> {
-    proptest::collection::vec(arb_rule(allow_neg, allow_integrity), 0..7).prop_map(|rules| {
-        let mut db = Database::with_fresh_atoms(N);
-        for r in rules {
-            db.add_rule(r);
-        }
-        db
-    })
+fn random_db(rng: &mut XorShift64Star, allow_neg: bool, allow_integrity: bool) -> Database {
+    let mut db = Database::with_fresh_atoms(N);
+    for _ in 0..rng.gen_range(0, 7) {
+        db.add_rule(random_rule(rng, allow_neg, allow_integrity));
+    }
+    db
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0u32..N as u32).prop_map(|i| Formula::Atom(Atom::new(i))),
-        Just(Formula::True),
-    ];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.negated()),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
-        ]
-    })
+fn random_formula(rng: &mut XorShift64Star, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0, 6) {
+            0..=3 => Formula::Atom(Atom::new(rng.gen_range(0, N) as u32)),
+            _ => Formula::True,
+        };
+    }
+    match rng.gen_range(0, 4) {
+        0 => random_formula(rng, depth - 1).negated(),
+        1 => Formula::And(
+            (0..rng.gen_range_inclusive(1, 2))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        2 => Formula::Or(
+            (0..rng.gen_range_inclusive(1, 2))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        _ => random_formula(rng, depth - 1).implies(random_formula(rng, depth - 1)),
+    }
 }
 
-fn arb_partition() -> impl Strategy<Value = Partition> {
-    proptest::collection::vec(0u8..3, N).prop_map(|assignment| {
-        let p = (0..N)
-            .filter(|&i| assignment[i] == 0)
-            .map(|i| Atom::new(i as u32));
-        let q = (0..N)
-            .filter(|&i| assignment[i] == 1)
-            .map(|i| Atom::new(i as u32));
-        Partition::from_p_q(N, p, q)
-    })
+fn random_partition(rng: &mut XorShift64Star) -> Partition {
+    let assignment: Vec<u8> = (0..N).map(|_| rng.gen_range(0, 3) as u8).collect();
+    let p = (0..N)
+        .filter(|&i| assignment[i] == 0)
+        .map(|i| Atom::new(i as u32));
+    let q = (0..N)
+        .filter(|&i| assignment[i] == 1)
+        .map(|i| Atom::new(i as u32));
+    Partition::from_p_q(N, p, q)
 }
 
 /// Brute-force GCWA model set.
@@ -196,122 +208,222 @@ fn check_inference(
     db: &Database,
     f: &Formula,
     reference: &[Interpretation],
-) -> Result<(), TestCaseError> {
+    case: usize,
+) {
     let mut cost = Cost::new();
     let expected = reference.iter().all(|m| f.eval(m));
     let got = cfg
         .infers_formula(db, f, &mut cost)
         .expect("applicable by construction");
-    prop_assert_eq!(got, expected, "{} inference mismatch", id);
+    assert_eq!(got, expected, "{id} inference mismatch, case {case}");
     let nonempty = cfg.has_model(db, &mut cost).expect("applicable");
-    prop_assert_eq!(nonempty, !reference.is_empty(), "{} existence mismatch", id);
-    Ok(())
+    assert_eq!(
+        nonempty,
+        !reference.is_empty(),
+        "{id} existence mismatch, case {case}"
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(120))]
-
-    #[test]
-    fn gcwa_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn gcwa_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B01);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let cfg = SemanticsConfig::new(SemanticsId::Gcwa);
         let mut cost = Cost::new();
         let reference = gcwa_models_brute(&db);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Gcwa, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Gcwa, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn egcwa_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn egcwa_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B02);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let cfg = SemanticsConfig::new(SemanticsId::Egcwa);
         let mut cost = Cost::new();
         let reference = brute::minimal_models(&db);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Egcwa, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Egcwa, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn ccwa_matches_brute(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+#[test]
+fn ccwa_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B03);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
+        let part = random_partition(&mut rng);
         let cfg = SemanticsConfig::new(SemanticsId::Ccwa).with_partition(part.clone());
         let mut cost = Cost::new();
         let reference = ccwa_models_brute(&db, &part);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Ccwa, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Ccwa, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn ecwa_matches_brute(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+#[test]
+fn ecwa_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B04);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
+        let part = random_partition(&mut rng);
         let cfg = SemanticsConfig::new(SemanticsId::Ecwa).with_partition(part.clone());
         let mut cost = Cost::new();
         let reference = brute::pz_minimal_models(&db, &part);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Ecwa, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Ecwa, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn ddr_matches_brute(db in arb_db(false, true), f in arb_formula()) {
+#[test]
+fn ddr_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B05);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, false, true);
+        let f = random_formula(&mut rng, 3);
         let cfg = SemanticsConfig::new(SemanticsId::Ddr);
         let mut cost = Cost::new();
         let reference = ddr_models_brute(&db);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Ddr, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Ddr, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn pws_matches_split_reference(db in arb_db(false, true), f in arb_formula()) {
+#[test]
+fn pws_matches_split_reference() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B06);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, false, true);
+        let f = random_formula(&mut rng, 3);
         let cfg = SemanticsConfig::new(SemanticsId::Pws);
         let mut cost = Cost::new();
         let reference = pws::possible_models_by_splits(&db);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Pws, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Pws, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn perf_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn perf_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B07);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let cfg = SemanticsConfig::new(SemanticsId::Perf);
         let mut cost = Cost::new();
         let reference = perf_models_brute(&db);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Perf, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Perf, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn icwa_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn icwa_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B08);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         if let Some(reference) = icwa_models_brute(&db) {
             let cfg = SemanticsConfig::new(SemanticsId::Icwa);
             let mut cost = Cost::new();
-            prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-            check_inference(SemanticsId::Icwa, &cfg, &db, &f, &reference)?;
+            assert_eq!(
+                cfg.models(&db, &mut cost).unwrap(),
+                reference,
+                "case {case}"
+            );
+            check_inference(SemanticsId::Icwa, &cfg, &db, &f, &reference, case);
         }
     }
+}
 
-    #[test]
-    fn dsm_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn dsm_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B09);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let cfg = SemanticsConfig::new(SemanticsId::Dsm);
         let mut cost = Cost::new();
         let reference = dsm_models_brute(&db);
-        prop_assert_eq!(cfg.models(&db, &mut cost).unwrap(), reference.clone());
-        check_inference(SemanticsId::Dsm, &cfg, &db, &f, &reference)?;
+        assert_eq!(
+            cfg.models(&db, &mut cost).unwrap(),
+            reference,
+            "case {case}"
+        );
+        check_inference(SemanticsId::Dsm, &cfg, &db, &f, &reference, case);
     }
+}
 
-    #[test]
-    fn pdsm_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn pdsm_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B0A);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let mut cost = Cost::new();
         let mut got = pdsm::models(&db, &mut cost);
         let mut reference = pdsm_models_brute(&db);
         let key = |p: &PartialInterpretation| (p.true_set().clone(), p.false_set().clone());
         got.sort_by_key(key);
         reference.sort_by_key(key);
-        prop_assert_eq!(got, reference.clone());
+        assert_eq!(got, reference, "case {case}");
         // Inference: value 1 in all partial stable models.
         let f_ref = reference.iter().all(|i| f.eval3(i) == TruthValue::True);
-        prop_assert_eq!(pdsm::infers_formula(&db, &f, &mut cost), f_ref);
-        prop_assert_eq!(pdsm::has_model(&db, &mut cost), !reference.is_empty());
+        assert_eq!(
+            pdsm::infers_formula(&db, &f, &mut cost),
+            f_ref,
+            "case {case}"
+        );
+        assert_eq!(
+            pdsm::has_model(&db, &mut cost),
+            !reference.is_empty(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn literal_and_formula_inference_consistent(db in arb_db(true, true)) {
+#[test]
+fn literal_and_formula_inference_consistent() {
+    let mut rng = XorShift64Star::seed_from_u64(0x5B0B);
+    for case in 0..CASES {
         // For every semantics: infers_literal must equal infers_formula on
         // the literal read as a formula.
+        let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
         for id in SemanticsId::ALL {
             let cfg = SemanticsConfig::new(id);
@@ -323,9 +435,9 @@ proptest! {
                     let l = cfg.infers_literal(&db, lit, &mut cost);
                     let g = cfg.infers_formula(&db, &f, &mut cost);
                     match (l, g) {
-                        (Ok(a1), Ok(a2)) => prop_assert_eq!(a1, a2, "{}", id),
+                        (Ok(a1), Ok(a2)) => assert_eq!(a1, a2, "{id}, case {case}"),
                         (Err(_), Err(_)) => {}
-                        _ => prop_assert!(false, "support mismatch for {}", id),
+                        _ => panic!("support mismatch for {id}, case {case}"),
                     }
                 }
             }

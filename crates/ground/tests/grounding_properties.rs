@@ -1,113 +1,116 @@
 //! Property tests for the grounder: on random safe programs, the reduced
 //! (intelligent) grounding must agree with the exact grounding under the
 //! supported semantics, and under the minimal-model semantics for
-//! positive programs.
+//! positive programs. Driven by the in-repo deterministic PRNG (formerly
+//! proptest).
 
 use ddb_ground::{ground_full, ground_reduced, DatalogProgram, DatalogRule, PredAtom, Term};
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::Database;
 use ddb_models::Cost;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 const CONSTS: [&str; 3] = ["a", "b", "c"];
 const VARS: [&str; 2] = ["X", "Y"];
+const CASES: usize = 60;
 
 fn c(i: usize) -> Term {
     Term::Const(CONSTS[i % CONSTS.len()].to_owned())
 }
 
-fn arb_ground_fact() -> impl Strategy<Value = DatalogRule> {
-    // p/1, q/1 facts and r/2 facts.
-    prop_oneof![
-        (0usize..3).prop_map(|i| DatalogRule {
+fn random_ground_fact(rng: &mut XorShift64Star) -> DatalogRule {
+    // p/1 facts and r/2 facts.
+    if rng.gen_bool(0.5) {
+        DatalogRule {
             head: vec![PredAtom {
                 pred: "p".into(),
-                args: vec![c(i)]
+                args: vec![c(rng.gen_range(0, 3))],
             }],
             body_pos: vec![],
             body_neg: vec![],
             disequalities: vec![],
-        }),
-        (0usize..3, 0usize..3).prop_map(|(i, j)| DatalogRule {
+        }
+    } else {
+        DatalogRule {
             head: vec![PredAtom {
                 pred: "r".into(),
-                args: vec![c(i), c(j)],
+                args: vec![c(rng.gen_range(0, 3)), c(rng.gen_range(0, 3))],
             }],
             body_pos: vec![],
             body_neg: vec![],
             disequalities: vec![],
-        }),
-    ]
+        }
+    }
 }
 
 /// A safe rule: positive body fixes the variables; head and negative body
 /// reuse them.
-fn arb_safe_rule(allow_neg: bool) -> impl Strategy<Value = DatalogRule> {
+fn random_safe_rule(rng: &mut XorShift64Star, allow_neg: bool) -> DatalogRule {
     // Body: r(X,Y) or p(X); head: one or two atoms over bound vars;
     // optional negated atom over bound vars.
-    let body_choice = 0usize..2;
-    let head_preds = proptest::collection::vec(0usize..3, 1..=2);
-    let neg = proptest::bool::ANY;
-    (body_choice, head_preds, neg).prop_map(move |(body_kind, heads, use_neg)| {
-        let (body_pos, bound): (Vec<PredAtom>, Vec<&str>) = if body_kind == 0 {
-            (
-                vec![PredAtom {
-                    pred: "r".into(),
-                    args: vec![Term::Var(VARS[0].into()), Term::Var(VARS[1].into())],
-                }],
-                vec![VARS[0], VARS[1]],
-            )
-        } else {
-            (
-                vec![PredAtom {
-                    pred: "p".into(),
-                    args: vec![Term::Var(VARS[0].into())],
-                }],
-                vec![VARS[0]],
-            )
-        };
-        let mk_head = |k: usize| -> PredAtom {
-            match k {
-                0 => PredAtom {
-                    pred: "q".into(),
-                    args: vec![Term::Var(bound[0].into())],
-                },
-                1 => PredAtom {
-                    pred: "s".into(),
-                    args: vec![Term::Var(bound[bound.len() - 1].into())],
-                },
-                _ => PredAtom {
-                    pred: "t".into(),
-                    args: vec![],
-                },
-            }
-        };
-        let head: Vec<PredAtom> = heads.into_iter().map(mk_head).collect();
-        let body_neg = if allow_neg && use_neg {
+    let body_kind = rng.gen_range(0, 2);
+    let (body_pos, bound): (Vec<PredAtom>, Vec<&str>) = if body_kind == 0 {
+        (
             vec![PredAtom {
+                pred: "r".into(),
+                args: vec![Term::Var(VARS[0].into()), Term::Var(VARS[1].into())],
+            }],
+            vec![VARS[0], VARS[1]],
+        )
+    } else {
+        (
+            vec![PredAtom {
+                pred: "p".into(),
+                args: vec![Term::Var(VARS[0].into())],
+            }],
+            vec![VARS[0]],
+        )
+    };
+    let mk_head = |k: usize| -> PredAtom {
+        match k {
+            0 => PredAtom {
                 pred: "q".into(),
                 args: vec![Term::Var(bound[0].into())],
-            }]
-        } else {
-            vec![]
-        };
-        DatalogRule {
-            head,
-            body_pos,
-            body_neg,
-            disequalities: vec![],
+            },
+            1 => PredAtom {
+                pred: "s".into(),
+                args: vec![Term::Var(bound[bound.len() - 1].into())],
+            },
+            _ => PredAtom {
+                pred: "t".into(),
+                args: vec![],
+            },
         }
-    })
+    };
+    let head: Vec<PredAtom> = (0..rng.gen_range_inclusive(1, 2))
+        .map(|_| mk_head(rng.gen_range(0, 3)))
+        .collect();
+    let body_neg = if allow_neg && rng.gen_bool(0.5) {
+        vec![PredAtom {
+            pred: "q".into(),
+            args: vec![Term::Var(bound[0].into())],
+        }]
+    } else {
+        vec![]
+    };
+    DatalogRule {
+        head,
+        body_pos,
+        body_neg,
+        disequalities: vec![],
+    }
 }
 
-fn arb_program(allow_neg: bool) -> impl Strategy<Value = DatalogProgram> {
-    (
-        proptest::collection::vec(arb_ground_fact(), 1..5),
-        proptest::collection::vec(arb_safe_rule(allow_neg), 1..4),
-    )
-        .prop_map(|(facts, rules)| DatalogProgram {
-            rules: facts.into_iter().chain(rules).collect(),
-        })
+fn random_program(rng: &mut XorShift64Star, allow_neg: bool) -> DatalogProgram {
+    let facts: Vec<DatalogRule> = (0..rng.gen_range(1, 5))
+        .map(|_| random_ground_fact(rng))
+        .collect();
+    let rules: Vec<DatalogRule> = (0..rng.gen_range(1, 4))
+        .map(|_| random_safe_rule(rng, allow_neg))
+        .collect();
+    DatalogProgram {
+        rules: facts.into_iter().chain(rules).collect(),
+    }
 }
 
 fn named_models(db: &Database, models: Vec<ddb_logic::Interpretation>) -> BTreeSet<Vec<String>> {
@@ -122,54 +125,76 @@ fn named_models(db: &Database, models: Vec<ddb_logic::Interpretation>) -> BTreeS
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(60))]
-
-    #[test]
-    fn stable_models_agree_full_vs_reduced(prog in arb_program(true)) {
+#[test]
+fn stable_models_agree_full_vs_reduced() {
+    let mut rng = XorShift64Star::seed_from_u64(0x6001);
+    for case in 0..CASES {
+        let prog = random_program(&mut rng, true);
         let full = ground_full(&prog, 100_000).unwrap();
         let reduced = ground_reduced(&prog, 100_000).unwrap();
         let mut cost = Cost::new();
-        prop_assert_eq!(
+        assert_eq!(
             named_models(&full, ddb_core::dsm::models(&full, &mut cost)),
-            named_models(&reduced, ddb_core::dsm::models(&reduced, &mut cost))
+            named_models(&reduced, ddb_core::dsm::models(&reduced, &mut cost)),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn minimal_models_agree_on_positive_programs(prog in arb_program(false)) {
+#[test]
+fn minimal_models_agree_on_positive_programs() {
+    let mut rng = XorShift64Star::seed_from_u64(0x6002);
+    for case in 0..CASES {
+        let prog = random_program(&mut rng, false);
         let full = ground_full(&prog, 100_000).unwrap();
         let reduced = ground_reduced(&prog, 100_000).unwrap();
         let mut cost = Cost::new();
-        prop_assert_eq!(
+        assert_eq!(
             named_models(&full, ddb_models::minimal::minimal_models(&full, &mut cost)),
-            named_models(&reduced, ddb_models::minimal::minimal_models(&reduced, &mut cost))
+            named_models(
+                &reduced,
+                ddb_models::minimal::minimal_models(&reduced, &mut cost)
+            ),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn possible_models_agree_on_positive_programs(prog in arb_program(false)) {
+#[test]
+fn possible_models_agree_on_positive_programs() {
+    let mut rng = XorShift64Star::seed_from_u64(0x6003);
+    for case in 0..CASES {
+        let prog = random_program(&mut rng, false);
         let full = ground_full(&prog, 100_000).unwrap();
         let reduced = ground_reduced(&prog, 100_000).unwrap();
         let mut cost = Cost::new();
-        prop_assert_eq!(
+        assert_eq!(
             named_models(&full, ddb_core::pws::models(&full, &mut cost)),
-            named_models(&reduced, ddb_core::pws::models(&reduced, &mut cost))
+            named_models(&reduced, ddb_core::pws::models(&reduced, &mut cost)),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn reduced_grounding_is_never_larger(prog in arb_program(true)) {
+#[test]
+fn reduced_grounding_is_never_larger() {
+    let mut rng = XorShift64Star::seed_from_u64(0x6004);
+    for case in 0..CASES {
+        let prog = random_program(&mut rng, true);
         let full = ground_full(&prog, 100_000).unwrap();
         let reduced = ground_reduced(&prog, 100_000).unwrap();
-        prop_assert!(reduced.len() <= full.len());
-        prop_assert!(reduced.num_atoms() <= full.num_atoms());
+        assert!(reduced.len() <= full.len(), "case {case}");
+        assert!(reduced.num_atoms() <= full.num_atoms(), "case {case}");
     }
+}
 
-    #[test]
-    fn grounding_is_deterministic(prog in arb_program(true)) {
+#[test]
+fn grounding_is_deterministic() {
+    let mut rng = XorShift64Star::seed_from_u64(0x6005);
+    for case in 0..CASES {
+        let prog = random_program(&mut rng, true);
         let a = ground_reduced(&prog, 100_000).unwrap();
         let b = ground_reduced(&prog, 100_000).unwrap();
-        prop_assert_eq!(a.rules(), b.rules());
+        assert_eq!(a.rules(), b.rules(), "case {case}");
     }
 }

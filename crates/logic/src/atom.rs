@@ -32,6 +32,7 @@ impl Atom {
 
     /// The negative literal over this atom.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Literal {
         Literal::negative(self)
     }

@@ -438,8 +438,8 @@ mod tests {
         );
         let strata = d.stratification().unwrap();
         assert_eq!(strata.len(), 4);
-        for i in 0..4 {
-            assert_eq!(strata[i], vec![a(i as u32)]);
+        for (i, stratum) in strata.iter().enumerate() {
+            assert_eq!(*stratum, vec![a(i as u32)]);
         }
     }
 

@@ -38,6 +38,7 @@ mod formula;
 mod interp;
 pub mod parse;
 mod partial;
+pub mod rng;
 mod rule;
 mod symbols;
 

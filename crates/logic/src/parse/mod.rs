@@ -70,9 +70,10 @@ pub fn display_database(db: &Database) -> String {
 
 /// Renders a formula in formula syntax using the names in `symbols`.
 pub fn display_formula(f: &Formula, symbols: &Symbols) -> String {
+    type Renderer<'a> = Box<dyn Fn(&mut String) + 'a>;
     fn go(f: &Formula, symbols: &Symbols, out: &mut String, prec: u8) {
         // Precedence levels: 0 iff, 1 implies, 2 or, 3 and, 4 not/atom.
-        let (level, render): (u8, Box<dyn Fn(&mut String) + '_>) = match f {
+        let (level, render): (u8, Renderer<'_>) = match f {
             Formula::True => (4, Box::new(|o: &mut String| o.push_str("true"))),
             Formula::False => (4, Box::new(|o: &mut String| o.push_str("false"))),
             Formula::Atom(a) => {

@@ -30,6 +30,7 @@ impl TruthValue {
 
     /// Three-valued negation: ¬1 = 0, ¬½ = ½, ¬0 = 1.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             TruthValue::False => TruthValue::True,

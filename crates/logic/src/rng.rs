@@ -1,0 +1,163 @@
+//! A small deterministic pseudo-random number generator (xorshift64*),
+//! replacing the external `rand` dependency so the workspace builds with no
+//! registry access.
+//!
+//! The generator is Marsaglia's xorshift64* — a 64-bit xorshift state
+//! followed by a multiplicative scramble. It is emphatically **not**
+//! cryptographic; it exists to drive workload generation and randomized
+//! tests, where the requirements are determinism across platforms, a full
+//! 2⁶⁴−1 period, and reasonable equidistribution. Seeds are pre-mixed with
+//! splitmix64 so that small consecutive seeds (0, 1, 2, …) yield unrelated
+//! streams.
+
+/// Deterministic xorshift64* PRNG.
+///
+/// ```
+/// use ddb_logic::rng::XorShift64Star;
+/// let mut a = XorShift64Star::seed_from_u64(42);
+/// let mut b = XorShift64Star::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+/// One round of splitmix64: mixes a seed into a well-distributed state.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl XorShift64Star {
+    /// Create a generator from a seed. Any seed is valid; equal seeds give
+    /// equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 maps exactly one input to 0; nudge that case since a
+        // zero xorshift state is a fixed point.
+        let mixed = splitmix64(seed);
+        XorShift64Star {
+            state: if mixed == 0 {
+                0x2545_F491_4F6C_DD1D
+            } else {
+                mixed
+            },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`. Panics if the
+    /// range is empty, matching `rand`'s `gen_range` contract.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "gen_range called with empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        // Debiased multiply-shift (Lemire): rejection keeps uniformity.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            let (hi128, lo128) = {
+                let wide = (r as u128) * (span as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo128 >= threshold {
+                return lo + hi128 as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in the closed range `[lo, hi]`.
+    pub fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "gen_range_inclusive with empty range {lo}..={hi}");
+        if lo == 0 && hi == usize::MAX {
+            return self.next_u64() as usize;
+        }
+        self.gen_range(lo, hi + 1)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64Star::seed_from_u64(7);
+        let mut b = XorShift64Star::seed_from_u64(7);
+        let mut c = XorShift64Star::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = XorShift64Star::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(10, 15);
+            assert!((10..15).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all range values reachable");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = XorShift64Star::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits} of 10000");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.1)));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = XorShift64Star::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShift64Star::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}

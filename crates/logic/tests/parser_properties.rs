@@ -1,76 +1,110 @@
-//! Property tests for the concrete syntax: the parser must never panic,
+//! Randomized tests for the concrete syntax: the parser must never panic,
 //! and display ∘ parse must be a semantic identity.
+//!
+//! These were formerly `proptest` properties; they now run on the in-repo
+//! deterministic PRNG so the suite needs no external crates. Each test
+//! draws a fixed number of cases from seeded streams, so failures are
+//! reproducible from the loop index alone.
 
 use ddb_logic::parse::{display_database, display_formula, parse_formula, parse_program};
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Database, Formula, Interpretation, Rule, Symbols};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(400))]
+/// A random string mixing arbitrary unicode scalars with grammar-adjacent
+/// ASCII, to reach deep parser states.
+fn random_string(rng: &mut XorShift64Star) -> String {
+    let len = rng.gen_range(0, 60);
+    (0..len)
+        .map(|_| match rng.gen_range(0, 4) {
+            0 => *rng.choose(&[
+                '.', ',', '|', ':', '-', '~', '(', ')', ' ', '\n', '\t', '"', '\\',
+            ]),
+            1 => (b'a' + rng.gen_range(0, 26) as u8) as char,
+            2 => char::from_u32(rng.gen_range(1, 0xD7FF) as u32).unwrap_or('x'),
+            _ => rng.gen_range(0, 0x80) as u8 as char,
+        })
+        .collect()
+}
 
-    /// Arbitrary input never panics the program parser.
-    #[test]
-    fn program_parser_total(input in "\\PC*") {
+/// Arbitrary input never panics the program parser.
+#[test]
+fn program_parser_total() {
+    let mut rng = XorShift64Star::seed_from_u64(0xA11CE);
+    for _ in 0..400 {
+        let input = random_string(&mut rng);
         let _ = parse_program(&input);
     }
+}
 
-    /// Arbitrary token soup (drawn from the grammar's alphabet) never
-    /// panics either — this exercises deeper parser states than fully
-    /// random bytes.
-    #[test]
-    fn program_parser_total_on_token_soup(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just(".".to_owned()),
-                Just(",".to_owned()),
-                Just("|".to_owned()),
-                Just(":-".to_owned()),
-                Just("not".to_owned()),
-                Just("~".to_owned()),
-                Just("(".to_owned()),
-                Just(")".to_owned()),
-                "[a-c]{1,2}".prop_map(|s| s),
-            ],
-            0..30
-        )
-    ) {
+/// Arbitrary token soup (drawn from the grammar's alphabet) never panics
+/// either — this exercises deeper parser states than fully random bytes.
+#[test]
+fn program_parser_total_on_token_soup() {
+    const TOKENS: [&str; 8] = [".", ",", "|", ":-", "not", "~", "(", ")"];
+    let mut rng = XorShift64Star::seed_from_u64(0x50FA);
+    for _ in 0..400 {
+        let n = rng.gen_range(0, 30);
+        let toks: Vec<String> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(8.0 / 9.0) {
+                    (*rng.choose(&TOKENS)).to_owned()
+                } else {
+                    // A short identifier over {a, b, c}.
+                    (0..rng.gen_range_inclusive(1, 2))
+                        .map(|_| (b'a' + rng.gen_range(0, 3) as u8) as char)
+                        .collect()
+                }
+            })
+            .collect();
         let _ = parse_program(&toks.join(" "));
     }
+}
 
-    /// Arbitrary input never panics the formula parser.
-    #[test]
-    fn formula_parser_total(input in "\\PC*") {
+/// Arbitrary input never panics the formula parser.
+#[test]
+fn formula_parser_total() {
+    let mut rng = XorShift64Star::seed_from_u64(0xF0121);
+    for _ in 0..400 {
+        let input = random_string(&mut rng);
         let symbols = Symbols::fresh(3);
         let _ = parse_formula(&input, &symbols);
     }
 }
 
-/// Random rule over 5 named atoms.
-fn arb_rule() -> impl Strategy<Value = Rule> {
-    let atoms = proptest::collection::vec(0u32..5, 0..=2);
-    (atoms.clone(), atoms.clone(), atoms).prop_filter_map("nonempty clause", |(h, bp, bn)| {
-        if h.is_empty() && bp.is_empty() && bn.is_empty() {
-            return None;
-        }
-        Some(Rule::new(
-            h.into_iter().map(Atom::new),
-            bp.into_iter().map(Atom::new),
-            bn.into_iter().map(Atom::new),
-        ))
-    })
+/// Random rule over 5 named atoms; `None` when all three parts came up
+/// empty (not a clause).
+fn random_rule(rng: &mut XorShift64Star) -> Option<Rule> {
+    let part = |rng: &mut XorShift64Star| -> Vec<u32> {
+        (0..rng.gen_range_inclusive(0, 2))
+            .map(|_| rng.gen_range(0, 5) as u32)
+            .collect()
+    };
+    let (h, bp, bn) = (part(rng), part(rng), part(rng));
+    if h.is_empty() && bp.is_empty() && bn.is_empty() {
+        return None;
+    }
+    Some(Rule::new(
+        h.into_iter().map(Atom::new),
+        bp.into_iter().map(Atom::new),
+        bn.into_iter().map(Atom::new),
+    ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// display ∘ parse is the identity on databases (up to the vocabulary
-    /// renaming induced by first-occurrence interning, which we normalize
-    /// by comparing rendered text fixpoints and model sets).
-    #[test]
-    fn database_display_parse_roundtrip(rules in proptest::collection::vec(arb_rule(), 1..8)) {
+/// display ∘ parse is the identity on databases (up to the vocabulary
+/// renaming induced by first-occurrence interning, which we normalize by
+/// comparing rendered text fixpoints and model sets).
+#[test]
+fn database_display_parse_roundtrip() {
+    let mut rng = XorShift64Star::seed_from_u64(0xDB0B);
+    for case in 0..200 {
         let mut db = Database::with_fresh_atoms(5);
-        for r in rules {
-            db.add_rule(r);
+        let want = rng.gen_range_inclusive(1, 7);
+        let mut added = 0;
+        while added < want {
+            if let Some(r) = random_rule(&mut rng) {
+                db.add_rule(r);
+                added += 1;
+            }
         }
         let text = display_database(&db);
         let db2 = parse_program(&text).expect("rendered text parses");
@@ -79,7 +113,7 @@ proptest! {
         // sorted-by-index disjunctions).
         let text2 = display_database(&db2);
         let db3 = parse_program(&text2).expect("re-rendered text parses");
-        prop_assert_eq!(display_database(&db3), text2);
+        assert_eq!(display_database(&db3), text2, "case {case}");
         // Same satisfaction behaviour under the name correspondence:
         // db2's atom k corresponds to the name it carries; build the
         // mapping and compare models brute-force.
@@ -93,42 +127,50 @@ proptest! {
                 (0..n as u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
             );
             let mut m2 = Interpretation::empty(db2.num_atoms());
-            for k in 0..db2.num_atoms() {
-                if let Some(orig) = map[k] {
+            for (k, &mapped) in map.iter().enumerate() {
+                if let Some(orig) = mapped {
                     if m1.contains(orig) {
                         m2.insert(Atom::new(k as u32));
                     }
                 }
             }
-            prop_assert_eq!(db.satisfied_by(&m1), db2.satisfied_by(&m2));
+            assert_eq!(db.satisfied_by(&m1), db2.satisfied_by(&m2), "case {case}");
         }
     }
 }
 
-/// Random formula over 4 atoms.
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0u32..4).prop_map(|i| Formula::Atom(Atom::new(i))),
-        Just(Formula::True),
-        Just(Formula::False),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.negated()),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
-        ]
-    })
+/// Random formula over 4 atoms with bounded connective depth.
+fn random_formula(rng: &mut XorShift64Star, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return match rng.gen_range(0, 6) {
+            0..=3 => Formula::Atom(Atom::new(rng.gen_range(0, 4) as u32)),
+            4 => Formula::True,
+            _ => Formula::False,
+        };
+    }
+    match rng.gen_range(0, 5) {
+        0 => random_formula(rng, depth - 1).negated(),
+        1 => Formula::And(
+            (0..rng.gen_range_inclusive(1, 2))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        2 => Formula::Or(
+            (0..rng.gen_range_inclusive(1, 2))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        3 => random_formula(rng, depth - 1).implies(random_formula(rng, depth - 1)),
+        _ => random_formula(rng, depth - 1).iff(random_formula(rng, depth - 1)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// display ∘ parse preserves formula semantics exactly.
-    #[test]
-    fn formula_display_parse_roundtrip(f in arb_formula()) {
+/// display ∘ parse preserves formula semantics exactly.
+#[test]
+fn formula_display_parse_roundtrip() {
+    let mut rng = XorShift64Star::seed_from_u64(0x4E57);
+    for case in 0..200 {
+        let f = random_formula(&mut rng, 4);
         let symbols = Symbols::fresh(4);
         let text = display_formula(&f, &symbols);
         let f2 = parse_formula(&text, &symbols).expect("rendered formula parses");
@@ -137,36 +179,44 @@ proptest! {
                 4,
                 (0..4u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
             );
-            prop_assert_eq!(f.eval(&m), f2.eval(&m), "text: {}", text);
+            assert_eq!(f.eval(&m), f2.eval(&m), "case {case}, text: {text}");
         }
     }
+}
 
-    /// NNF conversion preserves semantics on random formulas.
-    #[test]
-    fn nnf_preserves_semantics(f in arb_formula()) {
+/// NNF conversion preserves semantics on random formulas.
+#[test]
+fn nnf_preserves_semantics() {
+    let mut rng = XorShift64Star::seed_from_u64(0x22F);
+    for case in 0..200 {
+        let f = random_formula(&mut rng, 4);
         let g = f.to_nnf();
         for bits in 0u32..16 {
             let m = Interpretation::from_atoms(
                 4,
                 (0..4u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
             );
-            prop_assert_eq!(f.eval(&m), g.eval(&m));
+            assert_eq!(f.eval(&m), g.eval(&m), "case {case}");
         }
     }
+}
 
-    /// Simplification preserves semantics, never grows the formula, and
-    /// is idempotent.
-    #[test]
-    fn simplify_preserves_semantics(f in arb_formula()) {
+/// Simplification preserves semantics, never grows the formula, and is
+/// idempotent.
+#[test]
+fn simplify_preserves_semantics() {
+    let mut rng = XorShift64Star::seed_from_u64(0x51289);
+    for case in 0..200 {
+        let f = random_formula(&mut rng, 4);
         let g = f.simplify();
-        prop_assert!(g.size() <= f.size());
-        prop_assert_eq!(g.simplify(), g.clone());
+        assert!(g.size() <= f.size(), "case {case}");
+        assert_eq!(g.simplify(), g.clone(), "case {case}");
         for bits in 0u32..16 {
             let m = Interpretation::from_atoms(
                 4,
                 (0..4u32).filter(|&i| bits >> i & 1 == 1).map(Atom::new),
             );
-            prop_assert_eq!(f.eval(&m), g.eval(&m));
+            assert_eq!(f.eval(&m), g.eval(&m), "case {case}");
         }
     }
 }

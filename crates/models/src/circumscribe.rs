@@ -49,6 +49,7 @@ pub fn holds_in_all_pz_minimal_models(
     f: &Formula,
     cost: &mut Cost,
 ) -> bool {
+    let _span = ddb_obs::span("models.circ.holds_in_all");
     let n = db.num_atoms();
     // Candidate source: DB ∧ ¬F (Tseitin over an extended vocabulary).
     let mut b = CnfBuilder::new(n);
@@ -66,6 +67,7 @@ pub fn holds_in_all_pz_minimal_models(
             return true;
         }
         cost.candidates += 1;
+        ddb_obs::counter_add("models.circ.candidates", 1);
         let m = project(&candidates.model(), n);
         debug_assert!(db.satisfied_by(&m));
         debug_assert!(!f.eval(&m));
@@ -133,6 +135,7 @@ pub fn find_pz_minimal_model_satisfying(
     f: &Formula,
     cost: &mut Cost,
 ) -> Option<Interpretation> {
+    let _span = ddb_obs::span("models.circ.find_model");
     let n = db.num_atoms();
     let mut b = CnfBuilder::new(n);
     b.add_database(db);
@@ -149,6 +152,7 @@ pub fn find_pz_minimal_model_satisfying(
             return None;
         }
         cost.candidates += 1;
+        ddb_obs::counter_add("models.circ.candidates", 1);
         let m = project(&candidates.model(), n);
         let minimal = minimizer.minimize(&m, cost);
         let same_signature =

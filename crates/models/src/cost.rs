@@ -26,6 +26,9 @@ pub struct Cost {
     pub conflicts: u64,
     /// Aggregated SAT propagations.
     pub propagations: u64,
+    /// High-water mark of clauses resident in any absorbed solver — a
+    /// gauge (merged via `max`, not summed).
+    pub peak_clauses: u64,
 }
 
 impl Cost {
@@ -41,6 +44,7 @@ impl Cost {
         self.decisions += s.decisions;
         self.conflicts += s.conflicts;
         self.propagations += s.propagations;
+        self.peak_clauses = self.peak_clauses.max(s.max_clauses);
     }
 
     /// Adds another cost record into this one.
@@ -50,6 +54,7 @@ impl Cost {
         self.decisions += other.decisions;
         self.conflicts += other.conflicts;
         self.propagations += other.propagations;
+        self.peak_clauses = self.peak_clauses.max(other.peak_clauses);
     }
 }
 

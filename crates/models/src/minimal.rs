@@ -80,9 +80,11 @@ impl Minimizer {
                 assumptions.push(a.neg());
             }
         }
+        ddb_obs::counter_add("models.minimal.shrink_steps", 1);
         let before = self.solver.stats();
         let sat = self.solver.solve_with_assumptions(&assumptions).is_sat();
         let after = self.solver.stats();
+        cost.peak_clauses = cost.peak_clauses.max(after.max_clauses);
         cost.sat_calls += after.solves - before.solves;
         cost.decisions += after.decisions - before.decisions;
         cost.conflicts += after.conflicts - before.conflicts;
@@ -113,6 +115,7 @@ pub fn shrink_step(
     cost: &mut Cost,
 ) -> Option<Interpretation> {
     debug_assert!(db.satisfied_by(m), "shrink_step requires a model");
+    ddb_obs::counter_add("models.minimal.shrink_steps", 1);
     let n = db.num_atoms();
     let mut solver = Solver::from_cnf(&database_to_cnf(db));
     solver.ensure_vars(n);
@@ -148,6 +151,7 @@ pub fn is_pz_minimal_model(
     part: &Partition,
     cost: &mut Cost,
 ) -> bool {
+    ddb_obs::counter_add("models.minimal.checks", 1);
     db.satisfied_by(m) && shrink_step(db, m, part, cost).is_none()
 }
 
@@ -214,6 +218,7 @@ pub fn some_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretati
 /// Minimization runs against `DB` alone (fresh solver) so blocking clauses
 /// cannot strand it at a non-minimal point.
 pub fn minimal_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("models.minimal.enumerate");
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);
@@ -248,6 +253,7 @@ pub fn minimal_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
 /// the worst case — the callers that only need *inference* use the CEGAR
 /// loop in [`crate::circumscribe`] instead.
 pub fn pz_minimal_models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+    let _span = ddb_obs::span("models.minimal.enumerate_pz");
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);

@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn matches_brute_on_random_hypergraphs() {
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x123456789ABCDEFu64;
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;

@@ -1,170 +1,239 @@
-//! Property-based cross-checks: every oracle-based procedure in
-//! `ddb-models` must agree with the brute-force definitions on random
-//! small databases.
+//! Randomized cross-checks: every oracle-based procedure in `ddb-models`
+//! must agree with the brute-force definitions on random small databases.
+//! Driven by the in-repo deterministic PRNG (formerly proptest).
 
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Database, Formula, Rule};
 use ddb_models::{brute, circumscribe, classical, fixpoint, minimal, Cost, Partition};
-use proptest::prelude::*;
 
 const N: usize = 5;
+const CASES: usize = 150;
 
 /// Random rule over `N` atoms. `allow_neg`/`allow_integrity` gate the
 /// syntactic class.
-fn arb_rule(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Rule> {
-    let head = proptest::collection::vec(0u32..N as u32, usize::from(!allow_integrity)..=2);
-    let body_pos = proptest::collection::vec(0u32..N as u32, 0..=2);
-    let body_neg = proptest::collection::vec(0u32..N as u32, 0..=(2 * usize::from(allow_neg)));
-    (head, body_pos, body_neg).prop_map(|(h, bp, bn)| {
-        Rule::new(
-            h.into_iter().map(Atom::new),
-            bp.into_iter().map(Atom::new),
-            bn.into_iter().map(Atom::new),
-        )
-    })
+fn random_rule(rng: &mut XorShift64Star, allow_neg: bool, allow_integrity: bool) -> Rule {
+    let lo = usize::from(!allow_integrity);
+    let h: Vec<u32> = (0..rng.gen_range_inclusive(lo, 2))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    let bp: Vec<u32> = (0..rng.gen_range_inclusive(0, 2))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    let bn: Vec<u32> = (0..rng.gen_range_inclusive(0, 2 * usize::from(allow_neg)))
+        .map(|_| rng.gen_range(0, N) as u32)
+        .collect();
+    Rule::new(
+        h.into_iter().map(Atom::new),
+        bp.into_iter().map(Atom::new),
+        bn.into_iter().map(Atom::new),
+    )
 }
 
-fn arb_db(allow_neg: bool, allow_integrity: bool) -> impl Strategy<Value = Database> {
-    proptest::collection::vec(arb_rule(allow_neg, allow_integrity), 0..8).prop_map(|rules| {
-        let mut db = Database::with_fresh_atoms(N);
-        for r in rules {
-            db.add_rule(r);
-        }
-        db
-    })
+fn random_db(rng: &mut XorShift64Star, allow_neg: bool, allow_integrity: bool) -> Database {
+    let mut db = Database::with_fresh_atoms(N);
+    for _ in 0..rng.gen_range(0, 8) {
+        db.add_rule(random_rule(rng, allow_neg, allow_integrity));
+    }
+    db
 }
 
 /// Random formula of depth ≤ 3 over the first `N` atoms.
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0u32..N as u32).prop_map(|i| Formula::Atom(Atom::new(i))),
-        Just(Formula::True),
-        Just(Formula::False),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.negated()),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
-        ]
-    })
+fn random_formula(rng: &mut XorShift64Star, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0, 7) {
+            0..=4 => Formula::Atom(Atom::new(rng.gen_range(0, N) as u32)),
+            5 => Formula::True,
+            _ => Formula::False,
+        };
+    }
+    match rng.gen_range(0, 5) {
+        0 => random_formula(rng, depth - 1).negated(),
+        1 => Formula::And(
+            (0..rng.gen_range_inclusive(1, 2))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        2 => Formula::Or(
+            (0..rng.gen_range_inclusive(1, 2))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        3 => random_formula(rng, depth - 1).implies(random_formula(rng, depth - 1)),
+        _ => random_formula(rng, depth - 1).iff(random_formula(rng, depth - 1)),
+    }
 }
 
 /// Random partition of the `N` atoms into P/Q/Z.
-fn arb_partition() -> impl Strategy<Value = Partition> {
-    proptest::collection::vec(0u8..3, N).prop_map(|assignment| {
-        let p = (0..N)
-            .filter(|&i| assignment[i] == 0)
-            .map(|i| Atom::new(i as u32));
-        let q = (0..N)
-            .filter(|&i| assignment[i] == 1)
-            .map(|i| Atom::new(i as u32));
-        Partition::from_p_q(N, p, q)
-    })
+fn random_partition(rng: &mut XorShift64Star) -> Partition {
+    let assignment: Vec<u8> = (0..N).map(|_| rng.gen_range(0, 3) as u8).collect();
+    let p = (0..N)
+        .filter(|&i| assignment[i] == 0)
+        .map(|i| Atom::new(i as u32));
+    let q = (0..N)
+        .filter(|&i| assignment[i] == 1)
+        .map(|i| Atom::new(i as u32));
+    Partition::from_p_q(N, p, q)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn sat_models_match_brute(db in arb_db(true, true)) {
+#[test]
+fn sat_models_match_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB01);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
-        prop_assert_eq!(classical::all_models(&db, &mut cost), brute::models(&db));
+        assert_eq!(
+            classical::all_models(&db, &mut cost),
+            brute::models(&db),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn minimal_models_match_brute(db in arb_db(true, true)) {
+#[test]
+fn minimal_models_match_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB02);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
-        prop_assert_eq!(
+        assert_eq!(
             minimal::minimal_models(&db, &mut cost),
-            brute::minimal_models(&db)
+            brute::minimal_models(&db),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn pz_minimal_models_match_brute(db in arb_db(true, true), part in arb_partition()) {
+#[test]
+fn pz_minimal_models_match_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB03);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let part = random_partition(&mut rng);
         let mut cost = Cost::new();
-        prop_assert_eq!(
+        assert_eq!(
             minimal::pz_minimal_models(&db, &part, &mut cost),
-            brute::pz_minimal_models(&db, &part)
+            brute::pz_minimal_models(&db, &part),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn minimize_lands_on_brute_minimal(db in arb_db(true, true)) {
+#[test]
+fn minimize_lands_on_brute_minimal() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB04);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
         if let Some(m) = classical::some_model(&db, &mut cost) {
             let minimal = minimal::minimize(&db, &m, &mut cost);
-            prop_assert!(brute::minimal_models(&db).contains(&minimal));
-            prop_assert!(minimal.is_subset(&m));
+            assert!(brute::minimal_models(&db).contains(&minimal), "case {case}");
+            assert!(minimal.is_subset(&m), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn cegar_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn cegar_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB05);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let mut cost = Cost::new();
         let expected = brute::holds_in_all(&brute::minimal_models(&db), &f);
-        prop_assert_eq!(
+        assert_eq!(
             circumscribe::holds_in_all_minimal_models(&db, &f, &mut cost),
-            expected
+            expected,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn cegar_pz_matches_brute(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+#[test]
+fn cegar_pz_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB06);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
+        let part = random_partition(&mut rng);
         let mut cost = Cost::new();
         let expected = brute::holds_in_all(&brute::pz_minimal_models(&db, &part), &f);
-        prop_assert_eq!(
+        assert_eq!(
             circumscribe::holds_in_all_pz_minimal_models(&db, &part, &f, &mut cost),
-            expected
+            expected,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn cegar_witness_is_sound_and_complete(db in arb_db(true, true), f in arb_formula(), part in arb_partition()) {
+#[test]
+fn cegar_witness_is_sound_and_complete() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB07);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
+        let part = random_partition(&mut rng);
         let mut cost = Cost::new();
         let witness = circumscribe::find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost);
         let reference = brute::pz_minimal_models(&db, &part);
         match witness {
             Some(w) => {
-                prop_assert!(f.eval(&w));
-                prop_assert!(reference.contains(&w));
+                assert!(f.eval(&w), "case {case}");
+                assert!(reference.contains(&w), "case {case}");
             }
-            None => prop_assert!(!reference.iter().any(|m| f.eval(m))),
+            None => assert!(!reference.iter().any(|m| f.eval(m)), "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn active_atoms_match_explicit_fixpoint(db in arb_db(false, true)) {
+#[test]
+fn active_atoms_match_explicit_fixpoint() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB08);
+    for case in 0..CASES {
         // Positive databases only (DDR's domain). Cap generously; the
         // random instances are tiny.
+        let db = random_db(&mut rng, false, true);
         if let Some(state) = fixpoint::model_state(&db, 50_000) {
-            prop_assert_eq!(
+            assert_eq!(
                 fixpoint::atoms_of_state(&state, db.num_atoms()),
-                fixpoint::active_atoms(&db)
+                fixpoint::active_atoms(&db),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn entailment_matches_brute(db in arb_db(true, true), f in arb_formula()) {
+#[test]
+fn entailment_matches_brute() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB09);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let f = random_formula(&mut rng, 3);
         let mut cost = Cost::new();
         let expected = brute::holds_in_all(&brute::models(&db), &f);
-        prop_assert_eq!(classical::entails(&db, &[], &f, &mut cost), expected);
+        assert_eq!(
+            classical::entails(&db, &[], &f, &mut cost),
+            expected,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn componentwise_enumeration_matches_direct(db in arb_db(true, true)) {
+#[test]
+fn componentwise_enumeration_matches_direct() {
+    let mut rng = XorShift64Star::seed_from_u64(0xB0A);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
         let direct = minimal::minimal_models(&db, &mut cost);
-        prop_assert_eq!(
+        assert_eq!(
             ddb_models::components::minimal_models_componentwise(&db, &mut cost),
-            direct.clone()
+            direct.clone(),
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             ddb_models::components::count_minimal_models(&db, &mut cost),
-            direct.len() as u128
+            direct.len() as u128,
+            "case {case}"
         );
     }
 }

@@ -1,0 +1,146 @@
+//! Named monotonic counters with a process-global registry.
+//!
+//! Counters are the cheap, always-on half of the observability layer: every
+//! oracle invocation, propagation, and model enumeration bumps one. Names are
+//! dot-separated taxonomies (`sat.solves`, `models.circ.candidates`,
+//! `span.gcwa.infers_literal.ns`) documented in `docs/OBSERVABILITY.md`.
+//!
+//! The registry is a `Mutex<BTreeMap>` — deliberately boring. Exact per-call
+//! figures used in answers come from the thread-local `Cost`/`Stats`
+//! structures; the global registry feeds human-facing `--stats` tables and
+//! `--trace-json` files, where cross-thread interleaving is acceptable.
+
+use crate::json::Json;
+use crate::sink::{emit, Event};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+fn with_counters<R>(f: impl FnOnce(&mut BTreeMap<String, u64>) -> R) -> R {
+    // Counter updates cannot panic while the lock is held, so a poisoned
+    // mutex only ever carries valid data; recover rather than propagate.
+    let mut guard = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard)
+}
+
+/// Add `delta` to the named counter, creating it at zero if absent.
+pub fn counter_add(name: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    let total = with_counters(|map| {
+        let slot = map.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+        *slot
+    });
+    emit(|| Event::Counter {
+        name: name.to_owned(),
+        delta,
+        total,
+    });
+}
+
+/// Raise the named counter to at least `value` (a high-water-mark gauge,
+/// e.g. peak clause count).
+pub fn counter_max(name: &str, value: u64) {
+    let changed = with_counters(|map| {
+        let slot = map.entry(name.to_owned()).or_insert(0);
+        if value > *slot {
+            *slot = value;
+            true
+        } else {
+            false
+        }
+    });
+    if changed {
+        emit(|| Event::Counter {
+            name: name.to_owned(),
+            delta: 0,
+            total: value,
+        });
+    }
+}
+
+/// Read one counter (zero if it was never touched).
+pub fn counter_value(name: &str) -> u64 {
+    with_counters(|map| map.get(name).copied().unwrap_or(0))
+}
+
+/// Reset the whole registry. Used by the CLI between independent runs and by
+/// tests; library code should prefer [`CounterSnapshot::diff`].
+pub fn reset_counters() {
+    with_counters(|map| map.clear());
+}
+
+/// An immutable copy of the registry at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: BTreeMap<String, u64>,
+}
+
+/// Capture the current state of every counter.
+pub fn snapshot() -> CounterSnapshot {
+    CounterSnapshot {
+        values: with_counters(|map| map.clone()),
+    }
+}
+
+impl CounterSnapshot {
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Counters gained since `earlier` (saturating; counters reset in
+    /// between show as zero, not underflow). Gauges (`*.peak`) keep their
+    /// later absolute value since a high-water mark has no meaningful delta.
+    pub fn diff(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, &now) in &self.values {
+            let delta = if name.ends_with(".peak") {
+                now
+            } else {
+                now.saturating_sub(earlier.get(name))
+            };
+            if delta > 0 {
+                values.insert(name.clone(), delta);
+            }
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Render as a JSON object `{name: value, ...}` (keys sorted).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.values
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                .collect(),
+        )
+    }
+
+    /// Render as an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        let width = self
+            .values
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(7);
+        let mut out = String::new();
+        out.push_str(&format!("{:width$}  value\n", "counter"));
+        for (name, value) in &self.values {
+            out.push_str(&format!("{name:width$}  {value}\n"));
+        }
+        out
+    }
+}

@@ -1,0 +1,48 @@
+//! `ddb-obs` — zero-dependency observability for the disjunctive-database
+//! workspace.
+//!
+//! Eiter & Gottlob's complexity tables (PODS 1993) classify each
+//! (semantics, problem) pair by its position in the polynomial hierarchy,
+//! and the operational signature of those classes in this engine is *how
+//! many NP-oracle (SAT) calls* each decision procedure makes. This crate is
+//! the single instrumentation contract the rest of the workspace reports
+//! against:
+//!
+//! - **Counters** ([`counter_add`], [`counter_max`], [`snapshot`]) — named
+//!   monotonic totals and high-water gauges, e.g. `sat.solves`,
+//!   `models.circ.candidates`, `sat.clauses.peak`.
+//! - **Spans** ([`span`], [`time`]) — RAII-guarded hierarchical timing for
+//!   decision procedures, e.g. `gcwa.infers_literal`. Each span contributes
+//!   `span.<name>.calls` and `span.<name>.ns` counters.
+//! - **Sink** ([`set_sink`], [`MemorySink`]) — an optional structured event
+//!   stream of every span transition and counter update, for traces.
+//! - **JSON** ([`json::Json`], [`json::parse`]) — a hand-rolled writer and
+//!   parser so traces and metrics serialize with no external crates.
+//!
+//! The taxonomy of counter and span names, and the mapping from observed
+//! oracle-call patterns back to the paper's complexity classes, is
+//! documented in `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//!
+//! ```
+//! let before = ddb_obs::snapshot();
+//! {
+//!     let _outer = ddb_obs::span("example.outer");
+//!     ddb_obs::counter_add("example.oracle_calls", 3);
+//! }
+//! let spent = ddb_obs::snapshot().diff(&before);
+//! assert_eq!(spent.get("example.oracle_calls"), 3);
+//! assert_eq!(spent.get("span.example.outer.calls"), 1);
+//! ```
+
+pub mod counters;
+pub mod json;
+pub mod sink;
+pub mod span;
+
+pub use counters::{
+    counter_add, counter_max, counter_value, reset_counters, snapshot, CounterSnapshot,
+};
+pub use sink::{check_span_nesting, clear_sink, set_sink, Event, MemorySink, Sink};
+pub use span::{current_depth, now_ns, span, time, SpanGuard};

@@ -1,0 +1,177 @@
+//! Structured event sink: an optional process-global subscriber that
+//! receives every span transition and counter update as a typed [`Event`].
+//!
+//! When no sink is installed (the default), event construction is skipped
+//! entirely — [`emit`] takes a closure and checks an atomic flag first, so
+//! the hot path costs one relaxed load.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    SpanEnter {
+        name: String,
+        depth: usize,
+        at_ns: u64,
+    },
+    SpanExit {
+        name: String,
+        depth: usize,
+        dur_ns: u64,
+    },
+    Counter {
+        name: String,
+        delta: u64,
+        total: u64,
+    },
+}
+
+impl Event {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::SpanEnter { name, depth, at_ns } => Json::obj([
+                ("type", Json::Str("span_enter".into())),
+                ("name", Json::Str(name.clone())),
+                ("depth", Json::UInt(*depth as u64)),
+                ("at_ns", Json::UInt(*at_ns)),
+            ]),
+            Event::SpanExit {
+                name,
+                depth,
+                dur_ns,
+            } => Json::obj([
+                ("type", Json::Str("span_exit".into())),
+                ("name", Json::Str(name.clone())),
+                ("depth", Json::UInt(*depth as u64)),
+                ("dur_ns", Json::UInt(*dur_ns)),
+            ]),
+            Event::Counter { name, delta, total } => Json::obj([
+                ("type", Json::Str("counter".into())),
+                ("name", Json::Str(name.clone())),
+                ("delta", Json::UInt(*delta)),
+                ("total", Json::UInt(*total)),
+            ]),
+        }
+    }
+}
+
+/// A subscriber for [`Event`]s. Implementations must be cheap and must not
+/// call back into the observability layer (no counters, no spans) or they
+/// will recurse.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+}
+
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+
+/// Install a process-global sink, replacing any previous one.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(sink);
+    SINK_INSTALLED.store(true, Ordering::Release);
+}
+
+/// Remove the installed sink, if any.
+pub fn clear_sink() {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    SINK_INSTALLED.store(false, Ordering::Release);
+    *slot = None;
+}
+
+/// Deliver an event to the sink, constructing it only if one is installed.
+pub fn emit(make: impl FnOnce() -> Event) {
+    if !SINK_INSTALLED.load(Ordering::Acquire) {
+        return;
+    }
+    let sink = {
+        let slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+        slot.clone()
+    };
+    if let Some(sink) = sink {
+        sink.record(&make());
+    }
+}
+
+/// An in-memory sink that buffers every event; the workhorse for tests and
+/// for `--trace-json`.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Copy out the buffered events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drain the buffer, returning everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+/// Check that a sequence of span events is properly nested: every exit
+/// matches the most recent unmatched enter, and depths are consistent.
+/// Returns the number of matched enter/exit pairs, or an error description.
+pub fn check_span_nesting(events: &[Event]) -> Result<usize, String> {
+    let mut stack: Vec<(&str, usize)> = Vec::new();
+    let mut matched = 0;
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::SpanEnter { name, depth, .. } => {
+                if *depth != stack.len() {
+                    return Err(format!(
+                        "event {i}: enter '{name}' at depth {depth}, expected {}",
+                        stack.len()
+                    ));
+                }
+                stack.push((name, *depth));
+            }
+            Event::SpanExit { name, depth, .. } => match stack.pop() {
+                Some((top, top_depth)) if top == name && top_depth == *depth => {
+                    matched += 1;
+                }
+                Some((top, _)) => {
+                    return Err(format!(
+                        "event {i}: exit '{name}' but top of stack is '{top}'"
+                    ))
+                }
+                None => return Err(format!("event {i}: exit '{name}' with empty stack")),
+            },
+            Event::Counter { .. } => {}
+        }
+    }
+    if let Some((open, _)) = stack.last() {
+        return Err(format!("span '{open}' never exited"));
+    }
+    Ok(matched)
+}

@@ -1,0 +1,92 @@
+//! Hierarchical timing spans with RAII guards.
+//!
+//! A span brackets one decision procedure: entering pushes onto a
+//! thread-local stack (so nesting depth is race-free), and dropping the
+//! guard pops it, accumulates `span.<name>.calls` and `span.<name>.ns`
+//! counters, and reports enter/exit events to the installed sink.
+
+use crate::counters::counter_add;
+use crate::sink::{emit, Event};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Nanoseconds since the first observability call in this process. Only
+/// differences are meaningful.
+pub fn now_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Current span nesting depth on this thread (0 outside any span).
+pub fn current_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// Enter a named span; the returned guard closes it on drop.
+pub fn span(name: &'static str) -> SpanGuard {
+    let depth = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        stack.len() - 1
+    });
+    emit(|| Event::SpanEnter {
+        name: name.to_owned(),
+        depth,
+        at_ns: now_ns(),
+    });
+    SpanGuard {
+        name,
+        depth,
+        started: Instant::now(),
+    }
+}
+
+/// RAII guard returned by [`span`]. Spans must be dropped in LIFO order
+/// (guaranteed by normal scoping); out-of-order drops are a bug and panic in
+/// debug builds.
+pub struct SpanGuard {
+    name: &'static str,
+    depth: usize,
+    started: Instant,
+}
+
+impl SpanGuard {
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let popped = STACK.with(|s| s.borrow_mut().pop());
+        debug_assert_eq!(
+            popped,
+            Some(self.name),
+            "span guards dropped out of LIFO order"
+        );
+        let dur_ns = self.started.elapsed().as_nanos() as u64;
+        counter_add(&format!("span.{}.calls", self.name), 1);
+        counter_add(&format!("span.{}.ns", self.name), dur_ns.max(1));
+        emit(|| Event::SpanExit {
+            name: self.name.to_owned(),
+            depth: self.depth,
+            dur_ns,
+        });
+    }
+}
+
+/// Time a closure under a named span and return its result.
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = span(name);
+    f()
+}

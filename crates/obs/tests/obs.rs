@@ -1,0 +1,227 @@
+//! Integration tests for the observability layer: counter arithmetic, span
+//! nesting well-formedness, sink delivery, and the JSON contract.
+//!
+//! The counter registry and sink are process-global, so every test that
+//! touches them serializes on `GUARD`.
+
+use ddb_obs::json::{self, Json};
+use ddb_obs::{
+    check_span_nesting, clear_sink, counter_add, counter_max, set_sink, snapshot, span,
+    CounterSnapshot, Event, MemorySink,
+};
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn counters_accumulate_and_diff() {
+    let _g = lock();
+    let before = snapshot();
+    counter_add("test.alpha", 2);
+    counter_add("test.alpha", 3);
+    counter_max("test.gauge.peak", 10);
+    counter_max("test.gauge.peak", 7); // lower: no change
+    let spent = snapshot().diff(&before);
+    assert_eq!(spent.get("test.alpha"), 5);
+    assert!(spent.get("test.gauge.peak") >= 10);
+    assert_eq!(spent.get("test.never_touched"), 0);
+}
+
+#[test]
+fn snapshot_diff_drops_zero_deltas() {
+    let _g = lock();
+    counter_add("test.static", 1);
+    let before = snapshot();
+    let spent = snapshot().diff(&before);
+    assert_eq!(spent.get("test.static"), 0);
+}
+
+#[test]
+fn span_nesting_depth_tracks_scope() {
+    let _g = lock();
+    assert_eq!(ddb_obs::current_depth(), 0);
+    {
+        let outer = span("test.outer");
+        assert_eq!(outer.depth(), 0);
+        assert_eq!(ddb_obs::current_depth(), 1);
+        {
+            let inner = span("test.inner");
+            assert_eq!(inner.depth(), 1);
+            assert_eq!(ddb_obs::current_depth(), 2);
+        }
+        assert_eq!(ddb_obs::current_depth(), 1);
+    }
+    assert_eq!(ddb_obs::current_depth(), 0);
+}
+
+#[test]
+fn spans_report_calls_and_time() {
+    let _g = lock();
+    let before = snapshot();
+    for _ in 0..3 {
+        let _s = span("test.timed");
+    }
+    let spent = snapshot().diff(&before);
+    assert_eq!(spent.get("span.test.timed.calls"), 3);
+    assert!(
+        spent.get("span.test.timed.ns") >= 3,
+        "durations are >= 1ns each"
+    );
+}
+
+#[test]
+fn sink_sees_well_formed_nesting() {
+    let _g = lock();
+    let sink = MemorySink::new();
+    set_sink(sink.clone());
+    {
+        let _a = span("test.sink.a");
+        {
+            let _b = span("test.sink.b");
+        }
+        {
+            let _c = span("test.sink.c");
+        }
+    }
+    clear_sink();
+    let events: Vec<Event> = sink
+        .take()
+        .into_iter()
+        .filter(|e| match e {
+            Event::SpanEnter { name, .. } | Event::SpanExit { name, .. } => {
+                name.starts_with("test.sink.")
+            }
+            Event::Counter { .. } => false,
+        })
+        .collect();
+    let matched = check_span_nesting(&events).expect("nesting well-formed");
+    assert_eq!(matched, 3);
+    // Exit durations are present and ordering is enter-a, enter-b, exit-b,
+    // enter-c, exit-c, exit-a.
+    let names: Vec<(bool, &str)> = events
+        .iter()
+        .map(|e| match e {
+            Event::SpanEnter { name, .. } => (true, name.as_str()),
+            Event::SpanExit { name, .. } => (false, name.as_str()),
+            Event::Counter { .. } => unreachable!(),
+        })
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            (true, "test.sink.a"),
+            (true, "test.sink.b"),
+            (false, "test.sink.b"),
+            (true, "test.sink.c"),
+            (false, "test.sink.c"),
+            (false, "test.sink.a"),
+        ]
+    );
+}
+
+#[test]
+fn check_span_nesting_rejects_malformed() {
+    let enter = |name: &str, depth: usize| Event::SpanEnter {
+        name: name.into(),
+        depth,
+        at_ns: 0,
+    };
+    let exit = |name: &str, depth: usize| Event::SpanExit {
+        name: name.into(),
+        depth,
+        dur_ns: 1,
+    };
+    assert!(check_span_nesting(&[exit("a", 0)]).is_err());
+    assert!(check_span_nesting(&[enter("a", 0)]).is_err());
+    assert!(check_span_nesting(&[enter("a", 0), exit("b", 0)]).is_err());
+    assert!(check_span_nesting(&[enter("a", 1), exit("a", 1)]).is_err());
+    assert_eq!(
+        check_span_nesting(&[enter("a", 0), enter("b", 1), exit("b", 1), exit("a", 0)]),
+        Ok(2)
+    );
+}
+
+#[test]
+fn counter_events_reach_sink_with_totals() {
+    let _g = lock();
+    let sink = MemorySink::new();
+    set_sink(sink.clone());
+    counter_add("test.evt", 4);
+    counter_add("test.evt", 2);
+    clear_sink();
+    let deltas: Vec<(u64, u64)> = sink
+        .take()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Counter { name, delta, total } if name == "test.evt" => Some((delta, total)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(deltas.len(), 2);
+    assert_eq!(deltas[0].0, 4);
+    assert_eq!(deltas[1].0, 2);
+    assert_eq!(deltas[1].1, deltas[0].1 + 2);
+}
+
+#[test]
+fn snapshot_json_roundtrips_through_parser() {
+    let _g = lock();
+    let before = snapshot();
+    counter_add("test.json.a", 1);
+    counter_add("test.json.b", 99);
+    let spent = snapshot().diff(&before);
+    let text = spent.to_json().render();
+    let parsed = json::parse(&text).expect("snapshot renders valid JSON");
+    assert_eq!(parsed.get("test.json.a").and_then(Json::as_u64), Some(1));
+    assert_eq!(parsed.get("test.json.b").and_then(Json::as_u64), Some(99));
+}
+
+#[test]
+fn event_json_roundtrips_through_parser() {
+    let events = [
+        Event::SpanEnter {
+            name: "x".into(),
+            depth: 0,
+            at_ns: 123,
+        },
+        Event::SpanExit {
+            name: "x".into(),
+            depth: 0,
+            dur_ns: 456,
+        },
+        Event::Counter {
+            name: "sat.solves".into(),
+            delta: 1,
+            total: 7,
+        },
+    ];
+    let doc = Json::Arr(events.iter().map(Event::to_json).collect());
+    let parsed = json::parse(&doc.render()).expect("valid JSON");
+    let arr = parsed.as_arr().unwrap();
+    assert_eq!(arr.len(), 3);
+    assert_eq!(
+        arr[0].get("type").and_then(Json::as_str),
+        Some("span_enter")
+    );
+    assert_eq!(arr[1].get("dur_ns").and_then(Json::as_u64), Some(456));
+    assert_eq!(arr[2].get("total").and_then(Json::as_u64), Some(7));
+}
+
+#[test]
+fn render_table_is_aligned() {
+    // Build via diff of a live registry to keep the type's invariants.
+    let snap: CounterSnapshot = {
+        let _g = lock();
+        let before = snapshot();
+        counter_add("test.table.long_counter_name", 12);
+        counter_add("test.t", 3);
+        snapshot().diff(&before)
+    };
+    let table = snap.render_table();
+    assert!(table.contains("test.table.long_counter_name"));
+    assert!(table.lines().count() >= 3);
+}

@@ -11,6 +11,7 @@ use ddb_logic::{Atom, Interpretation, Literal};
 
 /// Decision procedure: is `cnf` satisfiable? Returns a model if so.
 pub fn solve(cnf: &Cnf) -> Option<Interpretation> {
+    ddb_obs::counter_add("sat.dpll.solves", 1);
     let mut assign: Vec<Option<bool>> = vec![None; cnf.num_vars];
     let clauses: Vec<Vec<Literal>> = cnf.clauses.clone();
     if dpll(&clauses, &mut assign) {

@@ -36,6 +36,7 @@ pub fn enumerate_models(
             }
         }
         count += 1;
+        ddb_obs::counter_add("sat.enumerated_models", 1);
         if !on_model(&projected) {
             break;
         }

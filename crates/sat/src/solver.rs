@@ -48,6 +48,25 @@ pub struct Stats {
     /// Literals removed from learnt clauses by self-subsumption
     /// minimization.
     pub minimized_literals: u64,
+    /// High-water mark of total clauses held (problem + learnt), across
+    /// the solver's lifetime. A gauge, not a monotone total.
+    pub max_clauses: u64,
+}
+
+impl std::ops::AddAssign for Stats {
+    /// Aggregate statistics across solvers or runs: monotone totals add,
+    /// while the gauges (`learnts`, `max_clauses`) take the maximum —
+    /// summing high-water marks would overstate peak memory pressure.
+    fn add_assign(&mut self, rhs: Stats) {
+        self.solves += rhs.solves;
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.conflicts += rhs.conflicts;
+        self.restarts += rhs.restarts;
+        self.minimized_literals += rhs.minimized_literals;
+        self.learnts = self.learnts.max(rhs.learnts);
+        self.max_clauses = self.max_clauses.max(rhs.max_clauses);
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -192,6 +211,18 @@ impl Solver {
     /// Statistics so far.
     pub fn stats(&self) -> Stats {
         self.stats
+    }
+
+    /// Reset all statistics to zero without touching solver state (clauses,
+    /// learnt database, and assignments survive). Callers that reuse one
+    /// solver across logically separate oracle queries use this to get
+    /// per-query accounting instead of cumulative-by-accident totals.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+        // `learnts` is a live gauge, not an event count: re-seed it from
+        // the solver's current state so the next report stays truthful.
+        self.stats.learnts = self.num_learnts as u64;
+        self.stats.max_clauses = self.clauses.len() as u64;
     }
 
     #[inline]
@@ -591,8 +622,28 @@ impl Solver {
     /// Solves under the given assumption literals. The assignment found (if
     /// SAT) satisfies all clauses and all assumptions. The solver remains
     /// usable afterwards: learnt clauses persist, assumptions do not.
+    ///
+    /// Each call increments `stats().solves` by exactly one and reports the
+    /// per-call deltas (`sat.solves`, `sat.decisions`, `sat.propagations`,
+    /// `sat.conflicts`) and the clause high-water mark (`sat.clauses.peak`)
+    /// to the `ddb-obs` counter registry.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Literal]) -> SolveResult {
         self.stats.solves += 1;
+        let before = self.stats;
+        let result = self.solve_with_assumptions_inner(assumptions);
+        self.stats.max_clauses = self.stats.max_clauses.max(self.clauses.len() as u64);
+        ddb_obs::counter_add("sat.solves", 1);
+        ddb_obs::counter_add("sat.decisions", self.stats.decisions - before.decisions);
+        ddb_obs::counter_add(
+            "sat.propagations",
+            self.stats.propagations - before.propagations,
+        );
+        ddb_obs::counter_add("sat.conflicts", self.stats.conflicts - before.conflicts);
+        ddb_obs::counter_max("sat.clauses.peak", self.stats.max_clauses);
+        result
+    }
+
+    fn solve_with_assumptions_inner(&mut self, assumptions: &[Literal]) -> SolveResult {
         if self.unsat {
             return SolveResult::Unsat;
         }

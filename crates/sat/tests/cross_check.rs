@@ -1,25 +1,22 @@
-//! Property-based cross-checks of the CDCL solver against the DPLL
-//! reference solver and a brute-force truth-table evaluator.
+//! Randomized cross-checks of the CDCL solver against the DPLL reference
+//! solver and a brute-force truth-table evaluator, driven by the in-repo
+//! deterministic PRNG (formerly proptest properties).
 
 use ddb_logic::cnf::{Cnf, CnfBuilder};
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Interpretation, Literal};
 use ddb_sat::{dpll, enumerate_models, Solver};
-use proptest::prelude::*;
 
 /// Random CNF: up to 8 variables, up to 30 clauses of 1–4 literals.
-fn arb_cnf() -> impl Strategy<Value = Cnf> {
-    let clause = proptest::collection::vec((0u32..8, any::<bool>()), 1..=4);
-    proptest::collection::vec(clause, 0..30).prop_map(|clauses| {
-        let mut b = CnfBuilder::new(8);
-        for c in clauses {
-            b.add_clause(
-                c.into_iter()
-                    .map(|(v, s)| Literal::with_sign(Atom::new(v), s))
-                    .collect(),
-            );
-        }
-        b.finish()
-    })
+fn random_cnf(rng: &mut XorShift64Star) -> Cnf {
+    let mut b = CnfBuilder::new(8);
+    for _ in 0..rng.gen_range(0, 30) {
+        let c: Vec<Literal> = (0..rng.gen_range_inclusive(1, 4))
+            .map(|_| Literal::with_sign(Atom::new(rng.gen_range(0, 8) as u32), rng.gen_bool(0.5)))
+            .collect();
+        b.add_clause(c);
+    }
+    b.finish()
 }
 
 fn brute_force_models(cnf: &Cnf) -> Vec<Interpretation> {
@@ -40,29 +37,37 @@ fn brute_force_models(cnf: &Cnf) -> Vec<Interpretation> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn cdcl_agrees_with_brute_force(cnf in arb_cnf()) {
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    let mut rng = XorShift64Star::seed_from_u64(0xC0C1);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng);
         let expected = !brute_force_models(&cnf).is_empty();
         let mut solver = Solver::from_cnf(&cnf);
         let got = solver.solve().is_sat();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
         if got {
             // The reported model must actually satisfy the formula.
-            prop_assert!(cnf.satisfied_by(&solver.model()));
+            assert!(cnf.satisfied_by(&solver.model()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn cdcl_agrees_with_dpll(cnf in arb_cnf()) {
+#[test]
+fn cdcl_agrees_with_dpll() {
+    let mut rng = XorShift64Star::seed_from_u64(0xC0C2);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng);
         let mut solver = Solver::from_cnf(&cnf);
-        prop_assert_eq!(solver.solve().is_sat(), dpll::is_sat(&cnf));
+        assert_eq!(solver.solve().is_sat(), dpll::is_sat(&cnf), "case {case}");
     }
+}
 
-    #[test]
-    fn enumeration_finds_exactly_the_models(cnf in arb_cnf()) {
+#[test]
+fn enumeration_finds_exactly_the_models() {
+    let mut rng = XorShift64Star::seed_from_u64(0xC0C3);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng);
         let expected = brute_force_models(&cnf);
         let mut got = Vec::new();
         enumerate_models(&cnf, cnf.num_vars, |m| {
@@ -70,14 +75,17 @@ proptest! {
             true
         });
         got.sort();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn assumptions_equal_added_units(cnf in arb_cnf(), assum in proptest::collection::vec((0u32..8, any::<bool>()), 0..4)) {
-        let assumptions: Vec<Literal> = assum
-            .into_iter()
-            .map(|(v, s)| Literal::with_sign(Atom::new(v), s))
+#[test]
+fn assumptions_equal_added_units() {
+    let mut rng = XorShift64Star::seed_from_u64(0xC0C4);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng);
+        let assumptions: Vec<Literal> = (0..rng.gen_range(0, 4))
+            .map(|_| Literal::with_sign(Atom::new(rng.gen_range(0, 8) as u32), rng.gen_bool(0.5)))
             .collect();
         // Solving under assumptions must match solving the CNF with the
         // assumptions added as unit clauses.
@@ -92,19 +100,23 @@ proptest! {
             b.add_clause(vec![l]);
         }
         let expected = dpll::is_sat(&b.finish());
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
 
         // And the solver must remain correct afterwards (no state leak).
         let base = incremental.solve().is_sat();
-        prop_assert_eq!(base, dpll::is_sat(&cnf));
+        assert_eq!(base, dpll::is_sat(&cnf), "case {case}");
     }
+}
 
-    #[test]
-    fn repeated_solves_are_stable(cnf in arb_cnf()) {
+#[test]
+fn repeated_solves_are_stable() {
+    let mut rng = XorShift64Star::seed_from_u64(0xC0C5);
+    for case in 0..300 {
+        let cnf = random_cnf(&mut rng);
         let mut solver = Solver::from_cnf(&cnf);
         let first = solver.solve().is_sat();
         for _ in 0..3 {
-            prop_assert_eq!(solver.solve().is_sat(), first);
+            assert_eq!(solver.solve().is_sat(), first, "case {case}");
         }
     }
 }

@@ -1,33 +1,25 @@
 //! Robustness properties of the CDCL solver: answers must be invariant
 //! under clause reordering, literal reordering, duplication, and the
-//! clause-minimization switch.
+//! clause-minimization switch. Randomized via the in-repo PRNG.
 
 use ddb_logic::cnf::{Cnf, CnfBuilder};
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Literal};
 use ddb_sat::{dpll, Solver};
-use proptest::prelude::*;
 
-fn arb_cnf_and_perm() -> impl Strategy<Value = (Cnf, Vec<usize>)> {
-    let clause = proptest::collection::vec((0u32..7, any::<bool>()), 1..=4);
-    proptest::collection::vec(clause, 1..20)
-        .prop_flat_map(|clauses| {
-            let len = clauses.len();
-            (
-                Just(clauses),
-                proptest::collection::vec(0usize..len.max(1), len),
-            )
-        })
-        .prop_map(|(clauses, perm_seed)| {
-            let mut b = CnfBuilder::new(7);
-            for c in &clauses {
-                b.add_clause(
-                    c.iter()
-                        .map(|&(v, s)| Literal::with_sign(Atom::new(v), s))
-                        .collect(),
-                );
-            }
-            (b.finish(), perm_seed)
-        })
+/// Random CNF over 7 vars (1–19 clauses of 1–4 literals) plus a
+/// permutation-seed vector of the same length.
+fn random_cnf_and_perm(rng: &mut XorShift64Star) -> (Cnf, Vec<usize>) {
+    let len = rng.gen_range(1, 20);
+    let mut b = CnfBuilder::new(7);
+    for _ in 0..len {
+        let c: Vec<Literal> = (0..rng.gen_range_inclusive(1, 4))
+            .map(|_| Literal::with_sign(Atom::new(rng.gen_range(0, 7) as u32), rng.gen_bool(0.5)))
+            .collect();
+        b.add_clause(c);
+    }
+    let perm = (0..len).map(|_| rng.gen_range(0, len.max(1))).collect();
+    (b.finish(), perm)
 }
 
 fn permuted(cnf: &Cnf, seed: &[usize]) -> Cnf {
@@ -50,49 +42,62 @@ fn permuted(cnf: &Cnf, seed: &[usize]) -> Cnf {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(250))]
-
-    #[test]
-    fn clause_order_invariance((cnf, perm) in arb_cnf_and_perm()) {
+#[test]
+fn clause_order_invariance() {
+    let mut rng = XorShift64Star::seed_from_u64(0x0B1);
+    for case in 0..250 {
+        let (cnf, perm) = random_cnf_and_perm(&mut rng);
         let shuffled = permuted(&cnf, &perm);
         let a = Solver::from_cnf(&cnf).solve().is_sat();
         let b = Solver::from_cnf(&shuffled).solve().is_sat();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn duplication_invariance((cnf, _) in arb_cnf_and_perm()) {
+#[test]
+fn duplication_invariance() {
+    let mut rng = XorShift64Star::seed_from_u64(0x0B2);
+    for case in 0..250 {
+        let (cnf, _) = random_cnf_and_perm(&mut rng);
         let mut doubled = cnf.clone();
         doubled.clauses.extend(cnf.clauses.clone());
-        prop_assert_eq!(
+        assert_eq!(
             Solver::from_cnf(&cnf).solve().is_sat(),
-            Solver::from_cnf(&doubled).solve().is_sat()
+            Solver::from_cnf(&doubled).solve().is_sat(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn minimization_switch_invariance((cnf, _) in arb_cnf_and_perm()) {
+#[test]
+fn minimization_switch_invariance() {
+    let mut rng = XorShift64Star::seed_from_u64(0x0B3);
+    for case in 0..250 {
+        let (cnf, _) = random_cnf_and_perm(&mut rng);
         let mut on = Solver::from_cnf(&cnf);
         on.set_clause_minimization(true);
         let mut off = Solver::from_cnf(&cnf);
         off.set_clause_minimization(false);
         let expected = dpll::is_sat(&cnf);
-        prop_assert_eq!(on.solve().is_sat(), expected);
-        prop_assert_eq!(off.solve().is_sat(), expected);
+        assert_eq!(on.solve().is_sat(), expected, "case {case}");
+        assert_eq!(off.solve().is_sat(), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn model_is_stable_under_resolve((cnf, _) in arb_cnf_and_perm()) {
+#[test]
+fn model_is_stable_under_resolve() {
+    let mut rng = XorShift64Star::seed_from_u64(0x0B4);
+    for case in 0..250 {
+        let (cnf, _) = random_cnf_and_perm(&mut rng);
         // Re-solving after reading the model must keep the instance SAT
         // and produce a (possibly different) satisfying model.
         let mut s = Solver::from_cnf(&cnf);
         if s.solve().is_sat() {
             let m1 = s.model();
-            prop_assert!(cnf.satisfied_by(&m1));
-            prop_assert!(s.solve().is_sat());
+            assert!(cnf.satisfied_by(&m1), "case {case}");
+            assert!(s.solve().is_sat(), "case {case}");
             let m2 = s.model();
-            prop_assert!(cnf.satisfied_by(&m2));
+            assert!(cnf.satisfied_by(&m2), "case {case}");
         }
     }
 }

@@ -1,14 +1,13 @@
 //! Random query generation (literals and formulas over a vocabulary).
 
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Formula, Literal};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A deterministic random literal over `num_atoms` atoms.
 pub fn random_literal(num_atoms: usize, seed: u64) -> Literal {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     Literal::with_sign(
-        Atom::new(rng.gen_range(0..num_atoms) as u32),
+        Atom::new(rng.gen_range(0, num_atoms) as u32),
         rng.gen_bool(0.5),
     )
 }
@@ -16,22 +15,22 @@ pub fn random_literal(num_atoms: usize, seed: u64) -> Literal {
 /// A deterministic random formula with roughly `size` connective nodes
 /// over `num_atoms` atoms.
 pub fn random_formula(num_atoms: usize, size: usize, seed: u64) -> Formula {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     build(&mut rng, num_atoms, size)
 }
 
-fn build(rng: &mut StdRng, num_atoms: usize, budget: usize) -> Formula {
+fn build(rng: &mut XorShift64Star, num_atoms: usize, budget: usize) -> Formula {
     if budget == 0 || rng.gen_bool(0.25) {
-        return Formula::atom(Atom::new(rng.gen_range(0..num_atoms) as u32));
+        return Formula::atom(Atom::new(rng.gen_range(0, num_atoms) as u32));
     }
-    match rng.gen_range(0..5) {
+    match rng.gen_range(0, 5) {
         0 => build(rng, num_atoms, budget - 1).negated(),
         1 => {
-            let k = rng.gen_range(2..=3.min(budget + 1));
+            let k = rng.gen_range_inclusive(2, 3.min(budget + 1));
             Formula::And((0..k).map(|_| build(rng, num_atoms, budget / k)).collect())
         }
         2 => {
-            let k = rng.gen_range(2..=3.min(budget + 1));
+            let k = rng.gen_range_inclusive(2, 3.min(budget + 1));
             Formula::Or((0..k).map(|_| build(rng, num_atoms, budget / k)).collect())
         }
         3 => build(rng, num_atoms, budget / 2).implies(build(rng, num_atoms, budget / 2)),

@@ -1,8 +1,7 @@
 //! Parameterized random database generation.
 
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Database, Rule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Specification of a random database family.
 #[derive(Clone, Debug)]
@@ -55,23 +54,23 @@ impl DbSpec {
 
 /// Generates a random database from `spec`, deterministically from `seed`.
 pub fn random_db(spec: &DbSpec, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let mut db = Database::with_fresh_atoms(spec.num_atoms);
-    let atom = |rng: &mut StdRng, n: usize| Atom::new(rng.gen_range(0..n) as u32);
+    let atom = |rng: &mut XorShift64Star, n: usize| Atom::new(rng.gen_range(0, n) as u32);
     for _ in 0..spec.num_rules {
         let integrity = rng.gen_bool(spec.integrity_rate);
         let head: Vec<Atom> = if integrity {
             Vec::new()
         } else {
-            let w = rng.gen_range(1..=spec.max_head);
+            let w = rng.gen_range_inclusive(1, spec.max_head);
             (0..w).map(|_| atom(&mut rng, spec.num_atoms)).collect()
         };
-        let bp = rng.gen_range(0..=spec.max_body_pos);
+        let bp = rng.gen_range_inclusive(0, spec.max_body_pos);
         let body_pos: Vec<Atom> = (0..bp).map(|_| atom(&mut rng, spec.num_atoms)).collect();
         let bn = if spec.max_body_neg == 0 {
             0
         } else {
-            rng.gen_range(0..=spec.max_body_neg)
+            rng.gen_range_inclusive(0, spec.max_body_neg)
         };
         let body_neg: Vec<Atom> = (0..bn).map(|_| atom(&mut rng, spec.num_atoms)).collect();
         if head.is_empty() && body_pos.is_empty() && body_neg.is_empty() {
@@ -92,7 +91,7 @@ pub fn random_stratified_db(
     seed: u64,
 ) -> Database {
     assert!(num_layers >= 1 && num_layers <= num_atoms.max(1));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let mut db = Database::with_fresh_atoms(num_atoms);
     let layer_of = |a: usize| a * num_layers / num_atoms.max(1);
     // Atoms of each layer, by the fixed arithmetic split.
@@ -103,7 +102,7 @@ pub fn random_stratified_db(
             .collect()
     };
     for _ in 0..num_rules {
-        let l = rng.gen_range(0..num_layers);
+        let l = rng.gen_range(0, num_layers);
         let here = layer_atoms(l);
         if here.is_empty() {
             continue;
@@ -116,17 +115,17 @@ pub fn random_stratified_db(
             .filter(|&a| layer_of(a) < l)
             .map(|a| Atom::new(a as u32))
             .collect();
-        let head: Vec<Atom> = (0..rng.gen_range(1..=2))
-            .map(|_| here[rng.gen_range(0..here.len())])
+        let head: Vec<Atom> = (0..rng.gen_range_inclusive(1, 2))
+            .map(|_| here[rng.gen_range(0, here.len())])
             .collect();
-        let body_pos: Vec<Atom> = (0..rng.gen_range(0..=2))
-            .map(|_| upto[rng.gen_range(0..upto.len())])
+        let body_pos: Vec<Atom> = (0..rng.gen_range_inclusive(0, 2))
+            .map(|_| upto[rng.gen_range(0, upto.len())])
             .collect();
         let body_neg: Vec<Atom> = if below.is_empty() {
             Vec::new()
         } else {
-            (0..rng.gen_range(0..=2))
-                .map(|_| below[rng.gen_range(0..below.len())])
+            (0..rng.gen_range_inclusive(0, 2))
+                .map(|_| below[rng.gen_range(0, below.len())])
                 .collect()
         };
         db.add_rule(Rule::new(head, body_pos, body_neg));

@@ -1,8 +1,7 @@
 //! Structured scaling families.
 
+use ddb_logic::rng::XorShift64Star;
 use ddb_logic::{Atom, Database, Rule, Symbols};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A Horn chain `x₀. x₁ ← x₀. … x_{n-1} ← x_{n-2}.` — the polynomial
 /// scaling family for the tractable DDR/PWS cells (every atom active).
@@ -53,7 +52,7 @@ pub fn layered_disjunctive(layers: usize, width: usize) -> Database {
 /// An undirected random graph `G(n, p)` as an edge list (deterministic in
 /// `seed`).
 pub fn random_graph(n: usize, p: f64, seed: u64) -> Vec<(usize, usize)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..n {
         for v in u + 1..n {
@@ -86,12 +85,12 @@ pub fn graph_coloring(num_vertices: usize, edges: &[(usize, usize)], k: usize) -
         })
         .collect();
     let mut db = Database::new(symbols);
-    for v in 0..num_vertices {
-        db.add_rule(Rule::fact(color[v].iter().copied()));
+    for c in &color {
+        db.add_rule(Rule::fact(c.iter().copied()));
     }
     for &(u, v) in edges {
-        for i in 0..k {
-            db.add_rule(Rule::integrity([color[u][i], color[v][i]], []));
+        for (&cu, &cv) in color[u].iter().zip(&color[v]) {
+            db.add_rule(Rule::integrity([cu, cv], []));
         }
     }
     db
@@ -150,14 +149,14 @@ pub fn odd_loop_trap(k: usize) -> Database {
 /// ratio ≈ 4.26 (width 3) this is the classic SAT phase transition — the
 /// hard family for the NP-complete model-existence cells of Table 2.
 pub fn phase_transition_db(num_vars: usize, ratio: f64, width: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::seed_from_u64(seed);
     let mut db = Database::with_fresh_atoms(num_vars);
     let m = (num_vars as f64 * ratio).round() as usize;
     for _ in 0..m {
         let mut head = Vec::new();
         let mut body = Vec::new();
         for _ in 0..width {
-            let v = Atom::new(rng.gen_range(0..num_vars) as u32);
+            let v = Atom::new(rng.gen_range(0, num_vars) as u32);
             if rng.gen_bool(0.5) {
                 head.push(v);
             } else {

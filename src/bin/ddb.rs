@@ -18,15 +18,25 @@
 //! ddb wfs <file>
 //!     The well-founded model of a normal program (polynomial).
 //!
+//! ddb profile <file> [--literal [-]<atom>] [--formula "<f>"]
+//!     Run all ten semantics on all three problems and print the observed
+//!     oracle-call matrix next to the paper's predicted complexity classes.
+//!
+//! `models`, `query`, `exists` and `profile` all accept `--stats` (print
+//! the observability counter table to stderr) and `--trace-json <file>`
+//! (write a structured trace — counters, spans, answer — as JSON).
+//!
 //! Semantics names: gcwa, egcwa, ccwa, ecwa, circ, ddr, wgcwa, pws, pms,
 //! perf, icwa, dsm, pdsm, cwa. `<file>` may be `-` for stdin.
 //! ```
 
-use disjunctive_db::core::{cwa, wfs, witness};
+use disjunctive_db::core::{cwa, profile, wfs, witness};
 use disjunctive_db::ground::{ground_reduced, parse::parse_datalog};
+use disjunctive_db::obs::json::Json;
 use disjunctive_db::prelude::*;
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +66,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "wfs" => wfs_cmd(&args[1..]),
         "ground" => ground_cmd(&args[1..]),
         "proof" => proof_cmd(&args[1..]),
+        "profile" => profile_cmd(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -68,6 +79,9 @@ const USAGE: &str = "usage:
   ddb wfs    <file>
   ddb ground <file> [--full]          (print the grounded program)
   ddb proof  <file> --atom <a>        (DDR activation proof for an atom)
+  ddb profile <file> [--literal [-]<a>] [--formula \"<f>\"]
+      (observed 10-semantics x 3-problems oracle-call matrix vs paper classes)
+models/query/exists/profile also take: --stats  --trace-json <file>
 input is propositional program syntax, or Datalog∨ with --datalog
 (auto-detected for .dlv files and sources containing predicate atoms)
 semantics: gcwa egcwa ccwa ecwa|circ ddr|wgcwa pws|pms perf icwa dsm pdsm cwa";
@@ -89,7 +103,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
-            if matches!(key, "brave" | "explain" | "datalog" | "full" | "partial") {
+            if matches!(
+                key,
+                "brave" | "explain" | "datalog" | "full" | "partial" | "stats"
+            ) {
                 opts.flags.push(key.to_owned());
                 i += 1;
             } else {
@@ -186,6 +203,69 @@ fn config_for(opts: &Opts, db: &Database) -> Result<SemanticsConfig, String> {
     Ok(cfg)
 }
 
+/// Observability session for one CLI command: starts a counter snapshot
+/// (and, with `--trace-json`, an event sink) before the work runs.
+struct Observation {
+    sink: Option<std::sync::Arc<disjunctive_db::obs::MemorySink>>,
+    before: disjunctive_db::obs::CounterSnapshot,
+    started: Instant,
+}
+
+fn begin_observation(opts: &Opts) -> Observation {
+    let sink = opts.value("trace-json").map(|_| {
+        let s = disjunctive_db::obs::MemorySink::new();
+        disjunctive_db::obs::set_sink(s.clone());
+        s
+    });
+    Observation {
+        sink,
+        before: disjunctive_db::obs::snapshot(),
+        started: Instant::now(),
+    }
+}
+
+impl Observation {
+    /// Prints the `--stats` counter table and writes the `--trace-json`
+    /// file. `answer` and `extra` land verbatim in the trace document.
+    fn finish(
+        self,
+        opts: &Opts,
+        command: &str,
+        answer: Json,
+        extra: Vec<(&str, Json)>,
+    ) -> Result<(), String> {
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        let counters = disjunctive_db::obs::snapshot().diff(&self.before);
+        if opts.flag("stats") {
+            eprint!("{}", counters.render_table());
+        }
+        if let Some(path) = opts.value("trace-json") {
+            let events = self.sink.as_ref().map(|s| s.take()).unwrap_or_default();
+            disjunctive_db::obs::clear_sink();
+            let semantics = opts
+                .value("semantics")
+                .map_or(Json::Null, |s| Json::Str(s.to_owned()));
+            let mut fields = vec![
+                ("version", Json::UInt(1)),
+                ("command", Json::Str(command.to_owned())),
+                ("semantics", semantics),
+                ("answer", answer),
+                ("wall_ns", Json::UInt(wall_ns)),
+                ("counters", counters.to_json()),
+                (
+                    "events",
+                    Json::Arr(events.iter().map(|e| e.to_json()).collect()),
+                ),
+            ];
+            fields.extend(extra);
+            let doc = Json::obj(fields);
+            std::fs::write(path, doc.render_pretty())
+                .map_err(|e| format!("writing trace to {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 fn render_model(db: &Database, m: &Interpretation) -> String {
     let names: Vec<&str> = m.iter().map(|a| db.symbols().name(a)).collect();
     format!("{{{}}}", names.join(", "))
@@ -215,15 +295,21 @@ fn classify(args: &[String]) -> Result<(), String> {
 fn models(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
+    let observation = begin_observation(&opts);
     let name = opts.value("semantics").unwrap_or("egcwa");
     let mut cost = Cost::new();
+    let mut model_count: u64 = 0;
     if name.eq_ignore_ascii_case("cwa") {
         match cwa::model(&db, &mut cost) {
-            Some(m) => println!("{}", render_model(&db, &m)),
+            Some(m) => {
+                model_count = 1;
+                println!("{}", render_model(&db, &m));
+            }
             None => println!("CWA is inconsistent for this database"),
         }
     } else if name.eq_ignore_ascii_case("pdsm") && opts.flag("partial") {
         let models = disjunctive_db::core::pdsm::models(&db, &mut cost);
+        model_count = models.len() as u64;
         println!("{} partial stable model(s):", models.len());
         for p in &models {
             let mut parts = Vec::new();
@@ -240,6 +326,7 @@ fn models(args: &[String]) -> Result<(), String> {
     } else {
         let cfg = config_for(&opts, &db)?;
         let models = cfg.models(&db, &mut cost).map_err(|e| e.to_string())?;
+        model_count = models.len() as u64;
         println!("{} model(s) under {}:", models.len(), cfg.id);
         for m in &models {
             println!("  {}", render_model(&db, m));
@@ -249,7 +336,7 @@ fn models(args: &[String]) -> Result<(), String> {
         "[oracle: {} SAT calls, {} candidates]",
         cost.sat_calls, cost.candidates
     );
-    Ok(())
+    observation.finish(&opts, "models", Json::UInt(model_count), Vec::new())
 }
 
 fn query(args: &[String]) -> Result<(), String> {
@@ -270,17 +357,20 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         _ => return Err("need exactly one of --formula / --literal".into()),
     };
+    let observation = begin_observation(&opts);
     let mut cost = Cost::new();
     let name = opts.value("semantics").unwrap_or("egcwa");
+    let answer;
     if name.eq_ignore_ascii_case("cwa") {
         let ans = cwa::infers_formula(&db, &formula, &mut cost);
         println!("{}", if ans { "inferred" } else { "not inferred" });
-        return Ok(());
+        return observation.finish(&opts, "query", Json::Bool(ans), Vec::new());
     }
     let cfg = config_for(&opts, &db)?;
     if opts.flag("brave") {
         let ans = witness::brave_infers_formula(&cfg, &db, &formula, &mut cost)
             .map_err(|e| e.to_string())?;
+        answer = ans;
         println!(
             "{}",
             if ans {
@@ -291,11 +381,16 @@ fn query(args: &[String]) -> Result<(), String> {
         );
     } else if opts.flag("explain") {
         match witness::explain_formula(&cfg, &db, &formula, &mut cost).map_err(|e| e.to_string())? {
-            witness::QueryOutcome::Inferred => println!("inferred"),
+            witness::QueryOutcome::Inferred => {
+                answer = true;
+                println!("inferred");
+            }
             witness::QueryOutcome::Countermodel(m) => {
+                answer = false;
                 println!("not inferred; countermodel: {}", render_model(&db, &m));
             }
             witness::QueryOutcome::CountermodelPartial(p) => {
+                answer = false;
                 let mut parts = Vec::new();
                 for a in db.symbols().atoms() {
                     let v = match p.value(a) {
@@ -312,18 +407,20 @@ fn query(args: &[String]) -> Result<(), String> {
         let ans = cfg
             .infers_formula(&db, &formula, &mut cost)
             .map_err(|e| e.to_string())?;
+        answer = ans;
         println!("{}", if ans { "inferred" } else { "not inferred" });
     }
     eprintln!(
         "[oracle: {} SAT calls, {} candidates]",
         cost.sat_calls, cost.candidates
     );
-    Ok(())
+    observation.finish(&opts, "query", Json::Bool(answer), Vec::new())
 }
 
 fn exists(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
+    let observation = begin_observation(&opts);
     let mut cost = Cost::new();
     let name = opts.value("semantics").unwrap_or("egcwa");
     let ans = if name.eq_ignore_ascii_case("cwa") {
@@ -333,7 +430,49 @@ fn exists(args: &[String]) -> Result<(), String> {
         cfg.has_model(&db, &mut cost).map_err(|e| e.to_string())?
     };
     println!("{}", if ans { "has a model" } else { "no model" });
-    Ok(())
+    observation.finish(&opts, "exists", Json::Bool(ans), Vec::new())
+}
+
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    if db.num_atoms() == 0 {
+        return Err("profile needs a database with at least one atom".into());
+    }
+    // Queries for the two inference columns: default to the first atom as
+    // a positive literal and as a formula.
+    let lit = match opts.value("literal") {
+        Some(l) => {
+            let (name, positive) = match l.strip_prefix('-') {
+                Some(rest) => (rest, false),
+                None => (l, true),
+            };
+            let atom = db
+                .symbols()
+                .lookup(name)
+                .ok_or_else(|| format!("unknown atom `{name}`"))?;
+            Literal::with_sign(atom, positive)
+        }
+        None => Atom::new(0).pos(),
+    };
+    let f = match opts.value("formula") {
+        Some(src) => parse_formula(src, db.symbols()).map_err(|e| e.to_string())?,
+        None => Formula::literal(lit.atom(), lit.is_positive()),
+    };
+    let observation = begin_observation(&opts);
+    let cells = profile::profile_all(&db, lit, &f);
+    println!(
+        "profile of {} ({} atoms, {} rules); query literal `{}{}`",
+        opts.file.as_deref().unwrap_or("-"),
+        db.num_atoms(),
+        db.len(),
+        if lit.is_positive() { "" } else { "-" },
+        db.symbols().name(lit.atom()),
+    );
+    println!();
+    print!("{}", profile::render_table(&cells));
+    let cells_json = Json::Arr(cells.iter().map(profile::CellProfile::to_json).collect());
+    observation.finish(&opts, "profile", Json::Null, vec![("cells", cells_json)])
 }
 
 fn ground_cmd(args: &[String]) -> Result<(), String> {

@@ -40,6 +40,7 @@
 //! | [`reductions`] | 2QBF, UMINSAT, and the executable hardness reductions |
 //! | [`workloads`] | deterministic instance generators |
 //! | [`ground`] | Datalog∨ front end: variables, safety, grounding |
+//! | [`obs`] | zero-dependency observability: counters, spans, event sinks, JSON |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every Table 1/Table 2 cell.
@@ -50,6 +51,7 @@ pub use ddb_core as core;
 pub use ddb_ground as ground;
 pub use ddb_logic as logic;
 pub use ddb_models as models;
+pub use ddb_obs as obs;
 pub use ddb_reductions as reductions;
 pub use ddb_sat as sat;
 pub use ddb_workloads as workloads;

@@ -1,0 +1,141 @@
+//! End-to-end checks of the CLI observability surface: `--stats` and
+//! `--trace-json` on `query`/`models`/`exists`/`profile`. The trace files
+//! must be valid JSON as judged by the in-repo parser, with the documented
+//! top-level fields and well-formed span events.
+
+use disjunctive_db::obs::json::{parse, Json};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ddb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddb"))
+}
+
+fn vase() -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/vase.dl")
+        .to_str()
+        .unwrap()
+        .to_owned()
+}
+
+fn trace_path(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("ddb_trace_{name}_{}.json", std::process::id()))
+        .to_str()
+        .unwrap()
+        .to_owned()
+}
+
+fn run_and_parse(name: &str, args: &[&str]) -> Json {
+    let path = trace_path(name);
+    let mut cmd = ddb();
+    cmd.args(args).arg("--trace-json").arg(&path);
+    let out = cmd.output().expect("running ddb");
+    assert!(
+        out.status.success(),
+        "ddb {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let raw = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    parse(&raw).expect("trace file is valid JSON")
+}
+
+#[test]
+fn query_trace_is_valid_json_with_counters_and_events() {
+    let vase = vase();
+    let doc = run_and_parse(
+        "query",
+        &[
+            "query",
+            &vase,
+            "--semantics",
+            "gcwa",
+            "--literal",
+            "-treat",
+            "--stats",
+        ],
+    );
+    assert_eq!(doc.get("version").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("command").unwrap().as_str(), Some("query"));
+    assert_eq!(doc.get("semantics").unwrap().as_str(), Some("gcwa"));
+    // GCWA closes `treat` off on the vase database.
+    assert_eq!(doc.get("answer").unwrap().as_bool(), Some(true));
+    assert!(doc.get("wall_ns").unwrap().as_u64().unwrap() > 0);
+    // The counters object records the NP-oracle calls the decision made.
+    let counters = doc.get("counters").unwrap();
+    assert!(counters.get("sat.solves").unwrap().as_u64().unwrap() >= 1);
+    // Events include spans for the semantics entry point, and the stream
+    // is well-nested.
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    let has_gcwa_span = events.iter().any(|e| {
+        e.get("name")
+            .and_then(|n| n.as_str())
+            .is_some_and(|n| n.starts_with("gcwa."))
+    });
+    assert!(has_gcwa_span, "expected a gcwa.* span in the event stream");
+}
+
+#[test]
+fn exists_trace_reports_boolean_answer() {
+    let vase = vase();
+    let doc = run_and_parse("exists", &["exists", &vase, "--semantics", "dsm"]);
+    assert_eq!(doc.get("command").unwrap().as_str(), Some("exists"));
+    assert_eq!(doc.get("answer").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn models_trace_reports_model_count() {
+    let vase = vase();
+    let doc = run_and_parse("models", &["models", &vase, "--semantics", "egcwa"]);
+    assert_eq!(doc.get("command").unwrap().as_str(), Some("models"));
+    // The vase database has exactly two minimal models ({alice, grounded}
+    // and {bob, grounded}).
+    assert_eq!(doc.get("answer").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn profile_trace_contains_all_thirty_cells() {
+    let vase = vase();
+    let doc = run_and_parse("profile", &["profile", &vase]);
+    assert_eq!(doc.get("command").unwrap().as_str(), Some("profile"));
+    let cells = doc.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells.len(), 30);
+    for cell in cells {
+        assert!(cell.get("semantics").unwrap().as_str().is_some());
+        assert!(cell.get("paper_class").unwrap().as_str().is_some());
+        // Positive database: every cell must be answered.
+        assert!(cell.get("answer").unwrap().as_bool().is_some());
+    }
+}
+
+#[test]
+fn profile_prints_matrix_table() {
+    let vase = vase();
+    let out = ddb().args(["profile", &vase]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "GCWA", "EGCWA", "CCWA", "ECWA", "DDR", "PWS", "PERF", "ICWA", "DSM", "PDSM",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in profile table");
+    }
+    assert!(stdout.contains("Πᵖ₂"), "missing paper classes");
+}
+
+#[test]
+fn stats_flag_prints_counter_table() {
+    let vase = vase();
+    let out = ddb()
+        .args(["exists", &vase, "--semantics", "gcwa", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sat.solves"),
+        "stats table missing: {stderr}"
+    );
+}
