@@ -1,0 +1,31 @@
+//! # ddb-analysis — static analysis for disjunctive databases
+//!
+//! This crate analyzes a [`Database`](ddb_logic::Database) *before* any
+//! solver runs, so that dispatch can route easy fragments to polynomial
+//! algorithms and `ddb check` can refuse malformed inputs with real
+//! diagnostics:
+//!
+//! * the atom-level **dependency graph** with positive/negative edge
+//!   labels and Tarjan SCC decomposition — re-exported from
+//!   [`ddb_logic::depgraph`], which is the single canonical home of the
+//!   stratification algorithm (`Database::stratification` delegates
+//!   there, and so does this crate; Cargo's acyclic crate graph is why
+//!   the algorithm lives in the substrate);
+//! * a **fragment classifier** ([`Fragments`]) detecting Horn, definite,
+//!   positive, deductive, stratified, head-cycle-free and tight databases;
+//! * a **lint pass** ([`lint`]) emitting structured [`Diagnostic`]s with
+//!   stable codes and severities (catalog in `docs/ANALYSIS.md`);
+//! * the **shift** transformation ([`shift`]) that turns head-cycle-free
+//!   disjunctive databases into equivalent normal programs;
+//! * an [`AnalysisReport`] bundling all of the above ([`analyze`]).
+
+pub mod fragments;
+pub mod lints;
+pub mod report;
+pub mod transform;
+
+pub use ddb_logic::depgraph::{DepGraph, EdgeKind, Sccs};
+pub use fragments::{classify, Fragments};
+pub use lints::{lint, Diagnostic, Severity};
+pub use report::{analyze, AnalysisReport};
+pub use transform::shift;

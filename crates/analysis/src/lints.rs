@@ -1,0 +1,454 @@
+//! Structured diagnostics and the lint pass.
+//!
+//! Every problem the analyzer can point at is a [`Diagnostic`] with a
+//! stable code, a severity, and — where one exists — the index and rendered
+//! text of the offending rule. The catalog (see `docs/ANALYSIS.md`):
+//!
+//! | code   | severity | meaning                                         |
+//! |--------|----------|-------------------------------------------------|
+//! | DDB001 | error    | unsafe rule (variable outside the positive body) |
+//! | DDB002 | warning  | duplicate rule                                  |
+//! | DDB003 | warning  | tautological or never-firing rule               |
+//! | DDB004 | warning  | rule classically subsumed by another rule       |
+//! | DDB005 | info     | atom occurs in bodies but in no head            |
+//! | DDB006 | error    | integrity clause violated on its face           |
+//! | DDB007 | warning  | unstratifiable negation (PERF/ICWA unsupported) |
+//! | DDB008 | error    | partition/varying set names an unknown atom     |
+
+use ddb_logic::depgraph::DepGraph;
+use ddb_logic::parse::display_rule;
+use ddb_logic::{Atom, Database, Rule};
+use ddb_obs::json::Json;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Severity {
+    /// Advisory: something worth knowing, never a failure.
+    Info,
+    /// Suspicious but well-defined input; fails under `--strict`.
+    Warning,
+    /// The input is malformed or self-contradictory; non-zero exit.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label for rendering (`error`, `warning`, `info`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding of the lint pass: a coded, severity-tagged message anchored
+/// (when possible) to a rule of the database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`DDB001` …).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Index of the offending rule in `db.rules()`, when the diagnostic
+    /// points at one.
+    pub rule: Option<usize>,
+    /// Rendered text of the offending rule, for display without the
+    /// database at hand.
+    pub snippet: Option<String>,
+}
+
+impl Diagnostic {
+    fn on_rule(
+        code: &'static str,
+        severity: Severity,
+        message: String,
+        db: &Database,
+        index: usize,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message,
+            rule: Some(index),
+            snippet: Some(display_rule(&db.rules()[index], db.symbols())),
+        }
+    }
+
+    /// `DDB001` — an unsafe Datalog rule: `variable` does not occur in the
+    /// positive body of rule `rule_index` (rendered as `rule_text`). Used
+    /// by the grounder's safety check.
+    pub fn unsafe_rule(rule_index: usize, variable: &str, rule_text: &str) -> Self {
+        Diagnostic {
+            code: "DDB001",
+            severity: Severity::Error,
+            message: format!(
+                "unsafe variable `{variable}`: every variable must occur in the rule's positive body"
+            ),
+            rule: Some(rule_index),
+            snippet: Some(rule_text.to_owned()),
+        }
+    }
+
+    /// `DDB008` — a CCWA/ECWA partition or ICWA varying set mentions an
+    /// atom that is not in the database's vocabulary.
+    pub fn unknown_atom(role: &str, name: &str) -> Self {
+        Diagnostic {
+            code: "DDB008",
+            severity: Severity::Error,
+            message: format!("{role} mentions unknown atom `{name}`"),
+            rule: None,
+            snippet: None,
+        }
+    }
+
+    /// JSON rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("code", Json::Str(self.code.to_owned())),
+            ("severity", Json::Str(self.severity.label().to_owned())),
+            ("message", Json::Str(self.message.clone())),
+            (
+                "rule",
+                match self.rule {
+                    Some(i) => Json::UInt(i as u64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "snippet",
+                match &self.snippet {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity.label(), self.code)?;
+        if let Some(i) = self.rule {
+            write!(f, " rule {i}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(s) = &self.snippet {
+            write!(f, "  `{s}`")?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether two sorted atom slices intersect.
+fn intersects(a: &[Atom], b: &[Atom]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn subset(a: &[Atom], b: &[Atom]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Rule `s` subsumes rule `r` iff the clause of `s` is a sub-clause of the
+/// clause of `r`: `head(s) ⊆ head(r)`, `body⁺(s) ⊆ body⁺(r)`,
+/// `body⁻(s) ⊆ body⁻(r)`.
+fn subsumes(s: &Rule, r: &Rule) -> bool {
+    subset(s.head(), r.head())
+        && subset(s.body_pos(), r.body_pos())
+        && subset(s.body_neg(), r.body_neg())
+}
+
+/// Runs the full lint pass over `db` and its dependency graph.
+pub fn lint(db: &Database, graph: &DepGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let rules = db.rules();
+
+    // DDB002 — duplicates. Rules compare structurally (sorted, deduped), so
+    // exact equality is the right notion.
+    let mut first_seen: HashMap<&Rule, usize> = HashMap::new();
+    let mut duplicate = vec![false; rules.len()];
+    for (i, r) in rules.iter().enumerate() {
+        match first_seen.get(r) {
+            Some(&j) => {
+                duplicate[i] = true;
+                out.push(Diagnostic::on_rule(
+                    "DDB002",
+                    Severity::Warning,
+                    format!("duplicate of rule {j}"),
+                    db,
+                    i,
+                ));
+            }
+            None => {
+                first_seen.insert(r, i);
+            }
+        }
+    }
+
+    // DDB003 — tautological (`a` in head and positive body: the clause
+    // contains `a ∨ ¬a`) or never-firing (`a` both positive and negated in
+    // the body) rules.
+    for (i, r) in rules.iter().enumerate() {
+        if intersects(r.head(), r.body_pos()) {
+            out.push(Diagnostic::on_rule(
+                "DDB003",
+                Severity::Warning,
+                "tautological rule: a head atom also occurs in the positive body (the clause contains a ∨ ¬a)".into(),
+                db,
+                i,
+            ));
+        } else if intersects(r.body_pos(), r.body_neg()) {
+            out.push(Diagnostic::on_rule(
+                "DDB003",
+                Severity::Warning,
+                "rule can never fire: an atom occurs both positively and under negation in the body".into(),
+                db,
+                i,
+            ));
+        }
+    }
+
+    // DDB004 — classical subsumption (reported once per subsumed rule;
+    // duplicates already have their own code).
+    for (i, r) in rules.iter().enumerate() {
+        if duplicate[i] {
+            continue;
+        }
+        if let Some(j) = rules.iter().position(|s| s != r && subsumes(s, r)) {
+            out.push(Diagnostic::on_rule(
+                "DDB004",
+                Severity::Warning,
+                format!(
+                    "classically subsumed by rule {j} (`{}`); note subsumption is not equivalence-preserving under stable-model semantics",
+                    display_rule(&rules[j], db.symbols())
+                ),
+                db,
+                i,
+            ));
+        }
+    }
+
+    // DDB005 — atoms that occur somewhere but never in a head: no rule can
+    // ever derive them, so they are false in every minimal model. Info
+    // only: `a :- not b.`-style "input" atoms are a common idiom.
+    let n = db.num_atoms();
+    let mut in_head = vec![false; n];
+    let mut occurs = vec![false; n];
+    for r in rules {
+        for &h in r.head() {
+            in_head[h.index()] = true;
+            occurs[h.index()] = true;
+        }
+        for &b in r.body_pos().iter().chain(r.body_neg()) {
+            occurs[b.index()] = true;
+        }
+    }
+    for a in db.symbols().atoms() {
+        if occurs[a.index()] && !in_head[a.index()] {
+            out.push(Diagnostic {
+                code: "DDB005",
+                severity: Severity::Info,
+                message: format!(
+                    "atom `{}` occurs in rule bodies but in no head: it is never derivable and false under every CWA semantics",
+                    db.symbols().name(a)
+                ),
+                rule: None,
+                snippet: None,
+            });
+        }
+    }
+
+    // DDB006 — integrity clauses violated on syntactic grounds alone: an
+    // empty body (always violated), or a purely positive body consisting
+    // entirely of unconditional atomic facts.
+    let mut fact_atoms = vec![false; n];
+    for r in rules {
+        if r.is_fact() && r.head().len() == 1 {
+            fact_atoms[r.head()[0].index()] = true;
+        }
+    }
+    for (i, r) in rules.iter().enumerate() {
+        if !r.is_integrity() {
+            continue;
+        }
+        if r.body_pos().is_empty() && r.body_neg().is_empty() {
+            out.push(Diagnostic::on_rule(
+                "DDB006",
+                Severity::Error,
+                "integrity clause with empty body: the database is unsatisfiable".into(),
+                db,
+                i,
+            ));
+        } else if r.body_neg().is_empty()
+            && !r.body_pos().is_empty()
+            && r.body_pos().iter().all(|&a| fact_atoms[a.index()])
+        {
+            out.push(Diagnostic::on_rule(
+                "DDB006",
+                Severity::Error,
+                "integrity clause violated by the facts alone: every body atom is an unconditional fact".into(),
+                db,
+                i,
+            ));
+        }
+    }
+
+    // DDB007 — unstratifiable negation, with the witnessing component.
+    if let Some(cycle) = graph.unstratifiable_witness() {
+        let mut names: Vec<&str> = cycle.iter().map(|&a| db.symbols().name(a)).collect();
+        const SHOW: usize = 8;
+        let extra = names.len().saturating_sub(SHOW);
+        names.truncate(SHOW);
+        let mut shown = names.join(", ");
+        if extra > 0 {
+            shown.push_str(&format!(", … ({extra} more)"));
+        }
+        out.push(Diagnostic {
+            code: "DDB007",
+            severity: Severity::Warning,
+            message: format!(
+                "negation recurses through {{{shown}}}: the database is unstratifiable, so PERF and ICWA will report Unsupported"
+            ),
+            rule: None,
+            snippet: None,
+        });
+    }
+
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.code.cmp(b.code))
+            .then(a.rule.cmp(&b.rule))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_program;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        let db = parse_program(src).unwrap();
+        lint(&db, &DepGraph::of_database(&db))
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lints(src).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        assert!(codes("a | b. grounded :- a. grounded :- b.").is_empty());
+    }
+
+    #[test]
+    fn duplicate_rule_flagged_once() {
+        let ds = lints("a :- b. b. a :- b.");
+        let dups: Vec<_> = ds.iter().filter(|d| d.code == "DDB002").collect();
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].rule, Some(2));
+        assert_eq!(dups[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn tautology_and_never_firing() {
+        assert_eq!(codes("a | b :- a."), vec!["DDB003"]);
+        // c :- b, not b: never fires. b is underivable too (info).
+        let ds = lints("c :- b, not b.");
+        assert!(ds.iter().any(|d| d.code == "DDB003"));
+        assert!(ds.iter().any(|d| d.code == "DDB005"));
+    }
+
+    #[test]
+    fn subsumption() {
+        // a. subsumes a | b :- c.
+        let ds = lints("a. a | b :- c.");
+        let sub: Vec<_> = ds.iter().filter(|d| d.code == "DDB004").collect();
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub[0].rule, Some(1));
+        // No subsumption between incomparable rules.
+        assert!(codes("a :- b. b :- a.").iter().all(|&c| c != "DDB004"));
+    }
+
+    #[test]
+    fn underivable_atom_is_info() {
+        let ds = lints("a :- not input.");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "DDB005");
+        assert_eq!(ds[0].severity, Severity::Info);
+        assert!(ds[0].message.contains("input"));
+    }
+
+    #[test]
+    fn facially_violated_constraints() {
+        let ds = lints("a. b. :- a, b.");
+        assert!(ds
+            .iter()
+            .any(|d| d.code == "DDB006" && d.severity == Severity::Error));
+        // Conditional fact does not trigger it.
+        assert!(lints("a. b :- a. :- a, b.")
+            .iter()
+            .all(|d| d.code != "DDB006"));
+    }
+
+    #[test]
+    fn unstratifiable_warning_names_cycle() {
+        let ds = lints("p :- not q. q :- not p.");
+        let w = ds.iter().find(|d| d.code == "DDB007").unwrap();
+        assert!(w.message.contains('p') && w.message.contains('q'));
+        assert!(w.message.contains("PERF"));
+    }
+
+    #[test]
+    fn errors_sort_first() {
+        let ds = lints("a. a. :- a.");
+        assert!(ds.len() >= 2);
+        assert_eq!(ds[0].severity, Severity::Error);
+        assert_eq!(ds[0].code, "DDB006");
+    }
+
+    #[test]
+    fn empty_body_constraint_is_error() {
+        let mut db = ddb_logic::Database::with_fresh_atoms(1);
+        db.add_rule(ddb_logic::Rule::integrity([], []));
+        let ds = lint(&db, &DepGraph::of_database(&db));
+        assert!(ds
+            .iter()
+            .any(|d| d.code == "DDB006" && d.message.contains("empty body")));
+    }
+
+    #[test]
+    fn constructors() {
+        let d = Diagnostic::unsafe_rule(3, "X", "p(X).");
+        assert_eq!(d.code, "DDB001");
+        assert_eq!(d.rule, Some(3));
+        assert!(d.to_json().get("severity").unwrap().as_str() == Some("error"));
+        let u = Diagnostic::unknown_atom("partition P", "zz");
+        assert_eq!(u.code, "DDB008");
+        assert!(u.message.contains("zz"));
+    }
+}

@@ -1,0 +1,162 @@
+//! The analysis report: everything the static analyzer knows about a
+//! database, bundled for consumers (dispatch routing, `ddb check`).
+
+use crate::fragments::Fragments;
+use crate::lints::{lint, Diagnostic, Severity};
+use ddb_logic::depgraph::DepGraph;
+use ddb_logic::{Atom, Database};
+use ddb_obs::json::Json;
+use std::fmt::Write as _;
+
+/// The result of statically analyzing a [`Database`]: fragment flags, the
+/// stratification (when one exists), and the lint findings.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Which syntactic fragments the database falls in.
+    pub fragments: Fragments,
+    /// The stratification, lowest stratum first, if the database is
+    /// stratifiable.
+    pub strata: Option<Vec<Vec<Atom>>>,
+    /// Lint findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Runs the full static analysis: dependency graph, fragment
+/// classification, stratification, and the lint pass. Bumps the
+/// `analysis.runs` counter.
+pub fn analyze(db: &Database) -> AnalysisReport {
+    let _span = ddb_obs::span("analysis.analyze");
+    ddb_obs::counter_add("analysis.runs", 1);
+    let graph = DepGraph::of_database(db);
+    let fragments = Fragments::of(db, &graph);
+    AnalysisReport {
+        fragments,
+        strata: graph.stratification(),
+        diagnostics: lint(db, &graph),
+    }
+}
+
+impl AnalysisReport {
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Machine-readable rendering (the `ddb check --json` contract).
+    pub fn to_json(&self, db: &Database) -> Json {
+        let strata = match &self.strata {
+            None => Json::Null,
+            Some(strata) => Json::Arr(
+                strata
+                    .iter()
+                    .map(|s| {
+                        Json::Arr(
+                            s.iter()
+                                .map(|&a| Json::Str(db.symbols().name(a).to_owned()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        };
+        Json::obj([
+            ("atoms", Json::UInt(db.num_atoms() as u64)),
+            ("rules", Json::UInt(db.len() as u64)),
+            ("fragments", self.fragments.to_json()),
+            ("strata", strata),
+            (
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+            ("errors", Json::UInt(self.count(Severity::Error) as u64)),
+            ("warnings", Json::UInt(self.count(Severity::Warning) as u64)),
+        ])
+    }
+
+    /// Human-readable rendering (the `ddb check` default output).
+    pub fn render(&self, db: &Database) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} atoms, {} rules", db.num_atoms(), db.len());
+        let names = self.fragments.names();
+        let _ = writeln!(
+            out,
+            "class: {:?}; fragments: {}",
+            self.fragments.class,
+            if names.is_empty() {
+                "(none)".to_owned()
+            } else {
+                names.join(", ")
+            }
+        );
+        if let Some(strata) = &self.strata {
+            let _ = writeln!(out, "stratification: {} stratum/strata", strata.len());
+        }
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(out, "no findings");
+        } else {
+            for d in &self.diagnostics {
+                let _ = writeln!(out, "{d}");
+            }
+            let _ = writeln!(
+                out,
+                "{} error(s), {} warning(s), {} note(s)",
+                self.count(Severity::Error),
+                self.count(Severity::Warning),
+                self.count(Severity::Info),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_program;
+
+    #[test]
+    fn report_on_clean_positive_db() {
+        let db = parse_program("a | b. g :- a. g :- b.").unwrap();
+        let r = analyze(&db);
+        assert!(r.fragments.positive && !r.has_errors());
+        assert_eq!(r.strata.as_ref().unwrap().len(), 1);
+        let j = r.to_json(&db);
+        assert_eq!(j.get("errors").unwrap().as_u64(), Some(0));
+        assert!(
+            j.get("fragments")
+                .unwrap()
+                .get("positive")
+                .unwrap()
+                .as_bool()
+                == Some(true)
+        );
+        assert!(r.render(&db).contains("no findings"));
+    }
+
+    #[test]
+    fn report_carries_errors() {
+        let db = parse_program("a. :- a.").unwrap();
+        let r = analyze(&db);
+        assert!(r.has_errors());
+        assert!(r.render(&db).contains("error[DDB006]"));
+        let j = r.to_json(&db);
+        assert_eq!(j.get("errors").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn unstratifiable_db_has_no_strata_and_a_warning() {
+        let db = parse_program("a :- not b. b :- not a.").unwrap();
+        let r = analyze(&db);
+        assert!(r.strata.is_none());
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.to_json(&db).get("strata"), Some(&Json::Null));
+    }
+}

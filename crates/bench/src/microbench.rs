@@ -316,6 +316,7 @@ fn human_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target in this group.
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+

@@ -11,6 +11,7 @@
 //! panicking, so sweeps can skip inapplicable cells gracefully.
 
 use crate::icwa::Layers;
+use ddb_analysis::{Diagnostic, Fragments};
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{Cost, Partition};
 use std::fmt;
@@ -85,6 +86,9 @@ pub struct Unsupported {
     pub semantics: SemanticsId,
     /// Why it does not apply.
     pub reason: String,
+    /// The static-analysis finding explaining the rejection, when the
+    /// analyzer has one (e.g. `DDB007` for unstratifiable negation).
+    pub lint: Option<Diagnostic>,
 }
 
 impl fmt::Display for Unsupported {
@@ -95,6 +99,27 @@ impl fmt::Display for Unsupported {
 
 impl std::error::Error for Unsupported {}
 
+/// How dispatch picks the decision procedure for a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RoutingMode {
+    /// Consult the static analyzer and take a polynomial fast path when
+    /// the database's fragment admits one (the default).
+    #[default]
+    Auto,
+    /// Always run the generic oracle-backed procedure (used by tests and
+    /// ablation benchmarks to compare against the fast paths).
+    Generic,
+}
+
+/// The fast path chosen for one query (internal; surfaced via the
+/// `route.*` counters).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Route {
+    Horn,
+    HcfDsm,
+    Generic,
+}
+
 /// A semantics together with the extra structure some semantics need.
 #[derive(Clone, Debug)]
 pub struct SemanticsConfig {
@@ -104,6 +129,8 @@ pub struct SemanticsConfig {
     pub partition: Option<Partition>,
     /// Varying atoms `Z` for ICWA (defaults to none).
     pub icwa_varying: Option<Interpretation>,
+    /// Whether analysis-driven fast paths may be taken.
+    pub routing: RoutingMode,
 }
 
 impl SemanticsConfig {
@@ -113,12 +140,19 @@ impl SemanticsConfig {
             id,
             partition: None,
             icwa_varying: None,
+            routing: RoutingMode::default(),
         }
     }
 
     /// Sets the CCWA/ECWA partition.
     pub fn with_partition(mut self, partition: Partition) -> Self {
         self.partition = Some(partition);
+        self
+    }
+
+    /// Sets the routing mode (see [`RoutingMode`]).
+    pub fn with_routing(mut self, routing: RoutingMode) -> Self {
+        self.routing = routing;
         self
     }
 
@@ -131,21 +165,74 @@ impl SemanticsConfig {
     /// Whether this semantics is defined for `db`'s syntactic class;
     /// returns the reason when it is not.
     pub fn check_applicable(&self, db: &Database) -> Result<(), Unsupported> {
-        self.check(db)
+        self.check_fragments(db, &ddb_analysis::classify(db))
     }
 
-    fn check(&self, db: &Database) -> Result<(), Unsupported> {
+    /// Applicability from the shared fragment flags (no re-derivation of
+    /// `has_negation`/stratifiability per semantics). On rejection the
+    /// [`Unsupported`] carries the analyzer's lint where one exists.
+    fn check_fragments(&self, db: &Database, frags: &Fragments) -> Result<(), Unsupported> {
         match self.id {
-            SemanticsId::Ddr | SemanticsId::Pws if db.has_negation() => Err(Unsupported {
+            SemanticsId::Ddr | SemanticsId::Pws if !frags.deductive => Err(Unsupported {
                 semantics: self.id,
                 reason: "defined only for databases without negation".into(),
+                lint: None,
             }),
-            SemanticsId::Icwa if db.stratification().is_none() => Err(Unsupported {
+            SemanticsId::Icwa if !frags.stratified => Err(Unsupported {
                 semantics: self.id,
                 reason: "database is not stratifiable".into(),
+                lint: ddb_analysis::analyze(db)
+                    .diagnostics
+                    .into_iter()
+                    .find(|d| d.code == "DDB007"),
             }),
             _ => Ok(()),
         }
+    }
+
+    /// Picks the decision procedure for `db` given its fragments, and
+    /// records the choice in the `route.*` counters.
+    fn route(&self, frags: &Fragments) -> Route {
+        let route = if self.routing == RoutingMode::Generic {
+            Route::Generic
+        } else if frags.horn && self.has_default_structure() {
+            Route::Horn
+        } else if self.id == SemanticsId::Dsm && frags.head_cycle_free {
+            Route::HcfDsm
+        } else {
+            Route::Generic
+        };
+        ddb_obs::counter_add(
+            match route {
+                Route::Horn => "route.horn",
+                Route::HcfDsm => "route.hcf",
+                Route::Generic => "route.generic",
+            },
+            1,
+        );
+        route
+    }
+
+    /// The Horn collapse (all ten semantics = the least model) only holds
+    /// for the default configuration: CCWA/ECWA with the minimize-all
+    /// partition and ICWA with no varying atoms.
+    fn has_default_structure(&self) -> bool {
+        match self.id {
+            SemanticsId::Ccwa | SemanticsId::Ecwa => self.partition.is_none(),
+            SemanticsId::Icwa => self
+                .icwa_varying
+                .as_ref()
+                .is_none_or(Interpretation::is_empty_set),
+            _ => true,
+        }
+    }
+
+    /// Shared prologue of every query: classify once, reject inapplicable
+    /// combinations, pick the route.
+    fn prepare(&self, db: &Database) -> Result<Route, Unsupported> {
+        let frags = ddb_analysis::classify(db);
+        self.check_fragments(db, &frags)?;
+        Ok(self.route(&frags))
     }
 
     fn icwa_layers(&self, db: &Database) -> Layers {
@@ -164,7 +251,11 @@ impl SemanticsConfig {
         lit: Literal,
         cost: &mut Cost,
     ) -> Result<bool, Unsupported> {
-        self.check(db)?;
+        match self.prepare(db)? {
+            Route::Horn => return Ok(crate::route::horn_infers_literal(db, lit)),
+            Route::HcfDsm => return Ok(crate::route::hcf_dsm_infers_literal(db, lit, cost)),
+            Route::Generic => {}
+        }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::infers_literal(db, lit, cost),
             SemanticsId::Egcwa => crate::egcwa::infers_literal(db, lit, cost),
@@ -190,7 +281,11 @@ impl SemanticsConfig {
         f: &Formula,
         cost: &mut Cost,
     ) -> Result<bool, Unsupported> {
-        self.check(db)?;
+        match self.prepare(db)? {
+            Route::Horn => return Ok(crate::route::horn_infers_formula(db, f)),
+            Route::HcfDsm => return Ok(crate::route::hcf_dsm_infers_formula(db, f, cost)),
+            Route::Generic => {}
+        }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::infers_formula(db, f, cost),
             SemanticsId::Egcwa => crate::egcwa::infers_formula(db, f, cost),
@@ -207,7 +302,11 @@ impl SemanticsConfig {
 
     /// The paper's *∃ model* problem: is the semantics non-empty for `db`?
     pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<bool, Unsupported> {
-        self.check(db)?;
+        match self.prepare(db)? {
+            Route::Horn => return Ok(crate::route::horn_has_model(db)),
+            Route::HcfDsm => return Ok(crate::route::hcf_dsm_has_model(db, cost)),
+            Route::Generic => {}
+        }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::has_model(db, cost),
             SemanticsId::Egcwa => crate::egcwa::has_model(db, cost),
@@ -242,7 +341,11 @@ impl SemanticsConfig {
         db: &Database,
         cost: &mut Cost,
     ) -> Result<Vec<Interpretation>, Unsupported> {
-        self.check(db)?;
+        match self.prepare(db)? {
+            Route::Horn => return Ok(crate::route::horn_models(db)),
+            Route::HcfDsm => return Ok(crate::route::hcf_dsm_models(db, cost)),
+            Route::Generic => {}
+        }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::models(db, cost),
             SemanticsId::Egcwa => crate::egcwa::models(db, cost),

@@ -55,8 +55,9 @@ pub mod perf;
 pub mod profile;
 pub mod pws;
 pub mod reduct;
+pub mod route;
 pub mod supported;
 pub mod wfs;
 pub mod witness;
 
-pub use dispatch::{SemanticsConfig, SemanticsId, Unsupported};
+pub use dispatch::{RoutingMode, SemanticsConfig, SemanticsId, Unsupported};

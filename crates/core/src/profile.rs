@@ -93,6 +93,10 @@ pub struct CellProfile {
     pub wall_ns: u64,
     /// Reason the cell is inapplicable, when `answer` is `None`.
     pub unsupported: Option<String>,
+    /// Which dispatch route served this cell (`"horn"`, `"hcf"`, or
+    /// `"generic"`), read off the `route.*` counters; `None` when the cell
+    /// was unsupported or routing never ran.
+    pub route: Option<&'static str>,
 }
 
 impl CellProfile {
@@ -126,6 +130,13 @@ impl CellProfile {
                     None => Json::Null,
                 },
             ),
+            (
+                "route",
+                match self.route {
+                    Some(r) => Json::Str(r.to_owned()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -141,6 +152,7 @@ pub fn profile_cell(
 ) -> CellProfile {
     let _span = ddb_obs::span("profile.cell");
     let mut cost = Cost::new();
+    let before = ddb_obs::snapshot();
     let started = Instant::now();
     let outcome = match problem {
         Problem::Literal => cfg.infers_literal(db, lit, &mut cost),
@@ -148,6 +160,16 @@ pub fn profile_cell(
         Problem::Existence => cfg.has_model(db, &mut cost),
     };
     let wall_ns = started.elapsed().as_nanos() as u64;
+    let spent = ddb_obs::snapshot().diff(&before);
+    let route = if spent.get("route.horn") > 0 {
+        Some("horn")
+    } else if spent.get("route.hcf") > 0 {
+        Some("hcf")
+    } else if spent.get("route.generic") > 0 {
+        Some("generic")
+    } else {
+        None
+    };
     let (answer, unsupported) = match outcome {
         Ok(b) => (Some(b), None),
         Err(e) => (None, Some(e.reason)),
@@ -159,6 +181,7 @@ pub fn profile_cell(
         cost,
         wall_ns,
         unsupported,
+        route,
     }
 }
 
@@ -197,9 +220,18 @@ pub fn render_table(cells: &[CellProfile]) -> String {
                 .find(|c| c.semantics == id && c.problem == problem);
             match cell {
                 Some(c) if c.answer.is_some() => {
+                    let fast = match c.route {
+                        Some("horn") | Some("hcf") => "*",
+                        _ => "",
+                    };
                     row.push_str(&format!(
                         " {:>24}",
-                        format!("{} calls, {}", c.cost.sat_calls, human_ns(c.wall_ns))
+                        format!(
+                            "{}{} calls, {}",
+                            fast,
+                            c.cost.sat_calls,
+                            human_ns(c.wall_ns)
+                        )
                     ));
                 }
                 Some(_) => row.push_str(&format!(" {:>24}", "n/a")),
@@ -215,6 +247,12 @@ pub fn render_table(cells: &[CellProfile]) -> String {
         out.push(' ');
         out.push_str(row.trim_end());
         out.push('\n');
+    }
+    if cells
+        .iter()
+        .any(|c| matches!(c.route, Some("horn") | Some("hcf")))
+    {
+        out.push_str(" * served by an analysis fast path (route.horn / route.hcf)\n");
     }
     out
 }
@@ -280,6 +318,22 @@ mod tests {
         let doc = Json::Arr(cells.iter().map(CellProfile::to_json).collect());
         let parsed = ddb_obs::json::parse(&doc.render()).unwrap();
         assert_eq!(parsed.as_arr().unwrap().len(), 30);
+    }
+
+    #[test]
+    fn horn_cells_report_fast_route_with_zero_oracle_calls() {
+        let db = parse_program("a. b :- a. :- c.").unwrap();
+        let f = parse_formula("b", db.symbols()).unwrap();
+        let cells = profile_all(&db, ddb_logic::Atom::new(0).pos(), &f);
+        // Horn database: every applicable cell rides the Horn fast path
+        // and pays no oracle calls.
+        for c in cells.iter().filter(|c| c.answer.is_some()) {
+            assert_eq!(c.route, Some("horn"), "{:?}/{:?}", c.semantics, c.problem);
+            assert_eq!(c.cost.sat_calls, 0, "{:?}/{:?}", c.semantics, c.problem);
+        }
+        assert!(render_table(&cells).contains("fast path"));
+        let cell = cells.first().unwrap().to_json();
+        assert_eq!(cell.get("route").unwrap().as_str(), Some("horn"));
     }
 
     #[test]

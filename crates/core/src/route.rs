@@ -1,0 +1,237 @@
+//! Analysis-driven fast paths for easy fragments.
+//!
+//! The paper's tables assign Πᵖ₂/Σᵖ₂ cells to *general* disjunctive
+//! databases; on the fragments the [`ddb_analysis`] classifier recognizes,
+//! whole rows collapse:
+//!
+//! * **Horn** databases ([`horn_models`] and friends): the least model `L`
+//!   of the definite rules is computable by the polynomial worklist
+//!   fixpoint ([`ddb_models::fixpoint::active_atoms`]); the database is
+//!   consistent iff `L` satisfies its integrity clauses, and then *every*
+//!   one of the ten semantics has `{L}` as its characteristic model set —
+//!   inference is formula evaluation at `L` (vacuously true when
+//!   inconsistent) and model existence is consistency. Zero oracle calls.
+//! * **Head-cycle-free** databases ([`for_each_hcf_stable_model`]): by the
+//!   Ben-Eliyahu & Dechter theorem, `DSM(DB)` equals the stable models of
+//!   the *shifted* normal program ([`ddb_analysis::shift`]), whose
+//!   stability check is a polynomial reduct-fixpoint comparison instead of
+//!   one minimality oracle call per candidate.
+//!
+//! [`crate::dispatch`] consults the fragment flags and calls into this
+//! module, bumping the `route.horn` / `route.hcf` / `route.generic`
+//! counters so `ddb profile` can show which cells were served by a fast
+//! path. Equality of fast-path and generic answers across all ten
+//! semantics is pinned by the seeded property tests in
+//! `tests/routing.rs`.
+
+use crate::reduct::gl_reduct;
+use ddb_analysis::transform::shift;
+use ddb_logic::cnf::database_to_cnf;
+use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_models::fixpoint::active_atoms;
+use ddb_models::{minimal, Cost};
+use ddb_sat::Solver;
+
+/// The least model of a Horn database's definite rules, plus whether the
+/// database is consistent (i.e. that model also satisfies the integrity
+/// clauses). Polynomial; no oracle calls.
+///
+/// # Panics
+/// Panics if `db` is not Horn (the fixpoint rejects negation).
+pub fn horn_least_model(db: &Database) -> (Interpretation, bool) {
+    debug_assert!(db.is_horn(), "horn fast path on a non-Horn database");
+    let least = active_atoms(db);
+    let consistent = db.satisfied_by(&least);
+    (least, consistent)
+}
+
+/// Horn fast path for the characteristic model set: `{L}` when consistent,
+/// empty otherwise — identical for all ten semantics.
+pub fn horn_models(db: &Database) -> Vec<Interpretation> {
+    let (least, consistent) = horn_least_model(db);
+    if consistent {
+        vec![least]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Horn fast path for formula inference: `F` evaluated at the least model,
+/// vacuously true when the database is inconsistent.
+pub fn horn_infers_formula(db: &Database, f: &Formula) -> bool {
+    let (least, consistent) = horn_least_model(db);
+    !consistent || f.eval(&least)
+}
+
+/// Horn fast path for literal inference.
+pub fn horn_infers_literal(db: &Database, lit: Literal) -> bool {
+    let (least, consistent) = horn_least_model(db);
+    !consistent || least.contains(lit.atom()) == lit.is_positive()
+}
+
+/// Horn fast path for model existence: consistency of the least model.
+pub fn horn_has_model(db: &Database) -> bool {
+    horn_least_model(db).1
+}
+
+/// Polynomial stability check for a **normal** program (every head has at
+/// most one atom, e.g. the output of [`shift`]): `m` is stable iff it is a
+/// model and equals the least fixpoint of the definite part of the
+/// Gelfond–Lifschitz reduct. This replaces the minimality oracle call of
+/// the generic [`crate::dsm::is_stable_model`].
+pub fn normal_is_stable(normal: &Database, m: &Interpretation) -> bool {
+    debug_assert!(
+        normal.rules().iter().all(|r| r.head().len() <= 1),
+        "polynomial stability check requires a normal program"
+    );
+    if !normal.satisfied_by(m) {
+        return false;
+    }
+    active_atoms(&gl_reduct(normal, m)) == *m
+}
+
+/// Visits the disjunctive stable models of a **head-cycle-free** database:
+/// the same minimal-model enumeration as [`crate::dsm::for_each_stable_model`],
+/// but with the per-candidate stability oracle call replaced by the
+/// polynomial shifted-program check ([`normal_is_stable`]). Sound and
+/// complete for HCF databases by Ben-Eliyahu & Dechter.
+pub fn for_each_hcf_stable_model(
+    db: &Database,
+    cost: &mut Cost,
+    mut visit: impl FnMut(&Interpretation) -> bool,
+) {
+    let shifted = shift(db);
+    let n = db.num_atoms();
+    let mut candidates = Solver::from_cnf(&database_to_cnf(db));
+    candidates.ensure_vars(n);
+    loop {
+        if !candidates.solve().is_sat() {
+            break;
+        }
+        let model = {
+            let full = candidates.model();
+            let mut m = Interpretation::empty(n);
+            for a in full.iter().filter(|a| a.index() < n) {
+                m.insert(a);
+            }
+            m
+        };
+        let minimal = minimal::minimize(db, &model, cost);
+        ddb_obs::counter_add("route.hcf.stability_checks", 1);
+        if normal_is_stable(&shifted, &minimal) && !visit(&minimal) {
+            break;
+        }
+        let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
+        if blocking.is_empty() || !candidates.add_clause(&blocking) {
+            break;
+        }
+    }
+    cost.absorb(&candidates);
+}
+
+/// HCF fast path for [`crate::dsm::models`].
+pub fn hcf_dsm_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+    let mut out = Vec::new();
+    for_each_hcf_stable_model(db, cost, |m| {
+        out.push(m.clone());
+        true
+    });
+    out.sort();
+    out
+}
+
+/// HCF fast path for DSM formula inference (cautious; vacuously true
+/// without stable models).
+pub fn hcf_dsm_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+    let mut holds = true;
+    for_each_hcf_stable_model(db, cost, |m| {
+        if !f.eval(m) {
+            holds = false;
+            return false;
+        }
+        true
+    });
+    holds
+}
+
+/// HCF fast path for DSM literal inference.
+pub fn hcf_dsm_infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+    hcf_dsm_infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
+}
+
+/// HCF fast path for DSM model existence.
+pub fn hcf_dsm_has_model(db: &Database, cost: &mut Cost) -> bool {
+    let mut found = false;
+    for_each_hcf_stable_model(db, cost, |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    #[test]
+    fn horn_least_model_and_consistency() {
+        let db = parse_program("a. b :- a. c :- b, d.").unwrap();
+        let (least, consistent) = horn_least_model(&db);
+        assert!(consistent);
+        assert_eq!(least.count(), 2); // a, b
+        let bad = parse_program("a. b :- a. :- b.").unwrap();
+        assert!(!horn_has_model(&bad));
+        assert!(horn_models(&bad).is_empty());
+        // Vacuous inference on inconsistent databases.
+        let f = parse_formula("false", bad.symbols()).unwrap();
+        assert!(horn_infers_formula(&bad, &f));
+    }
+
+    #[test]
+    fn horn_agrees_with_generic_dsm() {
+        let db = parse_program("a. b :- a. c :- b, d. :- e.").unwrap();
+        let mut cost = Cost::new();
+        assert_eq!(horn_models(&db), crate::dsm::models(&db, &mut cost));
+        assert!(cost.sat_calls > 0, "generic path pays oracle calls");
+    }
+
+    #[test]
+    fn hcf_path_matches_generic_dsm() {
+        for src in [
+            "a | b. c :- a. c :- b.",
+            "a | b :- not c. c :- not d. d :- not c.",
+            "a | b :- c. c :- b.",
+        ] {
+            let db = parse_program(src).unwrap();
+            assert!(ddb_analysis::classify(&db).head_cycle_free, "{src}");
+            let mut c1 = Cost::new();
+            let mut c2 = Cost::new();
+            assert_eq!(
+                hcf_dsm_models(&db, &mut c1),
+                crate::dsm::models(&db, &mut c2),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_stability_check_matches_oracle_check() {
+        let db = parse_program("p :- not q. q :- not p. r :- p.").unwrap();
+        let mut cost = Cost::new();
+        let n = db.num_atoms();
+        for bits in 0u32..(1 << n) {
+            let m = Interpretation::from_atoms(
+                n,
+                (0..n as u32)
+                    .filter(|&i| bits >> i & 1 == 1)
+                    .map(ddb_logic::Atom::new),
+            );
+            assert_eq!(
+                normal_is_stable(&db, &m),
+                crate::dsm::is_stable_model(&db, &m, &mut cost),
+                "at {m:?}"
+            );
+        }
+    }
+}

@@ -28,6 +28,15 @@ impl fmt::Display for SafetyError {
 
 impl std::error::Error for SafetyError {}
 
+impl SafetyError {
+    /// The violation as a structured DDB001 diagnostic, so `ddb check`
+    /// reports safety failures through the same channel as the
+    /// propositional lints.
+    pub fn to_diagnostic(&self) -> ddb_analysis::Diagnostic {
+        ddb_analysis::Diagnostic::unsafe_rule(self.rule_index, &self.variable, &self.rule)
+    }
+}
+
 /// Checks one rule.
 pub fn check_rule(index: usize, rule: &DatalogRule) -> Result<(), SafetyError> {
     let positive = rule.positive_body_variables();
@@ -70,6 +79,16 @@ mod tests {
         let err = check_program(&prog).unwrap_err();
         assert_eq!(err.variable, "X");
         assert_eq!(err.rule_index, 0);
+    }
+
+    #[test]
+    fn safety_error_converts_to_ddb001_diagnostic() {
+        let prog = parse_datalog("p(X).").unwrap();
+        let err = check_program(&prog).unwrap_err();
+        let d = err.to_diagnostic();
+        assert_eq!(d.code, "DDB001");
+        assert_eq!(d.severity, ddb_analysis::Severity::Error);
+        assert!(d.message.contains('X'));
     }
 
     #[test]

@@ -155,163 +155,22 @@ impl Database {
     /// groups of atoms, lowest first; atoms not occurring in any rule go to
     /// stratum 0. Returns `None` iff the database is unstratifiable.
     ///
-    /// The algorithm builds the dependency graph with weak (≤) and strict
-    /// (<) edges, contracts strongly connected components, and fails iff a
-    /// strict edge lies inside a component; stratum numbers are longest
-    /// strict-edge counts over the condensation.
+    /// This is a thin delegate to the canonical implementation in
+    /// [`crate::depgraph`]: the dependency graph with weak (≤) and strict
+    /// (<) edges is contracted to strongly connected components, the
+    /// database is unstratifiable iff a strict edge lies inside a
+    /// component, and stratum numbers are longest strict-edge counts over
+    /// the condensation.
     pub fn stratification(&self) -> Option<Vec<Vec<Atom>>> {
-        let n = self.num_atoms();
-        // Edges: (from, to, strict). Constraint: stratum(to) ≥ stratum(from),
-        // strict ⇒ stratum(to) > stratum(from).
-        let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n];
-        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let add_edge = |adj: &mut Vec<Vec<(u32, bool)>>,
-                        radj: &mut Vec<Vec<u32>>,
-                        from: Atom,
-                        to: Atom,
-                        strict: bool| {
-            adj[from.index()].push((to.index() as u32, strict));
-            radj[to.index()].push(from.index() as u32);
-        };
-        for rule in &self.rules {
-            if rule.is_integrity() {
-                continue;
-            }
-            let head = rule.head();
-            // Head atoms must share a stratum: cycle of weak edges.
-            for w in head.windows(2) {
-                add_edge(&mut adj, &mut radj, w[0], w[1], false);
-                add_edge(&mut adj, &mut radj, w[1], w[0], false);
-            }
-            let h0 = head[0];
-            for &b in rule.body_pos() {
-                add_edge(&mut adj, &mut radj, b, h0, false);
-            }
-            for &c in rule.body_neg() {
-                add_edge(&mut adj, &mut radj, c, h0, true);
-            }
-        }
-
-        // Tarjan-free SCC via Kosaraju (iterative) — deterministic order.
-        let mut order = Vec::with_capacity(n);
-        let mut seen = vec![false; n];
-        for start in 0..n {
-            if seen[start] {
-                continue;
-            }
-            // Iterative post-order DFS.
-            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
-            seen[start] = true;
-            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
-                if *i < adj[v].len() {
-                    let (w, _) = adj[v][*i];
-                    *i += 1;
-                    let w = w as usize;
-                    if !seen[w] {
-                        seen[w] = true;
-                        stack.push((w, 0));
-                    }
-                } else {
-                    order.push(v);
-                    stack.pop();
-                }
-            }
-        }
-        let mut comp = vec![usize::MAX; n];
-        let mut num_comps = 0;
-        for &start in order.iter().rev() {
-            if comp[start] != usize::MAX {
-                continue;
-            }
-            let c = num_comps;
-            num_comps += 1;
-            let mut stack = vec![start];
-            comp[start] = c;
-            while let Some(v) = stack.pop() {
-                for &w in &radj[v] {
-                    let w = w as usize;
-                    if comp[w] == usize::MAX {
-                        comp[w] = c;
-                        stack.push(w);
-                    }
-                }
-            }
-        }
-
-        // Strict edge within a component ⇒ unstratifiable.
-        for v in 0..n {
-            for &(w, strict) in &adj[v] {
-                if strict && comp[v] == comp[w as usize] {
-                    return None;
-                }
-            }
-        }
-
-        // Longest path by strict-edge count over the condensation (which is
-        // a DAG). Components are numbered in reverse topological order by
-        // Kosaraju, i.e. comp 0 has no incoming edges from other comps...
-        // safer: do a DP over atoms in condensation topological order.
-        let mut level = vec![0usize; num_comps];
-        // Kosaraju assigns component ids in topological order of the
-        // condensation (sources first), so a forward pass relaxes correctly.
-        let mut comp_edges: Vec<Vec<(usize, bool)>> = vec![Vec::new(); num_comps];
-        for v in 0..n {
-            for &(w, strict) in &adj[v] {
-                let (cv, cw) = (comp[v], comp[w as usize]);
-                if cv != cw {
-                    comp_edges[cv].push((cw, strict));
-                }
-            }
-        }
-        for c in 0..num_comps {
-            let lc = level[c];
-            for &(d, strict) in &comp_edges[c] {
-                debug_assert!(d > c, "component ids must be topologically ordered");
-                let need = lc + usize::from(strict);
-                if level[d] < need {
-                    level[d] = need;
-                }
-            }
-        }
-
-        let max_level = level.iter().copied().max().unwrap_or(0);
-        let mut strata: Vec<Vec<Atom>> = vec![Vec::new(); max_level + 1];
-        for v in 0..n {
-            strata[level[comp[v]]].push(Atom::new(v as u32));
-        }
-        // Drop trailing empty strata but keep at least one stratum for a
-        // non-empty vocabulary.
-        while strata.len() > 1 && strata.last().is_some_and(Vec::is_empty) {
-            strata.pop();
-        }
-        Some(strata)
+        crate::depgraph::stratification(self)
     }
 
     /// Splits the database along a stratification: `layers[i]` contains the
     /// rules whose head belongs to stratum `i` (`DBᵢ` in the paper's ICWA
     /// machinery). Integrity clauses are placed in the stratum of their
-    /// highest body atom.
+    /// highest body atom. Delegates to [`crate::depgraph::layers`].
     pub fn layers(&self, strata: &[Vec<Atom>]) -> Vec<Vec<Rule>> {
-        let n = self.num_atoms();
-        let mut stratum_of = vec![0usize; n];
-        for (i, s) in strata.iter().enumerate() {
-            for &a in s {
-                stratum_of[a.index()] = i;
-            }
-        }
-        let mut layers: Vec<Vec<Rule>> = vec![Vec::new(); strata.len()];
-        for rule in &self.rules {
-            let s = if let Some(&h) = rule.head().first() {
-                stratum_of[h.index()]
-            } else {
-                rule.atoms()
-                    .map(|a| stratum_of[a.index()])
-                    .max()
-                    .unwrap_or(0)
-            };
-            layers[s].push(rule.clone());
-        }
-        layers
+        crate::depgraph::layers(self, strata)
     }
 }
 

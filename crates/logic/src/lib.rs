@@ -34,6 +34,7 @@
 mod atom;
 pub mod cnf;
 mod database;
+pub mod depgraph;
 mod formula;
 mod interp;
 pub mod parse;

@@ -87,14 +87,17 @@ pub fn snapshot() -> CounterSnapshot {
 }
 
 impl CounterSnapshot {
+    /// Value of `name` at snapshot time, zero if it was never bumped.
     pub fn get(&self, name: &str) -> u64 {
         self.values.get(name).copied().unwrap_or(0)
     }
 
+    /// Whether no counter had been bumped when the snapshot was taken.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
+    /// All counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.values.iter().map(|(k, v)| (k.as_str(), *v))
     }

@@ -12,14 +12,19 @@ use std::fmt::Write as _;
 /// deterministic and diff-friendly.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// The `null` literal.
     Null,
+    /// `true` or `false`.
     Bool(bool),
     /// Non-negative integers — the common case for counters.
     UInt(u64),
     /// Any other number (negative or fractional).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
     Obj(Vec<(String, Json)>),
 }
 
@@ -37,6 +42,7 @@ impl Json {
         }
     }
 
+    /// The value as a `u64`, accepting whole non-negative floats.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::UInt(n) => Some(*n),
@@ -45,6 +51,7 @@ impl Json {
         }
     }
 
+    /// The value as an `f64`, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::UInt(n) => Some(*n as f64),
@@ -53,6 +60,7 @@ impl Json {
         }
     }
 
+    /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -60,6 +68,7 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -67,6 +76,7 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, if it is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
@@ -199,7 +209,9 @@ fn write_string(out: &mut String, s: &str) {
 /// Parse error with a byte offset into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
     pub offset: usize,
+    /// What went wrong.
     pub message: String,
 }
 

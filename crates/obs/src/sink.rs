@@ -12,24 +12,37 @@ use std::sync::{Arc, Mutex};
 /// One observability event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
+    /// A span was entered.
     SpanEnter {
+        /// Span name.
         name: String,
+        /// Nesting depth at entry (0 = outermost).
         depth: usize,
+        /// Nanoseconds since the process-local epoch.
         at_ns: u64,
     },
+    /// A span was exited.
     SpanExit {
+        /// Span name.
         name: String,
+        /// Nesting depth the span was entered at.
         depth: usize,
+        /// Wall-clock duration of the span in nanoseconds.
         dur_ns: u64,
     },
+    /// A counter was bumped.
     Counter {
+        /// Counter name.
         name: String,
+        /// Amount added by this update.
         delta: u64,
+        /// Counter value after the update.
         total: u64,
     },
 }
 
 impl Event {
+    /// JSON rendering used by `--trace-json`.
     pub fn to_json(&self) -> Json {
         match self {
             Event::SpanEnter { name, depth, at_ns } => Json::obj([
@@ -62,6 +75,7 @@ impl Event {
 /// call back into the observability layer (no counters, no spans) or they
 /// will recurse.
 pub trait Sink: Send + Sync {
+    /// Receive one event. Called synchronously on the emitting thread.
     fn record(&self, event: &Event);
 }
 
@@ -104,6 +118,7 @@ pub struct MemorySink {
 }
 
 impl MemorySink {
+    /// An empty buffer, ready to install via [`set_sink`].
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
@@ -121,10 +136,12 @@ impl MemorySink {
         std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Number of buffered events.
     pub fn len(&self) -> usize {
         self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Whether nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

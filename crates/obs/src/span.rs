@@ -57,10 +57,12 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    /// The span's name.
     pub fn name(&self) -> &'static str {
         self.name
     }
 
+    /// The nesting depth this span was entered at (0 = outermost).
     pub fn depth(&self) -> usize {
         self.depth
     }

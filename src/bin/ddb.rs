@@ -4,6 +4,11 @@
 //! ddb classify <file>
 //!     Report the database's syntactic class, stratification and stats.
 //!
+//! ddb check <file> [--json] [--strict]
+//!     Static analysis: fragment classification, stratification, and the
+//!     lint pass (DDB001–DDB008). Exit code is non-zero when any
+//!     error-level finding exists (with --strict, warnings too).
+//!
 //! ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c]
 //!     Enumerate the characteristic models of a semantics.
 //!
@@ -60,6 +65,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "classify" => classify(&args[1..]),
+        "check" => check_cmd(&args[1..]),
         "models" => models(&args[1..]),
         "query" => query(&args[1..]),
         "exists" => exists(&args[1..]),
@@ -73,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   ddb classify <file>
+  ddb check  <file> [--json] [--strict] (static analysis + lints, exit 1 on errors)
   ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c] [--partial]
   ddb query  <file> --semantics <name> (--formula \"<f>\" | --literal [-]<atom>) [--brave] [--explain]
   ddb exists <file> --semantics <name>
@@ -105,7 +112,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         if let Some(key) = a.strip_prefix("--") {
             if matches!(
                 key,
-                "brave" | "explain" | "datalog" | "full" | "partial" | "stats"
+                "brave" | "explain" | "datalog" | "full" | "partial" | "stats" | "json" | "strict"
             ) {
                 opts.flags.push(key.to_owned());
                 i += 1;
@@ -189,9 +196,10 @@ fn config_for(opts: &Opts, db: &Database) -> Result<SemanticsConfig, String> {
                 s.split(',')
                     .filter(|t| !t.is_empty())
                     .map(|t| {
-                        db.symbols()
-                            .lookup(t.trim())
-                            .ok_or_else(|| format!("unknown atom `{t}` in partition"))
+                        db.symbols().lookup(t.trim()).ok_or_else(|| {
+                            disjunctive_db::analysis::Diagnostic::unknown_atom("partition", t)
+                                .to_string()
+                        })
                     })
                     .collect()
             })
@@ -288,6 +296,67 @@ fn classify(args: &[String]) -> Result<(), String> {
             }
         }
         None => println!("stratification:     none (unstratifiable)"),
+    }
+    Ok(())
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn check_cmd(args: &[String]) -> Result<(), String> {
+    use disjunctive_db::analysis::{analyze, Severity};
+    let opts = parse_opts(args)?;
+    let path = opts.file.as_deref().ok_or("missing <file> argument")?;
+    let source = read_source(path)?;
+    let datalog = opts.flag("datalog") || path.ends_with(".dlv") || source.contains('(');
+    let db = if datalog {
+        let program = parse_datalog(&source).map_err(|e| e.to_string())?;
+        // An unsafe program cannot be grounded, so its DDB001 diagnostic
+        // is the whole report.
+        if let Err(e) = disjunctive_db::ground::safety::check_program(&program) {
+            let d = e.to_diagnostic();
+            if opts.flag("json") {
+                let doc = Json::obj([
+                    ("file", Json::Str(path.to_owned())),
+                    ("diagnostics", Json::Arr(vec![d.to_json()])),
+                    ("errors", Json::UInt(1)),
+                    ("warnings", Json::UInt(0)),
+                ]);
+                print!("{}", doc.render_pretty());
+            } else {
+                println!("{d}");
+            }
+            return Err("check failed: 1 error(s)".into());
+        }
+        ground_reduced(&program, 1_000_000).map_err(|e| e.to_string())?
+    } else {
+        parse_program(&source).map_err(|e| e.to_string())?
+    };
+    let report = analyze(&db);
+    if opts.flag("json") {
+        let mut pairs = vec![("file".to_owned(), Json::Str(path.to_owned()))];
+        if let Json::Obj(rest) = report.to_json(&db) {
+            pairs.extend(rest);
+        }
+        print!("{}", Json::Obj(pairs).render_pretty());
+    } else {
+        print!("{}", report.render(&db));
+    }
+    let errors = report.count(Severity::Error);
+    let warnings = report.count(Severity::Warning);
+    if errors > 0 || (opts.flag("strict") && warnings > 0) {
+        return Err(format!(
+            "check failed: {errors} error(s), {warnings} warning(s)"
+        ));
     }
     Ok(())
 }
@@ -608,6 +677,37 @@ mod tests {
         let result = run(&args(&["classify", path.to_str().unwrap()]));
         std::fs::remove_file(&path).ok();
         assert!(result.is_ok());
+    }
+
+    #[test]
+    fn check_passes_clean_db_and_fails_on_error_lints() {
+        let clean = std::env::temp_dir().join("ddb_cli_check_clean.dl");
+        std::fs::write(&clean, "a | b. c :- a.").unwrap();
+        assert!(run(&args(&["check", clean.to_str().unwrap()])).is_ok());
+        assert!(run(&args(&["check", clean.to_str().unwrap(), "--json"])).is_ok());
+        std::fs::remove_file(&clean).ok();
+
+        let bad = std::env::temp_dir().join("ddb_cli_check_bad.dl");
+        std::fs::write(&bad, "a. :- a.").unwrap();
+        assert!(run(&args(&["check", bad.to_str().unwrap()])).is_err());
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn check_strict_fails_on_warnings() {
+        let dup = std::env::temp_dir().join("ddb_cli_check_dup.dl");
+        std::fs::write(&dup, "a. a.").unwrap();
+        assert!(run(&args(&["check", dup.to_str().unwrap()])).is_ok());
+        assert!(run(&args(&["check", dup.to_str().unwrap(), "--strict"])).is_err());
+        std::fs::remove_file(&dup).ok();
+    }
+
+    #[test]
+    fn check_reports_unsafe_datalog() {
+        let unsafe_dl = std::env::temp_dir().join("ddb_cli_check_unsafe.dlv");
+        std::fs::write(&unsafe_dl, "p(X).").unwrap();
+        assert!(run(&args(&["check", unsafe_dl.to_str().unwrap()])).is_err());
+        std::fs::remove_file(&unsafe_dl).ok();
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! | [`reductions`] | 2QBF, UMINSAT, and the executable hardness reductions |
 //! | [`workloads`] | deterministic instance generators |
 //! | [`ground`] | Datalog∨ front end: variables, safety, grounding |
+//! | [`analysis`] | static analysis: dependency graph, fragment classifier, lints |
 //! | [`obs`] | zero-dependency observability: counters, spans, event sinks, JSON |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -47,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ddb_analysis as analysis;
 pub use ddb_core as core;
 pub use ddb_ground as ground;
 pub use ddb_logic as logic;
