@@ -17,15 +17,26 @@
 //!   stable codes and severities (catalog in `docs/ANALYSIS.md`);
 //! * the **shift** transformation ([`shift`]) that turns head-cycle-free
 //!   disjunctive databases into equivalent normal programs;
+//! * **query-relevant slicing** ([`relevant_slice`]): the least
+//!   sub-database that can influence a query formula, with the
+//!   splitting-set closure check that decides when answering on the slice
+//!   is exact;
+//! * **bottom-up splitting evaluation** ([`peel`]): solve the
+//!   deterministic bottom levels of the SCC condensation and partially
+//!   evaluate their consequences into a smaller residual program;
 //! * an [`AnalysisReport`] bundling all of the above ([`analyze`]).
 
 pub mod fragments;
 pub mod lints;
 pub mod report;
+pub mod slice;
+pub mod splitting;
 pub mod transform;
 
 pub use ddb_logic::depgraph::{DepGraph, EdgeKind, Sccs};
 pub use fragments::{classify, Fragments};
 pub use lints::{lint, Diagnostic, Severity};
 pub use report::{analyze, AnalysisReport};
+pub use slice::{project_slice, project_top, relevant_slice, AtomMap, Slice};
+pub use splitting::{layering, peel, peel_with, Layering, Peel};
 pub use transform::shift;

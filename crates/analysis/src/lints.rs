@@ -14,8 +14,11 @@
 //! | DDB006 | error    | integrity clause violated on its face           |
 //! | DDB007 | warning  | unstratifiable negation (PERF/ICWA unsupported) |
 //! | DDB008 | error    | partition/varying set names an unknown atom     |
+//! | DDB009 | warning  | dead rule (a positive body atom is underivable) |
+//! | DDB010 | warning  | rule subsumed after closed-world simplification |
+//! | DDB011 | warning  | negative loop spans several positive layers     |
 
-use ddb_logic::depgraph::DepGraph;
+use ddb_logic::depgraph::{DepGraph, EdgeKind};
 use ddb_logic::parse::display_rule;
 use ddb_logic::{Atom, Database, Rule};
 use ddb_obs::json::Json;
@@ -233,11 +236,13 @@ pub fn lint(db: &Database, graph: &DepGraph) -> Vec<Diagnostic> {
 
     // DDB004 — classical subsumption (reported once per subsumed rule;
     // duplicates already have their own code).
+    let mut subsumed = vec![false; rules.len()];
     for (i, r) in rules.iter().enumerate() {
         if duplicate[i] {
             continue;
         }
         if let Some(j) = rules.iter().position(|s| s != r && subsumes(s, r)) {
+            subsumed[i] = true;
             out.push(Diagnostic::on_rule(
                 "DDB004",
                 Severity::Warning,
@@ -316,6 +321,123 @@ pub fn lint(db: &Database, graph: &DepGraph) -> Vec<Diagnostic> {
         }
     }
 
+    // DDB009 — dead rules: a positive body atom outside the supportable
+    // fixpoint can never be derived under any semantics, so the rule can
+    // never fire (the query-slicing analysis would drop it from every
+    // slice). Distinct from DDB005 (which points at the atom, not the
+    // rules it kills) and from DDB003 (syntactic self-blocking).
+    let supportable = crate::slice::supportable_atoms(db);
+    for (i, r) in rules.iter().enumerate() {
+        if r.is_integrity() {
+            continue;
+        }
+        if let Some(&dead) = r.body_pos().iter().find(|&&b| !supportable[b.index()]) {
+            out.push(Diagnostic::on_rule(
+                "DDB009",
+                Severity::Warning,
+                format!(
+                    "dead rule: positive body atom `{}` can never be derived, so the rule never fires",
+                    db.symbols().name(dead)
+                ),
+                db,
+                i,
+            ));
+        }
+    }
+
+    // DDB010 — subsumption that only appears after the closed-world
+    // simplification: dropping never-derivable negative body atoms
+    // (`not u` with `u` unsupportable holds in every characteristic
+    // model). Only reported when the simplification did something — plain
+    // classical subsumption is DDB004.
+    let simplified: Vec<Rule> = rules
+        .iter()
+        .map(|r| {
+            Rule::new(
+                r.head().to_vec(),
+                r.body_pos().to_vec(),
+                r.body_neg()
+                    .iter()
+                    .copied()
+                    .filter(|b| supportable[b.index()])
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    for (i, r) in rules.iter().enumerate() {
+        if r.is_integrity() || duplicate[i] || subsumed[i] {
+            continue;
+        }
+        if let Some(j) = (0..rules.len()).find(|&j| {
+            j != i
+                && !rules[j].is_integrity()
+                && subsumes(&simplified[j], &simplified[i])
+                && !subsumes(&rules[j], r)
+                // Tie-break equal simplifications: keep the rule that is
+                // classically stronger and flag the other one.
+                && !subsumes(r, &rules[j])
+        }) {
+            out.push(Diagnostic::on_rule(
+                "DDB010",
+                Severity::Warning,
+                format!(
+                    "subsumed under the closed-world reading: dropping never-derivable negated body atoms leaves this rule subsumed by rule {j} (`{}`)",
+                    display_rule(&rules[j], db.symbols())
+                ),
+                db,
+                i,
+            ));
+        }
+    }
+
+    // DDB011 — an unstratifiable negative loop that spans several
+    // *positive* layers: not only is the database unstratifiable
+    // (DDB007), but no splitting set can separate the loop's strata, so
+    // the bottom-up splitting evaluation cannot decompose it.
+    let all = graph.sccs();
+    let positive = graph.positive_sccs();
+    let mut flagged = vec![false; all.num_components];
+    for v in 0..n {
+        let a = Atom::new(v as u32);
+        for (w, kind) in graph.edges_from(a) {
+            let c = all.comp[v];
+            if kind != EdgeKind::Negative || all.comp[w.index()] != c || flagged[c] {
+                continue;
+            }
+            let mut pos_comps: Vec<usize> = (0..n)
+                .filter(|&u| all.comp[u] == c)
+                .map(|u| positive.comp[u])
+                .collect();
+            pos_comps.sort_unstable();
+            pos_comps.dedup();
+            if pos_comps.len() < 2 {
+                continue;
+            }
+            flagged[c] = true;
+            let mut names: Vec<&str> = (0..n)
+                .filter(|&u| all.comp[u] == c)
+                .map(|u| db.symbols().name(Atom::new(u as u32)))
+                .collect();
+            const SHOW: usize = 8;
+            let extra = names.len().saturating_sub(SHOW);
+            names.truncate(SHOW);
+            let mut shown = names.join(", ");
+            if extra > 0 {
+                shown.push_str(&format!(", … ({extra} more)"));
+            }
+            out.push(Diagnostic {
+                code: "DDB011",
+                severity: Severity::Warning,
+                message: format!(
+                    "unsplittable negative loop: {{{shown}}} recurses through negation across {} positive layers, so no splitting set can decompose it",
+                    pos_comps.len()
+                ),
+                rule: None,
+                snippet: None,
+            });
+        }
+    }
+
     // DDB007 — unstratifiable negation, with the witnessing component.
     if let Some(cycle) = graph.unstratifiable_witness() {
         let mut names: Vec<&str> = cycle.iter().map(|&a| db.symbols().name(a)).collect();
@@ -376,11 +498,13 @@ mod tests {
 
     #[test]
     fn tautology_and_never_firing() {
-        assert_eq!(codes("a | b :- a."), vec!["DDB003"]);
+        // `a` is also underivable here, so the dead-rule lint fires too.
+        assert_eq!(codes("a | b :- a."), vec!["DDB003", "DDB009"]);
         // c :- b, not b: never fires. b is underivable too (info).
         let ds = lints("c :- b, not b.");
         assert!(ds.iter().any(|d| d.code == "DDB003"));
         assert!(ds.iter().any(|d| d.code == "DDB005"));
+        assert!(ds.iter().any(|d| d.code == "DDB009"));
     }
 
     #[test]
@@ -421,6 +545,54 @@ mod tests {
         let w = ds.iter().find(|d| d.code == "DDB007").unwrap();
         assert!(w.message.contains('p') && w.message.contains('q'));
         assert!(w.message.contains("PERF"));
+    }
+
+    #[test]
+    fn dead_rule_flagged_with_the_underivable_atom() {
+        // e is underivable, so `d :- e.` is dead; the supportable
+        // fixpoint trusts disjunctive facts and negation optimistically.
+        let ds = lints("a | b. c :- a, not z. d :- e.");
+        let dead: Vec<_> = ds.iter().filter(|d| d.code == "DDB009").collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].rule, Some(2));
+        assert!(dead[0].message.contains('e'));
+        assert_eq!(dead[0].severity, Severity::Warning);
+        // A derivable chain stays clean.
+        assert!(codes("a. b :- a. c :- b.").is_empty());
+    }
+
+    #[test]
+    fn closed_world_subsumption() {
+        // u is underivable, so rule 0 simplifies to `a :- b.`, which
+        // subsumes rule 1. Classical subsumption (DDB004) does not apply
+        // because {u} ⊄ {c}.
+        let ds = lints("a :- b, not u. a :- b, not c. b. c :- b.");
+        assert!(ds.iter().all(|d| d.code != "DDB004"));
+        let sub: Vec<_> = ds.iter().filter(|d| d.code == "DDB010").collect();
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub[0].rule, Some(1));
+        assert!(sub[0].message.contains("rule 0"));
+        // With u derivable the rules are genuinely incomparable: no lint.
+        let ds = lints("a :- b, not u. a :- b, not c. b. c :- b. u :- b.");
+        assert!(ds.iter().all(|d| d.code != "DDB010"));
+        // Plain classical subsumption stays DDB004, not DDB010.
+        let ds = lints("a :- b. a :- b, not u. b.");
+        assert!(ds.iter().any(|d| d.code == "DDB004" && d.rule == Some(1)));
+        assert!(ds.iter().all(|d| d.code != "DDB010"));
+    }
+
+    #[test]
+    fn unsplittable_negative_loop_spans_layers() {
+        // p/q negate each other across two positive layers.
+        let ds = lints("p :- not q. q :- not p.");
+        let w = ds.iter().find(|d| d.code == "DDB011").unwrap();
+        assert!(w.message.contains('p') && w.message.contains('q'));
+        assert!(w.message.contains("2 positive layers"));
+        // A self-loop `a :- not a.` is unstratifiable (DDB007) but spans a
+        // single positive layer: DDB011 stays quiet.
+        let ds = lints("a :- not a.");
+        assert!(ds.iter().any(|d| d.code == "DDB007"));
+        assert!(ds.iter().all(|d| d.code != "DDB011"));
     }
 
     #[test]

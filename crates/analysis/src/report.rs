@@ -156,7 +156,10 @@ mod tests {
         let db = parse_program("a :- not b. b :- not a.").unwrap();
         let r = analyze(&db);
         assert!(r.strata.is_none());
-        assert_eq!(r.count(Severity::Warning), 1);
+        // DDB007 (unstratifiable) plus DDB011 (the loop spans two
+        // positive layers, so splitting cannot decompose it).
+        assert_eq!(r.count(Severity::Warning), 2);
+        assert!(r.diagnostics.iter().any(|d| d.code == "DDB011"));
         assert_eq!(r.to_json(&db).get("strata"), Some(&Json::Null));
     }
 }

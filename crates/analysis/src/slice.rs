@@ -1,0 +1,298 @@
+//! Backward relevance slicing — the least sub-database that can influence
+//! a query.
+//!
+//! A query formula only mentions a handful of atoms; the rules that can
+//! affect its truth value are the ones reachable *backwards* through the
+//! dependency graph ([`ddb_logic::depgraph`]): a rule matters when its
+//! head intersects the growing relevant set (then its whole head — the
+//! head siblings — and its body become relevant too), and an integrity
+//! clause matters as soon as any of its atoms does. The closure computed
+//! by [`relevant_slice`] is exactly that least fixpoint, so by
+//! construction the slice's atom set `R` is a **splitting set** in the
+//! sense of Lifschitz & Turner: every rule whose head touches `R` has all
+//! its atoms inside `R`.
+//!
+//! Whether answering the query on the slice alone is *sound* depends on
+//! how the rest of the database reads `R`:
+//!
+//! * **Positive databases** (no negation, no integrity clauses): minimal
+//!   models project, `MM(DB)|_R = MM(slice)` — the component/product
+//!   argument of `ddb_models::components` extended to one-way dependence.
+//!   Non-slice rules may read `R`; because their heads are disjoint from
+//!   `R` and nothing prunes models, they cannot constrain it.
+//! * **Split-closed slices** ([`Slice::split_closed`]): no non-slice rule
+//!   mentions an atom of `R` at all, so the database is a disjoint union
+//!   and every semantics factors as a product. The one correction: when
+//!   the non-slice part has an empty model set, cautious inference over
+//!   the whole database is vacuously true whatever the slice says.
+//!
+//! `crates/core`'s dispatcher checks these preconditions per semantics and
+//! falls back to the generic whole-database procedure when neither holds.
+
+use ddb_logic::{Atom, Database, Rule, Symbols};
+
+/// The result of backward relevance slicing: which atoms and rules can
+/// influence the query, and whether the slice boundary is split-closed.
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// `in_slice[atom.index()]` — whether the atom is query-relevant.
+    pub in_slice: Vec<bool>,
+    /// The relevant atoms, sorted.
+    pub atoms: Vec<Atom>,
+    /// Indices (into `db.rules()`) of the rules in the slice, ascending.
+    pub rules: Vec<usize>,
+    /// Whether every non-slice rule is atom-disjoint from the slice — the
+    /// Lifschitz–Turner-style condition under which the database splits
+    /// into the slice and an independent top part.
+    pub split_closed: bool,
+    /// A non-slice rule whose body reads a slice atom, witnessing why
+    /// `split_closed` failed (for diagnostics and `ddb slice` output).
+    pub blocking_rule: Option<usize>,
+}
+
+impl Slice {
+    /// Whether the slice contains every rule of the database (slicing
+    /// found nothing to drop).
+    pub fn is_whole(&self, db: &Database) -> bool {
+        self.rules.len() == db.len()
+    }
+}
+
+/// Computes the backward relevance slice of `db` for a query over
+/// `query_atoms`: the least set `R ⊇ query_atoms` of atoms, and set of
+/// rules, closed under
+///
+/// * `head(r) ∩ R ≠ ∅ ⟹ atoms(r) ⊆ R` (and `r` joins the slice), and
+/// * `atoms(c) ∩ R ≠ ∅ ⟹ atoms(c) ⊆ R` for integrity clauses `c` (a
+///   constraint touching a relevant atom prunes its models, so it must
+///   ride along for the slice to be exact).
+pub fn relevant_slice(db: &Database, query_atoms: &[Atom]) -> Slice {
+    let n = db.num_atoms();
+    let rules = db.rules();
+    let mut in_slice = vec![false; n];
+    for &a in query_atoms {
+        in_slice[a.index()] = true;
+    }
+    let mut rule_in = vec![false; rules.len()];
+    // Fixpoint: each pass pulls in every rule the current set triggers;
+    // at most `rules.len()` productive passes.
+    loop {
+        let mut changed = false;
+        for (i, r) in rules.iter().enumerate() {
+            if rule_in[i] {
+                continue;
+            }
+            let triggered = if r.is_integrity() {
+                r.atoms().any(|a| in_slice[a.index()])
+            } else {
+                r.head().iter().any(|&h| in_slice[h.index()])
+            };
+            if triggered {
+                rule_in[i] = true;
+                changed = true;
+                for a in r.atoms() {
+                    in_slice[a.index()] = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // A non-slice rule reading a slice atom breaks the split: the top
+    // part is not vocabulary-disjoint from the slice.
+    let blocking_rule = rules
+        .iter()
+        .enumerate()
+        .find(|(i, r)| !rule_in[*i] && r.atoms().any(|a| in_slice[a.index()]))
+        .map(|(i, _)| i);
+    Slice {
+        atoms: (0..n as u32)
+            .map(Atom::new)
+            .filter(|a| in_slice[a.index()])
+            .collect(),
+        rules: (0..rules.len()).filter(|&i| rule_in[i]).collect(),
+        split_closed: blocking_rule.is_none(),
+        blocking_rule,
+        in_slice,
+    }
+}
+
+/// An atom renaming between a database and a projected sub-database.
+#[derive(Clone, Debug)]
+pub struct AtomMap {
+    /// `to_sub[old.index()]` — the sub-database atom for each original
+    /// atom, when the original atom survives the projection.
+    pub to_sub: Vec<Option<Atom>>,
+    /// `from_sub[new.index()]` — the original atom for each sub-database
+    /// atom.
+    pub from_sub: Vec<Atom>,
+}
+
+/// Projects the slice to a standalone database over a fresh vocabulary
+/// containing exactly [`Slice::atoms`] (in order), with the slice's rules
+/// renamed into it. Follows `ddb_models::components::project_component`.
+pub fn project_slice(db: &Database, slice: &Slice) -> (Database, AtomMap) {
+    project_rules(db, &slice.atoms, &slice.rules)
+}
+
+/// Projects the **non-slice** rules (the top part) to a standalone
+/// database over the complement vocabulary. Only meaningful when the
+/// slice is split-closed — otherwise top rules mention slice atoms and
+/// this panics on the out-of-vocabulary rename.
+pub fn project_top(db: &Database, slice: &Slice) -> (Database, AtomMap) {
+    debug_assert!(slice.split_closed, "top projection requires a split");
+    let atoms: Vec<Atom> = (0..db.num_atoms() as u32)
+        .map(Atom::new)
+        .filter(|a| !slice.in_slice[a.index()])
+        .collect();
+    let in_slice = &slice.in_slice;
+    let rules: Vec<usize> = (0..db.len()).filter(|i| !slice.rules.contains(i)).collect();
+    debug_assert!(rules
+        .iter()
+        .all(|&i| db.rules()[i].atoms().all(|a| !in_slice[a.index()])));
+    project_rules(db, &atoms, &rules)
+}
+
+fn project_rules(db: &Database, atoms: &[Atom], rules: &[usize]) -> (Database, AtomMap) {
+    let mut symbols = Symbols::new();
+    let mut to_sub: Vec<Option<Atom>> = vec![None; db.num_atoms()];
+    for (k, &a) in atoms.iter().enumerate() {
+        symbols.intern(db.symbols().name(a));
+        to_sub[a.index()] = Some(Atom::new(k as u32));
+    }
+    let mut sub = Database::new(symbols);
+    for &i in rules {
+        let r = &db.rules()[i];
+        let map = |xs: &[Atom]| -> Vec<Atom> {
+            xs.iter()
+                .map(|a| to_sub[a.index()].expect("projected rule atom in vocabulary"))
+                .collect()
+        };
+        sub.add_rule(Rule::new(
+            map(r.head()),
+            map(r.body_pos()),
+            map(r.body_neg()),
+        ));
+    }
+    (
+        sub,
+        AtomMap {
+            to_sub,
+            from_sub: atoms.to_vec(),
+        },
+    )
+}
+
+/// The *supportable* atoms of `db`: the least set `S` containing every
+/// atom of every head whose positive body lies inside `S` (negation is
+/// ignored — optimistically assumed to succeed, and a disjunctive fact
+/// optimistically supports all its head atoms). An atom outside `S` can
+/// never be derived by any semantics; a rule whose positive body leaves
+/// `S` can never fire (lint `DDB009`).
+pub fn supportable_atoms(db: &Database) -> Vec<bool> {
+    let n = db.num_atoms();
+    let mut supportable = vec![false; n];
+    loop {
+        let mut changed = false;
+        for r in db.rules() {
+            if r.is_integrity() {
+                continue;
+            }
+            if r.body_pos().iter().all(|&b| supportable[b.index()])
+                && r.head().iter().any(|&h| !supportable[h.index()])
+            {
+                for &h in r.head() {
+                    supportable[h.index()] = true;
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    supportable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{display_rule, parse_program};
+
+    fn atoms_named(db: &Database, slice: &Slice) -> Vec<String> {
+        slice
+            .atoms
+            .iter()
+            .map(|&a| db.symbols().name(a).to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn closure_pulls_whole_rules_and_constraints() {
+        // Query a: rule a|b pulls in b; constraint :- b, c pulls in c;
+        // rule d :- c stays out (its head is irrelevant) and blocks the
+        // split by reading c.
+        let db = parse_program("a | b. :- b, c. d :- c. e.").unwrap();
+        let q = [db.symbols().lookup("a").unwrap()];
+        let s = relevant_slice(&db, &q);
+        assert_eq!(atoms_named(&db, &s), ["a", "b", "c"]);
+        assert_eq!(s.rules, vec![0, 1]);
+        assert!(!s.split_closed);
+        assert_eq!(s.blocking_rule, Some(2));
+        assert!(!s.is_whole(&db));
+    }
+
+    #[test]
+    fn disjoint_blocks_are_split_closed() {
+        let db = parse_program("a | b. c :- a. x | y. z :- x.").unwrap();
+        let q = [db.symbols().lookup("c").unwrap()];
+        let s = relevant_slice(&db, &q);
+        assert_eq!(atoms_named(&db, &s), ["a", "b", "c"]);
+        assert!(s.split_closed);
+        let (sub, map) = project_slice(&db, &s);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.num_atoms(), 3);
+        assert_eq!(display_rule(&sub.rules()[0], sub.symbols()), "a | b.");
+        assert_eq!(map.from_sub.len(), 3);
+        let (top, _) = project_top(&db, &s);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top.num_atoms(), db.num_atoms() - 3);
+    }
+
+    #[test]
+    fn whole_database_slice_is_trivially_split_closed() {
+        let db = parse_program("a | b. c :- a. c :- b.").unwrap();
+        let q = [db.symbols().lookup("c").unwrap()];
+        let s = relevant_slice(&db, &q);
+        assert!(s.is_whole(&db));
+        assert!(s.split_closed);
+        assert_eq!(s.blocking_rule, None);
+    }
+
+    #[test]
+    fn negative_bodies_are_relevant() {
+        let db = parse_program("a :- not b. b :- c. d.").unwrap();
+        let q = [db.symbols().lookup("a").unwrap()];
+        let s = relevant_slice(&db, &q);
+        assert_eq!(atoms_named(&db, &s), ["a", "b", "c"]);
+        assert!(s.split_closed, "d. does not read the slice");
+    }
+
+    #[test]
+    fn empty_query_yields_empty_slice() {
+        let db = parse_program("a | b. :- a, b.").unwrap();
+        let s = relevant_slice(&db, &[]);
+        assert!(s.atoms.is_empty() && s.rules.is_empty());
+        assert!(s.split_closed);
+    }
+
+    #[test]
+    fn supportable_ignores_negation_and_trusts_disjunction() {
+        let db = parse_program("a | b. c :- a, not z. d :- e.").unwrap();
+        let s = supportable_atoms(&db);
+        let name = |x: &str| db.symbols().lookup(x).unwrap().index();
+        assert!(s[name("a")] && s[name("b")] && s[name("c")]);
+        assert!(!s[name("d")] && !s[name("e")] && !s[name("z")]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Bottom-up splitting evaluation over the SCC condensation.
+//!
+//! The dependency graph's strongly connected components form a DAG whose
+//! topological levels are *splitting sets* (Lifschitz & Turner): every
+//! rule's body lies at or below the level of its head, so the union of
+//! the first `k` levels is closed under the rules that define it. When
+//! those bottom levels are deterministic — each rule has at most one head
+//! atom and negation only reaches strictly lower (already decided)
+//! levels — the bottom program has a unique canonical model computable by
+//! the polynomial least-fixpoint, identical for every semantics that
+//! evaluates stratified prefixes bottom-up. [`peel`] solves those levels,
+//! **partially evaluates** their consequences into the remaining rules,
+//! and returns the smaller residual program: oracle CNFs built from the
+//! residual shrink from `|DB|` to the undecided part.
+//!
+//! Peeling a level with negation is only exact for semantics whose
+//! negation is evaluated stratum-wise (PERF, ICWA, DSM, PDSM — the
+//! splitting-set theorem and the perfect-model construction); the
+//! classical-CWA family (GCWA/EGCWA/CCWA/ECWA) reads `not` classically,
+//! so for it callers must restrict peeling to negation-free levels
+//! ([`peel_with`]'s `peel_negation` flag). Integrity clauses are checked
+//! the moment all their atoms are decided; a violated one marks the whole
+//! database inconsistent ([`Peel::inconsistent`]), rendered as the empty
+//! clause in the residual so that every downstream procedure sees the
+//! empty model set it would have seen on the full database.
+
+use ddb_logic::depgraph::DepGraph;
+use ddb_logic::{Atom, Database, Rule};
+
+/// Topological levels of the SCC condensation (all edge kinds, so a
+/// disjunctive head never straddles a level boundary).
+#[derive(Clone, Debug)]
+pub struct Layering {
+    /// `level[atom.index()]` — the condensation level of each atom.
+    pub level: Vec<usize>,
+    /// Number of levels (0 for an empty vocabulary).
+    pub num_levels: usize,
+    /// `rule_level[i]` — the level of rule `i`: the level of its head
+    /// atoms (which share an SCC), or for an integrity clause the maximum
+    /// level of its atoms (the earliest point it is fully decided).
+    pub rule_level: Vec<usize>,
+}
+
+/// Computes the condensation levels of `db` under `graph`: longest path
+/// over the component DAG counting every edge, so a body atom sits
+/// strictly below its head unless they share a component.
+pub fn layering(db: &Database, graph: &DepGraph) -> Layering {
+    let n = db.num_atoms();
+    let sccs = graph.sccs();
+    let mut comp_level = vec![0usize; sccs.num_components];
+    // Component ids are topologically ordered, so one forward pass
+    // relaxes the longest-path lengths correctly.
+    for v in 0..n {
+        for (w, _) in graph.edges_from(Atom::new(v as u32)) {
+            let (cv, cw) = (sccs.comp[v], sccs.comp[w.index()]);
+            if cv != cw && comp_level[cw] < comp_level[cv] + 1 {
+                comp_level[cw] = comp_level[cv] + 1;
+            }
+        }
+    }
+    let level: Vec<usize> = (0..n).map(|v| comp_level[sccs.comp[v]]).collect();
+    let num_levels = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let rule_level = db
+        .rules()
+        .iter()
+        .map(|r| {
+            if let Some(&h) = r.head().first() {
+                level[h.index()]
+            } else {
+                r.atoms().map(|a| level[a.index()]).max().unwrap_or(0)
+            }
+        })
+        .collect();
+    Layering {
+        level,
+        num_levels,
+        rule_level,
+    }
+}
+
+/// The outcome of bottom-up peeling: the decided splitting set and the
+/// partially evaluated residual program.
+#[derive(Clone, Debug)]
+pub struct Peel {
+    /// `decided[atom.index()]` — `Some(value)` for atoms in the peeled
+    /// components, `None` for atoms the residual still quantifies over.
+    pub decided: Vec<Option<bool>>,
+    /// The remaining rules over the **same vocabulary**, with decided
+    /// atoms evaluated away. When `inconsistent`, this is the single
+    /// empty clause (no models, for every semantics).
+    pub residual: Database,
+    /// How many condensation components were decided.
+    pub components_decided: usize,
+    /// Total number of condensation components.
+    pub num_components: usize,
+    /// Number of atoms decided.
+    pub num_decided: usize,
+    /// Whether a fully decided integrity clause was violated: the
+    /// database has no models under any semantics.
+    pub inconsistent: bool,
+}
+
+/// [`peel_with`] with negation peeling enabled — exact for the
+/// stratum-evaluating semantics (PERF, ICWA, DSM, PDSM).
+pub fn peel(db: &Database, graph: &DepGraph) -> Peel {
+    peel_with(db, graph, true)
+}
+
+/// Solves the deterministic bottom components of `db`'s condensation in
+/// topological order and partially evaluates the rest. A component is
+/// decidable when every component it depends on is decided and every rule
+/// defining it has exactly one head atom and an already-decided negative
+/// body; the union of decided components is then a splitting set, and the
+/// per-component least fixpoints compute its canonical (perfect) model.
+///
+/// With `peel_negation` false (the classical-CWA family, which reads
+/// `not` as classical negation), an atom may additionally only be decided
+/// if **no** rule of the database reads it under negation — the decisions
+/// are then purely positive-Horn and exact classically, instead of
+/// stratum-wise.
+pub fn peel_with(db: &Database, graph: &DepGraph, peel_negation: bool) -> Peel {
+    let n = db.num_atoms();
+    let sccs = graph.sccs();
+    let rules = db.rules();
+    // Atoms and defining rules of each component, in topological id order.
+    let mut comp_atoms: Vec<Vec<usize>> = vec![Vec::new(); sccs.num_components];
+    for v in 0..n {
+        comp_atoms[sccs.comp[v]].push(v);
+    }
+    let mut comp_rules: Vec<Vec<usize>> = vec![Vec::new(); sccs.num_components];
+    for (i, r) in rules.iter().enumerate() {
+        if let Some(&h) = r.head().first() {
+            comp_rules[sccs.comp[h.index()]].push(i);
+        }
+    }
+    let mut neg_read = vec![false; n];
+    for r in rules {
+        for &b in r.body_neg() {
+            neg_read[b.index()] = true;
+        }
+    }
+    let mut decided: Vec<Option<bool>> = vec![None; n];
+    let mut components_decided = 0;
+    for c in 0..sccs.num_components {
+        if !peel_negation && comp_atoms[c].iter().any(|&v| neg_read[v]) {
+            continue;
+        }
+        let deterministic = comp_rules[c].iter().all(|&i| {
+            let r = &rules[i];
+            r.head().len() == 1
+                && r.body_neg().iter().all(|&b| decided[b.index()].is_some())
+                && r.body_pos()
+                    .iter()
+                    .all(|&b| sccs.comp[b.index()] == c || decided[b.index()].is_some())
+        });
+        if !deterministic {
+            continue;
+        }
+        // Least fixpoint of the component's (now definite) rules.
+        let mut true_now = vec![false; comp_atoms[c].len()];
+        let slot = |v: usize| comp_atoms[c].binary_search(&v).expect("member");
+        loop {
+            let mut changed = false;
+            for &i in &comp_rules[c] {
+                let r = &rules[i];
+                let h = r.head()[0];
+                if true_now[slot(h.index())] {
+                    continue;
+                }
+                let pos_ok = r.body_pos().iter().all(|&b| {
+                    decided[b.index()] == Some(true)
+                        || (sccs.comp[b.index()] == c && true_now[slot(b.index())])
+                });
+                let neg_ok = r
+                    .body_neg()
+                    .iter()
+                    .all(|&b| decided[b.index()] == Some(false));
+                if pos_ok && neg_ok {
+                    true_now[slot(h.index())] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (k, &v) in comp_atoms[c].iter().enumerate() {
+            decided[v] = Some(true_now[k]);
+        }
+        components_decided += 1;
+    }
+    // Integrity clauses whose atoms are all decided are settled now; a
+    // violated one ends the story for every semantics.
+    let inconsistent = rules.iter().any(|r| {
+        r.is_integrity()
+            && r.body_pos()
+                .iter()
+                .all(|&b| decided[b.index()] == Some(true))
+            && r.body_neg()
+                .iter()
+                .all(|&b| decided[b.index()] == Some(false))
+    });
+    // Residual: the undecided rules with decided atoms evaluated away.
+    let mut residual = Database::new(db.symbols().clone());
+    if inconsistent {
+        residual.add_rule(Rule::integrity([], []));
+    } else {
+        for r in rules {
+            if r.head()
+                .first()
+                .is_some_and(|h| decided[h.index()].is_some())
+            {
+                continue; // consumed by its component's fixpoint
+            }
+            let falsified_pos = r
+                .body_pos()
+                .iter()
+                .any(|&b| decided[b.index()] == Some(false));
+            let satisfied_neg = r
+                .body_neg()
+                .iter()
+                .any(|&b| decided[b.index()] == Some(true));
+            if falsified_pos || satisfied_neg {
+                continue; // body can never hold: the rule is satisfied
+            }
+            let keep = |xs: &[Atom]| -> Vec<Atom> {
+                xs.iter()
+                    .copied()
+                    .filter(|a| decided[a.index()].is_none())
+                    .collect()
+            };
+            residual.add_rule(Rule::new(
+                r.head().to_vec(),
+                keep(r.body_pos()),
+                keep(r.body_neg()),
+            ));
+        }
+    }
+    Peel {
+        num_decided: decided.iter().filter(|d| d.is_some()).count(),
+        decided,
+        residual,
+        components_decided,
+        num_components: sccs.num_components,
+        inconsistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{display_rule, parse_program};
+
+    fn peeled(src: &str) -> Peel {
+        let db = parse_program(src).unwrap();
+        peel(&db, &DepGraph::of_database(&db))
+    }
+
+    fn rendered(db: &Database) -> Vec<String> {
+        db.rules()
+            .iter()
+            .map(|r| display_rule(r, db.symbols()))
+            .collect()
+    }
+
+    #[test]
+    fn horn_prefix_is_fully_decided() {
+        // x0 → x1 → (a|b) → q: the two Horn components peel, the
+        // disjunction and its dependents stay.
+        let p = peeled("x0. x1 :- x0. a | b :- x1. q :- a. q :- b.");
+        assert_eq!(p.components_decided, 2);
+        assert_eq!(p.num_components, 4);
+        assert_eq!(p.num_decided, 2);
+        assert!(!p.inconsistent);
+        assert_eq!(rendered(&p.residual), ["a | b.", "q :- a.", "q :- b."]);
+    }
+
+    #[test]
+    fn disjunctive_bottom_blocks_peeling() {
+        let p = peeled("a | b. c :- a.");
+        assert_eq!(p.components_decided, 0);
+        assert_eq!(p.residual.len(), 2);
+    }
+
+    #[test]
+    fn independent_disjunction_does_not_block_other_components() {
+        // The c|d fact is undecidable, but the unrelated a → b chain and
+        // the constraint on it still settle.
+        let p = peeled("a. b :- a. c | d. e :- c.");
+        assert_eq!(p.num_decided, 2);
+        assert_eq!(rendered(&p.residual), ["c | d.", "e :- c."]);
+    }
+
+    #[test]
+    fn stratified_negation_peels_and_prunes_rules() {
+        // b is underivable, so a fires; the rule `c :- b` dies with its
+        // falsified body.
+        let p = peeled("a :- not b. c :- b. d | e :- a.");
+        let sym = |s: &str| p.residual.symbols().lookup(s).unwrap();
+        assert_eq!(p.decided[sym("a").index()], Some(true));
+        assert_eq!(p.decided[sym("b").index()], Some(false));
+        assert_eq!(p.decided[sym("c").index()], Some(false));
+        assert_eq!(rendered(&p.residual), ["d | e."]);
+    }
+
+    #[test]
+    fn negation_peel_can_be_disabled() {
+        let db = parse_program("a :- not b. d | e :- a. x.").unwrap();
+        let p = peel_with(&db, &DepGraph::of_database(&db), false);
+        // b is read under negation, so it must not be decided; a depends
+        // on it, d|e is disjunctive — only the free fact x settles.
+        assert_eq!(p.num_decided, 1);
+        let x = db.symbols().lookup("x").unwrap();
+        assert_eq!(p.decided[x.index()], Some(true));
+        assert_eq!(p.residual.len(), 2);
+    }
+
+    #[test]
+    fn violated_constraint_collapses_to_empty_clause() {
+        let p = peeled("a. b :- a. :- b. c | d.");
+        assert!(p.inconsistent);
+        assert_eq!(p.residual.len(), 1);
+        assert!(p.residual.rules()[0].is_integrity());
+    }
+
+    #[test]
+    fn satisfied_constraints_are_dropped_and_open_ones_reduced() {
+        // :- a, c is undecidable until c; a decides true, so the residual
+        // keeps :- c.
+        let p = peeled("a. c | d. :- a, c.");
+        assert!(!p.inconsistent);
+        assert_eq!(p.num_decided, 1);
+        assert_eq!(rendered(&p.residual), ["c | d.", ":- c."]);
+        // A fully decided, satisfied constraint is dropped.
+        let q = peeled("a. :- a, z. c | d.");
+        assert!(!q.inconsistent);
+        assert_eq!(rendered(&q.residual), ["c | d."]);
+    }
+
+    #[test]
+    fn unstratifiable_component_is_not_peeled() {
+        let p = peeled("x. p :- not q, x. q :- not p.");
+        assert_eq!(p.num_decided, 1, "x peels; the p/q loop does not");
+        assert_eq!(rendered(&p.residual), ["p :- not q.", "q :- not p."]);
+    }
+
+    #[test]
+    fn layering_orders_bodies_below_heads() {
+        let db = parse_program("a. b :- a. c | d :- b. e :- c, d.").unwrap();
+        let lay = layering(&db, &DepGraph::of_database(&db));
+        let lv = |s: &str| lay.level[db.symbols().lookup(s).unwrap().index()];
+        assert!(lv("a") < lv("b"));
+        assert!(lv("b") < lv("c"));
+        assert_eq!(lv("c"), lv("d"), "head siblings share a level");
+        assert!(lv("d") < lv("e"));
+        assert_eq!(lay.num_levels, 4);
+    }
+}

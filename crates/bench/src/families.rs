@@ -63,6 +63,15 @@ pub fn layered(n: usize) -> Database {
     structured::layered_disjunctive((n / 4).max(1), 4)
 }
 
+/// Query-relevant slicing family: `towers` independent disjunctive
+/// towers, two stages high. A literal query about one tower's first
+/// stage slices down to 5 atoms however many towers exist, so the
+/// sliced route's cost is flat while the generic route's grows with the
+/// product of per-tower minimal-model counts.
+pub fn sliceable(towers: usize) -> Database {
+    structured::sliceable_towers(towers, 2)
+}
+
 /// NP-complete existence family (Table 2 EGCWA row): random 3-CNF near
 /// the phase transition, as a deductive database.
 pub fn phase_transition(n: usize, seed: u64) -> Database {

@@ -131,6 +131,9 @@ pub struct SemanticsConfig {
     pub icwa_varying: Option<Interpretation>,
     /// Whether analysis-driven fast paths may be taken.
     pub routing: RoutingMode,
+    /// Suppresses the slice/split routes on recursive inner calls (see
+    /// [`crate::slicing`]); never set on user-built configurations.
+    pub(crate) no_slice: bool,
 }
 
 impl SemanticsConfig {
@@ -141,6 +144,7 @@ impl SemanticsConfig {
             partition: None,
             icwa_varying: None,
             routing: RoutingMode::default(),
+            no_slice: false,
         }
     }
 
@@ -190,10 +194,13 @@ impl SemanticsConfig {
         }
     }
 
-    /// Picks the decision procedure for `db` given its fragments, and
-    /// records the choice in the `route.*` counters.
+    /// Picks the decision procedure for `db` given its fragments. The
+    /// choice is recorded in the `route.*` counters by [`Self::note`] at
+    /// the call sites — the generic bump is deferred there so the
+    /// query-dependent slice/split routes (see [`crate::slicing`]) can
+    /// claim the query first.
     fn route(&self, frags: &Fragments) -> Route {
-        let route = if self.routing == RoutingMode::Generic {
+        if self.routing == RoutingMode::Generic {
             Route::Generic
         } else if frags.horn && self.has_default_structure() {
             Route::Horn
@@ -201,7 +208,11 @@ impl SemanticsConfig {
             Route::HcfDsm
         } else {
             Route::Generic
-        };
+        }
+    }
+
+    /// Records a taken route in the `route.*` counters.
+    fn note(route: Route) {
         ddb_obs::counter_add(
             match route {
                 Route::Horn => "route.horn",
@@ -210,13 +221,14 @@ impl SemanticsConfig {
             },
             1,
         );
-        route
     }
 
     /// The Horn collapse (all ten semantics = the least model) only holds
     /// for the default configuration: CCWA/ECWA with the minimize-all
-    /// partition and ICWA with no varying atoms.
-    fn has_default_structure(&self) -> bool {
+    /// partition and ICWA with no varying atoms. The slice/split routes
+    /// require the same default structure: with fixed or varying atoms an
+    /// underivable atom is no longer forced false.
+    pub(crate) fn has_default_structure(&self) -> bool {
         match self.id {
             SemanticsId::Ccwa | SemanticsId::Ecwa => self.partition.is_none(),
             SemanticsId::Icwa => self
@@ -228,11 +240,13 @@ impl SemanticsConfig {
     }
 
     /// Shared prologue of every query: classify once, reject inapplicable
-    /// combinations, pick the route.
-    fn prepare(&self, db: &Database) -> Result<Route, Unsupported> {
+    /// combinations, pick the route. The fragments ride along so the
+    /// slice/split routes can consult them without re-classifying.
+    fn prepare(&self, db: &Database) -> Result<(Route, Fragments), Unsupported> {
         let frags = ddb_analysis::classify(db);
         self.check_fragments(db, &frags)?;
-        Ok(self.route(&frags))
+        let route = self.route(&frags);
+        Ok((route, frags))
     }
 
     fn icwa_layers(&self, db: &Database) -> Layers {
@@ -251,10 +265,19 @@ impl SemanticsConfig {
         lit: Literal,
         cost: &mut Cost,
     ) -> Result<bool, Unsupported> {
-        match self.prepare(db)? {
-            Route::Horn => return Ok(crate::route::horn_infers_literal(db, lit)),
-            Route::HcfDsm => return Ok(crate::route::hcf_dsm_infers_literal(db, lit, cost)),
-            Route::Generic => {}
+        let (route, frags) = self.prepare(db)?;
+        if route == Route::Horn {
+            Self::note(Route::Horn);
+            return Ok(crate::route::horn_infers_literal(db, lit));
+        }
+        // Slice/split go first: they shrink the database, and the inner
+        // call still rides the HCF (or Horn) fast path on the smaller one.
+        if let Some(ans) = crate::slicing::try_infers_literal(self, db, &frags, lit, cost) {
+            return Ok(ans);
+        }
+        Self::note(route);
+        if route == Route::HcfDsm {
+            return Ok(crate::route::hcf_dsm_infers_literal(db, lit, cost));
         }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::infers_literal(db, lit, cost),
@@ -281,10 +304,17 @@ impl SemanticsConfig {
         f: &Formula,
         cost: &mut Cost,
     ) -> Result<bool, Unsupported> {
-        match self.prepare(db)? {
-            Route::Horn => return Ok(crate::route::horn_infers_formula(db, f)),
-            Route::HcfDsm => return Ok(crate::route::hcf_dsm_infers_formula(db, f, cost)),
-            Route::Generic => {}
+        let (route, frags) = self.prepare(db)?;
+        if route == Route::Horn {
+            Self::note(Route::Horn);
+            return Ok(crate::route::horn_infers_formula(db, f));
+        }
+        if let Some(ans) = crate::slicing::try_infers_formula(self, db, &frags, f, cost) {
+            return Ok(ans);
+        }
+        Self::note(route);
+        if route == Route::HcfDsm {
+            return Ok(crate::route::hcf_dsm_infers_formula(db, f, cost));
         }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::infers_formula(db, f, cost),
@@ -302,10 +332,17 @@ impl SemanticsConfig {
 
     /// The paper's *∃ model* problem: is the semantics non-empty for `db`?
     pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<bool, Unsupported> {
-        match self.prepare(db)? {
-            Route::Horn => return Ok(crate::route::horn_has_model(db)),
-            Route::HcfDsm => return Ok(crate::route::hcf_dsm_has_model(db, cost)),
-            Route::Generic => {}
+        let (route, _) = self.prepare(db)?;
+        if route == Route::Horn {
+            Self::note(Route::Horn);
+            return Ok(crate::route::horn_has_model(db));
+        }
+        if let Some(ans) = crate::slicing::try_has_model(self, db, cost) {
+            return Ok(ans);
+        }
+        Self::note(route);
+        if route == Route::HcfDsm {
+            return Ok(crate::route::hcf_dsm_has_model(db, cost));
         }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::has_model(db, cost),
@@ -342,9 +379,17 @@ impl SemanticsConfig {
         cost: &mut Cost,
     ) -> Result<Vec<Interpretation>, Unsupported> {
         match self.prepare(db)? {
-            Route::Horn => return Ok(crate::route::horn_models(db)),
-            Route::HcfDsm => return Ok(crate::route::hcf_dsm_models(db, cost)),
-            Route::Generic => {}
+            (Route::Horn, _) => {
+                Self::note(Route::Horn);
+                return Ok(crate::route::horn_models(db));
+            }
+            (Route::HcfDsm, _) => {
+                Self::note(Route::HcfDsm);
+                return Ok(crate::route::hcf_dsm_models(db, cost));
+            }
+            // Model enumeration needs the whole vocabulary; the
+            // query-directed slice/split routes do not apply.
+            (Route::Generic, _) => Self::note(Route::Generic),
         }
         Ok(match self.id {
             SemanticsId::Gcwa => crate::gcwa::models(db, cost),

@@ -35,6 +35,9 @@
 //!   semantics;
 //! * [`profile`] — the observed 10×3 oracle-call matrix next to the
 //!   paper's predicted complexity classes (backs `ddb profile`);
+//! * [`slicing`] — query-relevant slicing and splitting-set peeling, the
+//!   analysis-driven routes that shrink the database a query reasons over
+//!   (backs `ddb slice` and the `route.slice*`/`route.split*` counters);
 //! * [`reduct`] — the Gelfond–Lifschitz and three-valued reducts shared
 //!   by DSM/PDSM/WFS.
 
@@ -56,6 +59,7 @@ pub mod profile;
 pub mod pws;
 pub mod reduct;
 pub mod route;
+pub mod slicing;
 pub mod supported;
 pub mod wfs;
 pub mod witness;

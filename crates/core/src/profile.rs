@@ -93,9 +93,12 @@ pub struct CellProfile {
     pub wall_ns: u64,
     /// Reason the cell is inapplicable, when `answer` is `None`.
     pub unsupported: Option<String>,
-    /// Which dispatch route served this cell (`"horn"`, `"hcf"`, or
-    /// `"generic"`), read off the `route.*` counters; `None` when the cell
-    /// was unsupported or routing never ran.
+    /// Which dispatch route served this cell (`"horn"`, `"slice"`,
+    /// `"split"`, `"hcf"`, or `"generic"`), read off the `route.*`
+    /// counters; `None` when the cell was unsupported or routing never
+    /// ran. Slice/split outrank the others: their recursive inner calls
+    /// bump the plain counters too, but the query was claimed by the
+    /// reduction.
     pub route: Option<&'static str>,
 }
 
@@ -161,7 +164,11 @@ pub fn profile_cell(
     };
     let wall_ns = started.elapsed().as_nanos() as u64;
     let spent = ddb_obs::snapshot().diff(&before);
-    let route = if spent.get("route.horn") > 0 {
+    let route = if spent.get("route.slice") > 0 {
+        Some("slice")
+    } else if spent.get("route.split") > 0 {
+        Some("split")
+    } else if spent.get("route.horn") > 0 {
         Some("horn")
     } else if spent.get("route.hcf") > 0 {
         Some("hcf")
@@ -222,6 +229,7 @@ pub fn render_table(cells: &[CellProfile]) -> String {
                 Some(c) if c.answer.is_some() => {
                     let fast = match c.route {
                         Some("horn") | Some("hcf") => "*",
+                        Some("slice") | Some("split") => "~",
                         _ => "",
                     };
                     row.push_str(&format!(
@@ -253,6 +261,14 @@ pub fn render_table(cells: &[CellProfile]) -> String {
         .any(|c| matches!(c.route, Some("horn") | Some("hcf")))
     {
         out.push_str(" * served by an analysis fast path (route.horn / route.hcf)\n");
+    }
+    if cells
+        .iter()
+        .any(|c| matches!(c.route, Some("slice") | Some("split")))
+    {
+        out.push_str(
+            " ~ answered on a query-relevant slice or split residual (route.slice / route.split)\n",
+        );
     }
     out
 }

@@ -1,0 +1,400 @@
+//! Query-relevant slicing and splitting-set routing.
+//!
+//! Two complementary reductions that shrink the database a query actually
+//! has to reason over, both driven by the static analyzer:
+//!
+//! * **Backward relevance slicing** ([`ddb_analysis::relevant_slice`]):
+//!   a query formula mentions a handful of atoms; only the rules
+//!   backward-reachable from them can influence its truth value. When the
+//!   soundness precondition ([`Admission`]) holds, inference runs on the
+//!   projected slice — a strictly smaller database, so the oracle sees
+//!   strictly smaller CNFs (and may even collapse to the Horn fast path).
+//! * **Splitting-set peeling** ([`ddb_analysis::peel`]): the
+//!   deterministic bottom components of the SCC condensation have a
+//!   unique solution computable in polynomial time; partially evaluating
+//!   it into the rest leaves a smaller residual program that answers the
+//!   same queries after substituting the decided atoms into the formula.
+//!
+//! # Soundness preconditions
+//!
+//! Slicing is admitted in exactly two situations, checked per query:
+//!
+//! 1. **Positive databases** ([`Admission::PositiveExact`]): no negation
+//!    and no integrity clauses anywhere. Minimal models project onto the
+//!    slice (`MM(DB)|_R = MM(slice)`), the non-slice part can never be
+//!    inconsistent, and every minimal-model-determined answer is exact on
+//!    the slice — even when the slice boundary is read by outside rules.
+//!    GCWA and CCWA keep non-minimal models in their characteristic sets,
+//!    so for them this admission is restricted to literal queries (see
+//!    [`admission`]).
+//! 2. **Split-closed slices** ([`Admission::Product`]): no non-slice rule
+//!    mentions a slice atom, so the database is a disjoint union and every
+//!    semantics factors as a product. One correction is owed: when the
+//!    non-slice part has an *empty* characteristic model set, cautious
+//!    inference over the whole database is vacuously true whatever the
+//!    slice says, so a `false` slice answer triggers one
+//!    `has_model` check on the top part.
+//!
+//! Anything else ([`Admission::Blocked`]) falls back to the generic
+//! whole-database procedure and bumps `route.slice.blocked`.
+//!
+//! Peeling is gated per semantics by [`peel_mode`]: negation-aware for
+//! the stable-model family (DSM, PDSM), restricted to atoms never read
+//! through negation for the model-theoretic rest, and disabled outright
+//! for PERF and ICWA, whose priority relation and stratification are
+//! computed from rules a peel would discharge; see
+//! `ddb_analysis::splitting` for the construction. Both routes additionally require the *default*
+//! semantics structure (minimize-all partition, no varying atoms): with
+//! fixed or varying atoms an underivable atom is no longer forced false,
+//! and the bottom solution stops being unique.
+//!
+//! The routes record themselves in the `route.slice*` / `route.split*`
+//! counters, surfaced by `ddb profile`.
+
+use crate::dispatch::{RoutingMode, SemanticsConfig, SemanticsId};
+use ddb_analysis::{peel_with, project_slice, project_top, relevant_slice, Fragments, Peel, Slice};
+use ddb_logic::depgraph::DepGraph;
+use ddb_logic::{Database, Formula, Literal};
+use ddb_models::Cost;
+
+/// Why a query may (or may not) be answered on its relevance slice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// The database is positive (no negation, no integrity clauses):
+    /// answering on the slice is exact for all ten semantics.
+    PositiveExact,
+    /// The slice is split-closed: the database is a disjoint union of the
+    /// slice and the rest, and the answer is the product of the parts
+    /// (with the empty-top correction for cautious inference).
+    Product,
+    /// Neither precondition holds; the generic whole-database procedure
+    /// must run.
+    Blocked,
+}
+
+/// Decides whether a query over `slice` may be answered on the slice
+/// alone (shared with the `ddb slice` subcommand, which prints the
+/// admitting or blocking precondition).
+///
+/// The positive-exact admission requires the query's answer to be
+/// determined by the minimal-model set, which projects onto the slice.
+/// That holds for every semantics on formulas *except* GCWA and CCWA:
+/// their characteristic model sets keep **non-minimal** models, and a
+/// non-slice rule whose head is inferred false turns into an invisible
+/// constraint on them (`c :- a, b.` with `¬c` inferred prunes the
+/// non-minimal `{a, b}`). Literal inference is minimal-model-determined
+/// for all ten, so `literal_query` re-admits GCWA/CCWA.
+pub fn admission(
+    id: SemanticsId,
+    frags: &Fragments,
+    slice: &Slice,
+    literal_query: bool,
+) -> Admission {
+    let mm_determined = literal_query || !matches!(id, SemanticsId::Gcwa | SemanticsId::Ccwa);
+    if frags.positive && mm_determined {
+        Admission::PositiveExact
+    } else if slice.split_closed {
+        Admission::Product
+    } else {
+        Admission::Blocked
+    }
+}
+
+/// How the peel may run for this semantics: `None` when peeling is
+/// unsound, `Some(peel_negation)` otherwise.
+///
+/// * The stable-model family (DSM, PDSM) peels through stratified
+///   negation: *foundedness* makes every underivable atom false, even one
+///   read through negation by an integrity clause.
+/// * The classical CWA family (GCWA/EGCWA/CCWA/ECWA) and the
+///   negation-free pair (DDR, PWS) are model-theoretic in the clause
+///   theory, so the peel is sound but restricted to atoms never read
+///   through negation (`:- not x.` forces an underivable `x` true
+///   classically).
+/// * PERF and ICWA are *syntax-sensitive*: the perfect-model priority
+///   relation and the ICWA stratification are built from every rule,
+///   including rules a peel would discharge as dead, so partial
+///   evaluation can change their answers. No peel.
+pub fn peel_mode(id: SemanticsId) -> Option<bool> {
+    match id {
+        SemanticsId::Perf | SemanticsId::Icwa => None,
+        SemanticsId::Dsm | SemanticsId::Pdsm => Some(true),
+        _ => Some(false),
+    }
+}
+
+/// An inner configuration that must not re-enter the slice/split routes
+/// (residual programs would otherwise recurse forever on atoms whose
+/// rules were consumed by the peel).
+fn inner(cfg: &SemanticsConfig) -> SemanticsConfig {
+    SemanticsConfig {
+        no_slice: true,
+        ..cfg.clone()
+    }
+}
+
+/// Whether the slice/split routes are even on the table for this query.
+fn routable(cfg: &SemanticsConfig) -> bool {
+    cfg.routing == RoutingMode::Auto && !cfg.no_slice && cfg.has_default_structure()
+}
+
+/// Literal-inference entry: slices on the literal's atom. The literal is
+/// threaded through so the reduced sub-database is still queried with the
+/// specialized `infers_literal` procedures — for GCWA/CCWA those are far
+/// cheaper than generic formula inference.
+pub(crate) fn try_infers_literal(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    frags: &Fragments,
+    lit: Literal,
+    cost: &mut Cost,
+) -> Option<bool> {
+    let f = Formula::literal(lit.atom(), lit.is_positive());
+    try_infers(cfg, db, frags, &f, Some(lit), cost)
+}
+
+/// Formula-inference entry.
+pub(crate) fn try_infers_formula(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    frags: &Fragments,
+    f: &Formula,
+    cost: &mut Cost,
+) -> Option<bool> {
+    try_infers(cfg, db, frags, f, None, cost)
+}
+
+/// Shared inference entry: try the slice route, then the peel route.
+/// `None` means neither applied and the caller should run the generic
+/// procedure. `lit` is `Some` exactly when the query is a single literal.
+fn try_infers(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    frags: &Fragments,
+    f: &Formula,
+    lit: Option<Literal>,
+    cost: &mut Cost,
+) -> Option<bool> {
+    if !routable(cfg) {
+        return None;
+    }
+    if let Some(ans) = slice_infers(cfg, db, frags, f, lit, cost) {
+        return Some(ans);
+    }
+    peel_infers(cfg, db, f, lit, cost)
+}
+
+/// Model-existence entry: slicing needs query atoms, so only the peel
+/// route applies — solve the deterministic bottom, ask the residual.
+pub(crate) fn try_has_model(cfg: &SemanticsConfig, db: &Database, cost: &mut Cost) -> Option<bool> {
+    if !routable(cfg) {
+        return None;
+    }
+    let p = try_peel(cfg, db)?;
+    inner(cfg).has_model(&p.residual, cost).ok()
+}
+
+fn slice_infers(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    frags: &Fragments,
+    f: &Formula,
+    lit: Option<Literal>,
+    cost: &mut Cost,
+) -> Option<bool> {
+    let atoms = f.atoms();
+    if atoms.is_empty() {
+        return None;
+    }
+    let slice = relevant_slice(db, &atoms);
+    if slice.is_whole(db) {
+        // Nothing to drop — not worth a counter; inner calls land here.
+        return None;
+    }
+    let admission = match admission(cfg.id, frags, &slice, lit.is_some()) {
+        Admission::Blocked => {
+            ddb_obs::counter_add("route.slice.blocked", 1);
+            return None;
+        }
+        a => a,
+    };
+    ddb_obs::counter_add("route.slice", 1);
+    ddb_obs::counter_add(
+        "route.slice.dropped_rules",
+        (db.len() - slice.rules.len()) as u64,
+    );
+    let (sub, map) = project_slice(db, &slice);
+    // Re-slicing the projected slice is a no-op (the closure is already
+    // whole), so the recursive call may still peel it or ride the Horn
+    // fast path.
+    let ans = match lit {
+        Some(l) => {
+            let a = map.to_sub[l.atom().index()].expect("query atom is in its slice");
+            cfg.infers_literal(&sub, Literal::with_sign(a, l.is_positive()), cost)
+                .ok()?
+        }
+        None => {
+            let f_sub = f.map_atoms(&mut |a| {
+                Formula::Atom(map.to_sub[a.index()].expect("query atom is in its slice"))
+            });
+            cfg.infers_formula(&sub, &f_sub, cost).ok()?
+        }
+    };
+    if ans || admission == Admission::PositiveExact {
+        return Some(ans);
+    }
+    // Product correction: a cautious `false` on the slice only transfers
+    // to the whole database when the independent top part has a model at
+    // all — an empty top model set makes every inference vacuously true.
+    let (top, _) = project_top(db, &slice);
+    Some(!inner(cfg).has_model(&top, cost).ok()?)
+}
+
+fn peel_infers(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    f: &Formula,
+    lit: Option<Literal>,
+    cost: &mut Cost,
+) -> Option<bool> {
+    let p = try_peel(cfg, db)?;
+    if let Some(l) = lit {
+        if p.decided[l.atom().index()].is_none() {
+            return inner(cfg).infers_literal(&p.residual, l, cost).ok();
+        }
+        // A decided query atom degenerates to a constant formula below.
+    }
+    let f_res = f.map_atoms(&mut |a| match p.decided[a.index()] {
+        Some(true) => Formula::True,
+        Some(false) => Formula::False,
+        None => Formula::Atom(a),
+    });
+    inner(cfg).infers_formula(&p.residual, &f_res, cost).ok()
+}
+
+/// Runs the peel and gates on progress; records the `route.split*`
+/// counters when the route is taken.
+fn try_peel(cfg: &SemanticsConfig, db: &Database) -> Option<Peel> {
+    let peel_negation = peel_mode(cfg.id)?;
+    let graph = DepGraph::of_database(db);
+    let p = peel_with(db, &graph, peel_negation);
+    if p.num_decided == 0 {
+        return None;
+    }
+    ddb_obs::counter_add("route.split", 1);
+    ddb_obs::counter_add("route.split.decided_atoms", p.num_decided as u64);
+    ddb_obs::counter_add("route.split.components", p.components_decided as u64);
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::{parse_formula, parse_program};
+
+    fn counters_after(f: impl FnOnce()) -> ddb_obs::CounterSnapshot {
+        let before = ddb_obs::snapshot();
+        f();
+        ddb_obs::snapshot().diff(&before)
+    }
+
+    #[test]
+    fn slice_route_answers_and_counts() {
+        // Query c only needs the a|b block; the x|y block is dropped.
+        let db = parse_program("a | b. c :- a. c :- b. x | y. z :- x.").unwrap();
+        let f = parse_formula("c", db.symbols()).unwrap();
+        let cfg = SemanticsConfig::new(SemanticsId::Egcwa);
+        let mut cost = Cost::new();
+        let mut ans = false;
+        let spent = counters_after(|| ans = cfg.infers_formula(&db, &f, &mut cost).unwrap());
+        assert!(ans);
+        assert!(spent.get("route.slice") > 0);
+        assert_eq!(spent.get("route.slice.dropped_rules"), 2);
+    }
+
+    #[test]
+    fn blocked_slice_falls_back_to_generic() {
+        // Not positive (negation) and not split-closed: d :- not c reads
+        // the slice of query c from outside.
+        let db = parse_program("a | b. c :- a. d :- not c. e.").unwrap();
+        let f = parse_formula("c", db.symbols()).unwrap();
+        let cfg = SemanticsConfig::new(SemanticsId::Dsm);
+        let mut cost = Cost::new();
+        let spent = counters_after(|| {
+            cfg.infers_formula(&db, &f, &mut cost).unwrap();
+        });
+        assert!(spent.get("route.slice.blocked") > 0);
+        assert_eq!(spent.get("route.slice"), 0);
+    }
+
+    #[test]
+    fn peel_route_substitutes_decided_atoms() {
+        // The Horn prefix x0, x1 peels away; the query mixes decided and
+        // open atoms.
+        let db = parse_program("x0. x1 :- x0. a | b :- x1. q :- a. q :- b.").unwrap();
+        let f = parse_formula("x1 & q", db.symbols()).unwrap();
+        for id in SemanticsId::ALL {
+            let cfg = SemanticsConfig::new(id);
+            let mut cost = Cost::new();
+            let mut ans = false;
+            let spent = counters_after(|| ans = cfg.infers_formula(&db, &f, &mut cost).unwrap());
+            assert!(ans, "{id}");
+            if peel_mode(id).is_some() {
+                assert!(spent.get("route.split") > 0, "{id}");
+            } else {
+                // PERF/ICWA never peel; the whole-slice query falls back.
+                assert!(spent.get("route.split") == 0, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_correction_catches_inconsistent_top() {
+        // The slice for q is `a | b. q :- a. q :- b.` and infers neither
+        // x nor ¬q issues; the independent top `t. :- t.` is
+        // inconsistent, so the whole database cautiously infers
+        // everything — including ¬q.
+        let db = parse_program("a | b. q :- a. q :- b. t. :- t.").unwrap();
+        let f = parse_formula("!q", db.symbols()).unwrap();
+        for id in [SemanticsId::Gcwa, SemanticsId::Egcwa, SemanticsId::Dsm] {
+            let cfg = SemanticsConfig::new(id);
+            let mut cost = Cost::new();
+            let auto = cfg.infers_formula(&db, &f, &mut cost).unwrap();
+            let generic = cfg
+                .clone()
+                .with_routing(RoutingMode::Generic)
+                .infers_formula(&db, &f, &mut cost)
+                .unwrap();
+            assert_eq!(auto, generic, "{id}");
+            assert!(auto, "inconsistent DB infers everything ({id})");
+        }
+    }
+
+    #[test]
+    fn has_model_rides_the_peel() {
+        let db = parse_program("a. b :- a. c | d :- b. :- a, z.").unwrap();
+        let cfg = SemanticsConfig::new(SemanticsId::Dsm);
+        let mut cost = Cost::new();
+        let mut ans = false;
+        let spent = counters_after(|| ans = cfg.has_model(&db, &mut cost).unwrap());
+        assert!(ans);
+        assert!(spent.get("route.split") > 0);
+        // And a violated bottom constraint kills the model set.
+        let bad = parse_program("a. b :- a. :- b. c | d.").unwrap();
+        assert!(!cfg.has_model(&bad, &mut cost).unwrap());
+    }
+
+    #[test]
+    fn generic_mode_never_slices() {
+        let db = parse_program("a | b. c :- a. x | y.").unwrap();
+        let f = parse_formula("c", db.symbols()).unwrap();
+        let cfg = SemanticsConfig::new(SemanticsId::Egcwa).with_routing(RoutingMode::Generic);
+        let mut cost = Cost::new();
+        let spent = counters_after(|| {
+            cfg.infers_formula(&db, &f, &mut cost).unwrap();
+        });
+        assert_eq!(spent.get("route.slice"), 0);
+        assert_eq!(spent.get("route.split"), 0);
+        assert!(spent.get("route.generic") > 0);
+    }
+}

@@ -109,6 +109,23 @@ impl Formula {
         }
     }
 
+    /// Replaces every atomic leaf by `sub(atom)`, leaving the connective
+    /// structure untouched — the substitution primitive behind query-slice
+    /// renaming (atom ↦ renamed atom) and splitting-set partial evaluation
+    /// (decided atom ↦ ⊤/⊥).
+    pub fn map_atoms(&self, sub: &mut impl FnMut(Atom) -> Formula) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => sub(*a),
+            Formula::Not(f) => f.map_atoms(sub).negated(),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.map_atoms(sub)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.map_atoms(sub)).collect()),
+            Formula::Implies(l, r) => l.map_atoms(sub).implies(r.map_atoms(sub)),
+            Formula::Iff(l, r) => l.map_atoms(sub).iff(r.map_atoms(sub)),
+        }
+    }
+
     /// Collects the atoms occurring in the formula into `out` (deduplicated
     /// by the caller if needed).
     pub fn collect_atoms(&self, out: &mut Vec<Atom>) {
@@ -276,6 +293,25 @@ mod tests {
         let e = Interpretation::empty(0);
         assert!(Formula::and([]).eval(&e));
         assert!(!Formula::or([]).eval(&e));
+    }
+
+    #[test]
+    fn map_atoms_substitutes_leaves() {
+        let f = Formula::atom(a(0)).implies(Formula::or([
+            Formula::atom(a(1)).negated(),
+            Formula::atom(a(0)),
+        ]));
+        let g = f.map_atoms(&mut |x| {
+            if x == a(0) {
+                Formula::True
+            } else {
+                Formula::atom(x)
+            }
+        });
+        // a₀ ↦ ⊤: ⊤ → (¬a₁ ∨ ⊤) ≡ ⊤.
+        assert_eq!(g.simplify(), Formula::True);
+        // Identity substitution is structural identity.
+        assert_eq!(f.map_atoms(&mut Formula::atom), f);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! - **Counters** ([`counter_add`], [`counter_max`], [`snapshot`]) — named
 //!   monotonic totals and high-water gauges, e.g. `sat.solves`,
 //!   `models.circ.candidates`, `sat.clauses.peak`.
-//! - **Spans** ([`span`], [`time`]) — RAII-guarded hierarchical timing for
+//! - **Spans** ([`span()`], [`time`]) — RAII-guarded hierarchical timing for
 //!   decision procedures, e.g. `gcwa.infers_literal`. Each span contributes
 //!   `span.<name>.calls` and `span.<name>.ns` counters.
 //! - **Sink** ([`set_sink`], [`MemorySink`]) — an optional structured event

@@ -96,6 +96,43 @@ pub fn graph_coloring(num_vertices: usize, edges: &[(usize, usize)], k: usize) -
     db
 }
 
+/// `towers` independent stacked disjunctive towers of `height` stages:
+///
+/// ```text
+/// c₀ ∨ d₀.                      (per-tower base choice)
+/// aᵢ ∨ bᵢ ← cᵢ₋₁.               (stage choice)
+/// cᵢ ← aᵢ.   cᵢ ← bᵢ.           (stage closure)
+/// ```
+///
+/// Positive and integrity-free, with the minimal-model count multiplying
+/// across towers — but a query about one tower's low stage has a
+/// relevance slice of `2 + 3·stage` atoms however many towers exist, so
+/// the query-relevant slicing route answers it at single-tower cost. The
+/// scaling family behind the `T1-slicing` bench group.
+pub fn sliceable_towers(towers: usize, height: usize) -> Database {
+    let per = 2 + 3 * height;
+    let mut db = Database::with_fresh_atoms(towers * per);
+    for t in 0..towers {
+        let base = (t * per) as u32;
+        let c = |i: usize| {
+            Atom::new(if i == 0 {
+                base
+            } else {
+                base + (3 * i + 1) as u32
+            })
+        };
+        db.add_rule(Rule::fact([Atom::new(base), Atom::new(base + 1)]));
+        for i in 1..=height {
+            let a = Atom::new(base + (3 * i - 1) as u32);
+            let b = Atom::new(base + (3 * i) as u32);
+            db.add_rule(Rule::new([a, b], [c(i - 1)], []));
+            db.add_rule(Rule::new([c(i)], [a], []));
+            db.add_rule(Rule::new([c(i)], [b], []));
+        }
+    }
+    db
+}
+
 /// `k` independent even negative loops
 /// `aᵢ ← ¬bᵢ. bᵢ ← ¬aᵢ.` — `2^k` stable models; the DSM/PDSM enumeration
 /// stress family.
@@ -228,6 +265,16 @@ mod tests {
             db.satisfied_by(&m)
         });
         assert!(!any);
+    }
+
+    #[test]
+    fn sliceable_towers_shape() {
+        let db = sliceable_towers(3, 2);
+        assert_eq!(db.num_atoms(), 3 * 8);
+        assert_eq!(db.len(), 3 * 7);
+        assert!(db.is_positive());
+        let db = sliceable_towers(0, 2);
+        assert_eq!(db.num_atoms(), 0);
     }
 
     #[test]

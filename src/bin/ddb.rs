@@ -6,8 +6,15 @@
 //!
 //! ddb check <file> [--json] [--strict]
 //!     Static analysis: fragment classification, stratification, and the
-//!     lint pass (DDB001–DDB008). Exit code is non-zero when any
-//!     error-level finding exists (with --strict, warnings too).
+//!     lint pass (DDB001–DDB011). Exit codes are stable: 0 when the
+//!     report is clean, 1 when only warning-level lints fired, 2 on any
+//!     error-level finding (parse and safety failures included). With
+//!     --strict, warnings count as errors and exit 2.
+//!
+//! ddb slice <file> --query "<f>" [--semantics <name>] [--json]
+//!     Query-relevant slicing: print the backward relevance slice of the
+//!     query, the SCC condensation layers, and — per semantics — which
+//!     soundness precondition admits (or blocks) answering on the slice.
 //!
 //! ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c]
 //!     Enumerate the characteristic models of a semantics.
@@ -46,7 +53,7 @@ use std::time::Instant;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("run `ddb help` for usage");
@@ -55,31 +62,38 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Runs one CLI command. `Ok(code)` is the process exit code — only
+/// `check` uses non-zero `Ok` codes (its 0/1/2 contract); every other
+/// command reports failure through `Err`, which exits 1.
+fn run(args: &[String]) -> Result<u8, String> {
     let Some(command) = args.first() else {
         return Err("missing command".into());
     };
     match command.as_str() {
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
-            Ok(())
+            Ok(0)
         }
-        "classify" => classify(&args[1..]),
+        "classify" => classify(&args[1..]).map(|()| 0),
         "check" => check_cmd(&args[1..]),
-        "models" => models(&args[1..]),
-        "query" => query(&args[1..]),
-        "exists" => exists(&args[1..]),
-        "wfs" => wfs_cmd(&args[1..]),
-        "ground" => ground_cmd(&args[1..]),
-        "proof" => proof_cmd(&args[1..]),
-        "profile" => profile_cmd(&args[1..]),
+        "slice" => slice_cmd(&args[1..]).map(|()| 0),
+        "models" => models(&args[1..]).map(|()| 0),
+        "query" => query(&args[1..]).map(|()| 0),
+        "exists" => exists(&args[1..]).map(|()| 0),
+        "wfs" => wfs_cmd(&args[1..]).map(|()| 0),
+        "ground" => ground_cmd(&args[1..]).map(|()| 0),
+        "proof" => proof_cmd(&args[1..]).map(|()| 0),
+        "profile" => profile_cmd(&args[1..]).map(|()| 0),
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
 const USAGE: &str = "usage:
   ddb classify <file>
-  ddb check  <file> [--json] [--strict] (static analysis + lints, exit 1 on errors)
+  ddb check  <file> [--json] [--strict] (static analysis + lints;
+      exit 0 clean, 1 warning lints, 2 errors; --strict treats warnings as errors)
+  ddb slice  <file> --query \"<f>\" [--semantics <name>] [--json]
+      (query-relevant slice, condensation layers, per-semantics admission)
   ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c] [--partial]
   ddb query  <file> --semantics <name> (--formula \"<f>\" | --literal [-]<atom>) [--brave] [--explain]
   ddb exists <file> --semantics <name>
@@ -312,14 +326,29 @@ fn read_source(path: &str) -> Result<String, String> {
     }
 }
 
-fn check_cmd(args: &[String]) -> Result<(), String> {
+/// `ddb check` with the stable exit-code contract: `Ok(0)` for a clean
+/// report, `Ok(1)` when only warning-level lints fired, `Ok(2)` on any
+/// error — error-level diagnostics, unreadable files, parse and safety
+/// failures. `--strict` escalates warnings to the error exit code. Only
+/// malformed command lines surface as `Err` (exit 1 via `main`).
+fn check_cmd(args: &[String]) -> Result<u8, String> {
     use disjunctive_db::analysis::{analyze, Severity};
     let opts = parse_opts(args)?;
     let path = opts.file.as_deref().ok_or("missing <file> argument")?;
-    let source = read_source(path)?;
+    let fail = |msg: String| -> Result<u8, String> {
+        eprintln!("error: {msg}");
+        Ok(2)
+    };
+    let source = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
     let datalog = opts.flag("datalog") || path.ends_with(".dlv") || source.contains('(');
     let db = if datalog {
-        let program = parse_datalog(&source).map_err(|e| e.to_string())?;
+        let program = match parse_datalog(&source) {
+            Ok(p) => p,
+            Err(e) => return fail(e.to_string()),
+        };
         // An unsafe program cannot be grounded, so its DDB001 diagnostic
         // is the whole report.
         if let Err(e) = disjunctive_db::ground::safety::check_program(&program) {
@@ -335,11 +364,17 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
             } else {
                 println!("{d}");
             }
-            return Err("check failed: 1 error(s)".into());
+            return fail("check failed: 1 error(s)".into());
         }
-        ground_reduced(&program, 1_000_000).map_err(|e| e.to_string())?
+        match ground_reduced(&program, 1_000_000) {
+            Ok(db) => db,
+            Err(e) => return fail(e.to_string()),
+        }
     } else {
-        parse_program(&source).map_err(|e| e.to_string())?
+        match parse_program(&source) {
+            Ok(db) => db,
+            Err(e) => return fail(e.to_string()),
+        }
     };
     let report = analyze(&db);
     if opts.flag("json") {
@@ -354,9 +389,177 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
     let errors = report.count(Severity::Error);
     let warnings = report.count(Severity::Warning);
     if errors > 0 || (opts.flag("strict") && warnings > 0) {
-        return Err(format!(
+        return fail(format!(
             "check failed: {errors} error(s), {warnings} warning(s)"
         ));
+    }
+    Ok(if warnings > 0 { 1 } else { 0 })
+}
+
+/// `ddb slice`: the CLI window onto the slicing subsystem. Prints the
+/// backward relevance slice of the query, the SCC condensation layers of
+/// the whole database, and per semantics which soundness precondition
+/// admits answering on the slice (or that the generic route must run).
+fn slice_cmd(args: &[String]) -> Result<(), String> {
+    use disjunctive_db::analysis::{layering, relevant_slice, DepGraph, Fragments};
+    use disjunctive_db::core::slicing::{admission, peel_mode, Admission};
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    let raw = opts.value("query").ok_or("missing --query <formula>")?;
+    // The formula lexer cannot read datalog `name(args)` atoms, so fall
+    // back to a verbatim symbol lookup (with optional leading `-`) when
+    // the formula parse fails.
+    let formula = match parse_formula(raw, db.symbols()) {
+        Ok(f) => f,
+        Err(parse_err) => {
+            let (name, positive) = match raw.trim().strip_prefix('-') {
+                Some(rest) => (rest.trim(), false),
+                None => (raw.trim(), true),
+            };
+            let atom = db
+                .symbols()
+                .lookup(name)
+                .ok_or_else(|| parse_err.to_string())?;
+            Formula::literal(atom, positive)
+        }
+    };
+    let query_atoms = formula.atoms();
+    if query_atoms.is_empty() {
+        return Err("the query mentions no atoms; nothing to slice".into());
+    }
+    let literal_query = query_atoms.len() == 1
+        && (formula == Formula::literal(query_atoms[0], true)
+            || formula == Formula::literal(query_atoms[0], false));
+    let slice = relevant_slice(&db, &query_atoms);
+    let graph = DepGraph::of_database(&db);
+    let frags = Fragments::of(&db, &graph);
+    let layers = layering(&db, &graph);
+    let semantics: Vec<SemanticsId> = match opts.value("semantics") {
+        Some(name) => vec![semantics_id(name)?],
+        None => SemanticsId::ALL.to_vec(),
+    };
+    let admission_label = |a: Admission| match a {
+        Admission::PositiveExact => "positive-exact",
+        Admission::Product => "product",
+        Admission::Blocked => "blocked (generic fallback)",
+    };
+    let peel_label = |m: Option<bool>| match m {
+        Some(true) => "founded",
+        Some(false) => "classical",
+        None => "none",
+    };
+    if opts.flag("json") {
+        let level_sets: Vec<Json> = (0..layers.num_levels)
+            .map(|l| {
+                Json::Arr(
+                    db.symbols()
+                        .atoms()
+                        .filter(|a| layers.level[a.index()] == l)
+                        .map(|a| Json::Str(db.symbols().name(a).to_owned()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let admissions: Vec<Json> = semantics
+            .iter()
+            .map(|&id| {
+                Json::obj([
+                    ("semantics", Json::Str(id.to_string())),
+                    (
+                        "admission",
+                        Json::Str(
+                            admission_label(admission(id, &frags, &slice, literal_query))
+                                .to_owned(),
+                        ),
+                    ),
+                    ("peel", Json::Str(peel_label(peel_mode(id)).to_owned())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            (
+                "file",
+                Json::Str(opts.file.as_deref().unwrap_or("-").into()),
+            ),
+            ("query", Json::Str(raw.to_owned())),
+            ("literal_query", Json::Bool(literal_query)),
+            (
+                "slice_atoms",
+                Json::Arr(
+                    slice
+                        .atoms
+                        .iter()
+                        .map(|&a| Json::Str(db.symbols().name(a).to_owned()))
+                        .collect(),
+                ),
+            ),
+            (
+                "slice_rules",
+                Json::Arr(slice.rules.iter().map(|&i| Json::UInt(i as u64)).collect()),
+            ),
+            (
+                "dropped_rules",
+                Json::UInt((db.len() - slice.rules.len()) as u64),
+            ),
+            ("split_closed", Json::Bool(slice.split_closed)),
+            (
+                "blocking_rule",
+                slice
+                    .blocking_rule
+                    .map_or(Json::Null, |i| Json::UInt(i as u64)),
+            ),
+            ("num_levels", Json::UInt(layers.num_levels as u64)),
+            ("levels", Json::Arr(level_sets)),
+            ("admissions", Json::Arr(admissions)),
+        ]);
+        print!("{}", doc.render_pretty());
+        return Ok(());
+    }
+    println!(
+        "slice of {} for query `{raw}`: {} of {} atom(s), {} of {} rule(s)",
+        opts.file.as_deref().unwrap_or("-"),
+        slice.atoms.len(),
+        db.num_atoms(),
+        slice.rules.len(),
+        db.len(),
+    );
+    let names: Vec<&str> = slice.atoms.iter().map(|&a| db.symbols().name(a)).collect();
+    println!("  atoms: {{{}}}", names.join(", "));
+    for &i in &slice.rules {
+        println!(
+            "  rule #{i}: {}",
+            display_rule(&db.rules()[i], db.symbols())
+        );
+    }
+    match (slice.split_closed, slice.blocking_rule) {
+        (true, _) => println!("  split-closed: yes"),
+        (false, Some(i)) => println!(
+            "  split-closed: no — blocked by rule #{i}: {}",
+            display_rule(&db.rules()[i], db.symbols())
+        ),
+        (false, None) => println!("  split-closed: no"),
+    }
+    println!("layers: {} condensation level(s)", layers.num_levels);
+    for l in 0..layers.num_levels {
+        let at_level: Vec<&str> = db
+            .symbols()
+            .atoms()
+            .filter(|a| layers.level[a.index()] == l)
+            .map(|a| db.symbols().name(a))
+            .collect();
+        println!("  L{l}: {{{}}}", at_level.join(", "));
+    }
+    println!(
+        "admission ({} query):",
+        if literal_query { "literal" } else { "formula" }
+    );
+    for &id in &semantics {
+        println!(
+            "  {:<13} {:<26} peel: {}",
+            id.to_string(),
+            admission_label(admission(id, &frags, &slice, literal_query)),
+            peel_label(peel_mode(id)),
+        );
     }
     Ok(())
 }
@@ -680,25 +883,36 @@ mod tests {
     }
 
     #[test]
-    fn check_passes_clean_db_and_fails_on_error_lints() {
+    fn check_exit_codes_are_stable() {
+        // 0: clean report.
         let clean = std::env::temp_dir().join("ddb_cli_check_clean.dl");
         std::fs::write(&clean, "a | b. c :- a.").unwrap();
-        assert!(run(&args(&["check", clean.to_str().unwrap()])).is_ok());
-        assert!(run(&args(&["check", clean.to_str().unwrap(), "--json"])).is_ok());
+        assert_eq!(run(&args(&["check", clean.to_str().unwrap()])), Ok(0));
+        assert_eq!(
+            run(&args(&["check", clean.to_str().unwrap(), "--json"])),
+            Ok(0)
+        );
         std::fs::remove_file(&clean).ok();
 
+        // 2: error-level lints (DDB002 fact violating a constraint).
         let bad = std::env::temp_dir().join("ddb_cli_check_bad.dl");
         std::fs::write(&bad, "a. :- a.").unwrap();
-        assert!(run(&args(&["check", bad.to_str().unwrap()])).is_err());
+        assert_eq!(run(&args(&["check", bad.to_str().unwrap()])), Ok(2));
         std::fs::remove_file(&bad).ok();
+
+        // 2: unreadable file.
+        assert_eq!(run(&args(&["check", "/nonexistent/ddb_no_such.dl"])), Ok(2));
     }
 
     #[test]
-    fn check_strict_fails_on_warnings() {
+    fn check_warnings_exit_one_and_strict_escalates() {
         let dup = std::env::temp_dir().join("ddb_cli_check_dup.dl");
         std::fs::write(&dup, "a. a.").unwrap();
-        assert!(run(&args(&["check", dup.to_str().unwrap()])).is_ok());
-        assert!(run(&args(&["check", dup.to_str().unwrap(), "--strict"])).is_err());
+        assert_eq!(run(&args(&["check", dup.to_str().unwrap()])), Ok(1));
+        assert_eq!(
+            run(&args(&["check", dup.to_str().unwrap(), "--strict"])),
+            Ok(2)
+        );
         std::fs::remove_file(&dup).ok();
     }
 
@@ -706,8 +920,24 @@ mod tests {
     fn check_reports_unsafe_datalog() {
         let unsafe_dl = std::env::temp_dir().join("ddb_cli_check_unsafe.dlv");
         std::fs::write(&unsafe_dl, "p(X).").unwrap();
-        assert!(run(&args(&["check", unsafe_dl.to_str().unwrap()])).is_err());
+        assert_eq!(run(&args(&["check", unsafe_dl.to_str().unwrap()])), Ok(2));
         std::fs::remove_file(&unsafe_dl).ok();
+    }
+
+    #[test]
+    fn slice_prints_slice_and_admissions() {
+        let path = std::env::temp_dir().join("ddb_cli_slice.dl");
+        std::fs::write(&path, "a | b. c :- a. c :- b. x | y. z :- x.").unwrap();
+        let p = path.to_str().unwrap();
+        assert_eq!(run(&args(&["slice", p, "--query", "c"])), Ok(0));
+        assert_eq!(run(&args(&["slice", p, "--query", "c", "--json"])), Ok(0));
+        assert_eq!(
+            run(&args(&["slice", p, "--query", "c", "--semantics", "dsm"])),
+            Ok(0)
+        );
+        assert!(run(&args(&["slice", p, "--query", "nope"])).is_err());
+        assert!(run(&args(&["slice", p])).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! End-to-end checks of the `ddb check` exit-code contract and the
+//! `ddb slice` subcommand, run against the real binary.
+//!
+//! `check` promises stable exit codes: 0 for a clean report, 1 when only
+//! warning-level lints fired, 2 on any error — error-level diagnostics,
+//! unreadable files, parse and safety failures — and `--strict` escalates
+//! warnings to 2. Scripts (including our own CI) branch on these.
+
+use disjunctive_db::obs::json::{parse, Json};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ddb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddb"))
+}
+
+fn example(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_owned()
+}
+
+fn temp_db(name: &str, source: &str) -> String {
+    let path = std::env::temp_dir().join(format!("ddb_cli_check_{name}_{}.dl", std::process::id()));
+    std::fs::write(&path, source).unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+fn exit_code(cmd: &mut Command) -> i32 {
+    cmd.output().expect("running ddb").status.code().unwrap()
+}
+
+#[test]
+fn check_exits_zero_on_clean_database() {
+    let path = temp_db("clean", "a | b. c :- a.");
+    assert_eq!(exit_code(ddb().args(["check", &path])), 0);
+    assert_eq!(exit_code(ddb().args(["check", &path, "--strict"])), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_exits_one_on_warning_lints_and_two_under_strict() {
+    // A duplicate fact is a warning-level lint (DDB004 family).
+    let path = temp_db("dup", "a. a.");
+    assert_eq!(exit_code(ddb().args(["check", &path])), 1);
+    assert_eq!(exit_code(ddb().args(["check", &path, "--strict"])), 2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_exits_two_on_errors_parse_failures_and_missing_files() {
+    // Error-level finding: a fact violating an integrity clause.
+    let bad = temp_db("bad", "a. :- a.");
+    assert_eq!(exit_code(ddb().args(["check", &bad])), 2);
+    std::fs::remove_file(&bad).ok();
+
+    let garbled = temp_db("garbled", "a |");
+    assert_eq!(exit_code(ddb().args(["check", &garbled])), 2);
+    std::fs::remove_file(&garbled).ok();
+
+    assert_eq!(exit_code(ddb().args(["check", "/nonexistent/nope.dl"])), 2);
+}
+
+#[test]
+fn check_emits_dead_and_subsumed_rule_lints() {
+    // `c :- x.` is dead (x is never supportable): DDB009. The weaker
+    // duplicate-modulo-negation rule is DDB010 material.
+    let path = temp_db("dead", "a | b. c :- a. c :- b. c :- x, a.");
+    let out = ddb().args(["check", &path]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("DDB009"), "missing DDB009 in:\n{text}");
+    assert_eq!(out.status.code().unwrap(), 1);
+    std::fs::remove_file(&path).ok();
+
+    // `p :- q, not u.` simplifies to `p :- q.` (u is never derivable),
+    // which subsumes `p :- q, s.` — invisible to classical subsumption.
+    let sub = temp_db("subsumed", "p :- q, not u. p :- q, s. q. s.");
+    let out = ddb().args(["check", &sub]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("DDB010"), "missing DDB010 in:\n{text}");
+    std::fs::remove_file(&sub).ok();
+}
+
+#[test]
+fn check_json_reports_the_same_findings() {
+    let path = temp_db("json", "a. a.");
+    let out = ddb().args(["check", &path, "--json"]).output().unwrap();
+    assert_eq!(out.status.code().unwrap(), 1);
+    let doc = parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert!(doc.get("warnings").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(doc.get("errors").unwrap().as_u64(), Some(0));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn slice_reports_slice_layers_and_admissions() {
+    let layers = example("layers.dlv");
+    let out = ddb()
+        .args(["slice", &layers, "--query", "covered(gear)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("split-closed: yes"), "{text}");
+    assert!(text.contains("positive-exact"), "{text}");
+    assert!(text.contains("condensation level"), "{text}");
+    // The audit layer must not ride along in the slice itself (the layer
+    // listing below it legitimately names every atom).
+    let slice_part = text.split("layers:").next().unwrap();
+    assert!(!slice_part.contains("audited"), "{text}");
+}
+
+#[test]
+fn slice_json_has_the_documented_fields() {
+    let layers = example("layers.dlv");
+    let out = ddb()
+        .args(["slice", &layers, "--query", "covered(gear)", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(doc.get("literal_query").cloned(), Some(Json::Bool(true)));
+    assert_eq!(doc.get("split_closed").cloned(), Some(Json::Bool(true)));
+    let Some(Json::Arr(admissions)) = doc.get("admissions") else {
+        panic!("missing admissions array");
+    };
+    assert_eq!(admissions.len(), 10);
+    for a in admissions {
+        assert_eq!(
+            a.get("admission").and_then(Json::as_str),
+            Some("positive-exact")
+        );
+    }
+    let Some(Json::Arr(rules)) = doc.get("slice_rules") else {
+        panic!("missing slice_rules array");
+    };
+    assert!(rules.len() < 14, "slice should drop the audit layer");
+}
+
+#[test]
+fn slice_reports_blocking_rule_when_not_split_closed() {
+    // `z :- not c.` reads the slice atom `c` from outside the slice of
+    // query `c`, so the slice is neither positive-exact nor split-closed.
+    let path = temp_db("blocked", "a | b. c :- a. z :- not c. e.");
+    let out = ddb()
+        .args(["slice", &path, "--query", "c"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("split-closed: no"), "{text}");
+    assert!(text.contains("blocked by rule"), "{text}");
+    assert!(text.contains("blocked (generic fallback)"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
