@@ -28,7 +28,7 @@ fn bench_positive_trivial(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let ans = ddb_core::egcwa::has_model(&db, &mut cost);
+                let ans = ddb_core::egcwa::has_model(&db, &mut cost).unwrap();
                 assert!(ans && cost.sat_calls == 0);
                 ans
             })
@@ -58,7 +58,7 @@ fn bench_dsm_sigma2(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let ans = ddb_core::dsm::has_model(&db, &mut cost);
+                let ans = ddb_core::dsm::has_model(&db, &mut cost).unwrap();
                 assert!(!ans, "family has no stable model");
                 ans
             })
@@ -74,7 +74,7 @@ fn bench_perf_sigma2(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let ans = ddb_core::perf::has_model(&db, &mut cost);
+                let ans = ddb_core::perf::has_model(&db, &mut cost).unwrap();
                 assert!(!ans, "mutual strict priorities kill every model");
                 ans
             })
@@ -104,7 +104,7 @@ fn bench_icwa_constant(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let ans = ddb_core::icwa::has_model(&db, &layers, &mut cost);
+                let ans = ddb_core::icwa::has_model(&db, &layers, &mut cost).unwrap();
                 assert!(ans && cost.sat_calls == 0);
                 ans
             })

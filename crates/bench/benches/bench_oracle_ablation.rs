@@ -27,7 +27,7 @@ fn bench_cdcl_vs_dpll(c: &mut Criterion) {
         let db = families::phase_transition(n, 21);
         let cnf = database_to_cnf(&db);
         g.bench_with_input(BenchmarkId::new("CDCL", n), &n, |b, _| {
-            b.iter(|| Solver::from_cnf(&cnf).solve().is_sat())
+            b.iter(|| Solver::from_cnf(&cnf).solve().unwrap().is_sat())
         });
         g.bench_with_input(BenchmarkId::new("DPLL", n), &n, |b, _| {
             b.iter(|| dpll::is_sat(&cnf))
@@ -43,13 +43,13 @@ fn bench_gcwa_direct_vs_census(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                ddb_core::gcwa::false_atoms(&db, &mut cost).count()
+                ddb_core::gcwa::false_atoms(&db, &mut cost).unwrap().count()
             })
         });
         g.bench_with_input(BenchmarkId::new("census", n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                ddb_core::gcwa::census_false_atoms(&db, &mut cost)
+                ddb_core::gcwa::census_false_atoms(&db, &mut cost).unwrap()
             })
         });
     }
@@ -64,7 +64,11 @@ fn bench_closure_vs_explicit_fixpoint(c: &mut Criterion) {
             b.iter(|| fixpoint::active_atoms(&db).count())
         });
         g.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, _| {
-            b.iter(|| fixpoint::model_state(&db, 1_000_000).map(|s| s.len()))
+            b.iter(|| {
+                fixpoint::model_state(&db, 1_000_000)
+                    .unwrap()
+                    .map(|s| s.len())
+            })
         });
     }
     g.finish();
@@ -79,14 +83,14 @@ fn bench_clause_minimization(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = Solver::from_cnf(&cnf);
                 s.set_clause_minimization(true);
-                s.solve().is_sat()
+                s.solve().unwrap().is_sat()
             })
         });
         g.bench_with_input(BenchmarkId::new("minimize-off", n), &n, |b, _| {
             b.iter(|| {
                 let mut s = Solver::from_cnf(&cnf);
                 s.set_clause_minimization(false);
-                s.solve().is_sat()
+                s.solve().unwrap().is_sat()
             })
         });
     }
@@ -104,7 +108,7 @@ fn bench_component_counting(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("componentwise", k), &k, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let c = ddb_models::components::count_minimal_models(&db, &mut cost);
+                let c = ddb_models::components::count_minimal_models(&db, &mut cost).unwrap();
                 assert_eq!(c, 1 << k);
                 c
             })
@@ -112,7 +116,9 @@ fn bench_component_counting(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("enumerate", k), &k, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                ddb_models::minimal::minimal_models(&db, &mut cost).len()
+                ddb_models::minimal::minimal_models(&db, &mut cost)
+                    .unwrap()
+                    .len()
             })
         });
     }
@@ -130,6 +136,7 @@ fn bench_transversal_dualization(c: &mut Criterion) {
             b.iter(|| {
                 let mut cost = Cost::new();
                 let clauses = ddb_core::egcwa::derived_integrity_clauses(&db, 1_000_000, &mut cost)
+                    .unwrap()
                     .expect("within cap");
                 assert_eq!(clauses.len(), pairs);
                 clauses.len()

@@ -77,6 +77,7 @@ fn bench_minimal_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut cost = Cost::new();
                 minimal::minimal_models(&db, &mut cost)
+                    .unwrap()
                     .iter()
                     .all(|m| f.eval(m))
             })
@@ -93,14 +94,18 @@ fn bench_shrink_loop(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let m = classical::some_model(&db, &mut cost).expect("positive DB");
+                let m = classical::some_model(&db, &mut cost)
+                    .unwrap()
+                    .expect("positive DB");
                 minimal::pz_minimize(&db, &m, &part, &mut cost)
             })
         });
         g.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let m = classical::some_model(&db, &mut cost).expect("positive DB");
+                let m = classical::some_model(&db, &mut cost)
+                    .unwrap()
+                    .expect("positive DB");
                 minimal::pz_minimize_fresh(&db, &m, &part, &mut cost)
             })
         });

@@ -30,7 +30,8 @@ fn bench_parity_worst_case(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let ans = ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost);
+                let ans =
+                    ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap();
                 assert!(ans, "parity family is valid");
                 ans
             })

@@ -29,7 +29,7 @@ fn bench_dsm_enumeration(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let models = ddb_core::dsm::models(&db, &mut cost);
+                let models = ddb_core::dsm::models(&db, &mut cost).unwrap();
                 assert_eq!(models.len(), 1 << k);
                 models.len()
             })
@@ -60,7 +60,7 @@ fn bench_pdsm_enumeration(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();
-                let models = ddb_core::pdsm::models(&db, &mut cost);
+                let models = ddb_core::pdsm::models(&db, &mut cost).unwrap();
                 // k independent loops, each {a}, {b} or undefined.
                 assert_eq!(models.len(), 3usize.pow(k as u32));
                 models.len()
@@ -78,7 +78,7 @@ fn bench_candidate_strategy(c: &mut Criterion) {
         let mut candidates = Solver::from_cnf(&database_to_cnf(db));
         candidates.ensure_vars(n);
         loop {
-            if !candidates.solve().is_sat() {
+            if !candidates.solve().unwrap().is_sat() {
                 return false;
             }
             let full = candidates.model();
@@ -87,7 +87,7 @@ fn bench_candidate_strategy(c: &mut Criterion) {
                 m.insert(a);
             }
             let reduct = gl_reduct(db, &m);
-            if minimal::is_minimal_model(&reduct, &m, cost) {
+            if minimal::is_minimal_model(&reduct, &m, cost).unwrap() {
                 return true;
             }
             // Block this exact model only.

@@ -43,13 +43,23 @@ fn run_task(cfg: &SemanticsConfig, db: &Database, task: Task, seed: u64, cost: &
     match task {
         Task::Lit => {
             let lit = queries::random_literal(db.num_atoms(), seed);
-            cfg.infers_literal(db, lit, cost).unwrap_or(false)
+            cfg.infers_literal(db, lit, cost)
+                .ok()
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
         }
         Task::Form => {
             let f = queries::random_formula(db.num_atoms(), 6, seed);
-            cfg.infers_formula(db, &f, cost).unwrap_or(false)
+            cfg.infers_formula(db, &f, cost)
+                .ok()
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
         }
-        Task::Exist => cfg.has_model(db, cost).unwrap_or(false),
+        Task::Exist => cfg
+            .has_model(db, cost)
+            .ok()
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false),
     }
 }
 
@@ -256,7 +266,7 @@ fn lower_bounds() {
         let q = random_forall_exists(2, 2, 6, 3, seed);
         let inst = gcwa_hardness::forall_exists_to_gcwa(&q);
         let mut cost = Cost::new();
-        let inferred = ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost);
+        let inferred = ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap();
         if inferred == q.valid_brute() {
             agree += 1;
         }
@@ -269,7 +279,7 @@ fn lower_bounds() {
     for nx in [2u32, 3, 4, 5, 6] {
         let m = measure_median(nx as usize, 3, |_seed, cost| {
             let inst = families::qbf_parity_hard(nx);
-            ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), cost)
+            ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), cost).unwrap()
         });
         print!("nx={nx}: {:.2?} ({} cand)  ", m.time, m.cost.candidates);
     }
@@ -278,7 +288,7 @@ fn lower_bounds() {
     for nx in [2u32, 4, 6, 8, 10] {
         let m = measure_median(nx as usize, 3, |seed, cost| {
             let inst = families::qbf_hard(nx, 4, seed);
-            ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), cost)
+            ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), cost).unwrap()
         });
         print!("nx={nx}: {:.2?} ({} cand)  ", m.time, m.cost.candidates);
     }
@@ -290,7 +300,7 @@ fn lower_bounds() {
         let q = random_forall_exists(2, 2, 6, 3, seed).complement();
         let inst = dsm_hardness::exists_forall_to_dsm_existence(&q);
         let mut cost = Cost::new();
-        if ddb_core::dsm::has_model(&inst.db, &mut cost) == q.true_brute() {
+        if ddb_core::dsm::has_model(&inst.db, &mut cost).unwrap() == q.true_brute() {
             agree += 1;
         }
     }
@@ -299,7 +309,7 @@ fn lower_bounds() {
     for nx in [2u32, 3, 4, 5, 6] {
         let m = measure_median(nx as usize, 3, |_seed, cost| {
             let db = families::dsm_exist_hard(nx);
-            ddb_core::dsm::has_model(&db, cost)
+            ddb_core::dsm::has_model(&db, cost).unwrap()
         });
         print!(
             "nx={nx}: {:.2?} ({} sat, answer {})  ",
@@ -315,7 +325,7 @@ fn lower_bounds() {
     for k in [2usize, 4, 6, 8] {
         let m = measure_median(k, 3, |_seed, cost| {
             let db = families::even_loops(k);
-            ddb_core::perf::has_model(&db, cost)
+            ddb_core::perf::has_model(&db, cost).unwrap()
         });
         print!(
             "k={k}: {:.2?} ({} sat, answer {})  ",
@@ -337,7 +347,7 @@ fn lower_bounds() {
             cnf.iter()
                 .all(|c| c.iter().any(|&(v, s)| (bits >> v & 1 == 1) == s))
         });
-        if ddb_core::egcwa::has_model(&db, &mut cost) == brute {
+        if ddb_core::egcwa::has_model(&db, &mut cost).unwrap() == brute {
             agree += 1;
         }
     }
@@ -353,7 +363,7 @@ fn lower_bounds() {
             cnf.iter()
                 .all(|c| c.iter().any(|&(v, s)| (bits >> v & 1 == 1) == s))
         });
-        if uminsat::has_unique_minimal_model(&db, &mut cost) == brute_unsat {
+        if uminsat::has_unique_minimal_model(&db, &mut cost).unwrap() == brute_unsat {
             agree += 1;
         }
     }
@@ -366,7 +376,7 @@ fn lower_bounds() {
         let m = measure_median(n, 3, |_seed, cost| {
             let db = families::tractable_chain(n);
             let lit = ddb_logic::Atom::new((n - 1) as u32).neg();
-            ddb_core::ddr::infers_literal(&db, lit, cost)
+            ddb_core::ddr::infers_literal(&db, lit, cost).unwrap()
         });
         print!("n={n}: {:.2?} ({} sat)  ", m.time, m.cost.sat_calls);
     }
@@ -382,7 +392,7 @@ fn beyond_the_paper() {
     for n in [16usize, 32, 64] {
         let m = measure_median(n, SEEDS, |seed, cost| {
             let db = families::table1_random(n, seed);
-            ddb_core::cwa::is_consistent(&db, cost)
+            ddb_core::cwa::is_consistent(&db, cost).unwrap()
         });
         print!("n={n}: {:.2?} ({} sat)  ", m.time, m.cost.sat_calls);
     }
@@ -421,7 +431,7 @@ fn beyond_the_paper() {
                     r.body_neg().iter().copied(),
                 ));
             }
-            ddb_core::supported::has_model(&db, cost)
+            ddb_core::supported::has_model(&db, cost).unwrap()
         });
         print!("n={n}: {:.2?} ({} sat)  ", m.time, m.cost.sat_calls);
     }

@@ -21,22 +21,28 @@
 
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{circumscribe, classical, Cost, Partition};
+use ddb_obs::Governed;
 
 /// The CCWA-false atoms `N = {x ∈ P : MM(DB;P;Z) ⊨ ¬x}`.
-pub fn false_atoms(db: &Database, part: &Partition, cost: &mut Cost) -> Interpretation {
+pub fn false_atoms(db: &Database, part: &Partition, cost: &mut Cost) -> Governed<Interpretation> {
     let n = db.num_atoms();
     let mut out = Interpretation::empty(n);
     for a in part.p().iter() {
         let f = Formula::atom(a);
-        if !circumscribe::exists_pz_minimal_model_satisfying(db, part, &f, cost) {
+        if !circumscribe::exists_pz_minimal_model_satisfying(db, part, &f, cost)? {
             out.insert(a);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Literal inference `CCWA(DB) ⊨ ℓ` (via the formula path).
-pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(
+    db: &Database,
+    part: &Partition,
+    lit: Literal,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let _span = ddb_obs::span("ccwa.infers_literal");
     infers_formula(
         db,
@@ -47,28 +53,33 @@ pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut 
 }
 
 /// Formula inference `CCWA(DB) ⊨ F`: compute `N`, then `DB ∪ ¬N ⊨ F`.
-pub fn infers_formula(db: &Database, part: &Partition, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(
+    db: &Database,
+    part: &Partition,
+    f: &Formula,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let _span = ddb_obs::span("ccwa.infers_formula");
-    let n_set = false_atoms(db, part, cost);
+    let n_set = false_atoms(db, part, cost)?;
     let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
     classical::entails(db, &units, f, cost)
 }
 
 /// Model existence: `CCWA(DB) ≠ ∅ ⟺ DB` satisfiable.
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("ccwa.has_model");
     classical::is_satisfiable(db, cost)
 }
 
 /// The characteristic model set `CCWA(DB)` (enumerative; test/example
 /// sized).
-pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("ccwa.models");
-    let n_set = false_atoms(db, part, cost);
-    classical::all_models(db, cost)
+    let n_set = false_atoms(db, part, cost)?;
+    Ok(classical::all_models(db, cost)?
         .into_iter()
         .filter(|m| n_set.iter().all(|x| !m.contains(x)))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -94,8 +105,8 @@ mod tests {
             for sign in [true, false] {
                 let l = Literal::with_sign(Atom::new(i as u32), sign);
                 assert_eq!(
-                    infers_literal(&db, &part, l, &mut cost),
-                    crate::gcwa::infers_literal(&db, l, &mut cost),
+                    infers_literal(&db, &part, l, &mut cost).unwrap(),
+                    crate::gcwa::infers_literal(&db, l, &mut cost).unwrap(),
                     "atom {i} sign {sign}"
                 );
             }
@@ -115,13 +126,15 @@ mod tests {
             &part,
             db.symbols().lookup("a").unwrap().neg(),
             &mut cost
-        ));
+        )
+        .unwrap());
         assert!(!infers_literal(
             &db,
             &part,
             db.symbols().lookup("b").unwrap().neg(),
             &mut cost
-        ));
+        )
+        .unwrap());
     }
 
     #[test]
@@ -137,7 +150,8 @@ mod tests {
             &part,
             db.symbols().lookup("a").unwrap().neg(),
             &mut cost
-        ));
+        )
+        .unwrap());
     }
 
     #[test]
@@ -145,13 +159,13 @@ mod tests {
         let db = parse_program("a | b. c | d :- a. :- b, d.").unwrap();
         let part = part_pq(&db, &["a", "c"], &["b"]);
         let mut cost = Cost::new();
-        let cm = models(&db, &part, &mut cost);
+        let cm = models(&db, &part, &mut cost).unwrap();
         assert!(!cm.is_empty());
         for text in ["!a | c", "b | a", "!(c & d)", "!c", "d -> a"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             let expected = cm.iter().all(|m| f.eval(m));
             assert_eq!(
-                infers_formula(&db, &part, &f, &mut cost),
+                infers_formula(&db, &part, &f, &mut cost).unwrap(),
                 expected,
                 "{text}"
             );
@@ -163,9 +177,9 @@ mod tests {
         let mut cost = Cost::new();
         let db = parse_program("a | b. :- b.").unwrap();
         let part = part_pq(&db, &["a"], &[]);
-        assert!(has_model(&db, &mut cost));
+        assert!(has_model(&db, &mut cost).unwrap());
         let _ = part;
         let bad = parse_program("a. :- a.").unwrap();
-        assert!(!has_model(&bad, &mut cost));
+        assert!(!has_model(&bad, &mut cost).unwrap());
     }
 }

@@ -14,50 +14,51 @@
 
 use ddb_logic::{Atom, Database, Formula, Interpretation, Literal};
 use ddb_models::{classical, Cost};
+use ddb_obs::Governed;
 
 /// The atoms CWA closes off: `{x : DB ⊭ x}` (`|V|` coNP queries).
-pub fn closed_atoms(db: &Database, cost: &mut Cost) -> Interpretation {
+pub fn closed_atoms(db: &Database, cost: &mut Cost) -> Governed<Interpretation> {
     let n = db.num_atoms();
     let mut out = Interpretation::empty(n);
     for i in 0..n {
         let a = Atom::new(i as u32);
-        if !classical::entails(db, &[], &Formula::atom(a), cost) {
+        if !classical::entails(db, &[], &Formula::atom(a), cost)? {
             out.insert(a);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Whether `CWA(DB)` is consistent: `DB ∪ {¬x : DB ⊭ x}` satisfiable.
-pub fn is_consistent(db: &Database, cost: &mut Cost) -> bool {
-    let closed = closed_atoms(db, cost);
+pub fn is_consistent(db: &Database, cost: &mut Cost) -> Governed<bool> {
+    let closed = closed_atoms(db, cost)?;
     let units: Vec<Literal> = closed.iter().map(|a| a.neg()).collect();
-    classical::some_model_with(db, &units, cost).is_some()
+    Ok(classical::some_model_with(db, &units, cost)?.is_some())
 }
 
 /// The unique CWA model, if consistent: the atoms `DB ⊨ x`.
 ///
 /// When `CWA(DB)` is consistent its model is unique — every atom is
 /// either entailed (true) or closed (false).
-pub fn model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
-    let closed = closed_atoms(db, cost);
+pub fn model(db: &Database, cost: &mut Cost) -> Governed<Option<Interpretation>> {
+    let closed = closed_atoms(db, cost)?;
     let units: Vec<Literal> = closed.iter().map(|a| a.neg()).collect();
-    classical::some_model_with(db, &units, cost).map(|_| {
+    Ok(classical::some_model_with(db, &units, cost)?.map(|_| {
         let mut m = Interpretation::full(db.num_atoms());
         m.difference_with(&closed);
         m
-    })
+    }))
 }
 
 /// Literal inference `CWA(DB) ⊨ ℓ` (everything, if inconsistent).
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `CWA(DB) ⊨ F`: entailment from `DB` plus the closed
 /// negations.
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
-    let closed = closed_atoms(db, cost);
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
+    let closed = closed_atoms(db, cost)?;
     let units: Vec<Literal> = closed.iter().map(|a| a.neg()).collect();
     classical::entails(db, &units, f, cost)
 }
@@ -71,12 +72,12 @@ mod tests {
     fn horn_db_cwa_is_least_model() {
         let db = parse_program("a. b :- a. c :- d.").unwrap();
         let mut cost = Cost::new();
-        assert!(is_consistent(&db, &mut cost));
-        let m = model(&db, &mut cost).unwrap();
+        assert!(is_consistent(&db, &mut cost).unwrap());
+        let m = model(&db, &mut cost).unwrap().unwrap();
         let names: Vec<&str> = m.iter().map(|a| db.symbols().name(a)).collect();
         assert_eq!(names, vec!["a", "b"]);
         // The CWA model is the least model: also the unique minimal model.
-        let mm = ddb_models::minimal::minimal_models(&db, &mut cost);
+        let mm = ddb_models::minimal::minimal_models(&db, &mut cost).unwrap();
         assert_eq!(mm, vec![m]);
     }
 
@@ -85,12 +86,12 @@ mod tests {
         // The motivating example: a ∨ b with neither entailed.
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        assert!(!is_consistent(&db, &mut cost));
-        assert!(model(&db, &mut cost).is_none());
+        assert!(!is_consistent(&db, &mut cost).unwrap());
+        assert!(model(&db, &mut cost).unwrap().is_none());
         // Inconsistent CWA infers everything — including a and ¬a.
         let a = db.symbols().lookup("a").unwrap();
-        assert!(infers_literal(&db, a.pos(), &mut cost));
-        assert!(infers_literal(&db, a.neg(), &mut cost));
+        assert!(infers_literal(&db, a.pos(), &mut cost).unwrap());
+        assert!(infers_literal(&db, a.neg(), &mut cost).unwrap());
     }
 
     #[test]
@@ -98,8 +99,8 @@ mod tests {
         // a ∨ b plus a: a entailed, b closed → consistent.
         let db = parse_program("a | b. a.").unwrap();
         let mut cost = Cost::new();
-        assert!(is_consistent(&db, &mut cost));
-        let m = model(&db, &mut cost).unwrap();
+        assert!(is_consistent(&db, &mut cost).unwrap());
+        let m = model(&db, &mut cost).unwrap().unwrap();
         assert_eq!(m.count(), 1);
         assert!(m.contains(db.symbols().lookup("a").unwrap()));
     }
@@ -114,8 +115,8 @@ mod tests {
             for sign in [true, false] {
                 let lit = Literal::with_sign(a, sign);
                 assert_eq!(
-                    infers_literal(&db, lit, &mut cost),
-                    crate::gcwa::infers_literal(&db, lit, &mut cost),
+                    infers_literal(&db, lit, &mut cost).unwrap(),
+                    crate::gcwa::infers_literal(&db, lit, &mut cost).unwrap(),
                     "{name} {sign}"
                 );
             }
@@ -127,13 +128,13 @@ mod tests {
         let db = parse_program("a. c :- b.").unwrap();
         let mut cost = Cost::new();
         let f = parse_formula("a & !b & !c", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
     }
 
     #[test]
     fn unsat_db_is_inconsistent_cwa() {
         let db = parse_program("a. :- a.").unwrap();
         let mut cost = Cost::new();
-        assert!(!is_consistent(&db, &mut cost));
+        assert!(!is_consistent(&db, &mut cost).unwrap());
     }
 }

@@ -27,6 +27,7 @@
 
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{classical, fixpoint, Cost};
+use ddb_obs::Governed;
 
 /// The DDR-false atoms: `N = V ∖ atoms(T_DB ↑ ω)`. Polynomial, zero
 /// oracle calls.
@@ -41,7 +42,7 @@ pub fn false_atoms(db: &Database) -> Interpretation {
 /// Fast path (zero oracle calls): negative literal over an integrity-free
 /// database — `⊨ ¬x ⟺ x` inactive. Everything else is one coNP
 /// entailment `DB ∪ ¬N ⊨ ℓ`.
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("ddr.infers_literal");
     assert!(
         !db.has_negation(),
@@ -49,7 +50,7 @@ pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
     );
     let n_set = false_atoms(db);
     if lit.is_negative() && !db.has_integrity_clauses() {
-        return n_set.contains(lit.atom());
+        return Ok(n_set.contains(lit.atom()));
     }
     let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
     classical::entails(
@@ -61,7 +62,7 @@ pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
 }
 
 /// Formula inference `DDR(DB) ⊨ F`: one coNP entailment `DB ∪ ¬N ⊨ F`.
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("ddr.infers_formula");
     assert!(
         !db.has_negation(),
@@ -75,33 +76,33 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 /// Model existence `DDR(DB) ≠ ∅`. `O(1)` without integrity clauses (the
 /// active set is a model satisfying all DDR negations); one SAT call
 /// otherwise.
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("ddr.has_model");
     assert!(
         !db.has_negation(),
         "DDR is defined for databases without negation"
     );
     if !db.has_integrity_clauses() {
-        return true;
+        return Ok(true);
     }
     let n_set = false_atoms(db);
     let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
-    classical::some_model_with(db, &units, cost).is_some()
+    Ok(classical::some_model_with(db, &units, cost)?.is_some())
 }
 
 /// The characteristic model set `DDR(DB)` (enumerative; test/example
 /// sized).
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("ddr.models");
     assert!(
         !db.has_negation(),
         "DDR is defined for databases without negation"
     );
     let n_set = false_atoms(db);
-    classical::all_models(db, cost)
+    Ok(classical::all_models(db, cost)?
         .into_iter()
         .filter(|m| n_set.iter().all(|x| !m.contains(x)))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -123,21 +124,17 @@ mod tests {
         // with a∨b: derived c ∨ b ∨ a → c active).
         let db = parse_program("a | b. c :- a, b.").unwrap();
         let mut cost = Cost::new();
-        assert!(!infers_literal(&db, lit(&db, "c", false), &mut cost));
-        assert!(crate::gcwa::infers_literal(
-            &db,
-            lit(&db, "c", false),
-            &mut cost
-        ));
+        assert!(!infers_literal(&db, lit(&db, "c", false), &mut cost).unwrap());
+        assert!(crate::gcwa::infers_literal(&db, lit(&db, "c", false), &mut cost).unwrap());
     }
 
     #[test]
     fn inactive_atoms_closed() {
         let db = parse_program("a. c :- b.").unwrap();
         let mut cost = Cost::new();
-        assert!(infers_literal(&db, lit(&db, "b", false), &mut cost));
-        assert!(infers_literal(&db, lit(&db, "c", false), &mut cost));
-        assert!(!infers_literal(&db, lit(&db, "a", false), &mut cost));
+        assert!(infers_literal(&db, lit(&db, "b", false), &mut cost).unwrap());
+        assert!(infers_literal(&db, lit(&db, "c", false), &mut cost).unwrap());
+        assert!(!infers_literal(&db, lit(&db, "a", false), &mut cost).unwrap());
         assert_eq!(cost.sat_calls, 0, "tractable path must not use the oracle");
     }
 
@@ -145,8 +142,8 @@ mod tests {
     fn positive_literals_via_entailment() {
         let db = parse_program("a. b | c :- a.").unwrap();
         let mut cost = Cost::new();
-        assert!(infers_literal(&db, lit(&db, "a", true), &mut cost));
-        assert!(!infers_literal(&db, lit(&db, "b", true), &mut cost));
+        assert!(infers_literal(&db, lit(&db, "a", true), &mut cost).unwrap());
+        assert!(!infers_literal(&db, lit(&db, "b", true), &mut cost).unwrap());
     }
 
     #[test]
@@ -160,32 +157,33 @@ mod tests {
         // not added; but every model of DB satisfies ¬c anyway? No: the
         // integrity clause kills a∧b, so c is never *forced*, but a model
         // may still set c true freely! M = {a, c} ⊨ DB. Hence DDR ⊭ ¬c.
-        assert!(!infers_literal(&db, lit(&db, "c", false), &mut cost));
+        assert!(!infers_literal(&db, lit(&db, "c", false), &mut cost).unwrap());
     }
 
     #[test]
     fn formula_inference_matches_model_filter() {
         let db = parse_program("a | b. d :- c. :- b, a.").unwrap();
         let mut cost = Cost::new();
-        let dm = models(&db, &mut cost);
+        let dm = models(&db, &mut cost).unwrap();
         assert!(!dm.is_empty());
         for text in ["!c", "!d", "a | b", "!(a & b)", "c -> d"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             let expected = dm.iter().all(|m| f.eval(m));
-            assert_eq!(infers_formula(&db, &f, &mut cost), expected, "{text}");
+            assert_eq!(
+                infers_formula(&db, &f, &mut cost).unwrap(),
+                expected,
+                "{text}"
+            );
         }
     }
 
     #[test]
     fn existence() {
         let mut cost = Cost::new();
-        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost));
+        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost).unwrap());
         assert_eq!(cost.sat_calls, 0);
-        assert!(has_model(
-            &parse_program("a | b. :- a, b.").unwrap(),
-            &mut cost
-        ));
-        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost));
+        assert!(has_model(&parse_program("a | b. :- a, b.").unwrap(), &mut cost).unwrap());
+        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost).unwrap());
     }
 
     #[test]
@@ -193,7 +191,7 @@ mod tests {
     fn rejects_negation() {
         let db = parse_program("a :- not b.").unwrap();
         let mut cost = Cost::new();
-        let _ = infers_formula(&db, &Formula::True, &mut cost);
+        let _ = infers_formula(&db, &Formula::True, &mut cost).unwrap();
     }
 
     #[test]
@@ -201,8 +199,8 @@ mod tests {
         // WGCWA is weaker: N_DDR ⊆ N_GCWA, so DDR(DB) ⊇ GCWA(DB).
         let db = parse_program("a | b. c :- a, b. e :- d.").unwrap();
         let mut cost = Cost::new();
-        let ddr = models(&db, &mut cost);
-        let gcwa = crate::gcwa::models(&db, &mut cost);
+        let ddr = models(&db, &mut cost).unwrap();
+        let gcwa = crate::gcwa::models(&db, &mut cost).unwrap();
         for m in &gcwa {
             assert!(ddr.contains(m));
         }

@@ -9,11 +9,22 @@
 //! Semantics that are undefined for a database class (DDR/PWS on negation,
 //! ICWA on unstratifiable databases) return [`Unsupported`] instead of
 //! panicking, so sweeps can skip inapplicable cells gracefully.
+//!
+//! # Resource governance
+//!
+//! Every decision procedure below runs under the ambient
+//! [`ddb_obs::Budget`] (when one is installed). Exhaustion never panics
+//! and never produces a wrong answer: decision problems return a
+//! three-valued [`Verdict`] whose `Unknown` variant carries the typed
+//! [`Interrupted`] record, and enumeration returns an [`Enumeration`]
+//! whose `interrupted` field marks an incomplete walk. Budgeted runs that
+//! complete are bit-for-bit identical to unbudgeted runs.
 
 use crate::icwa::Layers;
 use ddb_analysis::{Diagnostic, Fragments};
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{Cost, Partition};
+use ddb_obs::{Governed, Interrupted};
 use std::fmt;
 
 /// Identifier of one of the paper's ten semantics.
@@ -98,6 +109,196 @@ impl fmt::Display for Unsupported {
 }
 
 impl std::error::Error for Unsupported {}
+
+/// Records an interrupt surfacing as an `Unknown` verdict (or incomplete
+/// enumeration) at the dispatch boundary. The underlying trip was already
+/// counted in `govern.interrupts.<resource>` by the budget layer; this
+/// counts how many *answers* degraded.
+pub(crate) fn note_interrupt(i: &Interrupted) {
+    ddb_obs::counter_add("govern.unknown", 1);
+    ddb_obs::counter_add(&format!("govern.unknown.{}", i.resource.label()), 1);
+}
+
+/// Three-valued outcome of a governed decision problem.
+///
+/// A budgeted run that completes returns [`Verdict::True`] or
+/// [`Verdict::False`] exactly as the unbudgeted run would; a tripped
+/// [`ddb_obs::Budget`] surfaces as [`Verdict::Unknown`] carrying the typed
+/// [`Interrupted`] record — never as a panic and never as a wrong definite
+/// answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property definitely holds.
+    True,
+    /// The property definitely does not hold.
+    False,
+    /// The procedure was interrupted by resource exhaustion before it
+    /// could decide.
+    Unknown(Interrupted),
+}
+
+impl Verdict {
+    /// `Some(answer)` for definite verdicts, `None` for `Unknown`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Verdict::True => Some(true),
+            Verdict::False => Some(false),
+            Verdict::Unknown(_) => None,
+        }
+    }
+
+    /// Whether the verdict is definite (`True` or `False`).
+    pub fn is_definite(&self) -> bool {
+        !matches!(self, Verdict::Unknown(_))
+    }
+
+    /// The interrupt record, when `Unknown`.
+    pub fn interrupted(&self) -> Option<&Interrupted> {
+        match self {
+            Verdict::Unknown(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The definite answer.
+    ///
+    /// # Panics
+    /// Panics (with the interrupt reason) on `Unknown` — a convenience for
+    /// tests and examples that run without a budget.
+    pub fn definite(self) -> bool {
+        match self {
+            Verdict::True => true,
+            Verdict::False => false,
+            Verdict::Unknown(i) => panic!("verdict is not definite: {i}"),
+        }
+    }
+}
+
+impl From<bool> for Verdict {
+    fn from(b: bool) -> Self {
+        if b {
+            Verdict::True
+        } else {
+            Verdict::False
+        }
+    }
+}
+
+impl From<Governed<bool>> for Verdict {
+    fn from(r: Governed<bool>) -> Self {
+        match r {
+            Ok(b) => b.into(),
+            Err(i) => {
+                note_interrupt(&i);
+                Verdict::Unknown(i)
+            }
+        }
+    }
+}
+
+impl PartialEq<bool> for Verdict {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::True => f.write_str("true"),
+            Verdict::False => f.write_str("false"),
+            Verdict::Unknown(i) => write!(f, "unknown ({i})"),
+        }
+    }
+}
+
+/// Outcome of governed model enumeration: the models collected, plus the
+/// interrupt record when the walk was cut short. Dereferences to the model
+/// slice, so complete enumerations read like a plain `Vec`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Enumeration {
+    /// The models enumerated (sorted). The set is the full characteristic
+    /// model set iff `interrupted` is `None`.
+    pub models: Vec<Interpretation>,
+    /// Set when the budget tripped before the enumeration finished.
+    pub interrupted: Option<Interrupted>,
+}
+
+impl Enumeration {
+    /// An uninterrupted enumeration.
+    pub fn complete(models: Vec<Interpretation>) -> Self {
+        Enumeration {
+            models,
+            interrupted: None,
+        }
+    }
+
+    /// Whether the enumeration ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.interrupted.is_none()
+    }
+
+    /// The complete model set.
+    ///
+    /// # Panics
+    /// Panics (with the interrupt reason) when the enumeration was
+    /// interrupted — a convenience for tests that run without a budget.
+    pub fn expect_complete(self) -> Vec<Interpretation> {
+        if let Some(i) = &self.interrupted {
+            panic!("enumeration incomplete: {i}");
+        }
+        self.models
+    }
+
+    /// The models collected so far, complete or not.
+    pub fn into_models(self) -> Vec<Interpretation> {
+        self.models
+    }
+}
+
+impl From<Governed<Vec<Interpretation>>> for Enumeration {
+    fn from(r: Governed<Vec<Interpretation>>) -> Self {
+        match r {
+            Ok(models) => Enumeration::complete(models),
+            Err(i) => {
+                note_interrupt(&i);
+                Enumeration {
+                    models: Vec::new(),
+                    interrupted: Some(i),
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Enumeration {
+    type Target = [Interpretation];
+    fn deref(&self) -> &[Interpretation] {
+        &self.models
+    }
+}
+
+impl IntoIterator for Enumeration {
+    type Item = Interpretation;
+    type IntoIter = std::vec::IntoIter<Interpretation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.models.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Enumeration {
+    type Item = &'a Interpretation;
+    type IntoIter = std::slice::Iter<'a, Interpretation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.models.iter()
+    }
+}
+
+impl PartialEq<Vec<Interpretation>> for Enumeration {
+    fn eq(&self, other: &Vec<Interpretation>) -> bool {
+        self.interrupted.is_none() && self.models == *other
+    }
+}
 
 /// How dispatch picks the decision procedure for a query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -264,22 +465,24 @@ impl SemanticsConfig {
         db: &Database,
         lit: Literal,
         cost: &mut Cost,
-    ) -> Result<bool, Unsupported> {
+    ) -> Result<Verdict, Unsupported> {
         let (route, frags) = self.prepare(db)?;
         if route == Route::Horn {
             Self::note(Route::Horn);
-            return Ok(crate::route::horn_infers_literal(db, lit));
+            return Ok(crate::route::horn_infers_literal(db, lit).into());
         }
         // Slice/split go first: they shrink the database, and the inner
         // call still rides the HCF (or Horn) fast path on the smaller one.
-        if let Some(ans) = crate::slicing::try_infers_literal(self, db, &frags, lit, cost) {
-            return Ok(ans);
+        match crate::slicing::try_infers_literal(self, db, &frags, lit, cost) {
+            Ok(Some(ans)) => return Ok(ans.into()),
+            Ok(None) => {}
+            Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
         }
         Self::note(route);
         if route == Route::HcfDsm {
-            return Ok(crate::route::hcf_dsm_infers_literal(db, lit, cost));
+            return Ok(crate::route::hcf_dsm_infers_literal(db, lit, cost).into());
         }
-        Ok(match self.id {
+        Ok(Verdict::from(match self.id {
             SemanticsId::Gcwa => crate::gcwa::infers_literal(db, lit, cost),
             SemanticsId::Egcwa => crate::egcwa::infers_literal(db, lit, cost),
             SemanticsId::Ccwa => {
@@ -294,7 +497,7 @@ impl SemanticsConfig {
             SemanticsId::Icwa => crate::icwa::infers_literal(db, &self.icwa_layers(db), lit, cost),
             SemanticsId::Dsm => crate::dsm::infers_literal(db, lit, cost),
             SemanticsId::Pdsm => crate::pdsm::infers_literal(db, lit, cost),
-        })
+        }))
     }
 
     /// The paper's *inference of a formula* problem.
@@ -303,20 +506,22 @@ impl SemanticsConfig {
         db: &Database,
         f: &Formula,
         cost: &mut Cost,
-    ) -> Result<bool, Unsupported> {
+    ) -> Result<Verdict, Unsupported> {
         let (route, frags) = self.prepare(db)?;
         if route == Route::Horn {
             Self::note(Route::Horn);
-            return Ok(crate::route::horn_infers_formula(db, f));
+            return Ok(crate::route::horn_infers_formula(db, f).into());
         }
-        if let Some(ans) = crate::slicing::try_infers_formula(self, db, &frags, f, cost) {
-            return Ok(ans);
+        match crate::slicing::try_infers_formula(self, db, &frags, f, cost) {
+            Ok(Some(ans)) => return Ok(ans.into()),
+            Ok(None) => {}
+            Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
         }
         Self::note(route);
         if route == Route::HcfDsm {
-            return Ok(crate::route::hcf_dsm_infers_formula(db, f, cost));
+            return Ok(crate::route::hcf_dsm_infers_formula(db, f, cost).into());
         }
-        Ok(match self.id {
+        Ok(Verdict::from(match self.id {
             SemanticsId::Gcwa => crate::gcwa::infers_formula(db, f, cost),
             SemanticsId::Egcwa => crate::egcwa::infers_formula(db, f, cost),
             SemanticsId::Ccwa => crate::ccwa::infers_formula(db, &self.partition_for(db), f, cost),
@@ -327,24 +532,26 @@ impl SemanticsConfig {
             SemanticsId::Icwa => crate::icwa::infers_formula(db, &self.icwa_layers(db), f, cost),
             SemanticsId::Dsm => crate::dsm::infers_formula(db, f, cost),
             SemanticsId::Pdsm => crate::pdsm::infers_formula(db, f, cost),
-        })
+        }))
     }
 
     /// The paper's *∃ model* problem: is the semantics non-empty for `db`?
-    pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<bool, Unsupported> {
+    pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<Verdict, Unsupported> {
         let (route, _) = self.prepare(db)?;
         if route == Route::Horn {
             Self::note(Route::Horn);
-            return Ok(crate::route::horn_has_model(db));
+            return Ok(crate::route::horn_has_model(db).into());
         }
-        if let Some(ans) = crate::slicing::try_has_model(self, db, cost) {
-            return Ok(ans);
+        match crate::slicing::try_has_model(self, db, cost) {
+            Ok(Some(ans)) => return Ok(ans.into()),
+            Ok(None) => {}
+            Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
         }
         Self::note(route);
         if route == Route::HcfDsm {
-            return Ok(crate::route::hcf_dsm_has_model(db, cost));
+            return Ok(crate::route::hcf_dsm_has_model(db, cost).into());
         }
-        Ok(match self.id {
+        Ok(Verdict::from(match self.id {
             SemanticsId::Gcwa => crate::gcwa::has_model(db, cost),
             SemanticsId::Egcwa => crate::egcwa::has_model(db, cost),
             SemanticsId::Ccwa => crate::ccwa::has_model(db, cost),
@@ -355,7 +562,7 @@ impl SemanticsConfig {
             SemanticsId::Icwa => crate::icwa::has_model(db, &self.icwa_layers(db), cost),
             SemanticsId::Dsm => crate::dsm::has_model(db, cost),
             SemanticsId::Pdsm => crate::pdsm::has_model(db, cost),
-        })
+        }))
     }
 
     /// Brave (possibility) inference: `F` true in *some* characteristic
@@ -367,33 +574,43 @@ impl SemanticsConfig {
         db: &Database,
         f: &Formula,
         cost: &mut Cost,
-    ) -> Result<bool, Unsupported> {
+    ) -> Result<Verdict, Unsupported> {
         crate::witness::brave_infers_formula(self, db, f, cost)
     }
 
     /// The characteristic (two-valued) model set, where the semantics has
-    /// one; PDSM reports its total models.
-    pub fn models(
-        &self,
-        db: &Database,
-        cost: &mut Cost,
-    ) -> Result<Vec<Interpretation>, Unsupported> {
+    /// one; PDSM reports its total models. An exhausted budget yields an
+    /// [`Enumeration`] with `interrupted` set instead of an error.
+    pub fn models(&self, db: &Database, cost: &mut Cost) -> Result<Enumeration, Unsupported> {
         match self.prepare(db)? {
             (Route::Horn, _) => {
                 Self::note(Route::Horn);
-                return Ok(crate::route::horn_models(db));
+                return Ok(Enumeration::complete(crate::route::horn_models(db)));
             }
             (Route::HcfDsm, _) => {
                 Self::note(Route::HcfDsm);
-                return Ok(crate::route::hcf_dsm_models(db, cost));
+                return Ok(crate::route::hcf_dsm_models(db, cost).into());
             }
             // Model enumeration needs the whole vocabulary; the
             // query-directed slice/split routes do not apply.
             (Route::Generic, _) => Self::note(Route::Generic),
         }
-        Ok(match self.id {
+        let governed: Governed<Vec<Interpretation>> = match self.id {
             SemanticsId::Gcwa => crate::gcwa::models(db, cost),
-            SemanticsId::Egcwa => crate::egcwa::models(db, cost),
+            SemanticsId::Egcwa => {
+                // EGCWA(DB) = MM(DB), and the minimal-model enumerator
+                // verifies each model before yielding it — so a tripped
+                // budget can still hand back the models found so far.
+                let _span = ddb_obs::span("egcwa.models");
+                let (models, interrupted) = ddb_models::minimal::minimal_models_partial(db, cost);
+                if let Some(i) = &interrupted {
+                    note_interrupt(i);
+                }
+                return Ok(Enumeration {
+                    models,
+                    interrupted,
+                });
+            }
             SemanticsId::Ccwa => crate::ccwa::models(db, &self.partition_for(db), cost),
             SemanticsId::Ecwa => crate::ecwa::models(db, &self.partition_for(db), cost),
             SemanticsId::Ddr => crate::ddr::models(db, cost),
@@ -401,12 +618,14 @@ impl SemanticsConfig {
             SemanticsId::Perf => crate::perf::models(db, cost),
             SemanticsId::Icwa => crate::icwa::models(db, &self.icwa_layers(db), cost),
             SemanticsId::Dsm => crate::dsm::models(db, cost),
-            SemanticsId::Pdsm => crate::pdsm::models(db, cost)
-                .into_iter()
-                .filter(|p| p.is_total())
-                .map(|p| p.to_total())
-                .collect(),
-        })
+            SemanticsId::Pdsm => crate::pdsm::models(db, cost).map(|ps| {
+                ps.into_iter()
+                    .filter(|p| p.is_total())
+                    .map(|p| p.to_total())
+                    .collect()
+            }),
+        };
+        Ok(governed.into())
     }
 }
 
@@ -444,7 +663,7 @@ mod tests {
         assert!(cfg.has_model(&unstrat, &mut cost).is_err());
         // DSM is fine with both.
         let cfg = SemanticsConfig::new(SemanticsId::Dsm);
-        assert!(cfg.has_model(&unstrat, &mut cost).unwrap());
+        assert!(cfg.has_model(&unstrat, &mut cost).unwrap().definite());
     }
 
     #[test]
@@ -472,5 +691,51 @@ mod tests {
     fn display_names() {
         assert_eq!(SemanticsId::Ddr.to_string(), "DDR (=WGCWA)");
         assert_eq!(SemanticsId::ALL.len(), 10);
+    }
+
+    #[test]
+    fn exhausted_budget_yields_unknown_never_panics() {
+        // A non-Horn database (so the oracle is actually consulted) with a
+        // zero-oracle budget: every query must come back Unknown.
+        let db = parse_program("a | b. c :- a. c :- b. d :- not c.").unwrap();
+        let f = parse_formula("c", db.symbols()).unwrap();
+        let _g = ddb_obs::Budget::unlimited()
+            .with_max_oracle_calls(0)
+            .install();
+        let mut cost = Cost::new();
+        for id in SemanticsId::ALL {
+            let cfg = SemanticsConfig::new(id).with_routing(RoutingMode::Generic);
+            let Ok(v) = cfg.infers_formula(&db, &f, &mut cost) else {
+                continue; // DDR/PWS: negation → Unsupported, fine
+            };
+            assert!(
+                matches!(v, Verdict::Unknown(_)),
+                "{id}: expected Unknown, got {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupted_enumeration_is_marked() {
+        let db = parse_program("a | b. b | c.").unwrap();
+        let _g = ddb_obs::Budget::unlimited()
+            .with_max_oracle_calls(0)
+            .install();
+        let mut cost = Cost::new();
+        let cfg = SemanticsConfig::new(SemanticsId::Egcwa).with_routing(RoutingMode::Generic);
+        let e = cfg.models(&db, &mut cost).unwrap();
+        assert!(!e.is_complete());
+        assert!(e.interrupted.is_some());
+    }
+
+    #[test]
+    fn verdict_conversions() {
+        assert_eq!(Verdict::from(true), true);
+        assert_eq!(Verdict::from(false).as_bool(), Some(false));
+        let unknown = Verdict::Unknown(ddb_obs::Interrupted::invariant("test"));
+        assert_ne!(unknown, true);
+        assert_ne!(unknown, false);
+        assert!(!unknown.is_definite());
+        assert!(unknown.interrupted().is_some());
     }
 }

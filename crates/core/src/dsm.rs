@@ -20,13 +20,14 @@ use crate::reduct::gl_reduct;
 use ddb_logic::cnf::database_to_cnf;
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{minimal, Cost};
+use ddb_obs::{budget, Governed};
 use ddb_sat::Solver;
 
 /// Whether `m` is a disjunctive stable model of `db`: `m ∈ MM(DB^m)`.
 /// One model check plus one oracle call.
-pub fn is_stable_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> bool {
+pub fn is_stable_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> Governed<bool> {
     if !db.satisfied_by(m) {
-        return false;
+        return Ok(false);
     }
     let reduct = gl_reduct(db, m);
     debug_assert!(reduct.satisfied_by(m), "M ⊨ DB implies M ⊨ DB^M");
@@ -36,40 +37,47 @@ pub fn is_stable_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> bo
 /// Visits the stable models of `db` one at a time (in the order the
 /// underlying enumeration discovers minimal models of `db`). The callback
 /// returns `false` to stop early. This is the shared engine for
-/// [`models`], [`infers_formula`] and [`has_model`].
+/// [`models`], [`infers_formula`] and [`has_model`]. Each round starts
+/// with a budget checkpoint, so an exhausted [`ddb_obs::Budget`]
+/// interrupts between rounds.
 pub fn for_each_stable_model(
     db: &Database,
     cost: &mut Cost,
     mut visit: impl FnMut(&Interpretation) -> bool,
-) {
+) -> Governed<()> {
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            break;
-        }
-        let model = {
-            let full = candidates.model();
-            let mut m = Interpretation::empty(n);
-            for a in full.iter().filter(|a| a.index() < n) {
-                m.insert(a);
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<()> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(());
             }
-            m
-        };
-        // Minimize within DB: stable ⊆ minimal, so only minimal models are
-        // worth testing, and blocking their supersets never loses one.
-        let minimal = minimal::minimize(db, &model, cost);
-        if is_stable_model(db, &minimal, cost) && !visit(&minimal) {
-            break;
+            let model = {
+                let full = candidates.model();
+                let mut m = Interpretation::empty(n);
+                for a in full.iter().filter(|a| a.index() < n) {
+                    m.insert(a);
+                }
+                m
+            };
+            // Minimize within DB: stable ⊆ minimal, so only minimal models
+            // are worth testing, and blocking their supersets never loses
+            // one.
+            let minimal = minimal::minimize(db, &model, cost)?;
+            if is_stable_model(db, &minimal, cost)? && !visit(&minimal) {
+                return Ok(());
+            }
+            let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(());
+            }
         }
-        let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
     cost.absorb(&candidates);
+    result
 }
 
 /// All disjunctive stable models, sorted.
@@ -79,28 +87,28 @@ pub fn for_each_stable_model(
 /// use ddb_models::Cost;
 /// let db = parse_program("a :- not b. b :- not a.").unwrap();
 /// let mut cost = Cost::new();
-/// assert_eq!(ddb_core::dsm::models(&db, &mut cost).len(), 2);
+/// assert_eq!(ddb_core::dsm::models(&db, &mut cost).unwrap().len(), 2);
 /// ```
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("dsm.models");
     let mut out = Vec::new();
     for_each_stable_model(db, cost, |m| {
         out.push(m.clone());
         true
-    });
+    })?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// Literal inference `DSM(DB) ⊨ ℓ` (cautious: true in every stable model).
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("dsm.infers_literal");
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `DSM(DB) ⊨ F`: true in every stable model
 /// (vacuously true when none exists).
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("dsm.infers_formula");
     let mut holds = true;
     for_each_stable_model(db, cost, |m| {
@@ -109,8 +117,8 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
             return false;
         }
         true
-    });
-    holds
+    })?;
+    Ok(holds)
 }
 
 /// Batch cautious inference: in **one** enumeration pass, computes the
@@ -121,7 +129,7 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 pub fn cautious_literals(
     db: &Database,
     cost: &mut Cost,
-) -> Option<(Interpretation, Interpretation)> {
+) -> Governed<Option<(Interpretation, Interpretation)>> {
     let n = db.num_atoms();
     let mut true_in_all: Option<Interpretation> = None;
     let mut false_in_all: Option<Interpretation> = None;
@@ -145,31 +153,31 @@ pub fn cautious_literals(
             .as_ref()
             .is_some_and(Interpretation::is_empty_set);
         !(t_drained && f_drained)
-    });
-    true_in_all.zip(false_in_all)
+    })?;
+    Ok(true_in_all.zip(false_in_all))
 }
 
 /// Counts the stable models, stopping at `cap` (returns
 /// `min(count, cap)`).
-pub fn count_models(db: &Database, cap: usize, cost: &mut Cost) -> usize {
+pub fn count_models(db: &Database, cap: usize, cost: &mut Cost) -> Governed<usize> {
     let mut count = 0usize;
     for_each_stable_model(db, cost, |_| {
         count += 1;
         count < cap
-    });
-    count
+    })?;
+    Ok(count)
 }
 
 /// Model existence: does `db` have a disjunctive stable model?
 /// (Σᵖ₂-complete in general.)
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("dsm.has_model");
     let mut found = false;
     for_each_stable_model(db, cost, |_| {
         found = true;
         false
-    });
-    found
+    })?;
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -189,7 +197,7 @@ mod tests {
         let db = parse_program("a :- not b. b :- not a.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
+            models(&db, &mut cost).unwrap(),
             vec![interp(&db, &["a"]), interp(&db, &["b"])]
         );
     }
@@ -198,11 +206,11 @@ mod tests {
     fn odd_loop_has_no_stable_model() {
         let db = parse_program("a :- not a.").unwrap();
         let mut cost = Cost::new();
-        assert!(models(&db, &mut cost).is_empty());
-        assert!(!has_model(&db, &mut cost));
+        assert!(models(&db, &mut cost).unwrap().is_empty());
+        assert!(!has_model(&db, &mut cost).unwrap());
         // Cautious inference is vacuous.
         let f = parse_formula("false", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
     }
 
     #[test]
@@ -210,8 +218,8 @@ mod tests {
         let db = parse_program("a | b. c :- a. :- b, c.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
-            minimal::minimal_models(&db, &mut cost)
+            models(&db, &mut cost).unwrap(),
+            minimal::minimal_models(&db, &mut cost).unwrap()
         );
     }
 
@@ -219,8 +227,8 @@ mod tests {
     fn stable_models_are_minimal_models() {
         let db = parse_program("a | b :- not c. c :- not d. d :- not c.").unwrap();
         let mut cost = Cost::new();
-        let sm = models(&db, &mut cost);
-        let mm = minimal::minimal_models(&db, &mut cost);
+        let sm = models(&db, &mut cost).unwrap();
+        let mm = minimal::minimal_models(&db, &mut cost).unwrap();
         for m in &sm {
             assert!(mm.contains(m), "{m:?} not minimal");
         }
@@ -232,9 +240,9 @@ mod tests {
         // and (the database being positive) only {b} is stable.
         let db = parse_program("a | b. b :- a.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["b"])]);
-        assert!(!is_stable_model(&db, &interp(&db, &["a", "b"]), &mut cost));
-        assert!(is_stable_model(&db, &interp(&db, &["b"]), &mut cost));
+        assert_eq!(models(&db, &mut cost).unwrap(), vec![interp(&db, &["b"])]);
+        assert!(!is_stable_model(&db, &interp(&db, &["a", "b"]), &mut cost).unwrap());
+        assert!(is_stable_model(&db, &interp(&db, &["b"]), &mut cost).unwrap());
     }
 
     #[test]
@@ -242,18 +250,18 @@ mod tests {
         // p :- not q. — single stable model {p}.
         let db = parse_program("p :- not q.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["p"])]);
+        assert_eq!(models(&db, &mut cost).unwrap(), vec![interp(&db, &["p"])]);
         let p = db.symbols().lookup("p").unwrap();
         let q = db.symbols().lookup("q").unwrap();
-        assert!(infers_literal(&db, p.pos(), &mut cost));
-        assert!(infers_literal(&db, q.neg(), &mut cost));
+        assert!(infers_literal(&db, p.pos(), &mut cost).unwrap());
+        assert!(infers_literal(&db, q.neg(), &mut cost).unwrap());
     }
 
     #[test]
     fn constraint_prunes_stable_models() {
         let db = parse_program("a :- not b. b :- not a. :- a.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["b"])]);
+        assert_eq!(models(&db, &mut cost).unwrap(), vec![interp(&db, &["b"])]);
     }
 
     #[test]
@@ -262,12 +270,12 @@ mod tests {
         let db = parse_program("a | b :- not c.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
+            models(&db, &mut cost).unwrap(),
             vec![interp(&db, &["a"]), interp(&db, &["b"])]
         );
         // c is cautiously false.
         let c = db.symbols().lookup("c").unwrap();
-        assert!(infers_literal(&db, c.neg(), &mut cost));
+        assert!(infers_literal(&db, c.neg(), &mut cost).unwrap());
     }
 
     #[test]
@@ -275,11 +283,11 @@ mod tests {
         let db = parse_program("a :- not b. b :- not a. c :- a. c :- b.").unwrap();
         let mut cost = Cost::new();
         let f = parse_formula("c", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
         let g = parse_formula("a", db.symbols()).unwrap();
-        assert!(!infers_formula(&db, &g, &mut cost));
+        assert!(!infers_formula(&db, &g, &mut cost).unwrap());
         let h = parse_formula("a | b", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &h, &mut cost));
+        assert!(infers_formula(&db, &h, &mut cost).unwrap());
     }
 
     #[test]
@@ -291,17 +299,19 @@ mod tests {
         ] {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
-            let (t, f) = cautious_literals(&db, &mut cost).expect("has stable models");
+            let (t, f) = cautious_literals(&db, &mut cost)
+                .unwrap()
+                .expect("has stable models");
             for i in 0..db.num_atoms() {
                 let a = ddb_logic::Atom::new(i as u32);
                 assert_eq!(
                     t.contains(a),
-                    infers_literal(&db, a.pos(), &mut cost),
+                    infers_literal(&db, a.pos(), &mut cost).unwrap(),
                     "{src}: positive {i}"
                 );
                 assert_eq!(
                     f.contains(a),
-                    infers_literal(&db, a.neg(), &mut cost),
+                    infers_literal(&db, a.neg(), &mut cost).unwrap(),
                     "{src}: negative {i}"
                 );
             }
@@ -312,7 +322,7 @@ mod tests {
     fn cautious_literals_none_without_stable_models() {
         let db = parse_program("a :- not a.").unwrap();
         let mut cost = Cost::new();
-        assert!(cautious_literals(&db, &mut cost).is_none());
+        assert!(cautious_literals(&db, &mut cost).unwrap().is_none());
     }
 
     #[test]
@@ -320,9 +330,9 @@ mod tests {
         use ddb_workloads::structured::even_loops;
         let db = even_loops(3);
         let mut cost = Cost::new();
-        assert_eq!(count_models(&db, 100, &mut cost), 8);
-        assert_eq!(count_models(&db, 5, &mut cost), 5);
-        assert_eq!(count_models(&db, 1, &mut cost), 1);
+        assert_eq!(count_models(&db, 100, &mut cost).unwrap(), 8);
+        assert_eq!(count_models(&db, 5, &mut cost).unwrap(), 5);
+        assert_eq!(count_models(&db, 1, &mut cost).unwrap(), 1);
     }
 
     #[test]
@@ -330,7 +340,10 @@ mod tests {
         // a :- a. has the single stable model ∅ (a is unfounded).
         let db = parse_program("a :- a.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![Interpretation::empty(1)]);
+        assert_eq!(
+            models(&db, &mut cost).unwrap(),
+            vec![Interpretation::empty(1)]
+        );
     }
 
     #[test]
@@ -343,7 +356,7 @@ mod tests {
         let db = parse_program("a | b. c :- not a.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
+            models(&db, &mut cost).unwrap(),
             vec![interp(&db, &["a"]), interp(&db, &["b", "c"])]
         );
     }

@@ -19,9 +19,15 @@
 
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{brute, circumscribe, classical, minimal, Cost, Partition};
+use ddb_obs::Governed;
 
 /// Literal inference `ECWA_{P;Z}(DB) ⊨ ℓ`.
-pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(
+    db: &Database,
+    part: &Partition,
+    lit: Literal,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let _span = ddb_obs::span("ecwa.infers_literal");
     infers_formula(
         db,
@@ -32,23 +38,28 @@ pub fn infers_literal(db: &Database, part: &Partition, lit: Literal, cost: &mut 
 }
 
 /// Formula inference `ECWA_{P;Z}(DB) ⊨ F`: one Πᵖ₂ CEGAR query.
-pub fn infers_formula(db: &Database, part: &Partition, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(
+    db: &Database,
+    part: &Partition,
+    f: &Formula,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let _span = ddb_obs::span("ecwa.infers_formula");
     circumscribe::holds_in_all_pz_minimal_models(db, part, f, cost)
 }
 
 /// Model existence: `MM(DB;P;Z) ≠ ∅ ⟺ DB` satisfiable. `O(1)` for
 /// databases without integrity clauses or negation.
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("ecwa.has_model");
     if !db.has_integrity_clauses() && !db.has_negation() {
-        return true;
+        return Ok(true);
     }
     classical::is_satisfiable(db, cost)
 }
 
 /// The characteristic model set `ECWA_{P;Z}(DB) = MM(DB;P;Z)`.
-pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, part: &Partition, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("ecwa.models");
     minimal::pz_minimal_models(db, part, cost)
 }
@@ -110,8 +121,8 @@ mod tests {
         for text in ["!c", "!(a & b)", "a | b", "!a"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             assert_eq!(
-                infers_formula(&db, &part, &f, &mut cost),
-                crate::egcwa::infers_formula(&db, &f, &mut cost),
+                infers_formula(&db, &part, &f, &mut cost).unwrap(),
+                crate::egcwa::infers_formula(&db, &f, &mut cost).unwrap(),
                 "{text}"
             );
         }
@@ -122,7 +133,10 @@ mod tests {
         let db = parse_program("a | b | c. b :- a. :- a, c.").unwrap();
         let part = part_pq(&db, &["a", "b"], &["c"]);
         let mut cost = Cost::new();
-        assert_eq!(circ_models_brute(&db, &part), models(&db, &part, &mut cost));
+        assert_eq!(
+            circ_models_brute(&db, &part),
+            models(&db, &part, &mut cost).unwrap()
+        );
     }
 
     #[test]
@@ -140,7 +154,7 @@ mod tests {
             let part = part_pq(&db, &p_names, &q_names);
             assert_eq!(
                 circ_models_brute(&db, &part),
-                models(&db, &part, &mut cost),
+                models(&db, &part, &mut cost).unwrap(),
                 "P={p_names:?} Q={q_names:?}"
             );
             let _ = n;
@@ -156,8 +170,8 @@ mod tests {
         let mut cost = Cost::new();
         for text in ["!a", "!c", "!(a & c)", "b -> (c | d)"] {
             let f = parse_formula(text, db.symbols()).unwrap();
-            if crate::ccwa::infers_formula(&db, &part, &f, &mut cost) {
-                assert!(infers_formula(&db, &part, &f, &mut cost), "{text}");
+            if crate::ccwa::infers_formula(&db, &part, &f, &mut cost).unwrap() {
+                assert!(infers_formula(&db, &part, &f, &mut cost).unwrap(), "{text}");
             }
         }
     }
@@ -171,20 +185,20 @@ mod tests {
         let part = part_pq(&db, &["a"], &["b"]);
         let mut cost = Cost::new();
         let na = parse_formula("!a", db.symbols()).unwrap();
-        assert!(!infers_formula(&db, &part, &na, &mut cost));
+        assert!(!infers_formula(&db, &part, &na, &mut cost).unwrap());
         // With b varying instead, ¬a is inferred.
         let part2 = part_pq(&db, &["a"], &[]);
-        assert!(infers_formula(&db, &part2, &na, &mut cost));
+        assert!(infers_formula(&db, &part2, &na, &mut cost).unwrap());
     }
 
     #[test]
     fn existence() {
         let mut cost = Cost::new();
         let pos = parse_program("a | b.").unwrap();
-        assert!(has_model(&pos, &mut cost));
+        assert!(has_model(&pos, &mut cost).unwrap());
         assert_eq!(cost.sat_calls, 0);
         let unsat = parse_program("a. :- a.").unwrap();
-        assert!(!has_model(&unsat, &mut cost));
+        assert!(!has_model(&unsat, &mut cost).unwrap());
     }
 
     #[test]
@@ -197,8 +211,8 @@ mod tests {
                 let l = Literal::with_sign(Atom::new(i as u32), sign);
                 let f = Formula::literal(l.atom(), sign);
                 assert_eq!(
-                    infers_literal(&db, &part, l, &mut cost),
-                    infers_formula(&db, &part, &f, &mut cost)
+                    infers_literal(&db, &part, l, &mut cost).unwrap(),
+                    infers_formula(&db, &part, &f, &mut cost).unwrap()
                 );
             }
         }

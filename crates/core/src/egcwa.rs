@@ -16,16 +16,17 @@
 
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{circumscribe, classical, minimal, Cost};
+use ddb_obs::Governed;
 
 /// Literal inference `EGCWA(DB) ⊨ ℓ`: truth in all minimal models.
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("egcwa.infers_literal");
     let f = Formula::literal(lit.atom(), lit.is_positive());
     circumscribe::holds_in_all_minimal_models(db, &f, cost)
 }
 
 /// Formula inference `EGCWA(DB) ⊨ F`: truth in all minimal models.
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("egcwa.infers_formula");
     circumscribe::holds_in_all_minimal_models(db, f, cost)
 }
@@ -33,16 +34,16 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
 /// Model existence. `O(1)` for databases without integrity clauses (a
 /// positive database is satisfied by the full interpretation; stripping
 /// down yields a minimal model), one SAT call otherwise.
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("egcwa.has_model");
     if !db.has_integrity_clauses() && !db.has_negation() {
-        return true; // O(1): V ⊨ DB, so MM(DB) ≠ ∅.
+        return Ok(true); // O(1): V ⊨ DB, so MM(DB) ≠ ∅.
     }
     classical::is_satisfiable(db, cost)
 }
 
 /// The characteristic model set `EGCWA(DB) = MM(DB)`.
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("egcwa.models");
     minimal::minimal_models(db, cost)
 }
@@ -62,11 +63,11 @@ pub fn derived_integrity_clauses(
     db: &Database,
     cap: usize,
     cost: &mut Cost,
-) -> Option<Vec<Vec<ddb_logic::Atom>>> {
-    let mm = minimal::minimal_models(db, cost);
+) -> Governed<Option<Vec<Vec<ddb_logic::Atom>>>> {
+    let mm = minimal::minimal_models(db, cost)?;
     let n = db.num_atoms();
     if mm.is_empty() {
-        return Some(vec![Vec::new()]);
+        return Ok(Some(vec![Vec::new()]));
     }
     let complements: Vec<Interpretation> = mm
         .iter()
@@ -80,15 +81,18 @@ pub fn derived_integrity_clauses(
     // nonempty atom set is blocked (every superset question is moot) —
     // no derived clauses at all.
     if complements.iter().any(Interpretation::is_empty_set) {
-        return Some(Vec::new());
+        return Ok(Some(Vec::new()));
     }
-    let transversals = ddb_models::transversal::minimal_transversals(n, &complements, cap)?;
-    Some(
+    let Some(transversals) = ddb_models::transversal::minimal_transversals(n, &complements, cap)?
+    else {
+        return Ok(None);
+    };
+    Ok(Some(
         transversals
             .into_iter()
             .map(|t| t.iter().collect())
             .collect(),
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -105,9 +109,9 @@ mod tests {
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
         let f = parse_formula("!(a & b)", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
         // GCWA does not infer it: {a,b} ∈ GCWA(DB).
-        assert!(!crate::gcwa::infers_formula(&db, &f, &mut cost));
+        assert!(!crate::gcwa::infers_formula(&db, &f, &mut cost).unwrap());
     }
 
     #[test]
@@ -119,8 +123,8 @@ mod tests {
             for sign in [true, false] {
                 let l = Literal::with_sign(Atom::new(i as u32), sign);
                 assert_eq!(
-                    infers_literal(&db, l, &mut cost),
-                    crate::gcwa::infers_literal(&db, l, &mut cost)
+                    infers_literal(&db, l, &mut cost).unwrap(),
+                    crate::gcwa::infers_literal(&db, l, &mut cost).unwrap()
                 );
             }
         }
@@ -129,19 +133,16 @@ mod tests {
     #[test]
     fn model_existence() {
         let mut cost = Cost::new();
-        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost));
-        assert!(has_model(
-            &parse_program("a | b. :- a.").unwrap(),
-            &mut cost
-        ));
-        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost));
+        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost).unwrap());
+        assert!(has_model(&parse_program("a | b. :- a.").unwrap(), &mut cost).unwrap());
+        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost).unwrap());
     }
 
     #[test]
     fn positive_existence_is_constant_time() {
         let db = parse_program("a | b. c :- a.").unwrap();
         let mut cost = Cost::new();
-        assert!(has_model(&db, &mut cost));
+        assert!(has_model(&db, &mut cost).unwrap());
         assert_eq!(cost.sat_calls, 0, "positive case must not call the oracle");
     }
 
@@ -150,8 +151,8 @@ mod tests {
         let db = parse_program("a | b. b | c.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
-            minimal::minimal_models(&db, &mut cost)
+            models(&db, &mut cost).unwrap(),
+            minimal::minimal_models(&db, &mut cost).unwrap()
         );
     }
 
@@ -159,7 +160,9 @@ mod tests {
     fn derived_clauses_on_disjunction() {
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        let clauses = derived_integrity_clauses(&db, 1000, &mut cost).unwrap();
+        let clauses = derived_integrity_clauses(&db, 1000, &mut cost)
+            .unwrap()
+            .unwrap();
         // Exactly one minimal derived integrity clause: ← a ∧ b.
         assert_eq!(clauses.len(), 1);
         assert_eq!(clauses[0].len(), 2);
@@ -170,7 +173,7 @@ mod tests {
         let db = parse_program("a. :- a.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            derived_integrity_clauses(&db, 1000, &mut cost),
+            derived_integrity_clauses(&db, 1000, &mut cost).unwrap(),
             Some(vec![Vec::new()])
         );
     }
@@ -181,8 +184,10 @@ mod tests {
         for seed in 0..25 {
             let db = random_db(&DbSpec::positive(5, 8), seed);
             let mut cost = Cost::new();
-            let clauses = derived_integrity_clauses(&db, 100_000, &mut cost).unwrap();
-            let mm = minimal::minimal_models(&db, &mut cost);
+            let clauses = derived_integrity_clauses(&db, 100_000, &mut cost)
+                .unwrap()
+                .unwrap();
+            let mm = minimal::minimal_models(&db, &mut cost).unwrap();
             // Each derived clause: no minimal model contains all its atoms.
             for c in &clauses {
                 assert!(
@@ -229,8 +234,12 @@ mod tests {
         // Many disjoint disjunctions → exponentially many derived clauses.
         let db = parse_program("a0 | b0. a1 | b1. a2 | b2. a3 | b3. a4 | b4.").unwrap();
         let mut cost = Cost::new();
-        assert!(derived_integrity_clauses(&db, 3, &mut cost).is_none());
-        let clauses = derived_integrity_clauses(&db, 100_000, &mut cost).unwrap();
+        assert!(derived_integrity_clauses(&db, 3, &mut cost)
+            .unwrap()
+            .is_none());
+        let clauses = derived_integrity_clauses(&db, 100_000, &mut cost)
+            .unwrap()
+            .unwrap();
         // One per pair (← aᵢ ∧ bᵢ) plus nothing else at minimality.
         assert_eq!(clauses.len(), 5);
     }

@@ -22,21 +22,22 @@
 
 use ddb_logic::{Atom, Database, Formula, Interpretation, Literal};
 use ddb_models::{circumscribe, classical, minimal, Cost, Partition};
+use ddb_obs::Governed;
 
 /// The set `N` of GCWA-false atoms: atoms false in every minimal model.
 /// `|V|` Σᵖ₂-style queries (one CEGAR run per atom).
-pub fn false_atoms(db: &Database, cost: &mut Cost) -> Interpretation {
+pub fn false_atoms(db: &Database, cost: &mut Cost) -> Governed<Interpretation> {
     let n = db.num_atoms();
     let part = Partition::minimize_all(n);
     let mut out = Interpretation::empty(n);
     for i in 0..n {
         let a = Atom::new(i as u32);
         let f = Formula::atom(a);
-        if !circumscribe::exists_pz_minimal_model_satisfying(db, &part, &f, cost) {
+        if !circumscribe::exists_pz_minimal_model_satisfying(db, &part, &f, cost)? {
             out.insert(a);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Counts `|N|` with `O(log |V|)` Σᵖ₂-style queries, the census technique
@@ -49,27 +50,27 @@ pub fn false_atoms(db: &Database, cost: &mut Cost) -> Interpretation {
 /// This is an ablation target (`bench_gcwa`): it demonstrates the
 /// `P^{Σᵖ₂}[O(log n)]` upper-bound structure without being needed for
 /// correctness (inference uses [`false_atoms`]).
-pub fn census_false_atoms(db: &Database, cost: &mut Cost) -> usize {
+pub fn census_false_atoms(db: &Database, cost: &mut Cost) -> Governed<usize> {
     let n = db.num_atoms();
     // Binary search on t = number of atoms occurring in some minimal model.
     let (mut lo, mut hi) = (0usize, n); // invariant: occ(t) true for t ≤ lo, false for t > hi
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
-        if at_least_k_atoms_occur(db, mid, cost) {
+        if at_least_k_atoms_occur(db, mid, cost)? {
             lo = mid;
         } else {
             hi = mid - 1;
         }
     }
-    n - lo
+    Ok(n - lo)
 }
 
 /// One census oracle query: "are there ≥ k atoms that each occur in some
 /// minimal model?" — implemented as a greedy cover by CEGAR witnesses
 /// (each witness is a minimal model; its atoms all occur).
-fn at_least_k_atoms_occur(db: &Database, k: usize, cost: &mut Cost) -> bool {
+fn at_least_k_atoms_occur(db: &Database, k: usize, cost: &mut Cost) -> Governed<bool> {
     if k == 0 {
-        return true;
+        return Ok(true);
     }
     let n = db.num_atoms();
     let part = Partition::minimize_all(n);
@@ -77,7 +78,7 @@ fn at_least_k_atoms_occur(db: &Database, k: usize, cost: &mut Cost) -> bool {
     // Greedily find a minimal model containing an atom not yet covered.
     loop {
         if occurring.count() >= k {
-            return true;
+            return Ok(true);
         }
         let uncovered: Vec<Formula> = (0..n)
             .map(|i| Atom::new(i as u32))
@@ -85,12 +86,12 @@ fn at_least_k_atoms_occur(db: &Database, k: usize, cost: &mut Cost) -> bool {
             .map(Formula::atom)
             .collect();
         if uncovered.is_empty() {
-            return false;
+            return Ok(false);
         }
         let f = Formula::Or(uncovered);
-        match circumscribe::find_pz_minimal_model_satisfying(db, &part, &f, cost) {
+        match circumscribe::find_pz_minimal_model_satisfying(db, &part, &f, cost)? {
             Some(m) => occurring.union_with(&m),
-            None => return false,
+            None => return Ok(false),
         }
     }
 }
@@ -104,42 +105,42 @@ fn at_least_k_atoms_occur(db: &Database, k: usize, cost: &mut Cost) -> bool {
 /// let db = parse_program("a | b. c :- a, b.").unwrap();
 /// let c = db.symbols().lookup("c").unwrap();
 /// let mut cost = Cost::new();
-/// assert!(ddb_core::gcwa::infers_literal(&db, c.neg(), &mut cost));
-/// assert!(!ddb_core::gcwa::infers_literal(&db, c.pos(), &mut cost));
+/// assert!(ddb_core::gcwa::infers_literal(&db, c.neg(), &mut cost).unwrap());
+/// assert!(!ddb_core::gcwa::infers_literal(&db, c.pos(), &mut cost).unwrap());
 /// ```
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("gcwa.infers_literal");
     let f = Formula::literal(lit.atom(), lit.is_positive());
     circumscribe::holds_in_all_minimal_models(db, &f, cost)
 }
 
 /// Formula inference `GCWA(DB) ⊨ F`: compute `N`, then `DB ∪ ¬N ⊨ F`.
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("gcwa.infers_formula");
-    let n_set = false_atoms(db, cost);
+    let n_set = false_atoms(db, cost)?;
     let units: Vec<Literal> = n_set.iter().map(|a| a.neg()).collect();
     classical::entails(db, &units, f, cost)
 }
 
 /// Model existence: `GCWA(DB) ≠ ∅ ⟺ DB` satisfiable (one SAT call).
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("gcwa.has_model");
     classical::is_satisfiable(db, cost)
 }
 
 /// The characteristic model set `GCWA(DB)` (enumerative; test/example
 /// sized). Computes `N`, then enumerates the models of `DB ∪ ¬N`.
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("gcwa.models");
-    let n_set = false_atoms(db, cost);
-    classical::all_models(db, cost)
+    let n_set = false_atoms(db, cost)?;
+    Ok(classical::all_models(db, cost)?
         .into_iter()
         .filter(|m| n_set.iter().all(|x| !m.contains(x)))
-        .collect()
+        .collect())
 }
 
 /// Convenience: some minimal model (a canonical member of `GCWA(DB)`).
-pub fn witness(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
+pub fn witness(db: &Database, cost: &mut Cost) -> Governed<Option<Interpretation>> {
     minimal::some_minimal_model(db, cost)
 }
 
@@ -158,9 +159,9 @@ mod tests {
         // model), unlike naive CWA which would be inconsistent.
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        assert!(!infers_literal(&db, lit(&db, "a", false), &mut cost));
-        assert!(!infers_literal(&db, lit(&db, "b", false), &mut cost));
-        assert!(!infers_literal(&db, lit(&db, "a", true), &mut cost));
+        assert!(!infers_literal(&db, lit(&db, "a", false), &mut cost).unwrap());
+        assert!(!infers_literal(&db, lit(&db, "b", false), &mut cost).unwrap());
+        assert!(!infers_literal(&db, lit(&db, "a", true), &mut cost).unwrap());
     }
 
     #[test]
@@ -168,8 +169,8 @@ mod tests {
         // a ∨ b, c ← a ∧ b: c is false in both minimal models.
         let db = parse_program("a | b. c :- a, b.").unwrap();
         let mut cost = Cost::new();
-        assert!(infers_literal(&db, lit(&db, "c", false), &mut cost));
-        let n = false_atoms(&db, &mut cost);
+        assert!(infers_literal(&db, lit(&db, "c", false), &mut cost).unwrap());
+        let n = false_atoms(&db, &mut cost).unwrap();
         assert_eq!(n.count(), 1);
         assert!(n.contains(db.symbols().lookup("c").unwrap()));
     }
@@ -178,8 +179,8 @@ mod tests {
     fn positive_literal_inference() {
         let db = parse_program("a. b | c :- a.").unwrap();
         let mut cost = Cost::new();
-        assert!(infers_literal(&db, lit(&db, "a", true), &mut cost));
-        assert!(!infers_literal(&db, lit(&db, "b", true), &mut cost));
+        assert!(infers_literal(&db, lit(&db, "a", true), &mut cost).unwrap());
+        assert!(!infers_literal(&db, lit(&db, "b", true), &mut cost).unwrap());
     }
 
     #[test]
@@ -189,24 +190,28 @@ mod tests {
         let db = parse_program("a | b. c :- a, b.").unwrap();
         let mut cost = Cost::new();
         let f = parse_formula("!c | a", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
         let g = parse_formula("!a", db.symbols()).unwrap();
-        assert!(!infers_formula(&db, &g, &mut cost));
+        assert!(!infers_formula(&db, &g, &mut cost).unwrap());
         // a ∨ b is classical, hence GCWA-inferred.
         let h = parse_formula("a | b", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &h, &mut cost));
+        assert!(infers_formula(&db, &h, &mut cost).unwrap());
     }
 
     #[test]
     fn formula_vs_models_reference() {
         let db = parse_program("a | b. b | c. d :- a, c.").unwrap();
         let mut cost = Cost::new();
-        let gm = models(&db, &mut cost);
+        let gm = models(&db, &mut cost).unwrap();
         assert!(!gm.is_empty());
         for text in ["!d", "a | c", "b | (a & c)", "!a", "a -> !c"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             let expected = gm.iter().all(|m| f.eval(m));
-            assert_eq!(infers_formula(&db, &f, &mut cost), expected, "{text}");
+            assert_eq!(
+                infers_formula(&db, &f, &mut cost).unwrap(),
+                expected,
+                "{text}"
+            );
         }
     }
 
@@ -221,8 +226,8 @@ mod tests {
                 let l = lit(&db, name, sign);
                 let f = Formula::literal(l.atom(), sign);
                 assert_eq!(
-                    infers_literal(&db, l, &mut cost),
-                    infers_formula(&db, &f, &mut cost),
+                    infers_literal(&db, l, &mut cost).unwrap(),
+                    infers_formula(&db, &f, &mut cost).unwrap(),
                     "{name} {sign}"
                 );
             }
@@ -232,11 +237,8 @@ mod tests {
     #[test]
     fn model_existence_is_satisfiability() {
         let mut cost = Cost::new();
-        assert!(has_model(
-            &parse_program("a | b. :- a.").unwrap(),
-            &mut cost
-        ));
-        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost));
+        assert!(has_model(&parse_program("a | b. :- a.").unwrap(), &mut cost).unwrap());
+        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost).unwrap());
     }
 
     #[test]
@@ -249,8 +251,8 @@ mod tests {
         ] {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
-            let direct = false_atoms(&db, &mut cost).count();
-            let census = census_false_atoms(&db, &mut cost);
+            let direct = false_atoms(&db, &mut cost).unwrap().count();
+            let census = census_false_atoms(&db, &mut cost).unwrap();
             assert_eq!(census, direct, "program: {src}");
         }
     }
@@ -259,8 +261,8 @@ mod tests {
     fn gcwa_models_contain_minimal_models() {
         let db = parse_program("a | b. c | d :- a.").unwrap();
         let mut cost = Cost::new();
-        let gm = models(&db, &mut cost);
-        for m in minimal::minimal_models(&db, &mut cost) {
+        let gm = models(&db, &mut cost).unwrap();
+        for m in minimal::minimal_models(&db, &mut cost).unwrap() {
             assert!(gm.contains(&m));
         }
         // And every GCWA model is a model of DB.

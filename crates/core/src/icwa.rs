@@ -23,6 +23,7 @@
 use ddb_logic::cnf::CnfBuilder;
 use ddb_logic::{Atom, Database, Formula, Interpretation, Literal};
 use ddb_models::{minimal, Cost, Partition};
+use ddb_obs::{budget, Governed};
 use ddb_sat::Solver;
 
 /// The per-stratum reasoning context: prefix databases and partitions.
@@ -87,21 +88,27 @@ impl Layers {
 
 /// Whether `m ∈ ICWA(DB)`: ⟨Pᵢ;Zᵢ⟩-minimal model of every prefix —
 /// `r` oracle calls.
-pub fn is_icwa_model(layers: &Layers, m: &Interpretation, cost: &mut Cost) -> bool {
-    (0..layers.len())
-        .all(|i| minimal::is_pz_minimal_model(layers.prefix(i), m, layers.partition(i), cost))
+pub fn is_icwa_model(layers: &Layers, m: &Interpretation, cost: &mut Cost) -> Governed<bool> {
+    for i in 0..layers.len() {
+        if !minimal::is_pz_minimal_model(layers.prefix(i), m, layers.partition(i), cost)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Visits the ICWA models one at a time: enumerate models of the full
 /// database falsifying nothing (all models), check layer-wise minimality,
-/// block each examined model exactly.
+/// block each examined model exactly. Each round starts with a budget
+/// checkpoint, so an exhausted [`ddb_obs::Budget`] interrupts between
+/// rounds.
 pub fn for_each_icwa_model(
     db: &Database,
     layers: &Layers,
     extra: Option<&Formula>,
     cost: &mut Cost,
     mut visit: impl FnMut(&Interpretation) -> bool,
-) {
+) -> Governed<()> {
     let n = db.num_atoms();
     let mut b = CnfBuilder::new(n);
     b.add_database(db);
@@ -111,50 +118,59 @@ pub fn for_each_icwa_model(
     let cnf = b.finish();
     let mut candidates = Solver::from_cnf(&cnf);
     candidates.ensure_vars(cnf.num_vars.max(n));
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            break;
-        }
-        let model = {
-            let full = candidates.model();
-            let mut m = Interpretation::empty(n);
-            for a in full.iter().filter(|a| a.index() < n) {
-                m.insert(a);
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<()> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(());
             }
-            m
-        };
-        if is_icwa_model(layers, &model, cost) && !visit(&model) {
-            break;
+            let model = {
+                let full = candidates.model();
+                let mut m = Interpretation::empty(n);
+                for a in full.iter().filter(|a| a.index() < n) {
+                    m.insert(a);
+                }
+                m
+            };
+            if is_icwa_model(layers, &model, cost)? && !visit(&model) {
+                return Ok(());
+            }
+            // Block this exact model (projected).
+            let blocking: Vec<Literal> = (0..n)
+                .map(|i| {
+                    let a = Atom::new(i as u32);
+                    Literal::with_sign(a, !model.contains(a))
+                })
+                .collect();
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(());
+            }
         }
-        // Block this exact model (projected).
-        let blocking: Vec<Literal> = (0..n)
-            .map(|i| {
-                let a = Atom::new(i as u32);
-                Literal::with_sign(a, !model.contains(a))
-            })
-            .collect();
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
     cost.absorb(&candidates);
+    result
 }
 
 /// All ICWA models, sorted (enumerative; test/example sized).
-pub fn models(db: &Database, layers: &Layers, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, layers: &Layers, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("icwa.models");
     let mut out = Vec::new();
     for_each_icwa_model(db, layers, None, cost, |m| {
         out.push(m.clone());
         true
-    });
+    })?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// Literal inference `ICWA(DB) ⊨ ℓ`.
-pub fn infers_literal(db: &Database, layers: &Layers, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(
+    db: &Database,
+    layers: &Layers,
+    lit: Literal,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let _span = ddb_obs::span("icwa.infers_literal");
     infers_formula(
         db,
@@ -167,31 +183,36 @@ pub fn infers_literal(db: &Database, layers: &Layers, lit: Literal, cost: &mut C
 /// Formula inference `ICWA(DB) ⊨ F`: search a countermodel among the
 /// ICWA models (guess a model of `DB ∧ ¬F`, verify layer-wise minimality
 /// with `r` oracle calls — the paper's Theorem 4.1 upper-bound shape).
-pub fn infers_formula(db: &Database, layers: &Layers, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(
+    db: &Database,
+    layers: &Layers,
+    f: &Formula,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let _span = ddb_obs::span("icwa.infers_formula");
     let negated = f.clone().negated();
     let mut holds = true;
     for_each_icwa_model(db, layers, Some(&negated), cost, |_| {
         holds = false;
         false
-    });
-    holds
+    })?;
+    Ok(holds)
 }
 
 /// Model existence `ICWA(DB) ≠ ∅`. `O(1)` for stratified databases
 /// without integrity clauses (stratifiability asserts consistency \[12\]);
 /// otherwise decided by the enumeration loop.
-pub fn has_model(db: &Database, layers: &Layers, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, layers: &Layers, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("icwa.has_model");
     if !db.has_integrity_clauses() {
-        return true;
+        return Ok(true);
     }
     let mut found = false;
     for_each_icwa_model(db, layers, None, cost, |_| {
         found = true;
         false
-    });
-    found
+    })?;
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -220,8 +241,8 @@ mod tests {
         let layers = Layers::new(&db, &strata, &Interpretation::empty(db.num_atoms()));
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &layers, &mut cost),
-            crate::egcwa::models(&db, &mut cost)
+            models(&db, &layers, &mut cost).unwrap(),
+            crate::egcwa::models(&db, &mut cost).unwrap()
         );
     }
 
@@ -232,11 +253,11 @@ mod tests {
         let layers = layers_of(&db);
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &layers, &mut cost),
+            models(&db, &layers, &mut cost).unwrap(),
             vec![interp(&db, &["a", "c"])]
         );
         let b = db.symbols().lookup("b").unwrap();
-        assert!(infers_literal(&db, &layers, b.neg(), &mut cost));
+        assert!(infers_literal(&db, &layers, b.neg(), &mut cost).unwrap());
     }
 
     #[test]
@@ -252,8 +273,8 @@ mod tests {
             let layers = layers_of(&db);
             let mut cost = Cost::new();
             assert_eq!(
-                models(&db, &layers, &mut cost),
-                crate::perf::models(&db, &mut cost),
+                models(&db, &layers, &mut cost).unwrap(),
+                crate::perf::models(&db, &mut cost).unwrap(),
                 "program: {src}"
             );
         }
@@ -264,12 +285,12 @@ mod tests {
         let db = parse_program("a | b. c :- not a.").unwrap();
         let layers = layers_of(&db);
         let mut cost = Cost::new();
-        let icwa_models = models(&db, &layers, &mut cost);
+        let icwa_models = models(&db, &layers, &mut cost).unwrap();
         for text in ["a | b", "c -> b", "!(a & c)", "!c", "a"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             let expected = icwa_models.iter().all(|m| f.eval(m));
             assert_eq!(
-                infers_formula(&db, &layers, &f, &mut cost),
+                infers_formula(&db, &layers, &f, &mut cost).unwrap(),
                 expected,
                 "{text}"
             );
@@ -281,7 +302,7 @@ mod tests {
         let db = parse_program("a | b. c :- not a.").unwrap();
         let layers = layers_of(&db);
         let mut cost = Cost::new();
-        assert!(has_model(&db, &layers, &mut cost));
+        assert!(has_model(&db, &layers, &mut cost).unwrap());
         assert_eq!(cost.sat_calls, 0);
     }
 
@@ -290,8 +311,8 @@ mod tests {
         let db = parse_program("a. :- a.").unwrap();
         let layers = layers_of(&db);
         let mut cost = Cost::new();
-        assert!(!has_model(&db, &layers, &mut cost));
-        assert!(models(&db, &layers, &mut cost).is_empty());
+        assert!(!has_model(&db, &layers, &mut cost).unwrap());
+        assert!(models(&db, &layers, &mut cost).unwrap().is_empty());
     }
 
     #[test]
@@ -304,8 +325,8 @@ mod tests {
         let layers = Layers::new(&db, &strata, &z);
         let mut cost = Cost::new();
         let nb = parse_formula("!b", db.symbols()).unwrap();
-        assert!(!infers_formula(&db, &layers, &nb, &mut cost));
+        assert!(!infers_formula(&db, &layers, &nb, &mut cost).unwrap());
         let na = parse_formula("!a", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &layers, &na, &mut cost));
+        assert!(infers_formula(&db, &layers, &na, &mut cost).unwrap());
     }
 }

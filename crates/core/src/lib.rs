@@ -64,4 +64,4 @@ pub mod supported;
 pub mod wfs;
 pub mod witness;
 
-pub use dispatch::{RoutingMode, SemanticsConfig, SemanticsId, Unsupported};
+pub use dispatch::{Enumeration, RoutingMode, SemanticsConfig, SemanticsId, Unsupported, Verdict};

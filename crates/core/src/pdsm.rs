@@ -28,6 +28,7 @@ use ddb_logic::{
     Atom, Database, Formula, Interpretation, Literal, PartialInterpretation, TruthValue,
 };
 use ddb_models::Cost;
+use ddb_obs::{budget, Governed};
 use ddb_sat::Solver;
 
 /// Builds the pair-encoded CNF of the 3-valued models of `db` (over `2n`
@@ -121,7 +122,7 @@ fn exists_smaller_reduct_model(
     rules: &[Reduct3Rule],
     i: &PartialInterpretation,
     cost: &mut Cost,
-) -> bool {
+) -> Governed<bool> {
     let n = i.num_atoms();
     let mut solver = Solver::new();
     solver.ensure_vars(2 * n);
@@ -166,30 +167,38 @@ fn exists_smaller_reduct_model(
         }
     }
     if strict.is_empty() {
-        return false; // I is the bottom interpretation
+        return Ok(false); // I is the bottom interpretation
     }
-    let feasible = solver.add_clause(&strict);
-    let sat = feasible && solver.solve().is_sat();
+    if !solver.add_clause(&strict) {
+        cost.absorb(&solver);
+        return Ok(false);
+    }
+    let result = solver.solve();
     cost.absorb(&solver);
-    sat
+    Ok(result?.is_sat())
 }
 
 /// Whether `i` is a partial stable model of `db`: `i` satisfies its own
 /// reduct and no strictly smaller 3-valued interpretation does.
-pub fn is_partial_stable(db: &Database, i: &PartialInterpretation, cost: &mut Cost) -> bool {
+pub fn is_partial_stable(
+    db: &Database,
+    i: &PartialInterpretation,
+    cost: &mut Cost,
+) -> Governed<bool> {
     let rules = reduct3(db, i);
-    satisfies_reduct3(&rules, i) && !exists_smaller_reduct_model(&rules, i, cost)
+    Ok(satisfies_reduct3(&rules, i) && !exists_smaller_reduct_model(&rules, i, cost)?)
 }
 
 /// Visits partial stable models one at a time; `extra` (if given) is a
 /// pair-encoded constraint candidates must satisfy. Callback returns
-/// `false` to stop.
+/// `false` to stop. Each round starts with a budget checkpoint, so an
+/// exhausted [`ddb_obs::Budget`] interrupts between rounds.
 pub fn for_each_partial_stable(
     db: &Database,
     extra: Option<&Formula>,
     cost: &mut Cost,
     mut visit: impl FnMut(&PartialInterpretation) -> bool,
-) {
+) -> Governed<()> {
     let n = db.num_atoms();
     let base = three_valued_cnf(db);
     let mut b = CnfBuilder::new(base.num_vars);
@@ -202,59 +211,63 @@ pub fn for_each_partial_stable(
     let cnf = b.finish();
     let mut candidates = Solver::from_cnf(&cnf);
     candidates.ensure_vars(cnf.num_vars.max(2 * n));
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            break;
-        }
-        let assignment = {
-            let full = candidates.model();
-            let mut m = Interpretation::empty(2 * n);
-            for a in full.iter().filter(|a| a.index() < 2 * n) {
-                m.insert(a);
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<()> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(());
             }
-            m
-        };
-        let candidate = decode(&assignment, n);
-        if is_partial_stable(db, &candidate, cost) && !visit(&candidate) {
-            break;
+            let assignment = {
+                let full = candidates.model();
+                let mut m = Interpretation::empty(2 * n);
+                for a in full.iter().filter(|a| a.index() < 2 * n) {
+                    m.insert(a);
+                }
+                m
+            };
+            let candidate = decode(&assignment, n);
+            if is_partial_stable(db, &candidate, cost)? && !visit(&candidate) {
+                return Ok(());
+            }
+            // Block this exact pair-encoded assignment.
+            let blocking: Vec<Literal> = (0..2 * n)
+                .map(|i| {
+                    let a = Atom::new(i as u32);
+                    Literal::with_sign(a, !assignment.contains(a))
+                })
+                .collect();
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(());
+            }
         }
-        // Block this exact pair-encoded assignment.
-        let blocking: Vec<Literal> = (0..2 * n)
-            .map(|i| {
-                let a = Atom::new(i as u32);
-                Literal::with_sign(a, !assignment.contains(a))
-            })
-            .collect();
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
     cost.absorb(&candidates);
+    result
 }
 
 /// All partial stable models.
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<PartialInterpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<PartialInterpretation>> {
     let _span = ddb_obs::span("pdsm.models");
     let mut out = Vec::new();
     for_each_partial_stable(db, None, cost, |i| {
         out.push(i.clone());
         true
-    });
+    })?;
     out.sort_by_key(|p| (p.true_set().clone(), p.false_set().clone()));
-    out
+    Ok(out)
 }
 
 /// Literal inference `PDSM(DB) ⊨ ℓ`: the literal has value 1 in every
 /// partial stable model.
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("pdsm.infers_literal");
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `PDSM(DB) ⊨ F`: `F` has value 1 in every partial
 /// stable model (vacuously true when none exists).
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("pdsm.infers_formula");
     let not_value1 = encode_ge1(f, db.num_atoms()).negated();
     let mut holds = true;
@@ -262,19 +275,19 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
         debug_assert_ne!(f.eval3(i), TruthValue::True);
         holds = false;
         false
-    });
-    holds
+    })?;
+    Ok(holds)
 }
 
 /// Model existence: does `db` have a partial stable model?
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("pdsm.has_model");
     let mut found = false;
     for_each_partial_stable(db, None, cost, |_| {
         found = true;
         false
-    });
-    found
+    })?;
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -300,10 +313,10 @@ mod tests {
         // model a = ½ exists (well-founded-style).
         let db = parse_program("a :- not a.").unwrap();
         let mut cost = Cost::new();
-        assert!(has_model(&db, &mut cost));
-        let ms = models(&db, &mut cost);
+        assert!(has_model(&db, &mut cost).unwrap());
+        let ms = models(&db, &mut cost).unwrap();
         assert_eq!(ms, vec![partial(&db, &[], &["a"])]);
-        assert!(!crate::dsm::has_model(&db, &mut cost));
+        assert!(!crate::dsm::has_model(&db, &mut cost).unwrap());
     }
 
     #[test]
@@ -312,7 +325,7 @@ mod tests {
         // ⟨{a},{b}⟩, ⟨{b},{a}⟩ and the all-undefined one.
         let db = parse_program("a :- not b. b :- not a.").unwrap();
         let mut cost = Cost::new();
-        let ms = models(&db, &mut cost);
+        let ms = models(&db, &mut cost).unwrap();
         assert_eq!(ms.len(), 3);
         assert!(ms.contains(&partial(&db, &["a"], &[])));
         assert!(ms.contains(&partial(&db, &["b"], &[])));
@@ -326,8 +339,8 @@ mod tests {
         for src in ["a | b.", "a | b. c :- a. :- b, c.", "a. b | c :- a."] {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
-            let pdsm = models(&db, &mut cost);
-            let dsm = crate::dsm::models(&db, &mut cost);
+            let pdsm = models(&db, &mut cost).unwrap();
+            let dsm = crate::dsm::models(&db, &mut cost).unwrap();
             let totals: Vec<Interpretation> = pdsm
                 .iter()
                 .filter(|p| p.is_total())
@@ -349,8 +362,9 @@ mod tests {
         ] {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
-            let stable = crate::dsm::models(&db, &mut cost);
+            let stable = crate::dsm::models(&db, &mut cost).unwrap();
             let totals: Vec<Interpretation> = models(&db, &mut cost)
+                .unwrap()
                 .into_iter()
                 .filter(|p| p.is_total())
                 .map(|p| p.to_total())
@@ -367,10 +381,10 @@ mod tests {
         let mut cost = Cost::new();
         let b_lit = db.symbols().lookup("b").unwrap().pos();
         let a_lit = db.symbols().lookup("a").unwrap().pos();
-        assert!(infers_literal(&db, b_lit, &mut cost));
-        assert!(!infers_literal(&db, a_lit, &mut cost));
-        assert!(!infers_literal(&db, a_lit.complement(), &mut cost));
-        assert!(crate::dsm::infers_literal(&db, a_lit, &mut cost)); // vacuous
+        assert!(infers_literal(&db, b_lit, &mut cost).unwrap());
+        assert!(!infers_literal(&db, a_lit, &mut cost).unwrap());
+        assert!(!infers_literal(&db, a_lit.complement(), &mut cost).unwrap());
+        assert!(crate::dsm::infers_literal(&db, a_lit, &mut cost).unwrap()); // vacuous
     }
 
     #[test]
@@ -379,19 +393,19 @@ mod tests {
         let mut cost = Cost::new();
         // c is true in all three partial stable models.
         let f = parse_formula("c", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
         // a ∨ b has value ½ in the all-undefined model → not inferred
         // (contrast DSM, where it holds in both stable models).
         let g = parse_formula("a | b", db.symbols()).unwrap();
-        assert!(!infers_formula(&db, &g, &mut cost));
-        assert!(crate::dsm::infers_formula(&db, &g, &mut cost));
+        assert!(!infers_formula(&db, &g, &mut cost).unwrap());
+        assert!(crate::dsm::infers_formula(&db, &g, &mut cost).unwrap());
     }
 
     #[test]
     fn integrity_clauses_constrain_pdsm() {
         let db = parse_program("a :- not b. b :- not a. :- a.").unwrap();
         let mut cost = Cost::new();
-        let ms = models(&db, &mut cost);
+        let ms = models(&db, &mut cost).unwrap();
         // ⟨{b},{a}⟩ survives; the all-undefined one: does ½ satisfy
         // ← a? Integrity head is empty (value 0); body a = ½ → need
         // 0 ≥ ½ — fails. So only ⟨{b},{a}⟩.

@@ -26,6 +26,7 @@
 use ddb_logic::cnf::database_to_cnf;
 use ddb_logic::{Atom, Database, Formula, Interpretation, Literal};
 use ddb_models::{minimal, Cost};
+use ddb_obs::{budget, Governed};
 use ddb_sat::Solver;
 
 /// The transitive priority relation: `lt[x]` is the set of atoms `y` with
@@ -83,7 +84,7 @@ pub fn exists_preferable_model(
     lt: &[Interpretation],
     m: &Interpretation,
     cost: &mut Cost,
-) -> bool {
+) -> Governed<bool> {
     let n = db.num_atoms();
     let mut solver = Solver::from_cnf(&database_to_cnf(db));
     solver.ensure_vars(n);
@@ -108,79 +109,87 @@ pub fn exists_preferable_model(
             Literal::with_sign(a, !m.contains(a))
         })
         .collect();
-    let feasible = solver.add_clause(&difference);
-    let sat = feasible && solver.solve().is_sat();
+    if !solver.add_clause(&difference) {
+        cost.absorb(&solver);
+        return Ok(false);
+    }
+    let result = solver.solve();
     cost.absorb(&solver);
-    sat
+    Ok(result?.is_sat())
 }
 
 /// Whether `m` is a perfect model of `db` (model check + one SAT call).
-pub fn is_perfect_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> bool {
+pub fn is_perfect_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> Governed<bool> {
     if !db.satisfied_by(m) {
-        return false;
+        return Ok(false);
     }
     let lt = priority_lt(db);
-    !exists_preferable_model(db, &lt, m, cost)
+    Ok(!exists_preferable_model(db, &lt, m, cost)?)
 }
 
 /// Visits the perfect models one at a time. Since perfect ⊆ minimal, the
 /// walk enumerates minimal models (superset blocking) and filters with the
-/// preference check.
+/// preference check. Each round starts with a budget checkpoint, so an
+/// exhausted [`ddb_obs::Budget`] interrupts between rounds.
 pub fn for_each_perfect_model(
     db: &Database,
     cost: &mut Cost,
     mut visit: impl FnMut(&Interpretation) -> bool,
-) {
+) -> Governed<()> {
     let lt = priority_lt(db);
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            break;
-        }
-        let model = {
-            let full = candidates.model();
-            let mut m = Interpretation::empty(n);
-            for a in full.iter().filter(|a| a.index() < n) {
-                m.insert(a);
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<()> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(());
             }
-            m
-        };
-        let min = minimal::minimize(db, &model, cost);
-        if !exists_preferable_model(db, &lt, &min, cost) && !visit(&min) {
-            break;
+            let model = {
+                let full = candidates.model();
+                let mut m = Interpretation::empty(n);
+                for a in full.iter().filter(|a| a.index() < n) {
+                    m.insert(a);
+                }
+                m
+            };
+            let min = minimal::minimize(db, &model, cost)?;
+            if !exists_preferable_model(db, &lt, &min, cost)? && !visit(&min) {
+                return Ok(());
+            }
+            let blocking: Vec<Literal> = min.iter().map(|a| a.neg()).collect();
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(());
+            }
         }
-        let blocking: Vec<Literal> = min.iter().map(|a| a.neg()).collect();
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
     cost.absorb(&candidates);
+    result
 }
 
 /// All perfect models, sorted.
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("perf.models");
     let mut out = Vec::new();
     for_each_perfect_model(db, cost, |m| {
         out.push(m.clone());
         true
-    });
+    })?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// Literal inference `PERF(DB) ⊨ ℓ` (true in every perfect model).
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("perf.infers_literal");
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `PERF(DB) ⊨ F` (vacuously true when no perfect model
 /// exists).
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("perf.infers_formula");
     let mut holds = true;
     for_each_perfect_model(db, cost, |m| {
@@ -189,20 +198,20 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
             return false;
         }
         true
-    });
-    holds
+    })?;
+    Ok(holds)
 }
 
 /// Model existence: does `db` have a perfect model? (Σᵖ₂-complete for
 /// general DNDBs; guaranteed for stratified ones.)
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("perf.has_model");
     let mut found = false;
     for_each_perfect_model(db, cost, |_| {
         found = true;
         false
-    });
-    found
+    })?;
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -222,8 +231,8 @@ mod tests {
         let db = parse_program("a | b. c :- a. :- b, c.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
-            minimal::minimal_models(&db, &mut cost)
+            models(&db, &mut cost).unwrap(),
+            minimal::minimal_models(&db, &mut cost).unwrap()
         );
     }
 
@@ -237,7 +246,7 @@ mod tests {
         // Unique perfect model {b} — the stratified intuition.
         let db = parse_program("b :- not a.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["b"])]);
+        assert_eq!(models(&db, &mut cost).unwrap(), vec![interp(&db, &["b"])]);
     }
 
     #[test]
@@ -245,9 +254,12 @@ mod tests {
         // a. c :- not b. — perfect: {a, c}.
         let db = parse_program("a. c :- not b.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["a", "c"])]);
+        assert_eq!(
+            models(&db, &mut cost).unwrap(),
+            vec![interp(&db, &["a", "c"])]
+        );
         let b = db.symbols().lookup("b").unwrap();
-        assert!(infers_literal(&db, b.neg(), &mut cost));
+        assert!(infers_literal(&db, b.neg(), &mut cost).unwrap());
     }
 
     #[test]
@@ -262,7 +274,7 @@ mod tests {
         let db = parse_program("a | b. c :- not a.").unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            models(&db, &mut cost),
+            models(&db, &mut cost).unwrap(),
             vec![interp(&db, &["a"]), interp(&db, &["b", "c"])]
         );
     }
@@ -276,7 +288,7 @@ mod tests {
         // ≡ a ∨ a ≡ a. So M(DB) = {{a}} and {a} is trivially perfect.
         let db = parse_program("a :- not a.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["a"])]);
+        assert_eq!(models(&db, &mut cost).unwrap(), vec![interp(&db, &["a"])]);
 
         // A genuinely perfect-model-free database: even loop with strict
         // mutual priorities collapses preference into a cycle:
@@ -284,8 +296,8 @@ mod tests {
         // b < a (both strict). {a}: N={b}: b∖ needs y∈{a}: b < a ✓ →
         // preferable → {a} not perfect; symmetrically {b} not perfect.
         let db2 = parse_program("a :- not b. b :- not a.").unwrap();
-        assert!(models(&db2, &mut cost).is_empty());
-        assert!(!has_model(&db2, &mut cost));
+        assert!(models(&db2, &mut cost).unwrap().is_empty());
+        assert!(!has_model(&db2, &mut cost).unwrap());
     }
 
     #[test]
@@ -294,8 +306,8 @@ mod tests {
         // model (Przymusinski): check on a 3-layer program.
         let db = parse_program("a. b :- not a. c :- not b. d | e :- c.").unwrap();
         let mut cost = Cost::new();
-        let perfect = models(&db, &mut cost);
-        let stable = crate::dsm::models(&db, &mut cost);
+        let perfect = models(&db, &mut cost).unwrap();
+        let stable = crate::dsm::models(&db, &mut cost).unwrap();
         assert_eq!(perfect, stable);
         assert_eq!(perfect.len(), 2); // {a,c,d}, {a,c,e}
     }
@@ -306,17 +318,10 @@ mod tests {
         let lt = priority_lt(&db);
         let mut cost = Cost::new();
         // {a, b, c} is a non-minimal model: some preferable model exists.
-        assert!(exists_preferable_model(
-            &db,
-            &lt,
-            &interp(&db, &["a", "b", "c"]),
-            &mut cost
-        ));
-        assert!(!is_perfect_model(
-            &db,
-            &interp(&db, &["a", "b", "c"]),
-            &mut cost
-        ));
+        assert!(
+            exists_preferable_model(&db, &lt, &interp(&db, &["a", "b", "c"]), &mut cost).unwrap()
+        );
+        assert!(!is_perfect_model(&db, &interp(&db, &["a", "b", "c"]), &mut cost).unwrap());
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! on a concrete database, producing the table the `ddb profile`
 //! subcommand prints.
 
-use crate::dispatch::{SemanticsConfig, SemanticsId};
+use crate::dispatch::{SemanticsConfig, SemanticsId, Verdict};
 use ddb_logic::{Database, Formula, Literal};
 use ddb_models::Cost;
 use ddb_obs::json::Json;
+use ddb_obs::{Budget, Interrupted};
 use std::time::Instant;
 
 /// The paper's three decision problems.
@@ -85,8 +86,12 @@ pub struct CellProfile {
     /// The decision problem.
     pub problem: Problem,
     /// The decision, or `None` if the semantics is undefined for this
-    /// database class (see `unsupported`).
+    /// database class (see `unsupported`) or the cell's budget tripped
+    /// (see `interrupted`).
     pub answer: Option<bool>,
+    /// Set when the cell's budget tripped before the procedure decided;
+    /// the cell's partial cost is still recorded.
+    pub interrupted: Option<Interrupted>,
     /// Oracle accounting for this cell alone.
     pub cost: Cost,
     /// Wall-clock time for this cell alone.
@@ -134,6 +139,13 @@ impl CellProfile {
                 },
             ),
             (
+                "interrupted",
+                match &self.interrupted {
+                    Some(i) => Json::Str(i.resource.label().to_owned()),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "route",
                 match self.route {
                     Some(r) => Json::Str(r.to_owned()),
@@ -146,14 +158,19 @@ impl CellProfile {
 
 /// Measure one cell: run `problem` under `cfg` on `db`, recording cost and
 /// wall time. `lit` and `f` supply the queries for the inference problems.
+/// A `cell_budget` governs just this cell (its relative timeout restarts
+/// from zero here); a tripped budget yields an interrupted cell, never a
+/// panic, so the rest of the matrix still completes.
 pub fn profile_cell(
     cfg: &SemanticsConfig,
     db: &Database,
     problem: Problem,
     lit: Literal,
     f: &Formula,
+    cell_budget: Option<&Budget>,
 ) -> CellProfile {
     let _span = ddb_obs::span("profile.cell");
+    let _guard = cell_budget.map(|b| b.clone().install());
     let mut cost = Cost::new();
     let before = ddb_obs::snapshot();
     let started = Instant::now();
@@ -177,14 +194,17 @@ pub fn profile_cell(
     } else {
         None
     };
-    let (answer, unsupported) = match outcome {
-        Ok(b) => (Some(b), None),
-        Err(e) => (None, Some(e.reason)),
+    let (answer, interrupted, unsupported) = match outcome {
+        Ok(Verdict::True) => (Some(true), None, None),
+        Ok(Verdict::False) => (Some(false), None, None),
+        Ok(Verdict::Unknown(i)) => (None, Some(i), None),
+        Err(e) => (None, None, Some(e.reason)),
     };
     CellProfile {
         semantics: cfg.id,
         problem,
         answer,
+        interrupted,
         cost,
         wall_ns,
         unsupported,
@@ -195,12 +215,25 @@ pub fn profile_cell(
 /// Profile all ten semantics on all three problems: the full 10×3 observed
 /// oracle-call matrix for `db`, in the paper's table order.
 pub fn profile_all(db: &Database, lit: Literal, f: &Formula) -> Vec<CellProfile> {
+    profile_all_budgeted(db, lit, f, None)
+}
+
+/// [`profile_all`] with a per-cell budget (the `ddb profile
+/// --cell-timeout-ms` machinery): each cell gets a fresh installation of
+/// `cell_budget`, so one slow Πᵖ₂ cell cannot starve the rest of the
+/// matrix — it is marked interrupted and the sweep moves on.
+pub fn profile_all_budgeted(
+    db: &Database,
+    lit: Literal,
+    f: &Formula,
+    cell_budget: Option<&Budget>,
+) -> Vec<CellProfile> {
     let _span = ddb_obs::span("profile.all");
     let mut cells = Vec::with_capacity(SemanticsId::ALL.len() * Problem::ALL.len());
     for id in SemanticsId::ALL {
         let cfg = SemanticsConfig::new(id);
         for problem in Problem::ALL {
-            cells.push(profile_cell(&cfg, db, problem, lit, f));
+            cells.push(profile_cell(&cfg, db, problem, lit, f, cell_budget));
         }
     }
     cells
@@ -242,6 +275,10 @@ pub fn render_table(cells: &[CellProfile]) -> String {
                         )
                     ));
                 }
+                Some(c) if c.interrupted.is_some() => {
+                    let label = c.interrupted.as_ref().map_or("", |i| i.resource.label());
+                    row.push_str(&format!(" {:>24}", format!("?{label}")));
+                }
                 Some(_) => row.push_str(&format!(" {:>24}", "n/a")),
                 None => row.push_str(&format!(" {:>24}", "-")),
             }
@@ -269,6 +306,9 @@ pub fn render_table(cells: &[CellProfile]) -> String {
         out.push_str(
             " ~ answered on a query-relevant slice or split residual (route.slice / route.split)\n",
         );
+    }
+    if cells.iter().any(|c| c.interrupted.is_some()) {
+        out.push_str(" ?<resource> cell budget exhausted before the procedure decided\n");
     }
     out
 }
@@ -350,6 +390,28 @@ mod tests {
         assert!(render_table(&cells).contains("fast path"));
         let cell = cells.first().unwrap().to_json();
         assert_eq!(cell.get("route").unwrap().as_str(), Some("horn"));
+    }
+
+    #[test]
+    fn budgeted_profile_marks_interrupted_cells_and_completes_matrix() {
+        // A zero-oracle budget per cell: the oracle-backed cells come back
+        // interrupted, the matrix still has all 30 cells, and nothing
+        // panics. Table and JSON both surface the marker.
+        let db = parse_program("a | b. c :- a. c :- b.").unwrap();
+        let f = parse_formula("c", db.symbols()).unwrap();
+        let budget = Budget::unlimited().with_max_oracle_calls(0);
+        let cells = profile_all_budgeted(&db, ddb_logic::Atom::new(0).pos(), &f, Some(&budget));
+        assert_eq!(cells.len(), 30);
+        assert!(cells.iter().any(|c| c.interrupted.is_some()));
+        for c in cells.iter().filter(|c| c.interrupted.is_some()) {
+            assert!(c.answer.is_none());
+            assert_eq!(
+                c.to_json().get("interrupted").unwrap().as_str(),
+                Some("oracle_calls")
+            );
+        }
+        assert!(render_table(&cells).contains("?oracle_calls"));
+        assert!(render_table(&cells).contains("cell budget exhausted"));
     }
 
     #[test]

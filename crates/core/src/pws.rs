@@ -34,6 +34,7 @@
 use ddb_logic::cnf::{Cnf, CnfBuilder};
 use ddb_logic::{Atom, Database, Formula, Interpretation, Literal};
 use ddb_models::{fixpoint, Cost};
+use ddb_obs::Governed;
 use ddb_sat::{enumerate_models, Solver};
 
 /// Builds the possible-model CNF: satisfying assignments, projected onto
@@ -205,38 +206,39 @@ pub fn possible_models_by_splits(db: &Database) -> Vec<Interpretation> {
 }
 
 /// All possible models via the SAT encoding (projected enumeration).
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("pws.models");
     let cnf = possible_model_cnf(db);
     let mut out = Vec::new();
     let mut calls = 0u64;
-    enumerate_models(&cnf, db.num_atoms(), |m| {
+    let result = enumerate_models(&cnf, db.num_atoms(), |m| {
         calls += 1;
         out.push(m.clone());
         true
     });
     cost.sat_calls += calls + 1;
+    result?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// Literal inference `PWS(DB) ⊨ ℓ`. Fast path (zero oracle calls):
 /// negative literal, no integrity clauses — `⊨ ¬x ⟺ x ∉ active(DB)`.
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("pws.infers_literal");
     assert!(
         !db.has_negation(),
         "PWS is defined for databases without negation"
     );
     if lit.is_negative() && !db.has_integrity_clauses() {
-        return !fixpoint::active_atoms(db).contains(lit.atom());
+        return Ok(!fixpoint::active_atoms(db).contains(lit.atom()));
     }
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// Formula inference `PWS(DB) ⊨ F`: one SAT call on the possible-model
 /// encoding conjoined with `¬F`.
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("pws.infers_formula");
     let cnf = possible_model_cnf(db);
     let mut b = CnfBuilder::new(cnf.num_vars);
@@ -245,27 +247,27 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
     }
     b.assert_formula(&f.clone().negated());
     let mut solver = Solver::from_cnf(&b.finish());
-    let sat = solver.solve().is_sat();
+    let result = solver.solve();
     cost.absorb(&solver);
-    !sat
+    Ok(!result?.is_sat())
 }
 
 /// Model existence `PWS(DB) ≠ ∅`. `O(1)` without integrity clauses (the
 /// full split's least model is a possible model); one SAT call otherwise.
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let _span = ddb_obs::span("pws.has_model");
     assert!(
         !db.has_negation(),
         "PWS is defined for databases without negation"
     );
     if !db.has_integrity_clauses() {
-        return true;
+        return Ok(true);
     }
     let cnf = possible_model_cnf(db);
     let mut solver = Solver::from_cnf(&cnf);
-    let sat = solver.solve().is_sat();
+    let result = solver.solve();
     cost.absorb(&solver);
-    sat
+    Ok(result?.is_sat())
 }
 
 #[cfg(test)]
@@ -295,7 +297,7 @@ mod tests {
             ]
         );
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), pm);
+        assert_eq!(models(&db, &mut cost).unwrap(), pm);
     }
 
     #[test]
@@ -304,15 +306,15 @@ mod tests {
         // (while {a, c} IS a classical model).
         let db = parse_program("a | b. c :- z.").unwrap();
         let mut cost = Cost::new();
-        let pm = models(&db, &mut cost);
+        let pm = models(&db, &mut cost).unwrap();
         let c = db.symbols().lookup("c").unwrap();
         let z = db.symbols().lookup("z").unwrap();
         for m in &pm {
             assert!(!m.contains(c));
             assert!(!m.contains(z));
         }
-        assert!(infers_literal(&db, c.neg(), &mut cost));
-        assert!(infers_literal(&db, z.neg(), &mut cost));
+        assert!(infers_literal(&db, c.neg(), &mut cost).unwrap());
+        assert!(infers_literal(&db, z.neg(), &mut cost).unwrap());
     }
 
     #[test]
@@ -328,7 +330,7 @@ mod tests {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
             assert_eq!(
-                models(&db, &mut cost),
+                models(&db, &mut cost).unwrap(),
                 possible_models_by_splits(&db),
                 "program: {src}"
             );
@@ -354,18 +356,25 @@ mod tests {
         let db = parse_program("a :- a.").unwrap();
         assert!(!is_possible_model(&db, &interp(&db, &["a"])));
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![Interpretation::empty(1)]);
+        assert_eq!(
+            models(&db, &mut cost).unwrap(),
+            vec![Interpretation::empty(1)]
+        );
     }
 
     #[test]
     fn formula_inference_vs_enumeration() {
         let db = parse_program("a | b. c :- a. :- b, c.").unwrap();
         let mut cost = Cost::new();
-        let pm = models(&db, &mut cost);
+        let pm = models(&db, &mut cost).unwrap();
         for text in ["a | b", "!(a & b) | c", "c -> a", "!c", "b | c"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             let expected = pm.iter().all(|m| f.eval(m));
-            assert_eq!(infers_formula(&db, &f, &mut cost), expected, "{text}");
+            assert_eq!(
+                infers_formula(&db, &f, &mut cost).unwrap(),
+                expected,
+                "{text}"
+            );
         }
     }
 
@@ -392,20 +401,17 @@ mod tests {
         let db = parse_program("a | b. c :- a, b.").unwrap();
         let mut cost = Cost::new();
         let f = parse_formula("c -> (a & b)", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
-        assert!(!crate::ddr::infers_formula(&db, &f, &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
+        assert!(!crate::ddr::infers_formula(&db, &f, &mut cost).unwrap());
     }
 
     #[test]
     fn existence() {
         let mut cost = Cost::new();
-        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost));
+        assert!(has_model(&parse_program("a | b.").unwrap(), &mut cost).unwrap());
         assert_eq!(cost.sat_calls, 0);
-        assert!(has_model(
-            &parse_program("a | b. :- a, b.").unwrap(),
-            &mut cost
-        ));
-        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost));
+        assert!(has_model(&parse_program("a | b. :- a, b.").unwrap(), &mut cost).unwrap());
+        assert!(!has_model(&parse_program("a. :- a.").unwrap(), &mut cost).unwrap());
     }
 
     #[test]
@@ -414,8 +420,8 @@ mod tests {
         let mut cost = Cost::new();
         let a = db.symbols().lookup("a").unwrap();
         let b = db.symbols().lookup("b").unwrap();
-        assert!(infers_literal(&db, a.pos(), &mut cost));
-        assert!(!infers_literal(&db, b.pos(), &mut cost));
-        assert!(!infers_literal(&db, b.neg(), &mut cost));
+        assert!(infers_literal(&db, a.pos(), &mut cost).unwrap());
+        assert!(!infers_literal(&db, b.pos(), &mut cost).unwrap());
+        assert!(!infers_literal(&db, b.neg(), &mut cost).unwrap());
     }
 }

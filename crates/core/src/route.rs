@@ -30,6 +30,7 @@ use ddb_logic::cnf::database_to_cnf;
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::fixpoint::active_atoms;
 use ddb_models::{minimal, Cost};
+use ddb_obs::{budget, Governed};
 use ddb_sat::Solver;
 
 /// The least model of a Horn database's definite rules, plus whether the
@@ -94,55 +95,62 @@ pub fn normal_is_stable(normal: &Database, m: &Interpretation) -> bool {
 /// the same minimal-model enumeration as [`crate::dsm::for_each_stable_model`],
 /// but with the per-candidate stability oracle call replaced by the
 /// polynomial shifted-program check ([`normal_is_stable`]). Sound and
-/// complete for HCF databases by Ben-Eliyahu & Dechter.
+/// complete for HCF databases by Ben-Eliyahu & Dechter. Each round starts
+/// with a budget checkpoint, so an exhausted [`ddb_obs::Budget`]
+/// interrupts between rounds.
 pub fn for_each_hcf_stable_model(
     db: &Database,
     cost: &mut Cost,
     mut visit: impl FnMut(&Interpretation) -> bool,
-) {
+) -> Governed<()> {
     let shifted = shift(db);
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);
-    loop {
-        if !candidates.solve().is_sat() {
-            break;
-        }
-        let model = {
-            let full = candidates.model();
-            let mut m = Interpretation::empty(n);
-            for a in full.iter().filter(|a| a.index() < n) {
-                m.insert(a);
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<()> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(());
             }
-            m
-        };
-        let minimal = minimal::minimize(db, &model, cost);
-        ddb_obs::counter_add("route.hcf.stability_checks", 1);
-        if normal_is_stable(&shifted, &minimal) && !visit(&minimal) {
-            break;
+            let model = {
+                let full = candidates.model();
+                let mut m = Interpretation::empty(n);
+                for a in full.iter().filter(|a| a.index() < n) {
+                    m.insert(a);
+                }
+                m
+            };
+            let minimal = minimal::minimize(db, &model, cost)?;
+            ddb_obs::counter_add("route.hcf.stability_checks", 1);
+            if normal_is_stable(&shifted, &minimal) && !visit(&minimal) {
+                return Ok(());
+            }
+            let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(());
+            }
         }
-        let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
     cost.absorb(&candidates);
+    result
 }
 
 /// HCF fast path for [`crate::dsm::models`].
-pub fn hcf_dsm_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn hcf_dsm_models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let mut out = Vec::new();
     for_each_hcf_stable_model(db, cost, |m| {
         out.push(m.clone());
         true
-    });
+    })?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// HCF fast path for DSM formula inference (cautious; vacuously true
 /// without stable models).
-pub fn hcf_dsm_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn hcf_dsm_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let mut holds = true;
     for_each_hcf_stable_model(db, cost, |m| {
         if !f.eval(m) {
@@ -150,23 +158,23 @@ pub fn hcf_dsm_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bo
             return false;
         }
         true
-    });
-    holds
+    })?;
+    Ok(holds)
 }
 
 /// HCF fast path for DSM literal inference.
-pub fn hcf_dsm_infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn hcf_dsm_infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     hcf_dsm_infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
 /// HCF fast path for DSM model existence.
-pub fn hcf_dsm_has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn hcf_dsm_has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let mut found = false;
     for_each_hcf_stable_model(db, cost, |_| {
         found = true;
         false
-    });
-    found
+    })?;
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -192,7 +200,10 @@ mod tests {
     fn horn_agrees_with_generic_dsm() {
         let db = parse_program("a. b :- a. c :- b, d. :- e.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(horn_models(&db), crate::dsm::models(&db, &mut cost));
+        assert_eq!(
+            horn_models(&db),
+            crate::dsm::models(&db, &mut cost).unwrap()
+        );
         assert!(cost.sat_calls > 0, "generic path pays oracle calls");
     }
 
@@ -208,8 +219,8 @@ mod tests {
             let mut c1 = Cost::new();
             let mut c2 = Cost::new();
             assert_eq!(
-                hcf_dsm_models(&db, &mut c1),
-                crate::dsm::models(&db, &mut c2),
+                hcf_dsm_models(&db, &mut c1).unwrap(),
+                crate::dsm::models(&db, &mut c2).unwrap(),
                 "{src}"
             );
         }
@@ -229,7 +240,7 @@ mod tests {
             );
             assert_eq!(
                 normal_is_stable(&db, &m),
-                crate::dsm::is_stable_model(&db, &m, &mut cost),
+                crate::dsm::is_stable_model(&db, &m, &mut cost).unwrap(),
                 "at {m:?}"
             );
         }

@@ -51,11 +51,12 @@
 //! The routes record themselves in the `route.slice*` / `route.split*`
 //! counters, surfaced by `ddb profile`.
 
-use crate::dispatch::{RoutingMode, SemanticsConfig, SemanticsId};
+use crate::dispatch::{RoutingMode, SemanticsConfig, SemanticsId, Unsupported, Verdict};
 use ddb_analysis::{peel_with, project_slice, project_top, relevant_slice, Fragments, Peel, Slice};
 use ddb_logic::depgraph::DepGraph;
 use ddb_logic::{Database, Formula, Literal};
 use ddb_models::Cost;
+use ddb_obs::Governed;
 
 /// Why a query may (or may not) be answered on its relevance slice.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -138,6 +139,20 @@ fn routable(cfg: &SemanticsConfig) -> bool {
     cfg.routing == RoutingMode::Auto && !cfg.no_slice && cfg.has_default_structure()
 }
 
+/// Folds an inner-call result into the route's three-way outcome:
+/// a definite verdict is the route's answer, an `Unsupported` inner call
+/// abandons the route (`Ok(None)` → generic fallback), and a budget
+/// interrupt propagates (`Err`) so the top level reports `Unknown` instead
+/// of silently re-running the whole database.
+fn definite(r: Result<Verdict, Unsupported>) -> Governed<Option<bool>> {
+    match r {
+        Ok(Verdict::True) => Ok(Some(true)),
+        Ok(Verdict::False) => Ok(Some(false)),
+        Ok(Verdict::Unknown(i)) => Err(i),
+        Err(_) => Ok(None),
+    }
+}
+
 /// Literal-inference entry: slices on the literal's atom. The literal is
 /// threaded through so the reduced sub-database is still queried with the
 /// specialized `infers_literal` procedures — for GCWA/CCWA those are far
@@ -148,7 +163,7 @@ pub(crate) fn try_infers_literal(
     frags: &Fragments,
     lit: Literal,
     cost: &mut Cost,
-) -> Option<bool> {
+) -> Governed<Option<bool>> {
     let f = Formula::literal(lit.atom(), lit.is_positive());
     try_infers(cfg, db, frags, &f, Some(lit), cost)
 }
@@ -160,12 +175,12 @@ pub(crate) fn try_infers_formula(
     frags: &Fragments,
     f: &Formula,
     cost: &mut Cost,
-) -> Option<bool> {
+) -> Governed<Option<bool>> {
     try_infers(cfg, db, frags, f, None, cost)
 }
 
 /// Shared inference entry: try the slice route, then the peel route.
-/// `None` means neither applied and the caller should run the generic
+/// `Ok(None)` means neither applied and the caller should run the generic
 /// procedure. `lit` is `Some` exactly when the query is a single literal.
 fn try_infers(
     cfg: &SemanticsConfig,
@@ -174,24 +189,30 @@ fn try_infers(
     f: &Formula,
     lit: Option<Literal>,
     cost: &mut Cost,
-) -> Option<bool> {
+) -> Governed<Option<bool>> {
     if !routable(cfg) {
-        return None;
+        return Ok(None);
     }
-    if let Some(ans) = slice_infers(cfg, db, frags, f, lit, cost) {
-        return Some(ans);
+    if let Some(ans) = slice_infers(cfg, db, frags, f, lit, cost)? {
+        return Ok(Some(ans));
     }
     peel_infers(cfg, db, f, lit, cost)
 }
 
 /// Model-existence entry: slicing needs query atoms, so only the peel
 /// route applies — solve the deterministic bottom, ask the residual.
-pub(crate) fn try_has_model(cfg: &SemanticsConfig, db: &Database, cost: &mut Cost) -> Option<bool> {
+pub(crate) fn try_has_model(
+    cfg: &SemanticsConfig,
+    db: &Database,
+    cost: &mut Cost,
+) -> Governed<Option<bool>> {
     if !routable(cfg) {
-        return None;
+        return Ok(None);
     }
-    let p = try_peel(cfg, db)?;
-    inner(cfg).has_model(&p.residual, cost).ok()
+    let Some(p) = try_peel(cfg, db) else {
+        return Ok(None);
+    };
+    definite(inner(cfg).has_model(&p.residual, cost))
 }
 
 fn slice_infers(
@@ -201,20 +222,20 @@ fn slice_infers(
     f: &Formula,
     lit: Option<Literal>,
     cost: &mut Cost,
-) -> Option<bool> {
+) -> Governed<Option<bool>> {
     let atoms = f.atoms();
     if atoms.is_empty() {
-        return None;
+        return Ok(None);
     }
     let slice = relevant_slice(db, &atoms);
     if slice.is_whole(db) {
         // Nothing to drop — not worth a counter; inner calls land here.
-        return None;
+        return Ok(None);
     }
     let admission = match admission(cfg.id, frags, &slice, lit.is_some()) {
         Admission::Blocked => {
             ddb_obs::counter_add("route.slice.blocked", 1);
-            return None;
+            return Ok(None);
         }
         a => a,
     };
@@ -230,24 +251,29 @@ fn slice_infers(
     let ans = match lit {
         Some(l) => {
             let a = map.to_sub[l.atom().index()].expect("query atom is in its slice");
-            cfg.infers_literal(&sub, Literal::with_sign(a, l.is_positive()), cost)
-                .ok()?
+            definite(cfg.infers_literal(&sub, Literal::with_sign(a, l.is_positive()), cost))?
         }
         None => {
             let f_sub = f.map_atoms(&mut |a| {
                 Formula::Atom(map.to_sub[a.index()].expect("query atom is in its slice"))
             });
-            cfg.infers_formula(&sub, &f_sub, cost).ok()?
+            definite(cfg.infers_formula(&sub, &f_sub, cost))?
         }
     };
+    let Some(ans) = ans else {
+        return Ok(None);
+    };
     if ans || admission == Admission::PositiveExact {
-        return Some(ans);
+        return Ok(Some(ans));
     }
     // Product correction: a cautious `false` on the slice only transfers
     // to the whole database when the independent top part has a model at
     // all — an empty top model set makes every inference vacuously true.
     let (top, _) = project_top(db, &slice);
-    Some(!inner(cfg).has_model(&top, cost).ok()?)
+    match definite(inner(cfg).has_model(&top, cost))? {
+        Some(has) => Ok(Some(!has)),
+        None => Ok(None),
+    }
 }
 
 fn peel_infers(
@@ -256,11 +282,13 @@ fn peel_infers(
     f: &Formula,
     lit: Option<Literal>,
     cost: &mut Cost,
-) -> Option<bool> {
-    let p = try_peel(cfg, db)?;
+) -> Governed<Option<bool>> {
+    let Some(p) = try_peel(cfg, db) else {
+        return Ok(None);
+    };
     if let Some(l) = lit {
         if p.decided[l.atom().index()].is_none() {
-            return inner(cfg).infers_literal(&p.residual, l, cost).ok();
+            return definite(inner(cfg).infers_literal(&p.residual, l, cost));
         }
         // A decided query atom degenerates to a constant formula below.
     }
@@ -269,7 +297,7 @@ fn peel_infers(
         Some(false) => Formula::False,
         None => Formula::Atom(a),
     });
-    inner(cfg).infers_formula(&p.residual, &f_res, cost).ok()
+    definite(inner(cfg).infers_formula(&p.residual, &f_res, cost))
 }
 
 /// Runs the peel and gates on progress; records the `route.split*`
@@ -306,7 +334,8 @@ mod tests {
         let cfg = SemanticsConfig::new(SemanticsId::Egcwa);
         let mut cost = Cost::new();
         let mut ans = false;
-        let spent = counters_after(|| ans = cfg.infers_formula(&db, &f, &mut cost).unwrap());
+        let spent =
+            counters_after(|| ans = cfg.infers_formula(&db, &f, &mut cost).unwrap().definite());
         assert!(ans);
         assert!(spent.get("route.slice") > 0);
         assert_eq!(spent.get("route.slice.dropped_rules"), 2);
@@ -337,7 +366,8 @@ mod tests {
             let cfg = SemanticsConfig::new(id);
             let mut cost = Cost::new();
             let mut ans = false;
-            let spent = counters_after(|| ans = cfg.infers_formula(&db, &f, &mut cost).unwrap());
+            let spent =
+                counters_after(|| ans = cfg.infers_formula(&db, &f, &mut cost).unwrap().definite());
             assert!(ans, "{id}");
             if peel_mode(id).is_some() {
                 assert!(spent.get("route.split") > 0, "{id}");
@@ -359,12 +389,13 @@ mod tests {
         for id in [SemanticsId::Gcwa, SemanticsId::Egcwa, SemanticsId::Dsm] {
             let cfg = SemanticsConfig::new(id);
             let mut cost = Cost::new();
-            let auto = cfg.infers_formula(&db, &f, &mut cost).unwrap();
+            let auto = cfg.infers_formula(&db, &f, &mut cost).unwrap().definite();
             let generic = cfg
                 .clone()
                 .with_routing(RoutingMode::Generic)
                 .infers_formula(&db, &f, &mut cost)
-                .unwrap();
+                .unwrap()
+                .definite();
             assert_eq!(auto, generic, "{id}");
             assert!(auto, "inconsistent DB infers everything ({id})");
         }
@@ -376,12 +407,12 @@ mod tests {
         let cfg = SemanticsConfig::new(SemanticsId::Dsm);
         let mut cost = Cost::new();
         let mut ans = false;
-        let spent = counters_after(|| ans = cfg.has_model(&db, &mut cost).unwrap());
+        let spent = counters_after(|| ans = cfg.has_model(&db, &mut cost).unwrap().definite());
         assert!(ans);
         assert!(spent.get("route.split") > 0);
         // And a violated bottom constraint kills the model set.
         let bad = parse_program("a. b :- a. :- b. c | d.").unwrap();
-        assert!(!cfg.has_model(&bad, &mut cost).unwrap());
+        assert!(!cfg.has_model(&bad, &mut cost).unwrap().definite());
     }
 
     #[test]

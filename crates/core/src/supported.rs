@@ -22,6 +22,7 @@
 use ddb_logic::cnf::{Cnf, CnfBuilder};
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::Cost;
+use ddb_obs::Governed;
 use ddb_sat::{enumerate_models, Solver};
 
 /// Whether every rule head is a single atom (supported models are a
@@ -77,31 +78,32 @@ pub fn is_supported_model(db: &Database, m: &Interpretation) -> bool {
 }
 
 /// All supported models (projected SAT enumeration).
-pub fn models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     let cnf = completion_cnf(db);
     let mut out = Vec::new();
     let mut calls = 0u64;
-    enumerate_models(&cnf, db.num_atoms(), |m| {
+    let result = enumerate_models(&cnf, db.num_atoms(), |m| {
         calls += 1;
         out.push(m.clone());
         true
     });
     cost.sat_calls += calls + 1;
+    result?;
     out.sort();
-    out
+    Ok(out)
 }
 
 /// Model existence — one SAT call (NP-complete).
-pub fn has_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     let mut solver = Solver::from_cnf(&completion_cnf(db));
-    let sat = solver.solve().is_sat();
+    let result = solver.solve();
     cost.absorb(&solver);
-    sat
+    Ok(result?.is_sat())
 }
 
 /// Cautious formula inference: `F` true in every supported model — one
 /// coNP check (vacuously true when none exists).
-pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let base = completion_cnf(db);
     let mut b = CnfBuilder::new(base.num_vars);
     for c in &base.clauses {
@@ -109,14 +111,14 @@ pub fn infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
     }
     b.assert_formula(&f.clone().negated());
     let mut solver = Solver::from_cnf(&b.finish());
-    let sat = solver.solve().is_sat();
+    let result = solver.solve();
     cost.absorb(&solver);
-    !sat
+    Ok(!result?.is_sat())
 }
 
 /// Brave formula inference: `F` true in some supported model — one NP
 /// check.
-pub fn brave_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn brave_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let base = completion_cnf(db);
     let mut b = CnfBuilder::new(base.num_vars);
     for c in &base.clauses {
@@ -124,13 +126,13 @@ pub fn brave_infers_formula(db: &Database, f: &Formula, cost: &mut Cost) -> bool
     }
     b.assert_formula(f);
     let mut solver = Solver::from_cnf(&b.finish());
-    let sat = solver.solve().is_sat();
+    let result = solver.solve();
     cost.absorb(&solver);
-    sat
+    Ok(result?.is_sat())
 }
 
 /// Cautious literal inference.
-pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> bool {
+pub fn infers_literal(db: &Database, lit: Literal, cost: &mut Cost) -> Governed<bool> {
     infers_formula(db, &Formula::literal(lit.atom(), lit.is_positive()), cost)
 }
 
@@ -150,11 +152,11 @@ mod tests {
     fn positive_loop_is_supported_but_not_stable() {
         let db = parse_program("a :- b. b :- a.").unwrap();
         let mut cost = Cost::new();
-        let supported = models(&db, &mut cost);
+        let supported = models(&db, &mut cost).unwrap();
         assert_eq!(supported, vec![interp(&db, &[]), interp(&db, &["a", "b"])]);
         // Only ∅ is stable.
         assert_eq!(
-            crate::dsm::models(&db, &mut cost),
+            crate::dsm::models(&db, &mut cost).unwrap(),
             vec![Interpretation::empty(2)]
         );
     }
@@ -169,8 +171,8 @@ mod tests {
         ] {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
-            let supported = models(&db, &mut cost);
-            for m in crate::dsm::models(&db, &mut cost) {
+            let supported = models(&db, &mut cost).unwrap();
+            for m in crate::dsm::models(&db, &mut cost).unwrap() {
                 assert!(supported.contains(&m), "{src}: {m:?}");
             }
         }
@@ -180,7 +182,7 @@ mod tests {
     fn supported_implies_model() {
         let db = parse_program("a :- not b. c :- a.").unwrap();
         let mut cost = Cost::new();
-        for m in models(&db, &mut cost) {
+        for m in models(&db, &mut cost).unwrap() {
             assert!(db.satisfied_by(&m));
             assert!(is_supported_model(&db, &m));
         }
@@ -193,7 +195,7 @@ mod tests {
         // fails.
         let db = parse_program("a :- a. b :- z.").unwrap();
         let mut cost = Cost::new();
-        let supported = models(&db, &mut cost);
+        let supported = models(&db, &mut cost).unwrap();
         let b_atom = db.symbols().lookup("b").unwrap();
         let z = db.symbols().lookup("z").unwrap();
         for m in &supported {
@@ -209,28 +211,28 @@ mod tests {
         // support → not supported. ∅ ⊭ the rule. So none.
         let db = parse_program("a :- not a.").unwrap();
         let mut cost = Cost::new();
-        assert!(!has_model(&db, &mut cost));
-        assert!(models(&db, &mut cost).is_empty());
+        assert!(!has_model(&db, &mut cost).unwrap());
+        assert!(models(&db, &mut cost).unwrap().is_empty());
         // Cautious inference is vacuous; brave is empty.
         let f = parse_formula("false", db.symbols()).unwrap();
-        assert!(infers_formula(&db, &f, &mut cost));
-        assert!(!brave_infers_formula(&db, &f.clone().negated(), &mut cost));
+        assert!(infers_formula(&db, &f, &mut cost).unwrap());
+        assert!(!brave_infers_formula(&db, &f.clone().negated(), &mut cost).unwrap());
     }
 
     #[test]
     fn cautious_and_brave_match_enumeration() {
         let db = parse_program("a :- not b. b :- not a. c :- a. c :- b. d :- d.").unwrap();
         let mut cost = Cost::new();
-        let supported = models(&db, &mut cost);
+        let supported = models(&db, &mut cost).unwrap();
         for text in ["c", "a", "d", "a | b", "d -> a"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             assert_eq!(
-                infers_formula(&db, &f, &mut cost),
+                infers_formula(&db, &f, &mut cost).unwrap(),
                 supported.iter().all(|m| f.eval(m)),
                 "cautious {text}"
             );
             assert_eq!(
-                brave_infers_formula(&db, &f, &mut cost),
+                brave_infers_formula(&db, &f, &mut cost).unwrap(),
                 supported.iter().any(|m| f.eval(m)),
                 "brave {text}"
             );
@@ -242,7 +244,7 @@ mod tests {
         let db = parse_program("a :- not b. b :- not a.").unwrap();
         let f = parse_formula("a | b", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        infers_formula(&db, &f, &mut cost);
+        infers_formula(&db, &f, &mut cost).unwrap();
         assert_eq!(cost.sat_calls, 1, "cautious inference is one coNP call");
     }
 
@@ -257,6 +259,6 @@ mod tests {
     fn integrity_clauses_allowed() {
         let db = parse_program("a :- not b. b :- not a. :- a.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db, &mut cost), vec![interp(&db, &["b"])]);
+        assert_eq!(models(&db, &mut cost).unwrap(), vec![interp(&db, &["b"])]);
     }
 }

@@ -127,7 +127,10 @@ mod tests {
             let db = parse_program(src).unwrap();
             let w = well_founded_model(&db);
             let mut cost = Cost::new();
-            assert!(crate::pdsm::is_partial_stable(&db, &w, &mut cost), "{src}");
+            assert!(
+                crate::pdsm::is_partial_stable(&db, &w, &mut cost).unwrap(),
+                "{src}"
+            );
         }
     }
 
@@ -141,7 +144,7 @@ mod tests {
             let db = parse_program(src).unwrap();
             let w = well_founded_model(&db);
             let mut cost = Cost::new();
-            for p in crate::pdsm::models(&db, &mut cost) {
+            for p in crate::pdsm::models(&db, &mut cost).unwrap() {
                 assert!(w.true_set().is_subset(p.true_set()), "{src}");
                 assert!(w.false_set().is_subset(p.false_set()), "{src}");
             }
@@ -154,7 +157,7 @@ mod tests {
             let db = parse_program(src).unwrap();
             let w = well_founded_model(&db);
             let mut cost = Cost::new();
-            for m in crate::dsm::models(&db, &mut cost) {
+            for m in crate::dsm::models(&db, &mut cost).unwrap() {
                 for a in w.true_set().iter() {
                     assert!(m.contains(a), "{src}");
                 }
@@ -172,7 +175,7 @@ mod tests {
         let w = well_founded_model(&db);
         assert!(w.is_total());
         let mut cost = Cost::new();
-        let perfect = crate::perf::models(&db, &mut cost);
+        let perfect = crate::perf::models(&db, &mut cost).unwrap();
         assert_eq!(perfect, vec![w.to_total()]);
     }
 

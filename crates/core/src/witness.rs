@@ -8,11 +8,12 @@
 //! checks that every witness (a) falsifies the query and (b) belongs to
 //! the semantics' characteristic model set.
 
-use crate::dispatch::{SemanticsConfig, SemanticsId, Unsupported};
+use crate::dispatch::{SemanticsConfig, SemanticsId, Unsupported, Verdict};
 use crate::icwa::Layers;
 use ddb_logic::cnf::CnfBuilder;
 use ddb_logic::{Database, Formula, Interpretation, PartialInterpretation, TruthValue};
 use ddb_models::{circumscribe, Cost, Partition};
+use ddb_obs::{Governed, Interrupted};
 use ddb_sat::Solver;
 
 /// Outcome of an explained inference query.
@@ -26,6 +27,9 @@ pub enum QueryOutcome {
     /// A three-valued countermodel (PDSM: a partial stable model where
     /// the query's value is not 1).
     CountermodelPartial(PartialInterpretation),
+    /// The search was interrupted by resource exhaustion before it could
+    /// either certify inference or produce a countermodel.
+    Unknown(Interrupted),
 }
 
 impl QueryOutcome {
@@ -41,7 +45,7 @@ fn refuting_model(
     units: &Interpretation,
     f: &Formula,
     cost: &mut Cost,
-) -> Option<Interpretation> {
+) -> Governed<Option<Interpretation>> {
     let n = db.num_atoms();
     let mut b = CnfBuilder::new(n);
     b.add_database(db);
@@ -52,21 +56,22 @@ fn refuting_model(
     let cnf = b.finish();
     let mut solver = Solver::from_cnf(&cnf);
     solver.ensure_vars(cnf.num_vars.max(n));
-    let sat = solver.solve().is_sat();
-    let result = sat.then(|| {
-        let full = solver.model();
-        let mut m = Interpretation::empty(n);
-        for a in full.iter().filter(|a| a.index() < n) {
-            m.insert(a);
-        }
-        m
-    });
+    let result = solver.solve();
     cost.absorb(&solver);
-    result
+    if !result?.is_sat() {
+        return Ok(None);
+    }
+    let full = solver.model();
+    let mut m = Interpretation::empty(n);
+    for a in full.iter().filter(|a| a.index() < n) {
+        m.insert(a);
+    }
+    Ok(Some(m))
 }
 
-/// Explains formula inference under `cfg`: either `Inferred` or a
-/// countermodel from the semantics' characteristic model set.
+/// Explains formula inference under `cfg`: `Inferred`, a countermodel
+/// from the semantics' characteristic model set, or `Unknown` when the
+/// installed [`ddb_obs::Budget`] tripped mid-search.
 pub fn explain_formula(
     cfg: &SemanticsConfig,
     db: &Database,
@@ -77,144 +82,164 @@ pub fn explain_formula(
     cfg.check_applicable(db)?;
     let n = db.num_atoms();
     let neg = f.clone().negated();
-    let outcome = match cfg.id {
-        SemanticsId::Gcwa => {
-            let n_set = crate::gcwa::false_atoms(db, cost);
-            refuting_model(db, &n_set, f, cost)
-                .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Ccwa => {
-            let part = cfg
-                .partition
-                .clone()
-                .unwrap_or_else(|| Partition::minimize_all(n));
-            let n_set = crate::ccwa::false_atoms(db, &part, cost);
-            refuting_model(db, &n_set, f, cost)
-                .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Egcwa => {
-            let part = Partition::minimize_all(n);
-            circumscribe::find_pz_minimal_model_satisfying(db, &part, &neg, cost)
-                .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Ecwa => {
-            let part = cfg
-                .partition
-                .clone()
-                .unwrap_or_else(|| Partition::minimize_all(n));
-            circumscribe::find_pz_minimal_model_satisfying(db, &part, &neg, cost)
-                .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Ddr => {
-            let n_set = crate::ddr::false_atoms(db);
-            refuting_model(db, &n_set, f, cost)
-                .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Pws => {
-            // Possible-model encoding ∧ ¬F.
-            let base = crate::pws::possible_model_cnf(db);
-            let mut b = CnfBuilder::new(base.num_vars);
-            for c in &base.clauses {
-                b.add_clause(c.clone());
+    let run = |cost: &mut Cost| -> Governed<QueryOutcome> {
+        Ok(match cfg.id {
+            SemanticsId::Gcwa => {
+                let n_set = crate::gcwa::false_atoms(db, cost)?;
+                refuting_model(db, &n_set, f, cost)?
+                    .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
             }
-            b.assert_formula(&neg);
-            let cnf = b.finish();
-            let mut solver = Solver::from_cnf(&cnf);
-            solver.ensure_vars(cnf.num_vars.max(n));
-            let sat = solver.solve().is_sat();
-            let outcome = if sat {
-                let full = solver.model();
-                let mut m = Interpretation::empty(n);
-                for a in full.iter().filter(|a| a.index() < n) {
-                    m.insert(a);
+            SemanticsId::Ccwa => {
+                let part = cfg
+                    .partition
+                    .clone()
+                    .unwrap_or_else(|| Partition::minimize_all(n));
+                let n_set = crate::ccwa::false_atoms(db, &part, cost)?;
+                refuting_model(db, &n_set, f, cost)?
+                    .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Egcwa => {
+                let part = Partition::minimize_all(n);
+                circumscribe::find_pz_minimal_model_satisfying(db, &part, &neg, cost)?
+                    .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Ecwa => {
+                let part = cfg
+                    .partition
+                    .clone()
+                    .unwrap_or_else(|| Partition::minimize_all(n));
+                circumscribe::find_pz_minimal_model_satisfying(db, &part, &neg, cost)?
+                    .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Ddr => {
+                let n_set = crate::ddr::false_atoms(db);
+                refuting_model(db, &n_set, f, cost)?
+                    .map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Pws => {
+                // Possible-model encoding ∧ ¬F.
+                let base = crate::pws::possible_model_cnf(db);
+                let mut b = CnfBuilder::new(base.num_vars);
+                for c in &base.clauses {
+                    b.add_clause(c.clone());
                 }
-                QueryOutcome::Countermodel(m)
-            } else {
-                QueryOutcome::Inferred
-            };
-            cost.absorb(&solver);
-            outcome
-        }
-        SemanticsId::Perf => {
-            let mut found = None;
-            crate::perf::for_each_perfect_model(db, cost, |m| {
-                if !f.eval(m) {
+                b.assert_formula(&neg);
+                let cnf = b.finish();
+                let mut solver = Solver::from_cnf(&cnf);
+                solver.ensure_vars(cnf.num_vars.max(n));
+                let result = solver.solve();
+                cost.absorb(&solver);
+                if result?.is_sat() {
+                    let full = solver.model();
+                    let mut m = Interpretation::empty(n);
+                    for a in full.iter().filter(|a| a.index() < n) {
+                        m.insert(a);
+                    }
+                    QueryOutcome::Countermodel(m)
+                } else {
+                    QueryOutcome::Inferred
+                }
+            }
+            SemanticsId::Perf => {
+                let mut found = None;
+                crate::perf::for_each_perfect_model(db, cost, |m| {
+                    if !f.eval(m) {
+                        found = Some(m.clone());
+                        return false;
+                    }
+                    true
+                })?;
+                found.map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Icwa => {
+                let strata = db.stratification().expect("checked stratifiable");
+                let z = cfg
+                    .icwa_varying
+                    .clone()
+                    .unwrap_or_else(|| Interpretation::empty(n));
+                let layers = Layers::new(db, &strata, &z);
+                let mut found = None;
+                crate::icwa::for_each_icwa_model(db, &layers, Some(&neg), cost, |m| {
                     found = Some(m.clone());
-                    return false;
-                }
-                true
-            });
-            found.map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Icwa => {
-            let strata = db.stratification().expect("checked stratifiable");
-            let z = cfg
-                .icwa_varying
-                .clone()
-                .unwrap_or_else(|| Interpretation::empty(n));
-            let layers = Layers::new(db, &strata, &z);
-            let mut found = None;
-            crate::icwa::for_each_icwa_model(db, &layers, Some(&neg), cost, |m| {
-                found = Some(m.clone());
-                false
-            });
-            found.map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Dsm => {
-            let mut found = None;
-            crate::dsm::for_each_stable_model(db, cost, |m| {
-                if !f.eval(m) {
-                    found = Some(m.clone());
-                    return false;
-                }
-                true
-            });
-            found.map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
-        }
-        SemanticsId::Pdsm => {
-            let not_value1 = crate::pdsm::encode_ge1(f, n).negated();
-            let mut found = None;
-            crate::pdsm::for_each_partial_stable(db, Some(&not_value1), cost, |p| {
-                found = Some(p.clone());
-                false
-            });
-            found.map_or(QueryOutcome::Inferred, QueryOutcome::CountermodelPartial)
-        }
+                    false
+                })?;
+                found.map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Dsm => {
+                let mut found = None;
+                crate::dsm::for_each_stable_model(db, cost, |m| {
+                    if !f.eval(m) {
+                        found = Some(m.clone());
+                        return false;
+                    }
+                    true
+                })?;
+                found.map_or(QueryOutcome::Inferred, QueryOutcome::Countermodel)
+            }
+            SemanticsId::Pdsm => {
+                let not_value1 = crate::pdsm::encode_ge1(f, n).negated();
+                let mut found = None;
+                crate::pdsm::for_each_partial_stable(db, Some(&not_value1), cost, |p| {
+                    found = Some(p.clone());
+                    false
+                })?;
+                found.map_or(QueryOutcome::Inferred, QueryOutcome::CountermodelPartial)
+            }
+        })
     };
-    Ok(outcome)
+    Ok(match run(cost) {
+        Ok(outcome) => outcome,
+        Err(i) => {
+            crate::dispatch::note_interrupt(&i);
+            QueryOutcome::Unknown(i)
+        }
+    })
 }
 
 /// Brave (possibility) inference: does `F` hold in *some* characteristic
 /// model? The Σ-side dual of the paper's cautious inference problems.
-/// For PDSM, "holds" means value 1.
+/// For PDSM, "holds" means value 1. A tripped budget surfaces as
+/// [`Verdict::Unknown`].
 pub fn brave_infers_formula(
     cfg: &SemanticsConfig,
     db: &Database,
     f: &Formula,
     cost: &mut Cost,
-) -> Result<bool, Unsupported> {
+) -> Result<Verdict, Unsupported> {
     let _span = ddb_obs::span("witness.brave_infers_formula");
     match cfg.id {
         SemanticsId::Pdsm => {
             cfg.check_applicable(db)?;
             let value1 = crate::pdsm::encode_ge1(f, db.num_atoms());
             let mut found = false;
-            crate::pdsm::for_each_partial_stable(db, Some(&value1), cost, |p| {
+            let result = crate::pdsm::for_each_partial_stable(db, Some(&value1), cost, |p| {
                 debug_assert_eq!(f.eval3(p), TruthValue::True);
                 found = true;
                 false
             });
-            Ok(found)
+            Ok(match result {
+                Ok(()) => Verdict::from(found),
+                Err(i) => {
+                    crate::dispatch::note_interrupt(&i);
+                    Verdict::Unknown(i)
+                }
+            })
         }
         _ => {
             // F holds somewhere iff ¬F is not cautiously inferred…
             // except in the empty-model-set case, where cautious inference
             // is vacuous and brave inference must be false.
-            if !cfg.has_model(db, cost)? {
-                return Ok(false);
+            match cfg.has_model(db, cost)? {
+                Verdict::False => return Ok(Verdict::False),
+                Verdict::Unknown(i) => return Ok(Verdict::Unknown(i)),
+                Verdict::True => {}
             }
-            let out = explain_formula(cfg, db, &f.clone().negated(), cost)?;
-            Ok(!out.is_inferred())
+            Ok(
+                match explain_formula(cfg, db, &f.clone().negated(), cost)? {
+                    QueryOutcome::Unknown(i) => Verdict::Unknown(i),
+                    out => Verdict::from(!out.is_inferred()),
+                },
+            )
         }
     }
 }
@@ -249,7 +274,9 @@ mod tests {
                         assert!(!f.eval(&m), "{id} seed {seed}: witness must falsify");
                         assert!(models.contains(&m), "{id} seed {seed}: witness must belong");
                     }
-                    QueryOutcome::CountermodelPartial(_) => unreachable!(),
+                    QueryOutcome::CountermodelPartial(_) | QueryOutcome::Unknown(_) => {
+                        unreachable!("no budget installed")
+                    }
                 }
             }
         }
@@ -264,7 +291,7 @@ mod tests {
         match explain_formula(&cfg, &db, &f, &mut cost).unwrap() {
             QueryOutcome::CountermodelPartial(p) => {
                 assert_ne!(f.eval3(&p), TruthValue::True);
-                assert!(crate::pdsm::is_partial_stable(&db, &p, &mut cost));
+                assert!(crate::pdsm::is_partial_stable(&db, &p, &mut cost).unwrap());
             }
             other => panic!("expected a partial countermodel, got {other:?}"),
         }
@@ -282,12 +309,21 @@ mod tests {
         let mut cost = Cost::new();
         let egcwa = SemanticsConfig::new(SemanticsId::Egcwa);
         // a holds in some but not all minimal models.
-        assert!(brave_infers_formula(&egcwa, &db, &fa, &mut cost).unwrap());
-        assert!(!egcwa.infers_formula(&db, &fa, &mut cost).unwrap());
+        assert!(brave_infers_formula(&egcwa, &db, &fa, &mut cost)
+            .unwrap()
+            .definite());
+        assert!(!egcwa
+            .infers_formula(&db, &fa, &mut cost)
+            .unwrap()
+            .definite());
         // a ∧ b holds in no minimal model but in a GCWA model.
-        assert!(!brave_infers_formula(&egcwa, &db, &fab, &mut cost).unwrap());
+        assert!(!brave_infers_formula(&egcwa, &db, &fab, &mut cost)
+            .unwrap()
+            .definite());
         let gcwa = SemanticsConfig::new(SemanticsId::Gcwa);
-        assert!(brave_infers_formula(&gcwa, &db, &fab, &mut cost).unwrap());
+        assert!(brave_infers_formula(&gcwa, &db, &fab, &mut cost)
+            .unwrap()
+            .definite());
     }
 
     #[test]
@@ -297,8 +333,10 @@ mod tests {
         let cfg = SemanticsConfig::new(SemanticsId::Dsm);
         let f = parse_formula("a", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        assert!(cfg.infers_formula(&db, &f, &mut cost).unwrap());
-        assert!(!brave_infers_formula(&cfg, &db, &f, &mut cost).unwrap());
+        assert!(cfg.infers_formula(&db, &f, &mut cost).unwrap().definite());
+        assert!(!brave_infers_formula(&cfg, &db, &f, &mut cost)
+            .unwrap()
+            .definite());
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn supported_models_match_brute() {
         let db = random_normal_db(&mut rng);
         let mut cost = Cost::new();
         assert_eq!(
-            supported::models(&db, &mut cost),
+            supported::models(&db, &mut cost).unwrap(),
             supported_brute(&db),
             "case {case}"
         );
@@ -71,7 +71,7 @@ fn supported_inference_matches_brute() {
         let reference = supported_brute(&db);
         let mut cost = Cost::new();
         assert_eq!(
-            supported::has_model(&db, &mut cost),
+            supported::has_model(&db, &mut cost).unwrap(),
             !reference.is_empty(),
             "case {case}"
         );
@@ -79,12 +79,12 @@ fn supported_inference_matches_brute() {
             let a = Atom::new(i as u32);
             let f = ddb_logic::Formula::atom(a);
             assert_eq!(
-                supported::infers_formula(&db, &f, &mut cost),
+                supported::infers_formula(&db, &f, &mut cost).unwrap(),
                 reference.iter().all(|m| m.contains(a)),
                 "case {case}"
             );
             assert_eq!(
-                supported::brave_infers_formula(&db, &f, &mut cost),
+                supported::brave_infers_formula(&db, &f, &mut cost).unwrap(),
                 reference.iter().any(|m| m.contains(a)),
                 "case {case}"
             );
@@ -98,8 +98,8 @@ fn stable_subset_of_supported() {
     for case in 0..CASES {
         let db = random_normal_db(&mut rng);
         let mut cost = Cost::new();
-        let supported = supported::models(&db, &mut cost);
-        for m in dsm::models(&db, &mut cost) {
+        let supported = supported::models(&db, &mut cost).unwrap();
+        for m in dsm::models(&db, &mut cost).unwrap() {
             assert!(supported.contains(&m), "case {case}");
         }
     }
@@ -112,8 +112,11 @@ fn wfs_is_knowledge_least_partial_stable() {
         let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         let mut cost = Cost::new();
-        assert!(pdsm::is_partial_stable(&db, &w, &mut cost), "case {case}");
-        for p in pdsm::models(&db, &mut cost) {
+        assert!(
+            pdsm::is_partial_stable(&db, &w, &mut cost).unwrap(),
+            "case {case}"
+        );
+        for p in pdsm::models(&db, &mut cost).unwrap() {
             assert!(w.true_set().is_subset(p.true_set()), "case {case}");
             assert!(w.false_set().is_subset(p.false_set()), "case {case}");
         }
@@ -127,7 +130,7 @@ fn wfs_sound_for_stable() {
         let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         let mut cost = Cost::new();
-        for m in dsm::models(&db, &mut cost) {
+        for m in dsm::models(&db, &mut cost).unwrap() {
             for a in w.true_set().iter() {
                 assert!(m.contains(a), "case {case}");
             }
@@ -152,7 +155,7 @@ fn wfs_total_implies_unique_stable() {
             // and for normal programs a total well-founded model is
             // always stable.
             let mut cost = Cost::new();
-            let stable = dsm::models(&db, &mut cost);
+            let stable = dsm::models(&db, &mut cost).unwrap();
             assert_eq!(stable, vec![total], "case {case}");
         }
     }
@@ -168,7 +171,7 @@ fn wfs_value_matches_pdsm_consensus() {
         let db = random_normal_db(&mut rng);
         let w = wfs::well_founded_model(&db);
         let mut cost = Cost::new();
-        let partials = pdsm::models(&db, &mut cost);
+        let partials = pdsm::models(&db, &mut cost).unwrap();
         for i in 0..N {
             let a = Atom::new(i as u32);
             match w.value(a) {

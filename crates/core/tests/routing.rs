@@ -164,7 +164,8 @@ fn hcf_detection_matches_shifted_program_stability_brute_force() {
         let generic = SemanticsConfig::new(SemanticsId::Dsm)
             .with_routing(RoutingMode::Generic)
             .models(&db, &mut cost)
-            .unwrap();
+            .unwrap()
+            .expect_complete();
         assert_eq!(via_shift, generic, "shift/stability mismatch on {db:?}");
     }
     assert!(checked >= 20, "generator produced too few HCF cases");

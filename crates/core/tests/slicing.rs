@@ -211,7 +211,8 @@ fn admitted_slices_and_peels_are_observable() {
     let mut cost = Cost::new();
     let ans = SemanticsConfig::new(SemanticsId::Egcwa)
         .infers_literal(&db, Atom::new(2).pos(), &mut cost)
-        .unwrap();
+        .unwrap()
+        .definite();
     assert!(ans, "c holds in every minimal model");
     let diff = ddb_obs::snapshot().diff(&before);
     assert!(diff.get("route.slice") > 0, "slice route taken: {diff:?}");
@@ -228,7 +229,8 @@ fn admitted_slices_and_peels_are_observable() {
             ]),
             &mut cost,
         )
-        .unwrap();
+        .unwrap()
+        .definite();
     assert!(ans, "x1 and q hold in every stable model");
     let diff = ddb_obs::snapshot().diff(&before);
     assert!(

@@ -354,7 +354,7 @@ mod tests {
         );
         // The least model contains the transitive closure.
         let mut cost = Cost::new();
-        let mm = ddb_models::minimal::minimal_models(&db, &mut cost);
+        let mm = ddb_models::minimal::minimal_models(&db, &mut cost).unwrap();
         assert_eq!(mm.len(), 1);
         assert!(mm[0].contains(syms.lookup("path(a,c)").unwrap()));
     }
@@ -412,8 +412,11 @@ mod tests {
                     })
                     .collect()
             };
-        let full_stable = names(&full, ddb_core::dsm::models(&full, &mut cost));
-        let reduced_stable = names(&reduced, ddb_core::dsm::models(&reduced, &mut cost));
+        let full_stable = names(&full, ddb_core::dsm::models(&full, &mut cost).unwrap());
+        let reduced_stable = names(
+            &reduced,
+            ddb_core::dsm::models(&reduced, &mut cost).unwrap(),
+        );
         assert_eq!(full_stable, reduced_stable);
     }
 
@@ -440,10 +443,13 @@ mod tests {
                     .collect()
             };
         assert_eq!(
-            project(&full, ddb_models::minimal::minimal_models(&full, &mut cost)),
+            project(
+                &full,
+                ddb_models::minimal::minimal_models(&full, &mut cost).unwrap()
+            ),
             project(
                 &reduced,
-                ddb_models::minimal::minimal_models(&reduced, &mut cost)
+                ddb_models::minimal::minimal_models(&reduced, &mut cost).unwrap()
             ),
         );
     }
@@ -459,18 +465,22 @@ mod tests {
         let reduced = ground_reduced(&prog, 100).unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            ddb_models::minimal::minimal_models(&full, &mut cost).len(),
+            ddb_models::minimal::minimal_models(&full, &mut cost)
+                .unwrap()
+                .len(),
             2
         );
         assert_eq!(
-            ddb_models::minimal::minimal_models(&reduced, &mut cost).len(),
+            ddb_models::minimal::minimal_models(&reduced, &mut cost)
+                .unwrap()
+                .len(),
             1
         );
         // …while the stable models agree (q(a) is never stable-true).
-        let full_stable = ddb_core::dsm::models(&full, &mut cost);
+        let full_stable = ddb_core::dsm::models(&full, &mut cost).unwrap();
         assert_eq!(full_stable.len(), 1);
         assert!(full_stable[0].contains(full.symbols().lookup("p(a)").unwrap()));
-        let red_stable = ddb_core::dsm::models(&reduced, &mut cost);
+        let red_stable = ddb_core::dsm::models(&reduced, &mut cost).unwrap();
         assert_eq!(red_stable.len(), 1);
     }
 
@@ -486,7 +496,7 @@ mod tests {
         assert!(db.has_integrity_clauses());
         // Independent-set reading: {in(a), in(b)} is excluded.
         let mut cost = Cost::new();
-        let stable = ddb_core::dsm::models(&db, &mut cost);
+        let stable = ddb_core::dsm::models(&db, &mut cost).unwrap();
         let ina = db.symbols().lookup("in(a)").unwrap();
         let inb = db.symbols().lookup("in(b)").unwrap();
         assert!(!stable.iter().any(|m| m.contains(ina) && m.contains(inb)));
@@ -561,7 +571,7 @@ mod tests {
         let db = ground_reduced(&prog, 100).unwrap();
         assert_eq!(db.num_atoms(), 2);
         let mut cost = Cost::new();
-        assert_eq!(ddb_core::dsm::models(&db, &mut cost).len(), 2);
+        assert_eq!(ddb_core::dsm::models(&db, &mut cost).unwrap().len(), 2);
     }
 
     #[test]

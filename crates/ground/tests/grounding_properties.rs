@@ -134,8 +134,11 @@ fn stable_models_agree_full_vs_reduced() {
         let reduced = ground_reduced(&prog, 100_000).unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            named_models(&full, ddb_core::dsm::models(&full, &mut cost)),
-            named_models(&reduced, ddb_core::dsm::models(&reduced, &mut cost)),
+            named_models(&full, ddb_core::dsm::models(&full, &mut cost).unwrap()),
+            named_models(
+                &reduced,
+                ddb_core::dsm::models(&reduced, &mut cost).unwrap()
+            ),
             "case {case}"
         );
     }
@@ -150,10 +153,13 @@ fn minimal_models_agree_on_positive_programs() {
         let reduced = ground_reduced(&prog, 100_000).unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            named_models(&full, ddb_models::minimal::minimal_models(&full, &mut cost)),
+            named_models(
+                &full,
+                ddb_models::minimal::minimal_models(&full, &mut cost).unwrap()
+            ),
             named_models(
                 &reduced,
-                ddb_models::minimal::minimal_models(&reduced, &mut cost)
+                ddb_models::minimal::minimal_models(&reduced, &mut cost).unwrap()
             ),
             "case {case}"
         );
@@ -169,8 +175,11 @@ fn possible_models_agree_on_positive_programs() {
         let reduced = ground_reduced(&prog, 100_000).unwrap();
         let mut cost = Cost::new();
         assert_eq!(
-            named_models(&full, ddb_core::pws::models(&full, &mut cost)),
-            named_models(&reduced, ddb_core::pws::models(&reduced, &mut cost)),
+            named_models(&full, ddb_core::pws::models(&full, &mut cost).unwrap()),
+            named_models(
+                &reduced,
+                ddb_core::pws::models(&reduced, &mut cost).unwrap()
+            ),
             "case {case}"
         );
     }

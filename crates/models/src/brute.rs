@@ -66,7 +66,10 @@ mod tests {
     fn brute_models_match_sat_engine() {
         let db = parse_program("a | b. c :- a. :- b, c.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(models(&db), crate::classical::all_models(&db, &mut cost));
+        assert_eq!(
+            models(&db),
+            crate::classical::all_models(&db, &mut cost).unwrap()
+        );
     }
 
     #[test]
@@ -75,7 +78,7 @@ mod tests {
         let mut cost = Cost::new();
         assert_eq!(
             minimal_models(&db),
-            crate::minimal::minimal_models(&db, &mut cost)
+            crate::minimal::minimal_models(&db, &mut cost).unwrap()
         );
     }
 
@@ -87,7 +90,7 @@ mod tests {
         let mut cost = Cost::new();
         assert_eq!(
             pz_minimal_models(&db, &part),
-            crate::minimal::pz_minimal_models(&db, &part, &mut cost)
+            crate::minimal::pz_minimal_models(&db, &part, &mut cost).unwrap()
         );
     }
 

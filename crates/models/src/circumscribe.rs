@@ -22,17 +22,21 @@
 //!
 //! The candidate count ([`crate::Cost::candidates`]) is the number of CEGAR
 //! rounds — the quantity that blows up exactly on Πᵖ₂-hard instances,
-//! which the benchmark harness measures.
+//! which the benchmark harness measures. Each round is additionally one
+//! governance checkpoint, so a deadline or cancellation budget interrupts
+//! the loop between rounds even when individual oracle calls are cheap.
 
 use crate::classical::project;
 use crate::minimal::Minimizer;
 use crate::{Cost, Partition};
 use ddb_logic::cnf::CnfBuilder;
 use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_obs::budget::{self, Governed};
 use ddb_sat::Solver;
 
 /// Whether `F` holds in every ⟨P;Z⟩-minimal model of `DB`
 /// (`MM(DB;P;Z) ⊨ F`). Vacuously true when `DB` is unsatisfiable.
+/// `Err` when the installed [`ddb_obs::Budget`] trips mid-search.
 ///
 /// ```
 /// use ddb_logic::parse::{parse_formula, parse_program};
@@ -41,14 +45,14 @@ use ddb_sat::Solver;
 /// let part = Partition::minimize_all(db.num_atoms());
 /// let not_c = parse_formula("!c", db.symbols()).unwrap();
 /// let mut cost = Cost::new();
-/// assert!(circumscribe::holds_in_all_pz_minimal_models(&db, &part, &not_c, &mut cost));
+/// assert!(circumscribe::holds_in_all_pz_minimal_models(&db, &part, &not_c, &mut cost).unwrap());
 /// ```
 pub fn holds_in_all_pz_minimal_models(
     db: &Database,
     part: &Partition,
     f: &Formula,
     cost: &mut Cost,
-) -> bool {
+) -> Governed<bool> {
     let _span = ddb_obs::span("models.circ.holds_in_all");
     let n = db.num_atoms();
     // Candidate source: DB ∧ ¬F (Tseitin over an extended vocabulary).
@@ -60,58 +64,61 @@ pub fn holds_in_all_pz_minimal_models(
     candidates.ensure_vars(counterexample_cnf.num_vars.max(n));
     let mut minimizer = Minimizer::new(db, part.clone());
 
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            cost.absorb(&candidates);
-            return true;
-        }
-        cost.candidates += 1;
-        ddb_obs::counter_add("models.circ.candidates", 1);
-        let m = project(&candidates.model(), n);
-        debug_assert!(db.satisfied_by(&m));
-        debug_assert!(!f.eval(&m));
-        let minimal = minimizer.minimize(&m, cost);
+    // `candidates` is absorbed exactly once, after the loop exits (Ok or
+    // interrupted), so its statistics are never double-counted.
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<bool> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(true);
+            }
+            cost.candidates += 1;
+            ddb_obs::counter_add("models.circ.candidates", 1);
+            let m = project(&candidates.model(), n);
+            debug_assert!(db.satisfied_by(&m));
+            debug_assert!(!f.eval(&m));
+            let minimal = minimizer.minimize(&m, cost)?;
 
-        // Signature check: some model with M*'s ⟨P,Q⟩-signature ⊨ ¬F?
-        let same_signature =
-            minimal.agrees_within(&m, part.p()) && minimal.agrees_within(&m, part.q());
-        if same_signature {
-            // M itself is ⟨P;Z⟩-minimal and falsifies F.
-            cost.absorb(&candidates);
-            return false;
-        }
-        let mut check = Solver::from_cnf(&counterexample_cnf);
-        check.ensure_vars(counterexample_cnf.num_vars.max(n));
-        for a in part.p().iter().chain(part.q().iter()) {
-            check.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
-        }
-        let counter_sat = check.solve().is_sat();
-        cost.absorb(&check);
-        if counter_sat {
-            cost.absorb(&candidates);
-            return false;
-        }
+            // Signature check: some model with M*'s ⟨P,Q⟩-signature ⊨ ¬F?
+            let same_signature =
+                minimal.agrees_within(&m, part.p()) && minimal.agrees_within(&m, part.q());
+            if same_signature {
+                // M itself is ⟨P;Z⟩-minimal and falsifies F.
+                return Ok(false);
+            }
+            let mut check = Solver::from_cnf(&counterexample_cnf);
+            check.ensure_vars(counterexample_cnf.num_vars.max(n));
+            for a in part.p().iter().chain(part.q().iter()) {
+                check.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
+            }
+            let counter_result = check.solve();
+            cost.absorb(&check);
+            if counter_result?.is_sat() {
+                return Ok(false);
+            }
 
-        // Refine: block the dominated cone of M*'s signature.
-        let mut blocking: Vec<Literal> = Vec::new();
-        for a in part.q().iter() {
-            blocking.push(Literal::with_sign(a, !minimal.contains(a)));
-        }
-        for a in part.p().iter() {
-            if minimal.contains(a) {
-                blocking.push(a.neg());
+            // Refine: block the dominated cone of M*'s signature.
+            let mut blocking: Vec<Literal> = Vec::new();
+            for a in part.q().iter() {
+                blocking.push(Literal::with_sign(a, !minimal.contains(a)));
+            }
+            for a in part.p().iter() {
+                if minimal.contains(a) {
+                    blocking.push(a.neg());
+                }
+            }
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(true);
             }
         }
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            cost.absorb(&candidates);
-            return true;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
+    cost.absorb(&candidates);
+    result
 }
 
 /// Whether `F` holds in every (subset-)minimal model (`MM(DB) ⊨ F`).
-pub fn holds_in_all_minimal_models(db: &Database, f: &Formula, cost: &mut Cost) -> bool {
+pub fn holds_in_all_minimal_models(db: &Database, f: &Formula, cost: &mut Cost) -> Governed<bool> {
     holds_in_all_pz_minimal_models(db, &Partition::minimize_all(db.num_atoms()), f, cost)
 }
 
@@ -121,8 +128,13 @@ pub fn exists_pz_minimal_model_satisfying(
     part: &Partition,
     f: &Formula,
     cost: &mut Cost,
-) -> bool {
-    !holds_in_all_pz_minimal_models(db, part, &f.clone().negated(), cost)
+) -> Governed<bool> {
+    Ok(!holds_in_all_pz_minimal_models(
+        db,
+        part,
+        &f.clone().negated(),
+        cost,
+    )?)
 }
 
 /// Returns a ⟨P;Z⟩-minimal model satisfying `F`, if one exists.
@@ -134,7 +146,7 @@ pub fn find_pz_minimal_model_satisfying(
     part: &Partition,
     f: &Formula,
     cost: &mut Cost,
-) -> Option<Interpretation> {
+) -> Governed<Option<Interpretation>> {
     let _span = ddb_obs::span("models.circ.find_model");
     let n = db.num_atoms();
     let mut b = CnfBuilder::new(n);
@@ -145,50 +157,50 @@ pub fn find_pz_minimal_model_satisfying(
     candidates.ensure_vars(cnf.num_vars.max(n));
     let mut minimizer = Minimizer::new(db, part.clone());
 
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            cost.absorb(&candidates);
-            return None;
-        }
-        cost.candidates += 1;
-        ddb_obs::counter_add("models.circ.candidates", 1);
-        let m = project(&candidates.model(), n);
-        let minimal = minimizer.minimize(&m, cost);
-        let same_signature =
-            minimal.agrees_within(&m, part.p()) && minimal.agrees_within(&m, part.q());
-        if same_signature {
-            cost.absorb(&candidates);
-            return Some(m);
-        }
-        let mut check = Solver::from_cnf(&cnf);
-        check.ensure_vars(cnf.num_vars.max(n));
-        for a in part.p().iter().chain(part.q().iter()) {
-            check.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
-        }
-        let witness_sat = check.solve().is_sat();
-        if witness_sat {
-            let witness = project(&check.model(), n);
+    let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<Option<Interpretation>> {
+        loop {
+            budget::checkpoint()?;
+            if !candidates.solve()?.is_sat() {
+                return Ok(None);
+            }
+            cost.candidates += 1;
+            ddb_obs::counter_add("models.circ.candidates", 1);
+            let m = project(&candidates.model(), n);
+            let minimal = minimizer.minimize(&m, cost)?;
+            let same_signature =
+                minimal.agrees_within(&m, part.p()) && minimal.agrees_within(&m, part.q());
+            if same_signature {
+                return Ok(Some(m));
+            }
+            let mut check = Solver::from_cnf(&cnf);
+            check.ensure_vars(cnf.num_vars.max(n));
+            for a in part.p().iter().chain(part.q().iter()) {
+                check.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
+            }
+            let witness_result = check.solve();
             cost.absorb(&check);
-            cost.absorb(&candidates);
-            return Some(witness);
-        }
-        cost.absorb(&check);
+            if witness_result?.is_sat() {
+                let witness = project(&check.model(), n);
+                return Ok(Some(witness));
+            }
 
-        let mut blocking: Vec<Literal> = Vec::new();
-        for a in part.q().iter() {
-            blocking.push(Literal::with_sign(a, !minimal.contains(a)));
-        }
-        for a in part.p().iter() {
-            if minimal.contains(a) {
-                blocking.push(a.neg());
+            let mut blocking: Vec<Literal> = Vec::new();
+            for a in part.q().iter() {
+                blocking.push(Literal::with_sign(a, !minimal.contains(a)));
+            }
+            for a in part.p().iter() {
+                if minimal.contains(a) {
+                    blocking.push(a.neg());
+                }
+            }
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(None);
             }
         }
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            cost.absorb(&candidates);
-            return None;
-        }
-    }
+    };
+    let result = run(cost, &mut candidates);
+    cost.absorb(&candidates);
+    result
 }
 
 #[cfg(test)]
@@ -203,15 +215,15 @@ mod tests {
         let db = parse_program("a | b. c :- a, b.").unwrap();
         let f = parse_formula("!c", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        assert!(holds_in_all_minimal_models(&db, &f, &mut cost));
+        assert!(holds_in_all_minimal_models(&db, &f, &mut cost).unwrap());
         // But a is not false in all minimal models, nor true in all.
         let fa = parse_formula("a", db.symbols()).unwrap();
         let nfa = parse_formula("!a", db.symbols()).unwrap();
-        assert!(!holds_in_all_minimal_models(&db, &fa, &mut cost));
-        assert!(!holds_in_all_minimal_models(&db, &nfa, &mut cost));
+        assert!(!holds_in_all_minimal_models(&db, &fa, &mut cost).unwrap());
+        assert!(!holds_in_all_minimal_models(&db, &nfa, &mut cost).unwrap());
         // The disjunction itself holds.
         let ab = parse_formula("a | b", db.symbols()).unwrap();
-        assert!(holds_in_all_minimal_models(&db, &ab, &mut cost));
+        assert!(holds_in_all_minimal_models(&db, &ab, &mut cost).unwrap());
     }
 
     #[test]
@@ -219,7 +231,7 @@ mod tests {
         let db = parse_program("a. :- a.").unwrap();
         let f = parse_formula("false", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        assert!(holds_in_all_minimal_models(&db, &f, &mut cost));
+        assert!(holds_in_all_minimal_models(&db, &f, &mut cost).unwrap());
     }
 
     #[test]
@@ -227,12 +239,12 @@ mod tests {
         // Cross-check CEGAR against explicit minimal-model enumeration.
         let db = parse_program("a | b. b | c. :- a, c. d :- b.").unwrap();
         let mut cost = Cost::new();
-        let mm = crate::minimal::minimal_models(&db, &mut cost);
+        let mm = crate::minimal::minimal_models(&db, &mut cost).unwrap();
         assert!(!mm.is_empty());
         for text in ["a", "!a", "b", "d", "b & d", "a | c", "!(a & c)", "b -> d"] {
             let f = parse_formula(text, db.symbols()).unwrap();
             let expected = mm.iter().all(|m| f.eval(m));
-            let got = holds_in_all_minimal_models(&db, &f, &mut cost);
+            let got = holds_in_all_minimal_models(&db, &f, &mut cost).unwrap();
             assert_eq!(got, expected, "formula {text}");
         }
     }
@@ -247,10 +259,10 @@ mod tests {
         // ¬a holds in all ⟨P;Z⟩-minimal models: for any Q-part, a model
         // with a=false exists (choose c or b true), so no minimal model has a.
         let na = parse_formula("!a", syms).unwrap();
-        assert!(holds_in_all_pz_minimal_models(&db, &part, &na, &mut cost));
+        assert!(holds_in_all_pz_minimal_models(&db, &part, &na, &mut cost).unwrap());
         // But ¬c does not (e.g. {c} is minimal).
         let nc = parse_formula("!c", syms).unwrap();
-        assert!(!holds_in_all_pz_minimal_models(&db, &part, &nc, &mut cost));
+        assert!(!holds_in_all_pz_minimal_models(&db, &part, &nc, &mut cost).unwrap());
     }
 
     #[test]
@@ -259,17 +271,23 @@ mod tests {
         let part = Partition::minimize_all(3);
         let f = parse_formula("b", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        let w = find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost).expect("witness");
+        let w = find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost)
+            .unwrap()
+            .expect("witness");
         assert!(f.eval(&w));
-        assert!(is_pz_minimal_model(&db, &w, &part, &mut cost));
+        assert!(is_pz_minimal_model(&db, &w, &part, &mut cost).unwrap());
         // No minimal model satisfies a ∧ c (minimal models are {b}, {a,c}...
         // wait: {a,c} is a model; is it minimal? {b} ⊄ {a,c}; {a} misses
         // b|c... {c} misses a|b; so yes {a,c} is minimal and satisfies a ∧ c.
         let g = parse_formula("a & c", db.symbols()).unwrap();
-        assert!(find_pz_minimal_model_satisfying(&db, &part, &g, &mut cost).is_some());
+        assert!(find_pz_minimal_model_satisfying(&db, &part, &g, &mut cost)
+            .unwrap()
+            .is_some());
         // But nothing satisfies a ∧ ¬a.
         let h = parse_formula("a & !a", db.symbols()).unwrap();
-        assert!(find_pz_minimal_model_satisfying(&db, &part, &h, &mut cost).is_none());
+        assert!(find_pz_minimal_model_satisfying(&db, &part, &h, &mut cost)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -278,13 +296,9 @@ mod tests {
         let part = Partition::minimize_all(2);
         let fa = parse_formula("a", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        assert!(exists_pz_minimal_model_satisfying(
-            &db, &part, &fa, &mut cost
-        ));
+        assert!(exists_pz_minimal_model_satisfying(&db, &part, &fa, &mut cost).unwrap());
         let fab = parse_formula("a & b", db.symbols()).unwrap();
-        assert!(!exists_pz_minimal_model_satisfying(
-            &db, &part, &fab, &mut cost
-        ));
+        assert!(!exists_pz_minimal_model_satisfying(&db, &part, &fab, &mut cost).unwrap());
     }
 
     #[test]
@@ -292,7 +306,16 @@ mod tests {
         let db = parse_program("a | b. c | d.").unwrap();
         let f = parse_formula("a & c", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        holds_in_all_minimal_models(&db, &f, &mut cost);
+        holds_in_all_minimal_models(&db, &f, &mut cost).unwrap();
         assert!(cost.candidates >= 1);
+    }
+
+    #[test]
+    fn fault_injection_interrupts_cegar() {
+        let db = parse_program("a | b. c | d.").unwrap();
+        let f = parse_formula("a & c", db.symbols()).unwrap();
+        let mut cost = Cost::new();
+        let _g = ddb_obs::Budget::unlimited().fail_after(0).install();
+        assert!(holds_in_all_minimal_models(&db, &f, &mut cost).is_err());
     }
 }

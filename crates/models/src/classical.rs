@@ -1,14 +1,19 @@
 //! Classical (NP/coNP-level) reasoning: satisfiability, model finding and
 //! entailment for disjunctive databases.
+//!
+//! Every function is budget-governed: a tripped [`ddb_obs::Budget`]
+//! surfaces as `Err(`[`Interrupted`](ddb_obs::Interrupted)`)` from the
+//! underlying oracle call and propagates out with `?`.
 
 use crate::Cost;
 use ddb_logic::cnf::{database_to_cnf, CnfBuilder};
 use ddb_logic::{Database, Formula, Interpretation, Literal};
+use ddb_obs::Governed;
 use ddb_sat::{enumerate_models, Solver};
 
 /// Finds some classical model of `DB` (one NP-oracle call), or `None` if
 /// the database is unsatisfiable.
-pub fn some_model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
+pub fn some_model(db: &Database, cost: &mut Cost) -> Governed<Option<Interpretation>> {
     some_model_with(db, &[], cost)
 }
 
@@ -18,22 +23,23 @@ pub fn some_model_with(
     db: &Database,
     extra: &[Literal],
     cost: &mut Cost,
-) -> Option<Interpretation> {
+) -> Governed<Option<Interpretation>> {
     let mut solver = Solver::from_cnf(&database_to_cnf(db));
     solver.ensure_vars(db.num_atoms());
-    let sat = solver.solve_with_assumptions(extra).is_sat();
+    let result = solver.solve_with_assumptions(extra);
     cost.absorb(&solver);
-    sat.then(|| project(&solver.model(), db.num_atoms()))
+    let sat = result?.is_sat();
+    Ok(sat.then(|| project(&solver.model(), db.num_atoms())))
 }
 
 /// Whether `DB` is classically satisfiable.
-pub fn is_satisfiable(db: &Database, cost: &mut Cost) -> bool {
-    some_model(db, cost).is_some()
+pub fn is_satisfiable(db: &Database, cost: &mut Cost) -> Governed<bool> {
+    Ok(some_model(db, cost)?.is_some())
 }
 
 /// Classical entailment `DB ∪ units ⊨ F`: one coNP check
 /// (`DB ∧ units ∧ ¬F` unsatisfiable).
-pub fn entails(db: &Database, units: &[Literal], f: &Formula, cost: &mut Cost) -> bool {
+pub fn entails(db: &Database, units: &[Literal], f: &Formula, cost: &mut Cost) -> Governed<bool> {
     let mut b = CnfBuilder::new(db.num_atoms());
     b.add_database(db);
     for &l in units {
@@ -41,26 +47,27 @@ pub fn entails(db: &Database, units: &[Literal], f: &Formula, cost: &mut Cost) -
     }
     b.assert_formula(&f.clone().negated());
     let mut solver = Solver::from_cnf(&b.finish());
-    let sat = solver.solve().is_sat();
+    let result = solver.solve();
     cost.absorb(&solver);
-    !sat
+    Ok(!result?.is_sat())
 }
 
 /// Enumerates every classical model of `DB` (exponentially many in the
 /// worst case — intended for reference computations and tests).
-pub fn all_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn all_models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
     ddb_obs::counter_add("models.classical.enumerations", 1);
     let cnf = database_to_cnf(db);
     let mut out = Vec::new();
     let mut calls = 0u64;
-    enumerate_models(&cnf, db.num_atoms(), |m| {
+    let result = enumerate_models(&cnf, db.num_atoms(), |m| {
         calls += 1;
         out.push(m.clone());
         true
     });
     cost.sat_calls += calls + 1; // final UNSAT call
+    result?;
     out.sort();
-    out
+    Ok(out)
 }
 
 pub(crate) fn project(m: &Interpretation, n: usize) -> Interpretation {
@@ -83,7 +90,7 @@ mod tests {
     fn some_model_of_disjunction() {
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        let m = some_model(&db, &mut cost).expect("satisfiable");
+        let m = some_model(&db, &mut cost).unwrap().expect("satisfiable");
         assert!(db.satisfied_by(&m));
         assert!(cost.sat_calls >= 1);
     }
@@ -92,7 +99,7 @@ mod tests {
     fn unsat_database() {
         let db = parse_program("a. :- a.").unwrap();
         let mut cost = Cost::new();
-        assert!(!is_satisfiable(&db, &mut cost));
+        assert!(!is_satisfiable(&db, &mut cost).unwrap());
     }
 
     #[test]
@@ -100,9 +107,9 @@ mod tests {
         let db = parse_program("a | b. :- a.").unwrap();
         let mut cost = Cost::new();
         let f = parse_formula("b", db.symbols()).unwrap();
-        assert!(entails(&db, &[], &f, &mut cost));
+        assert!(entails(&db, &[], &f, &mut cost).unwrap());
         let g = parse_formula("a", db.symbols()).unwrap();
-        assert!(!entails(&db, &[], &g, &mut cost));
+        assert!(!entails(&db, &[], &g, &mut cost).unwrap());
     }
 
     #[test]
@@ -112,15 +119,15 @@ mod tests {
         let (a, b) = (syms.lookup("a").unwrap(), syms.lookup("b").unwrap());
         let f = parse_formula("c", syms).unwrap();
         let mut cost = Cost::new();
-        assert!(!entails(&db, &[], &f, &mut cost));
-        assert!(entails(&db, &[a.pos(), b.pos()], &f, &mut cost));
+        assert!(!entails(&db, &[], &f, &mut cost).unwrap());
+        assert!(entails(&db, &[a.pos(), b.pos()], &f, &mut cost).unwrap());
     }
 
     #[test]
     fn all_models_of_small_db() {
         let db = parse_program("a | b. :- a, b.").unwrap();
         let mut cost = Cost::new();
-        let models = all_models(&db, &mut cost);
+        let models = all_models(&db, &mut cost).unwrap();
         assert_eq!(models.len(), 2); // {a}, {b}
         for m in &models {
             assert!(db.satisfied_by(m));
@@ -133,6 +140,16 @@ mod tests {
         let db = parse_program("a. :- a.").unwrap();
         let f = parse_formula("false", db.symbols()).unwrap();
         let mut cost = Cost::new();
-        assert!(entails(&db, &[], &f, &mut cost));
+        assert!(entails(&db, &[], &f, &mut cost).unwrap());
+    }
+
+    #[test]
+    fn oracle_budget_interrupts_model_search() {
+        let db = parse_program("a | b. b | c.").unwrap();
+        let mut cost = Cost::new();
+        let _g = ddb_obs::Budget::unlimited()
+            .with_max_oracle_calls(0)
+            .install();
+        assert!(some_model(&db, &mut cost).is_err());
     }
 }

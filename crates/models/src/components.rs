@@ -11,6 +11,7 @@
 
 use crate::{minimal, Cost};
 use ddb_logic::{Atom, Database, Interpretation, Rule, Symbols};
+use ddb_obs::Governed;
 
 /// Connected components of the co-occurrence graph (two atoms are
 /// adjacent when some rule mentions both). Atoms mentioned by no rule
@@ -90,9 +91,9 @@ fn has_empty_clause(db: &Database) -> bool {
 /// Counts the minimal models as a product over components (saturating at
 /// `u128::MAX`). Exponentially faster than enumerating `MM(DB)` when the
 /// database splits.
-pub fn count_minimal_models(db: &Database, cost: &mut Cost) -> u128 {
+pub fn count_minimal_models(db: &Database, cost: &mut Cost) -> Governed<u128> {
     if has_empty_clause(db) {
-        return 0;
+        return Ok(0);
     }
     let mut total: u128 = 1;
     for component in atom_components(db) {
@@ -100,21 +101,24 @@ pub fn count_minimal_models(db: &Database, cost: &mut Cost) -> u128 {
         if sub.is_empty() {
             continue; // isolated atoms: unique minimal assignment (all false)
         }
-        let count = minimal::minimal_models(&sub, cost).len() as u128;
+        let count = minimal::minimal_models(&sub, cost)?.len() as u128;
         if count == 0 {
-            return 0;
+            return Ok(0);
         }
         total = total.saturating_mul(count);
     }
-    total
+    Ok(total)
 }
 
 /// Enumerates `MM(DB)` by componentwise products — same output as
 /// [`crate::minimal::minimal_models`], assembled from per-component
 /// enumerations.
-pub fn minimal_models_componentwise(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn minimal_models_componentwise(
+    db: &Database,
+    cost: &mut Cost,
+) -> Governed<Vec<Interpretation>> {
     if has_empty_clause(db) {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let n = db.num_atoms();
     let mut product: Vec<Interpretation> = vec![Interpretation::empty(n)];
@@ -123,9 +127,9 @@ pub fn minimal_models_componentwise(db: &Database, cost: &mut Cost) -> Vec<Inter
         if sub.is_empty() {
             continue;
         }
-        let local = minimal::minimal_models(&sub, cost);
+        let local = minimal::minimal_models(&sub, cost)?;
         if local.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut next = Vec::with_capacity(product.len() * local.len());
         for base in &product {
@@ -140,7 +144,7 @@ pub fn minimal_models_componentwise(db: &Database, cost: &mut Cost) -> Vec<Inter
         product = next;
     }
     product.sort();
-    product
+    Ok(product)
 }
 
 #[cfg(test)]
@@ -172,14 +176,14 @@ mod tests {
         // Three disjoint disjunctions: 2 × 2 × 2 minimal models.
         let db = parse_program("a | b. c | d. e | f.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(count_minimal_models(&db, &mut cost), 8);
+        assert_eq!(count_minimal_models(&db, &mut cost).unwrap(), 8);
     }
 
     #[test]
     fn unsat_component_annihilates() {
         let db = parse_program("a | b. c. :- c.").unwrap();
         let mut cost = Cost::new();
-        assert_eq!(count_minimal_models(&db, &mut cost), 0);
+        assert_eq!(count_minimal_models(&db, &mut cost).unwrap(), 0);
     }
 
     #[test]
@@ -193,8 +197,8 @@ mod tests {
             let db = parse_program(src).unwrap();
             let mut cost = Cost::new();
             assert_eq!(
-                minimal_models_componentwise(&db, &mut cost),
-                minimal::minimal_models(&db, &mut cost),
+                minimal_models_componentwise(&db, &mut cost).unwrap(),
+                minimal::minimal_models(&db, &mut cost).unwrap(),
                 "{src}"
             );
         }
@@ -223,9 +227,9 @@ mod tests {
                 db.add_rule(Rule::new([a, b], [c], []));
             }
             let mut cost = Cost::new();
-            let direct = minimal::minimal_models(&db, &mut cost).len() as u128;
+            let direct = minimal::minimal_models(&db, &mut cost).unwrap().len() as u128;
             assert_eq!(
-                count_minimal_models(&db, &mut cost),
+                count_minimal_models(&db, &mut cost).unwrap(),
                 direct,
                 "round {round}"
             );
@@ -241,8 +245,10 @@ mod tests {
         db.add_rule(ddb_logic::Rule::fact([Atom::new(0), Atom::new(1)]));
         db.add_rule(ddb_logic::Rule::new([], [], []));
         let mut cost = Cost::new();
-        assert_eq!(count_minimal_models(&db, &mut cost), 0);
-        assert!(minimal_models_componentwise(&db, &mut cost).is_empty());
+        assert_eq!(count_minimal_models(&db, &mut cost).unwrap(), 0);
+        assert!(minimal_models_componentwise(&db, &mut cost)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -66,8 +66,8 @@ mod tests {
     fn absorb_and_merge() {
         let mut solver = Solver::new();
         solver.ensure_vars(1);
-        solver.solve();
-        solver.solve();
+        solver.solve().unwrap();
+        solver.solve().unwrap();
         let mut c = Cost::new();
         c.absorb(&solver);
         assert_eq!(c.sat_calls, 2);

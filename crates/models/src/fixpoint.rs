@@ -17,6 +17,7 @@
 //!   disjunctions with subsumption, kept as an executable specification.
 
 use ddb_logic::{Atom, Database, Interpretation};
+use ddb_obs::budget::{self, Governed};
 
 /// Computes the atoms occurring in `T_DB ↑ ω` in time `O(Σ rule sizes)`.
 ///
@@ -213,10 +214,11 @@ pub type Disjunction = Vec<Atom>;
 /// this is exactly what makes Chan's Example 3.1 tick, where the subsumed
 /// `c ∨ a ∨ b` keeps `c` occurring although the integrity clause makes `c`
 /// unsatisfiable). Worst-case exponential; enumeration stops and returns
-/// `None` if more than `cap` disjunctions would be kept. Used as an
-/// executable specification to validate [`active_atoms`], and by the DDR
-/// ablation bench.
-pub fn model_state(db: &Database, cap: usize) -> Option<Vec<Disjunction>> {
+/// `Ok(None)` if more than `cap` disjunctions would be kept, and `Err`
+/// when the installed [`ddb_obs::Budget`] trips — each kept disjunction
+/// is one governance checkpoint. Used as an executable specification to
+/// validate [`active_atoms`], and by the DDR ablation bench.
+pub fn model_state(db: &Database, cap: usize) -> Governed<Option<Vec<Disjunction>>> {
     assert!(
         !db.has_negation(),
         "the DDR fixpoint is defined for databases without negation"
@@ -279,10 +281,12 @@ pub fn model_state(db: &Database, cap: usize) -> Option<Vec<Disjunction>> {
             if state.contains(&d) {
                 continue;
             }
+            budget::checkpoint()
+                .map_err(|e| e.with_partial(format!("{} disjunction(s) derived", state.len())))?;
             state.push(d);
             new_any = true;
             if state.len() > cap {
-                return None;
+                return Ok(None);
             }
         }
         if !new_any {
@@ -290,7 +294,7 @@ pub fn model_state(db: &Database, cap: usize) -> Option<Vec<Disjunction>> {
         }
     }
     state.sort();
-    Some(state)
+    Ok(Some(state))
 }
 
 /// The atoms occurring in a model state.
@@ -355,7 +359,7 @@ mod tests {
         let db = parse_program("a | b. :- a, b. c :- a, b.").unwrap();
         let active = active_atoms(&db);
         assert_eq!(active, atoms(&db, &["a", "b", "c"]));
-        let state = model_state(&db, 100).unwrap();
+        let state = model_state(&db, 100).unwrap().unwrap();
         assert_eq!(atoms_of_state(&state, db.num_atoms()), active);
         let (a, b, c) = (
             db.symbols().lookup("a").unwrap(),
@@ -378,7 +382,7 @@ mod tests {
     fn model_state_resolution() {
         // a ∨ b. c :- a. — resolving gives c ∨ b.
         let db = parse_program("a | b. c :- a.").unwrap();
-        let state = model_state(&db, 100).unwrap();
+        let state = model_state(&db, 100).unwrap().unwrap();
         let a = db.symbols().lookup("a").unwrap();
         let b = db.symbols().lookup("b").unwrap();
         let c = db.symbols().lookup("c").unwrap();
@@ -393,7 +397,7 @@ mod tests {
         // a ∨ b and a are both derivable; occurrence semantics means both
         // stay in the state (b occurs, so DDR will not infer ¬b here).
         let db = parse_program("a | b. a.").unwrap();
-        let state = model_state(&db, 100).unwrap();
+        let state = model_state(&db, 100).unwrap().unwrap();
         let a = db.symbols().lookup("a").unwrap();
         let b = db.symbols().lookup("b").unwrap();
         assert!(state.contains(&vec![a]));
@@ -409,7 +413,7 @@ mod tests {
             "p | q | r. s :- p, q. t :- s, r. u :- v.",
         ] {
             let db = parse_program(src).unwrap();
-            let state = model_state(&db, 10_000).unwrap();
+            let state = model_state(&db, 10_000).unwrap().unwrap();
             assert_eq!(
                 atoms_of_state(&state, db.num_atoms()),
                 active_atoms(&db),
@@ -472,8 +476,8 @@ mod tests {
         // Chain of disjunctions that multiplies states.
         let db =
             parse_program("a0 | b0. a1 | b1. a2 | b2. c :- a0, a1, a2. d :- b0, b1, b2.").unwrap();
-        assert!(model_state(&db, 1).is_none());
-        assert!(model_state(&db, 10_000).is_some());
+        assert!(model_state(&db, 1).unwrap().is_none());
+        assert!(model_state(&db, 10_000).unwrap().is_some());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::classical::project;
 use crate::{Cost, Partition};
 use ddb_logic::cnf::database_to_cnf;
 use ddb_logic::{Database, Interpretation, Literal};
+use ddb_obs::{Governed, Interrupted};
 use ddb_sat::Solver;
 
 /// An incremental ⟨P;Z⟩-minimizer: one CDCL solver shared across shrink
@@ -54,7 +55,11 @@ impl Minimizer {
 
     /// One shrink step (one SAT call): a model strictly below `m`, or
     /// `None` if `m` is ⟨P;Z⟩-minimal.
-    pub fn shrink_step(&mut self, m: &Interpretation, cost: &mut Cost) -> Option<Interpretation> {
+    pub fn shrink_step(
+        &mut self,
+        m: &Interpretation,
+        cost: &mut Cost,
+    ) -> Governed<Option<Interpretation>> {
         let mut flip: Vec<Literal> = self
             .part
             .p()
@@ -63,7 +68,7 @@ impl Minimizer {
             .map(|a| a.neg())
             .collect();
         if flip.is_empty() {
-            return None;
+            return Ok(None);
         }
         let act = ddb_logic::Atom::new(self.next_activation);
         self.next_activation += 1;
@@ -82,24 +87,25 @@ impl Minimizer {
         }
         ddb_obs::counter_add("models.minimal.shrink_steps", 1);
         let before = self.solver.stats();
-        let sat = self.solver.solve_with_assumptions(&assumptions).is_sat();
+        let result = self.solver.solve_with_assumptions(&assumptions);
         let after = self.solver.stats();
         cost.peak_clauses = cost.peak_clauses.max(after.max_clauses);
         cost.sat_calls += after.solves - before.solves;
         cost.decisions += after.decisions - before.decisions;
         cost.conflicts += after.conflicts - before.conflicts;
         cost.propagations += after.propagations - before.propagations;
-        sat.then(|| project(&self.solver.model(), self.num_atoms))
+        let sat = result?.is_sat();
+        Ok(sat.then(|| project(&self.solver.model(), self.num_atoms)))
     }
 
     /// Minimizes `m` to a ⟨P;Z⟩-minimal model below it (shrink loop).
-    pub fn minimize(&mut self, m: &Interpretation, cost: &mut Cost) -> Interpretation {
+    pub fn minimize(&mut self, m: &Interpretation, cost: &mut Cost) -> Governed<Interpretation> {
         let mut current = m.clone();
-        while let Some(smaller) = self.shrink_step(&current, cost) {
+        while let Some(smaller) = self.shrink_step(&current, cost)? {
             debug_assert!(self.part.lt(&smaller, &current));
             current = smaller;
         }
-        current
+        Ok(current)
     }
 }
 
@@ -113,7 +119,7 @@ pub fn shrink_step(
     m: &Interpretation,
     part: &Partition,
     cost: &mut Cost,
-) -> Option<Interpretation> {
+) -> Governed<Option<Interpretation>> {
     debug_assert!(db.satisfied_by(m), "shrink_step requires a model");
     ddb_obs::counter_add("models.minimal.shrink_steps", 1);
     let n = db.num_atoms();
@@ -134,13 +140,13 @@ pub fn shrink_step(
     }
     if flip.is_empty() {
         // M ∩ P = ∅: nothing to shrink; M is trivially ⟨P;Z⟩-minimal.
-        return None;
+        return Ok(None);
     }
     solver.add_clause(&flip);
-    let sat = solver.solve().is_sat();
-    let result = sat.then(|| project(&solver.model(), n));
+    let solved = solver.solve();
     cost.absorb(&solver);
-    result
+    let sat = solved?.is_sat();
+    Ok(sat.then(|| project(&solver.model(), n)))
 }
 
 /// Whether `m` is a ⟨P;Z⟩-minimal model of `db` (model check + one oracle
@@ -150,13 +156,13 @@ pub fn is_pz_minimal_model(
     m: &Interpretation,
     part: &Partition,
     cost: &mut Cost,
-) -> bool {
+) -> Governed<bool> {
     ddb_obs::counter_add("models.minimal.checks", 1);
-    db.satisfied_by(m) && shrink_step(db, m, part, cost).is_none()
+    Ok(db.satisfied_by(m) && shrink_step(db, m, part, cost)?.is_none())
 }
 
 /// Whether `m` is a (subset-)minimal model of `db`.
-pub fn is_minimal_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> bool {
+pub fn is_minimal_model(db: &Database, m: &Interpretation, cost: &mut Cost) -> Governed<bool> {
     is_pz_minimal_model(db, m, &Partition::minimize_all(db.num_atoms()), cost)
 }
 
@@ -167,7 +173,7 @@ pub fn pz_minimize(
     m: &Interpretation,
     part: &Partition,
     cost: &mut Cost,
-) -> Interpretation {
+) -> Governed<Interpretation> {
     Minimizer::new(db, part.clone()).minimize(m, cost)
 }
 
@@ -179,23 +185,26 @@ pub fn pz_minimize_fresh(
     m: &Interpretation,
     part: &Partition,
     cost: &mut Cost,
-) -> Interpretation {
+) -> Governed<Interpretation> {
     let mut current = m.clone();
-    while let Some(smaller) = shrink_step(db, &current, part, cost) {
+    while let Some(smaller) = shrink_step(db, &current, part, cost)? {
         debug_assert!(part.lt(&smaller, &current), "shrink must strictly descend");
         current = smaller;
     }
-    current
+    Ok(current)
 }
 
 /// Minimizes a model to a subset-minimal model below it.
-pub fn minimize(db: &Database, m: &Interpretation, cost: &mut Cost) -> Interpretation {
+pub fn minimize(db: &Database, m: &Interpretation, cost: &mut Cost) -> Governed<Interpretation> {
     pz_minimize(db, m, &Partition::minimize_all(db.num_atoms()), cost)
 }
 
 /// Finds some minimal model of `db`, or `None` if unsatisfiable.
-pub fn some_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
-    crate::classical::some_model(db, cost).map(|m| minimize(db, &m, cost))
+pub fn some_minimal_model(db: &Database, cost: &mut Cost) -> Governed<Option<Interpretation>> {
+    match crate::classical::some_model(db, cost)? {
+        Some(m) => Ok(Some(minimize(db, &m, cost)?)),
+        None => Ok(None),
+    }
 }
 
 /// Enumerates all (subset-)minimal models `MM(DB)`, sorted.
@@ -205,9 +214,12 @@ pub fn some_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretati
 /// use ddb_models::{minimal, Cost};
 /// let db = parse_program("a | b. c :- a.").unwrap();
 /// let mut cost = Cost::new();
-/// let mm = minimal::minimal_models(&db, &mut cost);
+/// let mm = minimal::minimal_models(&db, &mut cost)?;
 /// assert_eq!(mm.len(), 2); // {a,c} and {b}
-/// assert!(mm.iter().all(|m| minimal::is_minimal_model(&db, m, &mut cost)));
+/// for m in &mm {
+///     assert!(minimal::is_minimal_model(&db, m, &mut cost)?);
+/// }
+/// # Ok::<(), ddb_obs::Interrupted>(())
 /// ```
 ///
 /// Candidate search and blocking happen in one incremental solver; each
@@ -217,19 +229,41 @@ pub fn some_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretati
 /// above a *new* minimal model survives blocking of the old ones.
 /// Minimization runs against `DB` alone (fresh solver) so blocking clauses
 /// cannot strand it at a non-minimal point.
-pub fn minimal_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn minimal_models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
+    let (out, interrupted) = minimal_models_partial(db, cost);
+    match interrupted {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Like [`minimal_models`], but an exhausted budget yields the models
+/// verified before the trip instead of discarding them. Every returned
+/// interpretation is a genuine minimal model — the enumerator only
+/// pushes fully minimized candidates — the set is just not known to be
+/// complete unless the second component is `None`.
+pub fn minimal_models_partial(
+    db: &Database,
+    cost: &mut Cost,
+) -> (Vec<Interpretation>, Option<Interrupted>) {
     let _span = ddb_obs::span("models.minimal.enumerate");
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);
     let mut out = Vec::new();
-    loop {
-        let sat = candidates.solve().is_sat();
+    let interrupted = loop {
+        let sat = match candidates.solve() {
+            Ok(r) => r.is_sat(),
+            Err(e) => break Some(e),
+        };
         if !sat {
-            break;
+            break None;
         }
         let candidate = project(&candidates.model(), n);
-        let minimal = minimize(db, &candidate, cost);
+        let minimal = match minimize(db, &candidate, cost) {
+            Ok(m) => m,
+            Err(e) => break Some(e),
+        };
         debug_assert!(
             !out.contains(&minimal),
             "enumeration must not repeat minimal models"
@@ -237,12 +271,14 @@ pub fn minimal_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
         let blocking: Vec<Literal> = minimal.iter().map(|a| a.neg()).collect();
         out.push(minimal);
         if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break; // the empty model is minimal (blocks everything above it)
+            break None; // the empty model is minimal (blocks everything above it)
         }
-    }
+    };
     cost.absorb(&candidates);
     out.sort();
-    out
+    let interrupted =
+        interrupted.map(|e| e.with_partial(format!("{} minimal model(s) found", out.len())));
+    (out, interrupted)
 }
 
 /// Enumerates all ⟨P;Z⟩-minimal models `MM(DB; P; Z)`, sorted.
@@ -252,62 +288,71 @@ pub fn minimal_models(db: &Database, cost: &mut Cost) -> Vec<Interpretation> {
 /// signature to all of its `Z`-completions that are models. Exponential in
 /// the worst case — the callers that only need *inference* use the CEGAR
 /// loop in [`crate::circumscribe`] instead.
-pub fn pz_minimal_models(db: &Database, part: &Partition, cost: &mut Cost) -> Vec<Interpretation> {
+pub fn pz_minimal_models(
+    db: &Database,
+    part: &Partition,
+    cost: &mut Cost,
+) -> Governed<Vec<Interpretation>> {
     let _span = ddb_obs::span("models.minimal.enumerate_pz");
     let n = db.num_atoms();
     let mut candidates = Solver::from_cnf(&database_to_cnf(db));
     candidates.ensure_vars(n);
     let mut out: Vec<Interpretation> = Vec::new();
-    loop {
-        let sat = candidates.solve().is_sat();
-        if !sat {
-            break;
-        }
-        let candidate = project(&candidates.model(), n);
-        let minimal = pz_minimize(db, &candidate, part, cost);
-        // Expand the signature to all Z-completions (each is ⟨P;Z⟩-minimal:
-        // minimality only constrains the P- and Q-parts).
-        let mut expander = Solver::from_cnf(&database_to_cnf(db));
-        expander.ensure_vars(n);
-        for a in part.p().iter().chain(part.q().iter()) {
-            expander.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
-        }
+    let mut run = || -> Governed<()> {
         loop {
-            let sat = expander.solve().is_sat();
-            if !sat {
-                break;
+            if !candidates.solve()?.is_sat() {
+                return Ok(());
             }
-            let model = project(&expander.model(), n);
-            let blocking: Vec<Literal> = part
-                .z()
-                .iter()
-                .map(|a| Literal::with_sign(a, !model.contains(a)))
-                .collect();
-            out.push(model);
-            if blocking.is_empty() || !expander.add_clause(&blocking) {
-                break;
+            let candidate = project(&candidates.model(), n);
+            let minimal = pz_minimize(db, &candidate, part, cost)?;
+            // Expand the signature to all Z-completions (each is
+            // ⟨P;Z⟩-minimal: minimality only constrains the P- and Q-parts).
+            let mut expander = Solver::from_cnf(&database_to_cnf(db));
+            expander.ensure_vars(n);
+            for a in part.p().iter().chain(part.q().iter()) {
+                expander.add_clause(&[Literal::with_sign(a, minimal.contains(a))]);
+            }
+            let expansion = loop {
+                match expander.solve() {
+                    Ok(r) if !r.is_sat() => break Ok(()),
+                    Ok(_) => {}
+                    Err(e) => break Err(e),
+                }
+                let model = project(&expander.model(), n);
+                let blocking: Vec<Literal> = part
+                    .z()
+                    .iter()
+                    .map(|a| Literal::with_sign(a, !model.contains(a)))
+                    .collect();
+                out.push(model);
+                if blocking.is_empty() || !expander.add_clause(&blocking) {
+                    break Ok(());
+                }
+            };
+            cost.absorb(&expander);
+            expansion?;
+            // Block the whole signature cone: no future candidate with the
+            // same Q-part may dominate this P-part.
+            let mut blocking: Vec<Literal> = Vec::new();
+            for a in part.q().iter() {
+                blocking.push(Literal::with_sign(a, !minimal.contains(a)));
+            }
+            for a in part.p().iter() {
+                if minimal.contains(a) {
+                    blocking.push(a.neg());
+                }
+            }
+            if blocking.is_empty() || !candidates.add_clause(&blocking) {
+                return Ok(());
             }
         }
-        cost.absorb(&expander);
-        // Block the whole signature cone: no future candidate with the same
-        // Q-part may dominate this P-part.
-        let mut blocking: Vec<Literal> = Vec::new();
-        for a in part.q().iter() {
-            blocking.push(Literal::with_sign(a, !minimal.contains(a)));
-        }
-        for a in part.p().iter() {
-            if minimal.contains(a) {
-                blocking.push(a.neg());
-            }
-        }
-        if blocking.is_empty() || !candidates.add_clause(&blocking) {
-            break;
-        }
-    }
+    };
+    let result = run();
     cost.absorb(&candidates);
+    result.map_err(|e| e.with_partial(format!("{} ⟨P;Z⟩-minimal model(s) found", out.len())))?;
     out.sort();
     out.dedup();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -324,7 +369,7 @@ mod tests {
     fn minimal_models_of_disjunction() {
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        let mm = minimal_models(&db, &mut cost);
+        let mm = minimal_models(&db, &mut cost).unwrap();
         assert_eq!(mm, vec![interp(2, &[0]), interp(2, &[1])]);
     }
 
@@ -334,8 +379,8 @@ mod tests {
         let mut cost = Cost::new();
         let full = interp(3, &[0, 1, 2]);
         assert!(db.satisfied_by(&full));
-        let m = minimize(&db, &full, &mut cost);
-        assert!(is_minimal_model(&db, &m, &mut cost));
+        let m = minimize(&db, &full, &mut cost).unwrap();
+        assert!(is_minimal_model(&db, &m, &mut cost).unwrap());
         assert!(m.is_subset(&full));
     }
 
@@ -343,16 +388,16 @@ mod tests {
     fn is_minimal_rejects_non_models_and_non_minimal() {
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        assert!(!is_minimal_model(&db, &interp(2, &[]), &mut cost)); // not a model
-        assert!(!is_minimal_model(&db, &interp(2, &[0, 1]), &mut cost)); // not minimal
-        assert!(is_minimal_model(&db, &interp(2, &[0]), &mut cost));
+        assert!(!is_minimal_model(&db, &interp(2, &[]), &mut cost).unwrap()); // not a model
+        assert!(!is_minimal_model(&db, &interp(2, &[0, 1]), &mut cost).unwrap()); // not minimal
+        assert!(is_minimal_model(&db, &interp(2, &[0]), &mut cost).unwrap());
     }
 
     #[test]
     fn empty_db_has_empty_minimal_model() {
         let db = parse_program("a :- b.").unwrap();
         let mut cost = Cost::new();
-        let mm = minimal_models(&db, &mut cost);
+        let mm = minimal_models(&db, &mut cost).unwrap();
         assert_eq!(mm, vec![interp(2, &[])]);
     }
 
@@ -360,8 +405,8 @@ mod tests {
     fn unsat_db_has_no_minimal_models() {
         let db = parse_program("a. :- a.").unwrap();
         let mut cost = Cost::new();
-        assert!(minimal_models(&db, &mut cost).is_empty());
-        assert!(some_minimal_model(&db, &mut cost).is_none());
+        assert!(minimal_models(&db, &mut cost).unwrap().is_empty());
+        assert!(some_minimal_model(&db, &mut cost).unwrap().is_none());
     }
 
     #[test]
@@ -369,7 +414,7 @@ mod tests {
         // a ∨ b, ← a: only {b} is minimal.
         let db = parse_program("a | b. :- a.").unwrap();
         let mut cost = Cost::new();
-        let mm = minimal_models(&db, &mut cost);
+        let mm = minimal_models(&db, &mut cost).unwrap();
         assert_eq!(mm, vec![interp(2, &[1])]);
     }
 
@@ -377,7 +422,7 @@ mod tests {
     fn facts_force_atoms() {
         let db = parse_program("a. b | c :- a.").unwrap();
         let mut cost = Cost::new();
-        let mm = minimal_models(&db, &mut cost);
+        let mm = minimal_models(&db, &mut cost).unwrap();
         assert_eq!(mm.len(), 2);
         for m in &mm {
             assert!(m.contains(Atom::new(0)));
@@ -393,16 +438,11 @@ mod tests {
         let part = Partition::from_p_q(3, [syms.lookup("a").unwrap()], [syms.lookup("b").unwrap()]);
         let mut cost = Cost::new();
         // {a} with Q-part ∅: {c} has same Q-part, smaller P-part → not minimal.
-        assert!(!is_pz_minimal_model(
-            &db,
-            &interp(3, &[0]),
-            &part,
-            &mut cost
-        ));
+        assert!(!is_pz_minimal_model(&db, &interp(3, &[0]), &part, &mut cost).unwrap());
         // {c}: P-part empty → minimal.
-        assert!(is_pz_minimal_model(&db, &interp(3, &[2]), &part, &mut cost));
+        assert!(is_pz_minimal_model(&db, &interp(3, &[2]), &part, &mut cost).unwrap());
         // {b}: P-part empty → minimal (Q fixed at {b}).
-        assert!(is_pz_minimal_model(&db, &interp(3, &[1]), &part, &mut cost));
+        assert!(is_pz_minimal_model(&db, &interp(3, &[1]), &part, &mut cost).unwrap());
     }
 
     #[test]
@@ -411,9 +451,9 @@ mod tests {
         let syms = db.symbols();
         let part = Partition::from_p_q(3, [syms.lookup("a").unwrap()], [syms.lookup("b").unwrap()]);
         let mut cost = Cost::new();
-        let got = pz_minimal_models(&db, &part, &mut cost);
+        let got = pz_minimal_models(&db, &part, &mut cost).unwrap();
         // Reference: filter all models by pairwise lt.
-        let all = crate::classical::all_models(&db, &mut cost);
+        let all = crate::classical::all_models(&db, &mut cost).unwrap();
         let expected: Vec<Interpretation> = all
             .iter()
             .filter(|m| !all.iter().any(|m2| part.lt(m2, m)))
@@ -436,9 +476,12 @@ mod tests {
             if !db.satisfied_by(&start) {
                 continue;
             }
-            let m = minimizer.minimize(&start, &mut cost);
+            let m = minimizer.minimize(&start, &mut cost).unwrap();
             assert!(m.is_subset(&start));
-            assert!(is_minimal_model(&db, &m, &mut cost), "from {start:?}");
+            assert!(
+                is_minimal_model(&db, &m, &mut cost).unwrap(),
+                "from {start:?}"
+            );
         }
         assert!(cost.sat_calls > 0);
     }
@@ -450,11 +493,13 @@ mod tests {
         let db = parse_program("a | b | c. d :- a. :- b, d.").unwrap();
         let part = Partition::minimize_all(db.num_atoms());
         let mut cost = Cost::new();
-        let start = crate::classical::some_model(&db, &mut cost).unwrap();
-        let inc = pz_minimize(&db, &start, &part, &mut cost);
-        let fresh = pz_minimize_fresh(&db, &start, &part, &mut cost);
-        assert!(is_pz_minimal_model(&db, &inc, &part, &mut cost));
-        assert!(is_pz_minimal_model(&db, &fresh, &part, &mut cost));
+        let start = crate::classical::some_model(&db, &mut cost)
+            .unwrap()
+            .unwrap();
+        let inc = pz_minimize(&db, &start, &part, &mut cost).unwrap();
+        let fresh = pz_minimize_fresh(&db, &start, &part, &mut cost).unwrap();
+        assert!(is_pz_minimal_model(&db, &inc, &part, &mut cost).unwrap());
+        assert!(is_pz_minimal_model(&db, &fresh, &part, &mut cost).unwrap());
         assert!(part.le(&inc, &start) && part.le(&fresh, &start));
     }
 
@@ -466,19 +511,19 @@ mod tests {
         let mut minimizer = Minimizer::new(&db, part.clone());
         let mut cost = Cost::new();
         let start = interp(3, &[0, 1]); // {a, b}
-        let m = minimizer.minimize(&start, &mut cost);
+        let m = minimizer.minimize(&start, &mut cost).unwrap();
         // Q-part ({b}) preserved; P-part shrunk to ∅ (c or b covers the
         // disjunction).
         assert!(m.contains(syms.lookup("b").unwrap()));
         assert!(!m.contains(syms.lookup("a").unwrap()));
-        assert!(is_pz_minimal_model(&db, &m, &part, &mut cost));
+        assert!(is_pz_minimal_model(&db, &m, &part, &mut cost).unwrap());
     }
 
     #[test]
     fn minimal_models_cost_accounted() {
         let db = parse_program("a | b.").unwrap();
         let mut cost = Cost::new();
-        minimal_models(&db, &mut cost);
+        minimal_models(&db, &mut cost).unwrap();
         assert!(cost.sat_calls > 0);
     }
 }

@@ -15,21 +15,25 @@
 //! minimal transversals can be — so a `cap` bounds the work.
 
 use ddb_logic::{Atom, Interpretation};
+use ddb_obs::budget::{self, Governed};
 
 /// Computes all minimal transversals of the hypergraph `edges` over a
 /// vocabulary of `num_atoms` atoms. Every edge must be non-empty (an
-/// empty edge admits no transversal — the function returns `None` in
-/// that case, matching "no transversal exists"). Returns `None` also if
-/// more than `cap` sets would be kept at any point.
+/// empty edge admits no transversal — the function returns `Ok(None)` in
+/// that case, matching "no transversal exists"). Returns `Ok(None)` also
+/// if more than `cap` sets would be kept at any point, and `Err` when the
+/// installed [`ddb_obs::Budget`] trips: each kept transversal is one
+/// governance checkpoint, so deadlines interrupt the (worst-case
+/// exponential) crossing even below the cap.
 ///
 /// Output sets are sorted and pairwise incomparable (an antichain).
 pub fn minimal_transversals(
     num_atoms: usize,
     edges: &[Interpretation],
     cap: usize,
-) -> Option<Vec<Interpretation>> {
+) -> Governed<Option<Vec<Interpretation>>> {
     if edges.iter().any(Interpretation::is_empty_set) {
-        return None;
+        return Ok(None);
     }
     // Start with the single empty transversal.
     let mut current: Vec<Interpretation> = vec![Interpretation::empty(num_atoms)];
@@ -47,12 +51,15 @@ pub fn minimal_transversals(
                 ext.insert(v);
                 // …kept only if not dominated by a surviving transversal.
                 if !next.iter().any(|s| s.is_subset(&ext)) {
+                    budget::checkpoint().map_err(|e| {
+                        e.with_partial(format!("{} transversal(s) kept", next.len()))
+                    })?;
                     // Extensions of different missing transversals can
                     // dominate each other; prune both directions.
                     next.retain(|s| !ext.is_subset(s));
                     next.push(ext);
                     if next.len() > cap {
-                        return None;
+                        return Ok(None);
                     }
                 }
             }
@@ -60,7 +67,7 @@ pub fn minimal_transversals(
         current = next;
     }
     current.sort();
-    Some(current)
+    Ok(Some(current))
 }
 
 /// Brute-force reference: all minimal hitting sets by subset enumeration
@@ -105,7 +112,7 @@ mod tests {
     #[test]
     fn single_edge() {
         let edges = vec![edge(3, &[0, 2])];
-        let t = minimal_transversals(3, &edges, 100).unwrap();
+        let t = minimal_transversals(3, &edges, 100).unwrap().unwrap();
         assert_eq!(t, vec![edge(3, &[0]), edge(3, &[2])]);
     }
 
@@ -113,7 +120,7 @@ mod tests {
     fn crossing_two_edges() {
         // Edges {0,1}, {2}: transversals {0,2}, {1,2}.
         let edges = vec![edge(3, &[0, 1]), edge(3, &[2])];
-        let t = minimal_transversals(3, &edges, 100).unwrap();
+        let t = minimal_transversals(3, &edges, 100).unwrap().unwrap();
         assert_eq!(t, vec![edge(3, &[0, 2]), edge(3, &[1, 2])]);
     }
 
@@ -121,7 +128,7 @@ mod tests {
     fn overlap_collapses() {
         // Edges {0,1}, {1,2}: minimal transversals {1}, {0,2}.
         let edges = vec![edge(3, &[0, 1]), edge(3, &[1, 2])];
-        let t = minimal_transversals(3, &edges, 100).unwrap();
+        let t = minimal_transversals(3, &edges, 100).unwrap().unwrap();
         // Sorted by bitset words: {1} (=0b010) before {0,2} (=0b101).
         assert_eq!(t, vec![edge(3, &[1]), edge(3, &[0, 2])]);
     }
@@ -129,12 +136,12 @@ mod tests {
     #[test]
     fn empty_edge_means_none() {
         let edges = vec![edge(2, &[0]), edge(2, &[])];
-        assert!(minimal_transversals(2, &edges, 100).is_none());
+        assert!(minimal_transversals(2, &edges, 100).unwrap().is_none());
     }
 
     #[test]
     fn no_edges_gives_empty_transversal() {
-        let t = minimal_transversals(3, &[], 100).unwrap();
+        let t = minimal_transversals(3, &[], 100).unwrap().unwrap();
         assert_eq!(t, vec![Interpretation::empty(3)]);
     }
 
@@ -142,8 +149,8 @@ mod tests {
     fn cap_triggers() {
         // n disjoint 2-edges → 2^n transversals.
         let edges: Vec<Interpretation> = (0..6).map(|i| edge(12, &[2 * i, 2 * i + 1])).collect();
-        assert!(minimal_transversals(12, &edges, 10).is_none());
-        let t = minimal_transversals(12, &edges, 100).unwrap();
+        assert!(minimal_transversals(12, &edges, 10).unwrap().is_none());
+        let t = minimal_transversals(12, &edges, 100).unwrap().unwrap();
         assert_eq!(t.len(), 64);
     }
 
@@ -170,7 +177,7 @@ mod tests {
                 })
                 .collect();
             assert_eq!(
-                minimal_transversals(n, &edges, 100_000),
+                minimal_transversals(n, &edges, 100_000).unwrap(),
                 minimal_transversals_brute(n, &edges),
                 "round {round}: {edges:?}"
             );

@@ -82,7 +82,7 @@ fn sat_models_match_brute() {
         let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
         assert_eq!(
-            classical::all_models(&db, &mut cost),
+            classical::all_models(&db, &mut cost).unwrap(),
             brute::models(&db),
             "case {case}"
         );
@@ -96,7 +96,7 @@ fn minimal_models_match_brute() {
         let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
         assert_eq!(
-            minimal::minimal_models(&db, &mut cost),
+            minimal::minimal_models(&db, &mut cost).unwrap(),
             brute::minimal_models(&db),
             "case {case}"
         );
@@ -111,7 +111,7 @@ fn pz_minimal_models_match_brute() {
         let part = random_partition(&mut rng);
         let mut cost = Cost::new();
         assert_eq!(
-            minimal::pz_minimal_models(&db, &part, &mut cost),
+            minimal::pz_minimal_models(&db, &part, &mut cost).unwrap(),
             brute::pz_minimal_models(&db, &part),
             "case {case}"
         );
@@ -124,8 +124,8 @@ fn minimize_lands_on_brute_minimal() {
     for case in 0..CASES {
         let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
-        if let Some(m) = classical::some_model(&db, &mut cost) {
-            let minimal = minimal::minimize(&db, &m, &mut cost);
+        if let Some(m) = classical::some_model(&db, &mut cost).unwrap() {
+            let minimal = minimal::minimize(&db, &m, &mut cost).unwrap();
             assert!(brute::minimal_models(&db).contains(&minimal), "case {case}");
             assert!(minimal.is_subset(&m), "case {case}");
         }
@@ -141,7 +141,7 @@ fn cegar_matches_brute() {
         let mut cost = Cost::new();
         let expected = brute::holds_in_all(&brute::minimal_models(&db), &f);
         assert_eq!(
-            circumscribe::holds_in_all_minimal_models(&db, &f, &mut cost),
+            circumscribe::holds_in_all_minimal_models(&db, &f, &mut cost).unwrap(),
             expected,
             "case {case}"
         );
@@ -158,7 +158,7 @@ fn cegar_pz_matches_brute() {
         let mut cost = Cost::new();
         let expected = brute::holds_in_all(&brute::pz_minimal_models(&db, &part), &f);
         assert_eq!(
-            circumscribe::holds_in_all_pz_minimal_models(&db, &part, &f, &mut cost),
+            circumscribe::holds_in_all_pz_minimal_models(&db, &part, &f, &mut cost).unwrap(),
             expected,
             "case {case}"
         );
@@ -173,7 +173,8 @@ fn cegar_witness_is_sound_and_complete() {
         let f = random_formula(&mut rng, 3);
         let part = random_partition(&mut rng);
         let mut cost = Cost::new();
-        let witness = circumscribe::find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost);
+        let witness =
+            circumscribe::find_pz_minimal_model_satisfying(&db, &part, &f, &mut cost).unwrap();
         let reference = brute::pz_minimal_models(&db, &part);
         match witness {
             Some(w) => {
@@ -192,7 +193,7 @@ fn active_atoms_match_explicit_fixpoint() {
         // Positive databases only (DDR's domain). Cap generously; the
         // random instances are tiny.
         let db = random_db(&mut rng, false, true);
-        if let Some(state) = fixpoint::model_state(&db, 50_000) {
+        if let Some(state) = fixpoint::model_state(&db, 50_000).unwrap() {
             assert_eq!(
                 fixpoint::atoms_of_state(&state, db.num_atoms()),
                 fixpoint::active_atoms(&db),
@@ -211,7 +212,7 @@ fn entailment_matches_brute() {
         let mut cost = Cost::new();
         let expected = brute::holds_in_all(&brute::models(&db), &f);
         assert_eq!(
-            classical::entails(&db, &[], &f, &mut cost),
+            classical::entails(&db, &[], &f, &mut cost).unwrap(),
             expected,
             "case {case}"
         );
@@ -224,14 +225,14 @@ fn componentwise_enumeration_matches_direct() {
     for case in 0..CASES {
         let db = random_db(&mut rng, true, true);
         let mut cost = Cost::new();
-        let direct = minimal::minimal_models(&db, &mut cost);
+        let direct = minimal::minimal_models(&db, &mut cost).unwrap();
         assert_eq!(
-            ddb_models::components::minimal_models_componentwise(&db, &mut cost),
+            ddb_models::components::minimal_models_componentwise(&db, &mut cost).unwrap(),
             direct.clone(),
             "case {case}"
         );
         assert_eq!(
-            ddb_models::components::count_minimal_models(&db, &mut cost),
+            ddb_models::components::count_minimal_models(&db, &mut cost).unwrap(),
             direct.len() as u128,
             "case {case}"
         );

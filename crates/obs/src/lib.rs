@@ -18,6 +18,10 @@
 //!   stream of every span transition and counter update, for traces.
 //! - **JSON** ([`json::Json`], [`json::parse`]) — a hand-rolled writer and
 //!   parser so traces and metrics serialize with no external crates.
+//! - **Budget** ([`budget::Budget`], [`budget::checkpoint`]) — resource
+//!   governance: deadlines, conflict/oracle/model caps, cooperative
+//!   cancellation, and deterministic fault injection, surfacing as typed
+//!   [`budget::Interrupted`] errors instead of hangs or panics.
 //!
 //! The taxonomy of counter and span names, and the mapping from observed
 //! oracle-call patterns back to the paper's complexity classes, is
@@ -36,11 +40,13 @@
 //! assert_eq!(spent.get("span.example.outer.calls"), 1);
 //! ```
 
+pub mod budget;
 pub mod counters;
 pub mod json;
 pub mod sink;
 pub mod span;
 
+pub use budget::{Budget, BudgetGuard, Consumed, Governed, Interrupted, Resource};
 pub use counters::{
     counter_add, counter_max, counter_value, reset_counters, snapshot, CounterSnapshot,
 };

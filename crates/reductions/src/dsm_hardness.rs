@@ -78,7 +78,7 @@ mod tests {
             let q = random_forall_exists(2, 2, 4, 2, seed).complement();
             let inst = exists_forall_to_dsm_existence(&q);
             let mut cost = Cost::new();
-            let has_stable = ddb_core::dsm::has_model(&inst.db, &mut cost);
+            let has_stable = ddb_core::dsm::has_model(&inst.db, &mut cost).unwrap();
             assert_eq!(has_stable, q.true_brute(), "seed {seed}: {q:?}");
         }
     }
@@ -93,7 +93,7 @@ mod tests {
         };
         let inst = exists_forall_to_dsm_existence(&yes);
         let mut cost = Cost::new();
-        assert!(ddb_core::dsm::has_model(&inst.db, &mut cost));
+        assert!(ddb_core::dsm::has_model(&inst.db, &mut cost).unwrap());
 
         // ∃x ∀y (y): false (y = 0 refutes every x).
         let no = ExistsForallDnf {
@@ -102,7 +102,7 @@ mod tests {
             terms: vec![vec![(1, true)]],
         };
         let inst = exists_forall_to_dsm_existence(&no);
-        assert!(!ddb_core::dsm::has_model(&inst.db, &mut cost));
+        assert!(!ddb_core::dsm::has_model(&inst.db, &mut cost).unwrap());
     }
 
     #[test]
@@ -114,7 +114,7 @@ mod tests {
         };
         let inst = exists_forall_to_dsm_existence(&q);
         let mut cost = Cost::new();
-        let models = ddb_core::dsm::models(&inst.db, &mut cost);
+        let models = ddb_core::dsm::models(&inst.db, &mut cost).unwrap();
         assert_eq!(models.len(), 1);
         let m = &models[0];
         assert!(m.contains(inst.w));

@@ -91,7 +91,8 @@ mod tests {
             let q = random_forall_exists(2, 2, 4, 2, seed);
             let inst = forall_exists_to_gcwa(&q);
             let mut cost = Cost::new();
-            let inferred = ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost);
+            let inferred =
+                ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap();
             assert_eq!(inferred, q.valid_brute(), "seed {seed}: {q:?}");
         }
     }
@@ -133,11 +134,7 @@ mod tests {
         };
         let inst = forall_exists_to_gcwa(&valid);
         let mut cost = Cost::new();
-        assert!(ddb_core::gcwa::infers_literal(
-            &inst.db,
-            inst.w.neg(),
-            &mut cost
-        ));
+        assert!(ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap());
 
         // ∀x∃y (x): invalid → some minimal model contains w.
         let invalid = ForallExistsCnf {
@@ -146,11 +143,7 @@ mod tests {
             clauses: vec![vec![(0, true)]],
         };
         let inst = forall_exists_to_gcwa(&invalid);
-        assert!(!ddb_core::gcwa::infers_literal(
-            &inst.db,
-            inst.w.neg(),
-            &mut cost
-        ));
+        assert!(!ddb_core::gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap());
     }
 
     use crate::qbf::ForallExistsCnf;

@@ -70,7 +70,10 @@ impl ForallExistsCnf {
             let assumptions: Vec<Literal> = (0..nx)
                 .map(|v| Literal::with_sign(Atom::new(v), x_bits >> v & 1 == 1))
                 .collect();
-            solver.solve_with_assumptions(&assumptions).is_sat()
+            solver
+                .solve_with_assumptions(&assumptions)
+                .expect("reference oracle runs unbudgeted")
+                .is_sat()
         })
     }
 

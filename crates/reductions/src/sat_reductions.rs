@@ -141,13 +141,13 @@ mod tests {
             assert!(!db.has_negation());
             let mut cost = Cost::new();
             assert_eq!(
-                classical::is_satisfiable(&db, &mut cost),
+                classical::is_satisfiable(&db, &mut cost).unwrap(),
                 brute_sat(4, &cnf),
                 "seed {seed}"
             );
             // EGCWA model existence coincides with satisfiability.
             assert_eq!(
-                ddb_core::egcwa::has_model(&db, &mut cost),
+                ddb_core::egcwa::has_model(&db, &mut cost).unwrap(),
                 brute_sat(4, &cnf),
                 "seed {seed}"
             );
@@ -170,12 +170,12 @@ mod tests {
             let unsat = !brute_sat(3, &cnf);
             let mut cost = Cost::new();
             assert_eq!(
-                ddb_core::ddr::infers_formula(&q.db, &q.query, &mut cost),
+                ddb_core::ddr::infers_formula(&q.db, &q.query, &mut cost).unwrap(),
                 unsat,
                 "DDR seed {seed}"
             );
             assert_eq!(
-                ddb_core::pws::infers_formula(&q.db, &q.query, &mut cost),
+                ddb_core::pws::infers_formula(&q.db, &q.query, &mut cost).unwrap(),
                 unsat,
                 "PWS seed {seed}"
             );

@@ -18,17 +18,18 @@
 
 use ddb_logic::{Database, Interpretation, Rule, Symbols};
 use ddb_models::{minimal, Cost};
+use ddb_obs::Governed;
 
 /// Decides UMINSAT for a database (clausal theory): does it have exactly
 /// one minimal model? Enumerates at most two minimal models.
-pub fn has_unique_minimal_model(db: &Database, cost: &mut Cost) -> bool {
+pub fn has_unique_minimal_model(db: &Database, cost: &mut Cost) -> Governed<bool> {
     // Reuse the enumeration machinery but stop after two.
     let mut count = 0usize;
-    let models = minimal::minimal_models(db, cost);
+    let models = minimal::minimal_models(db, cost)?;
     for _ in models.iter().take(2) {
         count += 1;
     }
-    count == 1
+    Ok(count == 1)
 }
 
 /// The UNSAT → UMINSAT reduction; returns the padded database `C′`.
@@ -61,13 +62,13 @@ pub fn unsat_to_uminsat(num_vars: u32, cnf: &[Vec<(u32, bool)>]) -> Database {
 }
 
 /// Convenience: the unique minimal model, when it exists.
-pub fn unique_minimal_model(db: &Database, cost: &mut Cost) -> Option<Interpretation> {
-    let models = minimal::minimal_models(db, cost);
-    if models.len() == 1 {
+pub fn unique_minimal_model(db: &Database, cost: &mut Cost) -> Governed<Option<Interpretation>> {
+    let models = minimal::minimal_models(db, cost)?;
+    Ok(if models.len() == 1 {
         models.into_iter().next()
     } else {
         None
-    }
+    })
 }
 
 #[cfg(test)]
@@ -110,7 +111,7 @@ mod tests {
             let db = unsat_to_uminsat(4, &cnf);
             let mut cost = Cost::new();
             assert_eq!(
-                has_unique_minimal_model(&db, &mut cost),
+                has_unique_minimal_model(&db, &mut cost).unwrap(),
                 !brute_sat(4, &cnf),
                 "seed {seed}"
             );
@@ -123,7 +124,9 @@ mod tests {
         let cnf = vec![vec![(0, true)], vec![(0, false)]];
         let db = unsat_to_uminsat(1, &cnf);
         let mut cost = Cost::new();
-        let unique = unique_minimal_model(&db, &mut cost).expect("unique");
+        let unique = unique_minimal_model(&db, &mut cost)
+            .unwrap()
+            .expect("unique");
         let t = db.symbols().lookup("t").unwrap();
         assert_eq!(unique, Interpretation::from_atoms(db.num_atoms(), [t]));
     }
@@ -134,8 +137,8 @@ mod tests {
         let cnf = vec![vec![(0, true)]];
         let db = unsat_to_uminsat(1, &cnf);
         let mut cost = Cost::new();
-        assert!(!has_unique_minimal_model(&db, &mut cost));
-        assert!(unique_minimal_model(&db, &mut cost).is_none());
+        assert!(!has_unique_minimal_model(&db, &mut cost).unwrap());
+        assert!(unique_minimal_model(&db, &mut cost).unwrap().is_none());
     }
 
     #[test]
@@ -144,12 +147,12 @@ mod tests {
         let mut cost = Cost::new();
         // Horn database: unique minimal model.
         let horn = parse_program("a. b :- a.").unwrap();
-        assert!(has_unique_minimal_model(&horn, &mut cost));
+        assert!(has_unique_minimal_model(&horn, &mut cost).unwrap());
         // Disjunction: two minimal models.
         let dis = parse_program("a | b.").unwrap();
-        assert!(!has_unique_minimal_model(&dis, &mut cost));
+        assert!(!has_unique_minimal_model(&dis, &mut cost).unwrap());
         // Unsatisfiable: zero minimal models — not unique.
         let bad = parse_program("a. :- a.").unwrap();
-        assert!(!has_unique_minimal_model(&bad, &mut cost));
+        assert!(!has_unique_minimal_model(&bad, &mut cost).unwrap());
     }
 }

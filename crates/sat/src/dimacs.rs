@@ -27,10 +27,17 @@ impl std::error::Error for DimacsError {}
 /// header, and clauses terminated by `0` (possibly spanning lines).
 /// Variables beyond the declared count grow the formula (with a warning
 /// dropped — lenient mode, like most solvers).
+///
+/// Malformed input is a typed [`DimacsError`] (with line number), never a
+/// panic — propagate it with `?` instead of unwrapping:
 /// ```
 /// use ddb_sat::{dimacs, Solver};
-/// let cnf = dimacs::parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
-/// assert!(Solver::from_cnf(&cnf).solve().is_sat());
+/// fn check(text: &str) -> Result<bool, Box<dyn std::error::Error>> {
+///     let cnf = dimacs::parse_dimacs(text)?; // DimacsError on bad input
+///     Ok(Solver::from_cnf(&cnf).solve()?.is_sat())
+/// }
+/// assert!(check("p cnf 2 2\n1 2 0\n-1 0\n").unwrap());
+/// assert!(check("p cnf 2 1\n1 q 0\n").is_err());
 /// ```
 pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
     let mut num_vars = 0usize;
@@ -133,7 +140,7 @@ mod tests {
     fn empty_clause() {
         let cnf = parse_dimacs("p cnf 1 1\n0\n").unwrap();
         assert_eq!(cnf.clauses, vec![Vec::new()]);
-        assert!(!dpll::is_sat(&cnf));
+        assert!(!dpll::is_sat(&cnf).unwrap());
     }
 
     #[test]
@@ -158,8 +165,8 @@ mod tests {
     fn solver_on_parsed_instance() {
         // A small unsatisfiable instance in DIMACS form.
         let cnf = parse_dimacs("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
-        assert!(!Solver::from_cnf(&cnf).solve().is_sat());
-        assert!(!dpll::is_sat(&cnf));
+        assert!(!Solver::from_cnf(&cnf).solve().unwrap().is_sat());
+        assert!(!dpll::is_sat(&cnf).unwrap());
     }
 
     #[test]

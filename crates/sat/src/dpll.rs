@@ -5,31 +5,41 @@
 //! exponentially slower than [`crate::Solver`] on hard instances, which is
 //! exactly why the benchmark suite keeps it around: the CDCL-vs-DPLL
 //! ablation of DESIGN.md measures what the oracle substrate buys.
+//!
+//! Like the CDCL solver, every call is governed by the thread's installed
+//! [`ddb_obs::Budget`]: each branching step is a checkpoint, and a tripped
+//! budget surfaces as `Err(`[`Interrupted`]`)` rather than a hang. The
+//! historical `expect`-on-`None` paths (the unit literal of a unit clause,
+//! the branch variable of an unsatisfied clause) now report
+//! invariant-violation interruptions instead of aborting the process.
 
 use ddb_logic::cnf::Cnf;
 use ddb_logic::{Atom, Interpretation, Literal};
+use ddb_obs::budget::{self, Governed, Interrupted};
 
-/// Decision procedure: is `cnf` satisfiable? Returns a model if so.
-pub fn solve(cnf: &Cnf) -> Option<Interpretation> {
+/// Decision procedure: is `cnf` satisfiable? Returns a model if so; `Err`
+/// when the installed budget trips mid-search.
+pub fn solve(cnf: &Cnf) -> Governed<Option<Interpretation>> {
     ddb_obs::counter_add("sat.dpll.solves", 1);
+    budget::charge_oracle_call()?;
     let mut assign: Vec<Option<bool>> = vec![None; cnf.num_vars];
     let clauses: Vec<Vec<Literal>> = cnf.clauses.clone();
-    if dpll(&clauses, &mut assign) {
+    if dpll(&clauses, &mut assign)? {
         let mut m = Interpretation::empty(cnf.num_vars);
         for (v, val) in assign.iter().enumerate() {
             if val.unwrap_or(false) {
                 m.insert(Atom::new(v as u32));
             }
         }
-        Some(m)
+        Ok(Some(m))
     } else {
-        None
+        Ok(None)
     }
 }
 
-/// Whether `cnf` is satisfiable.
-pub fn is_sat(cnf: &Cnf) -> bool {
-    solve(cnf).is_some()
+/// Whether `cnf` is satisfiable; `Err` when the installed budget trips.
+pub fn is_sat(cnf: &Cnf) -> Governed<bool> {
+    Ok(solve(cnf)?.is_some())
 }
 
 fn lit_value(assign: &[Option<bool>], l: Literal) -> Option<bool> {
@@ -43,7 +53,7 @@ enum Simp {
     Progress,
 }
 
-fn propagate_once(clauses: &[Vec<Literal>], assign: &mut [Option<bool>]) -> Simp {
+fn propagate_once(clauses: &[Vec<Literal>], assign: &mut [Option<bool>]) -> Governed<Simp> {
     let mut progress = false;
     for clause in clauses {
         let mut unassigned: Option<Literal> = None;
@@ -66,30 +76,34 @@ fn propagate_once(clauses: &[Vec<Literal>], assign: &mut [Option<bool>]) -> Simp
             continue;
         }
         match num_unassigned {
-            0 => return Simp::Conflict,
+            0 => return Ok(Simp::Conflict),
             1 => {
-                let l = unassigned.expect("unit literal");
+                let Some(l) = unassigned else {
+                    return Err(Interrupted::invariant("unit clause lost its unit literal"));
+                };
                 assign[l.atom().index()] = Some(l.is_positive());
                 progress = true;
             }
             _ => {}
         }
     }
-    if progress {
+    Ok(if progress {
         Simp::Progress
     } else {
         Simp::Fixpoint
-    }
+    })
 }
 
-fn dpll(clauses: &[Vec<Literal>], assign: &mut Vec<Option<bool>>) -> bool {
+fn dpll(clauses: &[Vec<Literal>], assign: &mut Vec<Option<bool>>) -> Governed<bool> {
+    // Every node of the search tree is one governance checkpoint.
+    budget::checkpoint()?;
     // Unit propagation to fixpoint.
     let snapshot = assign.clone();
     loop {
-        match propagate_once(clauses, assign) {
+        match propagate_once(clauses, assign)? {
             Simp::Conflict => {
                 *assign = snapshot;
-                return false;
+                return Ok(false);
             }
             Simp::Progress => continue,
             Simp::Fixpoint => break,
@@ -145,24 +159,34 @@ fn dpll(clauses: &[Vec<Literal>], assign: &mut Vec<Option<bool>>) -> bool {
                 None => {
                     // Unsatisfied clause with no unassigned literal: conflict.
                     *assign = snapshot;
-                    return false;
+                    return Ok(false);
                 }
             }
         }
     }
     if all_satisfied {
-        return true;
+        return Ok(true);
     }
-    let a = branch.expect("unsatisfied clause provides a branch variable");
+    let Some(a) = branch else {
+        *assign = snapshot;
+        return Err(Interrupted::invariant(
+            "unsatisfied clause provides no branch variable",
+        ));
+    };
     for value in [false, true] {
         assign[a.index()] = Some(value);
-        if dpll(clauses, assign) {
-            return true;
+        match dpll(clauses, assign) {
+            Ok(true) => return Ok(true),
+            Ok(false) => {}
+            Err(e) => {
+                *assign = snapshot;
+                return Err(e);
+            }
         }
         assign[a.index()] = None;
     }
     *assign = snapshot;
-    false
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -185,26 +209,26 @@ mod tests {
     #[test]
     fn simple_sat() {
         let f = cnf(2, &[&[lit(0, true), lit(1, true)], &[lit(0, false)]]);
-        let m = solve(&f).expect("sat");
+        let m = solve(&f).unwrap().expect("sat");
         assert!(f.satisfied_by(&m));
     }
 
     #[test]
     fn simple_unsat() {
         let f = cnf(1, &[&[lit(0, true)], &[lit(0, false)]]);
-        assert!(solve(&f).is_none());
+        assert!(solve(&f).unwrap().is_none());
     }
 
     #[test]
     fn empty_formula_sat() {
         let f = cnf(3, &[]);
-        assert!(is_sat(&f));
+        assert!(is_sat(&f).unwrap());
     }
 
     #[test]
     fn empty_clause_unsat() {
         let f = cnf(1, &[&[]]);
-        assert!(!is_sat(&f));
+        assert!(!is_sat(&f).unwrap());
     }
 
     #[test]
@@ -221,7 +245,7 @@ mod tests {
                 }
             }
         }
-        assert!(!is_sat(&b.finish()));
+        assert!(!is_sat(&b.finish()).unwrap());
     }
 
     #[test]
@@ -235,7 +259,35 @@ mod tests {
                 &[lit(0, true), lit(2, false)],
             ],
         );
-        let m = solve(&f).expect("sat");
+        let m = solve(&f).unwrap().expect("sat");
         assert!(f.satisfied_by(&m));
+    }
+
+    #[test]
+    fn interruption_leaves_no_panic() {
+        // A pigeonhole instance takes several branch checkpoints; tripping
+        // at each index must return Err, never panic or a wrong answer.
+        let mut b = CnfBuilder::new(6);
+        for i in 0..3u32 {
+            b.add_clause(vec![lit(i * 2, true), lit(i * 2 + 1, true)]);
+        }
+        for j in 0..2u32 {
+            for i1 in 0..3u32 {
+                for i2 in (i1 + 1)..3u32 {
+                    b.add_clause(vec![lit(i1 * 2 + j, false), lit(i2 * 2 + j, false)]);
+                }
+            }
+        }
+        let f = b.finish();
+        let total = {
+            let _g = ddb_obs::Budget::unlimited().install();
+            is_sat(&f).unwrap();
+            ddb_obs::budget::consumed().unwrap().checkpoints
+        };
+        assert!(total > 2);
+        for k in 0..total {
+            let _g = ddb_obs::Budget::unlimited().fail_after(k).install();
+            assert!(is_sat(&f).is_err(), "fail_after({k}) must interrupt");
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! Model enumeration with projection.
 
-use crate::{SolveResult, Solver};
+use crate::Solver;
 use ddb_logic::cnf::Cnf;
 use ddb_logic::{Atom, Interpretation, Literal};
+use ddb_obs::budget::{self, Governed};
 
 /// Enumerates the satisfying assignments of `cnf`, projected onto the first
 /// `project_to` variables (the database atoms; Tseitin auxiliaries are
@@ -15,19 +16,22 @@ use ddb_logic::{Atom, Interpretation, Literal};
 ///
 /// Worst case the number of models is exponential — callers are the
 /// Σᵖ₂/Πᵖ₂ procedures of `ddb-models`, which either bound enumeration or
-/// accept the cost knowingly (that *is* the complexity result).
+/// accept the cost knowingly (that *is* the complexity result). The
+/// installed [`ddb_obs::Budget`] (if any) is charged one model per
+/// projection reported, so `max_models`/deadline budgets interrupt
+/// runaway enumerations with a typed error instead of a hang.
 pub fn enumerate_models(
     cnf: &Cnf,
     project_to: usize,
     mut on_model: impl FnMut(&Interpretation) -> bool,
-) -> usize {
+) -> Governed<usize> {
     assert!(project_to <= cnf.num_vars);
     let mut solver = Solver::from_cnf(cnf);
     // Important: make sure the projection variables all exist even if the
     // CNF never mentions some of them.
     solver.ensure_vars(cnf.num_vars.max(project_to));
     let mut count = 0usize;
-    while let SolveResult::Sat = solver.solve() {
+    while solver.solve()?.is_sat() {
         let full = solver.model();
         let mut projected = Interpretation::empty(project_to);
         for v in 0..project_to {
@@ -37,6 +41,7 @@ pub fn enumerate_models(
         }
         count += 1;
         ddb_obs::counter_add("sat.enumerated_models", 1);
+        budget::charge_model().map_err(|e| e.with_partial(format!("{count} model(s) found")))?;
         if !on_model(&projected) {
             break;
         }
@@ -51,20 +56,20 @@ pub fn enumerate_models(
             break; // no projected vars, or blocking made the instance unsat
         }
     }
-    count
+    Ok(count)
 }
 
 /// Collects all projected models into a vector (convenience for tests and
 /// small-instance reference computations).
 /// (kept public for reference engines and benches)
-pub fn all_models(cnf: &Cnf, project_to: usize) -> Vec<Interpretation> {
+pub fn all_models(cnf: &Cnf, project_to: usize) -> Governed<Vec<Interpretation>> {
     let mut out = Vec::new();
     enumerate_models(cnf, project_to, |m| {
         out.push(m.clone());
         true
-    });
+    })?;
     out.sort();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -81,7 +86,7 @@ mod tests {
         // a ∨ b over 2 vars: 3 models.
         let mut b = CnfBuilder::new(2);
         b.add_clause(vec![lit(0, true), lit(1, true)]);
-        let models = all_models(&b.finish(), 2);
+        let models = all_models(&b.finish(), 2).unwrap();
         assert_eq!(models.len(), 3);
     }
 
@@ -91,7 +96,7 @@ mod tests {
         let mut b = CnfBuilder::new(3);
         b.add_clause(vec![lit(0, true), lit(1, true)]);
         b.add_clause(vec![lit(2, true), lit(2, false)]); // mention var 2
-        let models = all_models(&b.finish(), 2);
+        let models = all_models(&b.finish(), 2).unwrap();
         assert_eq!(models.len(), 3);
     }
 
@@ -103,7 +108,8 @@ mod tests {
         let count = enumerate_models(&b.finish(), 3, |_| {
             seen += 1;
             seen < 2
-        });
+        })
+        .unwrap();
         assert_eq!(count, 2);
     }
 
@@ -112,7 +118,7 @@ mod tests {
         let mut b = CnfBuilder::new(1);
         b.add_clause(vec![lit(0, true)]);
         b.add_clause(vec![lit(0, false)]);
-        assert_eq!(all_models(&b.finish(), 1).len(), 0);
+        assert_eq!(all_models(&b.finish(), 1).unwrap().len(), 0);
     }
 
     #[test]
@@ -121,7 +127,7 @@ mod tests {
         // (empty) projection.
         let mut b = CnfBuilder::new(1);
         b.add_clause(vec![lit(0, true)]);
-        let n = enumerate_models(&b.finish(), 0, |_| true);
+        let n = enumerate_models(&b.finish(), 0, |_| true).unwrap();
         assert_eq!(n, 1);
     }
 
@@ -131,7 +137,7 @@ mod tests {
         // variable doubles the projections.
         let mut b = CnfBuilder::new(2);
         b.add_clause(vec![lit(0, true)]);
-        let models = all_models(&b.finish(), 2);
+        let models = all_models(&b.finish(), 2).unwrap();
         assert_eq!(models.len(), 2);
     }
 }

@@ -12,6 +12,7 @@
 use crate::heap::VarHeap;
 use ddb_logic::cnf::Cnf;
 use ddb_logic::{Atom, Interpretation, Literal};
+use ddb_obs::budget::{self, Governed, Interrupted};
 
 /// Outcome of a `solve` call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -106,9 +107,17 @@ const RESTART_BASE: u64 = 100;
 /// solver.ensure_vars(2);
 /// solver.add_clause(&[a.pos(), b.pos()]);
 /// solver.add_clause(&[a.neg()]);
-/// assert!(solver.solve().is_sat());
+/// assert!(solver.solve()?.is_sat());
 /// assert!(solver.model().contains(b));
+/// # Ok::<(), ddb_obs::Interrupted>(())
 /// ```
+///
+/// Every `solve` call is governed by the thread's installed
+/// [`ddb_obs::Budget`] (if any): the conflict loop charges the budget and
+/// the call returns `Err(`[`Interrupted`]`)` when a deadline, conflict
+/// cap, or cancel flag trips. The solver backtracks to the root level on
+/// that path, so it stays reusable — re-solve after lifting the budget
+/// and the answer is unaffected.
 #[derive(Clone, Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -458,8 +467,11 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Literal>, usize) {
+    /// literal first) and the backtrack level. A malformed implication
+    /// graph (impossible from correct inputs) surfaces as an
+    /// [`Interrupted`] invariant error instead of a panic, with the
+    /// analysis bookkeeping cleaned up so the solver can be reset.
+    fn analyze(&mut self, mut confl: u32) -> Governed<(Vec<Literal>, usize)> {
         let mut learnt: Vec<Literal> = Vec::new();
         let mut counter = 0usize;
         let mut p: Option<Literal> = None;
@@ -487,24 +499,46 @@ impl Solver {
                 }
             }
             // Select next trail literal to expand.
-            loop {
+            let bail = |this: &mut Self, what: &str| {
+                for &v in &to_clear {
+                    this.seen[v] = false;
+                }
+                Interrupted::invariant(what)
+            };
+            let lit = loop {
+                if index == 0 {
+                    return Err(bail(self, "conflict analysis ran off the trail"));
+                }
                 index -= 1;
                 if self.seen[self.trail[index].atom().index()] {
-                    break;
+                    break self.trail[index];
                 }
-            }
-            let lit = self.trail[index];
+            };
             let v = lit.atom().index();
             self.seen[v] = false;
+            if counter == 0 {
+                return Err(bail(self, "conflict analysis lost its literal count"));
+            }
             counter -= 1;
             if counter == 0 {
                 p = Some(lit);
                 break;
             }
-            confl = self.reason[v].expect("non-decision literal must have a reason");
+            confl = match self.reason[v] {
+                Some(r) => r,
+                None => return Err(bail(self, "non-decision literal lacks a reason")),
+            };
             p = Some(lit);
         }
-        let uip = p.expect("conflict analysis found the UIP").complement();
+        let uip = match p {
+            Some(l) => l.complement(),
+            None => {
+                for v in to_clear {
+                    self.seen[v] = false;
+                }
+                return Err(Interrupted::invariant("conflict analysis found no UIP"));
+            }
+        };
         learnt.insert(0, uip);
 
         // Self-subsumption minimization (MiniSat's "basic" mode): a
@@ -549,7 +583,23 @@ impl Solver {
         for v in to_clear {
             self.seen[v] = false;
         }
-        (learnt, blevel)
+        Ok((learnt, blevel))
+    }
+
+    /// Backtracks all search state to the root level, discarding any
+    /// partial assignment (learnt clauses and level-0 facts are kept).
+    /// This runs automatically when a solve is interrupted by the budget
+    /// layer; it is public so callers can re-establish (and tests can
+    /// verify) the quiescent state explicitly.
+    pub fn reset_search(&mut self) {
+        self.cancel_until(0);
+    }
+
+    /// True when no decision is outstanding — the state in which clauses
+    /// may be added and a fresh `solve` started. Holds after any
+    /// completed or interrupted `solve` call.
+    pub fn is_quiescent(&self) -> bool {
+        self.decision_level() == 0
     }
 
     fn cancel_until(&mut self, level: usize) {
@@ -614,8 +664,10 @@ impl Solver {
         1u64 << seq
     }
 
-    /// Solves without assumptions.
-    pub fn solve(&mut self) -> SolveResult {
+    /// Solves without assumptions. `Err` means the installed
+    /// [`ddb_obs::Budget`] (if any) tripped before an answer was found;
+    /// the solver is backtracked to the root level and stays reusable.
+    pub fn solve(&mut self) -> Governed<SolveResult> {
         self.solve_with_assumptions(&[])
     }
 
@@ -623,14 +675,24 @@ impl Solver {
     /// SAT) satisfies all clauses and all assumptions. The solver remains
     /// usable afterwards: learnt clauses persist, assumptions do not.
     ///
+    /// Each call charges one oracle call (and each conflict one conflict)
+    /// against the thread's installed [`ddb_obs::Budget`]; a tripped
+    /// budget surfaces as `Err(`[`Interrupted`]`)` with the solver
+    /// restored to its quiescent root state.
+    ///
     /// Each call increments `stats().solves` by exactly one and reports the
     /// per-call deltas (`sat.solves`, `sat.decisions`, `sat.propagations`,
     /// `sat.conflicts`) and the clause high-water mark (`sat.clauses.peak`)
     /// to the `ddb-obs` counter registry.
-    pub fn solve_with_assumptions(&mut self, assumptions: &[Literal]) -> SolveResult {
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Literal]) -> Governed<SolveResult> {
         self.stats.solves += 1;
         let before = self.stats;
         let result = self.solve_with_assumptions_inner(assumptions);
+        if result.is_err() {
+            // Interrupted mid-search: backtrack to the root so learnt
+            // clauses survive but no partial assignment leaks out.
+            self.cancel_until(0);
+        }
         self.stats.max_clauses = self.stats.max_clauses.max(self.clauses.len() as u64);
         ddb_obs::counter_add("sat.solves", 1);
         ddb_obs::counter_add("sat.decisions", self.stats.decisions - before.decisions);
@@ -643,9 +705,10 @@ impl Solver {
         result
     }
 
-    fn solve_with_assumptions_inner(&mut self, assumptions: &[Literal]) -> SolveResult {
+    fn solve_with_assumptions_inner(&mut self, assumptions: &[Literal]) -> Governed<SolveResult> {
+        budget::charge_oracle_call()?;
         if self.unsat {
-            return SolveResult::Unsat;
+            return Ok(SolveResult::Unsat);
         }
         for l in assumptions {
             self.ensure_vars(l.atom().index() + 1);
@@ -653,7 +716,7 @@ impl Solver {
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.unsat = true;
-            return SolveResult::Unsat;
+            return Ok(SolveResult::Unsat);
         }
 
         self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
@@ -664,11 +727,12 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                budget::charge_conflict()?;
                 if self.decision_level() == 0 {
                     self.unsat = true;
-                    return SolveResult::Unsat;
+                    return Ok(SolveResult::Unsat);
                 }
-                let (learnt, blevel) = self.analyze(confl);
+                let (learnt, blevel) = self.analyze(confl)?;
                 self.cancel_until(blevel);
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], None);
@@ -684,7 +748,9 @@ impl Solver {
                 self.cla_inc /= CLA_DECAY;
                 self.stats.learnts = self.num_learnts as u64;
             } else {
-                // No conflict.
+                // No conflict. A decision (or restart) is about to happen:
+                // cheap governance checkpoint for conflict-free search.
+                budget::checkpoint()?;
                 if conflicts_since_restart >= restart_budget {
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
@@ -718,7 +784,7 @@ impl Solver {
                 }
                 if assumption_conflict {
                     self.cancel_until(0);
-                    return SolveResult::Unsat;
+                    return Ok(SolveResult::Unsat);
                 }
                 let decision = match next {
                     Some(p) => Some(p),
@@ -737,7 +803,7 @@ impl Solver {
                 match decision {
                     None => {
                         // All variables assigned: SAT.
-                        return SolveResult::Sat;
+                        return Ok(SolveResult::Sat);
                     }
                     Some(p) => {
                         self.stats.decisions += 1;
@@ -788,7 +854,7 @@ mod tests {
         s.ensure_vars(2);
         assert!(s.add_clause(&[lit(0, true), lit(1, true)]));
         assert!(s.add_clause(&[lit(0, false)]));
-        assert!(s.solve().is_sat());
+        assert!(s.solve().unwrap().is_sat());
         let m = s.model();
         assert!(!m.contains(Atom::new(0)));
         assert!(m.contains(Atom::new(1)));
@@ -798,7 +864,7 @@ mod tests {
     fn empty_clause_unsat() {
         let mut s = Solver::new();
         assert!(!s.add_clause(&[]));
-        assert!(!s.solve().is_sat());
+        assert!(!s.solve().unwrap().is_sat());
     }
 
     #[test]
@@ -807,7 +873,7 @@ mod tests {
         s.ensure_vars(1);
         s.add_clause(&[lit(0, true)]);
         assert!(!s.add_clause(&[lit(0, false)]));
-        assert!(!s.solve().is_sat());
+        assert!(!s.solve().unwrap().is_sat());
     }
 
     #[test]
@@ -815,7 +881,7 @@ mod tests {
         let mut s = Solver::new();
         s.ensure_vars(1);
         assert!(s.add_clause(&[lit(0, true), lit(0, false)]));
-        assert!(s.solve().is_sat());
+        assert!(s.solve().unwrap().is_sat());
     }
 
     #[test]
@@ -833,7 +899,7 @@ mod tests {
                 }
             }
         }
-        assert!(!s.solve().is_sat());
+        assert!(!s.solve().unwrap().is_sat());
     }
 
     #[test]
@@ -843,15 +909,16 @@ mod tests {
         s.ensure_vars(3);
         s.add_clause(&[lit(0, true), lit(1, true)]);
         s.add_clause(&[lit(0, false), lit(2, true)]);
-        assert!(s.solve_with_assumptions(&[lit(0, true)]).is_sat());
+        assert!(s.solve_with_assumptions(&[lit(0, true)]).unwrap().is_sat());
         assert!(s.model().contains(Atom::new(2)));
         assert!(s
             .solve_with_assumptions(&[lit(0, true), lit(2, false)])
+            .unwrap()
             .is_sat()
             .eq(&false));
         // Solver still usable, and unaffected by past assumptions.
-        assert!(s.solve().is_sat());
-        assert!(s.solve_with_assumptions(&[lit(1, true)]).is_sat());
+        assert!(s.solve().unwrap().is_sat());
+        assert!(s.solve_with_assumptions(&[lit(1, true)]).unwrap().is_sat());
     }
 
     #[test]
@@ -860,8 +927,9 @@ mod tests {
         s.ensure_vars(1);
         assert!(!s
             .solve_with_assumptions(&[lit(0, true), lit(0, false)])
+            .unwrap()
             .is_sat());
-        assert!(s.solve().is_sat());
+        assert!(s.solve().unwrap().is_sat());
     }
 
     #[test]
@@ -874,12 +942,15 @@ mod tests {
         for i in 0..n - 1 {
             s.add_clause(&[lit(i, false), lit(i + 1, true)]);
         }
-        assert!(s.solve().is_sat());
+        assert!(s.solve().unwrap().is_sat());
         let m = s.model();
         for i in 0..n {
             assert!(m.contains(Atom::new(i)));
         }
-        assert!(!s.solve_with_assumptions(&[lit(n - 1, false)]).is_sat());
+        assert!(!s
+            .solve_with_assumptions(&[lit(n - 1, false)])
+            .unwrap()
+            .is_sat());
     }
 
     #[test]
@@ -895,12 +966,12 @@ mod tests {
         let mut s = Solver::new();
         s.ensure_vars(2);
         s.add_clause(&[lit(0, true), lit(1, true)]);
-        assert!(s.solve().is_sat());
+        assert!(s.solve().unwrap().is_sat());
         s.add_clause(&[lit(0, false)]);
-        assert!(s.solve().is_sat());
+        assert!(s.solve().unwrap().is_sat());
         assert!(s.model().contains(Atom::new(1)));
         s.add_clause(&[lit(1, false)]);
-        assert!(!s.solve().is_sat());
+        assert!(!s.solve().unwrap().is_sat());
     }
 
     #[test]
@@ -908,8 +979,8 @@ mod tests {
         let mut s = Solver::new();
         s.ensure_vars(2);
         s.add_clause(&[lit(0, true), lit(1, true)]);
-        s.solve();
-        s.solve();
+        s.solve().unwrap();
+        s.solve().unwrap();
         assert_eq!(s.stats().solves, 2);
     }
 }

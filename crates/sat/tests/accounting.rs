@@ -28,14 +28,14 @@ fn solves_increments_exactly_once_per_call() {
     let mut s = chain_solver(6);
     assert_eq!(s.stats().solves, 0);
     for expected in 1..=5u64 {
-        s.solve();
+        s.solve().unwrap();
         assert_eq!(s.stats().solves, expected);
     }
     // Assumption-based calls count identically — including ones that
     // return early through the conflicting-assumptions path.
-    s.solve_with_assumptions(&[lit(3, true)]);
+    s.solve_with_assumptions(&[lit(3, true)]).unwrap();
     assert_eq!(s.stats().solves, 6);
-    s.solve_with_assumptions(&[lit(0, false)]); // contradicts the unit fact
+    s.solve_with_assumptions(&[lit(0, false)]).unwrap(); // contradicts the unit fact
     assert_eq!(s.stats().solves, 7);
 }
 
@@ -45,8 +45,8 @@ fn solves_counts_calls_on_unsat_instances_too() {
     b.add_clause(vec![lit(0, true)]);
     b.add_clause(vec![lit(0, false)]);
     let mut s = Solver::from_cnf(&b.finish());
-    assert_eq!(s.solve(), SolveResult::Unsat);
-    assert_eq!(s.solve(), SolveResult::Unsat); // early-return path
+    assert_eq!(s.solve().unwrap(), SolveResult::Unsat);
+    assert_eq!(s.solve().unwrap(), SolveResult::Unsat); // early-return path
     assert_eq!(s.stats().solves, 2);
 }
 
@@ -63,7 +63,7 @@ fn propagations_at_least_decisions_on_sat_instances() {
             b.add_clause(c);
         }
         let mut s = Solver::from_cnf(&b.finish());
-        if s.solve().is_sat() {
+        if s.solve().unwrap().is_sat() {
             sat_seen += 1;
             let st = s.stats();
             // Every decision is enqueued onto the trail and then
@@ -85,7 +85,7 @@ fn propagations_at_least_decisions_on_sat_instances() {
 #[test]
 fn reset_stats_zeroes_event_counts_and_keeps_solver_usable() {
     let mut s = chain_solver(8);
-    assert!(s.solve().is_sat());
+    assert!(s.solve().unwrap().is_sat());
     assert!(s.stats().solves > 0);
     assert!(s.stats().propagations > 0);
     s.reset_stats();
@@ -96,7 +96,7 @@ fn reset_stats_zeroes_event_counts_and_keeps_solver_usable() {
     assert_eq!(st.conflicts, 0);
     assert_eq!(st.restarts, 0);
     // The solver still works, and accounting restarts from zero.
-    assert!(s.solve().is_sat());
+    assert!(s.solve().unwrap().is_sat());
     assert_eq!(s.stats().solves, 1);
 }
 
@@ -109,7 +109,7 @@ fn reset_stats_reseeds_clause_gauge_from_live_state() {
         b.add_clause(vec![lit(i, false), lit((i + 1) % 8, true)]);
     }
     let mut s = Solver::from_cnf(&b.finish());
-    s.solve();
+    s.solve().unwrap();
     s.reset_stats();
     // The clause high-water mark reflects clauses actually held right now,
     // not zero — a gauge must stay truthful across resets.
@@ -153,7 +153,7 @@ fn add_assign_sums_totals_and_maxes_gauges() {
 #[test]
 fn add_assign_identity_is_default() {
     let mut s = chain_solver(5);
-    s.solve();
+    s.solve().unwrap();
     let observed = s.stats();
     let mut sum = Stats::default();
     sum += observed;
@@ -164,8 +164,8 @@ fn add_assign_identity_is_default() {
 fn solver_reports_oracle_calls_to_obs_counters() {
     let before = ddb_obs::snapshot();
     let mut s = chain_solver(6);
-    s.solve();
-    s.solve();
+    s.solve().unwrap();
+    s.solve().unwrap();
     let spent = ddb_obs::snapshot().diff(&before);
     assert!(spent.get("sat.solves") >= 2);
     assert!(spent.get("sat.propagations") >= spent.get("sat.decisions"));

@@ -44,7 +44,7 @@ fn cdcl_agrees_with_brute_force() {
         let cnf = random_cnf(&mut rng);
         let expected = !brute_force_models(&cnf).is_empty();
         let mut solver = Solver::from_cnf(&cnf);
-        let got = solver.solve().is_sat();
+        let got = solver.solve().unwrap().is_sat();
         assert_eq!(got, expected, "case {case}");
         if got {
             // The reported model must actually satisfy the formula.
@@ -59,7 +59,11 @@ fn cdcl_agrees_with_dpll() {
     for case in 0..300 {
         let cnf = random_cnf(&mut rng);
         let mut solver = Solver::from_cnf(&cnf);
-        assert_eq!(solver.solve().is_sat(), dpll::is_sat(&cnf), "case {case}");
+        assert_eq!(
+            solver.solve().unwrap().is_sat(),
+            dpll::is_sat(&cnf).unwrap(),
+            "case {case}"
+        );
     }
 }
 
@@ -73,7 +77,8 @@ fn enumeration_finds_exactly_the_models() {
         enumerate_models(&cnf, cnf.num_vars, |m| {
             got.push(m.clone());
             true
-        });
+        })
+        .unwrap();
         got.sort();
         assert_eq!(got, expected, "case {case}");
     }
@@ -90,7 +95,10 @@ fn assumptions_equal_added_units() {
         // Solving under assumptions must match solving the CNF with the
         // assumptions added as unit clauses.
         let mut incremental = Solver::from_cnf(&cnf);
-        let got = incremental.solve_with_assumptions(&assumptions).is_sat();
+        let got = incremental
+            .solve_with_assumptions(&assumptions)
+            .unwrap()
+            .is_sat();
 
         let mut b = CnfBuilder::new(cnf.num_vars);
         for c in &cnf.clauses {
@@ -99,12 +107,12 @@ fn assumptions_equal_added_units() {
         for &l in &assumptions {
             b.add_clause(vec![l]);
         }
-        let expected = dpll::is_sat(&b.finish());
+        let expected = dpll::is_sat(&b.finish()).unwrap();
         assert_eq!(got, expected, "case {case}");
 
         // And the solver must remain correct afterwards (no state leak).
-        let base = incremental.solve().is_sat();
-        assert_eq!(base, dpll::is_sat(&cnf), "case {case}");
+        let base = incremental.solve().unwrap().is_sat();
+        assert_eq!(base, dpll::is_sat(&cnf).unwrap(), "case {case}");
     }
 }
 
@@ -114,9 +122,9 @@ fn repeated_solves_are_stable() {
     for case in 0..300 {
         let cnf = random_cnf(&mut rng);
         let mut solver = Solver::from_cnf(&cnf);
-        let first = solver.solve().is_sat();
+        let first = solver.solve().unwrap().is_sat();
         for _ in 0..3 {
-            assert_eq!(solver.solve().is_sat(), first, "case {case}");
+            assert_eq!(solver.solve().unwrap().is_sat(), first, "case {case}");
         }
     }
 }
@@ -148,8 +156,8 @@ fn hard_random_3sat_near_phase_transition() {
         }
         let cnf = b.finish();
         let mut solver = Solver::from_cnf(&cnf);
-        let cdcl = solver.solve().is_sat();
-        let reference = dpll::is_sat(&cnf);
+        let cdcl = solver.solve().unwrap().is_sat();
+        let reference = dpll::is_sat(&cnf).unwrap();
         assert_eq!(cdcl, reference, "round {round}");
         if cdcl {
             assert!(cnf.satisfied_by(&solver.model()), "round {round}");

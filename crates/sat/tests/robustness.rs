@@ -48,8 +48,8 @@ fn clause_order_invariance() {
     for case in 0..250 {
         let (cnf, perm) = random_cnf_and_perm(&mut rng);
         let shuffled = permuted(&cnf, &perm);
-        let a = Solver::from_cnf(&cnf).solve().is_sat();
-        let b = Solver::from_cnf(&shuffled).solve().is_sat();
+        let a = Solver::from_cnf(&cnf).solve().unwrap().is_sat();
+        let b = Solver::from_cnf(&shuffled).solve().unwrap().is_sat();
         assert_eq!(a, b, "case {case}");
     }
 }
@@ -62,8 +62,8 @@ fn duplication_invariance() {
         let mut doubled = cnf.clone();
         doubled.clauses.extend(cnf.clauses.clone());
         assert_eq!(
-            Solver::from_cnf(&cnf).solve().is_sat(),
-            Solver::from_cnf(&doubled).solve().is_sat(),
+            Solver::from_cnf(&cnf).solve().unwrap().is_sat(),
+            Solver::from_cnf(&doubled).solve().unwrap().is_sat(),
             "case {case}"
         );
     }
@@ -78,9 +78,9 @@ fn minimization_switch_invariance() {
         on.set_clause_minimization(true);
         let mut off = Solver::from_cnf(&cnf);
         off.set_clause_minimization(false);
-        let expected = dpll::is_sat(&cnf);
-        assert_eq!(on.solve().is_sat(), expected, "case {case}");
-        assert_eq!(off.solve().is_sat(), expected, "case {case}");
+        let expected = dpll::is_sat(&cnf).unwrap();
+        assert_eq!(on.solve().unwrap().is_sat(), expected, "case {case}");
+        assert_eq!(off.solve().unwrap().is_sat(), expected, "case {case}");
     }
 }
 
@@ -92,10 +92,10 @@ fn model_is_stable_under_resolve() {
         // Re-solving after reading the model must keep the instance SAT
         // and produce a (possibly different) satisfying model.
         let mut s = Solver::from_cnf(&cnf);
-        if s.solve().is_sat() {
+        if s.solve().unwrap().is_sat() {
             let m1 = s.model();
             assert!(cnf.satisfied_by(&m1), "case {case}");
-            assert!(s.solve().is_sat(), "case {case}");
+            assert!(s.solve().unwrap().is_sat(), "case {case}");
             let m2 = s.model();
             assert!(cnf.satisfied_by(&m2), "case {case}");
         }

@@ -27,7 +27,7 @@ fn main() {
         let db = structured::graph_coloring(num_vertices, &edges, k);
         let mut cost = Cost::new();
         let cfg = SemanticsConfig::new(SemanticsId::Egcwa);
-        let colorable = cfg.has_model(&db, &mut cost).unwrap();
+        let colorable = cfg.has_model(&db, &mut cost).unwrap().definite();
         println!(
             "wheel W4 with {k} colors: {}  ({} SAT calls)",
             if colorable {
@@ -70,14 +70,16 @@ fn main() {
     .unwrap();
     let forced = SemanticsConfig::new(SemanticsId::Egcwa)
         .infers_formula(&db, &share, &mut cost)
-        .unwrap();
+        .unwrap()
+        .definite();
     println!("\nEGCWA ⊨ \"vertices 1 and 3 share a color\": {forced}");
 
     // On this positive database DSM and PDSM agree with EGCWA — the
     // paper's coincidence results, live.
     let dsm_ans = SemanticsConfig::new(SemanticsId::Dsm)
         .infers_formula(&db, &share, &mut cost)
-        .unwrap();
+        .unwrap()
+        .definite();
     assert_eq!(forced, dsm_ans);
     println!("DSM agrees on positive databases ✓");
     println!(

@@ -47,7 +47,7 @@ fn main() {
     );
 
     let mut cost = Cost::new();
-    let stable = dsm::models(&db, &mut cost);
+    let stable = dsm::models(&db, &mut cost).unwrap();
     println!("\n{} maximal independent sets of C5:", stable.len());
     for m in &stable {
         let mut ins: Vec<&str> = m
@@ -62,7 +62,7 @@ fn main() {
     assert_eq!(stable.len(), 5);
 
     // Cautious reasoning over all answer sets in one pass.
-    if let Some((t, f)) = dsm::cautious_literals(&db, &mut cost) {
+    if let Some((t, f)) = dsm::cautious_literals(&db, &mut cost).unwrap() {
         let names = |s: &Interpretation| -> Vec<String> {
             s.iter().map(|a| db.symbols().name(a).to_owned()).collect()
         };

@@ -52,8 +52,14 @@ fn main() {
         println!("\n{id}:");
         for (name, _expected) in queries {
             let atom = db.symbols().lookup(name).unwrap();
-            let pos = cfg.infers_literal(&db, atom.pos(), &mut cost).unwrap();
-            let neg = cfg.infers_literal(&db, atom.neg(), &mut cost).unwrap();
+            let pos = cfg
+                .infers_literal(&db, atom.pos(), &mut cost)
+                .unwrap()
+                .definite();
+            let neg = cfg
+                .infers_literal(&db, atom.neg(), &mut cost)
+                .unwrap()
+                .definite();
             let verdict = match (pos, neg) {
                 (true, _) => "true",
                 (_, true) => "false",
@@ -76,7 +82,7 @@ fn main() {
     // ICWA's layer-by-layer closure agrees (it was introduced to capture
     // PERF on stratified databases).
     let layers = icwa::Layers::new(&db, &strata, &Interpretation::empty(db.num_atoms()));
-    let icwa_models = icwa::models(&db, &layers, &mut cost);
+    let icwa_models = icwa::models(&db, &layers, &mut cost).unwrap();
     assert_eq!(perfect, icwa_models, "PERF = ICWA on stratified databases");
     println!("ICWA model set coincides with PERF ✓");
 

@@ -59,17 +59,21 @@ fn main() {
     let some_ab = parse_formula("ab1 | ab2", db.symbols()).unwrap();
     println!(
         "\nEGCWA ⊨ ab1 ∨ ab2 (some gate is broken): {}",
-        cfg.infers_formula(&db, &some_ab, &mut cost).unwrap()
+        cfg.infers_formula(&db, &some_ab, &mut cost)
+            .unwrap()
+            .definite()
     );
     let ab1 = parse_formula("ab1", db.symbols()).unwrap();
     println!(
         "EGCWA ⊨ ab1 (inverter 1 is definitely broken): {}",
-        cfg.infers_formula(&db, &ab1, &mut cost).unwrap()
+        cfg.infers_formula(&db, &ab1, &mut cost).unwrap().definite()
     );
     let not_both = parse_formula("!(ab1 & ab2)", db.symbols()).unwrap();
     println!(
         "EGCWA ⊨ ¬(ab1 ∧ ab2) (never blame both): {}",
-        cfg.infers_formula(&db, &not_both, &mut cost).unwrap()
+        cfg.infers_formula(&db, &not_both, &mut cost)
+            .unwrap()
+            .definite()
     );
 
     // Circumscription view: minimize the ab-atoms only, let line values
@@ -82,11 +86,11 @@ fn main() {
     let part = Partition::from_p_q(db.num_atoms(), ab_atoms, []);
     println!(
         "\nCIRC(ab; lines) ⊨ ab1 ∨ ab2: {}",
-        disjunctive_db::core::ecwa::infers_formula(&db, &part, &some_ab, &mut cost)
+        disjunctive_db::core::ecwa::infers_formula(&db, &part, &some_ab, &mut cost).unwrap()
     );
     println!(
         "CIRC(ab; lines) ⊨ ¬(ab1 ∧ ab2): {}",
-        disjunctive_db::core::ecwa::infers_formula(&db, &part, &not_both, &mut cost)
+        disjunctive_db::core::ecwa::infers_formula(&db, &part, &not_both, &mut cost).unwrap()
     );
 
     println!(

@@ -37,11 +37,11 @@ fn main() {
     let baseline = obs::snapshot();
 
     // EGCWA: holds iff the formula is true in every minimal model.
-    let egcwa_answer = egcwa::infers_formula(&db, &query, &mut cost);
+    let egcwa_answer = egcwa::infers_formula(&db, &query, &mut cost).unwrap();
     let after_egcwa = oracle_report("EGCWA formula inference", &baseline);
 
     // DSM: holds iff the formula is true in every disjunctive stable model.
-    let dsm_answer = dsm::infers_formula(&db, &query, &mut cost);
+    let dsm_answer = dsm::infers_formula(&db, &query, &mut cost).unwrap();
     oracle_report("DSM formula inference", &after_egcwa);
 
     println!("EGCWA infers the query: {egcwa_answer}");

@@ -47,7 +47,10 @@ fn main() {
         SemanticsId::Pws,
     ] {
         let cfg = SemanticsConfig::new(id);
-        let ans = cfg.infers_literal(&db, therapy.neg(), &mut cost).unwrap();
+        let ans = cfg
+            .infers_literal(&db, therapy.neg(), &mut cost)
+            .unwrap()
+            .definite();
         println!("  {id}: {ans}");
     }
 
@@ -57,13 +60,17 @@ fn main() {
     println!("\n¬(alice ∧ bob) inferred?");
     for id in [SemanticsId::Gcwa, SemanticsId::Egcwa] {
         let cfg = SemanticsConfig::new(id);
-        let ans = cfg.infers_formula(&db, &both, &mut cost).unwrap();
+        let ans = cfg
+            .infers_formula(&db, &both, &mut cost)
+            .unwrap()
+            .definite();
         println!("  {id}: {ans}");
     }
 
     // 4. The integrity clauses EGCWA derives (via hypergraph
     //    dualization of the minimal models).
     let derived = disjunctive_db::core::egcwa::derived_integrity_clauses(&db, 10_000, &mut cost)
+        .unwrap()
         .expect("within cap");
     println!("\nEGCWA-derived integrity clauses:");
     for clause in &derived {
@@ -74,7 +81,8 @@ fn main() {
     // 5. Model existence, and what it cost us.
     let exists = SemanticsConfig::new(SemanticsId::Egcwa)
         .has_model(&db, &mut cost)
-        .unwrap();
+        .unwrap()
+        .definite();
     println!("\nEGCWA has a model: {exists}");
     println!(
         "Total oracle usage this session: {} SAT calls, {} CEGAR candidates",

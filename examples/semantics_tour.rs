@@ -63,7 +63,7 @@ fn main() {
         }
     }
     // DSM dies on the odd loop; PDSM survives with r = ½.
-    let pdsm_models = disjunctive_db::core::pdsm::models(&db2, &mut cost);
+    let pdsm_models = disjunctive_db::core::pdsm::models(&db2, &mut cost).unwrap();
     println!("  PDSM partial stable models ({}):", pdsm_models.len());
     for p in &pdsm_models {
         let mut parts = Vec::new();
@@ -89,11 +89,11 @@ fn main() {
     println!("\nDB₃ = {{ suspect_a ∨ suspect_b.  alibi_b. }}");
     println!(
         "  GCWA (close everything)      ⊨ ¬suspect_a: {}",
-        disjunctive_db::core::gcwa::infers_formula(&db3, &nsa, &mut cost)
+        disjunctive_db::core::gcwa::infers_formula(&db3, &nsa, &mut cost).unwrap()
     );
     println!(
         "  CCWA (P={{suspect_a}}, Q={{alibi_b}}, Z=rest) ⊨ ¬suspect_a: {}",
-        disjunctive_db::core::ccwa::infers_formula(&db3, &part, &nsa, &mut cost)
+        disjunctive_db::core::ccwa::infers_formula(&db3, &part, &nsa, &mut cost).unwrap()
     );
 
     println!(

@@ -30,13 +30,25 @@
 //! ddb wfs <file>
 //!     The well-founded model of a normal program (polynomial).
 //!
-//! ddb profile <file> [--literal [-]<atom>] [--formula "<f>"]
+//! ddb profile <file> [--literal [-]<atom>] [--formula "<f>"] [--cell-timeout-ms <n>]
 //!     Run all ten semantics on all three problems and print the observed
 //!     oracle-call matrix next to the paper's predicted complexity classes.
+//!     With --cell-timeout-ms (or any resource limit), each cell runs under
+//!     its own fresh budget; exhausted cells are marked `?<resource>` and
+//!     the sweep continues.
 //!
 //! `models`, `query`, `exists` and `profile` all accept `--stats` (print
 //! the observability counter table to stderr) and `--trace-json <file>`
 //! (write a structured trace — counters, spans, answer — as JSON).
+//!
+//! Resource limits (models/query/exists; per cell on profile):
+//!   --timeout-ms <n>  --max-oracle-calls <n>  --max-conflicts <n>
+//!   --max-models <n>  --fail-after <n> (deterministic fault injection)
+//! When a limit trips, the command reports `unknown (<resource>)` and
+//! exits 3 — never a wrong answer, never a panic.
+//!
+//! Exit codes: 0 success, 1 `check` warnings, 2 `check` errors,
+//! 3 resource budget exhausted, 4 usage/parse/IO errors.
 //!
 //! Semantics names: gcwa, egcwa, ccwa, ecwa, circ, ddr, wgcwa, pws, pms,
 //! perf, icwa, dsm, pdsm, cwa. `<file>` may be `-` for stdin.
@@ -50,6 +62,11 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Exit code for usage, parse and I/O failures (`Err` out of [`run`]).
+const EXIT_USAGE: u8 = 4;
+/// Exit code when a resource budget tripped before the answer was decided.
+const EXIT_EXHAUSTED: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -57,14 +74,15 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("run `ddb help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
 
-/// Runs one CLI command. `Ok(code)` is the process exit code — only
-/// `check` uses non-zero `Ok` codes (its 0/1/2 contract); every other
-/// command reports failure through `Err`, which exits 1.
+/// Runs one CLI command. `Ok(code)` is the process exit code: `check`
+/// uses its stable 0/1/2 contract, and `models`/`query`/`exists` return
+/// [`EXIT_EXHAUSTED`] when a resource budget tripped. Every other failure
+/// surfaces through `Err`, which exits [`EXIT_USAGE`].
 fn run(args: &[String]) -> Result<u8, String> {
     let Some(command) = args.first() else {
         return Err("missing command".into());
@@ -77,9 +95,9 @@ fn run(args: &[String]) -> Result<u8, String> {
         "classify" => classify(&args[1..]).map(|()| 0),
         "check" => check_cmd(&args[1..]),
         "slice" => slice_cmd(&args[1..]).map(|()| 0),
-        "models" => models(&args[1..]).map(|()| 0),
-        "query" => query(&args[1..]).map(|()| 0),
-        "exists" => exists(&args[1..]).map(|()| 0),
+        "models" => models(&args[1..]),
+        "query" => query(&args[1..]),
+        "exists" => exists(&args[1..]),
         "wfs" => wfs_cmd(&args[1..]).map(|()| 0),
         "ground" => ground_cmd(&args[1..]).map(|()| 0),
         "proof" => proof_cmd(&args[1..]).map(|()| 0),
@@ -100,9 +118,15 @@ const USAGE: &str = "usage:
   ddb wfs    <file>
   ddb ground <file> [--full]          (print the grounded program)
   ddb proof  <file> --atom <a>        (DDR activation proof for an atom)
-  ddb profile <file> [--literal [-]<a>] [--formula \"<f>\"]
-      (observed 10-semantics x 3-problems oracle-call matrix vs paper classes)
+  ddb profile <file> [--literal [-]<a>] [--formula \"<f>\"] [--cell-timeout-ms <n>]
+      (observed 10-semantics x 3-problems oracle-call matrix vs paper classes;
+       with a per-cell budget, exhausted cells are marked ?<resource>)
 models/query/exists/profile also take: --stats  --trace-json <file>
+resource limits (models/query/exists; applied per cell on profile):
+  --timeout-ms <n>  --max-oracle-calls <n>  --max-conflicts <n>
+  --max-models <n>  --fail-after <n>
+exit codes: 0 ok; 1/2 check warnings/errors; 3 budget exhausted (answer
+unknown); 4 usage, parse or I/O error
 input is propositional program syntax, or Datalog∨ with --datalog
 (auto-detected for .dlv files and sources containing predicate atoms)
 semantics: gcwa egcwa ccwa ecwa|circ ddr|wgcwa pws|pms perf icwa dsm pdsm cwa";
@@ -223,6 +247,67 @@ fn config_for(opts: &Opts, db: &Database) -> Result<SemanticsConfig, String> {
         cfg = cfg.with_partition(Partition::from_p_q(db.num_atoms(), p, q));
     }
     Ok(cfg)
+}
+
+/// Parses the resource-limit flags into a [`Budget`], or `None` when no
+/// limit was requested. Malformed values are usage errors (exit 4).
+fn budget_from(opts: &Opts) -> Result<Option<Budget>, String> {
+    let parse = |key: &str| -> Result<Option<u64>, String> {
+        opts.value(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--{key} needs an unsigned integer, got `{v}`"))
+            })
+            .transpose()
+    };
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = parse("timeout-ms")? {
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = parse("max-oracle-calls")? {
+        budget = budget.with_max_oracle_calls(n);
+    }
+    if let Some(n) = parse("max-conflicts")? {
+        budget = budget.with_max_conflicts(n);
+    }
+    if let Some(n) = parse("max-models")? {
+        budget = budget.with_max_models(n);
+    }
+    if let Some(n) = parse("fail-after")? {
+        budget = budget.fail_after(n);
+    }
+    Ok((!budget.is_unlimited()).then_some(budget))
+}
+
+/// Trace-document fields describing the command's governance outcome:
+/// which resource (if any) tripped, and the checkpoint/charge totals the
+/// innermost governor consumed. Read while the budget guard is alive.
+fn govern_extra<'a>(
+    interrupted: Option<&Interrupted>,
+    consumed: Option<disjunctive_db::obs::Consumed>,
+) -> Vec<(&'a str, Json)> {
+    vec![
+        (
+            "interrupted",
+            interrupted.map_or(Json::Null, |i| Json::Str(i.resource.label().to_owned())),
+        ),
+        (
+            "budget_consumed",
+            consumed.map_or(Json::Null, |c| {
+                Json::obj([
+                    ("checkpoints", Json::UInt(c.checkpoints)),
+                    ("conflicts", Json::UInt(c.conflicts)),
+                    ("oracle_calls", Json::UInt(c.oracle_calls)),
+                    ("models", Json::UInt(c.models)),
+                ])
+            }),
+        ),
+    ]
+}
+
+/// Prints the degradation notice for an interrupted command to stderr.
+fn report_unknown(i: &Interrupted) {
+    eprintln!("unknown ({}): {i}", i.resource.label());
 }
 
 /// Observability session for one CLI command: starts a counter snapshot
@@ -564,54 +649,104 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn models(args: &[String]) -> Result<(), String> {
+/// Writes one stdout line, tolerating a closed downstream pipe: `ddb
+/// models … | head -3` must not panic mid-enumeration. Returns `false`
+/// once the pipe is gone so unbounded loops can stop emitting; stderr,
+/// traces and the exit code are unaffected.
+fn emit(line: &str) -> bool {
+    use std::io::Write;
+    writeln!(std::io::stdout(), "{line}").is_ok()
+}
+
+fn models(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
+    let budget = budget_from(&opts)?;
     let observation = begin_observation(&opts);
+    let guard = budget.map(Budget::install);
     let name = opts.value("semantics").unwrap_or("egcwa");
     let mut cost = Cost::new();
     let mut model_count: u64 = 0;
+    let mut interrupted: Option<Interrupted> = None;
     if name.eq_ignore_ascii_case("cwa") {
         match cwa::model(&db, &mut cost) {
-            Some(m) => {
+            Ok(Some(m)) => {
                 model_count = 1;
                 println!("{}", render_model(&db, &m));
             }
-            None => println!("CWA is inconsistent for this database"),
+            Ok(None) => println!("CWA is inconsistent for this database"),
+            Err(i) => interrupted = Some(i),
         }
     } else if name.eq_ignore_ascii_case("pdsm") && opts.flag("partial") {
-        let models = disjunctive_db::core::pdsm::models(&db, &mut cost);
-        model_count = models.len() as u64;
-        println!("{} partial stable model(s):", models.len());
-        for p in &models {
-            let mut parts = Vec::new();
-            for a in db.symbols().atoms() {
-                let v = match p.value(a) {
-                    TruthValue::True => "1",
-                    TruthValue::Undefined => "1/2",
-                    TruthValue::False => "0",
-                };
-                parts.push(format!("{}={v}", db.symbols().name(a)));
+        match disjunctive_db::core::pdsm::models(&db, &mut cost) {
+            Ok(models) => {
+                model_count = models.len() as u64;
+                println!("{} partial stable model(s):", models.len());
+                for p in &models {
+                    let mut parts = Vec::new();
+                    for a in db.symbols().atoms() {
+                        let v = match p.value(a) {
+                            TruthValue::True => "1",
+                            TruthValue::Undefined => "1/2",
+                            TruthValue::False => "0",
+                        };
+                        parts.push(format!("{}={v}", db.symbols().name(a)));
+                    }
+                    if !emit(&format!("  <{}>", parts.join(", "))) {
+                        break;
+                    }
+                }
             }
-            println!("  <{}>", parts.join(", "));
+            Err(i) => interrupted = Some(i),
         }
     } else {
         let cfg = config_for(&opts, &db)?;
-        let models = cfg.models(&db, &mut cost).map_err(|e| e.to_string())?;
-        model_count = models.len() as u64;
-        println!("{} model(s) under {}:", models.len(), cfg.id);
-        for m in &models {
-            println!("  {}", render_model(&db, m));
+        let enumeration = cfg.models(&db, &mut cost).map_err(|e| e.to_string())?;
+        model_count = enumeration.len() as u64;
+        if enumeration.is_complete() {
+            println!("{} model(s) under {}:", enumeration.len(), cfg.id);
+        } else {
+            println!(
+                "{} model(s) under {} (incomplete — budget exhausted):",
+                enumeration.len(),
+                cfg.id
+            );
         }
+        for m in enumeration.iter() {
+            if !emit(&format!("  {}", render_model(&db, m))) {
+                break;
+            }
+        }
+        interrupted = enumeration.interrupted;
     }
     eprintln!(
         "[oracle: {} SAT calls, {} candidates]",
         cost.sat_calls, cost.candidates
     );
-    observation.finish(&opts, "models", Json::UInt(model_count), Vec::new())
+    let consumed = disjunctive_db::obs::budget::consumed();
+    drop(guard);
+    if let Some(i) = &interrupted {
+        report_unknown(i);
+    }
+    let answer = if interrupted.is_some() && model_count == 0 {
+        Json::Null
+    } else {
+        Json::UInt(model_count)
+    };
+    observation.finish(
+        &opts,
+        "models",
+        answer,
+        govern_extra(interrupted.as_ref(), consumed),
+    )?;
+    Ok(if interrupted.is_some() {
+        EXIT_EXHAUSTED
+    } else {
+        0
+    })
 }
 
-fn query(args: &[String]) -> Result<(), String> {
+fn query(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
     let formula = match (opts.value("formula"), opts.value("literal")) {
@@ -629,80 +764,128 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         _ => return Err("need exactly one of --formula / --literal".into()),
     };
+    let budget = budget_from(&opts)?;
     let observation = begin_observation(&opts);
+    let guard = budget.map(Budget::install);
     let mut cost = Cost::new();
     let name = opts.value("semantics").unwrap_or("egcwa");
-    let answer;
+    let verdict: Verdict;
     if name.eq_ignore_ascii_case("cwa") {
-        let ans = cwa::infers_formula(&db, &formula, &mut cost);
-        println!("{}", if ans { "inferred" } else { "not inferred" });
-        return observation.finish(&opts, "query", Json::Bool(ans), Vec::new());
-    }
-    let cfg = config_for(&opts, &db)?;
-    if opts.flag("brave") {
-        let ans = witness::brave_infers_formula(&cfg, &db, &formula, &mut cost)
-            .map_err(|e| e.to_string())?;
-        answer = ans;
-        println!(
-            "{}",
-            if ans {
-                "bravely inferred (holds in some model)"
-            } else {
-                "not bravely inferred"
-            }
-        );
-    } else if opts.flag("explain") {
-        match witness::explain_formula(&cfg, &db, &formula, &mut cost).map_err(|e| e.to_string())? {
-            witness::QueryOutcome::Inferred => {
-                answer = true;
-                println!("inferred");
-            }
-            witness::QueryOutcome::Countermodel(m) => {
-                answer = false;
-                println!("not inferred; countermodel: {}", render_model(&db, &m));
-            }
-            witness::QueryOutcome::CountermodelPartial(p) => {
-                answer = false;
-                let mut parts = Vec::new();
-                for a in db.symbols().atoms() {
-                    let v = match p.value(a) {
-                        TruthValue::True => "1",
-                        TruthValue::Undefined => "1/2",
-                        TruthValue::False => "0",
-                    };
-                    parts.push(format!("{}={v}", db.symbols().name(a)));
-                }
-                println!("not inferred; partial countermodel: ⟨{}⟩", parts.join(", "));
-            }
+        verdict = cwa::infers_formula(&db, &formula, &mut cost).into();
+        match verdict.as_bool() {
+            Some(ans) => println!("{}", if ans { "inferred" } else { "not inferred" }),
+            None => println!("unknown"),
         }
     } else {
-        let ans = cfg
-            .infers_formula(&db, &formula, &mut cost)
-            .map_err(|e| e.to_string())?;
-        answer = ans;
-        println!("{}", if ans { "inferred" } else { "not inferred" });
+        let cfg = config_for(&opts, &db)?;
+        if opts.flag("brave") {
+            verdict = witness::brave_infers_formula(&cfg, &db, &formula, &mut cost)
+                .map_err(|e| e.to_string())?;
+            match verdict.as_bool() {
+                Some(true) => println!("bravely inferred (holds in some model)"),
+                Some(false) => println!("not bravely inferred"),
+                None => println!("unknown"),
+            }
+        } else if opts.flag("explain") {
+            match witness::explain_formula(&cfg, &db, &formula, &mut cost)
+                .map_err(|e| e.to_string())?
+            {
+                witness::QueryOutcome::Inferred => {
+                    verdict = Verdict::True;
+                    println!("inferred");
+                }
+                witness::QueryOutcome::Countermodel(m) => {
+                    verdict = Verdict::False;
+                    println!("not inferred; countermodel: {}", render_model(&db, &m));
+                }
+                witness::QueryOutcome::CountermodelPartial(p) => {
+                    verdict = Verdict::False;
+                    let mut parts = Vec::new();
+                    for a in db.symbols().atoms() {
+                        let v = match p.value(a) {
+                            TruthValue::True => "1",
+                            TruthValue::Undefined => "1/2",
+                            TruthValue::False => "0",
+                        };
+                        parts.push(format!("{}={v}", db.symbols().name(a)));
+                    }
+                    println!("not inferred; partial countermodel: ⟨{}⟩", parts.join(", "));
+                }
+                witness::QueryOutcome::Unknown(i) => {
+                    verdict = Verdict::Unknown(i);
+                    println!("unknown");
+                }
+            }
+        } else {
+            verdict = cfg
+                .infers_formula(&db, &formula, &mut cost)
+                .map_err(|e| e.to_string())?;
+            match verdict.as_bool() {
+                Some(ans) => println!("{}", if ans { "inferred" } else { "not inferred" }),
+                None => println!("unknown"),
+            }
+        }
     }
     eprintln!(
         "[oracle: {} SAT calls, {} candidates]",
         cost.sat_calls, cost.candidates
     );
-    observation.finish(&opts, "query", Json::Bool(answer), Vec::new())
+    let consumed = disjunctive_db::obs::budget::consumed();
+    drop(guard);
+    let interrupted = verdict.interrupted().cloned();
+    if let Some(i) = &interrupted {
+        report_unknown(i);
+    }
+    let answer = verdict.as_bool().map_or(Json::Null, Json::Bool);
+    observation.finish(
+        &opts,
+        "query",
+        answer,
+        govern_extra(interrupted.as_ref(), consumed),
+    )?;
+    Ok(if interrupted.is_some() {
+        EXIT_EXHAUSTED
+    } else {
+        0
+    })
 }
 
-fn exists(args: &[String]) -> Result<(), String> {
+fn exists(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
+    let budget = budget_from(&opts)?;
     let observation = begin_observation(&opts);
+    let guard = budget.map(Budget::install);
     let mut cost = Cost::new();
     let name = opts.value("semantics").unwrap_or("egcwa");
-    let ans = if name.eq_ignore_ascii_case("cwa") {
-        cwa::is_consistent(&db, &mut cost)
+    let verdict: Verdict = if name.eq_ignore_ascii_case("cwa") {
+        cwa::is_consistent(&db, &mut cost).into()
     } else {
         let cfg = config_for(&opts, &db)?;
         cfg.has_model(&db, &mut cost).map_err(|e| e.to_string())?
     };
-    println!("{}", if ans { "has a model" } else { "no model" });
-    observation.finish(&opts, "exists", Json::Bool(ans), Vec::new())
+    match verdict.as_bool() {
+        Some(ans) => println!("{}", if ans { "has a model" } else { "no model" }),
+        None => println!("unknown"),
+    }
+    let consumed = disjunctive_db::obs::budget::consumed();
+    drop(guard);
+    let interrupted = verdict.interrupted().cloned();
+    if let Some(i) = &interrupted {
+        report_unknown(i);
+    }
+    let answer = verdict.as_bool().map_or(Json::Null, Json::Bool);
+    observation.finish(
+        &opts,
+        "exists",
+        answer,
+        govern_extra(interrupted.as_ref(), consumed),
+    )?;
+    Ok(if interrupted.is_some() {
+        EXIT_EXHAUSTED
+    } else {
+        0
+    })
 }
 
 fn profile_cmd(args: &[String]) -> Result<(), String> {
@@ -731,8 +914,22 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
         Some(src) => parse_formula(src, db.symbols()).map_err(|e| e.to_string())?,
         None => Formula::literal(lit.atom(), lit.is_positive()),
     };
+    // Per-cell budget: --cell-timeout-ms plus any of the general resource
+    // limits. Each matrix cell gets a fresh installation, so one slow
+    // Πᵖ₂ cell is marked `?<resource>` while the sweep continues.
+    let mut cell_budget = budget_from(&opts)?;
+    if let Some(ms) = opts.value("cell-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--cell-timeout-ms needs an unsigned integer, got `{ms}`"))?;
+        cell_budget = Some(
+            cell_budget
+                .unwrap_or_else(Budget::unlimited)
+                .with_timeout(std::time::Duration::from_millis(ms)),
+        );
+    }
     let observation = begin_observation(&opts);
-    let cells = profile::profile_all(&db, lit, &f);
+    let cells = profile::profile_all_budgeted(&db, lit, &f, cell_budget.as_ref());
     println!(
         "profile of {} ({} atoms, {} rules); query literal `{}{}`",
         opts.file.as_deref().unwrap_or("-"),
@@ -766,7 +963,7 @@ fn ground_cmd(args: &[String]) -> Result<(), String> {
         ground_reduced(&program, 1_000_000)
     }
     .map_err(|e| e.to_string())?;
-    print!("{}", display_database(&db));
+    emit(display_database(&db).trim_end());
     eprintln!(
         "[{} ground atoms, {} ground rules]",
         db.num_atoms(),

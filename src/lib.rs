@@ -21,12 +21,12 @@
 //! let mut cost = Cost::new();
 //! // Under GCWA, `treat` is closed off (false in every minimal model)…
 //! let treat = db.symbols().lookup("treat").unwrap();
-//! assert!(gcwa::infers_literal(&db, treat.neg(), &mut cost));
+//! assert!(gcwa::infers_literal(&db, treat.neg(), &mut cost).unwrap());
 //! // …while `grounded` holds in every minimal model:
 //! let grounded = parse_formula("grounded", db.symbols()).unwrap();
-//! assert!(egcwa::infers_formula(&db, &grounded, &mut cost));
+//! assert!(egcwa::infers_formula(&db, &grounded, &mut cost).unwrap());
 //! // The weaker DDR does not close `treat` (it occurs in T↑ω):
-//! assert!(!ddr::infers_literal(&db, treat.neg(), &mut cost));
+//! assert!(!ddr::infers_literal(&db, treat.neg(), &mut cost).unwrap());
 //! ```
 //!
 //! ## Crate map
@@ -61,7 +61,8 @@ pub use ddb_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ddb_core::{
-        ccwa, ddr, dsm, ecwa, egcwa, gcwa, icwa, pdsm, perf, pws, SemanticsConfig, SemanticsId,
+        ccwa, ddr, dsm, ecwa, egcwa, gcwa, icwa, pdsm, perf, pws, Enumeration, SemanticsConfig,
+        SemanticsId, Verdict,
     };
     pub use ddb_logic::parse::{
         display_database, display_formula, display_rule, parse_formula, parse_program,
@@ -71,4 +72,5 @@ pub mod prelude {
         Symbols, TruthValue,
     };
     pub use ddb_models::{Cost, Partition};
+    pub use ddb_obs::{Budget, Governed, Interrupted};
 }

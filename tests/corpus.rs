@@ -237,11 +237,13 @@ fn corpus_inference_vacuity() {
             let cfg = SemanticsConfig::new(*id);
             let mut cost = Cost::new();
             assert!(
-                cfg.infers_formula(&db, &f, &mut cost).unwrap(),
+                cfg.infers_formula(&db, &f, &mut cost).unwrap().definite(),
                 "{id} on `{src}`"
             );
             assert!(
-                !witness::brave_infers_formula(&cfg, &db, &f, &mut cost).unwrap(),
+                !witness::brave_infers_formula(&cfg, &db, &f, &mut cost)
+                    .unwrap()
+                    .definite(),
                 "{id} on `{src}`"
             );
         }

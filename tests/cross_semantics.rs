@@ -9,6 +9,7 @@ fn models_of(db: &Database, id: SemanticsId, cost: &mut Cost) -> Vec<Interpretat
     SemanticsConfig::new(id)
         .models(db, cost)
         .expect("applicable")
+        .expect_complete()
 }
 
 fn subset(a: &[Interpretation], b: &[Interpretation]) -> bool {
@@ -42,9 +43,9 @@ fn inference_strength_ordering() {
         let db = random_db(&DbSpec::positive(5, 8), seed);
         let f = random_formula(5, 5, seed);
         let mut cost = Cost::new();
-        let ddr = disjunctive_db::core::ddr::infers_formula(&db, &f, &mut cost);
-        let gcwa = disjunctive_db::core::gcwa::infers_formula(&db, &f, &mut cost);
-        let egcwa = disjunctive_db::core::egcwa::infers_formula(&db, &f, &mut cost);
+        let ddr = disjunctive_db::core::ddr::infers_formula(&db, &f, &mut cost).unwrap();
+        let gcwa = disjunctive_db::core::gcwa::infers_formula(&db, &f, &mut cost).unwrap();
+        let egcwa = disjunctive_db::core::egcwa::infers_formula(&db, &f, &mut cost).unwrap();
         if ddr {
             assert!(gcwa, "DDR ⊨ F ⇒ GCWA ⊨ F (seed {seed})");
         }
@@ -83,7 +84,7 @@ fn stable_models_are_minimal_and_perfect_on_stratified() {
         let db = random_stratified_db(8, 14, 3, seed);
         let mut cost = Cost::new();
         let stable = models_of(&db, SemanticsId::Dsm, &mut cost);
-        let minimal = disjunctive_db::models::minimal::minimal_models(&db, &mut cost);
+        let minimal = disjunctive_db::models::minimal::minimal_models(&db, &mut cost).unwrap();
         assert!(subset(&stable, &minimal), "DSM ⊆ MM (seed {seed})");
         // On stratified databases PERF = DSM (Przymusinski).
         let perfect = models_of(&db, SemanticsId::Perf, &mut cost);
@@ -99,8 +100,9 @@ fn total_pdsm_equals_dsm_everywhere() {
     for seed in 0..20 {
         let db = random_db(&DbSpec::normal(5, 8), seed);
         let mut cost = Cost::new();
-        let stable = disjunctive_db::core::dsm::models(&db, &mut cost);
+        let stable = disjunctive_db::core::dsm::models(&db, &mut cost).unwrap();
         let totals: Vec<Interpretation> = disjunctive_db::core::pdsm::models(&db, &mut cost)
+            .unwrap()
             .into_iter()
             .filter(|p| p.is_total())
             .map(|p| p.to_total())
@@ -143,7 +145,7 @@ fn existence_equivalences() {
     for seed in 0..20 {
         let db = random_db(&DbSpec::deductive(6, 12), seed);
         let mut cost = Cost::new();
-        let sat = disjunctive_db::models::classical::is_satisfiable(&db, &mut cost);
+        let sat = disjunctive_db::models::classical::is_satisfiable(&db, &mut cost).unwrap();
         for id in [
             SemanticsId::Gcwa,
             SemanticsId::Egcwa,

@@ -46,7 +46,7 @@ fn win_move_stable_models_split_the_draw() {
     let prog = parse_datalog(GAME).unwrap();
     let db = ground_reduced(&prog, 10_000).unwrap();
     let mut cost = Cost::new();
-    let stable = dsm::models(&db, &mut cost);
+    let stable = dsm::models(&db, &mut cost).unwrap();
     // The path part is fixed; the 2-cycle gives two stable resolutions
     // (d wins & e loses, or vice versa).
     assert_eq!(stable.len(), 2);
@@ -61,7 +61,7 @@ fn win_move_stable_models_split_the_draw() {
     }
     // Cautious consequences across stable models agree with WFS's
     // determined part.
-    let (t, f) = dsm::cautious_literals(&db, &mut cost).unwrap();
+    let (t, f) = dsm::cautious_literals(&db, &mut cost).unwrap().unwrap();
     assert!(t.contains(b));
     assert!(f.contains(a));
     assert!(!t.contains(d) && !f.contains(d));
@@ -73,7 +73,7 @@ fn win_move_pdsm_contains_wfs() {
     let db = ground_reduced(&prog, 10_000).unwrap();
     let w = wfs::well_founded_model(&db);
     let mut cost = Cost::new();
-    let partials = pdsm::models(&db, &mut cost);
+    let partials = pdsm::models(&db, &mut cost).unwrap();
     // WFS is one of the partial stable models (the knowledge-least one);
     // the two stable resolutions of the cycle are the total ones.
     assert!(partials.contains(&w));
@@ -99,8 +99,8 @@ fn win_move_full_and_reduced_groundings_agree_on_stable_semantics() {
             .collect::<std::collections::BTreeSet<_>>()
     };
     assert_eq!(
-        name_sets(&full, dsm::models(&full, &mut cost)),
-        name_sets(&reduced, dsm::models(&reduced, &mut cost))
+        name_sets(&full, dsm::models(&full, &mut cost).unwrap()),
+        name_sets(&reduced, dsm::models(&reduced, &mut cost).unwrap())
     );
 }
 
@@ -112,14 +112,29 @@ fn win_move_queries_through_dispatch() {
     let cfg = SemanticsConfig::new(SemanticsId::Dsm);
     let win_b = Formula::atom(win_atom(&db, "b"));
     let win_d = Formula::atom(win_atom(&db, "d"));
-    assert!(cfg.infers_formula(&db, &win_b, &mut cost).unwrap());
-    assert!(!cfg.infers_formula(&db, &win_d, &mut cost).unwrap());
-    assert!(cfg.brave_infers_formula(&db, &win_d, &mut cost).unwrap());
+    assert!(cfg
+        .infers_formula(&db, &win_b, &mut cost)
+        .unwrap()
+        .definite());
+    assert!(!cfg
+        .infers_formula(&db, &win_d, &mut cost)
+        .unwrap()
+        .definite());
+    assert!(cfg
+        .brave_infers_formula(&db, &win_d, &mut cost)
+        .unwrap()
+        .definite());
     // The drawn disjunction holds cautiously: in every stable model,
     // exactly one of d/e wins.
     let either = Formula::or([win_d.clone(), Formula::atom(win_atom(&db, "e"))]);
-    assert!(cfg.infers_formula(&db, &either, &mut cost).unwrap());
+    assert!(cfg
+        .infers_formula(&db, &either, &mut cost)
+        .unwrap()
+        .definite());
     // …but under PDSM it does not (value ½ in the well-founded model).
     let pdsm_cfg = SemanticsConfig::new(SemanticsId::Pdsm);
-    assert!(!pdsm_cfg.infers_formula(&db, &either, &mut cost).unwrap());
+    assert!(!pdsm_cfg
+        .infers_formula(&db, &either, &mut cost)
+        .unwrap()
+        .definite());
 }

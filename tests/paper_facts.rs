@@ -19,15 +19,15 @@ fn section_2_running_example() {
     db.add_rule(Rule::fact([a, b]));
 
     let mut cost = Cost::new();
-    let m = disjunctive_db::models::classical::all_models(&db, &mut cost);
+    let m = disjunctive_db::models::classical::all_models(&db, &mut cost).unwrap();
     assert_eq!(m.len(), 6, "2^3 minus the two a=b=0 interpretations");
 
-    let mm = disjunctive_db::models::minimal::minimal_models(&db, &mut cost);
+    let mm = disjunctive_db::models::minimal::minimal_models(&db, &mut cost).unwrap();
     let interp = |atoms: &[Atom]| Interpretation::from_atoms(3, atoms.iter().copied());
     assert_eq!(mm, vec![interp(&[a]), interp(&[b])]);
 
     let part = Partition::from_p_q(3, [a], [b]);
-    let pz = disjunctive_db::models::minimal::pz_minimal_models(&db, &part, &mut cost);
+    let pz = disjunctive_db::models::minimal::pz_minimal_models(&db, &part, &mut cost).unwrap();
     let mut expected = vec![interp(&[b]), interp(&[b, c]), interp(&[a]), interp(&[a, c])];
     expected.sort();
     assert_eq!(pz, expected);
@@ -39,11 +39,11 @@ fn example_3_1() {
     let db = parse_program("a | b. :- a, b. c :- a, b.").unwrap();
     let c = db.symbols().lookup("c").unwrap();
     let mut cost = Cost::new();
-    assert!(!ddr::infers_literal(&db, c.neg(), &mut cost));
+    assert!(!ddr::infers_literal(&db, c.neg(), &mut cost).unwrap());
     // Chan's improvement motivation: GCWA does infer ¬c here.
-    assert!(gcwa::infers_literal(&db, c.neg(), &mut cost));
+    assert!(gcwa::infers_literal(&db, c.neg(), &mut cost).unwrap());
     // And EGCWA (= minimal models) likewise.
-    assert!(egcwa::infers_literal(&db, c.neg(), &mut cost));
+    assert!(egcwa::infers_literal(&db, c.neg(), &mut cost).unwrap());
 }
 
 /// `EGCWA(DB) = MM(DB)` — the paper's stated characterization.
@@ -60,7 +60,7 @@ fn egcwa_is_minimal_models() {
             SemanticsConfig::new(SemanticsId::Egcwa)
                 .models(&db, &mut cost)
                 .unwrap(),
-            disjunctive_db::models::minimal::minimal_models(&db, &mut cost),
+            disjunctive_db::models::minimal::minimal_models(&db, &mut cost).unwrap(),
             "{src}"
         );
     }
@@ -81,7 +81,7 @@ fn ecwa_equals_circumscription() {
     let mut cost = Cost::new();
     assert_eq!(
         disjunctive_db::core::ecwa::circ_models_brute(&db, &part),
-        disjunctive_db::core::ecwa::models(&db, &part, &mut cost)
+        disjunctive_db::core::ecwa::models(&db, &part, &mut cost).unwrap()
     );
 }
 
@@ -91,12 +91,12 @@ fn dsm_facts() {
     let positive = parse_program("a | b. c :- a, b.").unwrap();
     let mut cost = Cost::new();
     assert_eq!(
-        dsm::models(&positive, &mut cost),
-        disjunctive_db::models::minimal::minimal_models(&positive, &mut cost)
+        dsm::models(&positive, &mut cost).unwrap(),
+        disjunctive_db::models::minimal::minimal_models(&positive, &mut cost).unwrap()
     );
     let normal = parse_program("a | b :- not c. c :- not d. d :- not c.").unwrap();
-    let stable = dsm::models(&normal, &mut cost);
-    let minimal = disjunctive_db::models::minimal::minimal_models(&normal, &mut cost);
+    let stable = dsm::models(&normal, &mut cost).unwrap();
+    let minimal = disjunctive_db::models::minimal::minimal_models(&normal, &mut cost).unwrap();
     for m in &stable {
         assert!(minimal.contains(m));
     }
@@ -112,7 +112,7 @@ fn theorem_3_1_reduction() {
         assert!(inst.db.is_positive(), "Theorem 3.1 needs a positive DDB");
         let mut cost = Cost::new();
         assert_eq!(
-            gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost),
+            gcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap(),
             q.valid_brute(),
             "seed {seed}"
         );
@@ -127,7 +127,7 @@ fn dsm_existence_reduction() {
         let inst = dsm_hardness::exists_forall_to_dsm_existence(&q);
         let mut cost = Cost::new();
         assert_eq!(
-            dsm::has_model(&inst.db, &mut cost),
+            dsm::has_model(&inst.db, &mut cost).unwrap(),
             q.true_brute(),
             "seed {seed}"
         );
@@ -141,11 +141,11 @@ fn proposition_5_4_reduction() {
     let unsat = vec![vec![(0u32, true)], vec![(0u32, false)]];
     let db = uminsat::unsat_to_uminsat(1, &unsat);
     let mut cost = Cost::new();
-    assert!(uminsat::has_unique_minimal_model(&db, &mut cost));
+    assert!(uminsat::has_unique_minimal_model(&db, &mut cost).unwrap());
 
     let sat = vec![vec![(0u32, true), (1, true)]];
     let db = uminsat::unsat_to_uminsat(2, &sat);
-    assert!(!uminsat::has_unique_minimal_model(&db, &mut cost));
+    assert!(!uminsat::has_unique_minimal_model(&db, &mut cost).unwrap());
 }
 
 /// Theorem 4.2's degenerate stratification: with `S = ⟨V⟩`, ICWA literal
@@ -158,8 +158,9 @@ fn theorem_4_2_degenerate_stratification() {
     let mut cost = Cost::new();
     let icwa_ans = SemanticsConfig::new(SemanticsId::Icwa)
         .infers_literal(&inst.db, inst.w.neg(), &mut cost)
-        .unwrap();
-    let egcwa_ans = egcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost);
+        .unwrap()
+        .definite();
+    let egcwa_ans = egcwa::infers_literal(&inst.db, inst.w.neg(), &mut cost).unwrap();
     assert_eq!(icwa_ans, egcwa_ans);
     assert!(icwa_ans, "parity family is valid");
 }
@@ -178,7 +179,10 @@ fn stratifiability_asserts_consistency() {
         let mut cost = Cost::new();
         for id in [SemanticsId::Icwa, SemanticsId::Perf, SemanticsId::Dsm] {
             assert!(
-                SemanticsConfig::new(id).has_model(&db, &mut cost).unwrap(),
+                SemanticsConfig::new(id)
+                    .has_model(&db, &mut cost)
+                    .unwrap()
+                    .definite(),
                 "{id} seed {seed}"
             );
         }
@@ -192,12 +196,12 @@ fn pdsm_contains_well_founded_behaviour() {
     // p ← ¬q. q ← ¬p. r ← ¬r: WFS leaves everything undefined.
     let db = parse_program("p :- not q. q :- not p. r :- not r.").unwrap();
     let mut cost = Cost::new();
-    let models = pdsm::models(&db, &mut cost);
+    let models = pdsm::models(&db, &mut cost).unwrap();
     let all_undef = PartialInterpretation::undefined(3);
     assert!(
         models.contains(&all_undef),
         "the well-founded model (everything ½) is partial stable"
     );
     // And DSM has none (the odd loop kills total stability).
-    assert!(!dsm::has_model(&db, &mut cost));
+    assert!(!dsm::has_model(&db, &mut cost).unwrap());
 }

@@ -103,7 +103,7 @@ fn large_tractable_pipeline() {
     let db = horn_chain(n);
     let mut cost = Cost::new();
     let start = std::time::Instant::now();
-    let ans = ddr::infers_literal(&db, Atom::new((n - 1) as u32).neg(), &mut cost);
+    let ans = ddr::infers_literal(&db, Atom::new((n - 1) as u32).neg(), &mut cost).unwrap();
     assert!(!ans, "the chain derives every atom");
     assert_eq!(cost.sat_calls, 0);
     assert!(
