@@ -29,6 +29,7 @@
 pub mod fragments;
 pub mod lints;
 pub mod report;
+pub mod schedule;
 pub mod slice;
 pub mod splitting;
 pub mod transform;
@@ -37,6 +38,7 @@ pub use ddb_logic::depgraph::{DepGraph, EdgeKind, Sccs};
 pub use fragments::{classify, Fragments};
 pub use lints::{lint, Diagnostic, Severity};
 pub use report::{analyze, AnalysisReport};
+pub use schedule::islands;
 pub use slice::{project_slice, project_top, relevant_slice, AtomMap, Slice};
 pub use splitting::{layering, peel, peel_with, Layering, Peel};
 pub use transform::shift;

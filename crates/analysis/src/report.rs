@@ -26,7 +26,7 @@ pub struct AnalysisReport {
 /// `analysis.runs` counter.
 pub fn analyze(db: &Database) -> AnalysisReport {
     let _span = ddb_obs::span("analysis.analyze");
-    ddb_obs::counter_add("analysis.runs", 1);
+    ddb_obs::counter_bump("analysis.runs", 1);
     let graph = DepGraph::of_database(db);
     let fragments = Fragments::of(db, &graph);
     AnalysisReport {

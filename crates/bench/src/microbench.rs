@@ -100,8 +100,13 @@ pub fn write_global_summary() {
         return;
     }
     let measurements = take_global();
+    // Parallel-scaling groups are only meaningful relative to the
+    // hardware they ran on: record it so a 1-core container's flat
+    // curve is not mistaken for a pool regression.
+    let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
     let doc = Json::obj([
         ("version", Json::UInt(1)),
+        ("host_parallelism", Json::UInt(host_parallelism)),
         (
             "measurements",
             Json::Arr(measurements.iter().map(Measurement::to_json).collect()),

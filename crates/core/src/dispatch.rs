@@ -24,7 +24,7 @@ use crate::icwa::Layers;
 use ddb_analysis::{Diagnostic, Fragments};
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{Cost, Partition};
-use ddb_obs::{Governed, Interrupted};
+use ddb_obs::{Governed, Interrupted, Resource};
 use std::fmt;
 
 /// Identifier of one of the paper's ten semantics.
@@ -115,8 +115,19 @@ impl std::error::Error for Unsupported {}
 /// counted in `govern.interrupts.<resource>` by the budget layer; this
 /// counts how many *answers* degraded.
 pub(crate) fn note_interrupt(i: &Interrupted) {
-    ddb_obs::counter_add("govern.unknown", 1);
-    ddb_obs::counter_add(&format!("govern.unknown.{}", i.resource.label()), 1);
+    ddb_obs::counter_bump("govern.unknown", 1);
+    ddb_obs::counter_bump(
+        match i.resource {
+            Resource::Deadline => "govern.unknown.deadline",
+            Resource::Conflicts => "govern.unknown.conflicts",
+            Resource::OracleCalls => "govern.unknown.oracle_calls",
+            Resource::Models => "govern.unknown.models",
+            Resource::Cancelled => "govern.unknown.cancelled",
+            Resource::FaultInjection => "govern.unknown.fault_injection",
+            Resource::Invariant => "govern.unknown.invariant",
+        },
+        1,
+    );
 }
 
 /// Three-valued outcome of a governed decision problem.
@@ -332,8 +343,14 @@ pub struct SemanticsConfig {
     pub icwa_varying: Option<Interpretation>,
     /// Whether analysis-driven fast paths may be taken.
     pub routing: RoutingMode,
-    /// Suppresses the slice/split routes on recursive inner calls (see
-    /// [`crate::slicing`]); never set on user-built configurations.
+    /// Worker-pool width for the component-parallel routes (see
+    /// [`crate::parallel`]). `1` (the default) evaluates inline on the
+    /// calling thread; any value yields answers byte-identical to `1`,
+    /// because the decomposition is taken regardless of width and results
+    /// are folded in component order.
+    pub threads: usize,
+    /// Suppresses the slice/split/island routes on recursive inner calls
+    /// (see [`crate::slicing`]); never set on user-built configurations.
     pub(crate) no_slice: bool,
 }
 
@@ -345,6 +362,7 @@ impl SemanticsConfig {
             partition: None,
             icwa_varying: None,
             routing: RoutingMode::default(),
+            threads: 1,
             no_slice: false,
         }
     }
@@ -358,6 +376,13 @@ impl SemanticsConfig {
     /// Sets the routing mode (see [`RoutingMode`]).
     pub fn with_routing(mut self, routing: RoutingMode) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Sets the worker-pool width (`0` is clamped to `1`). Answers do not
+    /// depend on the width — only wall-clock time does.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -414,7 +439,7 @@ impl SemanticsConfig {
 
     /// Records a taken route in the `route.*` counters.
     fn note(route: Route) {
-        ddb_obs::counter_add(
+        ddb_obs::counter_bump(
             match route {
                 Route::Horn => "route.horn",
                 Route::HcfDsm => "route.hcf",

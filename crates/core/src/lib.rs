@@ -38,6 +38,9 @@
 //! * [`slicing`] — query-relevant slicing and splitting-set peeling, the
 //!   analysis-driven routes that shrink the database a query reasons over
 //!   (backs `ddb slice` and the `route.slice*`/`route.split*` counters);
+//! * [`parallel`] — component-parallel model existence over dependency
+//!   islands and batched formula queries on the budget-inheriting worker
+//!   pool (backs `--threads` and the `route.islands`/`pool.*` counters);
 //! * [`reduct`] — the Gelfond–Lifschitz and three-valued reducts shared
 //!   by DSM/PDSM/WFS.
 
@@ -53,6 +56,7 @@ pub mod ecwa;
 pub mod egcwa;
 pub mod gcwa;
 pub mod icwa;
+pub mod parallel;
 pub mod pdsm;
 pub mod perf;
 pub mod profile;
@@ -65,3 +69,4 @@ pub mod wfs;
 pub mod witness;
 
 pub use dispatch::{Enumeration, RoutingMode, SemanticsConfig, SemanticsId, Unsupported, Verdict};
+pub use parallel::infers_formulas_batch;

@@ -99,12 +99,49 @@ pub struct CellProfile {
     /// Reason the cell is inapplicable, when `answer` is `None`.
     pub unsupported: Option<String>,
     /// Which dispatch route served this cell (`"horn"`, `"slice"`,
-    /// `"split"`, `"hcf"`, or `"generic"`), read off the `route.*`
-    /// counters; `None` when the cell was unsupported or routing never
-    /// ran. Slice/split outrank the others: their recursive inner calls
-    /// bump the plain counters too, but the query was claimed by the
-    /// reduction.
+    /// `"split"`, `"islands"`, `"hcf"`, or `"generic"`), read off the
+    /// `route.*` counters; `None` when the cell was unsupported or routing
+    /// never ran. Slice/split/islands outrank the others: their recursive
+    /// inner calls bump the plain counters too, but the query was claimed
+    /// by the reduction.
     pub route: Option<&'static str>,
+}
+
+/// Per-thread before/after probe over the `route.*` counters. A cell runs
+/// wholly on one thread (its inner configuration is width-1), so this
+/// thread's monotone counter totals ([`ddb_obs::thread_counter_total`])
+/// attribute routes exactly even while sibling cells run concurrently on
+/// other workers — a global snapshot diff would see their bumps too.
+struct RouteProbe {
+    before: [u64; 6],
+}
+
+impl RouteProbe {
+    const NAMES: [&'static str; 6] = [
+        "route.slice",
+        "route.split",
+        "route.islands",
+        "route.horn",
+        "route.hcf",
+        "route.generic",
+    ];
+    const LABELS: [&'static str; 6] = ["slice", "split", "islands", "horn", "hcf", "generic"];
+
+    fn begin() -> Self {
+        RouteProbe {
+            before: Self::NAMES.map(ddb_obs::thread_counter_total),
+        }
+    }
+
+    /// The highest-precedence route bumped on this thread since `begin`.
+    fn route(&self) -> Option<&'static str> {
+        Self::NAMES
+            .iter()
+            .zip(Self::LABELS)
+            .zip(self.before)
+            .find(|((name, _), before)| ddb_obs::thread_counter_total(name) > *before)
+            .map(|((_, label), _)| label)
+    }
 }
 
 impl CellProfile {
@@ -172,7 +209,7 @@ pub fn profile_cell(
     let _span = ddb_obs::span("profile.cell");
     let _guard = cell_budget.map(|b| b.clone().install());
     let mut cost = Cost::new();
-    let before = ddb_obs::snapshot();
+    let probe = RouteProbe::begin();
     let started = Instant::now();
     let outcome = match problem {
         Problem::Literal => cfg.infers_literal(db, lit, &mut cost),
@@ -180,20 +217,7 @@ pub fn profile_cell(
         Problem::Existence => cfg.has_model(db, &mut cost),
     };
     let wall_ns = started.elapsed().as_nanos() as u64;
-    let spent = ddb_obs::snapshot().diff(&before);
-    let route = if spent.get("route.slice") > 0 {
-        Some("slice")
-    } else if spent.get("route.split") > 0 {
-        Some("split")
-    } else if spent.get("route.horn") > 0 {
-        Some("horn")
-    } else if spent.get("route.hcf") > 0 {
-        Some("hcf")
-    } else if spent.get("route.generic") > 0 {
-        Some("generic")
-    } else {
-        None
-    };
+    let route = probe.route();
     let (answer, interrupted, unsupported) = match outcome {
         Ok(Verdict::True) => (Some(true), None, None),
         Ok(Verdict::False) => (Some(false), None, None),
@@ -215,28 +239,37 @@ pub fn profile_cell(
 /// Profile all ten semantics on all three problems: the full 10×3 observed
 /// oracle-call matrix for `db`, in the paper's table order.
 pub fn profile_all(db: &Database, lit: Literal, f: &Formula) -> Vec<CellProfile> {
-    profile_all_budgeted(db, lit, f, None)
+    profile_all_budgeted(db, lit, f, None, 1)
 }
 
 /// [`profile_all`] with a per-cell budget (the `ddb profile
-/// --cell-timeout-ms` machinery): each cell gets a fresh installation of
+/// --cell-timeout-ms` machinery) and a worker-pool width (the `ddb profile
+/// --threads` machinery). Each cell gets a fresh installation of
 /// `cell_budget`, so one slow Πᵖ₂ cell cannot starve the rest of the
-/// matrix — it is marked interrupted and the sweep moves on.
+/// matrix — it is marked interrupted and the sweep moves on. The thirty
+/// cells are independent jobs: `threads > 1` evaluates them concurrently
+/// on the budget-inheriting pool, and the returned vector is in the
+/// paper's table order at every width (workers return indexed results).
 pub fn profile_all_budgeted(
     db: &Database,
     lit: Literal,
     f: &Formula,
     cell_budget: Option<&Budget>,
+    threads: usize,
 ) -> Vec<CellProfile> {
     let _span = ddb_obs::span("profile.all");
-    let mut cells = Vec::with_capacity(SemanticsId::ALL.len() * Problem::ALL.len());
-    for id in SemanticsId::ALL {
-        let cfg = SemanticsConfig::new(id);
-        for problem in Problem::ALL {
-            cells.push(profile_cell(&cfg, db, problem, lit, f, cell_budget));
-        }
-    }
-    cells
+    let jobs: Vec<_> = SemanticsId::ALL
+        .into_iter()
+        .flat_map(|id| Problem::ALL.into_iter().map(move |problem| (id, problem)))
+        .map(|(id, problem)| {
+            let cell_budget = cell_budget.cloned();
+            move || {
+                let cfg = SemanticsConfig::new(id);
+                profile_cell(&cfg, db, problem, lit, f, cell_budget.as_ref())
+            }
+        })
+        .collect();
+    ddb_obs::run_indexed(threads, jobs)
 }
 
 /// Render profiles as an aligned text table: one row per semantics, one
@@ -262,7 +295,7 @@ pub fn render_table(cells: &[CellProfile]) -> String {
                 Some(c) if c.answer.is_some() => {
                     let fast = match c.route {
                         Some("horn") | Some("hcf") => "*",
-                        Some("slice") | Some("split") => "~",
+                        Some("slice") | Some("split") | Some("islands") => "~",
                         _ => "",
                     };
                     row.push_str(&format!(
@@ -301,10 +334,10 @@ pub fn render_table(cells: &[CellProfile]) -> String {
     }
     if cells
         .iter()
-        .any(|c| matches!(c.route, Some("slice") | Some("split")))
+        .any(|c| matches!(c.route, Some("slice") | Some("split") | Some("islands")))
     {
         out.push_str(
-            " ~ answered on a query-relevant slice or split residual (route.slice / route.split)\n",
+            " ~ answered on a query-relevant slice, split residual or island decomposition (route.slice / route.split / route.islands)\n",
         );
     }
     if cells.iter().any(|c| c.interrupted.is_some()) {
@@ -400,7 +433,7 @@ mod tests {
         let db = parse_program("a | b. c :- a. c :- b.").unwrap();
         let f = parse_formula("c", db.symbols()).unwrap();
         let budget = Budget::unlimited().with_max_oracle_calls(0);
-        let cells = profile_all_budgeted(&db, ddb_logic::Atom::new(0).pos(), &f, Some(&budget));
+        let cells = profile_all_budgeted(&db, ddb_logic::Atom::new(0).pos(), &f, Some(&budget), 1);
         assert_eq!(cells.len(), 30);
         assert!(cells.iter().any(|c| c.interrupted.is_some()));
         for c in cells.iter().filter(|c| c.interrupted.is_some()) {
@@ -412,6 +445,29 @@ mod tests {
         }
         assert!(render_table(&cells).contains("?oracle_calls"));
         assert!(render_table(&cells).contains("cell budget exhausted"));
+    }
+
+    #[test]
+    fn parallel_profile_matches_sequential_cell_for_cell() {
+        let db = parse_program("a | b. c :- a. c :- b. x | y. :- x, y.").unwrap();
+        let f = parse_formula("c & !x | c & !y", db.symbols()).unwrap();
+        let lit = ddb_logic::Atom::new(0).pos();
+        let reference = profile_all_budgeted(&db, lit, &f, None, 1);
+        for threads in [2, 4, 8] {
+            let got = profile_all_budgeted(&db, lit, &f, None, threads);
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.semantics, r.semantics, "order must be table order");
+                assert_eq!(g.problem, r.problem, "order must be table order");
+                assert_eq!(g.answer, r.answer, "{:?}/{:?}", r.semantics, r.problem);
+                assert_eq!(g.route, r.route, "{:?}/{:?}", r.semantics, r.problem);
+                assert_eq!(
+                    g.cost.sat_calls, r.cost.sat_calls,
+                    "{:?}/{:?}",
+                    r.semantics, r.problem
+                );
+            }
+        }
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn for_each_hcf_stable_model(
                 m
             };
             let minimal = minimal::minimize(db, &model, cost)?;
-            ddb_obs::counter_add("route.hcf.stability_checks", 1);
+            ddb_obs::counter_bump("route.hcf.stability_checks", 1);
             if normal_is_stable(&shifted, &minimal) && !visit(&minimal) {
                 return Ok(());
             }

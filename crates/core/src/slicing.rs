@@ -124,18 +124,19 @@ pub fn peel_mode(id: SemanticsId) -> Option<bool> {
     }
 }
 
-/// An inner configuration that must not re-enter the slice/split routes
-/// (residual programs would otherwise recurse forever on atoms whose
-/// rules were consumed by the peel).
-fn inner(cfg: &SemanticsConfig) -> SemanticsConfig {
+/// An inner configuration that must not re-enter the slice/split/island
+/// routes (residual programs would otherwise recurse forever on atoms
+/// whose rules were consumed by the peel).
+pub(crate) fn inner(cfg: &SemanticsConfig) -> SemanticsConfig {
     SemanticsConfig {
         no_slice: true,
         ..cfg.clone()
     }
 }
 
-/// Whether the slice/split routes are even on the table for this query.
-fn routable(cfg: &SemanticsConfig) -> bool {
+/// Whether the slice/split/island routes are even on the table for this
+/// query.
+pub(crate) fn routable(cfg: &SemanticsConfig) -> bool {
     cfg.routing == RoutingMode::Auto && !cfg.no_slice && cfg.has_default_structure()
 }
 
@@ -199,8 +200,10 @@ fn try_infers(
     peel_infers(cfg, db, f, lit, cost)
 }
 
-/// Model-existence entry: slicing needs query atoms, so only the peel
-/// route applies — solve the deterministic bottom, ask the residual.
+/// Model-existence entry: slicing needs query atoms, so the peel and
+/// island routes apply — solve the deterministic bottom, then decompose
+/// what remains into weakly-connected islands and evaluate them on the
+/// worker pool (see [`crate::parallel`]).
 pub(crate) fn try_has_model(
     cfg: &SemanticsConfig,
     db: &Database,
@@ -209,10 +212,15 @@ pub(crate) fn try_has_model(
     if !routable(cfg) {
         return Ok(None);
     }
-    let Some(p) = try_peel(cfg, db) else {
-        return Ok(None);
-    };
-    definite(inner(cfg).has_model(&p.residual, cost))
+    let peeled = try_peel(cfg, db);
+    let target: &Database = peeled.as_ref().map_or(db, |p| &p.residual);
+    if let Some(ans) = crate::parallel::islands_has_model(cfg, target, cost)? {
+        return Ok(Some(ans));
+    }
+    match peeled {
+        Some(p) => definite(inner(cfg).has_model(&p.residual, cost)),
+        None => Ok(None),
+    }
 }
 
 fn slice_infers(
@@ -234,13 +242,13 @@ fn slice_infers(
     }
     let admission = match admission(cfg.id, frags, &slice, lit.is_some()) {
         Admission::Blocked => {
-            ddb_obs::counter_add("route.slice.blocked", 1);
+            ddb_obs::counter_bump("route.slice.blocked", 1);
             return Ok(None);
         }
         a => a,
     };
-    ddb_obs::counter_add("route.slice", 1);
-    ddb_obs::counter_add(
+    ddb_obs::counter_bump("route.slice", 1);
+    ddb_obs::counter_bump(
         "route.slice.dropped_rules",
         (db.len() - slice.rules.len()) as u64,
     );
@@ -309,9 +317,9 @@ fn try_peel(cfg: &SemanticsConfig, db: &Database) -> Option<Peel> {
     if p.num_decided == 0 {
         return None;
     }
-    ddb_obs::counter_add("route.split", 1);
-    ddb_obs::counter_add("route.split.decided_atoms", p.num_decided as u64);
-    ddb_obs::counter_add("route.split.components", p.components_decided as u64);
+    ddb_obs::counter_bump("route.split", 1);
+    ddb_obs::counter_bump("route.split.decided_atoms", p.num_decided as u64);
+    ddb_obs::counter_bump("route.split.components", p.components_decided as u64);
     Some(p)
 }
 

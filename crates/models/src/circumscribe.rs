@@ -73,7 +73,7 @@ pub fn holds_in_all_pz_minimal_models(
                 return Ok(true);
             }
             cost.candidates += 1;
-            ddb_obs::counter_add("models.circ.candidates", 1);
+            ddb_obs::counter_bump("models.circ.candidates", 1);
             let m = project(&candidates.model(), n);
             debug_assert!(db.satisfied_by(&m));
             debug_assert!(!f.eval(&m));
@@ -164,7 +164,7 @@ pub fn find_pz_minimal_model_satisfying(
                 return Ok(None);
             }
             cost.candidates += 1;
-            ddb_obs::counter_add("models.circ.candidates", 1);
+            ddb_obs::counter_bump("models.circ.candidates", 1);
             let m = project(&candidates.model(), n);
             let minimal = minimizer.minimize(&m, cost)?;
             let same_signature =

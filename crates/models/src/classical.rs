@@ -55,7 +55,7 @@ pub fn entails(db: &Database, units: &[Literal], f: &Formula, cost: &mut Cost) -
 /// Enumerates every classical model of `DB` (exponentially many in the
 /// worst case — intended for reference computations and tests).
 pub fn all_models(db: &Database, cost: &mut Cost) -> Governed<Vec<Interpretation>> {
-    ddb_obs::counter_add("models.classical.enumerations", 1);
+    ddb_obs::counter_bump("models.classical.enumerations", 1);
     let cnf = database_to_cnf(db);
     let mut out = Vec::new();
     let mut calls = 0u64;

@@ -119,6 +119,30 @@ fn pz_minimal_models_match_brute() {
 }
 
 #[test]
+fn incremental_pz_enumeration_never_costs_more_oracle_calls() {
+    // The incremental expander (one solver, activation-guarded signature
+    // clauses) must return the same model sets as the fresh-solver
+    // baseline at the same oracle-call count — learnt clauses may only
+    // cheapen the calls, never add or change them.
+    let mut rng = XorShift64Star::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let db = random_db(&mut rng, true, true);
+        let part = random_partition(&mut rng);
+        let mut inc_cost = Cost::new();
+        let inc = minimal::pz_minimal_models(&db, &part, &mut inc_cost).unwrap();
+        let mut fresh_cost = Cost::new();
+        let fresh = minimal::pz_minimal_models_fresh(&db, &part, &mut fresh_cost).unwrap();
+        assert_eq!(inc, fresh, "case {case}");
+        assert!(
+            inc_cost.sat_calls <= fresh_cost.sat_calls,
+            "case {case}: incremental used {} oracle calls, fresh used {}",
+            inc_cost.sat_calls,
+            fresh_cost.sat_calls
+        );
+    }
+}
+
+#[test]
 fn minimize_lands_on_brute_minimal() {
     let mut rng = XorShift64Star::seed_from_u64(0xB04);
     for case in 0..CASES {

@@ -9,10 +9,24 @@
 //! figures used in answers come from the thread-local `Cost`/`Stats`
 //! structures; the global registry feeds human-facing `--stats` tables and
 //! `--trace-json` files, where cross-thread interleaving is acceptable.
+//!
+//! Hot counters (`route.*`, `govern.*`, the per-bump sites inside solve
+//! loops) go through [`counter_bump`] instead of [`counter_add`]: the name
+//! is a `&'static str` interned into a per-thread slot table, and deltas
+//! accumulate in a thread-local buffer — no global lock, no `String`
+//! allocation per bump. Buffers flush into the registry on
+//! [`flush_thread_counters`] (called on outermost span exit, worker-pool
+//! exit, and by [`snapshot`]/[`counter_value`] for the calling thread).
+//! With a trace sink installed, bumps flush eagerly so traces stay
+//! event-per-update. Each thread also keeps a monotone lifetime total per
+//! bumped counter ([`thread_counter_total`]), which gives race-free
+//! before/after probes on a single thread even while other workers bump
+//! the same names.
 
 use crate::json::Json;
 use crate::sink::{emit, Event};
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
@@ -41,6 +55,103 @@ pub fn counter_add(name: &str, delta: u64) {
     });
 }
 
+/// Per-thread buffer for [`counter_bump`]: interned name slots, pending
+/// deltas not yet in the global registry, and monotone lifetime totals.
+#[derive(Default)]
+struct LocalBuf {
+    slots: HashMap<&'static str, usize>,
+    names: Vec<&'static str>,
+    pending: Vec<u64>,
+    totals: Vec<u64>,
+    dirty: bool,
+}
+
+impl LocalBuf {
+    fn slot(&mut self, name: &'static str) -> usize {
+        if let Some(&i) = self.slots.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name);
+        self.pending.push(0);
+        self.totals.push(0);
+        self.slots.insert(name, i);
+        i
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::default());
+}
+
+/// Add `delta` to the named hot counter via this thread's buffer: no
+/// global lock and no allocation on the hot path. The global registry
+/// observes the total at the next [`flush_thread_counters`] (or eagerly,
+/// when a trace sink is installed).
+pub fn counter_bump(name: &'static str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut buf = l.borrow_mut();
+        let i = buf.slot(name);
+        buf.pending[i] = buf.pending[i].saturating_add(delta);
+        buf.totals[i] = buf.totals[i].saturating_add(delta);
+        buf.dirty = true;
+    });
+    if crate::sink::active() {
+        flush_thread_counters();
+    }
+}
+
+/// Merge this thread's pending [`counter_bump`] deltas into the global
+/// registry. Cheap when nothing is pending. Called automatically on
+/// outermost span exit, on worker-pool thread exit, and by the read-side
+/// functions for the calling thread.
+pub fn flush_thread_counters() {
+    LOCAL.with(|l| {
+        let mut buf = l.borrow_mut();
+        if !buf.dirty {
+            return;
+        }
+        buf.dirty = false;
+        let mut flushed: Vec<(&'static str, u64, u64)> = Vec::new();
+        let names = std::mem::take(&mut buf.names);
+        with_counters(|map| {
+            for (i, name) in names.iter().enumerate() {
+                let p = buf.pending[i];
+                if p == 0 {
+                    continue;
+                }
+                let slot = map.entry((*name).to_owned()).or_insert(0);
+                *slot = slot.saturating_add(p);
+                flushed.push((name, p, *slot));
+                buf.pending[i] = 0;
+            }
+        });
+        buf.names = names;
+        for (name, delta, total) in flushed {
+            emit(|| Event::Counter {
+                name: name.to_owned(),
+                delta,
+                total,
+            });
+        }
+    });
+}
+
+/// This thread's monotone lifetime total of a [`counter_bump`]ed counter
+/// (flushes do not reset it). Zero if this thread never bumped `name`.
+/// The race-free probe for "did *this thread* take route X": diff the
+/// value around a call, immune to concurrent workers bumping the same
+/// counter.
+pub fn thread_counter_total(name: &'static str) -> u64 {
+    LOCAL.with(|l| {
+        let buf = l.borrow();
+        buf.slots.get(name).map_or(0, |&i| buf.totals[i])
+    })
+}
+
 /// Raise the named counter to at least `value` (a high-water-mark gauge,
 /// e.g. peak clause count).
 pub fn counter_max(name: &str, value: u64) {
@@ -62,14 +173,24 @@ pub fn counter_max(name: &str, value: u64) {
     }
 }
 
-/// Read one counter (zero if it was never touched).
+/// Read one counter (zero if it was never touched). Flushes the calling
+/// thread's buffered bumps first; other threads' buffers flush on their
+/// own span/worker exits.
 pub fn counter_value(name: &str) -> u64 {
+    flush_thread_counters();
     with_counters(|map| map.get(name).copied().unwrap_or(0))
 }
 
-/// Reset the whole registry. Used by the CLI between independent runs and by
-/// tests; library code should prefer [`CounterSnapshot::diff`].
+/// Reset the whole registry (including the calling thread's pending
+/// buffered bumps; per-thread lifetime totals are monotone and survive).
+/// Used by the CLI between independent runs and by tests; library code
+/// should prefer [`CounterSnapshot::diff`].
 pub fn reset_counters() {
+    LOCAL.with(|l| {
+        let mut buf = l.borrow_mut();
+        buf.dirty = false;
+        buf.pending.iter_mut().for_each(|p| *p = 0);
+    });
     with_counters(|map| map.clear());
 }
 
@@ -79,8 +200,11 @@ pub struct CounterSnapshot {
     values: BTreeMap<String, u64>,
 }
 
-/// Capture the current state of every counter.
+/// Capture the current state of every counter. Flushes the calling
+/// thread's buffered bumps first so single-threaded before/after diffs
+/// are exact.
 pub fn snapshot() -> CounterSnapshot {
+    flush_thread_counters();
     CounterSnapshot {
         values: with_counters(|map| map.clone()),
     }
@@ -145,5 +269,76 @@ impl CounterSnapshot {
             out.push_str(&format!("{name:width$}  {value}\n"));
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; serialize the tests that reset it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn bump_is_invisible_until_flushed() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_counters();
+        counter_bump("test.buffered", 3);
+        assert_eq!(
+            with_counters(|map| map.get("test.buffered").copied()),
+            None,
+            "pending bumps stay thread-local"
+        );
+        flush_thread_counters();
+        assert_eq!(
+            with_counters(|map| map.get("test.buffered").copied()),
+            Some(3)
+        );
+        // Read-side functions flush implicitly.
+        counter_bump("test.buffered", 2);
+        assert_eq!(counter_value("test.buffered"), 5);
+        counter_bump("test.buffered", 1);
+        assert_eq!(snapshot().get("test.buffered"), 6);
+    }
+
+    #[test]
+    fn thread_totals_are_monotone_and_per_thread() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = thread_counter_total("test.thread_total");
+        counter_bump("test.thread_total", 4);
+        flush_thread_counters();
+        reset_counters();
+        counter_bump("test.thread_total", 1);
+        assert_eq!(
+            thread_counter_total("test.thread_total") - before,
+            5,
+            "lifetime total survives flush and reset"
+        );
+        std::thread::spawn(|| {
+            assert_eq!(
+                thread_counter_total("test.thread_total"),
+                0,
+                "totals are per-thread"
+            );
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn flushes_from_many_threads_merge() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_counters();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        counter_bump("test.merge", 1);
+                    }
+                    flush_thread_counters();
+                });
+            }
+        });
+        assert_eq!(counter_value("test.merge"), 400);
     }
 }

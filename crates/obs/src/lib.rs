@@ -43,12 +43,17 @@
 pub mod budget;
 pub mod counters;
 pub mod json;
+pub mod pool;
 pub mod sink;
 pub mod span;
 
-pub use budget::{Budget, BudgetGuard, Consumed, Governed, Interrupted, Resource};
-pub use counters::{
-    counter_add, counter_max, counter_value, reset_counters, snapshot, CounterSnapshot,
+pub use budget::{
+    Budget, BudgetGuard, BudgetHandle, Consumed, Governed, HandleGuard, Interrupted, Resource,
 };
+pub use counters::{
+    counter_add, counter_bump, counter_max, counter_value, flush_thread_counters, reset_counters,
+    snapshot, thread_counter_total, CounterSnapshot,
+};
+pub use pool::run_indexed;
 pub use sink::{check_span_nesting, clear_sink, set_sink, Event, MemorySink, Sink};
 pub use span::{current_depth, now_ns, span, time, SpanGuard};

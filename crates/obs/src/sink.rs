@@ -96,6 +96,13 @@ pub fn clear_sink() {
     *slot = None;
 }
 
+/// True when a sink is installed (one relaxed-ish atomic load). Lets the
+/// buffered counter path fall back to eager flushing so traces stay
+/// event-per-update.
+pub(crate) fn active() -> bool {
+    SINK_INSTALLED.load(Ordering::Acquire)
+}
+
 /// Deliver an event to the sink, constructing it only if one is installed.
 pub fn emit(make: impl FnOnce() -> Event) {
     if !SINK_INSTALLED.load(Ordering::Acquire) {

@@ -84,6 +84,11 @@ impl Drop for SpanGuard {
             depth: self.depth,
             dur_ns,
         });
+        if self.depth == 0 {
+            // Leaving the outermost span: publish this thread's buffered
+            // hot-counter bumps so `--stats` tables see them.
+            crate::counters::flush_thread_counters();
+        }
     }
 }
 

@@ -20,7 +20,7 @@ use ddb_obs::budget::{self, Governed, Interrupted};
 /// Decision procedure: is `cnf` satisfiable? Returns a model if so; `Err`
 /// when the installed budget trips mid-search.
 pub fn solve(cnf: &Cnf) -> Governed<Option<Interpretation>> {
-    ddb_obs::counter_add("sat.dpll.solves", 1);
+    ddb_obs::counter_bump("sat.dpll.solves", 1);
     budget::charge_oracle_call()?;
     let mut assign: Vec<Option<bool>> = vec![None; cnf.num_vars];
     let clauses: Vec<Vec<Literal>> = cnf.clauses.clone();

@@ -40,7 +40,7 @@ pub fn enumerate_models(
             }
         }
         count += 1;
-        ddb_obs::counter_add("sat.enumerated_models", 1);
+        ddb_obs::counter_bump("sat.enumerated_models", 1);
         budget::charge_model().map_err(|e| e.with_partial(format!("{count} model(s) found")))?;
         if !on_model(&projected) {
             break;

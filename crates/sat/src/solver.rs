@@ -694,13 +694,13 @@ impl Solver {
             self.cancel_until(0);
         }
         self.stats.max_clauses = self.stats.max_clauses.max(self.clauses.len() as u64);
-        ddb_obs::counter_add("sat.solves", 1);
-        ddb_obs::counter_add("sat.decisions", self.stats.decisions - before.decisions);
-        ddb_obs::counter_add(
+        ddb_obs::counter_bump("sat.solves", 1);
+        ddb_obs::counter_bump("sat.decisions", self.stats.decisions - before.decisions);
+        ddb_obs::counter_bump(
             "sat.propagations",
             self.stats.propagations - before.propagations,
         );
-        ddb_obs::counter_add("sat.conflicts", self.stats.conflicts - before.conflicts);
+        ddb_obs::counter_bump("sat.conflicts", self.stats.conflicts - before.conflicts);
         ddb_obs::counter_max("sat.clauses.peak", self.stats.max_clauses);
         result
     }
@@ -812,6 +812,107 @@ impl Solver {
                         debug_assert!(ok);
                     }
                 }
+            }
+        }
+    }
+
+    /// Search-free refutation probe: does unit propagation plus
+    /// failed-literal lookahead refute the formula under `assumptions`?
+    /// Enqueues each assumption at its own decision level with BCP in
+    /// between, then repeatedly tests every still-undefined variable in
+    /// both polarities by propagation alone — a polarity that conflicts
+    /// forces the opposite literal, and the forced units feed back into
+    /// the lookahead until fixpoint, a conflict, or a falsified
+    /// assumption.
+    ///
+    /// This is the incremental analogue of [`Solver::add_clause`]
+    /// returning `false` on a fresh solver: there the context lives in
+    /// level-0 units (including units *learnt* by earlier solves on that
+    /// solver), so a doomed clause arrives already falsified. When the
+    /// same context is expressed as assumption-guarded clauses the
+    /// level-0 trail stays empty, so the probe re-derives those forced
+    /// units under the assumptions instead. Incremental enumerators call
+    /// it to skip a final propagation-decided UNSAT call. No oracle call
+    /// or conflict is charged against the budget, nothing is learnt, and
+    /// the solver is left quiescent.
+    pub fn refuted_by_propagation(&mut self, assumptions: &[Literal]) -> bool {
+        if self.unsat {
+            return true;
+        }
+        for l in assumptions {
+            self.ensure_vars(l.atom().index() + 1);
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return true;
+        }
+        let mut refuted = false;
+        for &p in assumptions {
+            match self.lit_value(p) {
+                LBool::True => continue,
+                LBool::False => {
+                    refuted = true;
+                    break;
+                }
+                LBool::Undef => {
+                    self.trail_lim.push(self.trail.len());
+                    let ok = self.enqueue(p, None);
+                    debug_assert!(ok, "undefined assumption must be enqueuable");
+                    if self.propagate().is_some() {
+                        refuted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !refuted {
+            refuted = self.failed_literal_refutes();
+        }
+        self.cancel_until(0);
+        refuted
+    }
+
+    /// Failed-literal lookahead at the current (assumption) level: probes
+    /// each undefined variable in both polarities with BCP only. Both
+    /// polarities conflicting refutes; one conflicting forces the other,
+    /// which is enqueued at the current level and propagated, and the
+    /// sweep restarts until no new units appear. Caller cleans up with
+    /// `cancel_until`.
+    fn failed_literal_refutes(&mut self) -> bool {
+        let base = self.decision_level();
+        loop {
+            let mut forced_any = false;
+            for v in 0..self.num_vars as u32 {
+                if self.assign[v as usize] != LBool::Undef {
+                    continue;
+                }
+                let probe = |s: &mut Self, lit: Literal| {
+                    s.trail_lim.push(s.trail.len());
+                    let ok = s.enqueue(lit, None);
+                    debug_assert!(ok, "undefined probe literal must be enqueuable");
+                    let conflict = s.propagate().is_some();
+                    s.cancel_until(base);
+                    conflict
+                };
+                let pos_fails = probe(self, Atom::new(v).pos());
+                let neg_fails = probe(self, Atom::new(v).neg());
+                if pos_fails && neg_fails {
+                    return true;
+                }
+                if pos_fails != neg_fails {
+                    // Exactly one polarity failed: the other is forced.
+                    let forced = Literal::with_sign(Atom::new(v), !pos_fails);
+                    let ok = self.enqueue(forced, None);
+                    debug_assert!(ok, "forced literal must be enqueuable");
+                    if self.propagate().is_some() {
+                        return true;
+                    }
+                    forced_any = true;
+                }
+            }
+            if !forced_any {
+                return false;
             }
         }
     }

@@ -22,7 +22,10 @@
 //! ddb query <file> --semantics <name> --formula "<f>" [--brave] [--explain]
 //! ddb query <file> --semantics <name> --literal [-]<atom> [--explain]
 //!     Decide (cautious or brave) inference; --explain prints a
-//!     countermodel when the query is not inferred.
+//!     countermodel when the query is not inferred. `--formula` may be
+//!     repeated: the batch shares one parse/analysis pass and the
+//!     formulas are decided concurrently on `--threads` workers, printing
+//!     one `<formula>: <verdict>` line each, in command order.
 //!
 //! ddb exists <file> --semantics <name>
 //!     The paper's model-existence problem.
@@ -38,8 +41,11 @@
 //!     the sweep continues.
 //!
 //! `models`, `query`, `exists` and `profile` all accept `--stats` (print
-//! the observability counter table to stderr) and `--trace-json <file>`
-//! (write a structured trace — counters, spans, answer — as JSON).
+//! the observability counter table to stderr), `--trace-json <file>`
+//! (write a structured trace — counters, spans, answer — as JSON), and
+//! `--threads <n>` (worker-pool width for component-parallel evaluation:
+//! independent dependency islands, batched formulas and profile cells run
+//! concurrently; answers are byte-identical at every width).
 //!
 //! Resource limits (models/query/exists; per cell on profile):
 //!   --timeout-ms <n>  --max-oracle-calls <n>  --max-conflicts <n>
@@ -54,7 +60,7 @@
 //! perf, icwa, dsm, pdsm, cwa. `<file>` may be `-` for stdin.
 //! ```
 
-use disjunctive_db::core::{cwa, profile, wfs, witness};
+use disjunctive_db::core::{cwa, parallel, profile, wfs, witness};
 use disjunctive_db::ground::{ground_reduced, parse::parse_datalog};
 use disjunctive_db::obs::json::Json;
 use disjunctive_db::prelude::*;
@@ -66,6 +72,59 @@ use std::time::Instant;
 const EXIT_USAGE: u8 = 4;
 /// Exit code when a resource budget tripped before the answer was decided.
 const EXIT_EXHAUSTED: u8 = 3;
+
+/// EPIPE-tolerant stdout. Every subcommand routes its output through here
+/// (via `oprintln!`/`oprint!`), so `ddb profile … | head -3` — or any
+/// downstream that closes the pipe early — never panics and never aborts
+/// the process mid-command: once a write fails, further output is dropped,
+/// while stderr, traces, and the exit code are unaffected.
+mod out {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static CLOSED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether a stdout write has failed (downstream pipe closed).
+    pub fn closed() -> bool {
+        CLOSED.load(Ordering::Relaxed)
+    }
+
+    /// Writes `text` to stdout, recording (and swallowing) a broken pipe.
+    pub fn text(text: &str) {
+        if closed() {
+            return;
+        }
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        if lock.write_all(text.as_bytes()).is_err() || lock.flush().is_err() {
+            CLOSED.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes `line` plus a newline, tolerating a broken pipe.
+    pub fn line(line: &str) {
+        if closed() {
+            return;
+        }
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        if writeln!(lock, "{line}").is_err() {
+            CLOSED.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// `println!` for command output: formats into [`out`], which swallows a
+/// closed downstream pipe instead of panicking.
+macro_rules! oprintln {
+    () => { crate::out::line("") };
+    ($($arg:tt)*) => { crate::out::line(&format!($($arg)*)) };
+}
+
+/// `print!` counterpart of `oprintln!`.
+macro_rules! oprint {
+    ($($arg:tt)*) => { crate::out::text(&format!($($arg)*)) };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,7 +148,7 @@ fn run(args: &[String]) -> Result<u8, String> {
     };
     match command.as_str() {
         "help" | "--help" | "-h" => {
-            println!("{}", USAGE);
+            oprintln!("{}", USAGE);
             Ok(0)
         }
         "classify" => classify(&args[1..]).map(|()| 0),
@@ -114,6 +173,8 @@ const USAGE: &str = "usage:
       (query-relevant slice, condensation layers, per-semantics admission)
   ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c] [--partial]
   ddb query  <file> --semantics <name> (--formula \"<f>\" | --literal [-]<atom>) [--brave] [--explain]
+      (--formula may be repeated: the batch shares one analysis pass and
+       runs concurrently on --threads workers, one verdict line each)
   ddb exists <file> --semantics <name>
   ddb wfs    <file>
   ddb ground <file> [--full]          (print the grounded program)
@@ -121,7 +182,9 @@ const USAGE: &str = "usage:
   ddb profile <file> [--literal [-]<a>] [--formula \"<f>\"] [--cell-timeout-ms <n>]
       (observed 10-semantics x 3-problems oracle-call matrix vs paper classes;
        with a per-cell budget, exhausted cells are marked ?<resource>)
-models/query/exists/profile also take: --stats  --trace-json <file>
+models/query/exists/profile also take: --stats  --trace-json <file>  --threads <n>
+  (--threads evaluates independent dependency islands, batched formulas and
+   profile cells concurrently; answers are identical at every width)
 resource limits (models/query/exists; applied per cell on profile):
   --timeout-ms <n>  --max-oracle-calls <n>  --max-conflicts <n>
   --max-models <n>  --fail-after <n>
@@ -179,8 +242,31 @@ impl Opts {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every occurrence of a repeatable `--key value`, in command order
+    /// (`ddb query … --formula a --formula b` is a batch of two).
+    fn values_all(&self, key: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Parses `--threads N` (worker-pool width for component-parallel
+/// evaluation); defaults to 1 (fully sequential, no pool). Answers are
+/// identical at every width — only wall-clock time changes.
+fn threads_from(opts: &Opts) -> Result<usize, String> {
+    match opts.value("threads") {
+        None => Ok(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--threads needs a positive integer, got `{v}`")),
+        },
     }
 }
 
@@ -381,20 +467,20 @@ fn render_model(db: &Database, m: &Interpretation) -> String {
 fn classify(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
-    println!("atoms:              {}", db.num_atoms());
-    println!("rules:              {}", db.len());
-    println!("class:              {:?}", db.class());
-    println!("negation:           {}", db.has_negation());
-    println!("integrity clauses:  {}", db.has_integrity_clauses());
+    oprintln!("atoms:              {}", db.num_atoms());
+    oprintln!("rules:              {}", db.len());
+    oprintln!("class:              {:?}", db.class());
+    oprintln!("negation:           {}", db.has_negation());
+    oprintln!("integrity clauses:  {}", db.has_integrity_clauses());
     match db.stratification() {
         Some(strata) => {
-            println!("stratification:     {} strata", strata.len());
+            oprintln!("stratification:     {} strata", strata.len());
             for (i, s) in strata.iter().enumerate() {
                 let names: Vec<&str> = s.iter().map(|&a| db.symbols().name(a)).collect();
-                println!("  S{}: {{{}}}", i + 1, names.join(", "));
+                oprintln!("  S{}: {{{}}}", i + 1, names.join(", "));
             }
         }
-        None => println!("stratification:     none (unstratifiable)"),
+        None => oprintln!("stratification:     none (unstratifiable)"),
     }
     Ok(())
 }
@@ -445,9 +531,9 @@ fn check_cmd(args: &[String]) -> Result<u8, String> {
                     ("errors", Json::UInt(1)),
                     ("warnings", Json::UInt(0)),
                 ]);
-                print!("{}", doc.render_pretty());
+                oprint!("{}", doc.render_pretty());
             } else {
-                println!("{d}");
+                oprintln!("{d}");
             }
             return fail("check failed: 1 error(s)".into());
         }
@@ -467,9 +553,9 @@ fn check_cmd(args: &[String]) -> Result<u8, String> {
         if let Json::Obj(rest) = report.to_json(&db) {
             pairs.extend(rest);
         }
-        print!("{}", Json::Obj(pairs).render_pretty());
+        oprint!("{}", Json::Obj(pairs).render_pretty());
     } else {
-        print!("{}", report.render(&db));
+        oprint!("{}", report.render(&db));
     }
     let errors = report.count(Severity::Error);
     let warnings = report.count(Severity::Warning);
@@ -597,10 +683,10 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
             ("levels", Json::Arr(level_sets)),
             ("admissions", Json::Arr(admissions)),
         ]);
-        print!("{}", doc.render_pretty());
+        oprint!("{}", doc.render_pretty());
         return Ok(());
     }
-    println!(
+    oprintln!(
         "slice of {} for query `{raw}`: {} of {} atom(s), {} of {} rule(s)",
         opts.file.as_deref().unwrap_or("-"),
         slice.atoms.len(),
@@ -609,22 +695,22 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
         db.len(),
     );
     let names: Vec<&str> = slice.atoms.iter().map(|&a| db.symbols().name(a)).collect();
-    println!("  atoms: {{{}}}", names.join(", "));
+    oprintln!("  atoms: {{{}}}", names.join(", "));
     for &i in &slice.rules {
-        println!(
+        oprintln!(
             "  rule #{i}: {}",
             display_rule(&db.rules()[i], db.symbols())
         );
     }
     match (slice.split_closed, slice.blocking_rule) {
-        (true, _) => println!("  split-closed: yes"),
-        (false, Some(i)) => println!(
+        (true, _) => oprintln!("  split-closed: yes"),
+        (false, Some(i)) => oprintln!(
             "  split-closed: no — blocked by rule #{i}: {}",
             display_rule(&db.rules()[i], db.symbols())
         ),
-        (false, None) => println!("  split-closed: no"),
+        (false, None) => oprintln!("  split-closed: no"),
     }
-    println!("layers: {} condensation level(s)", layers.num_levels);
+    oprintln!("layers: {} condensation level(s)", layers.num_levels);
     for l in 0..layers.num_levels {
         let at_level: Vec<&str> = db
             .symbols()
@@ -632,14 +718,14 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
             .filter(|a| layers.level[a.index()] == l)
             .map(|a| db.symbols().name(a))
             .collect();
-        println!("  L{l}: {{{}}}", at_level.join(", "));
+        oprintln!("  L{l}: {{{}}}", at_level.join(", "));
     }
-    println!(
+    oprintln!(
         "admission ({} query):",
         if literal_query { "literal" } else { "formula" }
     );
     for &id in &semantics {
-        println!(
+        oprintln!(
             "  {:<13} {:<26} peel: {}",
             id.to_string(),
             admission_label(admission(id, &frags, &slice, literal_query)),
@@ -649,13 +735,11 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes one stdout line, tolerating a closed downstream pipe: `ddb
-/// models … | head -3` must not panic mid-enumeration. Returns `false`
-/// once the pipe is gone so unbounded loops can stop emitting; stderr,
-/// traces and the exit code are unaffected.
+/// Writes one stdout line through [`out`]. Returns `false` once the pipe
+/// is gone so unbounded enumeration loops can stop emitting early.
 fn emit(line: &str) -> bool {
-    use std::io::Write;
-    writeln!(std::io::stdout(), "{line}").is_ok()
+    out::line(line);
+    !out::closed()
 }
 
 fn models(args: &[String]) -> Result<u8, String> {
@@ -672,16 +756,16 @@ fn models(args: &[String]) -> Result<u8, String> {
         match cwa::model(&db, &mut cost) {
             Ok(Some(m)) => {
                 model_count = 1;
-                println!("{}", render_model(&db, &m));
+                oprintln!("{}", render_model(&db, &m));
             }
-            Ok(None) => println!("CWA is inconsistent for this database"),
+            Ok(None) => oprintln!("CWA is inconsistent for this database"),
             Err(i) => interrupted = Some(i),
         }
     } else if name.eq_ignore_ascii_case("pdsm") && opts.flag("partial") {
         match disjunctive_db::core::pdsm::models(&db, &mut cost) {
             Ok(models) => {
                 model_count = models.len() as u64;
-                println!("{} partial stable model(s):", models.len());
+                oprintln!("{} partial stable model(s):", models.len());
                 for p in &models {
                     let mut parts = Vec::new();
                     for a in db.symbols().atoms() {
@@ -700,13 +784,13 @@ fn models(args: &[String]) -> Result<u8, String> {
             Err(i) => interrupted = Some(i),
         }
     } else {
-        let cfg = config_for(&opts, &db)?;
+        let cfg = config_for(&opts, &db)?.with_threads(threads_from(&opts)?);
         let enumeration = cfg.models(&db, &mut cost).map_err(|e| e.to_string())?;
         model_count = enumeration.len() as u64;
         if enumeration.is_complete() {
-            println!("{} model(s) under {}:", enumeration.len(), cfg.id);
+            oprintln!("{} model(s) under {}:", enumeration.len(), cfg.id);
         } else {
-            println!(
+            oprintln!(
                 "{} model(s) under {} (incomplete — budget exhausted):",
                 enumeration.len(),
                 cfg.id
@@ -749,6 +833,9 @@ fn models(args: &[String]) -> Result<u8, String> {
 fn query(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
+    if opts.values_all("formula").len() > 1 {
+        return query_batch(&opts, &db);
+    }
     let formula = match (opts.value("formula"), opts.value("literal")) {
         (Some(f), None) => parse_formula(f, db.symbols()).map_err(|e| e.to_string())?,
         (None, Some(l)) => {
@@ -773,18 +860,18 @@ fn query(args: &[String]) -> Result<u8, String> {
     if name.eq_ignore_ascii_case("cwa") {
         verdict = cwa::infers_formula(&db, &formula, &mut cost).into();
         match verdict.as_bool() {
-            Some(ans) => println!("{}", if ans { "inferred" } else { "not inferred" }),
-            None => println!("unknown"),
+            Some(ans) => oprintln!("{}", if ans { "inferred" } else { "not inferred" }),
+            None => oprintln!("unknown"),
         }
     } else {
-        let cfg = config_for(&opts, &db)?;
+        let cfg = config_for(&opts, &db)?.with_threads(threads_from(&opts)?);
         if opts.flag("brave") {
             verdict = witness::brave_infers_formula(&cfg, &db, &formula, &mut cost)
                 .map_err(|e| e.to_string())?;
             match verdict.as_bool() {
-                Some(true) => println!("bravely inferred (holds in some model)"),
-                Some(false) => println!("not bravely inferred"),
-                None => println!("unknown"),
+                Some(true) => oprintln!("bravely inferred (holds in some model)"),
+                Some(false) => oprintln!("not bravely inferred"),
+                None => oprintln!("unknown"),
             }
         } else if opts.flag("explain") {
             match witness::explain_formula(&cfg, &db, &formula, &mut cost)
@@ -792,11 +879,11 @@ fn query(args: &[String]) -> Result<u8, String> {
             {
                 witness::QueryOutcome::Inferred => {
                     verdict = Verdict::True;
-                    println!("inferred");
+                    oprintln!("inferred");
                 }
                 witness::QueryOutcome::Countermodel(m) => {
                     verdict = Verdict::False;
-                    println!("not inferred; countermodel: {}", render_model(&db, &m));
+                    oprintln!("not inferred; countermodel: {}", render_model(&db, &m));
                 }
                 witness::QueryOutcome::CountermodelPartial(p) => {
                     verdict = Verdict::False;
@@ -809,11 +896,11 @@ fn query(args: &[String]) -> Result<u8, String> {
                         };
                         parts.push(format!("{}={v}", db.symbols().name(a)));
                     }
-                    println!("not inferred; partial countermodel: ⟨{}⟩", parts.join(", "));
+                    oprintln!("not inferred; partial countermodel: ⟨{}⟩", parts.join(", "));
                 }
                 witness::QueryOutcome::Unknown(i) => {
                     verdict = Verdict::Unknown(i);
-                    println!("unknown");
+                    oprintln!("unknown");
                 }
             }
         } else {
@@ -821,8 +908,8 @@ fn query(args: &[String]) -> Result<u8, String> {
                 .infers_formula(&db, &formula, &mut cost)
                 .map_err(|e| e.to_string())?;
             match verdict.as_bool() {
-                Some(ans) => println!("{}", if ans { "inferred" } else { "not inferred" }),
-                None => println!("unknown"),
+                Some(ans) => oprintln!("{}", if ans { "inferred" } else { "not inferred" }),
+                None => oprintln!("unknown"),
             }
         }
     }
@@ -850,6 +937,70 @@ fn query(args: &[String]) -> Result<u8, String> {
     })
 }
 
+/// Batched `ddb query`: repeated `--formula` occurrences share one
+/// parse/analysis/applicability pass and are decided concurrently on
+/// `--threads` workers. Results print in command order regardless of
+/// width, so the output is byte-identical to querying one at a time.
+fn query_batch(opts: &Opts, db: &Database) -> Result<u8, String> {
+    if opts.value("literal").is_some() {
+        return Err("--literal cannot be combined with a batch of --formula".into());
+    }
+    if opts.flag("brave") || opts.flag("explain") {
+        return Err("--brave/--explain take a single --formula at a time".into());
+    }
+    let name = opts.value("semantics").unwrap_or("egcwa");
+    if name.eq_ignore_ascii_case("cwa") {
+        return Err("batch query is not available for cwa".into());
+    }
+    let raw = opts.values_all("formula");
+    let formulas: Vec<Formula> = raw
+        .iter()
+        .map(|s| parse_formula(s, db.symbols()).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let cfg = config_for(opts, db)?.with_threads(threads_from(opts)?);
+    let budget = budget_from(opts)?;
+    let observation = begin_observation(opts);
+    let guard = budget.map(Budget::install);
+    let results =
+        parallel::infers_formulas_batch(&cfg, db, &formulas).map_err(|e| e.to_string())?;
+    let mut total = Cost::new();
+    let mut interrupted: Option<Interrupted> = None;
+    let mut answers = Vec::with_capacity(results.len());
+    for (src, (verdict, cost)) in raw.iter().zip(&results) {
+        total.merge(cost);
+        let text = match verdict.as_bool() {
+            Some(true) => "inferred",
+            Some(false) => "not inferred",
+            None => "unknown",
+        };
+        oprintln!("{src}: {text}");
+        if interrupted.is_none() {
+            interrupted = verdict.interrupted().cloned();
+        }
+        answers.push(verdict.as_bool().map_or(Json::Null, Json::Bool));
+    }
+    eprintln!(
+        "[oracle: {} SAT calls, {} candidates]",
+        total.sat_calls, total.candidates
+    );
+    let consumed = disjunctive_db::obs::budget::consumed();
+    drop(guard);
+    if let Some(i) = &interrupted {
+        report_unknown(i);
+    }
+    observation.finish(
+        opts,
+        "query",
+        Json::Arr(answers),
+        govern_extra(interrupted.as_ref(), consumed),
+    )?;
+    Ok(if interrupted.is_some() {
+        EXIT_EXHAUSTED
+    } else {
+        0
+    })
+}
+
 fn exists(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
@@ -861,12 +1012,12 @@ fn exists(args: &[String]) -> Result<u8, String> {
     let verdict: Verdict = if name.eq_ignore_ascii_case("cwa") {
         cwa::is_consistent(&db, &mut cost).into()
     } else {
-        let cfg = config_for(&opts, &db)?;
+        let cfg = config_for(&opts, &db)?.with_threads(threads_from(&opts)?);
         cfg.has_model(&db, &mut cost).map_err(|e| e.to_string())?
     };
     match verdict.as_bool() {
-        Some(ans) => println!("{}", if ans { "has a model" } else { "no model" }),
-        None => println!("unknown"),
+        Some(ans) => oprintln!("{}", if ans { "has a model" } else { "no model" }),
+        None => oprintln!("unknown"),
     }
     let consumed = disjunctive_db::obs::budget::consumed();
     drop(guard);
@@ -928,9 +1079,10 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
                 .with_timeout(std::time::Duration::from_millis(ms)),
         );
     }
+    let threads = threads_from(&opts)?;
     let observation = begin_observation(&opts);
-    let cells = profile::profile_all_budgeted(&db, lit, &f, cell_budget.as_ref());
-    println!(
+    let cells = profile::profile_all_budgeted(&db, lit, &f, cell_budget.as_ref(), threads);
+    oprintln!(
         "profile of {} ({} atoms, {} rules); query literal `{}{}`",
         opts.file.as_deref().unwrap_or("-"),
         db.num_atoms(),
@@ -938,8 +1090,8 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
         if lit.is_positive() { "" } else { "-" },
         db.symbols().name(lit.atom()),
     );
-    println!();
-    print!("{}", profile::render_table(&cells));
+    oprintln!();
+    oprint!("{}", profile::render_table(&cells));
     let cells_json = Json::Arr(cells.iter().map(profile::CellProfile::to_json).collect());
     observation.finish(&opts, "profile", Json::Null, vec![("cells", cells_json)])
 }
@@ -984,12 +1136,12 @@ fn proof_cmd(args: &[String]) -> Result<(), String> {
         .lookup(name)
         .ok_or_else(|| format!("unknown atom `{name}`"))?;
     match disjunctive_db::models::fixpoint::activation_proof(&db, atom) {
-        None => println!("{name} does not occur in T_DB↑ω — DDR infers ¬{name}"),
+        None => oprintln!("{name} does not occur in T_DB↑ω — DDR infers ¬{name}"),
         Some(proof) => {
-            println!("{name} occurs in T_DB↑ω (DDR does NOT infer ¬{name}); derivation:");
+            oprintln!("{name} occurs in T_DB↑ω (DDR does NOT infer ¬{name}); derivation:");
             for step in &proof {
                 let rule = &db.rules()[step.rule_index];
-                println!(
+                oprintln!(
                     "  {} by rule #{}: {}",
                     db.symbols().name(step.atom),
                     step.rule_index,
@@ -1017,7 +1169,7 @@ fn wfs_cmd(args: &[String]) -> Result<(), String> {
             TruthValue::Undefined => "undefined",
             TruthValue::False => "false",
         };
-        println!("{}: {v}", db.symbols().name(a));
+        oprintln!("{}: {v}", db.symbols().name(a));
     }
     Ok(())
 }

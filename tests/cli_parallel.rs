@@ -1,0 +1,230 @@
+//! End-to-end checks of the parallel-evaluation surface of the `ddb`
+//! binary: the `--threads` flag (validation, byte-identical output at
+//! every width), batched `--formula` queries (ordering, flag conflicts),
+//! the budget→worker interrupt path under `--threads`, and EPIPE
+//! tolerance when a downstream consumer closes the pipe early.
+
+use ddb_reductions::dsm_hardness::exists_forall_to_dsm_existence;
+use ddb_reductions::qbf::parity_family;
+use disjunctive_db::prelude::display_database;
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ddb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddb"))
+}
+
+fn temp_file(name: &str, contents: &str) -> String {
+    let path =
+        std::env::temp_dir().join(format!("ddb_cli_parallel_{name}_{}.dl", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+fn exit_code(cmd: &mut Command) -> i32 {
+    cmd.output().expect("running ddb").status.code().unwrap()
+}
+
+/// Three disconnected components, so `exists` takes the islands route.
+const ISLANDS: &str = "a | b. c :- a, b.\np | q. :- p, q.\nx :- not y. y :- not x.";
+
+#[test]
+fn thread_width_is_invisible_in_the_output() {
+    let path = temp_file("width", ISLANDS);
+    let mut reference: Option<Vec<u8>> = None;
+    for width in ["1", "2", "8"] {
+        let out = ddb()
+            .args(["exists", &path, "--semantics", "dsm", "--threads", width])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code().unwrap(), 0, "threads {width}");
+        match &reference {
+            None => reference = Some(out.stdout),
+            Some(r) => assert_eq!(
+                r, &out.stdout,
+                "threads {width}: stdout must be byte-identical to --threads 1"
+            ),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn invalid_thread_counts_exit_four() {
+    let path = temp_file("badwidth", "a | b.");
+    for bad in ["0", "xyz", ""] {
+        let out = ddb()
+            .args(["exists", &path, "--semantics", "gcwa", "--threads", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code().unwrap(), 4, "--threads {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("threads"), "diagnostic names the flag: {err}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_query_answers_in_command_line_order() {
+    let path = temp_file("batch", "a | b. c :- a. c :- b.");
+    for width in ["1", "4"] {
+        let out = ddb()
+            .args([
+                "query",
+                &path,
+                "--semantics",
+                "gcwa",
+                "--threads",
+                width,
+                "--formula",
+                "c",
+                "--formula",
+                "a & b",
+                "--formula",
+                "a | b",
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code().unwrap(), 0, "threads {width}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["c: inferred", "a & b: not inferred", "a | b: inferred"],
+            "threads {width}: one line per formula, in command order"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_rejects_incompatible_flags() {
+    let path = temp_file("batchbad", "a | b.");
+    let batch = ["--formula", "a", "--formula", "b"];
+    for extra in [&["--literal", "a"][..], &["--brave"], &["--explain"]] {
+        let mut args = vec!["query", path.as_str()];
+        args.extend_from_slice(&batch);
+        args.extend_from_slice(extra);
+        assert_eq!(exit_code(ddb().args(&args)), 4, "extra {extra:?}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_under_zero_oracle_budget_exits_exhausted() {
+    let path = temp_file("batchgov", "a | b. c :- a. c :- b.");
+    let out = ddb()
+        .args([
+            "query",
+            &path,
+            "--semantics",
+            "gcwa",
+            "--threads",
+            "4",
+            "--formula",
+            "c",
+            "--formula",
+            "a | b",
+            "--max-oracle-calls",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 3, "resource-exhausted exit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unknown"), "three-valued answers: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("oracle_calls"),
+        "stderr names the exhausted resource: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn timeout_with_many_threads_still_exits_exhausted_promptly() {
+    // The CI parallel smoke: a Σᵖ₂-hard existence question, 8 workers, a
+    // 100 ms deadline — the deadline must reach every worker and the
+    // process must exit 3 well within the promptness bound.
+    let inst = exists_forall_to_dsm_existence(&parity_family(12).complement());
+    let path = temp_file("partimeout", &display_database(&inst.db));
+    let started = Instant::now();
+    let out = ddb()
+        .args([
+            "exists",
+            &path,
+            "--semantics",
+            "dsm",
+            "--threads",
+            "8",
+            "--timeout-ms",
+            "100",
+        ])
+        .output()
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(out.status.code().unwrap(), 3, "resource-exhausted exit");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "interruption must be prompt, took {elapsed:?}"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("unknown"));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Spawns `ddb` with `args`, reads at most `keep` bytes of stdout, then
+/// closes the pipe and waits — the downstream-`head` scenario.
+fn run_with_early_close(args: &[&str], keep: usize) -> std::process::ExitStatus {
+    let mut child = ddb()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning ddb");
+    let mut stdout = child.stdout.take().unwrap();
+    let mut buf = vec![0u8; keep.max(1)];
+    let _ = stdout.read(&mut buf);
+    drop(stdout); // EPIPE for every later write
+    let status = child.wait().expect("waiting for ddb");
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).ok();
+    assert!(
+        !err.contains("panicked"),
+        "closed pipe must not panic: {err}"
+    );
+    status
+}
+
+#[test]
+fn closed_stdout_pipe_never_panics() {
+    // `ddb ... | head -1` writes to a closed pipe mid-report. The binary
+    // must swallow the broken pipe and exit through its normal path
+    // instead of aborting on an io panic (the historical behavior of the
+    // raw `println!` sites).
+    let path = temp_file("epipe", "a | b. c :- a. c :- b. d | e :- c.");
+    let profile = run_with_early_close(&["profile", &path, "--threads", "4"], 8);
+    assert_eq!(profile.code(), Some(0), "profile under closed pipe");
+    let check = run_with_early_close(&["check", &path, "--json"], 8);
+    assert!(
+        check.code().is_some(),
+        "check must exit, not die on a signal"
+    );
+    let batch = run_with_early_close(
+        &[
+            "query",
+            &path,
+            "--semantics",
+            "egcwa",
+            "--formula",
+            "c",
+            "--formula",
+            "d | e",
+            "--formula",
+            "a | b",
+        ],
+        4,
+    );
+    assert_eq!(batch.code(), Some(0), "batch query under closed pipe");
+    std::fs::remove_file(&path).ok();
+}
