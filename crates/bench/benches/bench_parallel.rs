@@ -41,6 +41,9 @@ fn islands_db() -> Database {
 
 /// Stable-model existence over many islands — every width must agree
 /// with the sequential answer and oracle bill before anything is timed.
+/// The audit also cross-checks the latency histograms against the
+/// counters: every SAT call must record exactly one `sat.solve.ns`
+/// sample, at every width.
 fn bench_islands_exist(c: &mut Criterion) {
     let db = islands_db();
     let mut base = Cost::new();
@@ -50,9 +53,17 @@ fn bench_islands_exist(c: &mut Criterion) {
     let mut g = c.benchmark_group("T1-parallel-DSM-exist (threads scaling)");
     for width in WIDTHS {
         let cfg = SemanticsConfig::new(SemanticsId::Dsm).with_threads(width);
+        ddb_obs::reset_histograms();
+        let solves_before = ddb_obs::snapshot().get("sat.solves");
         let mut cost = Cost::new();
         assert_eq!(cfg.has_model(&db, &mut cost).unwrap(), reference);
         assert_eq!(cost.sat_calls, base.sat_calls, "width {width} oracle bill");
+        let solves = ddb_obs::snapshot().get("sat.solves") - solves_before;
+        let samples = ddb_obs::hist_snapshot().count("sat.solve.ns");
+        assert_eq!(
+            samples, solves,
+            "width {width}: sat.solve.ns histogram samples vs sat.solves counter"
+        );
         g.bench_with_input(BenchmarkId::new("exist", width), &width, |b, _| {
             b.iter(|| {
                 let mut cost = Cost::new();

@@ -89,6 +89,18 @@ pub fn take_global() -> Vec<Measurement> {
     std::mem::take(&mut *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()))
 }
 
+/// Record a synthetic single-sample metric into the `DDB_BENCH_JSON`
+/// summary alongside the timed measurements — for derived figures a
+/// bench computes itself, like an instrumentation-overhead delta.
+pub fn record_metric(group: &str, id: &str, value_ns: f64) {
+    record_global(Measurement {
+        group: group.to_owned(),
+        id: id.to_owned(),
+        iters: 1,
+        samples_ns: vec![value_ns],
+    });
+}
+
 /// Write the global measurement summary to the file named by the
 /// `DDB_BENCH_JSON` environment variable (no-op when unset). Called by
 /// `criterion_main!` after all groups finish.

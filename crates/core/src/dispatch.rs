@@ -485,12 +485,18 @@ impl SemanticsConfig {
     }
 
     /// The paper's *inference of a literal* problem.
+    ///
+    /// Runs under a `dispatch.query` trace span with its wall time in the
+    /// `dispatch.query.ns` histogram; slice/split routes re-enter the
+    /// dispatcher on sub-databases, which shows up as nested
+    /// `dispatch.query` spans in timelines.
     pub fn infers_literal(
         &self,
         db: &Database,
         lit: Literal,
         cost: &mut Cost,
     ) -> Result<Verdict, Unsupported> {
+        let _q = ddb_obs::hist_span("dispatch.query", "dispatch.query.ns");
         let (route, frags) = self.prepare(db)?;
         if route == Route::Horn {
             Self::note(Route::Horn);
@@ -525,13 +531,16 @@ impl SemanticsConfig {
         }))
     }
 
-    /// The paper's *inference of a formula* problem.
+    /// The paper's *inference of a formula* problem. Traced like
+    /// [`SemanticsConfig::infers_literal`] (`dispatch.query` span,
+    /// `dispatch.query.ns` histogram).
     pub fn infers_formula(
         &self,
         db: &Database,
         f: &Formula,
         cost: &mut Cost,
     ) -> Result<Verdict, Unsupported> {
+        let _q = ddb_obs::hist_span("dispatch.query", "dispatch.query.ns");
         let (route, frags) = self.prepare(db)?;
         if route == Route::Horn {
             Self::note(Route::Horn);
@@ -561,7 +570,10 @@ impl SemanticsConfig {
     }
 
     /// The paper's *∃ model* problem: is the semantics non-empty for `db`?
+    /// Traced like [`SemanticsConfig::infers_literal`] (`dispatch.query`
+    /// span, `dispatch.query.ns` histogram).
     pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<Verdict, Unsupported> {
+        let _q = ddb_obs::hist_span("dispatch.query", "dispatch.query.ns");
         let (route, _) = self.prepare(db)?;
         if route == Route::Horn {
             Self::note(Route::Horn);

@@ -206,7 +206,7 @@ pub fn profile_cell(
     f: &Formula,
     cell_budget: Option<&Budget>,
 ) -> CellProfile {
-    let _span = ddb_obs::span("profile.cell");
+    let _span = ddb_obs::hist_span("profile.cell", "profile.cell.ns");
     let _guard = cell_budget.map(|b| b.clone().install());
     let mut cost = Cost::new();
     let probe = RouteProbe::begin();

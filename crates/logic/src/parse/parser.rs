@@ -241,10 +241,21 @@ fn parse_unary(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseErro
             "true" => Ok(Formula::True),
             "false" => Ok(Formula::False),
             "not" => Ok(parse_unary(cur, symbols)?.negated()),
-            _ => symbols.lookup(&name).map(Formula::Atom).ok_or(ParseError {
-                offset,
-                message: format!("unknown atom `{name}` (not in the database's vocabulary)"),
-            }),
+            _ => {
+                // Datalog ground atoms (`covered(gear)`, `sourced(g,acme)`)
+                // are interned by the grounder with their argument tuple in
+                // the symbol name; an identifier directly followed by `(`
+                // absorbs the argument list into the lookup key, rendered
+                // the way the grounder names atoms (no spaces).
+                let mut key = name;
+                if cur.peek() == Some(&TokenKind::LParen) {
+                    key.push_str(&ground_args(cur)?);
+                }
+                symbols.lookup(&key).map(Formula::Atom).ok_or(ParseError {
+                    offset,
+                    message: format!("unknown atom `{key}` (not in the database's vocabulary)"),
+                })
+            }
         },
         other => Err(ParseError {
             offset,
@@ -253,6 +264,38 @@ fn parse_unary(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseErro
                 other.map_or("end of input".to_owned(), |k| k.to_string())
             ),
         }),
+    }
+}
+
+/// Consumes a balanced `( ... )` token run — identifiers, commas, and
+/// nested parentheses — and renders it without whitespace, matching the
+/// grounder's atom-naming convention.
+fn ground_args(cur: &mut Cursor) -> Result<String, ParseError> {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    loop {
+        match cur.bump() {
+            Some(TokenKind::LParen) => {
+                depth += 1;
+                out.push('(');
+            }
+            Some(TokenKind::RParen) => {
+                depth -= 1;
+                out.push(')');
+                if depth == 0 {
+                    return Ok(out);
+                }
+            }
+            Some(TokenKind::Ident(s)) => out.push_str(&s),
+            Some(TokenKind::Comma) => out.push(','),
+            Some(other) => {
+                return Err(ParseError {
+                    offset: cur.tokens[cur.pos - 1].offset,
+                    message: format!("unexpected {other} in atom arguments"),
+                })
+            }
+            None => return Err(cur.error("unterminated atom argument list".into())),
+        }
     }
 }
 
@@ -348,6 +391,20 @@ mod tests {
         let f = parse_formula("true -> (a | false)", db.symbols()).unwrap();
         assert!(f.eval(&Interpretation::from_atoms(1, [crate::Atom::new(0)])));
         assert!(!f.eval(&Interpretation::empty(1)));
+    }
+
+    #[test]
+    fn formula_reads_datalog_ground_atoms() {
+        let mut sy = Symbols::new();
+        sy.intern("covered(gear)");
+        sy.intern("sourced(gear,acme)");
+        let f = parse_formula("covered(gear) & !sourced(gear, acme)", &sy).unwrap();
+        assert_eq!(f.atoms().len(), 2);
+        // Unknown predicate tuples report the full reconstructed key.
+        let err = parse_formula("covered(axle)", &sy).unwrap_err();
+        assert!(err.message.contains("covered(axle)"));
+        // Grouping parens after an operator are still grouping.
+        assert!(parse_formula("covered(gear) & (covered(gear))", &sy).is_ok());
     }
 
     #[test]

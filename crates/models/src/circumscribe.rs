@@ -69,6 +69,7 @@ pub fn holds_in_all_pz_minimal_models(
     let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<bool> {
         loop {
             budget::checkpoint()?;
+            let _round = ddb_obs::hist_span("cegar.round", "cegar.round.ns");
             if !candidates.solve()?.is_sat() {
                 return Ok(true);
             }
@@ -160,6 +161,7 @@ pub fn find_pz_minimal_model_satisfying(
     let mut run = |cost: &mut Cost, candidates: &mut Solver| -> Governed<Option<Interpretation>> {
         loop {
             budget::checkpoint()?;
+            let _round = ddb_obs::hist_span("cegar.round", "cegar.round.ns");
             if !candidates.solve()?.is_sat() {
                 return Ok(None);
             }

@@ -99,7 +99,10 @@ impl Minimizer {
     }
 
     /// Minimizes `m` to a ⟨P;Z⟩-minimal model below it (shrink loop).
+    /// Runs under a `models.minimize` trace span; the per-call wall time
+    /// lands in the `models.minimize.ns` histogram.
     pub fn minimize(&mut self, m: &Interpretation, cost: &mut Cost) -> Governed<Interpretation> {
+        let _t = ddb_obs::hist_span("models.minimize", "models.minimize.ns");
         let mut current = m.clone();
         while let Some(smaller) = self.shrink_step(&current, cost)? {
             debug_assert!(self.part.lt(&smaller, &current));

@@ -553,18 +553,22 @@ impl Drop for HandleGuard {
 }
 
 fn counter_trip(resource: Resource) {
-    crate::counter_bump(
-        match resource {
-            Resource::Deadline => "govern.interrupts.deadline",
-            Resource::Conflicts => "govern.interrupts.conflicts",
-            Resource::OracleCalls => "govern.interrupts.oracle_calls",
-            Resource::Models => "govern.interrupts.models",
-            Resource::Cancelled => "govern.interrupts.cancelled",
-            Resource::FaultInjection => "govern.interrupts.fault_injection",
-            Resource::Invariant => "govern.interrupts.invariant",
-        },
-        1,
-    );
+    let name = match resource {
+        Resource::Deadline => "govern.interrupts.deadline",
+        Resource::Conflicts => "govern.interrupts.conflicts",
+        Resource::OracleCalls => "govern.interrupts.oracle_calls",
+        Resource::Models => "govern.interrupts.models",
+        Resource::Cancelled => "govern.interrupts.cancelled",
+        Resource::FaultInjection => "govern.interrupts.fault_injection",
+        Resource::Invariant => "govern.interrupts.invariant",
+    };
+    crate::counter_bump(name, 1);
+    // Mark the trip on the tripping thread's trace track so timelines
+    // show *where* the interruption landed, not just that one happened.
+    crate::sink::emit(|| crate::sink::Event::Instant {
+        name: name.to_owned(),
+        at_ns: crate::span::now_ns(),
+    });
 }
 
 /// How often (in checkpoints) the wall clock is consulted; cancel flags

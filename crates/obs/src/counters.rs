@@ -17,9 +17,12 @@
 //! allocation per bump. Buffers flush into the registry on
 //! [`flush_thread_counters`] (called on outermost span exit, worker-pool
 //! exit, and by [`snapshot`]/[`counter_value`] for the calling thread).
-//! With a trace sink installed, bumps flush eagerly so traces stay
-//! event-per-update. Each thread also keeps a monotone lifetime total per
-//! bumped counter ([`thread_counter_total`]), which gives race-free
+//! With a trace sink installed, each bump additionally queues a
+//! per-update `Counter` event into the thread-local trace buffer — the
+//! event's `total` is the emitting *thread's* lifetime total, so traces
+//! stay event-per-update without the global registry lock on the hot
+//! path. Each thread also keeps a monotone lifetime total per bumped
+//! counter ([`thread_counter_total`]), which gives race-free
 //! before/after probes on a single thread even while other workers bump
 //! the same names.
 
@@ -52,6 +55,7 @@ pub fn counter_add(name: &str, delta: u64) {
         name: name.to_owned(),
         delta,
         total,
+        at_ns: crate::span::now_ns(),
     });
 }
 
@@ -86,22 +90,27 @@ thread_local! {
 
 /// Add `delta` to the named hot counter via this thread's buffer: no
 /// global lock and no allocation on the hot path. The global registry
-/// observes the total at the next [`flush_thread_counters`] (or eagerly,
-/// when a trace sink is installed).
+/// observes the total at the next [`flush_thread_counters`]. With a
+/// trace sink installed, a per-update `Counter` event is queued into the
+/// thread-local trace buffer, carrying this thread's lifetime total.
 pub fn counter_bump(name: &'static str, delta: u64) {
     if delta == 0 {
         return;
     }
-    LOCAL.with(|l| {
+    let thread_total = LOCAL.with(|l| {
         let mut buf = l.borrow_mut();
         let i = buf.slot(name);
         buf.pending[i] = buf.pending[i].saturating_add(delta);
         buf.totals[i] = buf.totals[i].saturating_add(delta);
         buf.dirty = true;
+        buf.totals[i]
     });
-    if crate::sink::active() {
-        flush_thread_counters();
-    }
+    emit(|| Event::Counter {
+        name: name.to_owned(),
+        delta,
+        total: thread_total,
+        at_ns: crate::span::now_ns(),
+    });
 }
 
 /// Merge this thread's pending [`counter_bump`] deltas into the global
@@ -115,7 +124,6 @@ pub fn flush_thread_counters() {
             return;
         }
         buf.dirty = false;
-        let mut flushed: Vec<(&'static str, u64, u64)> = Vec::new();
         let names = std::mem::take(&mut buf.names);
         with_counters(|map| {
             for (i, name) in names.iter().enumerate() {
@@ -125,18 +133,12 @@ pub fn flush_thread_counters() {
                 }
                 let slot = map.entry((*name).to_owned()).or_insert(0);
                 *slot = slot.saturating_add(p);
-                flushed.push((name, p, *slot));
                 buf.pending[i] = 0;
             }
         });
         buf.names = names;
-        for (name, delta, total) in flushed {
-            emit(|| Event::Counter {
-                name: name.to_owned(),
-                delta,
-                total,
-            });
-        }
+        // No events here: each bump already queued its own trace event
+        // at update time, so a flush is registry bookkeeping only.
     });
 }
 
@@ -169,6 +171,7 @@ pub fn counter_max(name: &str, value: u64) {
             name: name.to_owned(),
             delta: 0,
             total: value,
+            at_ns: crate::span::now_ns(),
         });
     }
 }

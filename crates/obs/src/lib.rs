@@ -11,11 +11,18 @@
 //! - **Counters** ([`counter_add`], [`counter_max`], [`snapshot`]) — named
 //!   monotonic totals and high-water gauges, e.g. `sat.solves`,
 //!   `models.circ.candidates`, `sat.clauses.peak`.
+//! - **Histograms** ([`hist_record`], [`hist_snapshot`]) — log-bucketed
+//!   latency/size distributions (~2 significant digits), e.g.
+//!   `sat.solve.ns`, `cegar.round.ns`, `pool.job.ns`, with p50/p90/p99
+//!   readouts.
 //! - **Spans** ([`span()`], [`time`]) — RAII-guarded hierarchical timing for
 //!   decision procedures, e.g. `gcwa.infers_literal`. Each span contributes
 //!   `span.<name>.calls` and `span.<name>.ns` counters.
-//! - **Sink** ([`set_sink`], [`MemorySink`]) — an optional structured event
-//!   stream of every span transition and counter update, for traces.
+//! - **Sink & traces** ([`set_sink`], [`MemorySink`], [`chrome_trace`],
+//!   [`folded_stacks`], [`TraceReport`]) — an optional structured event
+//!   stream ([`TraceEvent`]: thread id + per-thread ordinal + event),
+//!   buffered per thread, with Chrome trace-event and flamegraph
+//!   exporters and an aggregated span-tree report.
 //! - **JSON** ([`json::Json`], [`json::parse`]) — a hand-rolled writer and
 //!   parser so traces and metrics serialize with no external crates.
 //! - **Budget** ([`budget::Budget`], [`budget::checkpoint`]) — resource
@@ -42,10 +49,12 @@
 
 pub mod budget;
 pub mod counters;
+pub mod histogram;
 pub mod json;
 pub mod pool;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use budget::{
     Budget, BudgetGuard, BudgetHandle, Consumed, Governed, HandleGuard, Interrupted, Resource,
@@ -54,6 +63,14 @@ pub use counters::{
     counter_add, counter_bump, counter_max, counter_value, flush_thread_counters, reset_counters,
     snapshot, thread_counter_total, CounterSnapshot,
 };
+pub use histogram::{
+    flush_thread_histograms, hist_record, hist_snapshot, reset_histograms, Histogram,
+    HistogramSnapshot,
+};
 pub use pool::run_indexed;
-pub use sink::{check_span_nesting, clear_sink, set_sink, Event, MemorySink, Sink};
-pub use span::{current_depth, now_ns, span, time, SpanGuard};
+pub use sink::{check_span_nesting, clear_sink, set_sink, Event, MemorySink, Sink, TraceEvent};
+pub use span::{current_depth, hist_span, now_ns, span, time, HistSpanGuard, SpanGuard};
+pub use trace::{
+    check_track_nesting, chrome_trace, flush_thread_events, folded_stacks, trace_thread_id,
+    TraceReport, TreeNode,
+};

@@ -18,10 +18,17 @@
 //!   *is* the sequential code path.
 //!
 //! Counters: `pool.batches` (parallel batches run), `pool.jobs` (jobs
-//! dispatched to workers), `pool.threads.peak` (widest batch).
+//! dispatched to workers), `pool.threads.peak` (widest batch). When jobs
+//! actually fan out to workers, each job additionally runs under a
+//! `pool.job` span (giving every worker track a root in trace timelines)
+//! and records its wall time into the `pool.job.ns` histogram; the
+//! inline width-1 path stays uninstrumented so the sequential code path
+//! keeps its zero-overhead contract.
 
 use crate::budget;
 use crate::counters::{counter_bump, counter_max, flush_thread_counters};
+use crate::histogram::flush_thread_histograms;
+use crate::trace::flush_thread_events;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -64,12 +71,18 @@ where
                         .unwrap_or_else(|e| e.into_inner())
                         .take()
                         .expect("each job index is claimed exactly once");
-                    let out = job();
+                    let out = {
+                        let _job_span = crate::span::hist_span("pool.job", "pool.job.ns");
+                        job()
+                    };
                     *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 }
-                // Publish this worker's buffered hot-counter bumps before
-                // the parent reads the registry.
+                // Publish this worker's buffered hot-counter bumps,
+                // histogram observations, and trace events before the
+                // parent reads the registry or drains the sink.
                 flush_thread_counters();
+                flush_thread_histograms();
+                flush_thread_events();
             });
         }
     });

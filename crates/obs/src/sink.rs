@@ -1,9 +1,19 @@
 //! Structured event sink: an optional process-global subscriber that
-//! receives every span transition and counter update as a typed [`Event`].
+//! receives every span transition, counter update, and interrupt as a
+//! typed [`TraceEvent`].
 //!
 //! When no sink is installed (the default), event construction is skipped
 //! entirely — [`emit`] takes a closure and checks an atomic flag first, so
-//! the hot path costs one relaxed load.
+//! the hot path costs one relaxed load. When a sink *is* installed, events
+//! are stamped with the emitting thread's stable id and a monotone
+//! per-thread ordinal, then buffered thread-locally (see [`crate::trace`])
+//! and delivered in batches — the sink mutex is never taken on a per-event
+//! hot path. Consequence: the sink observes events in per-thread order
+//! only; cross-thread interleaving in the delivered stream reflects flush
+//! timing, not wall-clock order. Consumers must group by
+//! [`TraceEvent::thread`] (one "track" per thread) before reasoning about
+//! order; `at_ns` timestamps share one process-wide clock for cross-track
+//! alignment.
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +37,8 @@ pub enum Event {
         name: String,
         /// Nesting depth the span was entered at.
         depth: usize,
+        /// Nanoseconds since the process-local epoch, at exit.
+        at_ns: u64,
         /// Wall-clock duration of the span in nanoseconds.
         dur_ns: u64,
     },
@@ -36,13 +48,36 @@ pub enum Event {
         name: String,
         /// Amount added by this update.
         delta: u64,
-        /// Counter value after the update.
+        /// Counter value after the update. For buffered hot counters
+        /// ([`crate::counter_bump`]) this is the emitting *thread's*
+        /// lifetime total; for [`crate::counter_add`] it is the global
+        /// registry value.
         total: u64,
+        /// Nanoseconds since the process-local epoch.
+        at_ns: u64,
+    },
+    /// A point event with no duration — e.g. a budget trip.
+    Instant {
+        /// Event name (e.g. `govern.interrupt.deadline`).
+        name: String,
+        /// Nanoseconds since the process-local epoch.
+        at_ns: u64,
     },
 }
 
 impl Event {
-    /// JSON rendering used by `--trace-json`.
+    /// The event's timestamp (exit time for [`Event::SpanExit`]).
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            Event::SpanEnter { at_ns, .. }
+            | Event::SpanExit { at_ns, .. }
+            | Event::Counter { at_ns, .. }
+            | Event::Instant { at_ns, .. } => *at_ns,
+        }
+    }
+
+    /// JSON rendering used by `--trace-json` (see [`TraceEvent::to_json`]
+    /// for the provenance-stamped form actually written to files).
     pub fn to_json(&self) -> Json {
         match self {
             Event::SpanEnter { name, depth, at_ns } => Json::obj([
@@ -54,29 +89,75 @@ impl Event {
             Event::SpanExit {
                 name,
                 depth,
+                at_ns,
                 dur_ns,
             } => Json::obj([
                 ("type", Json::Str("span_exit".into())),
                 ("name", Json::Str(name.clone())),
                 ("depth", Json::UInt(*depth as u64)),
+                ("at_ns", Json::UInt(*at_ns)),
                 ("dur_ns", Json::UInt(*dur_ns)),
             ]),
-            Event::Counter { name, delta, total } => Json::obj([
+            Event::Counter {
+                name,
+                delta,
+                total,
+                at_ns,
+            } => Json::obj([
                 ("type", Json::Str("counter".into())),
                 ("name", Json::Str(name.clone())),
                 ("delta", Json::UInt(*delta)),
                 ("total", Json::UInt(*total)),
+                ("at_ns", Json::UInt(*at_ns)),
+            ]),
+            Event::Instant { name, at_ns } => Json::obj([
+                ("type", Json::Str("instant".into())),
+                ("name", Json::Str(name.clone())),
+                ("at_ns", Json::UInt(*at_ns)),
             ]),
         }
     }
 }
 
-/// A subscriber for [`Event`]s. Implementations must be cheap and must not
-/// call back into the observability layer (no counters, no spans) or they
-/// will recurse.
+/// An [`Event`] stamped with its emitting thread's provenance.
+///
+/// `thread` is a small stable id assigned in first-emission order (the
+/// main thread is almost always 0); `ordinal` increments per emitting
+/// thread, so `(thread, ordinal)` totally orders each thread's events —
+/// a *track* — even after batched delivery interleaves threads. Order
+/// across tracks is **not** meaningful; align tracks by `at_ns` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Stable id of the emitting thread (dense, from 0).
+    pub thread: u64,
+    /// Position of this event in the emitting thread's stream (from 0).
+    pub ordinal: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl TraceEvent {
+    /// JSON rendering used by `--trace-json`: the event object with
+    /// `thread` and `ordinal` fields prepended.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("thread".to_owned(), Json::UInt(self.thread)),
+            ("ordinal".to_owned(), Json::UInt(self.ordinal)),
+        ];
+        if let Json::Obj(rest) = self.event.to_json() {
+            fields.extend(rest);
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A subscriber for [`TraceEvent`]s. Implementations must be cheap and
+/// must not call back into the observability layer (no counters, no
+/// spans) or they will recurse.
 pub trait Sink: Send + Sync {
-    /// Receive one event. Called synchronously on the emitting thread.
-    fn record(&self, event: &Event);
+    /// Receive one event. Called on the emitting thread, in batches at
+    /// flush points — not synchronously per event.
+    fn record(&self, event: &TraceEvent);
 }
 
 static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
@@ -89,39 +170,45 @@ pub fn set_sink(sink: Arc<dyn Sink>) {
     SINK_INSTALLED.store(true, Ordering::Release);
 }
 
-/// Remove the installed sink, if any.
+/// Remove the installed sink, if any. The calling thread's buffered
+/// events are flushed to the outgoing sink first; other threads flush on
+/// their own span/pool exits, so clear the sink only after joining any
+/// workers whose events you want.
 pub fn clear_sink() {
+    crate::trace::flush_thread_events();
     let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
     SINK_INSTALLED.store(false, Ordering::Release);
     *slot = None;
 }
 
-/// True when a sink is installed (one relaxed-ish atomic load). Lets the
-/// buffered counter path fall back to eager flushing so traces stay
-/// event-per-update.
-pub(crate) fn active() -> bool {
-    SINK_INSTALLED.load(Ordering::Acquire)
-}
-
-/// Deliver an event to the sink, constructing it only if one is installed.
+/// Queue an event for the sink, constructing it only if one is installed.
+/// The event lands in the emitting thread's local buffer; see
+/// [`crate::trace::flush_thread_events`] for when batches are delivered.
 pub fn emit(make: impl FnOnce() -> Event) {
     if !SINK_INSTALLED.load(Ordering::Acquire) {
         return;
     }
+    crate::trace::buffer_event(make());
+}
+
+/// Deliver a flushed batch to the installed sink, if still present.
+pub(crate) fn deliver(batch: &[TraceEvent]) {
     let sink = {
         let slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
         slot.clone()
     };
     if let Some(sink) = sink {
-        sink.record(&make());
+        for event in batch {
+            sink.record(event);
+        }
     }
 }
 
-/// An in-memory sink that buffers every event; the workhorse for tests and
-/// for `--trace-json`.
+/// An in-memory sink that buffers every event; the workhorse for tests
+/// and for the CLI's `--trace-json`/`--trace-chrome`/`--flame` exporters.
 #[derive(Default)]
 pub struct MemorySink {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<Vec<TraceEvent>>,
 }
 
 impl MemorySink {
@@ -131,7 +218,7 @@ impl MemorySink {
     }
 
     /// Copy out the buffered events.
-    pub fn events(&self) -> Vec<Event> {
+    pub fn events(&self) -> Vec<TraceEvent> {
         self.events
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -139,7 +226,7 @@ impl MemorySink {
     }
 
     /// Drain the buffer, returning everything recorded so far.
-    pub fn take(&self) -> Vec<Event> {
+    pub fn take(&self) -> Vec<TraceEvent> {
         std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
@@ -155,7 +242,7 @@ impl MemorySink {
 }
 
 impl Sink for MemorySink {
-    fn record(&self, event: &Event) {
+    fn record(&self, event: &TraceEvent) {
         self.events
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -163,9 +250,11 @@ impl Sink for MemorySink {
     }
 }
 
-/// Check that a sequence of span events is properly nested: every exit
-/// matches the most recent unmatched enter, and depths are consistent.
-/// Returns the number of matched enter/exit pairs, or an error description.
+/// Check that a single-track sequence of span events is properly nested:
+/// every exit matches the most recent unmatched enter, and depths are
+/// consistent. Returns the number of matched enter/exit pairs, or an
+/// error description. For multi-thread streams, split by track first or
+/// use [`crate::trace::check_track_nesting`].
 pub fn check_span_nesting(events: &[Event]) -> Result<usize, String> {
     let mut stack: Vec<(&str, usize)> = Vec::new();
     let mut matched = 0;
@@ -191,7 +280,7 @@ pub fn check_span_nesting(events: &[Event]) -> Result<usize, String> {
                 }
                 None => return Err(format!("event {i}: exit '{name}' with empty stack")),
             },
-            Event::Counter { .. } => {}
+            Event::Counter { .. } | Event::Instant { .. } => {}
         }
     }
     if let Some((open, _)) = stack.last() {

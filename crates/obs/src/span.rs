@@ -4,14 +4,52 @@
 //! thread-local stack (so nesting depth is race-free), and dropping the
 //! guard pops it, accumulates `span.<name>.calls` and `span.<name>.ns`
 //! counters, and reports enter/exit events to the installed sink.
+//!
+//! Span exit is allocation-free: the derived counter names are interned
+//! once per distinct span name (a process-lifetime leak bounded by the
+//! static set of span names) and cached per thread, so the drop path is
+//! two [`counter_bump`]s — no `String`, no global lock.
 
-use crate::counters::counter_add;
+use crate::counters::counter_bump;
 use crate::sink::{emit, Event};
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-global interner mapping a span name to its leaked
+/// `span.<name>.calls` / `span.<name>.ns` counter keys. Hit at most once
+/// per (thread, span name) thanks to the thread-local cache below.
+static INTERNED: Mutex<Option<HashMap<&'static str, (&'static str, &'static str)>>> =
+    Mutex::new(None);
+
+thread_local! {
+    static KEY_CACHE: RefCell<HashMap<&'static str, (&'static str, &'static str)>> =
+        RefCell::new(HashMap::new());
+}
+
+fn span_counter_keys(name: &'static str) -> (&'static str, &'static str) {
+    KEY_CACHE.with(|cache| {
+        if let Some(&keys) = cache.borrow().get(name) {
+            return keys;
+        }
+        let keys = {
+            let mut guard = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+            let map = guard.get_or_insert_with(HashMap::new);
+            *map.entry(name).or_insert_with(|| {
+                (
+                    Box::leak(format!("span.{name}.calls").into_boxed_str()),
+                    Box::leak(format!("span.{name}.ns").into_boxed_str()),
+                )
+            })
+        };
+        cache.borrow_mut().insert(name, keys);
+        keys
+    })
 }
 
 /// Nanoseconds since the first observability call in this process. Only
@@ -66,6 +104,11 @@ impl SpanGuard {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// Nanoseconds elapsed since the span was entered.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
 }
 
 impl Drop for SpanGuard {
@@ -77,17 +120,22 @@ impl Drop for SpanGuard {
             "span guards dropped out of LIFO order"
         );
         let dur_ns = self.started.elapsed().as_nanos() as u64;
-        counter_add(&format!("span.{}.calls", self.name), 1);
-        counter_add(&format!("span.{}.ns", self.name), dur_ns.max(1));
+        let (calls_key, ns_key) = span_counter_keys(self.name);
+        counter_bump(calls_key, 1);
+        counter_bump(ns_key, dur_ns.max(1));
         emit(|| Event::SpanExit {
             name: self.name.to_owned(),
             depth: self.depth,
+            at_ns: now_ns(),
             dur_ns,
         });
         if self.depth == 0 {
             // Leaving the outermost span: publish this thread's buffered
-            // hot-counter bumps so `--stats` tables see them.
+            // hot-counter bumps, histogram observations, and trace events
+            // so `--stats` tables and sinks see them.
             crate::counters::flush_thread_counters();
+            crate::histogram::flush_thread_histograms();
+            crate::trace::flush_thread_events();
         }
     }
 }
@@ -96,4 +144,36 @@ impl Drop for SpanGuard {
 pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
     let _guard = span(name);
     f()
+}
+
+/// Enter a named span that also records its duration into the named
+/// histogram when dropped — the one-liner for "this region is both a
+/// timeline span and a latency distribution" (e.g. `cegar.round` /
+/// `cegar.round.ns`).
+pub fn hist_span(name: &'static str, hist: &'static str) -> HistSpanGuard {
+    HistSpanGuard {
+        hist,
+        guard: span(name),
+    }
+}
+
+/// RAII guard returned by [`hist_span`]: records the elapsed time into
+/// its histogram, then closes the span (field drop runs after the
+/// explicit drop body).
+pub struct HistSpanGuard {
+    hist: &'static str,
+    guard: SpanGuard,
+}
+
+impl HistSpanGuard {
+    /// Nanoseconds elapsed since the span was entered.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.guard.elapsed_ns()
+    }
+}
+
+impl Drop for HistSpanGuard {
+    fn drop(&mut self) {
+        crate::histogram::hist_record(self.hist, self.guard.elapsed_ns());
+    }
 }

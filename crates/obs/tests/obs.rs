@@ -1,13 +1,14 @@
 //! Integration tests for the observability layer: counter arithmetic, span
-//! nesting well-formedness, sink delivery, and the JSON contract.
+//! nesting well-formedness, sink delivery with thread/ordinal provenance,
+//! and the JSON contract.
 //!
 //! The counter registry and sink are process-global, so every test that
 //! touches them serializes on `GUARD`.
 
 use ddb_obs::json::{self, Json};
 use ddb_obs::{
-    check_span_nesting, clear_sink, counter_add, counter_max, set_sink, snapshot, span,
-    CounterSnapshot, Event, MemorySink,
+    check_span_nesting, check_track_nesting, clear_sink, counter_add, counter_bump, counter_max,
+    set_sink, snapshot, span, CounterSnapshot, Event, MemorySink, TraceEvent,
 };
 use std::sync::Mutex;
 
@@ -91,11 +92,12 @@ fn sink_sees_well_formed_nesting() {
     let events: Vec<Event> = sink
         .take()
         .into_iter()
+        .map(|te| te.event)
         .filter(|e| match e {
             Event::SpanEnter { name, .. } | Event::SpanExit { name, .. } => {
                 name.starts_with("test.sink.")
             }
-            Event::Counter { .. } => false,
+            Event::Counter { .. } | Event::Instant { .. } => false,
         })
         .collect();
     let matched = check_span_nesting(&events).expect("nesting well-formed");
@@ -107,7 +109,7 @@ fn sink_sees_well_formed_nesting() {
         .map(|e| match e {
             Event::SpanEnter { name, .. } => (true, name.as_str()),
             Event::SpanExit { name, .. } => (false, name.as_str()),
-            Event::Counter { .. } => unreachable!(),
+            _ => unreachable!(),
         })
         .collect();
     assert_eq!(
@@ -133,6 +135,7 @@ fn check_span_nesting_rejects_malformed() {
     let exit = |name: &str, depth: usize| Event::SpanExit {
         name: name.into(),
         depth,
+        at_ns: 1,
         dur_ns: 1,
     };
     assert!(check_span_nesting(&[exit("a", 0)]).is_err());
@@ -156,8 +159,10 @@ fn counter_events_reach_sink_with_totals() {
     let deltas: Vec<(u64, u64)> = sink
         .take()
         .into_iter()
-        .filter_map(|e| match e {
-            Event::Counter { name, delta, total } if name == "test.evt" => Some((delta, total)),
+        .filter_map(|te| match te.event {
+            Event::Counter {
+                name, delta, total, ..
+            } if name == "test.evt" => Some((delta, total)),
             _ => None,
         })
         .collect();
@@ -165,6 +170,60 @@ fn counter_events_reach_sink_with_totals() {
     assert_eq!(deltas[0].0, 4);
     assert_eq!(deltas[1].0, 2);
     assert_eq!(deltas[1].1, deltas[0].1 + 2);
+}
+
+#[test]
+fn bumped_counter_events_carry_thread_totals() {
+    let _g = lock();
+    let sink = MemorySink::new();
+    set_sink(sink.clone());
+    let base = ddb_obs::thread_counter_total("test.bump.evt");
+    counter_bump("test.bump.evt", 3);
+    counter_bump("test.bump.evt", 2);
+    clear_sink();
+    let got: Vec<(u64, u64)> = sink
+        .take()
+        .into_iter()
+        .filter_map(|te| match te.event {
+            Event::Counter {
+                name, delta, total, ..
+            } if name == "test.bump.evt" => Some((delta, total)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![(3, base + 3), (2, base + 5)],
+        "one event per bump, totals are the thread's lifetime totals"
+    );
+}
+
+#[test]
+fn events_carry_thread_ids_and_monotone_ordinals() {
+    let _g = lock();
+    let sink = MemorySink::new();
+    set_sink(sink.clone());
+    {
+        let _a = span("test.ord.main");
+    }
+    std::thread::spawn(|| {
+        let _b = span("test.ord.worker");
+    })
+    .join()
+    .unwrap();
+    clear_sink();
+    let events: Vec<TraceEvent> = sink.take();
+    let mut threads: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for te in &events {
+        threads.entry(te.thread).or_default().push(te.ordinal);
+    }
+    assert!(threads.len() >= 2, "main and worker tracks present");
+    for (thread, ords) in &threads {
+        for w in ords.windows(2) {
+            assert!(w[0] < w[1], "ordinals not monotone on track {thread}");
+        }
+    }
+    check_track_nesting(&events).expect("every track well-nested");
 }
 
 #[test]
@@ -183,32 +242,58 @@ fn snapshot_json_roundtrips_through_parser() {
 #[test]
 fn event_json_roundtrips_through_parser() {
     let events = [
-        Event::SpanEnter {
-            name: "x".into(),
-            depth: 0,
-            at_ns: 123,
+        TraceEvent {
+            thread: 0,
+            ordinal: 0,
+            event: Event::SpanEnter {
+                name: "x".into(),
+                depth: 0,
+                at_ns: 123,
+            },
         },
-        Event::SpanExit {
-            name: "x".into(),
-            depth: 0,
-            dur_ns: 456,
+        TraceEvent {
+            thread: 0,
+            ordinal: 1,
+            event: Event::SpanExit {
+                name: "x".into(),
+                depth: 0,
+                at_ns: 579,
+                dur_ns: 456,
+            },
         },
-        Event::Counter {
-            name: "sat.solves".into(),
-            delta: 1,
-            total: 7,
+        TraceEvent {
+            thread: 2,
+            ordinal: 0,
+            event: Event::Counter {
+                name: "sat.solves".into(),
+                delta: 1,
+                total: 7,
+                at_ns: 600,
+            },
+        },
+        TraceEvent {
+            thread: 2,
+            ordinal: 1,
+            event: Event::Instant {
+                name: "govern.interrupts.deadline".into(),
+                at_ns: 700,
+            },
         },
     ];
-    let doc = Json::Arr(events.iter().map(Event::to_json).collect());
+    let doc = Json::Arr(events.iter().map(TraceEvent::to_json).collect());
     let parsed = json::parse(&doc.render()).expect("valid JSON");
     let arr = parsed.as_arr().unwrap();
-    assert_eq!(arr.len(), 3);
+    assert_eq!(arr.len(), 4);
     assert_eq!(
         arr[0].get("type").and_then(Json::as_str),
         Some("span_enter")
     );
+    assert_eq!(arr[0].get("thread").and_then(Json::as_u64), Some(0));
     assert_eq!(arr[1].get("dur_ns").and_then(Json::as_u64), Some(456));
+    assert_eq!(arr[1].get("ordinal").and_then(Json::as_u64), Some(1));
     assert_eq!(arr[2].get("total").and_then(Json::as_u64), Some(7));
+    assert_eq!(arr[2].get("thread").and_then(Json::as_u64), Some(2));
+    assert_eq!(arr[3].get("type").and_then(Json::as_str), Some("instant"));
 }
 
 #[test]
@@ -224,4 +309,21 @@ fn render_table_is_aligned() {
     let table = snap.render_table();
     assert!(table.contains("test.table.long_counter_name"));
     assert!(table.lines().count() >= 3);
+}
+
+#[test]
+fn histograms_flow_from_spansites_to_snapshot() {
+    let _g = lock();
+    let before = ddb_obs::hist_snapshot().count("test.obs.hist");
+    {
+        let _s = span("test.hist.outer");
+        ddb_obs::hist_record("test.obs.hist", 10);
+        ddb_obs::hist_record("test.obs.hist", 1_000);
+    } // depth-0 exit flushes the thread's histogram buffer
+    let snap = ddb_obs::hist_snapshot();
+    assert_eq!(snap.count("test.obs.hist") - before, 2);
+    let h = snap.get("test.obs.hist").unwrap();
+    assert!(h.max() >= 1_000);
+    let parsed = json::parse(&snap.to_json().render()).expect("valid JSON");
+    assert!(parsed.get("test.obs.hist").is_some());
 }

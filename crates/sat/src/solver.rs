@@ -683,8 +683,12 @@ impl Solver {
     /// Each call increments `stats().solves` by exactly one and reports the
     /// per-call deltas (`sat.solves`, `sat.decisions`, `sat.propagations`,
     /// `sat.conflicts`) and the clause high-water mark (`sat.clauses.peak`)
-    /// to the `ddb-obs` counter registry.
+    /// to the `ddb-obs` counter registry, runs under a `sat.solve` trace
+    /// span, and records the per-call wall time, conflicts, and
+    /// propagations into the `sat.solve.{ns,conflicts,propagations}`
+    /// histograms.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Literal]) -> Governed<SolveResult> {
+        let span = ddb_obs::span("sat.solve");
         self.stats.solves += 1;
         let before = self.stats;
         let result = self.solve_with_assumptions_inner(assumptions);
@@ -702,6 +706,15 @@ impl Solver {
         );
         ddb_obs::counter_bump("sat.conflicts", self.stats.conflicts - before.conflicts);
         ddb_obs::counter_max("sat.clauses.peak", self.stats.max_clauses);
+        ddb_obs::hist_record("sat.solve.ns", span.elapsed_ns());
+        ddb_obs::hist_record(
+            "sat.solve.conflicts",
+            self.stats.conflicts - before.conflicts,
+        );
+        ddb_obs::hist_record(
+            "sat.solve.propagations",
+            self.stats.propagations - before.propagations,
+        );
         result
     }
 

@@ -47,11 +47,11 @@ fn main() {
     println!("EGCWA infers the query: {egcwa_answer}");
     println!("DSM   infers the query: {dsm_answer}");
 
-    // The sink captured the full event stream; prove it is well-nested and
-    // show which spans ran.
+    // The sink captured the full event stream (thread-stamped trace
+    // events); prove every track is well-nested and show which spans ran.
     obs::clear_sink();
     let events = sink.take();
-    let spans = obs::check_span_nesting(&events).expect("span stream is well-nested");
+    let spans = obs::check_track_nesting(&events).expect("every track is well-nested");
     println!(
         "\ncaptured {} events ({spans} completed spans), e.g.:",
         events.len()

@@ -40,9 +40,20 @@
 //!     its own fresh budget; exhausted cells are marked `?<resource>` and
 //!     the sweep continues.
 //!
+//! ddb trace <file> --query "<f>" [--semantics <name>] [--top <n>] [--json]
+//!     Run the query under a full event trace and print the aggregated
+//!     span tree: calls, inclusive/exclusive time, attributed oracle
+//!     calls, and p50/p90/p99 latency per node. `--top <n>` keeps only
+//!     the n heaviest children per node; `--stats` adds the counter and
+//!     histogram tables on stderr.
+//!
 //! `models`, `query`, `exists` and `profile` all accept `--stats` (print
-//! the observability counter table to stderr), `--trace-json <file>`
-//! (write a structured trace — counters, spans, answer — as JSON), and
+//! the observability counter and histogram tables to stderr),
+//! `--trace-json <file>` (write a structured trace — counters,
+//! histograms, thread-stamped events, answer — as JSON),
+//! `--trace-chrome <file>` (Chrome trace-event JSON, loadable in
+//! Perfetto / `chrome://tracing`, one track per pool worker),
+//! `--flame <file>` (folded stacks for inferno / `flamegraph.pl`), and
 //! `--threads <n>` (worker-pool width for component-parallel evaluation:
 //! independent dependency islands, batched formulas and profile cells run
 //! concurrently; answers are byte-identical at every width).
@@ -161,6 +172,7 @@ fn run(args: &[String]) -> Result<u8, String> {
         "ground" => ground_cmd(&args[1..]).map(|()| 0),
         "proof" => proof_cmd(&args[1..]).map(|()| 0),
         "profile" => profile_cmd(&args[1..]).map(|()| 0),
+        "trace" => trace_cmd(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -182,7 +194,14 @@ const USAGE: &str = "usage:
   ddb profile <file> [--literal [-]<a>] [--formula \"<f>\"] [--cell-timeout-ms <n>]
       (observed 10-semantics x 3-problems oracle-call matrix vs paper classes;
        with a per-cell budget, exhausted cells are marked ?<resource>)
-models/query/exists/profile also take: --stats  --trace-json <file>  --threads <n>
+  ddb trace  <file> --query \"<f>\" [--semantics <name>] [--top <n>] [--json] [--stats]
+      (run the query under a trace and print the aggregated span tree:
+       calls, inclusive/exclusive time, oracle calls, p50/p90/p99 per node;
+       --top keeps the <n> heaviest children per node, --stats adds the
+       histogram tables)
+models/query/exists/profile also take: --stats  --threads <n>  --trace-json <file>
+  --trace-chrome <file> (Chrome trace-event JSON for Perfetto, one track
+   per worker)  --flame <file> (folded stacks for inferno/FlameGraph)
   (--threads evaluates independent dependency islands, batched formulas and
    profile cells concurrently; answers are identical at every width)
 resource limits (models/query/exists; applied per cell on profile):
@@ -396,45 +415,72 @@ fn report_unknown(i: &Interrupted) {
     eprintln!("unknown ({}): {i}", i.resource.label());
 }
 
-/// Observability session for one CLI command: starts a counter snapshot
-/// (and, with `--trace-json`, an event sink) before the work runs.
+/// Observability session for one CLI command: starts a counter snapshot,
+/// resets the histogram registry, opens a `cmd.<command>` root span, and
+/// — with any of `--trace-json`/`--trace-chrome`/`--flame` — installs an
+/// event sink before the work runs.
 struct Observation {
     sink: Option<std::sync::Arc<disjunctive_db::obs::MemorySink>>,
     before: disjunctive_db::obs::CounterSnapshot,
     started: Instant,
+    root: Option<disjunctive_db::obs::SpanGuard>,
 }
 
-fn begin_observation(opts: &Opts) -> Observation {
-    let sink = opts.value("trace-json").map(|_| {
+fn wants_events(opts: &Opts) -> bool {
+    opts.value("trace-json").is_some()
+        || opts.value("trace-chrome").is_some()
+        || opts.value("flame").is_some()
+}
+
+/// `root_span` is the `cmd.<command>` span name bracketing the observed
+/// region; it closes (flushing all thread-local buffers) before
+/// [`Observation::finish`] reads counters, histograms, or events.
+fn begin_observation(opts: &Opts, root_span: &'static str) -> Observation {
+    let sink = wants_events(opts).then(|| {
         let s = disjunctive_db::obs::MemorySink::new();
         disjunctive_db::obs::set_sink(s.clone());
         s
     });
+    disjunctive_db::obs::reset_histograms();
     Observation {
         sink,
         before: disjunctive_db::obs::snapshot(),
         started: Instant::now(),
+        root: Some(disjunctive_db::obs::span(root_span)),
     }
 }
 
 impl Observation {
-    /// Prints the `--stats` counter table and writes the `--trace-json`
-    /// file. `answer` and `extra` land verbatim in the trace document.
+    /// Prints the `--stats` counter and histogram tables and writes the
+    /// `--trace-json`, `--trace-chrome` and `--flame` files. `answer` and
+    /// `extra` land verbatim in the trace document.
     fn finish(
-        self,
+        mut self,
         opts: &Opts,
         command: &str,
         answer: Json,
         extra: Vec<(&str, Json)>,
     ) -> Result<(), String> {
+        // Close the root span first: its depth-0 exit flushes this
+        // thread's buffered counters, histograms, and trace events.
+        drop(self.root.take());
         let wall_ns = self.started.elapsed().as_nanos() as u64;
         let counters = disjunctive_db::obs::snapshot().diff(&self.before);
+        let hists = disjunctive_db::obs::hist_snapshot();
         if opts.flag("stats") {
             eprint!("{}", counters.render_table());
+            if !hists.is_empty() {
+                eprint!("{}", hists.render_table());
+            }
         }
+        let events = match self.sink.as_ref() {
+            Some(sink) => {
+                disjunctive_db::obs::clear_sink();
+                sink.take()
+            }
+            None => Vec::new(),
+        };
         if let Some(path) = opts.value("trace-json") {
-            let events = self.sink.as_ref().map(|s| s.take()).unwrap_or_default();
-            disjunctive_db::obs::clear_sink();
             let semantics = opts
                 .value("semantics")
                 .map_or(Json::Null, |s| Json::Str(s.to_owned()));
@@ -445,6 +491,7 @@ impl Observation {
                 ("answer", answer),
                 ("wall_ns", Json::UInt(wall_ns)),
                 ("counters", counters.to_json()),
+                ("histograms", hists.to_json()),
                 (
                     "events",
                     Json::Arr(events.iter().map(|e| e.to_json()).collect()),
@@ -455,7 +502,38 @@ impl Observation {
             std::fs::write(path, doc.render_pretty())
                 .map_err(|e| format!("writing trace to {path}: {e}"))?;
         }
+        if let Some(path) = opts.value("trace-chrome") {
+            let doc = disjunctive_db::obs::chrome_trace(&events);
+            std::fs::write(path, doc.render_pretty())
+                .map_err(|e| format!("writing Chrome trace to {path}: {e}"))?;
+        }
+        if let Some(path) = opts.value("flame") {
+            let folded = disjunctive_db::obs::folded_stacks(&events);
+            std::fs::write(path, folded)
+                .map_err(|e| format!("writing folded stacks to {path}: {e}"))?;
+        }
         Ok(())
+    }
+}
+
+/// Parse a query formula against the database's vocabulary. The formula
+/// lexer cannot read datalog `name(args)` atoms, so on a parse failure
+/// fall back to a verbatim symbol lookup (with optional leading `-`);
+/// the original parse error is reported when the lookup misses too.
+fn parse_query_formula(raw: &str, db: &Database) -> Result<Formula, String> {
+    match parse_formula(raw, db.symbols()) {
+        Ok(f) => Ok(f),
+        Err(parse_err) => {
+            let (name, positive) = match raw.trim().strip_prefix('-') {
+                Some(rest) => (rest.trim(), false),
+                None => (raw.trim(), true),
+            };
+            let atom = db
+                .symbols()
+                .lookup(name)
+                .ok_or_else(|| parse_err.to_string())?;
+            Ok(Formula::literal(atom, positive))
+        }
     }
 }
 
@@ -577,23 +655,7 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
     let raw = opts.value("query").ok_or("missing --query <formula>")?;
-    // The formula lexer cannot read datalog `name(args)` atoms, so fall
-    // back to a verbatim symbol lookup (with optional leading `-`) when
-    // the formula parse fails.
-    let formula = match parse_formula(raw, db.symbols()) {
-        Ok(f) => f,
-        Err(parse_err) => {
-            let (name, positive) = match raw.trim().strip_prefix('-') {
-                Some(rest) => (rest.trim(), false),
-                None => (raw.trim(), true),
-            };
-            let atom = db
-                .symbols()
-                .lookup(name)
-                .ok_or_else(|| parse_err.to_string())?;
-            Formula::literal(atom, positive)
-        }
-    };
+    let formula = parse_query_formula(raw, &db)?;
     let query_atoms = formula.atoms();
     if query_atoms.is_empty() {
         return Err("the query mentions no atoms; nothing to slice".into());
@@ -746,7 +808,7 @@ fn models(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
     let budget = budget_from(&opts)?;
-    let observation = begin_observation(&opts);
+    let observation = begin_observation(&opts, "cmd.models");
     let guard = budget.map(Budget::install);
     let name = opts.value("semantics").unwrap_or("egcwa");
     let mut cost = Cost::new();
@@ -837,7 +899,7 @@ fn query(args: &[String]) -> Result<u8, String> {
         return query_batch(&opts, &db);
     }
     let formula = match (opts.value("formula"), opts.value("literal")) {
-        (Some(f), None) => parse_formula(f, db.symbols()).map_err(|e| e.to_string())?,
+        (Some(f), None) => parse_query_formula(f, &db)?,
         (None, Some(l)) => {
             let (name, positive) = match l.strip_prefix('-') {
                 Some(rest) => (rest, false),
@@ -852,7 +914,7 @@ fn query(args: &[String]) -> Result<u8, String> {
         _ => return Err("need exactly one of --formula / --literal".into()),
     };
     let budget = budget_from(&opts)?;
-    let observation = begin_observation(&opts);
+    let observation = begin_observation(&opts, "cmd.query");
     let guard = budget.map(Budget::install);
     let mut cost = Cost::new();
     let name = opts.value("semantics").unwrap_or("egcwa");
@@ -955,11 +1017,11 @@ fn query_batch(opts: &Opts, db: &Database) -> Result<u8, String> {
     let raw = opts.values_all("formula");
     let formulas: Vec<Formula> = raw
         .iter()
-        .map(|s| parse_formula(s, db.symbols()).map_err(|e| e.to_string()))
+        .map(|s| parse_query_formula(s, db))
         .collect::<Result<_, _>>()?;
     let cfg = config_for(opts, db)?.with_threads(threads_from(opts)?);
     let budget = budget_from(opts)?;
-    let observation = begin_observation(opts);
+    let observation = begin_observation(opts, "cmd.query");
     let guard = budget.map(Budget::install);
     let results =
         parallel::infers_formulas_batch(&cfg, db, &formulas).map_err(|e| e.to_string())?;
@@ -1005,7 +1067,7 @@ fn exists(args: &[String]) -> Result<u8, String> {
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
     let budget = budget_from(&opts)?;
-    let observation = begin_observation(&opts);
+    let observation = begin_observation(&opts, "cmd.exists");
     let guard = budget.map(Budget::install);
     let mut cost = Cost::new();
     let name = opts.value("semantics").unwrap_or("egcwa");
@@ -1062,7 +1124,7 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
         None => Atom::new(0).pos(),
     };
     let f = match opts.value("formula") {
-        Some(src) => parse_formula(src, db.symbols()).map_err(|e| e.to_string())?,
+        Some(src) => parse_query_formula(src, &db)?,
         None => Formula::literal(lit.atom(), lit.is_positive()),
     };
     // Per-cell budget: --cell-timeout-ms plus any of the general resource
@@ -1080,7 +1142,7 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
         );
     }
     let threads = threads_from(&opts)?;
-    let observation = begin_observation(&opts);
+    let observation = begin_observation(&opts, "cmd.profile");
     let cells = profile::profile_all_budgeted(&db, lit, &f, cell_budget.as_ref(), threads);
     oprintln!(
         "profile of {} ({} atoms, {} rules); query literal `{}{}`",
@@ -1094,6 +1156,87 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
     oprint!("{}", profile::render_table(&cells));
     let cells_json = Json::Arr(cells.iter().map(profile::CellProfile::to_json).collect());
     observation.finish(&opts, "profile", Json::Null, vec![("cells", cells_json)])
+}
+
+/// `ddb trace`: run one formula query under a full event trace and print
+/// an aggregated span-tree report — calls, inclusive/exclusive time,
+/// attributed oracle calls, and p50/p90/p99 latency per tree node. The
+/// sink is always installed (that is the point of the command), so
+/// `--trace-json`/`--trace-chrome`/`--flame` compose with it for free.
+fn trace_cmd(args: &[String]) -> Result<u8, String> {
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    let raw = opts.value("query").ok_or("missing --query \"<formula>\"")?;
+    let formula = parse_query_formula(raw, &db)?;
+    let top = match opts.value("top") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("--top needs an unsigned integer, got `{t}`"))?,
+        None => 0,
+    };
+    let budget = budget_from(&opts)?;
+    let sink = disjunctive_db::obs::MemorySink::new();
+    disjunctive_db::obs::set_sink(sink.clone());
+    disjunctive_db::obs::reset_histograms();
+    let before = disjunctive_db::obs::snapshot();
+    let guard = budget.map(Budget::install);
+    let mut cost = Cost::new();
+    let verdict = {
+        // The root span's depth-0 exit flushes this thread's buffered
+        // counters, histograms, and trace events before the reads below.
+        let _root = disjunctive_db::obs::span("cmd.trace");
+        // Default to EGCWA like `ddb query` does, so a bare
+        // `ddb trace <file> --query ...` works out of the box.
+        let cfg = match opts.value("semantics") {
+            Some(_) => config_for(&opts, &db)?,
+            None => SemanticsConfig::new(SemanticsId::Egcwa),
+        }
+        .with_threads(threads_from(&opts)?);
+        cfg.infers_formula(&db, &formula, &mut cost)
+            .map_err(|e| e.to_string())?
+    };
+    drop(guard);
+    let counters = disjunctive_db::obs::snapshot().diff(&before);
+    let hists = disjunctive_db::obs::hist_snapshot();
+    disjunctive_db::obs::clear_sink();
+    let events = sink.take();
+    let report = disjunctive_db::obs::TraceReport::build(&events);
+    let interrupted = verdict.interrupted().cloned();
+    if opts.flag("json") {
+        let doc = Json::obj([
+            ("version", Json::UInt(1)),
+            ("command", Json::Str("trace".to_owned())),
+            ("query", Json::Str(raw.to_owned())),
+            ("answer", verdict.as_bool().map_or(Json::Null, Json::Bool)),
+            ("oracle_calls", Json::UInt(counters.get("sat.solves"))),
+            ("spans", report.to_json()),
+            ("histograms", hists.to_json()),
+        ]);
+        oprintln!("{}", doc.render_pretty());
+    } else {
+        let answer = match verdict.as_bool() {
+            Some(true) => "inferred",
+            Some(false) => "not inferred",
+            None => "unknown",
+        };
+        oprintln!("{raw}: {answer}");
+        oprintln!();
+        oprint!("{}", report.render(top));
+        if opts.flag("stats") {
+            eprint!("{}", counters.render_table());
+            if !hists.is_empty() {
+                eprint!("{}", hists.render_table());
+            }
+        }
+    }
+    if let Some(i) = &interrupted {
+        report_unknown(i);
+    }
+    Ok(if interrupted.is_some() {
+        EXIT_EXHAUSTED
+    } else {
+        0
+    })
 }
 
 fn ground_cmd(args: &[String]) -> Result<(), String> {
