@@ -1,0 +1,238 @@
+//! Static cost estimation for the query planner.
+//!
+//! Two estimators feed [`crate::plan`]:
+//!
+//! * [`DomainEstimate`] — a per-predicate *domain/cardinality* summary of
+//!   the ground database: how many ground atoms each predicate symbol
+//!   contributes, how many distinct constants appear, and the Cartesian
+//!   bound `|constants|^arity` each predicate could reach if its arguments
+//!   ranged freely. The propositional substrate keeps ground atom names
+//!   verbatim (`covered(gear)`), so the predicate structure is recovered
+//!   syntactically by [`crate::adorn::split_predicate`].
+//! * [`oracle_call_bound`] — a sound upper bound on the number of NP-oracle
+//!   (SAT) calls the generic route can spend on a database with `atoms`
+//!   atoms and `rules` rules. Every generic procedure in the paper walks
+//!   candidate (partial) interpretations with per-candidate polynomial
+//!   work: over `n` atoms there are at most `2^n` two-valued candidates and
+//!   at most `3^n ≤ 4^n = 2^(2n)` three-valued ones (PDSM), and each
+//!   candidate costs at most `O(atoms + rules)` oracle calls for the
+//!   minimality/stability counterexample loops. The bound
+//!   `(atoms + rules + 2) · 2^(2·atoms)` therefore dominates all ten
+//!   semantics at once; it saturates at `u64::MAX` instead of overflowing.
+//!
+//! These are *bounds*, not predictions of typical cost — the audit mode of
+//! `ddb explain --execute` checks `observed ≤ bound`, and the benchmark
+//! group `T1-planning` records the observed/bound ratio.
+
+use crate::adorn::split_predicate;
+use ddb_logic::Database;
+use ddb_obs::json::Json;
+use std::collections::BTreeMap;
+
+/// Cardinality summary for one predicate symbol of the ground database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredicateCard {
+    /// Predicate name (the full atom name for propositional atoms).
+    pub predicate: String,
+    /// Arity recovered from the ground atom names (0 for propositional
+    /// atoms and explicit zero-arity atoms `p()`).
+    pub arity: usize,
+    /// Number of distinct ground atoms of this predicate in the database.
+    pub ground_atoms: usize,
+    /// The Cartesian bound `|constants|^arity` (saturating): how many
+    /// ground atoms the predicate could have over the database's constant
+    /// domain. Equals 1 for propositional atoms.
+    pub domain_bound: u64,
+}
+
+/// Domain/cardinality estimate for a whole database: the per-predicate
+/// table plus global totals, computed once per plan.
+#[derive(Clone, Debug, Default)]
+pub struct DomainEstimate {
+    /// Per-predicate cardinalities, sorted by predicate name then arity
+    /// (deterministic for snapshot tests).
+    pub predicates: Vec<PredicateCard>,
+    /// Distinct constants appearing as ground-atom arguments.
+    pub num_constants: usize,
+    /// Total ground atoms in the vocabulary.
+    pub num_atoms: usize,
+    /// Total rules.
+    pub num_rules: usize,
+    /// Rules with two or more head atoms (each doubles the candidate space
+    /// the oracle procedures may have to cover).
+    pub disjunctive_rules: usize,
+    /// Widest rule head.
+    pub max_head_width: usize,
+}
+
+impl DomainEstimate {
+    /// Computes the estimate for `db` from its symbol table and rules.
+    pub fn of(db: &Database) -> Self {
+        let mut constants: Vec<&str> = Vec::new();
+        let mut per: BTreeMap<(String, usize), usize> = BTreeMap::new();
+        for a in db.symbols().atoms() {
+            let (pred, args) = split_predicate(db.symbols().name(a));
+            for c in &args {
+                constants.push(c);
+            }
+            *per.entry((pred.to_owned(), args.len())).or_insert(0) += 1;
+        }
+        constants.sort_unstable();
+        constants.dedup();
+        let num_constants = constants.len();
+        let predicates = per
+            .into_iter()
+            .map(|((predicate, arity), ground_atoms)| PredicateCard {
+                predicate,
+                arity,
+                ground_atoms,
+                domain_bound: sat_pow(num_constants as u64, arity as u32),
+            })
+            .collect();
+        let (mut disjunctive_rules, mut max_head_width) = (0, 0);
+        for r in db.rules() {
+            if r.head().len() >= 2 {
+                disjunctive_rules += 1;
+            }
+            max_head_width = max_head_width.max(r.head().len());
+        }
+        DomainEstimate {
+            predicates,
+            num_constants,
+            num_atoms: db.num_atoms(),
+            num_rules: db.len(),
+            disjunctive_rules,
+            max_head_width,
+        }
+    }
+
+    /// JSON rendering for `ddb explain --json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("num_constants", Json::UInt(self.num_constants as u64)),
+            ("num_atoms", Json::UInt(self.num_atoms as u64)),
+            ("num_rules", Json::UInt(self.num_rules as u64)),
+            (
+                "disjunctive_rules",
+                Json::UInt(self.disjunctive_rules as u64),
+            ),
+            ("max_head_width", Json::UInt(self.max_head_width as u64)),
+            (
+                "predicates",
+                Json::Arr(
+                    self.predicates
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("predicate", Json::Str(p.predicate.clone())),
+                                ("arity", Json::UInt(p.arity as u64)),
+                                ("ground_atoms", Json::UInt(p.ground_atoms as u64)),
+                                ("domain_bound", Json::UInt(p.domain_bound)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// `base^exp` saturating at `u64::MAX`.
+fn sat_pow(base: u64, exp: u32) -> u64 {
+    let mut out: u64 = 1;
+    for _ in 0..exp {
+        out = out.saturating_mul(base.max(1));
+    }
+    out
+}
+
+/// Human-readable form of a (possibly saturated) oracle-call bound.
+pub fn display_bound(bound: u64) -> String {
+    if bound == u64::MAX {
+        ">=2^63".to_owned()
+    } else {
+        bound.to_string()
+    }
+}
+
+/// Sound upper bound on NP-oracle (SAT) calls for the generic route over a
+/// database with `atoms` atoms and `rules` rules (see the module docs for
+/// the derivation). Saturates at `u64::MAX`.
+pub fn oracle_call_bound(atoms: usize, rules: usize) -> u64 {
+    let poly = (atoms as u64)
+        .saturating_add(rules as u64)
+        .saturating_add(2);
+    let shift = 2usize.saturating_mul(atoms);
+    if shift >= 63 {
+        return u64::MAX;
+    }
+    poly.saturating_mul(1u64 << shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_program;
+    use ddb_logic::{Atom, Rule};
+
+    /// Interns ground-atom names directly (the propositional parser does
+    /// not accept parenthesized names — the datalog grounder makes them).
+    fn ground_db(rules: &[(&[&str], &[&str])]) -> Database {
+        let mut db = Database::with_fresh_atoms(0);
+        for (head, body) in rules {
+            let h: Vec<Atom> = head.iter().map(|n| db.symbols_mut().intern(n)).collect();
+            let b: Vec<Atom> = body.iter().map(|n| db.symbols_mut().intern(n)).collect();
+            db.add_rule(Rule::new(h, b, Vec::<Atom>::new()));
+        }
+        db
+    }
+
+    #[test]
+    fn domain_estimate_recovers_predicates() {
+        let db = ground_db(&[
+            (&["part(gear)"], &[]),
+            (&["part(axle)"], &[]),
+            (&["covered(gear)"], &["part(gear)"]),
+            (&["flag"], &[]),
+        ]);
+        let d = DomainEstimate::of(&db);
+        assert_eq!(d.num_constants, 2, "gear, axle");
+        let part = d.predicates.iter().find(|p| p.predicate == "part").unwrap();
+        assert_eq!((part.arity, part.ground_atoms), (1, 2));
+        assert_eq!(part.domain_bound, 2);
+        let flag = d.predicates.iter().find(|p| p.predicate == "flag").unwrap();
+        assert_eq!((flag.arity, flag.domain_bound), (0, 1));
+        assert_eq!(d.num_rules, 4);
+        assert_eq!(d.disjunctive_rules, 0);
+        assert_eq!(d.max_head_width, 1);
+    }
+
+    #[test]
+    fn disjunctive_rules_counted() {
+        let db = parse_program("a | b. c | d | e :- a.").unwrap();
+        let d = DomainEstimate::of(&db);
+        assert_eq!(d.disjunctive_rules, 2);
+        assert_eq!(d.max_head_width, 3);
+    }
+
+    #[test]
+    fn oracle_bound_is_monotone_and_saturates() {
+        assert!(oracle_call_bound(0, 0) >= 1);
+        assert!(oracle_call_bound(3, 5) < oracle_call_bound(4, 5));
+        assert!(oracle_call_bound(3, 5) < oracle_call_bound(3, 6));
+        assert_eq!(oracle_call_bound(40, 10), u64::MAX);
+        // Base 4 in the atom count: dominates PDSM's 3^n candidate space.
+        assert!(oracle_call_bound(10, 0) >= 3u64.pow(10));
+    }
+
+    #[test]
+    fn estimate_json_round_trips() {
+        let db = ground_db(&[(&["p(a, b)"], &[]), (&["q"], &["p(a, b)"])]);
+        let doc = DomainEstimate::of(&db).to_json().render();
+        let parsed = ddb_obs::json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("num_constants").and_then(|j| j.as_u64()),
+            Some(2)
+        );
+    }
+}

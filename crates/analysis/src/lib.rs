@@ -24,19 +24,33 @@
 //! * **bottom-up splitting evaluation** ([`peel`]): solve the
 //!   deterministic bottom levels of the SCC condensation and partially
 //!   evaluate their consequences into a smaller residual program;
+//! * the **static query planner** ([`plan`]): the routing decision kernel
+//!   ([`decide`]) dispatch executes, and the full predicted plan tree
+//!   ([`build_plan`]) `ddb explain` prints, with binding-pattern
+//!   adornments ([`adorn()`]) and the domain/cost estimators ([`cost`])
+//!   feeding its class and oracle-call bounds;
 //! * an [`AnalysisReport`] bundling all of the above ([`analyze`]).
 
+pub mod adorn;
+pub mod cost;
 pub mod fragments;
 pub mod lints;
+pub mod plan;
 pub mod report;
 pub mod schedule;
 pub mod slice;
 pub mod splitting;
 pub mod transform;
 
+pub use adorn::{adorn, Adornments, PredicateAdornment};
+pub use cost::{oracle_call_bound, DomainEstimate};
 pub use ddb_logic::depgraph::{DepGraph, EdgeKind, Sccs};
 pub use fragments::{classify, Fragments};
 pub use lints::{lint, Diagnostic, Severity};
+pub use plan::{
+    admission, build_plan, decide, plan_lints, Admission, Decision, PlanData, PlanNode, PlanQuery,
+    RouteKind, SemanticsTraits,
+};
 pub use report::{analyze, AnalysisReport};
 pub use schedule::islands;
 pub use slice::{project_slice, project_top, relevant_slice, AtomMap, Slice};

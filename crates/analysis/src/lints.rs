@@ -17,6 +17,18 @@
 //! | DDB009 | warning  | dead rule (a positive body atom is underivable) |
 //! | DDB010 | warning  | rule subsumed after closed-world simplification |
 //! | DDB011 | warning  | negative loop spans several positive layers     |
+//! | DDB012 | info     | unbound argument under goal-directed evaluation |
+//! | DDB013 | warning  | planned route has an exponential oracle bound   |
+//! | DDB014 | info     | ineffective slice: query slice = whole program  |
+//! | DDB015 | warning  | plan infeasible under the oracle-call budget    |
+//!
+//! `DDB001`–`DDB011` come from the database-level [`lint`] pass;
+//! `DDB012`–`DDB015` are query-dependent and emitted by the planner
+//! ([`crate::plan::plan_lints`]) for `ddb explain`.
+//!
+//! Diagnostics are emitted in a fully deterministic order: sorted by code,
+//! then by source position (rule index), so CI diffs and plan snapshots
+//! are stable across runs and thread counts.
 
 use ddb_logic::depgraph::{DepGraph, EdgeKind};
 use ddb_logic::parse::display_rule;
@@ -104,6 +116,65 @@ impl Diagnostic {
             code: "DDB008",
             severity: Severity::Error,
             message: format!("{role} mentions unknown atom `{name}`"),
+            rule: None,
+            snippet: None,
+        }
+    }
+
+    /// `DDB012` — goal-directed evaluation reaches a predicate with an
+    /// argument position not bound by the query's constants (shown as an
+    /// adornment like `part^f`).
+    pub fn unbound_adornment(display: &str) -> Self {
+        Diagnostic {
+            code: "DDB012",
+            severity: Severity::Info,
+            message: format!(
+                "goal-directed evaluation leaves `{display}` partially unbound: some argument positions are not fixed by the query's constants"
+            ),
+            rule: None,
+            snippet: None,
+        }
+    }
+
+    /// `DDB013` — the planned route's oracle-call bound is exponential in
+    /// the database size.
+    pub fn exponential_plan(semantics: &str, bound: u64, atoms: usize) -> Self {
+        Diagnostic {
+            code: "DDB013",
+            severity: Severity::Warning,
+            message: format!(
+                "predicted exponential blowup: the {semantics} plan admits up to {} oracle calls over {atoms} atoms",
+                crate::cost::display_bound(bound)
+            ),
+            rule: None,
+            snippet: None,
+        }
+    }
+
+    /// `DDB014` — the query's backward slice is the whole program, so
+    /// slicing cannot reduce this query.
+    pub fn ineffective_slice() -> Self {
+        Diagnostic {
+            code: "DDB014",
+            severity: Severity::Info,
+            message:
+                "ineffective slice: the query's backward slice is the whole program, so slicing cannot reduce it"
+                    .into(),
+            rule: None,
+            snippet: None,
+        }
+    }
+
+    /// `DDB015` — the plan's oracle-call bound exceeds the declared
+    /// `--max-oracle-calls` budget.
+    pub fn infeasible_plan(semantics: &str, bound: u64, budget: u64) -> Self {
+        Diagnostic {
+            code: "DDB015",
+            severity: Severity::Warning,
+            message: format!(
+                "plan infeasible under the oracle budget: the {semantics} plan admits up to {} oracle calls but --max-oracle-calls is {budget}",
+                crate::cost::display_bound(bound)
+            ),
             rule: None,
             snippet: None,
         }
@@ -459,12 +530,13 @@ pub fn lint(db: &Database, graph: &DepGraph) -> Vec<Diagnostic> {
         });
     }
 
-    out.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
-            .then(a.code.cmp(b.code))
-            .then(a.rule.cmp(&b.rule))
-    });
+    // Fully deterministic emission order: by code, then by source
+    // position (rule index; unanchored diagnostics sort before anchored
+    // ones of the same code). Codes are assigned in ascending severity
+    // waves, so errors still read out first within their numeric block,
+    // and — unlike a severity-first sort — the order is a pure function
+    // of the (code, rule) pairs, stable for CI diffs and snapshots.
+    out.sort_by(|a, b| a.code.cmp(b.code).then(a.rule.cmp(&b.rule)));
     out
 }
 
@@ -596,11 +668,36 @@ mod tests {
     }
 
     #[test]
-    fn errors_sort_first() {
+    fn emission_order_is_code_then_position() {
+        // Deterministic order contract: (code, rule) ascending, severity
+        // playing no part. `a. a. :- a.` yields DDB002 (rule 1) before
+        // DDB006 (rule 2) even though DDB006 is the error.
         let ds = lints("a. a. :- a.");
         assert!(ds.len() >= 2);
-        assert_eq!(ds[0].severity, Severity::Error);
-        assert_eq!(ds[0].code, "DDB006");
+        assert_eq!((ds[0].code, ds[0].rule), ("DDB002", Some(1)));
+        assert_eq!((ds[1].code, ds[1].rule), ("DDB006", Some(2)));
+        // And the order is a sorted sequence of (code, rule) keys on a
+        // program that trips many codes at once.
+        let ds = lints("a | b :- a. a. a. :- a. d :- e.");
+        let keys: Vec<_> = ds.iter().map(|d| (d.code, d.rule)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "emission order must be (code, rule) sorted");
+    }
+
+    #[test]
+    fn planner_lint_constructors() {
+        let d = Diagnostic::unbound_adornment("part^f");
+        assert_eq!((d.code, d.severity), ("DDB012", Severity::Info));
+        assert!(d.message.contains("part^f"));
+        let d = Diagnostic::exponential_plan("DSM", u64::MAX, 40);
+        assert_eq!((d.code, d.severity), ("DDB013", Severity::Warning));
+        assert!(d.message.contains(">=2^63"));
+        let d = Diagnostic::ineffective_slice();
+        assert_eq!((d.code, d.severity), ("DDB014", Severity::Info));
+        let d = Diagnostic::infeasible_plan("GCWA", 4096, 100);
+        assert_eq!((d.code, d.severity), ("DDB015", Severity::Warning));
+        assert!(d.message.contains("4096") && d.message.contains("100"));
     }
 
     #[test]

@@ -1,0 +1,812 @@
+//! The static query planner: every routing decision the dispatcher can
+//! take — Horn fixpoint, HCF shift, relevance slice, splitting-set peel,
+//! island decomposition, generic oracle procedure — reified in one
+//! auditable structure *before* anything runs.
+//!
+//! The planner is deliberately split in two layers:
+//!
+//! * [`decide`] — the cheap **decision kernel**: given a database, its
+//!   [`Fragments`], the semantics' [`SemanticsTraits`] and a [`PlanQuery`],
+//!   pick the route the dispatcher must take and hand back the route's
+//!   payload (the [`Slice`], [`Peel`] or island list) so execution never
+//!   recomputes it. `ddb_core::dispatch` calls this on every query; its
+//!   waterfall mirrors — and now *is* — the routing policy.
+//! * [`build_plan`] — the full **plan tree** for `ddb explain`: recursing
+//!   through the reductions exactly as execution would (slice → inner
+//!   query, peel → residual, islands → per-island existence), annotating
+//!   every node with the predicted complexity class and a sound upper
+//!   bound on oracle calls ([`crate::cost::oracle_call_bound`]). Because
+//!   both layers call the same decision kernel on the same inputs, the
+//!   predicted route always matches the executed route.
+//!
+//! The semantics-specific knowledge lives in [`SemanticsTraits`], filled in
+//! by `ddb_core` (this crate does not know the ten semantics by name):
+//! which closures are minimal-model-determined, whether the peel may cross
+//! negation, whether the HCF shift applies, and the paper's complexity
+//! class for the (semantics, problem) cell.
+//!
+//! Plan-level lints (`DDB012`–`DDB015`, see [`plan_lints`]) report
+//! query-dependent findings: unbound argument positions under goal-directed
+//! evaluation, predicted exponential blowup, ineffective slices, and plans
+//! infeasible under a declared oracle-call budget.
+
+use crate::adorn::Adornments;
+use crate::cost::{display_bound, oracle_call_bound};
+use crate::fragments::{classify, Fragments};
+use crate::lints::Diagnostic;
+use crate::schedule::islands;
+use crate::slice::{project_slice, project_top, relevant_slice, Slice};
+use crate::splitting::{peel_with, Peel};
+use ddb_logic::depgraph::DepGraph;
+use ddb_logic::{Atom, Database};
+use ddb_obs::json::Json;
+
+/// Why a query may (or may not) be answered on its relevance slice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// The database is positive (no negation, no integrity clauses):
+    /// answering on the slice is exact for all ten semantics.
+    PositiveExact,
+    /// The slice is split-closed: the database is a disjoint union of the
+    /// slice and the rest, and the answer is the product of the parts
+    /// (with the empty-top correction for cautious inference).
+    Product,
+    /// Neither precondition holds; the generic whole-database procedure
+    /// must run.
+    Blocked,
+}
+
+impl Admission {
+    /// Kebab-case label for display and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Admission::PositiveExact => "positive-exact",
+            Admission::Product => "product",
+            Admission::Blocked => "blocked",
+        }
+    }
+}
+
+/// Decides whether a query over `slice` may be answered on the slice
+/// alone. `mm_determined` says whether the query's answer is determined by
+/// the minimal-model set under the semantics at hand (always true for
+/// literal queries; semantics-dependent for formulas — see
+/// [`SemanticsTraits::mm_determined_formulas`]).
+pub fn admission(frags: &Fragments, slice: &Slice, mm_determined: bool) -> Admission {
+    if frags.positive && mm_determined {
+        Admission::PositiveExact
+    } else if slice.split_closed {
+        Admission::Product
+    } else {
+        Admission::Blocked
+    }
+}
+
+/// The routing-relevant facts about one semantics for one problem, filled
+/// in by `ddb_core` so this crate stays semantics-agnostic.
+#[derive(Clone, Debug)]
+pub struct SemanticsTraits {
+    /// Display name (`"DSM"`, `"ECWA (=CIRC)"`, …).
+    pub name: &'static str,
+    /// Whether formula inference is determined by the minimal-model set
+    /// (false for GCWA/CCWA, whose characteristic sets keep non-minimal
+    /// models).
+    pub mm_determined_formulas: bool,
+    /// `Some(peel_negation)` when the splitting-set peel is sound for this
+    /// semantics, `None` when it is not (PERF/ICWA).
+    pub peel_negation: Option<bool>,
+    /// Whether the head-cycle-free shift applies (DSM only).
+    pub hcf_shift: bool,
+    /// Whether the Horn collapse applies (default partition/varying
+    /// structure only).
+    pub horn_collapse: bool,
+    /// Whether the query-directed reductions (slice / split / islands) are
+    /// on the table at all: auto routing, not an inner call, default
+    /// structure.
+    pub reductions: bool,
+    /// Whether routing is forced to the generic procedure
+    /// (`RoutingMode::Generic`).
+    pub generic_only: bool,
+    /// The paper's complexity class for this (semantics, problem) cell.
+    pub class: &'static str,
+}
+
+/// The query shape being planned (atoms only — the planner needs the
+/// query's atom set and literal-ness, not its connective structure).
+#[derive(Clone, Debug)]
+pub enum PlanQuery {
+    /// Inference of a single literal over this atom.
+    Literal(Atom),
+    /// Inference of a formula mentioning these atoms.
+    Formula(Vec<Atom>),
+    /// Model existence.
+    Existence,
+    /// Model enumeration (the whole vocabulary is needed; query-directed
+    /// reductions never apply).
+    Enumeration,
+}
+
+impl PlanQuery {
+    /// The query's atoms (empty for existence/enumeration and constant
+    /// formulas).
+    pub fn atoms(&self) -> &[Atom] {
+        match self {
+            PlanQuery::Literal(a) => std::slice::from_ref(a),
+            PlanQuery::Formula(atoms) => atoms,
+            PlanQuery::Existence | PlanQuery::Enumeration => &[],
+        }
+    }
+
+    fn is_literal(&self) -> bool {
+        matches!(self, PlanQuery::Literal(_))
+    }
+
+    fn is_inference(&self) -> bool {
+        matches!(self, PlanQuery::Literal(_) | PlanQuery::Formula(_))
+    }
+}
+
+/// The route a plan node takes. Labels match the `route.*` observability
+/// counters exactly, so a predicted route can be checked against the
+/// counter the execution actually bumped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteKind {
+    /// Polynomial least-model fixpoint (Horn collapse).
+    Horn,
+    /// Head-cycle-free shift to a normal program (DSM).
+    Hcf,
+    /// Backward relevance slice; recurse on the projected sub-database.
+    Slice,
+    /// Splitting-set peel; recurse on the residual program.
+    Split,
+    /// Weakly-connected island decomposition (existence only).
+    Islands,
+    /// The generic oracle-backed procedure.
+    Generic,
+}
+
+impl RouteKind {
+    /// The label the matching `route.<label>` counter uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteKind::Horn => "horn",
+            RouteKind::Hcf => "hcf",
+            RouteKind::Slice => "slice",
+            RouteKind::Split => "split",
+            RouteKind::Islands => "islands",
+            RouteKind::Generic => "generic",
+        }
+    }
+}
+
+/// The payload a decided route carries so execution (and the plan tree)
+/// never recomputes the analysis that justified it.
+#[derive(Clone, Debug)]
+pub enum PlanData {
+    /// No payload (Horn / HCF / generic leaves).
+    Leaf,
+    /// The admitted relevance slice.
+    Slice {
+        /// The backward slice of the query atoms.
+        slice: Slice,
+        /// Why answering on the slice is sound.
+        admission: Admission,
+    },
+    /// The splitting-set peel.
+    Peel {
+        /// The peel: decided atoms plus the residual program.
+        peel: Peel,
+    },
+    /// The island decomposition.
+    Islands {
+        /// One split-closed slice per weakly-connected island.
+        parts: Vec<Slice>,
+    },
+}
+
+/// Output of the decision kernel: the route plus its payload. The
+/// `slice_blocked` flag records that a proper slice existed but its
+/// admission failed — execution bumps `route.slice.blocked` for it.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The route to take.
+    pub route: RouteKind,
+    /// The route's payload.
+    pub data: PlanData,
+    /// A proper slice existed but was not admitted.
+    pub slice_blocked: bool,
+}
+
+/// How much of the reduction waterfall a recursive plan position may use.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    /// Top-level entry and slice children: the full waterfall.
+    Full,
+    /// The residual of an existence peel: islands may still fire, but the
+    /// peel is spent and slicing needs query atoms.
+    IslandsOnly,
+    /// Inner calls (`no_slice` configurations): Horn / HCF / generic only.
+    Tail,
+}
+
+/// The decision kernel: picks the route the dispatcher must take for
+/// (`db`, `q`) under semantics `t`, with the route's payload. This is the
+/// single source of truth for routing — `ddb_core::dispatch` executes
+/// whatever this returns, and [`build_plan`] predicts by calling the same
+/// function.
+pub fn decide(db: &Database, frags: &Fragments, t: &SemanticsTraits, q: &PlanQuery) -> Decision {
+    decide_scoped(db, frags, t, q, Scope::Full)
+}
+
+fn leaf(route: RouteKind, slice_blocked: bool) -> Decision {
+    Decision {
+        route,
+        data: PlanData::Leaf,
+        slice_blocked,
+    }
+}
+
+fn decide_scoped(
+    db: &Database,
+    frags: &Fragments,
+    t: &SemanticsTraits,
+    q: &PlanQuery,
+    scope: Scope,
+) -> Decision {
+    if t.generic_only {
+        return leaf(RouteKind::Generic, false);
+    }
+    if scope == Scope::IslandsOnly {
+        // The residual of an existence peel: the dispatcher tries the
+        // island decomposition before handing the residual to the inner
+        // (tail) call, even when the residual is Horn.
+        let parts = islands(db);
+        if parts.len() >= 2 {
+            return Decision {
+                route: RouteKind::Islands,
+                data: PlanData::Islands { parts },
+                slice_blocked: false,
+            };
+        }
+        return decide_scoped(db, frags, t, q, Scope::Tail);
+    }
+    if frags.horn && t.horn_collapse {
+        return leaf(RouteKind::Horn, false);
+    }
+    let mut slice_blocked = false;
+    if t.reductions && scope == Scope::Full {
+        if q.is_inference() && !q.atoms().is_empty() {
+            let slice = relevant_slice(db, q.atoms());
+            if !slice.is_whole(db) {
+                let adm = admission(frags, &slice, q.is_literal() || t.mm_determined_formulas);
+                if adm == Admission::Blocked {
+                    slice_blocked = true;
+                } else {
+                    return Decision {
+                        route: RouteKind::Slice,
+                        data: PlanData::Slice {
+                            slice,
+                            admission: adm,
+                        },
+                        slice_blocked: false,
+                    };
+                }
+            }
+        }
+        if !matches!(q, PlanQuery::Enumeration) {
+            if let Some(peel_negation) = t.peel_negation {
+                let graph = DepGraph::of_database(db);
+                let peel = peel_with(db, &graph, peel_negation);
+                if peel.num_decided > 0 {
+                    return Decision {
+                        route: RouteKind::Split,
+                        data: PlanData::Peel { peel },
+                        slice_blocked,
+                    };
+                }
+            }
+        }
+        if matches!(q, PlanQuery::Existence) {
+            let parts = islands(db);
+            if parts.len() >= 2 {
+                return Decision {
+                    route: RouteKind::Islands,
+                    data: PlanData::Islands { parts },
+                    slice_blocked,
+                };
+            }
+        }
+    }
+    if t.hcf_shift && frags.head_cycle_free {
+        return leaf(RouteKind::Hcf, slice_blocked);
+    }
+    leaf(RouteKind::Generic, slice_blocked)
+}
+
+/// One node of the plan tree `ddb explain` prints: the decided route, the
+/// sub-database's size, the predicted complexity class, a sound upper
+/// bound on oracle calls for the whole subtree, and the child plans the
+/// route delegates to.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// The route this node takes.
+    pub route: RouteKind,
+    /// Atoms in this node's (sub-)database.
+    pub atoms: usize,
+    /// Rules in this node's (sub-)database.
+    pub rules: usize,
+    /// Predicted complexity class (`"P"` on the polynomial fast paths,
+    /// the paper's cell class otherwise).
+    pub class: &'static str,
+    /// Upper bound on NP-oracle calls for this subtree (saturating).
+    pub oracle_bound: u64,
+    /// Human-readable justification of the decision.
+    pub detail: String,
+    /// Child plans (slice sub-query and product correction, peel residual,
+    /// per-island existence checks).
+    pub children: Vec<PlanNode>,
+    /// The route's payload (what execution would consume).
+    pub data: PlanData,
+}
+
+impl PlanNode {
+    /// Renders the subtree as an indented text block (two spaces per
+    /// level), deterministic for snapshot diffing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!(
+            "{} [{} atoms, {} rules] class {}, <= {} oracle calls — {}\n",
+            self.route.label(),
+            self.atoms,
+            self.rules,
+            self.class,
+            display_bound(self.oracle_bound),
+            self.detail
+        ));
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    /// JSON rendering for `ddb explain --json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("route", Json::Str(self.route.label().to_owned())),
+            ("atoms", Json::UInt(self.atoms as u64)),
+            ("rules", Json::UInt(self.rules as u64)),
+            ("class", Json::Str(self.class.to_owned())),
+            ("oracle_bound", Json::UInt(self.oracle_bound)),
+            ("detail", Json::Str(self.detail.clone())),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(PlanNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Builds the full plan tree for (`db`, `q`) under semantics `t`,
+/// recursing through the reductions exactly as execution would. The root
+/// route equals what [`decide`] returns on the same inputs (it *is* that
+/// decision), so `ddb explain`'s prediction matches dispatch by
+/// construction.
+pub fn build_plan(
+    db: &Database,
+    frags: &Fragments,
+    t: &SemanticsTraits,
+    q: &PlanQuery,
+) -> PlanNode {
+    build(db, frags, t, q, Scope::Full)
+}
+
+fn plan_leaf(route: RouteKind, db: &Database, t: &SemanticsTraits, detail: String) -> PlanNode {
+    let (class, bound) = match route {
+        RouteKind::Horn => ("P", 0),
+        _ => (t.class, oracle_call_bound(db.num_atoms(), db.len())),
+    };
+    PlanNode {
+        route,
+        atoms: db.num_atoms(),
+        rules: db.len(),
+        class,
+        oracle_bound: bound,
+        detail,
+        children: Vec::new(),
+        data: PlanData::Leaf,
+    }
+}
+
+fn build(
+    db: &Database,
+    frags: &Fragments,
+    t: &SemanticsTraits,
+    q: &PlanQuery,
+    scope: Scope,
+) -> PlanNode {
+    let d = decide_scoped(db, frags, t, q, scope);
+    match d.data {
+        PlanData::Leaf => match d.route {
+            RouteKind::Horn => plan_leaf(
+                RouteKind::Horn,
+                db,
+                t,
+                "Horn collapse: polynomial least-model fixpoint".into(),
+            ),
+            RouteKind::Hcf => plan_leaf(
+                RouteKind::Hcf,
+                db,
+                t,
+                "head-cycle-free: shift to a normal program, polynomial stability checks".into(),
+            ),
+            _ => {
+                let detail = if d.slice_blocked {
+                    "generic oracle procedure (a proper slice exists but its admission is blocked)"
+                        .to_owned()
+                } else {
+                    "generic oracle procedure on the whole database".to_owned()
+                };
+                plan_leaf(RouteKind::Generic, db, t, detail)
+            }
+        },
+        PlanData::Slice { slice, admission } => {
+            let (sub, map) = project_slice(db, &slice);
+            let sub_frags = classify(&sub);
+            let sub_q = match q {
+                PlanQuery::Literal(a) => {
+                    PlanQuery::Literal(map.to_sub[a.index()].expect("query atom is in its slice"))
+                }
+                PlanQuery::Formula(atoms) => PlanQuery::Formula(
+                    atoms
+                        .iter()
+                        .map(|a| map.to_sub[a.index()].expect("query atom is in its slice"))
+                        .collect(),
+                ),
+                _ => unreachable!("slice route requires an inference query"),
+            };
+            let mut children = vec![build(&sub, &sub_frags, t, &sub_q, Scope::Full)];
+            if admission == Admission::Product {
+                // A cautious `false` on the slice owes one model-existence
+                // check on the independent top part.
+                let (top, _) = project_top(db, &slice);
+                let top_frags = classify(&top);
+                children.push(build(
+                    &top,
+                    &top_frags,
+                    t,
+                    &PlanQuery::Existence,
+                    Scope::Tail,
+                ));
+            }
+            let detail = format!(
+                "backward slice keeps {}/{} atoms, {}/{} rules (admission: {})",
+                slice.atoms.len(),
+                db.num_atoms(),
+                slice.rules.len(),
+                db.len(),
+                admission.label()
+            );
+            PlanNode {
+                route: RouteKind::Slice,
+                atoms: db.num_atoms(),
+                rules: db.len(),
+                class: t.class,
+                oracle_bound: sum_bounds(&children),
+                detail,
+                children,
+                data: PlanData::Slice { slice, admission },
+            }
+        }
+        PlanData::Peel { peel } => {
+            let res_frags = classify(&peel.residual);
+            let (child_q, child_scope) = match q {
+                PlanQuery::Literal(a) => match peel.decided[a.index()] {
+                    None => (PlanQuery::Literal(*a), Scope::Tail),
+                    // A decided query atom degenerates to a constant
+                    // formula over the residual.
+                    Some(_) => (PlanQuery::Formula(Vec::new()), Scope::Tail),
+                },
+                PlanQuery::Formula(atoms) => (
+                    PlanQuery::Formula(
+                        atoms
+                            .iter()
+                            .copied()
+                            .filter(|a| peel.decided[a.index()].is_none())
+                            .collect(),
+                    ),
+                    Scope::Tail,
+                ),
+                PlanQuery::Existence => (PlanQuery::Existence, Scope::IslandsOnly),
+                PlanQuery::Enumeration => unreachable!("peel route never serves enumeration"),
+            };
+            let children = vec![build(&peel.residual, &res_frags, t, &child_q, child_scope)];
+            let detail = format!(
+                "splitting-set peel decides {} atom(s) in {} bottom component(s); recurse on the residual",
+                peel.num_decided, peel.components_decided
+            );
+            PlanNode {
+                route: RouteKind::Split,
+                atoms: db.num_atoms(),
+                rules: db.len(),
+                class: t.class,
+                oracle_bound: sum_bounds(&children),
+                detail,
+                children,
+                data: PlanData::Peel { peel },
+            }
+        }
+        PlanData::Islands { parts } => {
+            let children: Vec<PlanNode> = parts
+                .iter()
+                .map(|island| {
+                    let (sub, _) = project_slice(db, island);
+                    let sub_frags = classify(&sub);
+                    build(&sub, &sub_frags, t, &PlanQuery::Existence, Scope::Tail)
+                })
+                .collect();
+            let detail = format!(
+                "{} weakly-connected islands; model existence is their conjunction",
+                parts.len()
+            );
+            PlanNode {
+                route: RouteKind::Islands,
+                atoms: db.num_atoms(),
+                rules: db.len(),
+                class: t.class,
+                oracle_bound: sum_bounds(&children),
+                detail,
+                children,
+                data: PlanData::Islands { parts },
+            }
+        }
+    }
+}
+
+fn sum_bounds(children: &[PlanNode]) -> u64 {
+    children
+        .iter()
+        .fold(0u64, |acc, c| acc.saturating_add(c.oracle_bound))
+}
+
+/// Root oracle bound above which the planner warns about exponential
+/// blowup (`DDB013`).
+pub const EXPONENTIAL_LINT_THRESHOLD: u64 = 1 << 20;
+
+/// The query-dependent plan lints `DDB012`–`DDB015` for one `ddb explain`
+/// run over a set of per-semantics plans (`plans` pairs a display name
+/// with each semantics' root node). Sorted by code, matching the
+/// deterministic lint order of `ddb check`.
+pub fn plan_lints(
+    db: &Database,
+    query_atoms: &[Atom],
+    plans: &[(&str, &PlanNode)],
+    adornments: &Adornments,
+    oracle_budget: Option<u64>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for p in adornments.unbound() {
+        out.push(Diagnostic::unbound_adornment(&p.display()));
+    }
+    if let Some((name, plan)) = plans
+        .iter()
+        .find(|(_, p)| p.oracle_bound > EXPONENTIAL_LINT_THRESHOLD)
+    {
+        out.push(Diagnostic::exponential_plan(
+            name,
+            plan.oracle_bound,
+            plan.atoms,
+        ));
+    }
+    if ineffective_slice(db, query_atoms) {
+        out.push(Diagnostic::ineffective_slice());
+    }
+    if let Some(budget) = oracle_budget {
+        if let Some((name, plan)) = plans.iter().find(|(_, p)| p.oracle_bound > budget) {
+            out.push(Diagnostic::infeasible_plan(name, plan.oracle_bound, budget));
+        }
+    }
+    out.sort_by(|a, b| a.code.cmp(b.code).then(a.rule.cmp(&b.rule)));
+    out
+}
+
+/// `DDB014` helper: whether the query's backward slice is the whole
+/// program (slicing cannot reduce this query). Exposed separately from
+/// [`plan_lints`] because it needs the raw query atoms, not the plans.
+pub fn ineffective_slice(db: &Database, query_atoms: &[Atom]) -> bool {
+    !query_atoms.is_empty() && db.len() > 1 && relevant_slice(db, query_atoms).is_whole(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_logic::parse::parse_program;
+
+    fn traits(class: &'static str) -> SemanticsTraits {
+        SemanticsTraits {
+            name: "TEST",
+            mm_determined_formulas: true,
+            peel_negation: Some(true),
+            hcf_shift: false,
+            horn_collapse: true,
+            reductions: true,
+            generic_only: false,
+            class,
+        }
+    }
+
+    #[test]
+    fn horn_db_plans_horn_with_zero_bound() {
+        let db = parse_program("a. b :- a.").unwrap();
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let plan = build_plan(&db, &frags, &t, &PlanQuery::Existence);
+        assert_eq!(plan.route, RouteKind::Horn);
+        assert_eq!(plan.oracle_bound, 0);
+        assert_eq!(plan.class, "P");
+        assert!(plan.children.is_empty());
+    }
+
+    #[test]
+    fn slice_plan_recurses_and_sums_bounds() {
+        let db = parse_program("a | b. c :- a. c :- b. x | y. z :- x.").unwrap();
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let c = db
+            .symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == "c")
+            .unwrap();
+        let plan = build_plan(&db, &frags, &t, &PlanQuery::Formula(vec![c]));
+        assert_eq!(plan.route, RouteKind::Slice);
+        assert_eq!(plan.children.len(), 1, "positive-exact: no top child");
+        assert_eq!(plan.oracle_bound, plan.children[0].oracle_bound);
+        assert!(plan.detail.contains("positive-exact"));
+        let PlanData::Slice { slice, admission } = &plan.data else {
+            panic!("slice payload expected");
+        };
+        assert_eq!(*admission, Admission::PositiveExact);
+        assert_eq!(slice.rules.len(), 3);
+    }
+
+    #[test]
+    fn blocked_slice_is_flagged_and_falls_through() {
+        let db = parse_program("a | b. c :- a. d :- not c. e.").unwrap();
+        let frags = classify(&db);
+        let mut t = traits("Πᵖ₂-complete");
+        t.peel_negation = Some(true);
+        let c = db
+            .symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == "c")
+            .unwrap();
+        let d = decide(&db, &frags, &t, &PlanQuery::Formula(vec![c]));
+        // `e.` peels away, so the fallthrough is the split route — with
+        // the blocked slice remembered for the counter.
+        assert_eq!(d.route, RouteKind::Split);
+        assert!(d.slice_blocked);
+    }
+
+    #[test]
+    fn existence_peel_then_islands_on_residual() {
+        // The fact layer peels; the residual has two disjunctive islands.
+        let db = parse_program("f. a | b :- f. x | y.").unwrap();
+        let frags = classify(&db);
+        let t = traits("Σᵖ₂-complete");
+        let plan = build_plan(&db, &frags, &t, &PlanQuery::Existence);
+        assert_eq!(plan.route, RouteKind::Split);
+        assert_eq!(plan.children.len(), 1);
+        let residual_plan = &plan.children[0];
+        assert_eq!(residual_plan.route, RouteKind::Islands);
+        assert_eq!(residual_plan.children.len(), 2);
+        for island in &residual_plan.children {
+            assert_eq!(island.route, RouteKind::Generic);
+        }
+    }
+
+    #[test]
+    fn islands_without_peel() {
+        let mut t = traits("NP-complete");
+        t.peel_negation = None;
+        let db = parse_program("a | b. x | y.").unwrap();
+        let frags = classify(&db);
+        let plan = build_plan(&db, &frags, &t, &PlanQuery::Existence);
+        assert_eq!(plan.route, RouteKind::Islands);
+        assert_eq!(plan.children.len(), 2);
+        assert_eq!(
+            plan.oracle_bound,
+            plan.children.iter().map(|c| c.oracle_bound).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn enumeration_never_slices_or_peels() {
+        let db = parse_program("f. a | b :- f. x | y.").unwrap();
+        let frags = classify(&db);
+        let t = traits("Σᵖ₂-complete");
+        let d = decide(&db, &frags, &t, &PlanQuery::Enumeration);
+        assert_eq!(d.route, RouteKind::Generic);
+    }
+
+    #[test]
+    fn generic_only_short_circuits() {
+        let db = parse_program("a | b. x | y.").unwrap();
+        let frags = classify(&db);
+        let mut t = traits("NP-complete");
+        t.generic_only = true;
+        let d = decide(&db, &frags, &t, &PlanQuery::Existence);
+        assert_eq!(d.route, RouteKind::Generic);
+        assert!(!d.slice_blocked);
+    }
+
+    #[test]
+    fn product_admission_adds_top_existence_child() {
+        // Not positive (an integrity clause), but the slice for q is
+        // split-closed: the plan owes the empty-top correction child.
+        let db = parse_program("a | b. q :- a. q :- b. t. :- t.").unwrap();
+        let frags = classify(&db);
+        let mut t = traits("Πᵖ₂-complete");
+        t.peel_negation = Some(false);
+        let q = db
+            .symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == "q")
+            .unwrap();
+        let plan = build_plan(&db, &frags, &t, &PlanQuery::Formula(vec![q]));
+        assert_eq!(plan.route, RouteKind::Slice);
+        let PlanData::Slice { admission, .. } = &plan.data else {
+            panic!("slice payload expected");
+        };
+        assert_eq!(*admission, Admission::Product);
+        assert_eq!(plan.children.len(), 2, "sub-query + top existence check");
+    }
+
+    #[test]
+    fn render_and_json_are_deterministic() {
+        let db = parse_program("a | b. c :- a. c :- b. x | y.").unwrap();
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let c = db
+            .symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == "c")
+            .unwrap();
+        let p1 = build_plan(&db, &frags, &t, &PlanQuery::Formula(vec![c]));
+        let p2 = build_plan(&db, &frags, &t, &PlanQuery::Formula(vec![c]));
+        assert_eq!(p1.render(), p2.render());
+        assert_eq!(p1.to_json().render(), p2.to_json().render());
+        let parsed = ddb_obs::json::parse(&p1.to_json().render()).unwrap();
+        assert_eq!(parsed.get("route").unwrap().as_str(), Some("slice"));
+    }
+
+    #[test]
+    fn plan_lints_fire_and_sort_by_code() {
+        let db = parse_program("a | b. c :- a. c :- b.").unwrap();
+        let frags = classify(&db);
+        let mut t = traits("Πᵖ₂-complete");
+        t.reductions = false;
+        let c = db
+            .symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == "c")
+            .unwrap();
+        let plan = build_plan(&db, &frags, &t, &PlanQuery::Formula(vec![c]));
+        let ad = crate::adorn::adorn(&db, &[c]);
+        let lints = plan_lints(&db, &[c], &[("TEST", &plan)], &ad, Some(1));
+        // Bound exceeds the budget of 1 → DDB015; the whole-program slice
+        // → DDB014; small db → no DDB013.
+        assert!(lints.iter().any(|d| d.code == "DDB014"));
+        assert!(lints.iter().any(|d| d.code == "DDB015"));
+        let codes: Vec<_> = lints.iter().map(|d| d.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+        assert!(ineffective_slice(&db, &[c]), "whole-program slice");
+    }
+}

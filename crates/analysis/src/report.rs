@@ -17,7 +17,8 @@ pub struct AnalysisReport {
     /// The stratification, lowest stratum first, if the database is
     /// stratifiable.
     pub strata: Option<Vec<Vec<Atom>>>,
-    /// Lint findings, most severe first.
+    /// Lint findings, in the deterministic emission order (by code, then
+    /// by rule index — see [`lint`]).
     pub diagnostics: Vec<Diagnostic>,
 }
 

@@ -21,7 +21,7 @@
 //! complete are bit-for-bit identical to unbudgeted runs.
 
 use crate::icwa::Layers;
-use ddb_analysis::{Diagnostic, Fragments};
+use ddb_analysis::{Diagnostic, Fragments, PlanData, PlanNode, PlanQuery, RouteKind};
 use ddb_logic::{Database, Formula, Interpretation, Literal};
 use ddb_models::{Cost, Partition};
 use ddb_obs::{Governed, Interrupted, Resource};
@@ -323,15 +323,6 @@ pub enum RoutingMode {
     Generic,
 }
 
-/// The fast path chosen for one query (internal; surfaced via the
-/// `route.*` counters).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Route {
-    Horn,
-    HcfDsm,
-    Generic,
-}
-
 /// A semantics together with the extra structure some semantics need.
 #[derive(Clone, Debug)]
 pub struct SemanticsConfig {
@@ -420,33 +411,33 @@ impl SemanticsConfig {
         }
     }
 
-    /// Picks the decision procedure for `db` given its fragments. The
-    /// choice is recorded in the `route.*` counters by [`Self::note`] at
-    /// the call sites — the generic bump is deferred there so the
-    /// query-dependent slice/split routes (see [`crate::slicing`]) can
-    /// claim the query first.
-    fn route(&self, frags: &Fragments) -> Route {
-        if self.routing == RoutingMode::Generic {
-            Route::Generic
-        } else if frags.horn && self.has_default_structure() {
-            Route::Horn
-        } else if self.id == SemanticsId::Dsm && frags.head_cycle_free {
-            Route::HcfDsm
-        } else {
-            Route::Generic
-        }
-    }
-
-    /// Records a taken route in the `route.*` counters.
-    fn note(route: Route) {
+    /// Records a taken leaf route in the `route.*` counters (the
+    /// slice/split/island routes bump their own `route.slice*` /
+    /// `route.split*` / `route.islands*` families at their executors).
+    fn note_leaf(route: RouteKind) {
         ddb_obs::counter_bump(
             match route {
-                Route::Horn => "route.horn",
-                Route::HcfDsm => "route.hcf",
-                Route::Generic => "route.generic",
+                RouteKind::Horn => "route.horn",
+                RouteKind::Hcf => "route.hcf",
+                _ => "route.generic",
             },
             1,
         );
+    }
+
+    /// The leaf the reduction waterfall bottoms out on when no reduction
+    /// applies (or an executor abandons its route): the HCF shift for DSM
+    /// on head-cycle-free databases, the generic procedure otherwise.
+    /// Mirrors the tail of the planner kernel's waterfall.
+    fn tail_route(&self, frags: &Fragments) -> RouteKind {
+        if self.routing != RoutingMode::Generic
+            && self.id == SemanticsId::Dsm
+            && frags.head_cycle_free
+        {
+            RouteKind::Hcf
+        } else {
+            RouteKind::Generic
+        }
     }
 
     /// The Horn collapse (all ten semantics = the least model) only holds
@@ -466,13 +457,23 @@ impl SemanticsConfig {
     }
 
     /// Shared prologue of every query: classify once, reject inapplicable
-    /// combinations, pick the route. The fragments ride along so the
-    /// slice/split routes can consult them without re-classifying.
-    fn prepare(&self, db: &Database) -> Result<(Route, Fragments), Unsupported> {
+    /// combinations. The fragments ride along so the planner and the
+    /// executors can consult them without re-classifying.
+    fn prepare(&self, db: &Database) -> Result<Fragments, Unsupported> {
         let frags = ddb_analysis::classify(db);
         self.check_fragments(db, &frags)?;
-        let route = self.route(&frags);
-        Ok((route, frags))
+        Ok(frags)
+    }
+
+    /// The static plan tree for (`db`, `query`) under this configuration —
+    /// the backend of `ddb explain`. The root route equals the route the
+    /// dispatcher executes on the same query by construction: both sides
+    /// feed the same [`ddb_analysis::SemanticsTraits`] (via
+    /// [`crate::planner::traits_for`]) into the same decision kernel.
+    pub fn plan(&self, db: &Database, query: &PlanQuery) -> Result<PlanNode, Unsupported> {
+        let frags = ddb_analysis::classify(db);
+        self.check_fragments(db, &frags)?;
+        Ok(crate::planner::plan(self, db, &frags, query))
     }
 
     fn icwa_layers(&self, db: &Database) -> Layers {
@@ -497,20 +498,42 @@ impl SemanticsConfig {
         cost: &mut Cost,
     ) -> Result<Verdict, Unsupported> {
         let _q = ddb_obs::hist_span("dispatch.query", "dispatch.query.ns");
-        let (route, frags) = self.prepare(db)?;
-        if route == Route::Horn {
-            Self::note(Route::Horn);
-            return Ok(crate::route::horn_infers_literal(db, lit).into());
+        let frags = self.prepare(db)?;
+        let d = crate::planner::decide(self, db, &frags, &PlanQuery::Literal(lit.atom()));
+        if d.slice_blocked {
+            ddb_obs::counter_bump("route.slice.blocked", 1);
         }
-        // Slice/split go first: they shrink the database, and the inner
-        // call still rides the HCF (or Horn) fast path on the smaller one.
-        match crate::slicing::try_infers_literal(self, db, &frags, lit, cost) {
-            Ok(Some(ans)) => return Ok(ans.into()),
-            Ok(None) => {}
-            Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+        match d.data {
+            // The reductions go first: they shrink the database, and the
+            // recursive call still rides the HCF (or Horn) fast path on
+            // the smaller one. `Ok(None)` means the executor abandoned
+            // the route (an inner call hit `Unsupported`); fall through
+            // to the leaf tail.
+            PlanData::Slice { slice, admission } => {
+                let f = Formula::literal(lit.atom(), lit.is_positive());
+                match crate::slicing::run_slice(self, db, &slice, admission, &f, Some(lit), cost) {
+                    Ok(Some(ans)) => return Ok(ans.into()),
+                    Ok(None) => {}
+                    Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+                }
+            }
+            PlanData::Peel { peel } => {
+                let f = Formula::literal(lit.atom(), lit.is_positive());
+                match crate::slicing::run_peel(self, &peel, &f, Some(lit), cost) {
+                    Ok(Some(ans)) => return Ok(ans.into()),
+                    Ok(None) => {}
+                    Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+                }
+            }
+            PlanData::Leaf if d.route == RouteKind::Horn => {
+                Self::note_leaf(RouteKind::Horn);
+                return Ok(crate::route::horn_infers_literal(db, lit).into());
+            }
+            _ => {}
         }
-        Self::note(route);
-        if route == Route::HcfDsm {
+        let tail = self.tail_route(&frags);
+        Self::note_leaf(tail);
+        if tail == RouteKind::Hcf {
             return Ok(crate::route::hcf_dsm_infers_literal(db, lit, cost).into());
         }
         Ok(Verdict::from(match self.id {
@@ -541,18 +564,33 @@ impl SemanticsConfig {
         cost: &mut Cost,
     ) -> Result<Verdict, Unsupported> {
         let _q = ddb_obs::hist_span("dispatch.query", "dispatch.query.ns");
-        let (route, frags) = self.prepare(db)?;
-        if route == Route::Horn {
-            Self::note(Route::Horn);
-            return Ok(crate::route::horn_infers_formula(db, f).into());
+        let frags = self.prepare(db)?;
+        let d = crate::planner::decide(self, db, &frags, &PlanQuery::Formula(f.atoms()));
+        if d.slice_blocked {
+            ddb_obs::counter_bump("route.slice.blocked", 1);
         }
-        match crate::slicing::try_infers_formula(self, db, &frags, f, cost) {
-            Ok(Some(ans)) => return Ok(ans.into()),
-            Ok(None) => {}
-            Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+        match d.data {
+            PlanData::Slice { slice, admission } => {
+                match crate::slicing::run_slice(self, db, &slice, admission, f, None, cost) {
+                    Ok(Some(ans)) => return Ok(ans.into()),
+                    Ok(None) => {}
+                    Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+                }
+            }
+            PlanData::Peel { peel } => match crate::slicing::run_peel(self, &peel, f, None, cost) {
+                Ok(Some(ans)) => return Ok(ans.into()),
+                Ok(None) => {}
+                Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+            },
+            PlanData::Leaf if d.route == RouteKind::Horn => {
+                Self::note_leaf(RouteKind::Horn);
+                return Ok(crate::route::horn_infers_formula(db, f).into());
+            }
+            _ => {}
         }
-        Self::note(route);
-        if route == Route::HcfDsm {
+        let tail = self.tail_route(&frags);
+        Self::note_leaf(tail);
+        if tail == RouteKind::Hcf {
             return Ok(crate::route::hcf_dsm_infers_formula(db, f, cost).into());
         }
         Ok(Verdict::from(match self.id {
@@ -574,18 +612,28 @@ impl SemanticsConfig {
     /// span, `dispatch.query.ns` histogram).
     pub fn has_model(&self, db: &Database, cost: &mut Cost) -> Result<Verdict, Unsupported> {
         let _q = ddb_obs::hist_span("dispatch.query", "dispatch.query.ns");
-        let (route, _) = self.prepare(db)?;
-        if route == Route::Horn {
-            Self::note(Route::Horn);
-            return Ok(crate::route::horn_has_model(db).into());
+        let frags = self.prepare(db)?;
+        let d = crate::planner::decide(self, db, &frags, &PlanQuery::Existence);
+        match d.data {
+            PlanData::Peel { peel } => match crate::slicing::run_exist_split(self, &peel, cost) {
+                Ok(Some(ans)) => return Ok(ans.into()),
+                Ok(None) => {}
+                Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+            },
+            PlanData::Islands { .. } => match crate::parallel::islands_has_model(self, db, cost) {
+                Ok(Some(ans)) => return Ok(ans.into()),
+                Ok(None) => {}
+                Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
+            },
+            PlanData::Leaf if d.route == RouteKind::Horn => {
+                Self::note_leaf(RouteKind::Horn);
+                return Ok(crate::route::horn_has_model(db).into());
+            }
+            _ => {}
         }
-        match crate::slicing::try_has_model(self, db, cost) {
-            Ok(Some(ans)) => return Ok(ans.into()),
-            Ok(None) => {}
-            Err(i) => return Ok(Verdict::from(Governed::<bool>::Err(i))),
-        }
-        Self::note(route);
-        if route == Route::HcfDsm {
+        let tail = self.tail_route(&frags);
+        Self::note_leaf(tail);
+        if tail == RouteKind::Hcf {
             return Ok(crate::route::hcf_dsm_has_model(db, cost).into());
         }
         Ok(Verdict::from(match self.id {
@@ -619,18 +667,19 @@ impl SemanticsConfig {
     /// one; PDSM reports its total models. An exhausted budget yields an
     /// [`Enumeration`] with `interrupted` set instead of an error.
     pub fn models(&self, db: &Database, cost: &mut Cost) -> Result<Enumeration, Unsupported> {
-        match self.prepare(db)? {
-            (Route::Horn, _) => {
-                Self::note(Route::Horn);
+        let frags = self.prepare(db)?;
+        // Model enumeration needs the whole vocabulary; the planner only
+        // ever returns a leaf route for `PlanQuery::Enumeration`.
+        let d = crate::planner::decide(self, db, &frags, &PlanQuery::Enumeration);
+        Self::note_leaf(d.route);
+        match d.route {
+            RouteKind::Horn => {
                 return Ok(Enumeration::complete(crate::route::horn_models(db)));
             }
-            (Route::HcfDsm, _) => {
-                Self::note(Route::HcfDsm);
+            RouteKind::Hcf => {
                 return Ok(crate::route::hcf_dsm_models(db, cost).into());
             }
-            // Model enumeration needs the whole vocabulary; the
-            // query-directed slice/split routes do not apply.
-            (Route::Generic, _) => Self::note(Route::Generic),
+            _ => {}
         }
         let governed: Governed<Vec<Interpretation>> = match self.id {
             SemanticsId::Gcwa => crate::gcwa::models(db, cost),

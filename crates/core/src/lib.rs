@@ -35,9 +35,14 @@
 //!   semantics;
 //! * [`profile`] — the observed 10×3 oracle-call matrix next to the
 //!   paper's predicted complexity classes (backs `ddb profile`);
-//! * [`slicing`] — query-relevant slicing and splitting-set peeling, the
-//!   analysis-driven routes that shrink the database a query reasons over
-//!   (backs `ddb slice` and the `route.slice*`/`route.split*` counters);
+//! * [`planner`] — the bridge to the static query planner of
+//!   `ddb_analysis::plan`: derives each semantics' routing traits and
+//!   plan trees, so every routing decision dispatch takes is reified in
+//!   one auditable structure (backs `ddb explain`);
+//! * [`slicing`] — execution of the query-relevant slicing and
+//!   splitting-set routes the planner decides, shrinking the database a
+//!   query reasons over (backs `ddb slice` and the
+//!   `route.slice*`/`route.split*` counters);
 //! * [`parallel`] — component-parallel model existence over dependency
 //!   islands and batched formula queries on the budget-inheriting worker
 //!   pool (backs `--threads` and the `route.islands`/`pool.*` counters);
@@ -59,6 +64,7 @@ pub mod icwa;
 pub mod parallel;
 pub mod pdsm;
 pub mod perf;
+pub mod planner;
 pub mod profile;
 pub mod pws;
 pub mod reduct;

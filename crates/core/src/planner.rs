@@ -1,0 +1,104 @@
+//! Bridge between [`SemanticsConfig`] and the semantics-agnostic planner
+//! in [`ddb_analysis::plan`].
+//!
+//! The analysis crate's decision kernel ([`ddb_analysis::decide`]) knows
+//! nothing about the ten semantics; everything semantics-specific is
+//! funneled through [`SemanticsTraits`], and [`traits_for`] is the one
+//! place those traits are derived from a [`SemanticsConfig`]:
+//!
+//! * the minimal-model determinedness of formula queries (GCWA/CCWA keep
+//!   non-minimal models — see [`crate::slicing::admission`]);
+//! * the peel gate ([`crate::slicing::peel_mode`]);
+//! * the HCF shift (DSM only) and the Horn collapse (default structure
+//!   only);
+//! * the routing mode and the `no_slice` inner-call marker;
+//! * the paper's complexity class for the (semantics, problem) cell
+//!   ([`crate::profile::paper_complexity`]).
+//!
+//! `dispatch` calls [`decide`] on every query and executes the returned
+//! [`Decision`]; `ddb explain` calls [`SemanticsConfig::plan`], which lands
+//! on [`plan`] here — both feed the *same* traits into the *same* kernel,
+//! so the predicted route always matches the executed one.
+
+use crate::dispatch::{RoutingMode, SemanticsConfig, SemanticsId};
+use crate::profile::{paper_complexity, Problem};
+use ddb_analysis::{Decision, Fragments, PlanNode, PlanQuery, SemanticsTraits};
+use ddb_logic::Database;
+
+/// The paper's problem row a [`PlanQuery`] is scored against. Enumeration
+/// has no row of its own; its gating (and its complexity floor) is the
+/// existence problem's.
+pub fn problem_of(q: &PlanQuery) -> Problem {
+    match q {
+        PlanQuery::Literal(_) => Problem::Literal,
+        PlanQuery::Formula(_) => Problem::Formula,
+        PlanQuery::Existence | PlanQuery::Enumeration => Problem::Existence,
+    }
+}
+
+/// Derives the routing-relevant traits of `cfg` for one problem — the
+/// single source of the facts the planner kernel consumes.
+pub fn traits_for(cfg: &SemanticsConfig, problem: Problem) -> SemanticsTraits {
+    SemanticsTraits {
+        name: cfg.id.name(),
+        mm_determined_formulas: !matches!(cfg.id, SemanticsId::Gcwa | SemanticsId::Ccwa),
+        peel_negation: crate::slicing::peel_mode(cfg.id),
+        hcf_shift: cfg.id == SemanticsId::Dsm,
+        horn_collapse: cfg.has_default_structure(),
+        reductions: cfg.routing == RoutingMode::Auto
+            && !cfg.no_slice
+            && cfg.has_default_structure(),
+        generic_only: cfg.routing == RoutingMode::Generic,
+        class: paper_complexity(cfg.id, problem),
+    }
+}
+
+/// The decision kernel, specialized to `cfg`: what `dispatch` executes.
+pub fn decide(cfg: &SemanticsConfig, db: &Database, frags: &Fragments, q: &PlanQuery) -> Decision {
+    ddb_analysis::decide(db, frags, &traits_for(cfg, problem_of(q)), q)
+}
+
+/// The full plan tree, specialized to `cfg`: what `ddb explain` prints.
+pub fn plan(cfg: &SemanticsConfig, db: &Database, frags: &Fragments, q: &PlanQuery) -> PlanNode {
+    ddb_analysis::build_plan(db, frags, &traits_for(cfg, problem_of(q)), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddb_analysis::{classify, RouteKind};
+    use ddb_logic::parse::parse_program;
+
+    #[test]
+    fn traits_mirror_the_config() {
+        let cfg = SemanticsConfig::new(SemanticsId::Gcwa);
+        let t = traits_for(&cfg, Problem::Formula);
+        assert!(!t.mm_determined_formulas);
+        assert!(t.reductions && t.horn_collapse && !t.generic_only);
+        assert_eq!(t.peel_negation, Some(false));
+        let t = traits_for(&SemanticsConfig::new(SemanticsId::Dsm), Problem::Literal);
+        assert!(t.hcf_shift && t.mm_determined_formulas);
+        assert_eq!(t.peel_negation, Some(true));
+        let t = traits_for(&SemanticsConfig::new(SemanticsId::Perf), Problem::Existence);
+        assert_eq!(t.peel_negation, None);
+        let generic = SemanticsConfig::new(SemanticsId::Egcwa).with_routing(RoutingMode::Generic);
+        assert!(traits_for(&generic, Problem::Existence).generic_only);
+    }
+
+    #[test]
+    fn inner_configs_lose_the_reductions() {
+        let inner = crate::slicing::inner(&SemanticsConfig::new(SemanticsId::Dsm));
+        let t = traits_for(&inner, Problem::Existence);
+        assert!(!t.reductions, "no_slice must disable slice/split/islands");
+        assert!(t.horn_collapse, "but the Horn collapse stays");
+    }
+
+    #[test]
+    fn decide_routes_horn_on_horn_dbs() {
+        let db = parse_program("a. b :- a.").unwrap();
+        let frags = classify(&db);
+        let cfg = SemanticsConfig::new(SemanticsId::Pdsm);
+        let d = decide(&cfg, &db, &frags, &PlanQuery::Existence);
+        assert_eq!(d.route, RouteKind::Horn);
+    }
+}

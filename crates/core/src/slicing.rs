@@ -1,4 +1,4 @@
-//! Query-relevant slicing and splitting-set routing.
+//! Execution of the query-relevant slicing and splitting-set routes.
 //!
 //! Two complementary reductions that shrink the database a query actually
 //! has to reason over, both driven by the static analyzer:
@@ -14,6 +14,15 @@
 //!   unique solution computable in polynomial time; partially evaluating
 //!   it into the rest leaves a smaller residual program that answers the
 //!   same queries after substituting the decided atoms into the formula.
+//!
+//! The *decision* of which route a query takes lives in the static
+//! planner ([`crate::planner`], backed by [`ddb_analysis::decide`]):
+//! dispatch asks the planner and hands the decision's payload — the
+//! admitted [`Slice`] or the [`Peel`] — to the executors here
+//! (`run_slice`, `run_peel`, `run_exist_split`). This module never
+//! re-derives the analysis that justified the route; it only runs it and
+//! records it in the `route.slice*` / `route.split*` counters surfaced by
+//! `ddb profile`.
 //!
 //! # Soundness preconditions
 //!
@@ -43,35 +52,19 @@
 //! through negation for the model-theoretic rest, and disabled outright
 //! for PERF and ICWA, whose priority relation and stratification are
 //! computed from rules a peel would discharge; see
-//! `ddb_analysis::splitting` for the construction. Both routes additionally require the *default*
-//! semantics structure (minimize-all partition, no varying atoms): with
-//! fixed or varying atoms an underivable atom is no longer forced false,
-//! and the bottom solution stops being unique.
-//!
-//! The routes record themselves in the `route.slice*` / `route.split*`
-//! counters, surfaced by `ddb profile`.
+//! `ddb_analysis::splitting` for the construction. Both routes
+//! additionally require the *default* semantics structure (minimize-all
+//! partition, no varying atoms): with fixed or varying atoms an
+//! underivable atom is no longer forced false, and the bottom solution
+//! stops being unique.
 
-use crate::dispatch::{RoutingMode, SemanticsConfig, SemanticsId, Unsupported, Verdict};
-use ddb_analysis::{peel_with, project_slice, project_top, relevant_slice, Fragments, Peel, Slice};
-use ddb_logic::depgraph::DepGraph;
+use crate::dispatch::{SemanticsConfig, SemanticsId, Unsupported, Verdict};
+use ddb_analysis::{project_slice, project_top, Fragments, Peel, Slice};
 use ddb_logic::{Database, Formula, Literal};
 use ddb_models::Cost;
 use ddb_obs::Governed;
 
-/// Why a query may (or may not) be answered on its relevance slice.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Admission {
-    /// The database is positive (no negation, no integrity clauses):
-    /// answering on the slice is exact for all ten semantics.
-    PositiveExact,
-    /// The slice is split-closed: the database is a disjoint union of the
-    /// slice and the rest, and the answer is the product of the parts
-    /// (with the empty-top correction for cautious inference).
-    Product,
-    /// Neither precondition holds; the generic whole-database procedure
-    /// must run.
-    Blocked,
-}
+pub use ddb_analysis::Admission;
 
 /// Decides whether a query over `slice` may be answered on the slice
 /// alone (shared with the `ddb slice` subcommand, which prints the
@@ -92,13 +85,7 @@ pub fn admission(
     literal_query: bool,
 ) -> Admission {
     let mm_determined = literal_query || !matches!(id, SemanticsId::Gcwa | SemanticsId::Ccwa);
-    if frags.positive && mm_determined {
-        Admission::PositiveExact
-    } else if slice.split_closed {
-        Admission::Product
-    } else {
-        Admission::Blocked
-    }
+    ddb_analysis::admission(frags, slice, mm_determined)
 }
 
 /// How the peel may run for this semantics: `None` when peeling is
@@ -134,12 +121,6 @@ pub(crate) fn inner(cfg: &SemanticsConfig) -> SemanticsConfig {
     }
 }
 
-/// Whether the slice/split/island routes are even on the table for this
-/// query.
-pub(crate) fn routable(cfg: &SemanticsConfig) -> bool {
-    cfg.routing == RoutingMode::Auto && !cfg.no_slice && cfg.has_default_structure()
-}
-
 /// Folds an inner-call result into the route's three-way outcome:
 /// a definite verdict is the route's answer, an `Unsupported` inner call
 /// abandons the route (`Ok(None)` → generic fallback), and a budget
@@ -154,105 +135,36 @@ fn definite(r: Result<Verdict, Unsupported>) -> Governed<Option<bool>> {
     }
 }
 
-/// Literal-inference entry: slices on the literal's atom. The literal is
+/// Records the taken peel in the `route.split*` counters.
+fn note_split(p: &Peel) {
+    ddb_obs::counter_bump("route.split", 1);
+    ddb_obs::counter_bump("route.split.decided_atoms", p.num_decided as u64);
+    ddb_obs::counter_bump("route.split.components", p.components_decided as u64);
+}
+
+/// Executes an admitted slice route for an inference query: project the
+/// slice, re-enter the dispatcher on the sub-database (the recursive call
+/// may still peel it or ride the Horn fast path), and apply the product
+/// correction when a cautious `false` must survive an independent top
+/// part. `lit` is `Some` exactly when the query is a single literal —
 /// threaded through so the reduced sub-database is still queried with the
-/// specialized `infers_literal` procedures — for GCWA/CCWA those are far
+/// specialized `infers_literal` procedures, which for GCWA/CCWA are far
 /// cheaper than generic formula inference.
-pub(crate) fn try_infers_literal(
+pub(crate) fn run_slice(
     cfg: &SemanticsConfig,
     db: &Database,
-    frags: &Fragments,
-    lit: Literal,
-    cost: &mut Cost,
-) -> Governed<Option<bool>> {
-    let f = Formula::literal(lit.atom(), lit.is_positive());
-    try_infers(cfg, db, frags, &f, Some(lit), cost)
-}
-
-/// Formula-inference entry.
-pub(crate) fn try_infers_formula(
-    cfg: &SemanticsConfig,
-    db: &Database,
-    frags: &Fragments,
-    f: &Formula,
-    cost: &mut Cost,
-) -> Governed<Option<bool>> {
-    try_infers(cfg, db, frags, f, None, cost)
-}
-
-/// Shared inference entry: try the slice route, then the peel route.
-/// `Ok(None)` means neither applied and the caller should run the generic
-/// procedure. `lit` is `Some` exactly when the query is a single literal.
-fn try_infers(
-    cfg: &SemanticsConfig,
-    db: &Database,
-    frags: &Fragments,
+    slice: &Slice,
+    admission: Admission,
     f: &Formula,
     lit: Option<Literal>,
     cost: &mut Cost,
 ) -> Governed<Option<bool>> {
-    if !routable(cfg) {
-        return Ok(None);
-    }
-    if let Some(ans) = slice_infers(cfg, db, frags, f, lit, cost)? {
-        return Ok(Some(ans));
-    }
-    peel_infers(cfg, db, f, lit, cost)
-}
-
-/// Model-existence entry: slicing needs query atoms, so the peel and
-/// island routes apply — solve the deterministic bottom, then decompose
-/// what remains into weakly-connected islands and evaluate them on the
-/// worker pool (see [`crate::parallel`]).
-pub(crate) fn try_has_model(
-    cfg: &SemanticsConfig,
-    db: &Database,
-    cost: &mut Cost,
-) -> Governed<Option<bool>> {
-    if !routable(cfg) {
-        return Ok(None);
-    }
-    let peeled = try_peel(cfg, db);
-    let target: &Database = peeled.as_ref().map_or(db, |p| &p.residual);
-    if let Some(ans) = crate::parallel::islands_has_model(cfg, target, cost)? {
-        return Ok(Some(ans));
-    }
-    match peeled {
-        Some(p) => definite(inner(cfg).has_model(&p.residual, cost)),
-        None => Ok(None),
-    }
-}
-
-fn slice_infers(
-    cfg: &SemanticsConfig,
-    db: &Database,
-    frags: &Fragments,
-    f: &Formula,
-    lit: Option<Literal>,
-    cost: &mut Cost,
-) -> Governed<Option<bool>> {
-    let atoms = f.atoms();
-    if atoms.is_empty() {
-        return Ok(None);
-    }
-    let slice = relevant_slice(db, &atoms);
-    if slice.is_whole(db) {
-        // Nothing to drop — not worth a counter; inner calls land here.
-        return Ok(None);
-    }
-    let admission = match admission(cfg.id, frags, &slice, lit.is_some()) {
-        Admission::Blocked => {
-            ddb_obs::counter_bump("route.slice.blocked", 1);
-            return Ok(None);
-        }
-        a => a,
-    };
     ddb_obs::counter_bump("route.slice", 1);
     ddb_obs::counter_bump(
         "route.slice.dropped_rules",
         (db.len() - slice.rules.len()) as u64,
     );
-    let (sub, map) = project_slice(db, &slice);
+    let (sub, map) = project_slice(db, slice);
     // Re-slicing the projected slice is a no-op (the closure is already
     // whole), so the recursive call may still peel it or ride the Horn
     // fast path.
@@ -277,23 +189,24 @@ fn slice_infers(
     // Product correction: a cautious `false` on the slice only transfers
     // to the whole database when the independent top part has a model at
     // all — an empty top model set makes every inference vacuously true.
-    let (top, _) = project_top(db, &slice);
+    let (top, _) = project_top(db, slice);
     match definite(inner(cfg).has_model(&top, cost))? {
         Some(has) => Ok(Some(!has)),
         None => Ok(None),
     }
 }
 
-fn peel_infers(
+/// Executes a decided peel route for an inference query: substitute the
+/// decided atoms into the formula and answer on the residual with an
+/// inner (non-re-slicing) configuration.
+pub(crate) fn run_peel(
     cfg: &SemanticsConfig,
-    db: &Database,
+    p: &Peel,
     f: &Formula,
     lit: Option<Literal>,
     cost: &mut Cost,
 ) -> Governed<Option<bool>> {
-    let Some(p) = try_peel(cfg, db) else {
-        return Ok(None);
-    };
+    note_split(p);
     if let Some(l) = lit {
         if p.decided[l.atom().index()].is_none() {
             return definite(inner(cfg).infers_literal(&p.residual, l, cost));
@@ -308,24 +221,27 @@ fn peel_infers(
     definite(inner(cfg).infers_formula(&p.residual, &f_res, cost))
 }
 
-/// Runs the peel and gates on progress; records the `route.split*`
-/// counters when the route is taken.
-fn try_peel(cfg: &SemanticsConfig, db: &Database) -> Option<Peel> {
-    let peel_negation = peel_mode(cfg.id)?;
-    let graph = DepGraph::of_database(db);
-    let p = peel_with(db, &graph, peel_negation);
-    if p.num_decided == 0 {
-        return None;
+/// Executes a decided peel route for model existence: solve the
+/// deterministic bottom, then decompose the residual into
+/// weakly-connected islands and evaluate them on the worker pool
+/// ([`crate::parallel::islands_has_model`]); a single-island residual
+/// falls through to an inner existence check.
+pub(crate) fn run_exist_split(
+    cfg: &SemanticsConfig,
+    p: &Peel,
+    cost: &mut Cost,
+) -> Governed<Option<bool>> {
+    note_split(p);
+    if let Some(ans) = crate::parallel::islands_has_model(cfg, &p.residual, cost)? {
+        return Ok(Some(ans));
     }
-    ddb_obs::counter_bump("route.split", 1);
-    ddb_obs::counter_bump("route.split.decided_atoms", p.num_decided as u64);
-    ddb_obs::counter_bump("route.split.components", p.components_decided as u64);
-    Some(p)
+    definite(inner(cfg).has_model(&p.residual, cost))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dispatch::RoutingMode;
     use ddb_logic::parse::{parse_formula, parse_program};
 
     fn counters_after(f: impl FnOnce()) -> ddb_obs::CounterSnapshot {

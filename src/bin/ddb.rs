@@ -40,6 +40,18 @@
 //!     its own fresh budget; exhausted cells are marked `?<resource>` and
 //!     the sweep continues.
 //!
+//! ddb explain <file> [--query "<f>"] [--semantics <name>] [--json] [--execute]
+//!     The static query plan: per semantics, the route tree the
+//!     dispatcher will take for the query (Horn / hcf / slice / split /
+//!     islands / generic), annotated with the paper's complexity class
+//!     and a sound upper bound on oracle calls per node, plus the
+//!     binding-pattern adornments of the query's backward slice and the
+//!     plan lints DDB012–DDB015. `--max-oracle-calls <n>` declares the
+//!     budget DDB015 checks plans against. With `--execute`, each planned
+//!     cell also runs and the predicted route and bound are audited
+//!     against the observed `route.*` counters and oracle-call totals;
+//!     any mismatch exits 1.
+//!
 //! ddb trace <file> --query "<f>" [--semantics <name>] [--top <n>] [--json]
 //!     Run the query under a full event trace and print the aggregated
 //!     span tree: calls, inclusive/exclusive time, attributed oracle
@@ -172,6 +184,7 @@ fn run(args: &[String]) -> Result<u8, String> {
         "ground" => ground_cmd(&args[1..]).map(|()| 0),
         "proof" => proof_cmd(&args[1..]).map(|()| 0),
         "profile" => profile_cmd(&args[1..]).map(|()| 0),
+        "explain" => explain_cmd(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -194,6 +207,13 @@ const USAGE: &str = "usage:
   ddb profile <file> [--literal [-]<a>] [--formula \"<f>\"] [--cell-timeout-ms <n>]
       (observed 10-semantics x 3-problems oracle-call matrix vs paper classes;
        with a per-cell budget, exhausted cells are marked ?<resource>)
+  ddb explain <file> [--query \"<f>\"] [--semantics <name>] [--json] [--execute]
+      (static query plan: per semantics the route tree dispatch will take,
+       with predicted complexity classes and oracle-call bounds, adornment
+       analysis, and plan lints DDB012-DDB015; --max-oracle-calls <n>
+       declares the budget DDB015 checks plans against; --execute runs each
+       planned cell and audits predicted route/bound vs the observed
+       route.* counters and sat calls — a mismatch exits 1)
   ddb trace  <file> --query \"<f>\" [--semantics <name>] [--top <n>] [--json] [--stats]
       (run the query under a trace and print the aggregated span tree:
        calls, inclusive/exclusive time, oracle calls, p50/p90/p99 per node;
@@ -232,7 +252,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         if let Some(key) = a.strip_prefix("--") {
             if matches!(
                 key,
-                "brave" | "explain" | "datalog" | "full" | "partial" | "stats" | "json" | "strict"
+                "brave"
+                    | "explain"
+                    | "datalog"
+                    | "full"
+                    | "partial"
+                    | "stats"
+                    | "json"
+                    | "strict"
+                    | "execute"
             ) {
                 opts.flags.push(key.to_owned());
                 i += 1;
@@ -1158,6 +1186,254 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
     observation.finish(&opts, "profile", Json::Null, vec![("cells", cells_json)])
 }
 
+/// `ddb explain`: print the static query plan — per semantics, the route
+/// tree the dispatcher will take for the query, with predicted complexity
+/// classes and sound oracle-call bounds — plus the adornment analysis of
+/// the query's backward slice and the plan lints `DDB012`–`DDB015`. With
+/// `--execute`, each planned cell also runs and the predicted route and
+/// bound are audited against the observed `route.*` counters and
+/// oracle-call totals; any mismatch exits 1.
+///
+/// The output is deterministic: identical across repeated runs and across
+/// `--threads` widths (the worker pool changes wall-clock only, never
+/// answers or oracle-call totals).
+fn explain_cmd(args: &[String]) -> Result<u8, String> {
+    use disjunctive_db::analysis::{adorn, plan_lints, DomainEstimate, PlanNode, PlanQuery};
+    use disjunctive_db::core::planner::problem_of;
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    let threads = threads_from(&opts)?;
+    // The planned query: --query, else the first atom as a positive
+    // literal (matching `ddb profile`'s default), else model existence.
+    let (plan_query, query_label, lit, formula) = match opts.value("query") {
+        Some(raw) => {
+            let f = parse_query_formula(raw, &db)?;
+            let atoms = f.atoms();
+            let lit = (atoms.len() == 1
+                && (f == Formula::literal(atoms[0], true)
+                    || f == Formula::literal(atoms[0], false)))
+            .then(|| Literal::with_sign(atoms[0], f == Formula::literal(atoms[0], true)));
+            let pq = match lit {
+                Some(l) => PlanQuery::Literal(l.atom()),
+                None => PlanQuery::Formula(atoms),
+            };
+            (pq, raw.to_owned(), lit, Some(f))
+        }
+        None if db.num_atoms() > 0 => {
+            let a = Atom::new(0);
+            (
+                PlanQuery::Literal(a),
+                db.symbols().name(a).to_owned(),
+                Some(a.pos()),
+                None,
+            )
+        }
+        None => (
+            PlanQuery::Existence,
+            "(model existence)".to_owned(),
+            None,
+            None,
+        ),
+    };
+    let problem = problem_of(&plan_query);
+    let oracle_budget = opts
+        .value("max-oracle-calls")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--max-oracle-calls needs an unsigned integer, got `{v}`"))
+        })
+        .transpose()?;
+    let ids: Vec<SemanticsId> = match opts.value("semantics") {
+        Some(name) => vec![semantics_id(name)?],
+        None => SemanticsId::ALL.to_vec(),
+    };
+    // One plan per semantics; unsupported combinations are reported, not
+    // fatal (a sweep over all ten must survive DDR/PWS on negation).
+    let explained: Vec<(SemanticsId, SemanticsConfig, Result<PlanNode, String>)> = ids
+        .into_iter()
+        .map(|id| {
+            let cfg = SemanticsConfig::new(id).with_threads(threads);
+            let plan = cfg.plan(&db, &plan_query).map_err(|u| u.reason);
+            (id, cfg, plan)
+        })
+        .collect();
+    let query_atoms = plan_query.atoms().to_vec();
+    let adornments = adorn(&db, &query_atoms);
+    let estimate = DomainEstimate::of(&db);
+    let plan_refs: Vec<(&str, &PlanNode)> = explained
+        .iter()
+        .filter_map(|(id, _, p)| p.as_ref().ok().map(|p| (id.name(), p)))
+        .collect();
+    let lints = plan_lints(&db, &query_atoms, &plan_refs, &adornments, oracle_budget);
+    // --execute: run each planned cell and compare prediction to
+    // observation. The dummy literal for existence-only audits is never
+    // dereferenced (`has_model` ignores the query arguments).
+    let mut audits: Vec<(SemanticsId, &PlanNode, profile::CellProfile)> = Vec::new();
+    let mut audit_failures = 0usize;
+    if opts.flag("execute") {
+        let lit_q = lit.unwrap_or_else(|| Atom::new(0).pos());
+        let f_q = formula
+            .clone()
+            .unwrap_or_else(|| Formula::literal(lit_q.atom(), lit_q.is_positive()));
+        for (id, cfg, plan) in &explained {
+            let Ok(plan) = plan else { continue };
+            let cell = profile::profile_cell(cfg, &db, problem, lit_q, &f_q, None);
+            if cell.unsupported.is_none()
+                && (cell.route != Some(plan.route.label())
+                    || cell.cost.sat_calls > plan.oracle_bound)
+            {
+                audit_failures += 1;
+            }
+            audits.push((*id, plan, cell));
+        }
+    }
+    if opts.flag("json") {
+        let plans_json: Vec<Json> = explained
+            .iter()
+            .map(|(id, _, plan)| {
+                let (tree, unsupported) = match plan {
+                    Ok(p) => (p.to_json(), Json::Null),
+                    Err(reason) => (Json::Null, Json::Str(reason.clone())),
+                };
+                Json::obj([
+                    ("semantics", Json::Str(id.name().to_owned())),
+                    ("plan", tree),
+                    ("unsupported", unsupported),
+                ])
+            })
+            .collect();
+        let audits_json: Vec<Json> = audits
+            .iter()
+            .map(|(id, plan, cell)| {
+                Json::obj([
+                    ("semantics", Json::Str(id.name().to_owned())),
+                    ("predicted_route", Json::Str(plan.route.label().to_owned())),
+                    (
+                        "observed_route",
+                        cell.route.map_or(Json::Null, |r| Json::Str(r.to_owned())),
+                    ),
+                    ("oracle_bound", Json::UInt(plan.oracle_bound)),
+                    ("observed_sat_calls", Json::UInt(cell.cost.sat_calls)),
+                    (
+                        "unsupported",
+                        cell.unsupported
+                            .as_ref()
+                            .map_or(Json::Null, |r| Json::Str(r.clone())),
+                    ),
+                    (
+                        "ok",
+                        Json::Bool(
+                            cell.unsupported.is_some()
+                                || (cell.route == Some(plan.route.label())
+                                    && cell.cost.sat_calls <= plan.oracle_bound),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            (
+                "file",
+                Json::Str(opts.file.as_deref().unwrap_or("-").into()),
+            ),
+            ("query", Json::Str(query_label)),
+            ("problem", Json::Str(problem.name().to_owned())),
+            ("atoms", Json::UInt(db.num_atoms() as u64)),
+            ("rules", Json::UInt(db.len() as u64)),
+            ("domain", estimate.to_json()),
+            ("adornments", adornments.to_json()),
+            ("plans", Json::Arr(plans_json)),
+            (
+                "lints",
+                Json::Arr(
+                    lints
+                        .iter()
+                        .map(disjunctive_db::analysis::Diagnostic::to_json)
+                        .collect(),
+                ),
+            ),
+            ("audits", Json::Arr(audits_json)),
+            ("audit_failures", Json::UInt(audit_failures as u64)),
+        ]);
+        oprintln!("{}", doc.render_pretty());
+        return Ok(u8::from(audit_failures > 0));
+    }
+    oprintln!(
+        "explain {} ({} atoms, {} rules); query `{}` ({} problem)",
+        opts.file.as_deref().unwrap_or("-"),
+        db.num_atoms(),
+        db.len(),
+        query_label,
+        problem.name(),
+    );
+    oprintln!(
+        "domain: {} constants, {} predicates, {} disjunctive rules (max head width {})",
+        estimate.num_constants,
+        estimate.predicates.len(),
+        estimate.disjunctive_rules,
+        estimate.max_head_width,
+    );
+    if !adornments.predicates.is_empty() {
+        let shown: Vec<String> = adornments.predicates.iter().map(|p| p.display()).collect();
+        oprintln!(
+            "adornments: {} (bound constants: {})",
+            shown.join(" "),
+            if adornments.bound_constants.is_empty() {
+                "none".to_owned()
+            } else {
+                adornments.bound_constants.join(", ")
+            },
+        );
+    }
+    for (id, _, plan) in &explained {
+        oprintln!();
+        match plan {
+            Ok(p) => {
+                oprintln!("== {}", id.name());
+                for line in p.render().lines() {
+                    oprintln!("  {line}");
+                }
+            }
+            Err(reason) => oprintln!("== {} — unsupported: {}", id.name(), reason),
+        }
+    }
+    if !lints.is_empty() {
+        oprintln!();
+        for d in &lints {
+            oprintln!("{d}");
+        }
+    }
+    if opts.flag("execute") {
+        oprintln!();
+        for (id, plan, cell) in &audits {
+            if let Some(reason) = &cell.unsupported {
+                oprintln!("audit {}: skipped ({})", id.name(), reason);
+                continue;
+            }
+            let route_ok = cell.route == Some(plan.route.label());
+            let bound_ok = cell.cost.sat_calls <= plan.oracle_bound;
+            oprintln!(
+                "audit {}: route predicted={} observed={}; sat_calls={} (bound {}) — {}",
+                id.name(),
+                plan.route.label(),
+                cell.route.unwrap_or("-"),
+                cell.cost.sat_calls,
+                disjunctive_db::analysis::cost::display_bound(plan.oracle_bound),
+                if route_ok && bound_ok {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                },
+            );
+        }
+        if audit_failures > 0 {
+            eprintln!("explain: {audit_failures} audit mismatch(es)");
+            return Ok(1);
+        }
+    }
+    Ok(0)
+}
+
 /// `ddb trace`: run one formula query under a full event trace and print
 /// an aggregated span-tree report — calls, inclusive/exclusive time,
 /// attributed oracle calls, and p50/p90/p99 latency per tree node. The
@@ -1363,6 +1639,67 @@ mod tests {
     fn unknown_command_reported() {
         assert!(run(&args(&["frobnicate"])).is_err());
         assert!(run(&args(&[])).is_err());
+    }
+
+    /// A database whose vocabulary is datalog ground-atom names — the
+    /// shapes the grounder emits and the formula lexer cannot tokenize,
+    /// so `parse_query_formula` (shared by query/trace/slice/explain)
+    /// must resolve them through the verbatim-lookup fallback.
+    fn ground_atom_db(names: &[&str]) -> Database {
+        let mut db = Database::with_fresh_atoms(0);
+        for name in names {
+            let a = db.symbols_mut().intern(name);
+            db.add_rule(Rule::new([a], [], []));
+        }
+        db
+    }
+
+    #[test]
+    fn query_parser_resolves_datalog_ground_atoms() {
+        let db = ground_atom_db(&["edge(a,b)", "p(f(a),b)", "p()", "not(a)"]);
+        let lookup = |name: &str| {
+            db.symbols()
+                .atoms()
+                .find(|&a| db.symbols().name(a) == name)
+                .unwrap()
+        };
+        // Plain, nested-paren, and zero-arity ground atoms resolve.
+        for name in ["edge(a,b)", "p(f(a),b)", "p()"] {
+            assert_eq!(
+                parse_query_formula(name, &db).unwrap(),
+                Formula::literal(lookup(name), true),
+                "{name}"
+            );
+        }
+        // A reserved-word predicate name must reach the verbatim lookup,
+        // not be lexed as the connective `not`.
+        assert_eq!(
+            parse_query_formula("not(a)", &db).unwrap(),
+            Formula::literal(lookup("not(a)"), true)
+        );
+        // Leading `-` negates a ground atom through the fallback path.
+        assert_eq!(
+            parse_query_formula("-edge(a,b)", &db).unwrap(),
+            Formula::literal(lookup("edge(a,b)"), false)
+        );
+        assert_eq!(
+            parse_query_formula("  -p(f(a),b) ", &db).unwrap(),
+            Formula::literal(lookup("p(f(a),b)"), false)
+        );
+    }
+
+    #[test]
+    fn query_parser_reports_malformed_and_unknown_atoms() {
+        let db = ground_atom_db(&["edge(a,b)"]);
+        // Mismatched parens never resolve and never panic; the original
+        // formula parse error is what the user sees.
+        assert!(parse_query_formula("edge(a", &db).is_err());
+        assert!(parse_query_formula("edge(a))", &db).is_err());
+        // Unknown predicate / wrong argument tuple.
+        assert!(parse_query_formula("edge(b,a)", &db).is_err());
+        assert!(parse_query_formula("node(a)", &db).is_err());
+        // The fallback must not hijack real formula syntax errors.
+        assert!(parse_query_formula("a &", &db).is_err());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! End-to-end checks of `ddb explain`: plan output shape, determinism
+//! across runs and `--threads` widths, the `--execute` plan-vs-actual
+//! audit, `--json` well-formedness, plan lints, and EPIPE tolerance when
+//! a downstream consumer closes the pipe early.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+
+fn ddb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddb"))
+}
+
+fn temp_file(name: &str, contents: &str) -> String {
+    let path =
+        std::env::temp_dir().join(format!("ddb_cli_explain_{name}_{}.dl", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+/// A database that exercises every interesting plan shape: a proper
+/// backward slice for `c`, a stratified negation to peel, and enough
+/// structure that the ten semantics pick different routes.
+const MIXED: &str = "a | b. c :- a. c :- b. d :- not c. e.";
+
+#[test]
+fn explain_is_byte_identical_across_runs_and_thread_widths() {
+    let path = temp_file("det", MIXED);
+    let mut reference: Option<Vec<u8>> = None;
+    for args in [
+        vec!["explain", path.as_str(), "--query", "c"],
+        vec!["explain", path.as_str(), "--query", "c"],
+        vec!["explain", path.as_str(), "--query", "c", "--threads", "1"],
+        vec!["explain", path.as_str(), "--query", "c", "--threads", "8"],
+    ] {
+        let out = ddb().args(&args).output().unwrap();
+        assert_eq!(out.status.code().unwrap(), 0, "{args:?}");
+        match &reference {
+            None => reference = Some(out.stdout),
+            Some(r) => assert_eq!(r, &out.stdout, "{args:?} must match the first run"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_prints_one_plan_per_semantics_with_routes_and_bounds() {
+    let path = temp_file("shape", MIXED);
+    let out = ddb()
+        .args(["explain", &path, "--query", "c"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 0);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("query `c` (lit problem)"), "{text}");
+    assert!(text.contains("adornments:"), "{text}");
+    for name in [
+        "GCWA", "DDR", "PWS", "EGCWA", "CCWA", "ECWA", "ICWA", "PERF", "DSM", "PDSM",
+    ] {
+        assert!(
+            text.contains(&format!("== {name}")),
+            "missing {name}: {text}"
+        );
+    }
+    assert!(text.contains("oracle calls"), "{text}");
+    assert!(
+        text.contains("split") && text.contains("class"),
+        "routes and classes in the tree: {text}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn execute_audit_passes_on_the_layers_example() {
+    let out = ddb()
+        .args([
+            "explain",
+            "examples/layers.dlv",
+            "--query",
+            "audited(acme)",
+            "--execute",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code().unwrap(), 0, "{text}");
+    assert!(text.contains("audit "), "{text}");
+    assert!(!text.contains("MISMATCH"), "{text}");
+}
+
+#[test]
+fn execute_audit_covers_every_supported_semantics() {
+    let path = temp_file("audit", MIXED);
+    let out = ddb()
+        .args(["explain", &path, "--query", "c", "--execute"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code().unwrap(), 0, "{text}");
+    // DDR and PWS reject negation; the other eight must all audit ok.
+    let ok_lines = text
+        .lines()
+        .filter(|l| l.starts_with("audit ") && l.ends_with("ok"));
+    assert_eq!(ok_lines.count(), 8, "{text}");
+    assert!(!text.contains("MISMATCH"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_json_is_well_formed() {
+    let path = temp_file("json", MIXED);
+    let out = ddb()
+        .args(["explain", &path, "--query", "c", "--execute", "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 0);
+    let text = String::from_utf8(out.stdout).unwrap();
+    let doc = ddb_obs::json::parse(&text).expect("explain --json must parse");
+    assert_eq!(doc.get("problem").and_then(|p| p.as_str()), Some("lit"));
+    let plans = doc.get("plans").and_then(|p| p.as_arr()).unwrap();
+    assert_eq!(plans.len(), 10, "one plan entry per semantics");
+    let audits = doc.get("audits").and_then(|a| a.as_arr()).unwrap();
+    assert!(!audits.is_empty());
+    for audit in audits {
+        assert_eq!(
+            audit.get("ok").and_then(|o| o.as_bool()),
+            Some(true),
+            "{text}"
+        );
+    }
+    assert_eq!(doc.get("audit_failures").and_then(|n| n.as_u64()), Some(0));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn infeasible_budget_fires_ddb015() {
+    let path = temp_file("budget", MIXED);
+    let out = ddb()
+        .args(["explain", &path, "--query", "c", "--max-oracle-calls", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 0);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DDB015"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_budget_is_a_usage_error() {
+    let path = temp_file("badbudget", MIXED);
+    let out = ddb()
+        .args(["explain", &path, "--max-oracle-calls", "lots"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 4);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("max-oracle-calls"));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Spawns `ddb` with `args`, reads at most `keep` bytes of stdout, then
+/// closes the pipe and waits — the downstream-`head` scenario.
+fn run_with_early_close(args: &[&str], keep: usize) -> std::process::ExitStatus {
+    let mut child = ddb()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning ddb");
+    let mut stdout = child.stdout.take().unwrap();
+    let mut buf = vec![0u8; keep.max(1)];
+    let _ = stdout.read(&mut buf);
+    drop(stdout); // EPIPE for every later write
+    let status = child.wait().expect("waiting for ddb");
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).ok();
+    assert!(
+        !err.contains("panicked"),
+        "closed pipe must not panic: {err}"
+    );
+    status
+}
+
+#[test]
+fn closed_stdout_pipe_never_panics() {
+    let path = temp_file("epipe", MIXED);
+    let plain = run_with_early_close(&["explain", &path, "--query", "c"], 8);
+    assert_eq!(plain.code(), Some(0), "explain under closed pipe");
+    let executed = run_with_early_close(&["explain", &path, "--query", "c", "--execute"], 8);
+    assert_eq!(
+        executed.code(),
+        Some(0),
+        "explain --execute under closed pipe"
+    );
+    let json = run_with_early_close(&["explain", &path, "--json"], 8);
+    assert_eq!(json.code(), Some(0), "explain --json under closed pipe");
+    std::fs::remove_file(&path).ok();
+}
