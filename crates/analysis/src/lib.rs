@@ -29,15 +29,21 @@
 //!   ([`build_plan`]) `ddb explain` prints, with binding-pattern
 //!   adornments ([`adorn()`]) and the domain/cost estimators ([`cost`])
 //!   feeding its class and oracle-call bounds;
+//! * the **magic-sets rewrite** ([`magic`]): the goal-directed demand
+//!   restriction ([`magic_restrict`]) the planner routes bound queries
+//!   through, with SIP strategy selection ([`sip`]) and the guarded
+//!   program transform ([`magic::rewrite`]) `ddb rewrite` prints;
 //! * an [`AnalysisReport`] bundling all of the above ([`analyze`]).
 
 pub mod adorn;
 pub mod cost;
 pub mod fragments;
 pub mod lints;
+pub mod magic;
 pub mod plan;
 pub mod report;
 pub mod schedule;
+pub mod sip;
 pub mod slice;
 pub mod splitting;
 pub mod transform;
@@ -47,6 +53,7 @@ pub use cost::{oracle_call_bound, DomainEstimate};
 pub use ddb_logic::depgraph::{DepGraph, EdgeKind, Sccs};
 pub use fragments::{classify, Fragments};
 pub use lints::{lint, Diagnostic, Severity};
+pub use magic::{magic_restrict, MagicProgram, MagicRestriction, MAGIC_PREFIX};
 pub use plan::{
     admission, build_plan, decide, plan_lints, Admission, Decision, PlanData, PlanNode, PlanQuery,
     RouteKind, SemanticsTraits,

@@ -1,7 +1,7 @@
 //! The static query planner: every routing decision the dispatcher can
-//! take — Horn fixpoint, HCF shift, relevance slice, splitting-set peel,
-//! island decomposition, generic oracle procedure — reified in one
-//! auditable structure *before* anything runs.
+//! take — Horn fixpoint, HCF shift, magic-sets restriction, relevance
+//! slice, splitting-set peel, island decomposition, generic oracle
+//! procedure — reified in one auditable structure *before* anything runs.
 //!
 //! The planner is deliberately split in two layers:
 //!
@@ -25,19 +25,22 @@
 //! negation, whether the HCF shift applies, and the paper's complexity
 //! class for the (semantics, problem) cell.
 //!
-//! Plan-level lints (`DDB012`–`DDB015`, see [`plan_lints`]) report
+//! Plan-level lints (`DDB012`–`DDB018`, see [`plan_lints`]) report
 //! query-dependent findings: unbound argument positions under goal-directed
-//! evaluation, predicted exponential blowup, ineffective slices, and plans
-//! infeasible under a declared oracle-call budget.
+//! evaluation, predicted exponential blowup, ineffective slices, plans
+//! infeasible under a declared oracle-call budget, and the magic-rewrite
+//! findings (inadmissible rewrite, no-op rewrite, namespace collision).
 
-use crate::adorn::Adornments;
+use crate::adorn::{split_predicate, Adornments};
 use crate::cost::{display_bound, oracle_call_bound};
 use crate::fragments::{classify, Fragments};
 use crate::lints::Diagnostic;
+use crate::magic::{magic_restrict, MagicRestriction, MAGIC_PREFIX};
 use crate::schedule::islands;
 use crate::slice::{project_slice, project_top, relevant_slice, Slice};
 use crate::splitting::{peel_with, Peel};
 use ddb_logic::depgraph::DepGraph;
+use ddb_logic::parse::display_rule;
 use ddb_logic::{Atom, Database};
 use ddb_obs::json::Json;
 
@@ -155,6 +158,9 @@ pub enum RouteKind {
     Horn,
     /// Head-cycle-free shift to a normal program (DSM).
     Hcf,
+    /// Magic-sets demand restriction of a bound query; recurse on the
+    /// projected restriction.
+    Magic,
     /// Backward relevance slice; recurse on the projected sub-database.
     Slice,
     /// Splitting-set peel; recurse on the residual program.
@@ -171,6 +177,7 @@ impl RouteKind {
         match self {
             RouteKind::Horn => "horn",
             RouteKind::Hcf => "hcf",
+            RouteKind::Magic => "magic",
             RouteKind::Slice => "slice",
             RouteKind::Split => "split",
             RouteKind::Islands => "islands",
@@ -185,6 +192,14 @@ impl RouteKind {
 pub enum PlanData {
     /// No payload (Horn / HCF / generic leaves).
     Leaf,
+    /// The admitted magic-sets restriction of a bound query.
+    Magic {
+        /// The goal-directed demand restriction (kept rules + dead rules
+        /// the demand closure skipped).
+        restriction: MagicRestriction,
+        /// Why answering on the restriction is sound.
+        admission: Admission,
+    },
     /// The admitted relevance slice.
     Slice {
         /// The backward slice of the query atoms.
@@ -206,7 +221,9 @@ pub enum PlanData {
 
 /// Output of the decision kernel: the route plus its payload. The
 /// `slice_blocked` flag records that a proper slice existed but its
-/// admission failed — execution bumps `route.slice.blocked` for it.
+/// admission failed — execution bumps `route.slice.blocked` for it; the
+/// `magic_blocked` witness does the same for `route.magic.blocked` and
+/// carries the rule that blocked the rewrite's admission (lint `DDB016`).
 #[derive(Clone, Debug)]
 pub struct Decision {
     /// The route to take.
@@ -215,6 +232,9 @@ pub struct Decision {
     pub data: PlanData,
     /// A proper slice existed but was not admitted.
     pub slice_blocked: bool,
+    /// A proper magic restriction existed but was not admitted; carries
+    /// the blocking rule's index.
+    pub magic_blocked: Option<usize>,
 }
 
 /// How much of the reduction waterfall a recursive plan position may use.
@@ -243,6 +263,7 @@ fn leaf(route: RouteKind, slice_blocked: bool) -> Decision {
         route,
         data: PlanData::Leaf,
         slice_blocked,
+        magic_blocked: None,
     }
 }
 
@@ -266,6 +287,7 @@ fn decide_scoped(
                 route: RouteKind::Islands,
                 data: PlanData::Islands { parts },
                 slice_blocked: false,
+                magic_blocked: None,
             };
         }
         return decide_scoped(db, frags, t, q, Scope::Tail);
@@ -274,11 +296,47 @@ fn decide_scoped(
         return leaf(RouteKind::Horn, false);
     }
     let mut slice_blocked = false;
+    let mut magic_blocked: Option<usize> = None;
     if t.reductions && scope == Scope::Full {
         if q.is_inference() && !q.atoms().is_empty() {
+            let mm_determined = q.is_literal() || t.mm_determined_formulas;
+            // Magic-sets restriction: only for bound queries — some query
+            // atom must fix argument constants, otherwise the demand
+            // closure is the plain relevance slice and the rewrite adds
+            // nothing (propositional databases always skip this).
+            let bound_query = q
+                .atoms()
+                .iter()
+                .any(|&a| !split_predicate(db.symbols().name(a)).1.is_empty());
+            if bound_query {
+                // Dead-rule pruning is sound exactly for minimal-model
+                // determined answers on positive databases (see
+                // `crate::magic`); elsewhere the restriction falls back to
+                // the relevance closure.
+                let restriction = magic_restrict(db, q.atoms(), frags.positive && mm_determined);
+                if !restriction.is_whole(db) {
+                    let adm = admission(frags, &restriction.slice, mm_determined);
+                    if adm == Admission::Blocked {
+                        magic_blocked = restriction
+                            .slice
+                            .blocking_rule
+                            .or_else(|| restriction.dropped_dead.first().copied());
+                    } else {
+                        return Decision {
+                            route: RouteKind::Magic,
+                            data: PlanData::Magic {
+                                restriction,
+                                admission: adm,
+                            },
+                            slice_blocked: false,
+                            magic_blocked: None,
+                        };
+                    }
+                }
+            }
             let slice = relevant_slice(db, q.atoms());
             if !slice.is_whole(db) {
-                let adm = admission(frags, &slice, q.is_literal() || t.mm_determined_formulas);
+                let adm = admission(frags, &slice, mm_determined);
                 if adm == Admission::Blocked {
                     slice_blocked = true;
                 } else {
@@ -289,6 +347,7 @@ fn decide_scoped(
                             admission: adm,
                         },
                         slice_blocked: false,
+                        magic_blocked,
                     };
                 }
             }
@@ -302,6 +361,7 @@ fn decide_scoped(
                         route: RouteKind::Split,
                         data: PlanData::Peel { peel },
                         slice_blocked,
+                        magic_blocked,
                     };
                 }
             }
@@ -313,14 +373,19 @@ fn decide_scoped(
                     route: RouteKind::Islands,
                     data: PlanData::Islands { parts },
                     slice_blocked,
+                    magic_blocked,
                 };
             }
         }
     }
     if t.hcf_shift && frags.head_cycle_free {
-        return leaf(RouteKind::Hcf, slice_blocked);
+        let mut d = leaf(RouteKind::Hcf, slice_blocked);
+        d.magic_blocked = magic_blocked;
+        return d;
     }
-    leaf(RouteKind::Generic, slice_blocked)
+    let mut d = leaf(RouteKind::Generic, slice_blocked);
+    d.magic_blocked = magic_blocked;
+    d
 }
 
 /// One node of the plan tree `ddb explain` prints: the decided route, the
@@ -342,11 +407,14 @@ pub struct PlanNode {
     pub oracle_bound: u64,
     /// Human-readable justification of the decision.
     pub detail: String,
-    /// Child plans (slice sub-query and product correction, peel residual,
-    /// per-island existence checks).
+    /// Child plans (magic/slice sub-query and product correction, peel
+    /// residual, per-island existence checks).
     pub children: Vec<PlanNode>,
     /// The route's payload (what execution would consume).
     pub data: PlanData,
+    /// A proper magic restriction existed at this node but was not
+    /// admitted (the blocking rule's index — lint `DDB016`).
+    pub magic_blocked: Option<usize>,
 }
 
 impl PlanNode {
@@ -421,6 +489,7 @@ fn plan_leaf(route: RouteKind, db: &Database, t: &SemanticsTraits, detail: Strin
         detail,
         children: Vec::new(),
         data: PlanData::Leaf,
+        magic_blocked: None,
     }
 }
 
@@ -432,7 +501,8 @@ fn build(
     scope: Scope,
 ) -> PlanNode {
     let d = decide_scoped(db, frags, t, q, scope);
-    match d.data {
+    let magic_blocked = d.magic_blocked;
+    let mut node = match d.data {
         PlanData::Leaf => match d.route {
             RouteKind::Horn => plan_leaf(
                 RouteKind::Horn,
@@ -456,6 +526,60 @@ fn build(
                 plan_leaf(RouteKind::Generic, db, t, detail)
             }
         },
+        PlanData::Magic {
+            restriction,
+            admission,
+        } => {
+            let (sub, map) = project_slice(db, &restriction.slice);
+            let sub_frags = classify(&sub);
+            let sub_q = match q {
+                PlanQuery::Literal(a) => PlanQuery::Literal(
+                    map.to_sub[a.index()].expect("query atom is in its restriction"),
+                ),
+                PlanQuery::Formula(atoms) => PlanQuery::Formula(
+                    atoms
+                        .iter()
+                        .map(|a| map.to_sub[a.index()].expect("query atom is in its restriction"))
+                        .collect(),
+                ),
+                _ => unreachable!("magic route requires an inference query"),
+            };
+            let mut children = vec![build(&sub, &sub_frags, t, &sub_q, Scope::Full)];
+            if admission == Admission::Product {
+                let (top, _) = project_top(db, &restriction.slice);
+                let top_frags = classify(&top);
+                children.push(build(
+                    &top,
+                    &top_frags,
+                    t,
+                    &PlanQuery::Existence,
+                    Scope::Tail,
+                ));
+            }
+            let detail = format!(
+                "magic rewrite restricts to {}/{} atoms, {}/{} rules, {} dead rule(s) skipped (admission: {})",
+                restriction.slice.atoms.len(),
+                db.num_atoms(),
+                restriction.slice.rules.len(),
+                db.len(),
+                restriction.dropped_dead.len(),
+                admission.label()
+            );
+            PlanNode {
+                route: RouteKind::Magic,
+                atoms: db.num_atoms(),
+                rules: db.len(),
+                class: t.class,
+                oracle_bound: sum_bounds(&children),
+                detail,
+                children,
+                data: PlanData::Magic {
+                    restriction,
+                    admission,
+                },
+                magic_blocked: None,
+            }
+        }
         PlanData::Slice { slice, admission } => {
             let (sub, map) = project_slice(db, &slice);
             let sub_frags = classify(&sub);
@@ -502,6 +626,7 @@ fn build(
                 detail,
                 children,
                 data: PlanData::Slice { slice, admission },
+                magic_blocked: None,
             }
         }
         PlanData::Peel { peel } => {
@@ -540,6 +665,7 @@ fn build(
                 detail,
                 children,
                 data: PlanData::Peel { peel },
+                magic_blocked: None,
             }
         }
         PlanData::Islands { parts } => {
@@ -564,9 +690,12 @@ fn build(
                 detail,
                 children,
                 data: PlanData::Islands { parts },
+                magic_blocked: None,
             }
         }
-    }
+    };
+    node.magic_blocked = magic_blocked;
+    node
 }
 
 fn sum_bounds(children: &[PlanNode]) -> u64 {
@@ -579,7 +708,7 @@ fn sum_bounds(children: &[PlanNode]) -> u64 {
 /// blowup (`DDB013`).
 pub const EXPONENTIAL_LINT_THRESHOLD: u64 = 1 << 20;
 
-/// The query-dependent plan lints `DDB012`–`DDB015` for one `ddb explain`
+/// The query-dependent plan lints `DDB012`–`DDB018` for one `ddb explain`
 /// run over a set of per-semantics plans (`plans` pairs a display name
 /// with each semantics' root node). Sorted by code, matching the
 /// deterministic lint order of `ddb check`.
@@ -593,6 +722,34 @@ pub fn plan_lints(
     let mut out = Vec::new();
     for p in adornments.unbound() {
         out.push(Diagnostic::unbound_adornment(&p.display()));
+    }
+    // DDB016 — first semantics whose magic rewrite was blocked, with the
+    // rule that witnesses the inadmissible boundary.
+    if let Some((name, i)) = plans
+        .iter()
+        .find_map(|(name, p)| p.magic_blocked.map(|i| (name, i)))
+    {
+        out.push(Diagnostic::magic_inadmissible(
+            name,
+            i,
+            &display_rule(&db.rules()[i], db.symbols()),
+        ));
+    }
+    // DDB017 — a first-order (ground-atom) database queried without any
+    // bound argument constants: the magic rewrite would demand everything.
+    let first_order = db
+        .symbols()
+        .atoms()
+        .any(|a| !split_predicate(db.symbols().name(a)).1.is_empty());
+    if first_order && !query_atoms.is_empty() && adornments.bound_constants.is_empty() {
+        out.push(Diagnostic::magic_noop());
+    }
+    // DDB018 — input atoms already inside the reserved magic namespace.
+    for a in db.symbols().atoms() {
+        let n = db.symbols().name(a);
+        if n.starts_with(MAGIC_PREFIX) {
+            out.push(Diagnostic::magic_collision(n));
+        }
     }
     if let Some((name, plan)) = plans
         .iter()
@@ -627,6 +784,27 @@ pub fn ineffective_slice(db: &Database, query_atoms: &[Atom]) -> bool {
 mod tests {
     use super::*;
     use ddb_logic::parse::parse_program;
+    use ddb_logic::Rule;
+
+    /// Ground first-order-style databases (parenthesized atom names) come
+    /// from the datalog grounder; tests intern them directly.
+    fn ground_db(rules: &[(&[&str], &[&str], &[&str])]) -> Database {
+        let mut db = Database::with_fresh_atoms(0);
+        for (head, pos, neg) in rules {
+            let h: Vec<Atom> = head.iter().map(|n| db.symbols_mut().intern(n)).collect();
+            let p: Vec<Atom> = pos.iter().map(|n| db.symbols_mut().intern(n)).collect();
+            let ng: Vec<Atom> = neg.iter().map(|n| db.symbols_mut().intern(n)).collect();
+            db.add_rule(Rule::new(h, p, ng));
+        }
+        db
+    }
+
+    fn ground_atom(db: &Database, name: &str) -> Atom {
+        db.symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == name)
+            .expect("atom exists")
+    }
 
     fn traits(class: &'static str) -> SemanticsTraits {
         SemanticsTraits {
@@ -783,6 +961,123 @@ mod tests {
         assert_eq!(p1.to_json().render(), p2.to_json().render());
         let parsed = ddb_obs::json::parse(&p1.to_json().render()).unwrap();
         assert_eq!(parsed.get("route").unwrap().as_str(), Some("slice"));
+    }
+
+    #[test]
+    fn bound_query_on_a_positive_db_routes_magic() {
+        // A bound literal on a positive disjunctive database: the demand
+        // closure drops the unrelated island and the dead rule.
+        let db = ground_db(&[
+            (&["e(a,b)"], &[], &[]),
+            (&["r(b)"], &["r(a)", "e(a,b)"], &[]),
+            (&["r(a)"], &[], &[]),
+            (&["r(b)"], &["ghost(x)"], &[]),
+            (&["s(a)", "s(b)"], &[], &[]),
+        ]);
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let q = PlanQuery::Literal(ground_atom(&db, "r(b)"));
+        let d = decide(&db, &frags, &t, &q);
+        assert_eq!(d.route, RouteKind::Magic);
+        assert_eq!(d.magic_blocked, None);
+        let PlanData::Magic {
+            restriction,
+            admission,
+        } = &d.data
+        else {
+            panic!("magic payload expected");
+        };
+        assert_eq!(*admission, Admission::PositiveExact);
+        assert_eq!(restriction.slice.rules, vec![0, 1, 2]);
+        assert_eq!(restriction.dropped_dead, vec![3]);
+        // The plan tree mirrors the decision and sums its children.
+        let plan = build_plan(&db, &frags, &t, &q);
+        assert_eq!(plan.route, RouteKind::Magic);
+        assert!(
+            plan.detail.contains("1 dead rule(s) skipped"),
+            "{}",
+            plan.detail
+        );
+        assert_eq!(plan.oracle_bound, sum_bounds(&plan.children));
+        assert_eq!(plan.children.len(), 1, "positive-exact: no top child");
+    }
+
+    #[test]
+    fn propositional_queries_never_route_magic() {
+        let db = parse_program("a | b. c :- a. c :- b. x | y.").unwrap();
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let c = db
+            .symbols()
+            .atoms()
+            .find(|&a| db.symbols().name(a) == "c")
+            .unwrap();
+        let d = decide(&db, &frags, &t, &PlanQuery::Formula(vec![c]));
+        assert_eq!(d.route, RouteKind::Slice, "propositional stays on slice");
+        assert_eq!(d.magic_blocked, None);
+    }
+
+    #[test]
+    fn blocked_magic_restriction_carries_its_witness() {
+        // Negation kills positive-exact; the non-restriction rule reading
+        // `p(a)` kills the split — magic and slice both block.
+        let db = ground_db(&[
+            (&["p(a)", "p(b)"], &[], &[]),
+            (&["q(a)"], &["p(a)"], &[]),
+            (&["t(z)"], &["p(a)"], &[]),
+            (&["u(z)"], &[], &["q(a)"]),
+        ]);
+        let frags = classify(&db);
+        let mut t = traits("Πᵖ₂-complete");
+        t.peel_negation = None;
+        let q = PlanQuery::Literal(ground_atom(&db, "q(a)"));
+        let d = decide(&db, &frags, &t, &q);
+        assert_eq!(d.route, RouteKind::Generic);
+        assert!(d.slice_blocked);
+        assert_eq!(d.magic_blocked, Some(2));
+        let plan = build_plan(&db, &frags, &t, &q);
+        assert_eq!(plan.magic_blocked, Some(2));
+        // DDB016 names the blocking rule; no collision, no no-op.
+        let ad = crate::adorn::adorn(&db, q.atoms());
+        let lints = plan_lints(&db, q.atoms(), &[("TEST", &plan)], &ad, None);
+        let d16 = lints.iter().find(|d| d.code == "DDB016").expect("DDB016");
+        assert_eq!(d16.rule, Some(2));
+        assert!(lints.iter().all(|d| d.code != "DDB017"));
+        assert!(lints.iter().all(|d| d.code != "DDB018"));
+    }
+
+    #[test]
+    fn unbound_first_order_query_lints_magic_noop() {
+        // `p(a)`/`p(b)` make the database first-order, but the query atom
+        // `flag` binds no constants: DDB017.
+        let db = ground_db(&[
+            (&["p(a)"], &[], &[]),
+            (&["p(b)"], &[], &[]),
+            (&["flag"], &["p(a)", "p(b)"], &[]),
+        ]);
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let q = PlanQuery::Literal(ground_atom(&db, "flag"));
+        let plan = build_plan(&db, &frags, &t, &q);
+        let ad = crate::adorn::adorn(&db, q.atoms());
+        let lints = plan_lints(&db, q.atoms(), &[("TEST", &plan)], &ad, None);
+        assert!(lints.iter().any(|d| d.code == "DDB017"), "{lints:?}");
+    }
+
+    #[test]
+    fn magic_namespace_collision_lints_ddb018() {
+        let db = ground_db(&[
+            (&["magic__p(a)"], &[], &[]),
+            (&["q(a)"], &["magic__p(a)"], &[]),
+        ]);
+        let frags = classify(&db);
+        let t = traits("Πᵖ₂-complete");
+        let q = PlanQuery::Literal(ground_atom(&db, "q(a)"));
+        let plan = build_plan(&db, &frags, &t, &q);
+        let ad = crate::adorn::adorn(&db, q.atoms());
+        let lints = plan_lints(&db, q.atoms(), &[("TEST", &plan)], &ad, None);
+        let d18 = lints.iter().find(|d| d.code == "DDB018").expect("DDB018");
+        assert!(d18.message.contains("magic__p(a)"));
     }
 
     #[test]

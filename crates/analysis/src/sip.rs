@@ -1,0 +1,97 @@
+//! Sideways-information-passing (SIP) strategy selection.
+//!
+//! A SIP strategy orders the positive body atoms of a rule so that each
+//! atom is evaluated with as many of its arguments already bound as
+//! possible: first by the bindings the rule head receives from the magic
+//! guard, then by the constants earlier body atoms contribute. On the
+//! ground databases this workspace analyzes every argument is a constant,
+//! so "bound" means *bound to a constant the demand set already knows* —
+//! the same meet the adornment analysis ([`crate::adorn()`]) computes, here
+//! applied greedily per rule.
+//!
+//! [`choose_sip`] implements the classic greedy heuristic: repeatedly
+//! pick the not-yet-placed body atom with the largest number of bound
+//! arguments (ties broken by original body position, keeping the output
+//! deterministic), then add its constants to the bound set. The magic
+//! rewrite ([`crate::magic::rewrite`]) emits one demand rule per body
+//! atom using the prefix of this order as the demand context.
+
+use std::collections::BTreeSet;
+
+/// Greedily orders body atoms by how many of their arguments are bound.
+///
+/// `bound` is the initial bound-constant set (the head's constants under
+/// the magic guard); `body_args` holds, per positive body atom, its
+/// argument constants as recovered by
+/// [`split_predicate`](crate::adorn::split_predicate). Returns the
+/// indices of `body_args` in evaluation order. After an atom is placed
+/// its constants join the bound set, so later choices see the sideways
+/// information it passes on.
+pub fn choose_sip(bound: &BTreeSet<String>, body_args: &[Vec<String>]) -> Vec<usize> {
+    let mut bound: BTreeSet<&str> = bound.iter().map(String::as_str).collect();
+    let mut order = Vec::with_capacity(body_args.len());
+    let mut placed = vec![false; body_args.len()];
+    for _ in 0..body_args.len() {
+        let mut best: Option<(usize, usize)> = None; // (bound-arg count, index)
+        for (i, args) in body_args.iter().enumerate() {
+            if placed[i] {
+                continue;
+            }
+            let score = args.iter().filter(|a| bound.contains(a.as_str())).count();
+            // Strict `>` keeps the earliest index on ties.
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, i));
+            }
+        }
+        let (_, i) = best.expect("an unplaced atom remains");
+        placed[i] = true;
+        order.push(i);
+        bound.extend(body_args[i].iter().map(String::as_str));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(xs: &[&[&str]]) -> Vec<Vec<String>> {
+        xs.iter()
+            .map(|a| a.iter().map(|s| (*s).to_owned()).collect())
+            .collect()
+    }
+
+    fn bound(xs: &[&str]) -> BTreeSet<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn most_bound_atom_goes_first() {
+        // With `a` bound, [a,b] beats [c] even though [c] comes first.
+        let order = choose_sip(&bound(&["a"]), &args(&[&["c"], &["a", "b"]]));
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn sideways_information_propagates() {
+        // [a,b] and [a] both have one bound argument; the earlier body
+        // position wins, so [a,b] goes first and contributes `b`. That
+        // lets [b] outscore [x], then [a], with [x] last.
+        let order = choose_sip(
+            &bound(&["a"]),
+            &args(&[&["x"], &["b"], &["a", "b"], &["a"]]),
+        );
+        assert_eq!(order, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn ties_keep_body_order() {
+        let order = choose_sip(&bound(&[]), &args(&[&["p"], &["q"], &["r"]]));
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        assert!(choose_sip(&bound(&["a"]), &[]).is_empty());
+    }
+}

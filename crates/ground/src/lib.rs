@@ -11,7 +11,7 @@
 //!   the disequality builtin `X != Y` (evaluated at grounding time);
 //! * [`safety`] — the classical range-restriction check (every variable
 //!   of a rule must occur in its positive body);
-//! * [`grounder`] — two grounding strategies:
+//! * [`grounder`] — three grounding strategies:
 //!     * [`grounder::ground_full`] — the exact Herbrand instantiation,
 //!       equivalent for **every** semantics (exponential in rule arity);
 //!     * [`grounder::ground_reduced`] — DLV-style *intelligent grounding*
@@ -21,7 +21,12 @@
 //!       preserving for classical/minimal semantics in the presence of
 //!       negation (a `⊨`-minimal model may make an underivable negated
 //!       atom true). The tests pin both the equivalences and the
-//!       documented counterexample.
+//!       documented counterexample;
+//!     * [`grounder::ground_magic`] — *goal-directed* grounding for one
+//!       bound query atom: a static per-predicate first-argument demand
+//!       fixpoint decides which rules can reach the query, and only
+//!       those are instantiated, joining against a first-argument index.
+//!       The grounding-side mirror of the planner's magic restriction.
 //!
 //! The output is an ordinary [`ddb_logic::Database`] whose atom names are
 //! the ground atoms (`edge(a,b)`), ready for any semantics in `ddb-core`.
@@ -35,4 +40,4 @@ pub mod parse;
 pub mod safety;
 
 pub use ast::{DatalogProgram, DatalogRule, PredAtom, Term};
-pub use grounder::{ground_full, ground_reduced, GroundingError};
+pub use grounder::{ground_full, ground_magic, ground_reduced, GroundingError};

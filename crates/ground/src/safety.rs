@@ -60,6 +60,18 @@ pub fn check_program(prog: &DatalogProgram) -> Result<(), SafetyError> {
     Ok(())
 }
 
+/// Checks a whole program without short-circuiting: one violation per
+/// offending rule, in rule order. `ddb check` renders the full list so a
+/// multi-rule file reports every unsafe rule, with positions that keep
+/// the `(code, position)` diagnostic sort stable.
+pub fn check_program_all(prog: &DatalogProgram) -> Vec<SafetyError> {
+    prog.rules
+        .iter()
+        .enumerate()
+        .filter_map(|(i, rule)| check_rule(i, rule).err())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +101,19 @@ mod tests {
         assert_eq!(d.code, "DDB001");
         assert_eq!(d.severity, ddb_analysis::Severity::Error);
         assert!(d.message.contains('X'));
+    }
+
+    #[test]
+    fn all_violations_are_collected_in_rule_order() {
+        let prog = parse_datalog("p(X). q(a) :- r(a). s(Y) :- t(a), not u(Y). w(Z).").unwrap();
+        let errs = check_program_all(&prog);
+        assert_eq!(errs.len(), 3);
+        assert_eq!(errs[0].rule_index, 0);
+        assert_eq!(errs[0].variable, "X");
+        assert_eq!(errs[1].rule_index, 2);
+        assert_eq!(errs[1].variable, "Y");
+        assert_eq!(errs[2].rule_index, 3);
+        assert_eq!(errs[2].variable, "Z");
     }
 
     #[test]

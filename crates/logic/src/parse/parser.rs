@@ -104,6 +104,18 @@ pub fn parse_program(src: &str) -> Result<Database, ParseError> {
     Ok(db)
 }
 
+/// An atom name in a program: an identifier, optionally absorbing a
+/// balanced ground argument list (`covered(gear)`) into the interned
+/// key — the same convention the formula parser and the grounder use,
+/// so structured databases round-trip through program text.
+fn atom_name(cur: &mut Cursor) -> Result<String, ParseError> {
+    let mut name = ident(cur)?;
+    if cur.peek() == Some(&TokenKind::LParen) {
+        name.push_str(&ground_args(cur)?);
+    }
+    Ok(name)
+}
+
 fn ident(cur: &mut Cursor) -> Result<String, ParseError> {
     match cur.bump() {
         Some(TokenKind::Ident(s)) => Ok(s),
@@ -121,7 +133,7 @@ fn parse_rule(cur: &mut Cursor, symbols: &mut Symbols) -> Result<Rule, ParseErro
     // separated by `|` (or the keyword `v`).
     if cur.peek() != Some(&TokenKind::Arrow) {
         loop {
-            let name = ident(cur)?;
+            let name = atom_name(cur)?;
             if name == "not" {
                 return Err(cur.error("`not` is not allowed in rule heads".into()));
             }
@@ -151,7 +163,7 @@ fn parse_rule(cur: &mut Cursor, symbols: &mut Symbols) -> Result<Rule, ParseErro
                     }
                 }
             }
-            let name = ident(cur)?;
+            let name = atom_name(cur)?;
             let atom = symbols.intern(&name);
             if negated {
                 body_neg.push(atom);

@@ -133,6 +133,39 @@ pub fn sliceable_towers(towers: usize, height: usize) -> Database {
     db
 }
 
+/// `chains` independent linear chains of `depth` edges, written as a
+/// **non-ground** Datalog∨ program with the chain identifier in every
+/// first argument, plus one bound query atom:
+///
+/// ```text
+/// start(cⱼ,a) | start(cⱼ,b).            (per-chain founder choice)
+/// edge(cⱼ,nᵢ,nᵢ₊₁).                      (per-chain linear edges)
+/// reach(C,n0) ← start(C,a).              (shared rules; C is invariant
+/// reach(C,n0) ← start(C,b).               through the recursion)
+/// reach(C,Y) ← reach(C,X) ∧ edge(C,X,Y).
+/// ```
+///
+/// Returns `(program_source, query_atom)`; the query asks for the last
+/// node of chain 0 (`reach(c0,n<depth>)`). Because the bound first
+/// argument is invariant through the recursion, goal-directed grounding
+/// and the magic rewrite confine the work to one chain — grounded-rule
+/// counts drop by a factor of `chains` against whole-program grounding
+/// while the answer is identical. The scaling family behind the
+/// `bench_magic` group.
+pub fn bound_chains(chains: usize, depth: usize) -> (String, String) {
+    let mut source = String::new();
+    for c in 0..chains {
+        source.push_str(&format!("start(c{c},a) | start(c{c},b).\n"));
+        for i in 0..depth {
+            source.push_str(&format!("edge(c{c},n{i},n{}).\n", i + 1));
+        }
+    }
+    source.push_str("reach(C,n0) :- start(C,a).\n");
+    source.push_str("reach(C,n0) :- start(C,b).\n");
+    source.push_str("reach(C,Y) :- reach(C,X), edge(C,X,Y).\n");
+    (source, format!("reach(c0,n{depth})"))
+}
+
 /// `k` independent even negative loops
 /// `aᵢ ← ¬bᵢ. bᵢ ← ¬aᵢ.` — `2^k` stable models; the DSM/PDSM enumeration
 /// stress family.
@@ -275,6 +308,19 @@ mod tests {
         assert!(db.is_positive());
         let db = sliceable_towers(0, 2);
         assert_eq!(db.num_atoms(), 0);
+    }
+
+    #[test]
+    fn bound_chains_shape() {
+        let (source, query) = bound_chains(4, 8);
+        assert_eq!(query, "reach(c0,n8)");
+        // Per chain: one founder choice + 8 edge facts; plus 3 shared rules.
+        assert_eq!(source.lines().count(), 4 * 9 + 3);
+        assert!(source.contains("start(c3,a) | start(c3,b)."));
+        assert!(source.contains("edge(c0,n7,n8)."));
+        assert!(source.ends_with("reach(C,Y) :- reach(C,X), edge(C,X,Y).\n"));
+        // Deterministic.
+        assert_eq!(bound_chains(4, 8), bound_chains(4, 8));
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!     query, the SCC condensation layers, and — per semantics — which
 //!     soundness precondition admits (or blocks) answering on the slice.
 //!
+//! ddb rewrite <file> --query "<f>" [--semantics <name>] [--json]
+//!     The magic-sets rewrite of the query: the demand restriction the
+//!     planner routes bound queries through (dead rules pruned when the
+//!     database is positive and the query minimal-model-determined),
+//!     rendered as a guarded program with `magic__` seeds and demand
+//!     rules, and — per semantics — whether the rewrite is admitted or
+//!     which rule blocks it.
+//!
 //! ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c]
 //!     Enumerate the characteristic models of a semantics.
 //!
@@ -42,11 +50,11 @@
 //!
 //! ddb explain <file> [--query "<f>"] [--semantics <name>] [--json] [--execute]
 //!     The static query plan: per semantics, the route tree the
-//!     dispatcher will take for the query (Horn / hcf / slice / split /
-//!     islands / generic), annotated with the paper's complexity class
-//!     and a sound upper bound on oracle calls per node, plus the
+//!     dispatcher will take for the query (Horn / hcf / magic / slice /
+//!     split / islands / generic), annotated with the paper's complexity
+//!     class and a sound upper bound on oracle calls per node, plus the
 //!     binding-pattern adornments of the query's backward slice and the
-//!     plan lints DDB012–DDB015. `--max-oracle-calls <n>` declares the
+//!     plan lints DDB012–DDB018. `--max-oracle-calls <n>` declares the
 //!     budget DDB015 checks plans against. With `--execute`, each planned
 //!     cell also runs and the predicted route and bound are audited
 //!     against the observed `route.*` counters and oracle-call totals;
@@ -177,6 +185,7 @@ fn run(args: &[String]) -> Result<u8, String> {
         "classify" => classify(&args[1..]).map(|()| 0),
         "check" => check_cmd(&args[1..]),
         "slice" => slice_cmd(&args[1..]).map(|()| 0),
+        "rewrite" => rewrite_cmd(&args[1..]).map(|()| 0),
         "models" => models(&args[1..]),
         "query" => query(&args[1..]),
         "exists" => exists(&args[1..]),
@@ -196,6 +205,9 @@ const USAGE: &str = "usage:
       exit 0 clean, 1 warning lints, 2 errors; --strict treats warnings as errors)
   ddb slice  <file> --query \"<f>\" [--semantics <name>] [--json]
       (query-relevant slice, condensation layers, per-semantics admission)
+  ddb rewrite <file> --query \"<f>\" [--semantics <name>] [--json]
+      (magic-sets rewrite: the demand restriction with dead rules pruned,
+       the guarded magic__ program, and per-semantics admission)
   ddb models <file> --semantics <name> [--partition-p a,b] [--partition-q c] [--partial]
   ddb query  <file> --semantics <name> (--formula \"<f>\" | --literal [-]<atom>) [--brave] [--explain]
       (--formula may be repeated: the batch shares one analysis pass and
@@ -210,7 +222,7 @@ const USAGE: &str = "usage:
   ddb explain <file> [--query \"<f>\"] [--semantics <name>] [--json] [--execute]
       (static query plan: per semantics the route tree dispatch will take,
        with predicted complexity classes and oracle-call bounds, adornment
-       analysis, and plan lints DDB012-DDB015; --max-oracle-calls <n>
+       analysis, and plan lints DDB012-DDB018; --max-oracle-calls <n>
        declares the budget DDB015 checks plans against; --execute runs each
        planned cell and audits predicted route/bound vs the observed
        route.* counters and sat calls — a mismatch exits 1)
@@ -626,22 +638,33 @@ fn check_cmd(args: &[String]) -> Result<u8, String> {
             Ok(p) => p,
             Err(e) => return fail(e.to_string()),
         };
-        // An unsafe program cannot be grounded, so its DDB001 diagnostic
-        // is the whole report.
-        if let Err(e) = disjunctive_db::ground::safety::check_program(&program) {
-            let d = e.to_diagnostic();
+        // An unsafe program cannot be grounded, so its DDB001 diagnostics
+        // are the whole report — all of them, one per offending rule and
+        // carrying that rule's position, so the (code, position) sort is
+        // stable for multi-rule files.
+        let safety_errors = disjunctive_db::ground::safety::check_program_all(&program);
+        if !safety_errors.is_empty() {
+            let diags: Vec<_> = safety_errors
+                .iter()
+                .map(disjunctive_db::ground::safety::SafetyError::to_diagnostic)
+                .collect();
             if opts.flag("json") {
                 let doc = Json::obj([
                     ("file", Json::Str(path.to_owned())),
-                    ("diagnostics", Json::Arr(vec![d.to_json()])),
-                    ("errors", Json::UInt(1)),
+                    (
+                        "diagnostics",
+                        Json::Arr(diags.iter().map(|d| d.to_json()).collect()),
+                    ),
+                    ("errors", Json::UInt(diags.len() as u64)),
                     ("warnings", Json::UInt(0)),
                 ]);
                 oprint!("{}", doc.render_pretty());
             } else {
-                oprintln!("{d}");
+                for d in &diags {
+                    oprintln!("{d}");
+                }
             }
-            return fail("check failed: 1 error(s)".into());
+            return fail(format!("check failed: {} error(s)", diags.len()));
         }
         match ground_reduced(&program, 1_000_000) {
             Ok(db) => db,
@@ -821,6 +844,204 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
             admission_label(admission(id, &frags, &slice, literal_query)),
             peel_label(peel_mode(id)),
         );
+    }
+    Ok(())
+}
+
+/// `ddb rewrite`: print the magic-sets rewrite of a query — the demand
+/// restriction the planner routes bound queries through, rendered as a
+/// guarded program with `magic__` seeds and demand rules, plus the
+/// per-semantics admission verdicts. The pruning gate is exactly the
+/// planner's: dead rules are dropped only when the database is positive
+/// and the query is minimal-model-determined for the semantics, so the
+/// printed program is the one `RouteKind::Magic` would execute.
+fn rewrite_cmd(args: &[String]) -> Result<(), String> {
+    use disjunctive_db::analysis::{magic, magic_restrict, DepGraph, Fragments, MagicRestriction};
+    use disjunctive_db::core::slicing::{admission, Admission};
+    let opts = parse_opts(args)?;
+    let db = load(&opts)?;
+    // --threads is accepted for CLI uniformity; the rewrite is a pure
+    // static analysis, so the output is identical at every width.
+    let _ = threads_from(&opts)?;
+    let raw = opts.value("query").ok_or("missing --query <formula>")?;
+    let formula = parse_query_formula(raw, &db)?;
+    let query_atoms = formula.atoms();
+    if query_atoms.is_empty() {
+        return Err("the query mentions no atoms; nothing to rewrite".into());
+    }
+    let literal_query = query_atoms.len() == 1
+        && (formula == Formula::literal(query_atoms[0], true)
+            || formula == Formula::literal(query_atoms[0], false));
+    let graph = DepGraph::of_database(&db);
+    let frags = Fragments::of(&db, &graph);
+    let semantics: Vec<SemanticsId> = match opts.value("semantics") {
+        Some(name) => vec![semantics_id(name)?],
+        None => SemanticsId::ALL.to_vec(),
+    };
+    let mm_determined =
+        |id: SemanticsId| literal_query || !matches!(id, SemanticsId::Gcwa | SemanticsId::Ccwa);
+    // At most two distinct restrictions exist (pruned and unpruned); on
+    // non-positive databases or literal queries they coincide.
+    let restriction_for = |prune: bool| magic_restrict(&db, &query_atoms, prune);
+    let pruned = restriction_for(frags.positive);
+    let needs_unpruned = frags.positive && semantics.iter().any(|&id| !mm_determined(id));
+    let unpruned: Option<MagicRestriction> = needs_unpruned.then(|| restriction_for(false));
+    let restriction_of = |id: SemanticsId| -> &MagicRestriction {
+        if frags.positive && !mm_determined(id) {
+            unpruned.as_ref().expect("computed when needed")
+        } else {
+            &pruned
+        }
+    };
+    let admission_label = |a: Admission| match a {
+        Admission::PositiveExact => "positive-exact",
+        Admission::Product => "product",
+        Admission::Blocked => "blocked (generic fallback)",
+    };
+    let program_pruned = magic::rewrite(&db, &query_atoms, &pruned);
+    let program_unpruned = unpruned
+        .as_ref()
+        .map(|r| magic::rewrite(&db, &query_atoms, r));
+    if opts.flag("json") {
+        let restriction_json = |r: &MagicRestriction, prog: &magic::MagicProgram| {
+            Json::obj([
+                ("pruned", Json::Bool(!r.dropped_dead.is_empty())),
+                ("atoms", Json::UInt(r.slice.atoms.len() as u64)),
+                (
+                    "rules",
+                    Json::Arr(
+                        r.slice
+                            .rules
+                            .iter()
+                            .map(|&i| Json::UInt(i as u64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "dropped_dead",
+                    Json::Arr(
+                        r.dropped_dead
+                            .iter()
+                            .map(|&i| Json::UInt(i as u64))
+                            .collect(),
+                    ),
+                ),
+                ("split_closed", Json::Bool(r.slice.split_closed)),
+                (
+                    "blocking_rule",
+                    r.slice
+                        .blocking_rule
+                        .map_or(Json::Null, |i| Json::UInt(i as u64)),
+                ),
+                ("program", prog.to_json()),
+            ])
+        };
+        let mut restrictions = vec![restriction_json(&pruned, &program_pruned)];
+        if let (Some(r), Some(p)) = (unpruned.as_ref(), program_unpruned.as_ref()) {
+            restrictions.push(restriction_json(r, p));
+        }
+        let admissions: Vec<Json> = semantics
+            .iter()
+            .map(|&id| {
+                let r = restriction_of(id);
+                let adm = admission(id, &frags, &r.slice, literal_query);
+                Json::obj([
+                    ("semantics", Json::Str(id.to_string())),
+                    ("admission", Json::Str(admission_label(adm).to_owned())),
+                    ("pruning", Json::Bool(frags.positive && mm_determined(id))),
+                    (
+                        "blocking_rule",
+                        if adm == Admission::Blocked {
+                            r.slice
+                                .blocking_rule
+                                .or_else(|| r.dropped_dead.first().copied())
+                                .map_or(Json::Null, |i| Json::UInt(i as u64))
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            (
+                "file",
+                Json::Str(opts.file.as_deref().unwrap_or("-").into()),
+            ),
+            ("query", Json::Str(raw.to_owned())),
+            ("literal_query", Json::Bool(literal_query)),
+            ("positive", Json::Bool(frags.positive)),
+            ("restrictions", Json::Arr(restrictions)),
+            ("admissions", Json::Arr(admissions)),
+        ]);
+        oprint!("{}", doc.render_pretty());
+        return Ok(());
+    }
+    oprintln!(
+        "rewrite of {} for query `{raw}` ({} query)",
+        opts.file.as_deref().unwrap_or("-"),
+        if literal_query { "literal" } else { "formula" },
+    );
+    let describe = |label: &str, r: &MagicRestriction| {
+        oprintln!(
+            "{label}: {} of {} atom(s), {} of {} rule(s), {} dead rule(s) dropped, split-closed: {}",
+            r.slice.atoms.len(),
+            db.num_atoms(),
+            r.slice.rules.len(),
+            db.len(),
+            r.dropped_dead.len(),
+            if r.slice.split_closed { "yes" } else { "no" },
+        );
+    };
+    describe("restriction", &pruned);
+    if let Some(r) = unpruned.as_ref() {
+        describe("restriction (gcwa/ccwa formula queries, no pruning)", r);
+    }
+    oprintln!("admission:");
+    for &id in &semantics {
+        let r = restriction_of(id);
+        let adm = admission(id, &frags, &r.slice, literal_query);
+        let witness = if adm == Admission::Blocked {
+            r.slice
+                .blocking_rule
+                .or_else(|| r.dropped_dead.first().copied())
+                .map(|i| {
+                    format!(
+                        " — rule #{i}: {}",
+                        display_rule(&db.rules()[i], db.symbols())
+                    )
+                })
+                .unwrap_or_default()
+        } else {
+            String::new()
+        };
+        oprintln!(
+            "  {:<13} {}{}",
+            id.to_string(),
+            admission_label(adm),
+            witness
+        );
+    }
+    let show_program = |label: &str, prog: &magic::MagicProgram| {
+        oprintln!();
+        oprintln!(
+            "{label} ({} seed(s), {} rule(s)):",
+            prog.seeds.len(),
+            prog.rules.len(),
+        );
+        for line in prog.render().lines() {
+            oprintln!("  {line}");
+        }
+        if !prog.collisions.is_empty() {
+            oprintln!(
+                "  collisions with the magic__ namespace: {}",
+                prog.collisions.join(", ")
+            );
+        }
+    };
+    show_program("rewritten program", &program_pruned);
+    if let Some(p) = program_unpruned.as_ref() {
+        show_program("rewritten program (no pruning)", p);
     }
     Ok(())
 }
@@ -1198,7 +1419,9 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
 /// `--threads` widths (the worker pool changes wall-clock only, never
 /// answers or oracle-call totals).
 fn explain_cmd(args: &[String]) -> Result<u8, String> {
-    use disjunctive_db::analysis::{adorn, plan_lints, DomainEstimate, PlanNode, PlanQuery};
+    use disjunctive_db::analysis::{
+        adorn, magic, plan_lints, DomainEstimate, PlanData, PlanNode, PlanQuery,
+    };
     use disjunctive_db::core::planner::problem_of;
     let opts = parse_opts(args)?;
     let db = load(&opts)?;
@@ -1265,6 +1488,18 @@ fn explain_cmd(args: &[String]) -> Result<u8, String> {
         .filter_map(|(id, _, p)| p.as_ref().ok().map(|p| (id.name(), p)))
         .collect();
     let lints = plan_lints(&db, &query_atoms, &plan_refs, &adornments, oracle_budget);
+    // When any plan routes through the magic rewrite, the transformed
+    // program is part of the explanation (the restriction is taken from
+    // the plan itself, so the rendered program is the one executed).
+    let magic_rewrite = explained.iter().find_map(|(_, _, plan)| match plan {
+        Ok(p) => match &p.data {
+            PlanData::Magic { restriction, .. } => {
+                Some(magic::rewrite(&db, &query_atoms, restriction))
+            }
+            _ => None,
+        },
+        Err(_) => None,
+    });
     // --execute: run each planned cell and compare prediction to
     // observation. The dummy literal for existence-only audits is never
     // dereferenced (`has_model` ignores the query arguments).
@@ -1344,6 +1579,12 @@ fn explain_cmd(args: &[String]) -> Result<u8, String> {
             ("adornments", adornments.to_json()),
             ("plans", Json::Arr(plans_json)),
             (
+                "rewrite",
+                magic_rewrite
+                    .as_ref()
+                    .map_or(Json::Null, magic::MagicProgram::to_json),
+            ),
+            (
                 "lints",
                 Json::Arr(
                     lints
@@ -1395,6 +1636,13 @@ fn explain_cmd(args: &[String]) -> Result<u8, String> {
                 }
             }
             Err(reason) => oprintln!("== {} — unsupported: {}", id.name(), reason),
+        }
+    }
+    if let Some(prog) = &magic_rewrite {
+        oprintln!();
+        oprintln!("rewritten program (magic):");
+        for line in prog.render().lines() {
+            oprintln!("  {line}");
         }
     }
     if !lints.is_empty() {

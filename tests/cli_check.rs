@@ -156,3 +156,59 @@ fn slice_reports_blocking_rule_when_not_split_closed() {
     assert!(text.contains("blocked (generic fallback)"), "{text}");
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn check_reports_every_unsafe_rule_in_rule_order() {
+    // Three unsafe rules among safe ones: the report must carry one
+    // DDB001 per offending rule with its rule position, in ascending
+    // rule order, so the (code, position) ordering is stable however
+    // many rules a file has. Before safety diagnostics carried
+    // positions, only the first violation surfaced.
+    let path = std::env::temp_dir().join(format!(
+        "ddb_cli_check_unsafe_multi_{}.dlv",
+        std::process::id()
+    ));
+    std::fs::write(
+        &path,
+        "p(X).\nq(a) :- r(a).\ns(Y) :- t(a), not u(Y).\nw(Z).\n",
+    )
+    .unwrap();
+    let p = path.to_str().unwrap();
+
+    let out = ddb().args(["check", p]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let positions: Vec<usize> = text
+        .lines()
+        .filter(|l| l.contains("[DDB001]"))
+        .map(|l| {
+            let rest = l
+                .split("rule ")
+                .nth(1)
+                .expect("DDB001 line carries a rule position");
+            rest.split(':').next().unwrap().trim().parse().unwrap()
+        })
+        .collect();
+    assert_eq!(
+        positions,
+        vec![0, 2, 3],
+        "one finding per unsafe rule, in rule order: {text}"
+    );
+    for var in ["`X`", "`Y`", "`Z`"] {
+        assert!(text.contains(var), "missing variable {var}: {text}");
+    }
+
+    let out = ddb().args(["check", p, "--json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let doc = parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("errors").and_then(Json::as_u64), Some(3));
+    let Some(Json::Arr(diags)) = doc.get("diagnostics") else {
+        panic!("missing diagnostics array");
+    };
+    let rules: Vec<u64> = diags
+        .iter()
+        .map(|d| d.get("rule").and_then(Json::as_u64).expect("rule position"))
+        .collect();
+    assert_eq!(rules, vec![0, 2, 3]);
+    std::fs::remove_file(&path).ok();
+}
