@@ -3,6 +3,7 @@
 use crate::ast::{DatalogProgram, DatalogRule, PredAtom, Term};
 use crate::safety::{check_program, SafetyError};
 use ddb_logic::{Database, Rule, Symbols};
+use ddb_obs::{budget, Interrupted};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -16,6 +17,11 @@ pub enum GroundingError {
         /// The configured budget.
         limit: usize,
     },
+    /// An installed [`ddb_obs::Budget`] tripped mid-grounding (deadline,
+    /// cancel flag, or fault injection). Grounding loops are checkpointed
+    /// like the solve stack, so a deadline set before grounding governs
+    /// the whole pipeline, not only SAT/fixpoint work.
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for GroundingError {
@@ -25,6 +31,7 @@ impl fmt::Display for GroundingError {
             GroundingError::TooLarge { limit } => {
                 write!(f, "grounding exceeds the budget of {limit} ground rules")
             }
+            GroundingError::Interrupted(i) => write!(f, "grounding {i}"),
         }
     }
 }
@@ -34,6 +41,12 @@ impl std::error::Error for GroundingError {}
 impl From<SafetyError> for GroundingError {
     fn from(e: SafetyError) -> Self {
         GroundingError::Unsafe(e)
+    }
+}
+
+impl From<Interrupted> for GroundingError {
+    fn from(i: Interrupted) -> Self {
+        GroundingError::Interrupted(i)
     }
 }
 
@@ -142,6 +155,7 @@ pub fn ground_full(prog: &DatalogProgram, limit: usize) -> Result<Database, Grou
         }
         let mut odometer = vec![0usize; vars.len()];
         loop {
+            budget::checkpoint()?;
             let binding: Binding = vars
                 .iter()
                 .cloned()
@@ -206,6 +220,9 @@ pub fn ground_reduced(prog: &DatalogProgram, limit: usize) -> Result<Database, G
         possible: &BTreeMap<String, BTreeSet<Vec<String>>>,
         visit: &mut dyn FnMut(&Binding) -> Result<(), GroundingError>,
     ) -> Result<(), GroundingError> {
+        // One checkpoint per join node: the semi-naive closure is the
+        // grounder's hot loop, so deadlines and cancel flags trip here.
+        budget::checkpoint()?;
         if idx == body.len() {
             return visit(binding);
         }
@@ -254,6 +271,7 @@ pub fn ground_reduced(prog: &DatalogProgram, limit: usize) -> Result<Database, G
     loop {
         let mut grew = false;
         for rule in &prog.rules {
+            budget::checkpoint()?;
             let mut new_heads: Vec<(String, Vec<String>)> = Vec::new();
             let mut new_rules: Vec<GroundRule> = Vec::new();
             {
@@ -606,6 +624,9 @@ pub fn ground_magic(
         restriction: Option<&(String, BTreeSet<String>)>,
         visit: &mut dyn FnMut(&Binding) -> Result<(), GroundingError>,
     ) -> Result<(), GroundingError> {
+        // Checkpoint per join node, as in `ground_reduced`: deadlines and
+        // cancel flags must trip inside the demand-driven closure too.
+        budget::checkpoint()?;
         if idx == body.len() {
             return visit(binding);
         }
@@ -680,6 +701,7 @@ pub fn ground_magic(
     loop {
         let mut grew = false;
         for (rule, activation) in prog.rules.iter().zip(&activations) {
+            budget::checkpoint()?;
             let restriction = match activation {
                 Activation::Inactive => continue,
                 Activation::Unrestricted => None,

@@ -234,6 +234,40 @@ impl Budget {
         self
     }
 
+    /// Pointwise intersection with `other`: the effective limit for every
+    /// resource is the *tighter* of the two, so the result never permits
+    /// more than either operand. This is the admission-control primitive
+    /// for multi-tenant serving — a request's budget is the server's
+    /// defaults ∩ the client's declared limits, and a client can only
+    /// narrow what the operator configured, never widen it.
+    ///
+    /// Deadlines/timeouts take the earlier one, caps the smaller one, and
+    /// `fail_after` the smaller index. The cancel flag is `self`'s when
+    /// set, otherwise `other`'s (a `Budget` carries one flag; callers
+    /// that need several cooperating flags should install nested
+    /// budgets, which are all consulted at every checkpoint).
+    #[must_use]
+    pub fn intersect(&self, other: &Budget) -> Budget {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            }
+        }
+        Budget {
+            deadline: tighter(self.deadline, other.deadline),
+            timeout: tighter(self.timeout, other.timeout),
+            max_conflicts: tighter(self.max_conflicts, other.max_conflicts),
+            max_oracle_calls: tighter(self.max_oracle_calls, other.max_oracle_calls),
+            max_models: tighter(self.max_models, other.max_models),
+            cancel_flag: self
+                .cancel_flag
+                .clone()
+                .or_else(|| other.cancel_flag.clone()),
+            fail_after: tighter(self.fail_after, other.fail_after),
+        }
+    }
+
     /// True when no limit is set (install is then pure bookkeeping).
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -680,6 +714,45 @@ mod tests {
         assert_eq!(c.conflicts, 1);
         assert_eq!(c.oracle_calls, 1);
         assert_eq!(c.models, 1);
+    }
+
+    #[test]
+    fn intersect_takes_the_tighter_limit_per_resource() {
+        let server = Budget::unlimited()
+            .with_timeout(Duration::from_millis(500))
+            .with_max_oracle_calls(100);
+        let client = Budget::unlimited()
+            .with_timeout(Duration::from_millis(2000))
+            .with_max_oracle_calls(10)
+            .with_max_models(3)
+            .fail_after(7);
+        let eff = server.intersect(&client);
+        assert_eq!(eff.timeout, Some(Duration::from_millis(500)));
+        assert_eq!(eff.max_oracle_calls, Some(10));
+        assert_eq!(eff.max_models, Some(3));
+        assert_eq!(eff.max_conflicts, None);
+        assert_eq!(eff.fail_after, Some(7));
+    }
+
+    #[test]
+    fn intersect_keeps_whichever_cancel_flag_is_set() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let with_flag = Budget::unlimited().with_cancel_flag(flag.clone());
+        let plain = Budget::unlimited();
+        assert!(plain.intersect(&with_flag).cancel_flag.is_some());
+        assert!(with_flag.intersect(&plain).cancel_flag.is_some());
+        assert!(plain.intersect(&plain).cancel_flag.is_none());
+    }
+
+    #[test]
+    fn intersected_budget_trips_at_the_tighter_cap() {
+        let server = Budget::unlimited().with_max_oracle_calls(2);
+        let client = Budget::unlimited().with_max_oracle_calls(50);
+        let _g = server.intersect(&client).install();
+        charge_oracle_call().unwrap();
+        charge_oracle_call().unwrap();
+        let err = charge_oracle_call().unwrap_err();
+        assert_eq!(err.resource, Resource::OracleCalls);
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! The chaos harness: a hostile-but-honest client that attacks a running
+//! server the way the field does — malformed frames, oversized payloads,
+//! half-closed sockets, mid-request disconnects, concurrent cancellation,
+//! and a deterministic `fail_after` fault-injection sweep over every
+//! budget checkpoint — and asserts the robustness contract after each
+//! attack: the server stays up, answers stay byte-identical to the
+//! baseline, and every rejection is a typed wire error, never a panic or
+//! a hang.
+//!
+//! The harness is a library (driven by `ddb chaos` and the integration
+//! tests) so CI and local runs share one attack corpus. All randomness
+//! is a seeded `XorShift64Star`: a failure report names the seed and
+//! round that found it, and re-running reproduces it exactly.
+
+use ddb_logic::rng::XorShift64Star;
+use ddb_obs::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// JSON-structure tokens the frame mutator splices in; newline is
+/// deliberately absent so one mutant stays one frame.
+const TOKENS: &[&str] = &[
+    "{", "}", "\"", ":", ",", "[", "]", "null", "true", "false", "-1", "1e309", "\\u0000", "\\",
+    "op", "\u{00e9}", " ",
+];
+
+/// What to attack and how hard.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Malformed-frame rounds (mutants per seed frame).
+    pub rounds: u64,
+    /// RNG seed; every failure message names it.
+    pub seed: u64,
+    /// Database to query; default: first catalog entry.
+    pub db: Option<String>,
+    /// Query formula; default: the database's first sample atom.
+    pub formula: Option<String>,
+    /// Upper bound for the `fail_after` sweep.
+    pub fail_after_max: u64,
+    /// Client-side receive timeout — a server that stops answering
+    /// within this is a failed check, not a hang.
+    pub recv_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            addr: String::new(),
+            rounds: 200,
+            seed: 0xC0A5_0001,
+            db: None,
+            formula: None,
+            fail_after_max: 64,
+            recv_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// All ten paper semantics, in the CLI's canonical order.
+pub const ALL_SEMANTICS: &[&str] = &[
+    "gcwa", "egcwa", "ccwa", "ecwa", "ddr", "pws", "perf", "icwa", "dsm", "pdsm",
+];
+
+/// Outcome of a chaos run.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Individual assertions that ran.
+    pub checks: u64,
+    /// Human-readable failures; empty means the contract held.
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every check passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-paragraph summary (plus one line per failure).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos: {} check(s), {} failure(s)\n",
+            self.checks,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str("  FAIL: ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn check(&mut self, ok: bool, what: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(what());
+        }
+    }
+}
+
+/// A blocking newline-framed client with a receive timeout.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects with the given receive timeout.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            timeout,
+        })
+    }
+
+    /// Sends one frame (a newline is appended).
+    pub fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Receives one frame, or `Err` on close/timeout.
+    pub fn recv_line(&mut self) -> Result<String, String> {
+        let deadline = Instant::now() + self.timeout;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+            }
+            if Instant::now() > deadline {
+                return Err("recv: timed out".to_owned());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("recv: connection closed".to_owned()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
+    /// Sends a frame and parses the one-line response as JSON.
+    pub fn call(&mut self, line: &str) -> Result<Json, String> {
+        self.send_line(line)?;
+        let response = self.recv_line()?;
+        json::parse(&response).map_err(|e| format!("response is not JSON ({e}): {response}"))
+    }
+
+    /// Half-closes the write side (the server must still answer what it
+    /// already read).
+    pub fn shutdown_write(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// Builds a canonical query frame.
+pub fn query_frame(
+    id: &str,
+    db: &str,
+    semantics: &str,
+    formula: &str,
+    fail_after: Option<u64>,
+) -> String {
+    let mut fields = vec![
+        ("id", Json::Str(id.to_owned())),
+        ("op", Json::Str("query".to_owned())),
+        ("db", Json::Str(db.to_owned())),
+        ("semantics", Json::Str(semantics.to_owned())),
+        ("formula", Json::Str(formula.to_owned())),
+    ];
+    if let Some(k) = fail_after {
+        fields.push(("limits", Json::obj([("fail_after", Json::UInt(k))])));
+    }
+    Json::obj(fields).render()
+}
+
+fn get_str(doc: &Json, key: &str) -> Option<String> {
+    doc.get(key).and_then(Json::as_str).map(str::to_owned)
+}
+
+fn is_ok(doc: &Json) -> bool {
+    doc.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_kind(doc: &Json) -> Option<String> {
+    doc.get("error").and_then(|e| get_str(e, "kind"))
+}
+
+/// Mutates a valid frame into hostile input. Newlines and control bytes
+/// are scrubbed so the mutant stays a single frame.
+fn mutate_frame(rng: &mut XorShift64Star, seed: &str) -> String {
+    let mut bytes = seed.as_bytes().to_vec();
+    for _ in 0..=rng.gen_range(0, 4) {
+        match rng.gen_range(0, 5) {
+            0 if !bytes.is_empty() => {
+                let i = rng.gen_range(0, bytes.len());
+                bytes[i] = (rng.next_u64() & 0xFF) as u8;
+            }
+            1 if !bytes.is_empty() => {
+                bytes.truncate(rng.gen_range(0, bytes.len()));
+            }
+            2 if !bytes.is_empty() => {
+                let i = rng.gen_range(0, bytes.len());
+                let j = rng.gen_range_inclusive(i, bytes.len());
+                let slice = bytes[i..j].to_vec();
+                bytes.extend_from_slice(&slice);
+            }
+            3 => {
+                let tok = TOKENS[rng.gen_range(0, TOKENS.len())].as_bytes();
+                let i = rng.gen_range_inclusive(0, bytes.len());
+                bytes.splice(i..i, tok.iter().copied());
+            }
+            _ if bytes.len() >= 2 => {
+                let i = rng.gen_range(0, bytes.len());
+                let j = rng.gen_range(0, bytes.len());
+                bytes.swap(i, j);
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&bytes)
+        .chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect()
+}
+
+/// Runs the full attack sequence against a live server. `Err` means the
+/// harness itself could not run (e.g. nothing listening); contract
+/// violations land in the report instead.
+pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
+    let mut report = ChaosReport::default();
+    let connect = || Client::connect(&config.addr, config.recv_timeout);
+
+    // Phase 0: baseline. Ping, pick a database and formula, and record
+    // the answer of every semantics — the parity oracle for later phases.
+    let mut c = connect()?;
+    let pong = c.call(r#"{"op":"ping"}"#)?;
+    if !is_ok(&pong) {
+        return Err(format!("server did not answer ping: {}", pong.render()));
+    }
+    let catalog = c.call(r#"{"op":"catalog"}"#)?;
+    let dbs = catalog
+        .get("databases")
+        .and_then(Json::as_arr)
+        .ok_or("catalog response has no databases")?;
+    let db = match &config.db {
+        Some(name) => name.clone(),
+        None => dbs
+            .first()
+            .and_then(|d| get_str(d, "db"))
+            .ok_or("catalog is empty; chaos needs at least one database")?,
+    };
+    let formula = match &config.formula {
+        Some(f) => f.clone(),
+        None => dbs
+            .iter()
+            .find(|d| get_str(d, "db").as_deref() == Some(db.as_str()))
+            .and_then(|d| d.get("sample_atoms"))
+            .and_then(Json::as_arr)
+            .and_then(|a| a.first())
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("database `{db}` has no atoms to query"))?,
+    };
+    let mut baseline: Vec<(String, String)> = Vec::new();
+    for &semantics in ALL_SEMANTICS {
+        let frame = query_frame("baseline", &db, semantics, &formula, None);
+        let doc = c.call(&frame)?;
+        report.check(is_ok(&doc), || {
+            format!("baseline query under {semantics} failed: {}", doc.render())
+        });
+        let answer = get_str(&doc, "answer").unwrap_or_default();
+        report.check(!answer.is_empty(), || {
+            format!("baseline under {semantics} has no answer: {}", doc.render())
+        });
+        baseline.push((semantics.to_owned(), answer));
+    }
+    drop(c);
+
+    // Phase 1: malformed frames. Every response must be a well-formed
+    // frame with a typed parse/usage error (or a legal accept — some
+    // mutants are valid), and the connection must keep answering.
+    let seed_frame = query_frame("m", &db, "gcwa", &formula, None);
+    let mut c = connect()?;
+    let mut sent_on_conn = 0u32;
+    for round in 0..config.rounds {
+        let mut rng = XorShift64Star::seed_from_u64(config.seed ^ round);
+        let mutant = mutate_frame(&mut rng, &seed_frame);
+        if mutant.trim().is_empty() {
+            continue;
+        }
+        match c.call(&mutant) {
+            Ok(doc) => {
+                let typed = is_ok(&doc)
+                    || matches!(error_kind(&doc).as_deref(), Some("parse") | Some("usage"));
+                report.check(typed, || {
+                    format!(
+                        "round {round} (seed {:#x}): untyped response {} to mutant {mutant}",
+                        config.seed,
+                        doc.render()
+                    )
+                });
+                sent_on_conn += 1;
+                if sent_on_conn >= 32 {
+                    // Rotate connections so the idle/accounting paths are
+                    // exercised too.
+                    c = connect()?;
+                    sent_on_conn = 0;
+                }
+            }
+            Err(why) => {
+                // A closed connection is only legal for framing
+                // violations; the server must accept a replacement
+                // connection immediately either way.
+                report.check(why.contains("closed"), || {
+                    format!(
+                        "round {round} (seed {:#x}): {why} on mutant {mutant}",
+                        config.seed
+                    )
+                });
+                c = connect()?;
+                sent_on_conn = 0;
+            }
+        }
+    }
+    let doc = c.call(r#"{"op":"ping"}"#)?;
+    report.check(is_ok(&doc), || {
+        format!(
+            "server unresponsive after malformed frames: {}",
+            doc.render()
+        )
+    });
+    drop(c);
+
+    // Phase 2: an oversized frame (no newline). The server must reject it
+    // with a typed parse error or close — and keep serving others.
+    {
+        let mut c = connect()?;
+        let blob = "x".repeat(2 << 20);
+        let _ = c.stream.write_all(blob.as_bytes());
+        let outcome = c.recv_line();
+        let typed = match &outcome {
+            Ok(line) => json::parse(line)
+                .map(|doc| error_kind(&doc).as_deref() == Some("parse"))
+                .unwrap_or(false),
+            Err(why) => why.contains("closed"),
+        };
+        report.check(typed, || {
+            format!("oversized frame: unexpected outcome {outcome:?}")
+        });
+        let mut probe = connect()?;
+        let doc = probe.call(r#"{"op":"ping"}"#)?;
+        report.check(is_ok(&doc), || {
+            "server down after oversized frame".to_owned()
+        });
+    }
+
+    // Phase 3: half-closed connection. Send a query, shut down the write
+    // side; the server must still deliver the answer.
+    {
+        let mut c = connect()?;
+        c.send_line(&query_frame("half", &db, "gcwa", &formula, None))?;
+        c.shutdown_write();
+        match c.recv_line() {
+            Ok(line) => {
+                let ok = json::parse(&line).map(|d| is_ok(&d)).unwrap_or(false);
+                report.check(ok, || format!("half-close: bad response {line}"));
+            }
+            Err(why) => report
+                .failures
+                .push(format!("half-close: no answer after write shutdown: {why}")),
+        }
+    }
+
+    // Phase 4: mid-request disconnects. Send a query and vanish, many
+    // times; the server must shrug (no leaked sessions — asserted by the
+    // drain report at shutdown) and keep answering everyone else.
+    for i in 0..8 {
+        let mut c = connect()?;
+        let semantics = ALL_SEMANTICS[i % ALL_SEMANTICS.len()];
+        c.send_line(&query_frame("gone", &db, semantics, &formula, None))?;
+        drop(c);
+    }
+    {
+        let mut probe = connect()?;
+        let doc = probe.call(r#"{"op":"ping"}"#)?;
+        report.check(is_ok(&doc), || "server down after disconnects".to_owned());
+    }
+
+    // Phase 5: concurrent cancellation. A query from one connection,
+    // `cancel` from another. The query must answer either way —
+    // completed (cancel lost the race) or `unknown` with the cancelled
+    // resource — never hang, never crash.
+    {
+        let mut victim = connect()?;
+        let mut attacker = connect()?;
+        victim.send_line(&query_frame("chaos-victim", &db, "pdsm", &formula, None))?;
+        let cancel = attacker.call(r#"{"op":"cancel","target":"chaos-victim"}"#)?;
+        report.check(is_ok(&cancel), || {
+            format!("cancel op failed: {}", cancel.render())
+        });
+        match victim.recv_line() {
+            Ok(line) => {
+                let ok = json::parse(&line)
+                    .map(|d| {
+                        is_ok(&d)
+                            && match get_str(&d, "resource") {
+                                None => true,
+                                Some(r) => r == "cancelled",
+                            }
+                    })
+                    .unwrap_or(false);
+                report.check(ok, || format!("cancelled query: bad response {line}"));
+            }
+            Err(why) => report
+                .failures
+                .push(format!("cancelled query never answered: {why}")),
+        }
+    }
+
+    // Phase 6: fault-injection sweep. Every `fail_after` k yields either
+    // a graceful `unknown (fault injection)` or — once k exceeds the
+    // query's checkpoint count — the baseline answer, byte-identical.
+    {
+        let gcwa_baseline = &baseline
+            .iter()
+            .find(|(s, _)| s == "gcwa")
+            .expect("baseline covers gcwa")
+            .1;
+        let mut c = connect()?;
+        let mut completed = false;
+        for k in 0..=config.fail_after_max {
+            let frame = query_frame("sweep", &db, "gcwa", &formula, Some(k));
+            let doc = c.call(&frame)?;
+            report.check(is_ok(&doc), || {
+                format!(
+                    "fail_after={k}: typed error instead of graceful degrade: {}",
+                    doc.render()
+                )
+            });
+            if !is_ok(&doc) {
+                break;
+            }
+            let answer = get_str(&doc, "answer").unwrap_or_default();
+            match get_str(&doc, "resource").as_deref() {
+                Some("fault_injection") => report.check(answer == "unknown", || {
+                    format!("fail_after={k}: interrupted but answer is `{answer}`")
+                }),
+                None => {
+                    report.check(&answer == gcwa_baseline, || {
+                        format!("fail_after={k}: answer `{answer}` != baseline `{gcwa_baseline}`")
+                    });
+                    completed = true;
+                }
+                Some(other) => report.check(other == "deadline", || {
+                    format!("fail_after={k}: unexpected resource `{other}`")
+                }),
+            }
+            if completed {
+                break;
+            }
+        }
+        report.check(completed, || {
+            format!(
+                "fail_after sweep never completed within {} checkpoints",
+                config.fail_after_max
+            )
+        });
+    }
+
+    // Phase 7: parity after abuse. Every semantics must answer exactly as
+    // it did before the attacks.
+    {
+        let mut c = connect()?;
+        for (semantics, expected) in &baseline {
+            let frame = query_frame("parity", &db, semantics, &formula, None);
+            let doc = c.call(&frame)?;
+            let answer = get_str(&doc, "answer").unwrap_or_default();
+            report.check(&answer == expected, || {
+                format!("post-chaos parity: {semantics} answered `{answer}`, baseline `{expected}`")
+            });
+        }
+        let stats = c.call(r#"{"op":"stats"}"#)?;
+        report.check(is_ok(&stats), || {
+            format!("stats op failed after chaos: {}", stats.render())
+        });
+    }
+
+    Ok(report)
+}

@@ -1,0 +1,170 @@
+//! Cross-thread cancellation fairness: N concurrent sessions query
+//! distinct databases; one session is cancelled mid-flight. Exactly that
+//! session's query must be interrupted (`unknown` with the `cancelled`
+//! resource), and every other session must complete with verdicts AND
+//! oracle bills identical to an uncontended baseline — cancellation must
+//! not bleed across budgets that merely share the process.
+
+use ddb_obs::json::{self, Json};
+use ddb_serve::chaos::Client;
+use ddb_serve::{Catalog, Server, ServerConfig};
+use ddb_workloads::structured::{layered_disjunctive, sliceable_towers};
+use std::time::{Duration, Instant};
+
+fn get_str(doc: &Json, key: &str) -> Option<String> {
+    doc.get(key).and_then(Json::as_str).map(str::to_owned)
+}
+
+fn get_u64(doc: &Json, key: &str) -> Option<u64> {
+    doc.get(key).and_then(Json::as_u64)
+}
+
+fn query_frame(id: &str, db: &str, formula: &str) -> String {
+    Json::obj([
+        ("id", Json::Str(id.to_owned())),
+        ("op", Json::Str("query".to_owned())),
+        ("db", Json::Str(db.to_owned())),
+        ("semantics", Json::Str("pdsm".to_owned())),
+        ("formula", Json::Str(formula.to_owned())),
+    ])
+    .render()
+}
+
+#[test]
+fn cancelling_one_session_leaves_the_others_byte_identical() {
+    const BYSTANDERS: usize = 3;
+    let mut catalog = Catalog::new();
+    // The victim's database: enumerating the minimal models of a layered
+    // disjunctive program is exponential in the layer count, so the
+    // `models` op reliably outlives the cancel that chases it.
+    catalog.insert("heavy", layered_disjunctive(9, 4));
+    // Each bystander gets its own PDSM towers database.
+    let mut formulas = Vec::new();
+    for b in 0..BYSTANDERS {
+        let db = sliceable_towers(2, 3);
+        formulas.push(db.symbols().name(ddb_logic::Atom::new(0)).to_owned());
+        catalog.insert(&format!("towers{b}"), db);
+    }
+    let config = ServerConfig {
+        workers: BYSTANDERS + 2,
+        queue: 8,
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, catalog).expect("server starts");
+    let addr = handle.addr().to_string();
+    let timeout = Duration::from_secs(60);
+
+    // Uncontended baseline: answer and oracle bill per bystander.
+    let mut baseline = Vec::new();
+    for (b, formula) in formulas.iter().enumerate() {
+        let mut c = Client::connect(&addr, timeout).unwrap();
+        let doc = c
+            .call(&query_frame("base", &format!("towers{b}"), formula))
+            .unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(get_str(&doc, "resource").is_none(), "baseline interrupted");
+        baseline.push((
+            get_str(&doc, "answer").expect("baseline answer"),
+            get_u64(&doc, "sat_calls").expect("baseline sat_calls"),
+        ));
+    }
+
+    // Launch the victim: an exponential `models` enumeration.
+    let victim_addr = addr.clone();
+    let victim = std::thread::spawn(move || {
+        let mut c = Client::connect(&victim_addr, timeout).unwrap();
+        c.send_line(
+            &Json::obj([
+                ("id", Json::Str("victim".to_owned())),
+                ("op", Json::Str("models".to_owned())),
+                ("db", Json::Str("heavy".to_owned())),
+                ("semantics", Json::Str("gcwa".to_owned())),
+            ])
+            .render(),
+        )
+        .unwrap();
+        c.recv_line().unwrap()
+    });
+
+    // Chase it with `cancel` until the flag actually trips an in-flight
+    // request — the op reports how many it reached, so this is
+    // deterministic, not a timing guess.
+    let mut attacker = Client::connect(&addr, timeout).unwrap();
+    let chase_deadline = Instant::now() + Duration::from_secs(30);
+    let mut tripped = 0;
+    while tripped == 0 {
+        assert!(
+            Instant::now() < chase_deadline,
+            "cancel never reached the victim"
+        );
+        let doc = attacker
+            .call(r#"{"op":"cancel","target":"victim"}"#)
+            .unwrap();
+        tripped = get_u64(&doc, "cancelled").unwrap_or(0);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(tripped, 1, "cancel tripped {tripped} sessions, not 1");
+
+    // While the victim dies, the bystanders work — concurrently.
+    let bystanders: Vec<_> = formulas
+        .iter()
+        .enumerate()
+        .map(|(b, formula)| {
+            let addr = addr.clone();
+            let frame = query_frame(&format!("s{b}"), &format!("towers{b}"), formula);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, timeout).unwrap();
+                (0..3)
+                    .map(|_| c.call(&frame).unwrap())
+                    .collect::<Vec<Json>>()
+            })
+        })
+        .collect();
+
+    // The victim must answer `unknown` with the `cancelled` resource.
+    let victim_line = victim.join().expect("victim thread");
+    let victim_doc = json::parse(&victim_line).expect("victim response is JSON");
+    assert_eq!(
+        victim_doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "victim got a hard error, not graceful degradation: {victim_line}"
+    );
+    assert_eq!(
+        get_str(&victim_doc, "resource").as_deref(),
+        Some("cancelled"),
+        "victim resource: {victim_line}"
+    );
+    assert_eq!(
+        victim_doc.get("complete").and_then(Json::as_bool),
+        Some(false),
+        "victim enumeration claims completeness: {victim_line}"
+    );
+
+    // Every bystander run: verdict AND oracle bill identical to baseline.
+    for (b, handle) in bystanders.into_iter().enumerate() {
+        let (expected_answer, expected_bill) = &baseline[b];
+        for doc in handle.join().expect("bystander thread") {
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+            assert!(
+                get_str(&doc, "resource").is_none(),
+                "bystander {b} was interrupted: {}",
+                doc.render()
+            );
+            assert_eq!(
+                get_str(&doc, "answer").as_deref(),
+                Some(expected_answer.as_str()),
+                "bystander {b} verdict changed under contention"
+            );
+            assert_eq!(
+                get_u64(&doc, "sat_calls"),
+                Some(*expected_bill),
+                "bystander {b} oracle bill changed under contention"
+            );
+        }
+    }
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.sessions_leaked, 0, "leaked sessions: {report}");
+}

@@ -195,6 +195,9 @@ fn run(args: &[String]) -> Result<u8, String> {
         "profile" => profile_cmd(&args[1..]).map(|()| 0),
         "explain" => explain_cmd(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "call" => call_cmd(&args[1..]),
+        "chaos" => chaos_cmd(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -231,6 +234,25 @@ const USAGE: &str = "usage:
        calls, inclusive/exclusive time, oracle calls, p50/p90/p99 per node;
        --top keeps the <n> heaviest children per node, --stats adds the
        histogram tables)
+  ddb serve  [<file>] [--db name=path]... [--addr host:port] [--max-sessions <n>]
+      [--workers <n>] [--queue <n>] [--read-timeout-ms <n>] [--write-timeout-ms <n>]
+      [--idle-timeout-ms <n>] [--max-frame-bytes <n>] [--retry-after-ms <n>]
+      [--threads <n>] [--drain-on-stdin-close] [resource limits]
+      (multi-tenant query server over a newline-framed JSON protocol;
+       resource limits become the server-side default budget, intersected
+       with each request's declared limits; overload sheds with a typed
+       `overloaded` response; `shutdown` op or stdin close drains cleanly)
+  ddb call   --addr host:port [--op <op>] [--db <name>] [--semantics <name>]
+      [--formula \"<f>\" | --literal [-]<atom>] [--brave] [--id <id>]
+      [--target <id>] [--threads <n>] [--json] [<file>] [resource limits]
+      (one-shot client; stdout matches the corresponding CLI command
+       byte-for-byte; exit mirrors the CLI: 0 ok, 3 resource/overloaded,
+       4 parse/usage/internal; a positional <file> is sent as `load` source)
+  ddb chaos  --addr host:port [--rounds <n>] [--seed <n>] [--db <name>]
+      [--formula \"<f>\"] [--fail-after-max <n>]
+      (attack a running server: malformed frames, oversized payloads,
+       half-closes, disconnects, concurrent cancels, fault-injection sweep;
+       exit 1 if any robustness check fails)
 models/query/exists/profile also take: --stats  --threads <n>  --trace-json <file>
   --trace-chrome <file> (Chrome trace-event JSON for Perfetto, one track
    per worker)  --flame <file> (folded stacks for inferno/FlameGraph)
@@ -273,6 +295,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     | "json"
                     | "strict"
                     | "execute"
+                    | "drain-on-stdin-close"
             ) {
                 opts.flags.push(key.to_owned());
                 i += 1;
@@ -1839,6 +1862,239 @@ fn wfs_cmd(args: &[String]) -> Result<(), String> {
         oprintln!("{}: {v}", db.symbols().name(a));
     }
     Ok(())
+}
+
+/// `ddb serve`: host the catalog over TCP with the fault-tolerance
+/// contract of `ddb_serve::server` — bounded sessions and admission
+/// queues with typed `overloaded` shedding, per-request budgets
+/// (server defaults ∩ client limits), read/write/idle timeouts, a
+/// max-frame guard, panic fencing, and graceful drain on the `shutdown`
+/// op or (with `--drain-on-stdin-close`) when stdin reaches EOF — the
+/// supervisor-friendly substitute for a SIGTERM handler, which a
+/// `forbid(unsafe_code)` zero-dependency build cannot install.
+fn serve_cmd(args: &[String]) -> Result<u8, String> {
+    use disjunctive_db::serve::{catalog::name_from_path, Catalog, Server, ServerConfig};
+    let opts = parse_opts(args)?;
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        opts.value(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--{key} needs an unsigned integer, got `{v}`"))
+            })
+            .transpose()
+    };
+    let mut config = ServerConfig::default();
+    let mut catalog = Catalog::new();
+    if let Some(path) = opts.file.as_deref() {
+        catalog.load_file(&name_from_path(path), path, config.grounding_limit)?;
+    }
+    for spec in opts.values_all("db") {
+        let (name, path) = match spec.split_once('=') {
+            Some((n, p)) => (n.to_owned(), p.to_owned()),
+            None => (name_from_path(spec), spec.to_owned()),
+        };
+        catalog.load_file(&name, &path, config.grounding_limit)?;
+    }
+    if catalog.is_empty() {
+        return Err(
+            "serve needs at least one database (positional <file> or --db name=path)".into(),
+        );
+    }
+    if let Some(addr) = opts.value("addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(n) = parse_u64("max-sessions")? {
+        config.max_sessions = n.max(1) as usize;
+    }
+    if let Some(n) = parse_u64("workers")? {
+        config.workers = n.max(1) as usize;
+    }
+    if let Some(n) = parse_u64("queue")? {
+        config.queue = n as usize;
+    }
+    if let Some(ms) = parse_u64("read-timeout-ms")? {
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_u64("write-timeout-ms")? {
+        config.write_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_u64("idle-timeout-ms")? {
+        config.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = parse_u64("max-frame-bytes")? {
+        config.max_frame_bytes = n.max(64) as usize;
+    }
+    if let Some(ms) = parse_u64("retry-after-ms")? {
+        config.retry_after_ms = ms;
+    }
+    if let Some(n) = opts.value("threads") {
+        config.max_query_threads = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads needs a positive integer, got `{n}`"))?;
+    }
+    if let Some(budget) = budget_from(&opts)? {
+        config.defaults = budget;
+    }
+    let handle = Server::start(config, catalog)?;
+    // The harness (CI, tests, supervisors) parses this line for the
+    // bound address, so it goes to stdout and flushes immediately.
+    oprintln!("listening on {}", handle.addr());
+    if opts.flag("drain-on-stdin-close") {
+        let trigger = handle.shutdown_trigger();
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            let _ = std::io::stdin().read_to_string(&mut sink);
+            trigger.shutdown();
+        });
+    }
+    let report = handle.join();
+    eprintln!("{report}");
+    Ok(if report.sessions_leaked == 0 { 0 } else { 1 })
+}
+
+/// `ddb call`: one-shot client for a running server. Stdout reproduces
+/// the matching CLI command byte-for-byte (`query` prints the verdict
+/// line, `models` the header plus one `  {…}` line per model), so CI can
+/// diff served answers against local ones; the exit code mirrors the
+/// CLI contract (0 ok, 3 resource/overloaded, 4 parse/usage/internal).
+fn call_cmd(args: &[String]) -> Result<u8, String> {
+    use disjunctive_db::serve::chaos::Client;
+    let opts = parse_opts(args)?;
+    let addr = opts.value("addr").ok_or("missing --addr <host:port>")?;
+    let op = opts.value("op").unwrap_or("query");
+    let mut fields: Vec<(&str, Json)> = vec![("op", Json::Str(op.to_owned()))];
+    if let Some(id) = opts.value("id") {
+        fields.push(("id", Json::Str(id.to_owned())));
+    }
+    for key in ["db", "semantics", "formula", "literal", "target"] {
+        if let Some(v) = opts.value(key) {
+            fields.push((key, Json::Str(v.to_owned())));
+        }
+    }
+    if opts.flag("brave") {
+        fields.push(("brave", Json::Bool(true)));
+    }
+    if let Some(n) = opts.value("threads") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("--threads needs a positive integer, got `{n}`"))?;
+        fields.push(("threads", Json::UInt(n)));
+    }
+    if let Some(path) = opts.file.as_deref() {
+        fields.push(("source", Json::Str(read_source(path)?)));
+        if opts.flag("datalog") {
+            fields.push(("datalog", Json::Bool(true)));
+        }
+    }
+    let mut limits: Vec<(&str, Json)> = Vec::new();
+    for (flag, field) in [
+        ("timeout-ms", "timeout_ms"),
+        ("max-oracle-calls", "max_oracle_calls"),
+        ("max-conflicts", "max_conflicts"),
+        ("max-models", "max_models"),
+        ("fail-after", "fail_after"),
+    ] {
+        if let Some(v) = opts.value(flag) {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--{flag} needs an unsigned integer, got `{v}`"))?;
+            limits.push((field, Json::UInt(n)));
+        }
+    }
+    if !limits.is_empty() {
+        fields.push(("limits", Json::obj(limits)));
+    }
+    let frame = Json::obj(fields).render();
+    let mut client = Client::connect(addr, std::time::Duration::from_secs(30))?;
+    let doc = client.call(&frame)?;
+    if opts.flag("json") {
+        oprintln!("{}", doc.render_pretty());
+    } else if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+        if let Some(answer) = doc.get("answer").and_then(Json::as_str) {
+            oprintln!("{answer}");
+        }
+        if let Some(models) = doc.get("models").and_then(Json::as_arr) {
+            for m in models {
+                let names: Vec<&str> = m
+                    .as_arr()
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(Json::as_str)
+                    .collect();
+                oprintln!("  {{{}}}", names.join(", "));
+            }
+        }
+        if let (Some(sat), Some(cand)) = (
+            doc.get("sat_calls").and_then(Json::as_u64),
+            doc.get("candidates").and_then(Json::as_u64),
+        ) {
+            eprintln!("[oracle: {sat} SAT calls, {cand} candidates]");
+        }
+    } else if let Some(error) = doc.get("error") {
+        let kind = error
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or("internal");
+        let message = error.get("message").and_then(Json::as_str).unwrap_or("");
+        eprintln!("error ({kind}): {message}");
+    }
+    // Exit contract: typed errors map through the wire taxonomy; a
+    // budget-degraded success (`resource` set) exits 3 like the CLI.
+    let code = if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+        match doc.get("resource") {
+            Some(Json::Str(resource)) => {
+                eprintln!("unknown ({resource})");
+                EXIT_EXHAUSTED
+            }
+            _ => 0,
+        }
+    } else {
+        match doc
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+        {
+            Some("resource") | Some("overloaded") => EXIT_EXHAUSTED,
+            _ => EXIT_USAGE,
+        }
+    };
+    Ok(code)
+}
+
+/// `ddb chaos`: run the full attack harness against a live server and
+/// report; any violated robustness check exits 1.
+fn chaos_cmd(args: &[String]) -> Result<u8, String> {
+    use disjunctive_db::serve::{run_chaos, ChaosConfig};
+    let opts = parse_opts(args)?;
+    let addr = opts.value("addr").ok_or("missing --addr <host:port>")?;
+    let mut config = ChaosConfig {
+        addr: addr.to_owned(),
+        ..ChaosConfig::default()
+    };
+    let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+        opts.value(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--{key} needs an unsigned integer, got `{v}`"))
+            })
+            .transpose()
+    };
+    if let Some(n) = parse_u64("rounds")? {
+        config.rounds = n;
+    }
+    if let Some(n) = parse_u64("seed")? {
+        config.seed = n;
+    }
+    if let Some(n) = parse_u64("fail-after-max")? {
+        config.fail_after_max = n;
+    }
+    config.db = opts.value("db").map(str::to_owned);
+    config.formula = opts.value("formula").map(str::to_owned);
+    let report = run_chaos(&config)?;
+    oprint!("{}", report.render());
+    Ok(if report.ok() { 0 } else { 1 })
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@
 //! | [`ground`] | Datalog∨ front end: variables, safety, grounding |
 //! | [`analysis`] | static analysis: dependency graph, fragment classifier, lints |
 //! | [`obs`] | zero-dependency observability: counters, spans, event sinks, JSON |
+//! | [`serve`] | fault-tolerant multi-tenant query server + chaos harness |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every Table 1/Table 2 cell.
@@ -56,6 +57,7 @@ pub use ddb_models as models;
 pub use ddb_obs as obs;
 pub use ddb_reductions as reductions;
 pub use ddb_sat as sat;
+pub use ddb_serve as serve;
 pub use ddb_workloads as workloads;
 
 /// One-stop imports for applications.
