@@ -21,10 +21,19 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum nesting the formula parser accepts. The parser is recursive
+/// descent, so an unbounded run of `!`, `(`, or `->` in untrusted input
+/// (the server's wire `formula` field) would otherwise overflow the
+/// stack — an abort no `catch_unwind` fence contains. Real queries nest
+/// a handful of levels; 64 is far past anything legitimate while keeping
+/// worst-case native stack use small even in debug builds.
+const MAX_FORMULA_DEPTH: usize = 64;
+
 struct Cursor {
     tokens: Vec<Token>,
     pos: usize,
     end: usize,
+    depth: usize,
 }
 
 impl Cursor {
@@ -33,7 +42,26 @@ impl Cursor {
             tokens,
             pos: 0,
             end: src_len,
+            depth: 0,
         }
+    }
+
+    /// Bumps the nesting depth on entering a stack-growing production;
+    /// the matching `ascend` runs on successful exit (errors abort the
+    /// whole parse, so an unbalanced counter never outlives it).
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_FORMULA_DEPTH {
+            Err(self.error(format!(
+                "formula nesting deeper than {MAX_FORMULA_DEPTH} levels"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -206,8 +234,11 @@ fn parse_iff(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError>
 fn parse_implies(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
     let lhs = parse_or(cur, symbols)?;
     if cur.eat(&TokenKind::Implies) {
-        // Right-associative.
+        // Right-associative: each `->` adds a native stack frame, so it
+        // counts against the nesting cap like `(` and `!` do.
+        cur.descend()?;
         let rhs = parse_implies(cur, symbols)?;
+        cur.ascend();
         Ok(lhs.implies(rhs))
     } else {
         Ok(lhs)
@@ -238,7 +269,17 @@ fn parse_and(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError>
     })
 }
 
+/// Depth-guarded entry for the recursion hub: `!`/`not` recurse here
+/// directly and `(` re-enters the whole precedence chain, so counting
+/// every entry bounds the native stack for all three.
 fn parse_unary(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
+    cur.descend()?;
+    let f = parse_unary_inner(cur, symbols)?;
+    cur.ascend();
+    Ok(f)
+}
+
+fn parse_unary_inner(cur: &mut Cursor, symbols: &Symbols) -> Result<Formula, ParseError> {
     if cur.eat(&TokenKind::Bang) {
         return Ok(parse_unary(cur, symbols)?.negated());
     }
@@ -423,5 +464,26 @@ mod tests {
     fn trailing_garbage_rejected() {
         let db = parse_program("a.").unwrap();
         assert!(parse_formula("a a", db.symbols()).is_err());
+    }
+
+    #[test]
+    fn deep_formula_nesting_is_an_error_not_a_stack_overflow() {
+        // A hostile client can put 100KB of nesting operators in the wire
+        // `formula` field; each shape must come back as a parse error.
+        let db = parse_program("a.").unwrap();
+        for src in [
+            format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}a", "!".repeat(100_000)),
+            format!("{}a", "not ".repeat(100_000)),
+            format!("a{}", " -> a".repeat(100_000)),
+        ] {
+            let err = parse_formula(&src, db.symbols()).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+        // Moderate nesting still parses.
+        let ok = format!("{}a{}", "(".repeat(32), ")".repeat(32));
+        assert!(parse_formula(&ok, db.symbols()).is_ok());
+        let ok = format!("{}a", "!".repeat(32));
+        assert!(parse_formula(&ok, db.symbols()).is_ok());
     }
 }

@@ -177,9 +177,12 @@ pub struct Budget {
     pub max_oracle_calls: Option<u64>,
     /// Maximum models enumerated.
     pub max_models: Option<u64>,
-    /// Cooperative cancel flag; raise it from another thread to stop the
-    /// run at its next checkpoint.
-    pub cancel_flag: Option<Arc<AtomicBool>>,
+    /// Cooperative cancel flags; raising any of them from another thread
+    /// stops the run at its next checkpoint. A plural set so that
+    /// [`Budget::intersect`] can keep *both* operands' flags — e.g. a
+    /// server-defaults flag and a per-request cancel/shutdown flag —
+    /// rather than silently preferring one.
+    pub cancel_flags: Vec<Arc<AtomicBool>>,
     /// Deterministic fault injection: trip with
     /// [`Resource::FaultInjection`] once this many checkpoints have
     /// passed (`fail_after(0)` trips at the very first checkpoint).
@@ -222,9 +225,10 @@ impl Budget {
         self
     }
 
-    /// Attaches a cooperative cancel flag.
+    /// Attaches a cooperative cancel flag (in addition to any already
+    /// attached — all of them are consulted at every checkpoint).
     pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
-        self.cancel_flag = Some(flag);
+        self.cancel_flags.push(flag);
         self
     }
 
@@ -242,10 +246,10 @@ impl Budget {
     /// narrow what the operator configured, never widen it.
     ///
     /// Deadlines/timeouts take the earlier one, caps the smaller one, and
-    /// `fail_after` the smaller index. The cancel flag is `self`'s when
-    /// set, otherwise `other`'s (a `Budget` carries one flag; callers
-    /// that need several cooperating flags should install nested
-    /// budgets, which are all consulted at every checkpoint).
+    /// `fail_after` the smaller index. Cancel flags are *unioned* (both
+    /// operands' flags keep working — raising any of them trips the
+    /// intersected budget), so putting a per-request cancel flag on
+    /// either side of the intersection is always safe.
     #[must_use]
     pub fn intersect(&self, other: &Budget) -> Budget {
         fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
@@ -254,16 +258,19 @@ impl Budget {
                 (x, y) => x.or(y),
             }
         }
+        let mut cancel_flags = self.cancel_flags.clone();
+        for flag in &other.cancel_flags {
+            if !cancel_flags.iter().any(|f| Arc::ptr_eq(f, flag)) {
+                cancel_flags.push(Arc::clone(flag));
+            }
+        }
         Budget {
             deadline: tighter(self.deadline, other.deadline),
             timeout: tighter(self.timeout, other.timeout),
             max_conflicts: tighter(self.max_conflicts, other.max_conflicts),
             max_oracle_calls: tighter(self.max_oracle_calls, other.max_oracle_calls),
             max_models: tighter(self.max_models, other.max_models),
-            cancel_flag: self
-                .cancel_flag
-                .clone()
-                .or_else(|| other.cancel_flag.clone()),
+            cancel_flags,
             fail_after: tighter(self.fail_after, other.fail_after),
         }
     }
@@ -275,7 +282,7 @@ impl Budget {
             && self.max_conflicts.is_none()
             && self.max_oracle_calls.is_none()
             && self.max_models.is_none()
-            && self.cancel_flag.is_none()
+            && self.cancel_flags.is_empty()
             && self.fail_after.is_none()
     }
 
@@ -420,7 +427,7 @@ impl Shared {
                 return Some(Resource::FaultInjection);
             }
         }
-        if let Some(flag) = &b.cancel_flag {
+        for flag in &b.cancel_flags {
             if flag.load(Ordering::Relaxed) {
                 return Some(Resource::Cancelled);
             }
@@ -735,13 +742,38 @@ mod tests {
     }
 
     #[test]
-    fn intersect_keeps_whichever_cancel_flag_is_set() {
-        let flag = Arc::new(AtomicBool::new(false));
-        let with_flag = Budget::unlimited().with_cancel_flag(flag.clone());
+    fn intersect_unions_cancel_flags() {
+        let server_flag = Arc::new(AtomicBool::new(false));
+        let request_flag = Arc::new(AtomicBool::new(false));
+        let with_flag = Budget::unlimited().with_cancel_flag(server_flag.clone());
         let plain = Budget::unlimited();
-        assert!(plain.intersect(&with_flag).cancel_flag.is_some());
-        assert!(with_flag.intersect(&plain).cancel_flag.is_some());
-        assert!(plain.intersect(&plain).cancel_flag.is_none());
+        assert_eq!(plain.intersect(&with_flag).cancel_flags.len(), 1);
+        assert_eq!(with_flag.intersect(&plain).cancel_flags.len(), 1);
+        assert!(plain.intersect(&plain).cancel_flags.is_empty());
+        // Both operands carry a flag: both survive, and the same flag on
+        // both sides is not doubled.
+        let defaults = Budget::unlimited().with_cancel_flag(server_flag.clone());
+        let request = Budget::unlimited().with_cancel_flag(request_flag.clone());
+        assert_eq!(defaults.intersect(&request).cancel_flags.len(), 2);
+        assert_eq!(defaults.intersect(&defaults).cancel_flags.len(), 1);
+    }
+
+    #[test]
+    fn either_sides_cancel_flag_trips_an_intersected_budget() {
+        for raise_server_side in [true, false] {
+            let server_flag = Arc::new(AtomicBool::new(false));
+            let request_flag = Arc::new(AtomicBool::new(false));
+            let defaults = Budget::unlimited().with_cancel_flag(server_flag.clone());
+            let request = Budget::unlimited().with_cancel_flag(request_flag.clone());
+            let _g = defaults.intersect(&request).install();
+            checkpoint().unwrap();
+            if raise_server_side {
+                server_flag.store(true, Ordering::Relaxed);
+            } else {
+                request_flag.store(true, Ordering::Relaxed);
+            }
+            assert_eq!(checkpoint().unwrap_err().resource, Resource::Cancelled);
+        }
     }
 
     #[test]

@@ -227,12 +227,22 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts. The parser is recursive
+/// descent, so without a cap a small frame of `[[[[…` would overflow the
+/// stack — an abort that no `catch_unwind` fence can contain. The cap also
+/// bounds the recursion depth of dropping any *parsed* document (deep
+/// trees drop child-first through the derived `Drop`). 64 levels is far
+/// beyond anything the workspace emits (traces nest 3–4 deep).
+pub const MAX_DEPTH: usize = 64;
+
 /// Parse a complete JSON document. Trailing whitespace is allowed; trailing
-/// garbage is an error.
+/// garbage is an error. Container nesting beyond [`MAX_DEPTH`] is a
+/// [`ParseError`], never a stack overflow.
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -246,6 +256,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -298,12 +309,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.error("nesting deeper than 64 levels"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -314,6 +336,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']'")),
@@ -323,10 +346,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -342,6 +367,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.error("expected ',' or '}'")),
@@ -523,5 +549,32 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\"", "nul"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // 100KB of '[' fits well under any frame-size limit but would
+        // blow a recursive parser's stack; it must come back as a typed
+        // error. Same for objects and a mixed tower.
+        let arrays = "[".repeat(100_000);
+        assert!(parse(&arrays).is_err());
+        let objects = "{\"k\":".repeat(100_000);
+        assert!(parse(&objects).is_err());
+        let mixed: String = "[{\"k\":".repeat(50_000);
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn nesting_up_to_the_cap_parses_and_drops() {
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        let v = parse(&deep).unwrap();
+        drop(v);
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
     }
 }

@@ -8,7 +8,7 @@ use ddb_ground::{ground_reduced, parse::parse_datalog, GroundingError};
 use ddb_logic::parse::parse_program;
 use ddb_logic::Database;
 use ddb_obs::Interrupted;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Why a database failed to load.
@@ -52,9 +52,17 @@ pub fn load_source(
 }
 
 /// Named databases, shared across sessions.
+///
+/// Trust model: entries the *operator* loads at startup can be sealed
+/// with [`Catalog::protect_all`]; the server then refuses wire `load`
+/// requests that would replace them, so no client can silently change
+/// another tenant's answers against an operator-provisioned database.
+/// Client-loaded entries are replaceable only with an explicit
+/// `overwrite` flag on the request.
 #[derive(Default)]
 pub struct Catalog {
     entries: BTreeMap<String, Arc<Database>>,
+    protected: BTreeSet<String>,
 }
 
 impl Catalog {
@@ -76,6 +84,23 @@ impl Catalog {
     /// Inserts (or replaces) a named database.
     pub fn insert(&mut self, name: &str, db: Database) {
         self.entries.insert(name.to_owned(), Arc::new(db));
+    }
+
+    /// Seals every current entry as operator-provisioned: runtime `load`
+    /// requests may no longer replace them. Called once after startup
+    /// loading, before the catalog is handed to the server.
+    pub fn protect_all(&mut self) {
+        self.protected.extend(self.entries.keys().cloned());
+    }
+
+    /// Whether `name` is a sealed, operator-provisioned entry.
+    pub fn is_protected(&self, name: &str) -> bool {
+        self.protected.contains(name)
+    }
+
+    /// Whether a database with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
     }
 
     /// Looks up a database by name.
@@ -130,6 +155,18 @@ mod tests {
             load_source("p(X).", None, 1000), // unsafe: head var unbound
             Err(LoadError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn protect_all_seals_current_entries_only() {
+        let mut c = Catalog::new();
+        c.insert("ops", load_source("x.", None, 10).unwrap());
+        c.protect_all();
+        c.insert("tenant", load_source("y.", None, 10).unwrap());
+        assert!(c.is_protected("ops"));
+        assert!(!c.is_protected("tenant"));
+        assert!(c.contains("tenant"));
+        assert!(!c.contains("nope"));
     }
 
     #[test]

@@ -132,6 +132,13 @@ impl Client {
             .map_err(|e| format!("send: {e}"))
     }
 
+    /// Sends raw bytes with no newline — for injecting partial frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| format!("send: {e}"))
+    }
+
     /// Receives one frame, or `Err` on close/timeout.
     pub fn recv_line(&mut self) -> Result<String, String> {
         let deadline = Instant::now() + self.timeout;

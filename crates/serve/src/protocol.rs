@@ -290,6 +290,9 @@ pub struct Request {
     /// `load`: force (`true`) or suppress (`false`) Datalog∨ parsing;
     /// absent means auto-detect.
     pub datalog: Option<bool>,
+    /// `load`: explicitly allow replacing an existing (client-loaded)
+    /// catalog entry. Operator-preloaded entries are never replaceable.
+    pub overwrite: bool,
     /// CCWA/ECWA partition: atoms to minimize (P).
     pub partition_p: Vec<String>,
     /// CCWA/ECWA partition: fixed atoms (Q).
@@ -412,6 +415,9 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let brave = field_bool(&value, "brave").map_err(&fail)?.unwrap_or(false);
     let source = field_str(&value, "source").map_err(&fail)?;
     let datalog = field_bool(&value, "datalog").map_err(&fail)?;
+    let overwrite = field_bool(&value, "overwrite")
+        .map_err(&fail)?
+        .unwrap_or(false);
     let partition_p = field_names(&value, "partition_p").map_err(&fail)?;
     let partition_q = field_names(&value, "partition_q").map_err(&fail)?;
     Ok(Request {
@@ -427,6 +433,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         target,
         source,
         datalog,
+        overwrite,
         partition_p,
         partition_q,
     })

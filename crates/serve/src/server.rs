@@ -303,12 +303,22 @@ fn accept_loop(
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     let mut reap_tick = 0u32;
+    let mut accepted = 0u32;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                // Reap finished session handles on the accept path too: a
+                // sustained connection flood keeps accept() hot, so the
+                // idle-branch reaper below may never run, and unjoined
+                // threads would otherwise accumulate their stacks exactly
+                // under the hostile load the server is built to shed.
+                accepted += 1;
+                if accepted.is_multiple_of(64) {
+                    lock(&sessions).retain(|h| !h.is_finished());
+                }
                 let active = shared.active_sessions.load(Ordering::SeqCst);
                 if active >= shared.config.max_sessions {
                     shed_connection(&shared, stream, "session limit reached");
@@ -397,6 +407,13 @@ fn session_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 FrameOutcome::Close => return,
             }
         }
+        // Any bytes left after the drain are a partial frame (pipelined
+        // tail), so the frame clock must be running — otherwise a client
+        // could trickle a frame forever, bypassing the read timeout and
+        // bounded only by the much longer idle timeout.
+        if frame_started.is_none() && !buf.is_empty() {
+            frame_started = Some(Instant::now());
+        }
         if buf.len() > shared.config.max_frame_bytes {
             let err = WireError::parse(format!(
                 "frame exceeds {} bytes",
@@ -413,7 +430,7 @@ fn session_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF (or half-close): client is done.
             Ok(n) => {
-                if buf.is_empty() {
+                if frame_started.is_none() {
                     frame_started = Some(Instant::now());
                 }
                 buf.extend_from_slice(&chunk[..n]);
@@ -973,6 +990,17 @@ fn run_load(shared: &Shared, request: &Request) -> Result<Vec<(&'static str, Jso
         .source
         .as_deref()
         .ok_or_else(|| WireError::usage("load needs a `source` field"))?;
+    // Multi-tenant name protection: a `load` must not silently replace
+    // somebody else's database. Operator-preloaded (sealed) names are
+    // never replaceable; client-loaded names need an explicit
+    // `overwrite` flag. Checked cheaply before grounding, and again
+    // under the write lock before publishing (grounding is long, so the
+    // name set can change in between).
+    check_load_name(
+        &shared.catalog.read().unwrap_or_else(|e| e.into_inner()),
+        name,
+        request.overwrite,
+    )?;
     let db =
         load_source(source, request.datalog, shared.config.grounding_limit).map_err(
             |e| match e {
@@ -984,14 +1012,29 @@ fn run_load(shared: &Shared, request: &Request) -> Result<Vec<(&'static str, Jso
         )?;
     let atoms = db.num_atoms() as u64;
     let rules = db.rules().len() as u64;
-    shared
-        .catalog
-        .write()
-        .unwrap_or_else(|e| e.into_inner())
-        .insert(name, db);
+    {
+        let mut catalog = shared.catalog.write().unwrap_or_else(|e| e.into_inner());
+        check_load_name(&catalog, name, request.overwrite)?;
+        catalog.insert(name, db);
+    }
     Ok(vec![
         ("answer", Json::Str(format!("loaded `{name}`"))),
         ("atoms", Json::UInt(atoms)),
         ("rules", Json::UInt(rules)),
     ])
+}
+
+/// The `load` naming policy (see [`Catalog`]'s trust model).
+fn check_load_name(catalog: &Catalog, name: &str, overwrite: bool) -> Result<(), WireError> {
+    if catalog.is_protected(name) {
+        return Err(WireError::usage(format!(
+            "database `{name}` is operator-provisioned and cannot be replaced"
+        )));
+    }
+    if catalog.contains(name) && !overwrite {
+        return Err(WireError::usage(format!(
+            "database `{name}` already exists; set `overwrite`:true to replace it"
+        )));
+    }
+    Ok(())
 }

@@ -247,3 +247,103 @@ fn shutdown_trips_inflight_queries_and_drains() {
     let report = handle.join();
     assert_eq!(report.sessions_leaked, 0, "leaked sessions: {report}");
 }
+
+/// The catalog's trust model over the wire: no client can replace an
+/// operator-provisioned database, and replacing another client-loaded
+/// entry needs an explicit `overwrite` flag.
+#[test]
+fn load_cannot_shadow_operator_databases_or_silently_overwrite() {
+    let mut catalog = vase_catalog();
+    catalog.protect_all();
+    let handle = Server::start(ServerConfig::default(), catalog).expect("server starts");
+    let addr = handle.addr().to_string();
+    let mut c = Client::connect(&addr, Duration::from_secs(30)).unwrap();
+
+    let load = |name: &str, source: &str, overwrite: bool| {
+        let mut fields = vec![
+            ("op", Json::Str("load".to_owned())),
+            ("db", Json::Str(name.to_owned())),
+            ("source", Json::Str(source.to_owned())),
+            ("datalog", Json::Bool(false)),
+        ];
+        if overwrite {
+            fields.push(("overwrite", Json::Bool(true)));
+        }
+        Json::obj(fields).render()
+    };
+
+    // Replacing the operator's `vase` is refused even with overwrite.
+    for overwrite in [false, true] {
+        let resp = c.call(&load("vase", "x.", overwrite)).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        let kind = resp
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        assert_eq!(kind, "usage", "expected usage rejection: {resp:?}");
+    }
+    // The operator database is untouched and still answers.
+    let resp = c.call(&vase_query("q1")).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    // A fresh name loads fine; re-loading it needs the explicit flag.
+    let resp = c.call(&load("tenant", "p | q.", false)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let resp = c.call(&load("tenant", "r.", false)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    let resp = c.call(&load("tenant", "r.", true)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.sessions_leaked, 0, "leaked sessions: {report}");
+}
+
+/// The slowloris guard covers pipelined partial frames: bytes left in
+/// the buffer after a complete frame start the frame clock, so a
+/// trickled tail is cut off by the read timeout, not the (much longer)
+/// idle timeout.
+#[test]
+fn partial_frame_after_a_pipelined_request_hits_the_read_timeout() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        idle_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, vase_catalog()).expect("server starts");
+    let addr = handle.addr().to_string();
+    let mut c = Client::connect(&addr, Duration::from_secs(30)).unwrap();
+
+    // One write: a complete ping frame plus the start of a second frame
+    // that never finishes.
+    c.send_line(r#"{"op":"ping"}"#).unwrap();
+    c.send_line(r#"{"op":"ping"}"#).unwrap();
+    let started = Instant::now();
+    c.send_raw(br#"{"op":"#).unwrap();
+    let first = c.recv_line().unwrap();
+    assert!(
+        first.contains("pong"),
+        "first pipelined frame answered: {first}"
+    );
+    let second = c.recv_line().unwrap();
+    assert!(
+        second.contains("pong"),
+        "second pipelined frame answered: {second}"
+    );
+    // The dangling tail must be rejected within the read-timeout bound.
+    let line = c.recv_line().unwrap();
+    assert!(
+        line.contains("frame read timed out"),
+        "expected the read-timeout rejection, got: {line}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "read timeout took implausibly long"
+    );
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.sessions_leaked, 0, "leaked sessions: {report}");
+}

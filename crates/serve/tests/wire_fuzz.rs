@@ -31,8 +31,28 @@ fn seed_frames() -> Vec<String> {
 /// JSON-structure tokens; splicing these reaches grammar edges a uniform
 /// byte flip rarely hits.
 const TOKENS: &[&str] = &[
-    "{", "}", "\"", ":", ",", "[", "]", "null", "true", "false", "-0", "1e309", "\\u0000", "\\",
-    "op", "id", "limits", "1e-999", "\u{00e9}", " ",
+    "{",
+    "}",
+    "\"",
+    ":",
+    ",",
+    "[",
+    "]",
+    "null",
+    "true",
+    "false",
+    "-0",
+    "1e309",
+    "\\u0000",
+    "\\",
+    "op",
+    "id",
+    "limits",
+    "1e-999",
+    "\u{00e9}",
+    " ",
+    "[[[[[[[[",
+    "{\"d\":{\"d\":{\"d\":",
 ];
 
 fn mutate(rng: &mut XorShift64Star, seed: &str) -> String {
@@ -105,6 +125,32 @@ fn wire_parser_never_panics_and_rejections_stay_typed() {
                 "round {round}: error frame missing error.kind:\n{frame}"
             );
         }
+    }
+}
+
+#[test]
+fn deeply_nested_frames_are_typed_parse_errors_not_aborts() {
+    // A single 100KB frame of nesting — well under the 1MiB frame cap —
+    // must come back as a typed `parse` rejection. Without the parser's
+    // depth limit this is a stack overflow, which aborts the whole
+    // process (catch_unwind cannot fence it), so this case is pinned
+    // explicitly rather than left to the random mutator.
+    let deep_arrays = "[".repeat(100_000);
+    let deep_objects = "{\"a\":".repeat(100_000);
+    let balanced = format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000));
+    let in_a_field = format!(
+        "{{\"op\":\"query\",\"id\":{}1{}}}",
+        "[".repeat(10_000),
+        "]".repeat(10_000)
+    );
+    for frame in [deep_arrays, deep_objects, balanced, in_a_field] {
+        let rejected = parse_request(&frame).unwrap_err();
+        assert_eq!(rejected.error.kind, ErrorKind::Parse);
+        let response = error_frame(rejected.id.as_ref(), &rejected.error);
+        assert!(
+            json::parse(&response).is_ok(),
+            "error frame must stay well-formed"
+        );
     }
 }
 

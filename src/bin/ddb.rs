@@ -1900,6 +1900,9 @@ fn serve_cmd(args: &[String]) -> Result<u8, String> {
             "serve needs at least one database (positional <file> or --db name=path)".into(),
         );
     }
+    // Operator-provisioned entries are sealed: wire `load` requests may
+    // add new names but never replace these (the catalog's trust model).
+    catalog.protect_all();
     if let Some(addr) = opts.value("addr") {
         config.addr = addr.to_owned();
     }
